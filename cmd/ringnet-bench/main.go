@@ -1,0 +1,71 @@
+// ringnet-bench regenerates every evaluation artifact of the paper
+// (Theorem 5.1 bounds, the §2–§3 comparative claims, Remark 3, and the
+// Figure-1 hierarchy) as aligned tables. See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	ringnet-bench            # run all experiments
+//	ringnet-bench E4 E5      # run selected experiments
+//	ringnet-bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ringnet "repro"
+)
+
+var experiments = []struct {
+	id  string
+	run func() (*ringnet.Table, error)
+}{
+	{"E1", ringnet.ExperimentE1},
+	{"E2", ringnet.ExperimentE2},
+	{"E3", ringnet.ExperimentE3},
+	{"E4", ringnet.ExperimentE4},
+	{"E5", ringnet.ExperimentE5},
+	{"E6", ringnet.ExperimentE6},
+	{"E7", ringnet.ExperimentE7},
+	{"E8", ringnet.ExperimentE8},
+	{"E9", ringnet.ExperimentE9},
+	{"E10", ringnet.ExperimentE10},
+	{"E11", ringnet.ExperimentE11},
+	{"F1", ringnet.ExperimentF1},
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e.id)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[a] = true
+	}
+	failed := false
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tab)
+		fmt.Printf("(%s regenerated in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+// Live: the paper's top logical ring running on real goroutines and
+// channels (wall-clock time, true parallelism) instead of the
+// deterministic simulator. Four ring members order messages from four
+// concurrent producer goroutines via the circulating OrderingToken; the
+// program verifies every member delivered the identical total order.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/seq"
+)
+
+func main() {
+	fabric := runtime.NewFabric(2026)
+	defer fabric.Close()
+
+	members := []seq.NodeID{1, 2, 3, 4}
+	var mu sync.Mutex
+	streams := make(map[seq.NodeID][]string)
+	deliverers := make(map[seq.NodeID]runtime.Deliverer)
+	for _, id := range members {
+		id := id
+		deliverers[id] = func(g seq.GlobalSeq, origin seq.NodeID, payload []byte) {
+			mu.Lock()
+			streams[id] = append(streams[id], fmt.Sprintf("#%d %s", g, payload))
+			mu.Unlock()
+		}
+	}
+
+	ring := runtime.NewRing(fabric, members, runtime.LinkParams{Latency: 500 * time.Microsecond}, deliverers)
+	ring.Start()
+
+	// Four producers race to multicast concurrently.
+	const perProducer = 25
+	var wg sync.WaitGroup
+	for _, id := range members {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				ring.Submit(id, []byte(fmt.Sprintf("node%d/m%d", id, i)))
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Wait for convergence.
+	total := seq.GlobalSeq(len(members) * perProducer)
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		done := true
+		for _, fr := range ring.Fronts() {
+			if fr < total {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("ring did not converge")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	ref := streams[members[0]]
+	for _, id := range members[1:] {
+		for i := range ref {
+			if streams[id][i] != ref[i] {
+				log.Fatalf("member %v diverged at %d: %q vs %q", id, i, streams[id][i], ref[i])
+			}
+		}
+	}
+	fmt.Printf("%d messages from 4 concurrent producers ordered identically at all %d members\n",
+		total, len(members))
+	fmt.Println("first six deliveries (same at every member):")
+	for _, line := range ref[:6] {
+		fmt.Println(" ", line)
+	}
+	fmt.Printf("fabric: %d transmissions\n", fabric.Sent)
+}

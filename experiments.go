@@ -1,0 +1,600 @@
+package ringnet
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/flatring"
+	"repro/internal/baseline/unordered"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/seq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file regenerates every evaluation artifact of the paper. The
+// paper's evaluation is analytical (Theorem 5.1) plus comparative claims
+// in §2–§3 and Remark 3 and the Figure-1 hierarchy; each ExperimentXX
+// function below produces the corresponding table (see DESIGN.md §4 for
+// the index). All experiments are deterministic given their seeds.
+
+// ringSpec builds a RingNet deployment with r top-ring nodes that still
+// has a full tree below it.
+func ringSpec(r int) Spec {
+	return Spec{BRs: r, AGRings: 2, AGSize: 2, APsPerAG: 1, MHsPerAP: 2}
+}
+
+// lossFree are theorem-condition links: Theorem 5.1 holds "without
+// considering retransmission", so the bound experiments use loss-free
+// wireless (latency and jitter stay).
+var lossFree = LinkParams{Latency: 8 * Millisecond, Jitter: 4 * Millisecond}
+
+// runOrdered drives an ordered RingNet sim with s sources at rate λ
+// (msgs/s each) for the given number of messages, then drains.
+func runOrdered(spec Spec, pc *ProtocolConfig, seed uint64, s int, lambda float64, count int) (*Sim, error) {
+	return runOrderedLinks(spec, pc, seed, s, lambda, count, nil, nil)
+}
+
+func runOrderedLinks(spec Spec, pc *ProtocolConfig, seed uint64, s int, lambda float64, count int, wired, wireless *LinkParams) (*Sim, error) {
+	x, err := NewSim(Config{Topology: spec, Protocol: pc, Seed: seed, Wired: wired, Wireless: wireless})
+	if err != nil {
+		return nil, err
+	}
+	srcs := x.Sources()
+	if s > len(srcs) {
+		s = len(srcs)
+	}
+	gap := Time(float64(Second) / lambda)
+	g := x.NewTrafficGroup(srcs[:s], 64)
+	g.CBR(50*Millisecond, gap, Millisecond, count)
+	horizon := 50*Millisecond + Time(count)*gap + 2*Second
+	if _, err := x.RunQuiet(250*Millisecond, horizon+60*Second); err != nil {
+		return nil, err
+	}
+	if err := x.CheckOrder(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// ExperimentE1 — Theorem 5.1 throughput: ordered multicast sustains the
+// same s·λ as the unordered variant.
+func ExperimentE1() (*Table, error) {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Throughput: ordered vs unordered (Theorem 5.1, s·λ msgs/s)",
+		Header: []string{"r", "s", "λ/src", "offered", "ordered", "unordered", "ord/offered"},
+	}
+	const lambda = 500.0
+	const perSource = 600 // 1.2 s of steady-state traffic per source
+	for _, r := range []int{4, 8, 16} {
+		s := r / 2
+		spec := ringSpec(r)
+
+		ord, err := runOrderedLinks(spec, nil, 1000+uint64(r), s, lambda, perSource, nil, &lossFree)
+		if err != nil {
+			return nil, fmt.Errorf("E1 r=%d ordered: %w", r, err)
+		}
+		offered := float64(s) * lambda
+		ordTh := ord.Engine.Log.Throughput()
+
+		// Unordered baseline on the identical topology and workload.
+		sched := sim.NewScheduler()
+		sched.MaxEvents = 500_000_000
+		net := netsim.New(sched, sim.NewRNG(2000+uint64(r)))
+		b, err := topology.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		u := unordered.New(unordered.DefaultConfig(), net, b.H)
+		if err := u.Start(netsim.DefaultWired, lossFree); err != nil {
+			return nil, err
+		}
+		gap := Time(float64(Second) / lambda)
+		for i := 0; i < perSource; i++ {
+			for j := 0; j < s; j++ {
+				src := b.BRs[j]
+				at := 50*Millisecond + Time(i)*gap + Time(j)*Millisecond
+				sched.At(at, func() { u.Submit(src, make([]byte, 64)) })
+			}
+		}
+		if _, err := sched.Run(50*Millisecond + Time(perSource)*gap + 20*Second); err != nil {
+			return nil, err
+		}
+		if err := u.Log.Err(); err != nil {
+			return nil, err
+		}
+		// Unordered throughput: deliveries per receiver per active second.
+		span := (Time(perSource) * gap).Seconds()
+		unordTh := float64(u.Log.MinDelivered()) / span
+
+		t.AddRow(itoa(r), itoa(s), f1(lambda), f1(offered), f1(ordTh), f1(unordTh), f3(ordTh/offered))
+	}
+	t.AddNote("shape check: ordered throughput tracks offered load (ratio ≈ 1) at every ring size, matching Theorem 5.1")
+	return t, nil
+}
+
+// ExperimentE2 — Theorem 5.1 latency bound:
+// max(Torder, Ttransmit) + τ + Tdeliver.
+func ExperimentE2() (*Table, error) {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Latency vs analytic bound max(Torder,Ttransmit)+τ+Tdeliver",
+		Header: []string{"r", "τ", "Torder(meas)", "bound", "mean", "p99", "max", "max≤bound"},
+	}
+	for _, r := range []int{4, 8, 16} {
+		pc := core.DefaultConfig()
+		x, err := runOrderedLinks(ringSpec(r), &pc, 3000+uint64(r), r/2, 500, 200, nil, &lossFree)
+		if err != nil {
+			return nil, fmt.Errorf("E2 r=%d: %w", r, err)
+		}
+		elapsed := x.Sched.Now()
+		hops := x.Engine.TokenRounds(x.Built.BRs[0])
+		torder := Time(0)
+		if hops > 0 {
+			torder = Time(int64(elapsed) * int64(r) / int64(hops))
+		}
+		// Ttransmit: one full ring traversal of data forwarding.
+		ttransmit := Time(r) * (x.Engine.WiredLink.Latency + pc.Hop.RTO/4)
+		// Tdeliver: down the tree (BR→AG→AP ≈ depth 3 wired hops incl.
+		// ring forwarding) plus the wireless hop and its jitter.
+		tdeliver := 4*x.Engine.WiredLink.Latency + x.Engine.WirelessLink.Latency + x.Engine.WirelessLink.Jitter
+		maxOT := torder
+		if ttransmit > maxOT {
+			maxOT = ttransmit
+		}
+		bound := maxOT + pc.Tau + tdeliver
+		lat := x.Engine.Log.Latency
+		ok := lat.Max() <= bound.Seconds()
+		t.AddRow(itoa(r), ms(pc.Tau.Seconds()), ms(torder.Seconds()), ms(bound.Seconds()),
+			ms(lat.Mean()), ms(lat.Quantile(0.99)), ms(lat.Max()), fmt.Sprintf("%v", ok))
+	}
+	t.AddNote("Torder measured from token hop counts; bound uses measured Torder per Theorem 5.1")
+	return t, nil
+}
+
+// ExperimentE3 — Theorem 5.1 buffer bounds:
+// |WQ| ≤ s·λ·(max(Torder,Ttransmit)+τ), |MQ| ≤ s·λ·Torder.
+func ExperimentE3() (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Peak buffer occupancy vs analytic bounds (slots)",
+		Header: []string{"r", "s·λ", "WQ peak", "WQ bound", "WQ ratio", "MQ live peak", "MQ bound", "MQ ratio"},
+	}
+	for _, r := range []int{4, 8} {
+		pc := core.DefaultConfig()
+		s := r / 2
+		lambda := 500.0
+		x, err := runOrderedLinks(ringSpec(r), &pc, 4000+uint64(r), s, lambda, 300, nil, &lossFree)
+		if err != nil {
+			return nil, fmt.Errorf("E3 r=%d: %w", r, err)
+		}
+		elapsed := x.Sched.Now()
+		hops := x.Engine.TokenRounds(x.Built.BRs[0])
+		torder := Time(int64(elapsed) * int64(r) / int64(hops))
+		ttransmit := Time(r) * x.Engine.WiredLink.Latency
+		maxOT := torder
+		if ttransmit > maxOT {
+			maxOT = ttransmit
+		}
+		sl := float64(s) * lambda
+		wqBound := sl * (maxOT + pc.Tau).Seconds()
+		mqBound := sl * torder.Seconds()
+		buf := x.Engine.Buffers()
+		// MQ retention (RetainExtra handoff slots) is an engineering
+		// addition on top of the paper's buffer; compare the live part.
+		mqLive := buf.PeakMQ - pc.RetainExtra
+		if mqLive < 0 {
+			mqLive = 0
+		}
+		wqRatio := float64(buf.PeakWQ) / wqBound
+		mqRatio := float64(mqLive) / mqBound
+		t.AddRow(itoa(r), f1(sl), itoa(buf.PeakWQ), f1(wqBound), f3(wqRatio),
+			itoa(mqLive), f1(mqBound), f3(mqRatio))
+	}
+	t.AddNote("bounds are the paper's fault-free sizes; the constant-factor gap (≈2×) is the stability gate (one extra token hop before delivery) plus cumulative-ack release lag")
+	return t, nil
+}
+
+// ExperimentE4 — §2 claim: a flat logical ring's ordering latency and
+// buffers grow with ring size; RingNet stays near-constant because each
+// ring is local.
+func ExperimentE4() (*Table, error) {
+	t := &Table{
+		ID:     "E4",
+		Title:  "Flat ring [16] vs RingNet as the network grows",
+		Header: []string{"stations", "flat mean", "flat max", "flat peakMQ", "ringnet mean", "ringnet max", "ringnet peakMQ"},
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		// Flat ring: n stations, one MH each.
+		sched := sim.NewScheduler()
+		sched.MaxEvents = 500_000_000
+		net := netsim.New(sched, sim.NewRNG(uint64(n)))
+		ring := make([]seq.NodeID, n)
+		for i := range ring {
+			ring[i] = seq.NodeID(i + 1)
+		}
+		fr := flatring.New(flatring.DefaultConfig(), net, ring, netsim.DefaultWired)
+		for i, bs := range ring {
+			if err := fr.AddMH(seq.HostID(i+1), bs, netsim.DefaultWireless); err != nil {
+				return nil, err
+			}
+		}
+		fr.Start()
+		const count = 150
+		for i := 0; i < count; i++ {
+			src := ring[i%len(ring)]
+			at := Time(50+i*4) * Millisecond
+			sched.At(at, func() { fr.Submit(src, make([]byte, 64)) })
+		}
+		if _, err := sched.Run(120 * Second); err != nil {
+			return nil, err
+		}
+		if err := fr.Log.Err(); err != nil {
+			return nil, fmt.Errorf("E4 flat n=%d: %w", n, err)
+		}
+		if fr.Log.MinDelivered() != count {
+			return nil, fmt.Errorf("E4 flat n=%d delivered %d/%d", n, fr.Log.MinDelivered(), count)
+		}
+
+		// RingNet with the same number of APs (n), 3-BR top ring,
+		// rings of 4 gateways.
+		agRings := n / 8
+		if agRings < 1 {
+			agRings = 1
+		}
+		spec := Spec{BRs: 3, AGRings: agRings, AGSize: 4, APsPerAG: n / (agRings * 4), MHsPerAP: 1}
+		x, err := runOrdered(spec, nil, 5000+uint64(n), 2, 250, count)
+		if err != nil {
+			return nil, fmt.Errorf("E4 ringnet n=%d: %w", n, err)
+		}
+		rn := x.Engine.Log.Latency
+		rbuf := x.Engine.Buffers()
+		t.AddRow(itoa(n),
+			ms(fr.Log.Latency.Mean()), ms(fr.Log.Latency.Max()), itoa(fr.PeakMQ()),
+			ms(rn.Mean()), ms(rn.Max()), itoa(rbuf.PeakMQ))
+	}
+	t.AddNote("flat-ring latency grows ~linearly with stations (token must reach the origin); RingNet latency is set by the 3-node top ring only")
+	return t, nil
+}
+
+// ExperimentE5 — §3 smooth handoff: multicast path reservation keeps
+// delivery gaps short across handoffs. A single host crosses a corridor
+// of sibling cells on a deterministic schedule over WAN-grade wired
+// links; without reservation every arrival at a detached AP pays the
+// path-building round trip, with reservation the sibling APs are already
+// attached.
+func ExperimentE5() (*Table, error) {
+	t := &Table{
+		ID:     "E5",
+		Title:  "Handoff disruption: path reservation on vs off",
+		Header: []string{"crossing gap", "reserve", "handoffs", "max stall", "mean lat", "lost"},
+	}
+	wired := LinkParams{Latency: 15 * Millisecond}
+	wireless := LinkParams{Latency: 5 * Millisecond} // deterministic last hop
+	for _, crossing := range []Time{500 * Millisecond, 250 * Millisecond} {
+		for _, reserve := range []bool{false, true} {
+			pc := core.DefaultConfig()
+			pc.Linger = 50 * Millisecond // APs detach quickly when empty
+			pc.ReserveFor = 5 * Second
+			x, err := NewSim(Config{
+				// One gateway with 8 sibling cells.
+				Topology: Spec{BRs: 3, AGRings: 1, AGSize: 1, APsPerAG: 8, MHsPerAP: 0},
+				Protocol: &pc,
+				Seed:     555,
+				Wired:    &wired,
+				Wireless: &wireless,
+			})
+			if err != nil {
+				return nil, err
+			}
+			corridor := x.APs()
+			commuter := HostID(1)
+			if err := x.AddMember(commuter, corridor[0]); err != nil {
+				return nil, err
+			}
+			handoffs := 0
+			for i := 1; i < 8; i++ {
+				i := i
+				at := 200*Millisecond + Time(i)*crossing
+				x.Sched.At(at, func() {
+					if err := x.Handoff(commuter, corridor[i], reserve); err == nil {
+						handoffs++
+					}
+				})
+			}
+			g := x.NewTrafficGroup(x.Sources()[:1], 64)
+			g.CBR(100*Millisecond, 5*Millisecond, 0, int(200*Millisecond+8*crossing)/int(5*Millisecond))
+			if _, err := x.RunQuiet(250*Millisecond, 300*Second); err != nil {
+				return nil, err
+			}
+			if err := x.CheckOrder(); err != nil {
+				return nil, err
+			}
+			t.AddRow(
+				fmt.Sprintf("%v", crossing),
+				fmt.Sprintf("%v", reserve),
+				itoa(handoffs),
+				ms(x.Engine.Log.MaxGapAt(uint32(commuter)).Seconds()),
+				ms(x.Engine.Log.Latency.Mean()),
+				utoa(x.Engine.Log.Gaps.Value()),
+			)
+		}
+	}
+	t.AddNote("reservation pre-attaches sibling APs so an arriving MH finds the flow present (paper §3); the stall difference is the path-building round trip")
+	return t, nil
+}
+
+// ExperimentE6 — §4.2.1 Token-Regeneration: recovery after the token
+// holder crashes.
+func ExperimentE6() (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "Token-loss recovery after killing a top-ring node",
+		Header: []string{"r", "stall(max gap)", "order ok", "survivors complete"},
+	}
+	for _, r := range []int{4, 8} {
+		pc := core.DefaultConfig()
+		pc.TokenLossThreshold = 100 * Millisecond
+		x, err := NewSim(Config{
+			Topology:   ringSpec(r),
+			Protocol:   &pc,
+			Seed:       6000 + uint64(r),
+			Membership: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g := x.NewTrafficGroup(x.Sources()[:2], 64)
+		const count = 300
+		g.CBR(50*Millisecond, 2*Millisecond, Millisecond, count)
+		victim := x.Built.BRs[r-1] // a BR with no subtree in ringSpec
+		x.Sched.At(200*Millisecond, func() { x.Fail(victim) })
+		if _, err := x.RunQuiet(250*Millisecond, 120*Second); err != nil {
+			return nil, err
+		}
+		orderOK := x.CheckOrder() == nil
+		complete := x.Engine.Log.MinDelivered() == uint64(2*count)
+		t.AddRow(itoa(r), ms(x.Engine.Log.MaxGap().Seconds()),
+			fmt.Sprintf("%v", orderOK), fmt.Sprintf("%v", complete))
+	}
+	t.AddNote("membership detects the silent BR, repairs the top ring, signals Token-Loss; Token-Regeneration restarts ordering with no duplicate or reordered delivery")
+	return t, nil
+}
+
+// ExperimentE7 — ablation: Order-Assignment cycle τ. The latency bound is
+// linear in τ (Theorem 5.1).
+func ExperimentE7() (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "Order-Assignment cycle τ sweep (paper: periodic only; ablation: opportunistic on token arrival)",
+		Header: []string{"τ", "periodic mean", "periodic p99", "opportunistic mean", "opportunistic p99"},
+	}
+	for _, tau := range []Time{1 * Millisecond, 2 * Millisecond, 5 * Millisecond, 10 * Millisecond, 20 * Millisecond} {
+		var means, p99s [2]float64
+		for i, opportunistic := range []bool{false, true} {
+			pc := core.DefaultConfig()
+			pc.Tau = tau
+			pc.OpportunisticAssign = opportunistic
+			x, err := runOrderedLinks(ringSpec(4), &pc, 7000+uint64(tau), 2, 400, 200, nil, &lossFree)
+			if err != nil {
+				return nil, fmt.Errorf("E7 τ=%v: %w", tau, err)
+			}
+			means[i] = x.Engine.Log.Latency.Mean()
+			p99s[i] = x.Engine.Log.Latency.Quantile(0.99)
+		}
+		t.AddRow(fmt.Sprintf("%v", tau), ms(means[0]), ms(p99s[0]), ms(means[1]), ms(p99s[1]))
+	}
+	t.AddNote("with the paper's purely periodic check, latency grows with τ (Theorem 5.1's +τ term); the opportunistic variant assigns on token arrival and decouples mean latency from τ")
+	return t, nil
+}
+
+// ExperimentE8 — §5 closing note: retransmission under loss inflates
+// latency and buffers.
+func ExperimentE8() (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Loss-rate sweep: retransmission inflates latency and buffers",
+		Header: []string{"wired loss", "mean", "p99", "retransmits", "peakMQ", "delivered"},
+	}
+	for _, loss := range []float64{0, 0.01, 0.02, 0.05} {
+		wired := netsim.DefaultWired
+		wired.Loss = loss
+		wireless := netsim.DefaultWireless
+		pc := core.DefaultConfig()
+		x, err := NewSim(Config{
+			Topology: ringSpec(4),
+			Protocol: &pc,
+			Seed:     8000 + uint64(loss*1000),
+			Wired:    &wired,
+			Wireless: &wireless,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g := x.NewTrafficGroup(x.Sources()[:2], 64)
+		const count = 200
+		g.CBR(50*Millisecond, 4*Millisecond, Millisecond, count)
+		if _, err := x.RunQuiet(250*Millisecond, 300*Second); err != nil {
+			return nil, err
+		}
+		if err := x.CheckOrder(); err != nil {
+			return nil, err
+		}
+		buf := x.Engine.Buffers()
+		lat := x.Engine.Log.Latency
+		t.AddRow(fmt.Sprintf("%.0f%%", loss*100), ms(lat.Mean()), ms(lat.Quantile(0.99)),
+			utoa(buf.Retransmits), itoa(buf.PeakMQ),
+			fmt.Sprintf("%d/%d", x.Engine.Log.MinDelivered(), 2*count))
+	}
+	t.AddNote("per-hop retransmission keeps delivery complete; latency/buffers inflate with loss exactly as §5's closing remark anticipates")
+	return t, nil
+}
+
+// ExperimentE9 — Remark 3: without the ordering requirement latency
+// drops (no token wait), throughput unchanged.
+func ExperimentE9() (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Ordered vs unordered RingNet latency (Remark 3)",
+		Header: []string{"variant", "mean", "max", "delivered"},
+	}
+	spec := ringSpec(4)
+	const count = 300
+
+	x, err := runOrdered(spec, nil, 9001, 2, 500, count)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("ordered", ms(x.Engine.Log.Latency.Mean()), ms(x.Engine.Log.Latency.Max()),
+		utoa(x.Engine.Log.MinDelivered()))
+
+	sched := sim.NewScheduler()
+	sched.MaxEvents = 500_000_000
+	net := netsim.New(sched, sim.NewRNG(9002))
+	b, err := topology.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	u := unordered.New(unordered.DefaultConfig(), net, b.H)
+	if err := u.Start(netsim.DefaultWired, netsim.DefaultWireless); err != nil {
+		return nil, err
+	}
+	for i := 0; i < count; i++ {
+		for j := 0; j < 2; j++ {
+			src := b.BRs[j]
+			at := Time(50+i*2) * Millisecond
+			sched.At(at+Time(j)*Millisecond, func() { u.Submit(src, make([]byte, 64)) })
+		}
+	}
+	if _, err := sched.Run(60 * Second); err != nil {
+		return nil, err
+	}
+	if err := u.Log.Err(); err != nil {
+		return nil, err
+	}
+	t.AddRow("unordered", ms(u.Log.Latency.Mean()), ms(u.Log.Latency.Max()), utoa(u.Log.MinDelivered()))
+	t.AddNote("unordered delivery avoids max(Torder,Ttransmit)+τ; the difference is the price of total order")
+	return t, nil
+}
+
+// ExperimentE10 — §2 scaling claim vs RelM-style centralization: per-NE
+// work stays bounded as the group grows.
+func ExperimentE10() (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Group-size scaling: per-entity load stays bounded",
+		Header: []string{"MHs", "thr/receiver", "mean lat", "max AP msgs/s", "BR msgs/s"},
+	}
+	for _, per := range []int{2, 8, 24} {
+		spec := Spec{BRs: 3, AGRings: 2, AGSize: 2, APsPerAG: 2, MHsPerAP: per}
+		x, err := runOrdered(spec, nil, 10000+uint64(per), 2, 250, 200)
+		if err != nil {
+			return nil, fmt.Errorf("E10 per=%d: %w", per, err)
+		}
+		elapsed := x.Sched.Now().Seconds()
+		stats := x.Net.Stats()
+		perAP := float64(stats.Delivered) / float64(len(x.Built.APs)) / elapsed
+		// BR-tier load proxy: token traversals handled per BR per
+		// second (the ordering work), independent of group size.
+		brMsgs := float64(x.Engine.TokenRounds(x.Built.BRs[0])) / 3 / elapsed
+		t.AddRow(itoa(x.Engine.H.Hosts()), f1(x.Engine.Log.Throughput()),
+			ms(x.Engine.Log.Latency.Mean()), f1(perAP), f1(brMsgs))
+	}
+	t.AddNote("BR-tier load is independent of the MH population; only APs scale with their own attached hosts (contrast with RelM's supervisor hosts)")
+	return t, nil
+}
+
+// ExperimentF1 — Figure 1: build the paper's exact hierarchy, check all
+// structural invariants, and run traffic through it.
+func ExperimentF1() (*Table, error) {
+	t := &Table{
+		ID:     "F1",
+		Title:  "Figure 1 hierarchy: structure and end-to-end delivery",
+		Header: []string{"property", "value"},
+	}
+	x, err := NewSim(Config{Figure1: true, Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	h := x.Engine.H
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	agRings := 0
+	for _, rid := range h.Rings() {
+		if h.Ring(rid).Tier == topology.TierAG {
+			agRings++
+		}
+	}
+	t.AddRow("BR ring size", itoa(h.TopRing().Len()))
+	t.AddRow("AG rings", itoa(agRings))
+	t.AddRow("APs", itoa(len(x.Built.APs)))
+	t.AddRow("MHs", itoa(h.Hosts()))
+	g := x.NewTrafficGroup(x.Sources()[:1], 32)
+	g.CBR(10*Millisecond, 2*Millisecond, 0, 50)
+	if _, err := x.RunQuiet(250*Millisecond, 60*Second); err != nil {
+		return nil, err
+	}
+	if err := x.CheckOrder(); err != nil {
+		return nil, err
+	}
+	t.AddRow("delivered per MH", utoa(x.Engine.Log.MinDelivered()))
+	t.AddRow("total order", "verified")
+	t.AddNote("tree of rings: 1 BR ring of 3, 3 AG rings of 3, 12 APs, 4 device-class MHs (laptop, PDA, phone, video phone)")
+	return t, nil
+}
+
+// AllExperiments runs the complete evaluation suite in index order.
+func AllExperiments() ([]*Table, error) {
+	runs := []func() (*Table, error){
+		ExperimentE1, ExperimentE2, ExperimentE3, ExperimentE4,
+		ExperimentE5, ExperimentE6, ExperimentE7, ExperimentE8,
+		ExperimentE9, ExperimentE10, ExperimentE11, ExperimentF1,
+	}
+	var out []*Table
+	for _, run := range runs {
+		tab, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tab)
+	}
+	return out, nil
+}
+
+// ExperimentE11 — ablation beyond the paper: Theorem 5.1 ignores token
+// processing/forwarding overheads; a bandwidth-constrained backbone makes
+// them visible. Serialization delay slows the token (larger Torder) and
+// therefore inflates ordering latency, exactly as the theorem's
+// preconditions predict.
+func ExperimentE11() (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Backbone bandwidth ablation: serialization slows the token (Torder) and ordering latency",
+		Header: []string{"bandwidth", "Torder(meas)", "mean", "p99"},
+	}
+	for _, bw := range []int64{0, 1 << 20, 256 << 10, 96 << 10} {
+		wired := netsim.DefaultWired
+		wired.Bandwidth = bw
+		pc := core.DefaultConfig()
+		x, err := runOrderedLinks(ringSpec(4), &pc, 11000+uint64(bw), 2, 300, 150, &wired, &lossFree)
+		if err != nil {
+			return nil, fmt.Errorf("E11 bw=%d: %w", bw, err)
+		}
+		elapsed := x.Sched.Now()
+		hops := x.Engine.TokenRounds(x.Built.BRs[0])
+		torder := Time(0)
+		if hops > 0 {
+			torder = Time(int64(elapsed) * 4 / int64(hops))
+		}
+		label := "unlimited"
+		if bw > 0 {
+			label = fmt.Sprintf("%dKB/s", bw>>10)
+		}
+		lat := x.Engine.Log.Latency
+		t.AddRow(label, ms(torder.Seconds()), ms(lat.Mean()), ms(lat.Quantile(0.99)))
+	}
+	t.AddNote("Theorem 5.1 brackets out token processing/forwarding cost; constraining backbone bandwidth re-introduces it as serialization delay on every token hop")
+	return t, nil
+}

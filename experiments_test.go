@@ -1,0 +1,13 @@
+package ringnet
+
+import "testing"
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	tabs, err := AllExperiments()
+	if err != nil {
+		t.Fatalf("after %d tables: %v", len(tabs), err)
+	}
+	for _, tab := range tabs {
+		t.Logf("\n%s", tab)
+	}
+}

@@ -1,0 +1,130 @@
+package flatring
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/seq"
+	"repro/internal/sim"
+)
+
+func rig(t *testing.T, stations int, hostsPer int) (*sim.Scheduler, *Engine, []seq.NodeID) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	sched.MaxEvents = 50_000_000
+	net := netsim.New(sched, sim.NewRNG(5))
+	ring := make([]seq.NodeID, stations)
+	for i := range ring {
+		ring[i] = seq.NodeID(i + 1)
+	}
+	e := New(DefaultConfig(), net, ring, netsim.DefaultWired)
+	host := seq.HostID(1)
+	for _, bs := range ring {
+		for j := 0; j < hostsPer; j++ {
+			if err := e.AddMH(host, bs, netsim.LinkParams{Latency: 8 * sim.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+			host++
+		}
+	}
+	e.Start()
+	return sched, e, ring
+}
+
+func TestFlatRingTotalOrder(t *testing.T) {
+	sched, e, ring := rig(t, 6, 1)
+	for i := 0; i < 30; i++ {
+		at := sim.Time(10+i*2) * sim.Millisecond
+		src := ring[i%len(ring)]
+		sched.At(at, func() { e.Submit(src, []byte("f")) })
+	}
+	if _, err := sched.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Log.MinDelivered() != 30 {
+		t.Fatalf("MinDelivered = %d, want 30", e.Log.MinDelivered())
+	}
+	if e.TokenHops == 0 {
+		t.Fatal("token never moved")
+	}
+}
+
+func TestFlatRingSingleStation(t *testing.T) {
+	sched, e, ring := rig(t, 1, 2)
+	for i := 0; i < 10; i++ {
+		at := sim.Time(10+i) * sim.Millisecond
+		sched.At(at, func() { e.Submit(ring[0], []byte("s")) })
+	}
+	if _, err := sched.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Log.MinDelivered() != 10 {
+		t.Fatalf("MinDelivered = %d", e.Log.MinDelivered())
+	}
+}
+
+func TestFlatRingLatencyGrowsWithRingSize(t *testing.T) {
+	// The §2 claim: ordering latency grows with ring size because every
+	// message waits for the token to reach its origin station.
+	meanAt := func(n int) float64 {
+		sched, e, ring := rig(t, n, 1)
+		for i := 0; i < 50; i++ {
+			at := sim.Time(10+i*4) * sim.Millisecond
+			sched.At(at, func() { e.Submit(ring[0], []byte("x")) })
+		}
+		if _, err := sched.Run(20 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Log.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if e.Log.MinDelivered() != 50 {
+			t.Fatalf("ring %d: MinDelivered = %d", n, e.Log.MinDelivered())
+		}
+		return e.Log.Latency.Mean()
+	}
+	small := meanAt(4)
+	large := meanAt(32)
+	if large <= small*2 {
+		t.Fatalf("latency did not grow with ring size: 4→%.4fs, 32→%.4fs", small, large)
+	}
+}
+
+func TestFlatRingBuffersReleased(t *testing.T) {
+	sched, e, ring := rig(t, 5, 1)
+	for i := 0; i < 100; i++ {
+		at := sim.Time(10+i) * sim.Millisecond
+		src := ring[i%len(ring)]
+		sched.At(at, func() { e.Submit(src, []byte("b")) })
+	}
+	if _, err := sched.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range e.bss {
+		if b.mq.Len() > e.Cfg.RetainExtra+len(ring) {
+			t.Fatalf("station %v MQ not released: %v", b.id, b.mq)
+		}
+	}
+	if e.PeakMQ() == 0 || e.PeakPending() == 0 {
+		t.Fatal("peak metrics empty")
+	}
+}
+
+func TestFlatRingSubmitUnknown(t *testing.T) {
+	_, e, _ := rig(t, 3, 1)
+	if err := e.Submit(999, nil); err == nil {
+		t.Fatal("unknown station accepted")
+	}
+	if err := e.AddMH(99, 999, netsim.DefaultWireless); err == nil {
+		t.Fatal("AddMH to unknown station accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Package core implements the RingNet reliable totally-ordered group
+// multicast protocol (paper §4): the Message-Ordering, Order-Assignment,
+// Message-Forwarding, and Message-Delivering algorithms, plus
+// Token-Regeneration and Multiple-Token resolution, running over the
+// topology, transport, and netsim substrates.
+//
+// Every network entity (NE) is an independent state machine holding only
+// its local neighbor view; the engine wires NEs to the simulated network
+// and injects workload. Mobile hosts (MHs) are lightweight receivers
+// beneath the bottom APs.
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Config tunes one protocol instance.
+type Config struct {
+	// Tau is the Order-Assignment timer cycle τ (paper §4.2.1): how
+	// often each top-ring node matches WQ messages against its stored
+	// ordering tokens.
+	Tau sim.Time
+	// TokenHold is how long a holder keeps the token before forwarding
+	// (processing time; the paper treats it as negligible).
+	TokenHold sim.Time
+	// MQSize is the MaxNo of every NE's message queue, in slots.
+	MQSize int
+	// MHWindow is the reassembly window of a mobile host.
+	MHWindow int
+	// RetainExtra keeps this many delivered slots below the WT minimum
+	// for late retransmissions to handed-off MHs.
+	RetainExtra int
+	// Hop is the wired per-hop retransmission configuration.
+	Hop transport.Config
+	// Wireless is the AP→MH per-hop retransmission configuration.
+	Wireless transport.Config
+	// TokenLossThreshold: a node considers Message-Ordering to be
+	// "running well" (§4.2.1) if it saw token activity within this
+	// window; Token-Loss signals inside the window are ignored.
+	TokenLossThreshold sim.Time
+	// FilterWindow is how long Multiple-Token filtering stays active
+	// after a Multiple-Token signal.
+	FilterWindow sim.Time
+	// StabilityGate delays Order-Assignment of a holder's own fresh
+	// assignments until the forwarded token is acknowledged by the next
+	// node, so no global sequence number can be delivered while it is
+	// known to only one node. This closes the duplicate-assignment
+	// window after a holder crash (refinement over the paper; see
+	// DESIGN.md).
+	StabilityGate bool
+	// CompactTable compacts a node's assignment table and the token's
+	// WTSNP below (NextGlobalSeq − CompactKeep) when they exceed
+	// CompactAbove entries. Zero values disable compaction.
+	CompactAbove int
+	CompactKeep  uint64
+	// ReserveFor is how long a multicast path reservation keeps a
+	// memberless AP attached to the delivery tree (paper §3 smooth
+	// handoff).
+	ReserveFor sim.Time
+	// Linger is how long an AP stays attached after its last member
+	// departs (hysteresis against ping-pong handoffs).
+	Linger sim.Time
+	// NackTimeout is how long a top-ring node waits on a missing
+	// message body whose global assignment is already known before
+	// asking its previous node to repair the gap from its MQ.
+	NackTimeout sim.Time
+	// OpportunisticAssign additionally runs Order-Assignment the moment
+	// a token arrives or its forwarding is acknowledged, instead of
+	// waiting for the next τ tick. The paper specifies only the
+	// periodic check; this optimization decouples mean latency from τ
+	// (experiment E7 ablates it).
+	OpportunisticAssign bool
+}
+
+// DefaultConfig is a reasonable wired-Internet configuration.
+func DefaultConfig() Config {
+	return Config{
+		Tau:                 5 * sim.Millisecond,
+		TokenHold:           200 * sim.Microsecond,
+		MQSize:              1 << 14,
+		MHWindow:            1 << 10,
+		RetainExtra:         64,
+		Hop:                 transport.DefaultConfig,
+		Wireless:            transport.WirelessConfig,
+		TokenLossThreshold:  500 * sim.Millisecond,
+		FilterWindow:        1 * sim.Second,
+		StabilityGate:       true,
+		CompactAbove:        4096,
+		CompactKeep:         1 << 16,
+		ReserveFor:          2 * sim.Second,
+		Linger:              500 * sim.Millisecond,
+		NackTimeout:         50 * sim.Millisecond,
+		OpportunisticAssign: true,
+	}
+}

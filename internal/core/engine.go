@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/queue"
+	"repro/internal/seq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// MHIDOffset maps a HostID into the netsim NodeID space (MHs need network
+// identities for the AP↔MH wireless hop).
+const MHIDOffset = 1 << 20
+
+// MHNodeID returns the netsim identity of a mobile host.
+func MHNodeID(h seq.HostID) seq.NodeID { return seq.NodeID(uint32(h) + MHIDOffset) }
+
+// HostOf inverts MHNodeID (0 if id is not an MH identity).
+func HostOf(id seq.NodeID) seq.HostID {
+	if uint32(id) > MHIDOffset {
+		return seq.HostID(uint32(id) - MHIDOffset)
+	}
+	return 0
+}
+
+// Engine owns one protocol instance: the hierarchy, the simulated
+// network, all NE state machines and MH receivers, and the workload
+// interface. It is the unit the benchmarks and examples drive.
+type Engine struct {
+	Group seq.GroupID
+	Cfg   Config
+	Net   *netsim.Network
+	H     *topology.Hierarchy
+	Log   *metrics.DeliveryLog
+
+	nes   map[seq.NodeID]*NE
+	mhs   map[seq.HostID]*MH
+	local map[seq.NodeID]seq.LocalSeq // per-corresponding-node source counters
+
+	// WiredLink and WirelessLink are the parameters used when the
+	// engine wires adjacencies; mutable before Start.
+	WiredLink    netsim.LinkParams
+	WirelessLink netsim.LinkParams
+
+	started bool
+}
+
+// NewEngine builds an engine over an existing hierarchy and network.
+func NewEngine(group seq.GroupID, cfg Config, net *netsim.Network, h *topology.Hierarchy) *Engine {
+	return &Engine{
+		Group:        group,
+		Cfg:          cfg,
+		Net:          net,
+		H:            h,
+		Log:          metrics.NewDeliveryLog(),
+		nes:          make(map[seq.NodeID]*NE),
+		mhs:          make(map[seq.HostID]*MH),
+		local:        make(map[seq.NodeID]seq.LocalSeq),
+		WiredLink:    netsim.DefaultWired,
+		WirelessLink: netsim.DefaultWireless,
+	}
+}
+
+// Scheduler returns the virtual-time scheduler.
+func (e *Engine) Scheduler() *sim.Scheduler { return e.Net.Scheduler() }
+
+// NE returns the state machine for a network entity.
+func (e *Engine) NE(id seq.NodeID) *NE { return e.nes[id] }
+
+// MHOf returns the receiver for a host.
+func (e *Engine) MHOf(h seq.HostID) *MH { return e.mhs[h] }
+
+// NEs returns all NE ids (unsorted).
+func (e *Engine) NEs() []seq.NodeID {
+	out := make([]seq.NodeID, 0, len(e.nes))
+	for id := range e.nes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Start instantiates NEs for every node in the hierarchy, MH receivers
+// for every attached host, wires the network links implied by the
+// topology, registers handlers, and injects the ordering token at the top
+// ring's leader.
+func (e *Engine) Start() error {
+	if e.started {
+		return fmt.Errorf("core: engine already started")
+	}
+	e.started = true
+	for _, id := range e.H.NodeIDs() {
+		if err := e.spawnNE(id); err != nil {
+			return err
+		}
+	}
+	// Wire ring adjacencies and parent-child links.
+	for _, rid := range e.H.Rings() {
+		r := e.H.Ring(rid)
+		nodes := r.Nodes()
+		for i, a := range nodes {
+			b := nodes[(i+1)%len(nodes)]
+			if a != b {
+				e.Net.Connect(a, b, e.WiredLink)
+			}
+		}
+	}
+	for _, id := range e.H.NodeIDs() {
+		n := e.H.Node(id)
+		if n.Parent != seq.None {
+			e.Net.Connect(id, n.Parent, e.WiredLink)
+		}
+		for _, c := range n.Candidates {
+			e.Net.Connect(id, c, e.WiredLink)
+		}
+	}
+	// Spawn MH receivers.
+	for _, ap := range e.H.NodeIDs() {
+		if e.H.Node(ap).Tier != topology.TierAP {
+			continue
+		}
+		for _, h := range e.H.HostsAt(ap) {
+			if err := e.spawnMH(h, ap, 0); err != nil {
+				return err
+			}
+		}
+	}
+	// Refresh neighbor views now that everything exists.
+	for _, ne := range e.nes {
+		ne.refreshNeighbors()
+	}
+	// Inject the ordering token at the top-ring leader.
+	if top := e.H.TopRing(); top != nil {
+		leader := e.nes[top.Leader()]
+		tok := seq.NewToken(e.Group)
+		e.Scheduler().After(0, func() { leader.handleToken(leader.id, tok) })
+	}
+	return nil
+}
+
+func (e *Engine) spawnNE(id seq.NodeID) error {
+	if _, dup := e.nes[id]; dup {
+		return fmt.Errorf("core: NE %v already exists", id)
+	}
+	ne := newNE(e, id)
+	e.nes[id] = ne
+	e.Net.Register(id, ne)
+	return nil
+}
+
+func (e *Engine) spawnMH(h seq.HostID, ap seq.NodeID, start seq.GlobalSeq) error {
+	if _, dup := e.mhs[h]; dup {
+		return fmt.Errorf("core: MH %v already exists", h)
+	}
+	m := newMH(e, h, ap)
+	m.last = start
+	e.mhs[h] = m
+	e.Net.Register(MHNodeID(h), m)
+	e.Net.Connect(MHNodeID(h), ap, e.WirelessLink)
+	if ne := e.nes[ap]; ne != nil {
+		ne.attachHost(h, start)
+	}
+	return nil
+}
+
+// AddMH attaches a new host to an AP at runtime (join). Join-point
+// semantics: the new member receives the stream from the group's current
+// position onward (an AP joining the tree itself starts at the current
+// position via the Join/Jump protocol).
+func (e *Engine) AddMH(h seq.HostID, ap seq.NodeID) error {
+	if err := e.H.AttachMH(h, ap); err != nil {
+		return err
+	}
+	ne := e.nes[ap]
+	if ne != nil && !ne.active {
+		if _, dup := e.mhs[h]; dup {
+			return fmt.Errorf("core: MH %v already exists", h)
+		}
+		m := newMH(e, h, ap)
+		e.mhs[h] = m
+		e.Net.Register(MHNodeID(h), m)
+		e.Net.Connect(MHNodeID(h), ap, e.WirelessLink)
+		ne.attachHostFresh(h)
+		return nil
+	}
+	start := seq.GlobalSeq(0)
+	if ne != nil {
+		start = ne.mq.Front()
+	}
+	return e.spawnMH(h, ap, start)
+}
+
+// RemoveMH detaches a host (leave). Its receiver is unregistered.
+func (e *Engine) RemoveMH(h seq.HostID) {
+	ap := e.H.DetachMH(h)
+	if ne := e.nes[ap]; ne != nil {
+		ne.detachHost(h)
+	}
+	if m := e.mhs[h]; m != nil {
+		m.close()
+	}
+	delete(e.mhs, h)
+	e.Net.Unregister(MHNodeID(h))
+}
+
+// Handoff moves host h from its current AP to ap. The MH announces its
+// delivery high-water mark to the new AP (HandoffNotify) so delivery
+// resumes without duplication; the old AP is told to drop the MH. When
+// reserve is true the new AP also asks its candidate neighbors to
+// pre-establish multicast paths (paper §3 smooth handoff).
+func (e *Engine) Handoff(h seq.HostID, ap seq.NodeID, reserve bool) error {
+	m := e.mhs[h]
+	if m == nil {
+		return fmt.Errorf("core: unknown host %v", h)
+	}
+	old := e.H.APOf(h)
+	if old == ap {
+		return nil
+	}
+	if e.H.Node(ap) == nil || e.H.Node(ap).Tier != topology.TierAP {
+		return fmt.Errorf("core: handoff target %v is not an AP", ap)
+	}
+	e.H.DetachMH(h)
+	if err := e.H.AttachMH(h, ap); err != nil {
+		return err
+	}
+	// Wireless association moves.
+	e.Net.Disconnect(MHNodeID(h), old)
+	e.Net.Connect(MHNodeID(h), ap, e.WirelessLink)
+	m.handoff(old, ap, reserve)
+	return nil
+}
+
+// Submit injects one application message at its corresponding top-ring
+// node (the paper's "interface mechanism": at most one source per
+// top-ring node). It returns the assigned local sequence number.
+func (e *Engine) Submit(corr seq.NodeID, payload []byte) (seq.LocalSeq, error) {
+	ne := e.nes[corr]
+	if ne == nil {
+		return 0, fmt.Errorf("core: unknown corresponding node %v", corr)
+	}
+	if !ne.view.IsTop {
+		return 0, fmt.Errorf("core: %v is not in the top ring", corr)
+	}
+	e.local[corr]++
+	l := e.local[corr]
+	e.Log.Sent(corr, l, e.Net.Now())
+	e.Scheduler().After(0, func() { ne.acceptSource(l, payload) })
+	return l, nil
+}
+
+// FailNode crashes a network entity (it stops sending/receiving until
+// RecoverNode). Topology repair is the membership protocol's job.
+func (e *Engine) FailNode(id seq.NodeID) {
+	e.Net.Crash(id)
+	if ne := e.nes[id]; ne != nil {
+		ne.failed = true
+	}
+}
+
+// RecoverNode restores a crashed NE with cleared protocol state (it
+// rejoins like a fresh node; the membership protocol re-splices it).
+func (e *Engine) RecoverNode(id seq.NodeID) {
+	e.Net.Recover(id)
+	if ne := e.nes[id]; ne != nil {
+		ne.reset()
+	}
+}
+
+// --- hooks called by the membership protocol ---
+
+// OnTopologyChanged tells the affected NEs to re-read their neighbor
+// views and retarget their senders after the hierarchy was mutated.
+func (e *Engine) OnTopologyChanged(affected ...seq.NodeID) {
+	for _, id := range affected {
+		if ne := e.nes[id]; ne != nil && !ne.failed {
+			ne.refreshNeighbors()
+		}
+	}
+}
+
+// OnTokenLoss delivers the membership protocol's Token-Loss signal
+// (paper §4.2.1) to a top-ring node.
+func (e *Engine) OnTokenLoss(at seq.NodeID) {
+	if ne := e.nes[at]; ne != nil && !ne.failed {
+		ne.onTokenLoss()
+	}
+}
+
+// OnMultipleToken delivers the Multiple-Token signal to a node of a
+// freshly merged top ring.
+func (e *Engine) OnMultipleToken(at seq.NodeID) {
+	if ne := e.nes[at]; ne != nil && !ne.failed {
+		ne.onMultipleToken()
+	}
+}
+
+// EnsureLink wires a link with tier-appropriate parameters if absent
+// (used by membership repair and mobility when adjacency changes).
+func (e *Engine) EnsureLink(a, b seq.NodeID) {
+	if a == b || a == seq.None || b == seq.None {
+		return
+	}
+	if !e.Net.Linked(a, b) {
+		p := e.WiredLink
+		if HostOf(a) != 0 || HostOf(b) != 0 {
+			p = e.WirelessLink
+		}
+		e.Net.Connect(a, b, p)
+	}
+}
+
+// --- aggregate metrics ---
+
+// BufferReport sums buffer occupancy statistics across NEs.
+type BufferReport struct {
+	PeakWQ      int // max over nodes of peak per-node WQ occupancy
+	PeakMQ      int // max over nodes of peak per-node MQ live window
+	SumWQPeak   int
+	SumMQPeak   int
+	Overflows   uint64
+	Retransmits uint64
+}
+
+// Buffers gathers the buffer-bound metrics of Theorem 5.1.
+func (e *Engine) Buffers() BufferReport {
+	var r BufferReport
+	for _, ne := range e.nes {
+		if wq := ne.wq; wq != nil {
+			p := wq.Peak()
+			r.SumWQPeak += p
+			if p > r.PeakWQ {
+				r.PeakWQ = p
+			}
+		}
+		p := ne.mq.PeakLen()
+		r.SumMQPeak += p
+		if p > r.PeakMQ {
+			r.PeakMQ = p
+		}
+		r.Overflows += ne.mq.Overflows()
+		r.Retransmits += ne.retransmissions()
+	}
+	return r
+}
+
+// TokenRounds returns the hop count of the token observed at the given
+// node's latest sighting, for Torder measurement.
+func (e *Engine) TokenRounds(at seq.NodeID) uint64 {
+	if ne := e.nes[at]; ne != nil && ne.newToken != nil {
+		return ne.newToken.Hops
+	}
+	return 0
+}
+
+// QueueOf exposes a node's MQ for tests and metrics.
+func (e *Engine) QueueOf(id seq.NodeID) *queue.MQ {
+	if ne := e.nes[id]; ne != nil {
+		return ne.mq
+	}
+	return nil
+}
+
+// Quiesced reports whether all senders are drained and all MH receivers
+// have empty reassembly buffers (used by tests to assert convergence).
+func (e *Engine) Quiesced() bool {
+	for _, ne := range e.nes {
+		if ne.failed {
+			continue
+		}
+		if ne.outstanding() > 0 {
+			return false
+		}
+	}
+	for _, m := range e.mhs {
+		if len(m.pending) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+var _ = msg.KindData // keep msg imported for doc references

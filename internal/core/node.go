@@ -1,0 +1,956 @@
+package core
+
+import (
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/queue"
+	"repro/internal/seq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// NE is the per-network-entity protocol state machine (paper §4.1, Data
+// Structure of NEs). It runs the Message-Forwarding and
+// Message-Delivering algorithms; top-ring NEs additionally run
+// Message-Ordering, Order-Assignment, and Token-Regeneration (ordering.go).
+type NE struct {
+	e      *Engine
+	id     seq.NodeID
+	view   topology.Neighbors
+	failed bool
+
+	// mq holds totally-ordered messages; wt tracks per-downstream
+	// delivery progress for garbage collection.
+	mq *queue.MQ
+	wt *queue.WT
+
+	// Top-ring state: the working queues of messages awaiting ordering,
+	// the cumulative assignment table, and the stored token versions.
+	wq          *queue.WQ
+	assign      *seq.WTSNP
+	oldToken    *seq.Token
+	newToken    *seq.Token
+	held        *seq.Token // token currently held (pre-forward) or awaiting forward ack
+	holding     bool
+	safeHorizon seq.GlobalSeq
+	lastToken   sim.Time
+	tokenSeen   bool
+	stampEpoch  uint64
+	stampHops   uint64
+	stampSet    bool
+
+	// Multiple-token filtering.
+	filterUntil sim.Time
+	bestToken   *seq.Token
+
+	// Reliable hop state.
+	ringSender   *transport.Sender                // ordered stream to ring next (non-top rings)
+	wqSenders    map[seq.NodeID]*transport.Sender // per-source unordered streams to ring next (top ring)
+	wqFwd        map[seq.NodeID]seq.LocalSeq      // per-source forwarded high-water
+	childSenders map[seq.NodeID]*transport.Sender // ordered streams to active children
+	mhSenders    map[seq.HostID]*transport.Sender // ordered streams to attached MHs
+	tokenCourier *transport.Courier
+	regenCourier *transport.Courier
+	joinCourier  *transport.Courier
+	tokenExpect  ackExpect
+	regenExpect  ackExpect
+	lastRegen    regenStamp
+
+	// AP activity: an AP is attached to the delivery tree only while it
+	// has members or a live reservation (paper §3).
+	isAP          bool
+	active        bool
+	reservedUntil sim.Time
+	awaitingJoin  bool
+	joinedParent  seq.NodeID
+	lingerTimer   *sim.Timer
+
+	// Gap repair: per-source stall clocks for Nack-based body recovery.
+	stallSince map[seq.NodeID]sim.Time
+
+	// aux receives membership-plane messages (heartbeats, token-loss
+	// and multiple-token signals, host-level membership updates) that
+	// the multicast protocol itself does not consume.
+	aux netsim.Handler
+
+	tauTicker *sim.Ticker
+
+	// counters
+	ctrTokenForwards uint64
+	ctrRegens        uint64
+	ctrNacks         uint64
+	ctrTokenDestroys uint64
+}
+
+type ackExpect struct {
+	active bool
+	epoch  uint64
+	next   seq.GlobalSeq
+}
+
+type regenStamp struct {
+	origin seq.NodeID
+	next   seq.GlobalSeq
+	epoch  uint64
+	set    bool
+}
+
+func newNE(e *Engine, id seq.NodeID) *NE {
+	n := &NE{
+		e:            e,
+		id:           id,
+		mq:           queue.NewMQ(e.Cfg.MQSize),
+		wt:           queue.NewWT(),
+		wqSenders:    make(map[seq.NodeID]*transport.Sender),
+		wqFwd:        make(map[seq.NodeID]seq.LocalSeq),
+		childSenders: make(map[seq.NodeID]*transport.Sender),
+		mhSenders:    make(map[seq.HostID]*transport.Sender),
+		stallSince:   make(map[seq.NodeID]sim.Time),
+	}
+	n.tokenCourier = transport.NewCourier(e.Net, id, e.Cfg.Hop)
+	n.tokenCourier.OnFail = func(to seq.NodeID, m msg.Message) { n.onTokenCourierFail() }
+	n.regenCourier = transport.NewCourier(e.Net, id, e.Cfg.Hop)
+	// Join retries are paced slower than data RTO (an idle parent has
+	// nothing to send back to confirm with) but fast enough that a
+	// lost Join costs less than the retained window.
+	n.joinCourier = transport.NewCourier(e.Net, id, transport.Config{RTO: 3 * e.Cfg.Hop.RTO, MaxRetries: 0})
+	if node := e.H.Node(id); node != nil {
+		n.isAP = node.Tier == topology.TierAP
+	}
+	return n
+}
+
+// reset clears all protocol state (crash recovery rejoin).
+func (n *NE) reset() {
+	n.failed = false
+	n.mq = queue.NewMQ(n.e.Cfg.MQSize)
+	n.wt = queue.NewWT()
+	n.wq = nil
+	n.assign = nil
+	n.oldToken, n.newToken, n.held = nil, nil, nil
+	n.holding = false
+	n.safeHorizon = 0
+	n.tokenSeen = false
+	n.stampSet = false
+	n.bestToken = nil
+	for _, s := range n.wqSenders {
+		s.Close()
+	}
+	n.wqSenders = make(map[seq.NodeID]*transport.Sender)
+	n.wqFwd = make(map[seq.NodeID]seq.LocalSeq)
+	if n.ringSender != nil {
+		n.ringSender.Close()
+		n.ringSender = nil
+	}
+	for _, s := range n.childSenders {
+		s.Close()
+	}
+	n.childSenders = make(map[seq.NodeID]*transport.Sender)
+	for _, s := range n.mhSenders {
+		s.Close()
+	}
+	n.mhSenders = make(map[seq.HostID]*transport.Sender)
+	n.tokenCourier.Confirm()
+	n.regenCourier.Confirm()
+	n.joinCourier.Confirm()
+	n.tokenExpect, n.regenExpect = ackExpect{}, ackExpect{}
+	n.active = false
+	n.awaitingJoin = false
+	n.joinedParent = seq.None
+	n.stallSince = make(map[seq.NodeID]sim.Time)
+	n.refreshNeighbors()
+}
+
+func (n *NE) now() sim.Time { return n.e.Net.Now() }
+
+// Recv implements netsim.Handler: the protocol dispatch loop.
+func (n *NE) Recv(from seq.NodeID, m msg.Message) {
+	if n.failed {
+		return
+	}
+	switch v := m.(type) {
+	case *msg.Data:
+		if v.Ordered() {
+			n.handleOrderedData(from, v)
+		} else {
+			n.handleWQData(from, v)
+		}
+	case *msg.Skip:
+		n.handleSkip(from, v)
+	case *msg.Ack:
+		n.handleAck(from, v)
+	case *msg.Nack:
+		n.handleNack(from, v)
+	case *msg.TokenMsg:
+		n.handleToken(from, v.Token)
+	case *msg.TokenAck:
+		n.handleTokenAck(from, v)
+	case *msg.TokenRegen:
+		n.handleTokenRegen(from, v)
+	case *msg.Progress:
+		n.handleProgress(from, v)
+	case *msg.Join:
+		if v.Node != seq.None {
+			n.handleJoin(from, v)
+		} else if n.aux != nil {
+			n.aux.Recv(from, m)
+		}
+	case *msg.Leave:
+		if v.Node != seq.None {
+			n.handleLeave(from, v)
+		} else if n.aux != nil {
+			n.aux.Recv(from, m)
+		}
+	case *msg.HandoffNotify:
+		n.handleHandoffNotify(from, v)
+	case *msg.Reserve:
+		n.handleReserve(from, v)
+	case *msg.SourceData:
+		n.acceptSource(v.LocalSeq, v.Payload)
+	case *msg.Heartbeat, *msg.TokenLoss, *msg.MultipleToken, *msg.HandoffLeave:
+		// Membership-plane messages belong to the membership manager.
+		if n.aux != nil {
+			n.aux.Recv(from, m)
+		}
+	}
+}
+
+// SetAux installs the membership-plane message handler.
+func (n *NE) SetAux(h netsim.Handler) { n.aux = h }
+
+// ID returns the node identity.
+func (n *NE) ID() seq.NodeID { return n.id }
+
+// Active reports whether an AP is currently attached to the delivery
+// tree (always true for non-AP entities).
+func (n *NE) Active() bool { return !n.isAP || n.active }
+
+// Failed reports whether the node is crashed.
+func (n *NE) Failed() bool { return n.failed }
+
+// refreshNeighbors re-reads the node's local view from the hierarchy and
+// retargets all hop senders accordingly. Called at start and whenever the
+// membership protocol mutates topology around this node.
+func (n *NE) refreshNeighbors() {
+	v, err := n.e.H.Neighbors(n.id)
+	if err != nil {
+		// Node no longer in the hierarchy: stop everything.
+		n.closeAll()
+		return
+	}
+	n.view = v
+
+	// Top-ring state comes and goes with ring role.
+	if v.IsTop {
+		if n.wq == nil {
+			n.wq = queue.NewWQ()
+			n.assign = seq.NewWTSNP()
+		}
+		if n.tauTicker == nil {
+			n.tauTicker = n.e.Scheduler().Every(n.e.Cfg.Tau, n.orderAssign)
+		}
+	} else if n.tauTicker != nil {
+		n.tauTicker.Stop()
+		n.tauTicker = nil
+	}
+
+	// Ring forwarding stream (non-top rings only; stop before leader).
+	wantRing := !v.IsTop && v.Next != seq.None && v.Next != v.Leader && v.Next != n.id
+	if wantRing {
+		n.e.EnsureLink(n.id, v.Next)
+		if n.ringSender == nil {
+			n.ringSender = transport.NewSender(n.e.Net, n.id, v.Next, n.e.Cfg.Hop)
+			n.wireGiveUp(n.ringSender)
+			// Replay retained window so a repaired successor can
+			// resynchronize; duplicates are acked away.
+			n.catchUpRing()
+		} else if n.ringSender.To() != v.Next {
+			n.wt.Remove(uint32(n.ringSender.To()))
+			n.ringSender.Retarget(v.Next)
+			n.wt.Reset(uint32(v.Next), n.mq.ValidFront())
+		}
+	} else if n.ringSender != nil {
+		n.wt.Remove(uint32(n.ringSender.To()))
+		n.ringSender.Close()
+		n.ringSender = nil
+	}
+
+	// Top-ring WQ streams follow the next pointer.
+	if v.IsTop && v.Next != seq.None && v.Next != n.id {
+		n.e.EnsureLink(n.id, v.Next)
+		for _, s := range n.wqSenders {
+			s.Retarget(v.Next)
+		}
+	}
+
+	// Children attach themselves with Join (carrying their resume
+	// point); here we only prune senders to children that left.
+	want := make(map[seq.NodeID]bool, len(v.Children))
+	for _, c := range v.Children {
+		want[c] = true
+	}
+	for c, s := range n.childSenders {
+		if !want[c] {
+			s.Close()
+			delete(n.childSenders, c)
+			n.wt.Remove(uint32(c))
+		}
+	}
+
+	// Downstream side of the same protocol: any node with a parent
+	// (ring leaders, APs) joins the parent's fan-out, re-joining
+	// whenever the parent changed. Passive APs wait for members.
+	if v.Parent != seq.None && n.joinedParent != v.Parent && (!n.isAP || n.active) {
+		n.sendJoin(n.mq.Front())
+	}
+	n.release()
+}
+
+// joinAtCurrent is the Join.Resume sentinel asking the parent to start
+// the stream at its current position (join-point semantics for
+// reservations and brand-new subtrees). Any other Resume value r means
+// "I have delivered up to r; continue from r+1, skipping only what your
+// retained window no longer covers".
+const joinAtCurrent = ^seq.GlobalSeq(0)
+
+// sendJoin (re)attaches this node to its parent's delivery fan-out.
+// The courier re-sends until parent traffic confirms.
+func (n *NE) sendJoin(resume seq.GlobalSeq) {
+	p := n.view.Parent
+	if p == seq.None {
+		return
+	}
+	n.e.EnsureLink(n.id, p)
+	n.awaitingJoin = true
+	n.joinedParent = p
+	n.joinCourier.Deliver(p, &msg.Join{Group: n.e.Group, Node: n.id, Resume: resume})
+}
+
+func (n *NE) addChildSender(c seq.NodeID, start seq.GlobalSeq) *transport.Sender {
+	n.e.EnsureLink(n.id, c)
+	s := transport.NewSender(n.e.Net, n.id, c, n.e.Cfg.Hop)
+	n.wireGiveUp(s)
+	n.childSenders[c] = s
+	n.wt.Reset(uint32(c), start)
+	return s
+}
+
+// wireGiveUp converts sender give-up into an in-stream Skip so the
+// downstream neighbor can apply the really-lost rule instead of stalling.
+func (n *NE) wireGiveUp(s *transport.Sender) {
+	s.OnGiveUp = func(sn uint64) {
+		g := seq.GlobalSeq(sn)
+		s.Send(sn, &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}})
+	}
+}
+
+func (n *NE) closeAll() {
+	if n.tauTicker != nil {
+		n.tauTicker.Stop()
+		n.tauTicker = nil
+	}
+	if n.ringSender != nil {
+		n.ringSender.Close()
+		n.ringSender = nil
+	}
+	for _, s := range n.wqSenders {
+		s.Close()
+	}
+	for _, s := range n.childSenders {
+		s.Close()
+	}
+	for _, s := range n.mhSenders {
+		s.Close()
+	}
+	n.tokenCourier.Confirm()
+	n.regenCourier.Confirm()
+	n.joinCourier.Confirm()
+}
+
+// --- source intake (top ring) ---
+
+// acceptSource receives one message from this node's multicast source
+// (paper: at most one source per top-ring node).
+func (n *NE) acceptSource(l seq.LocalSeq, payload []byte) {
+	if n.failed || n.wq == nil {
+		return
+	}
+	d := &msg.Data{Group: n.e.Group, SourceNode: n.id, LocalSeq: l, Payload: payload}
+	if n.wq.ForSource(n.id).Insert(d) {
+		n.forwardWQ(n.id)
+	}
+}
+
+// handleWQData is the top-ring Message-Forwarding receive path for
+// not-yet-ordered messages.
+func (n *NE) handleWQData(from seq.NodeID, d *msg.Data) {
+	if n.wq == nil {
+		return // not a top-ring node (stale delivery after role change)
+	}
+	sq := n.wq.ForSource(d.SourceNode)
+	sq.Insert(d)
+	// Cumulative per-source ack back to the sender.
+	n.e.Net.Send(n.id, from, &msg.Ack{
+		Group:    n.e.Group,
+		From:     n.id,
+		Source:   d.SourceNode,
+		CumLocal: sq.CumReceived(),
+	})
+	n.forwardWQ(d.SourceNode)
+	n.orderAssignSource(d.SourceNode)
+}
+
+// forwardWQ pushes newly contiguous messages from src's queue to the next
+// ring node, unless the next node is the message's corresponding node
+// (paper §4.2.2 condition (A)).
+func (n *NE) forwardWQ(src seq.NodeID) {
+	nx := n.view.Next
+	if nx == seq.None || nx == n.id || nx == src {
+		return
+	}
+	sq := n.wq.ForSource(src)
+	cum := sq.CumReceived()
+	if cum <= n.wqFwd[src] {
+		return
+	}
+	s := n.wqSenders[src]
+	if s == nil {
+		n.e.EnsureLink(n.id, nx)
+		s = transport.NewSender(n.e.Net, n.id, nx, n.e.Cfg.Hop)
+		n.wqSenders[src] = s
+	}
+	for l := n.wqFwd[src] + 1; l <= cum; l++ {
+		d := sq.Get(l)
+		if d == nil {
+			break // already ordered away; next node recovers via Nack
+		}
+		s.Send(uint64(l), d)
+		n.wqFwd[src] = l
+	}
+}
+
+// --- ordered data path (Message-Forwarding in non-top rings +
+// Message-Delivering everywhere) ---
+
+func (n *NE) handleOrderedData(from seq.NodeID, d *msg.Data) {
+	n.confirmJoin(from)
+	_, err := n.mq.Insert(d)
+	if err != nil {
+		// MQ full: drop without ack; upstream retransmission provides
+		// backpressure until release frees space.
+		return
+	}
+	// A top-ring node may learn a body through gap repair before its WQ
+	// copy arrives; keep the WQ mark consistent.
+	if n.wq != nil && d.SourceNode != seq.None {
+		n.wq.ForSource(d.SourceNode).SkipTo(d.LocalSeq)
+	}
+	n.deliverLoop()
+	n.ackUpstream(from)
+}
+
+// confirmJoin stops the Join retry loop once the parent's stream starts.
+func (n *NE) confirmJoin(from seq.NodeID) {
+	if n.awaitingJoin && from == n.view.Parent {
+		n.awaitingJoin = false
+		n.joinCourier.Confirm()
+	}
+}
+
+func (n *NE) handleSkip(from seq.NodeID, s *msg.Skip) {
+	n.confirmJoin(from)
+	max := seq.GlobalSeq(s.Range.Max)
+	switch {
+	case max <= n.mq.Front():
+		// Entirely in the past: just re-acknowledge.
+	case s.Jump && n.mq.Rear() == 0:
+		// Stream-position baseline for a node that joined mid-stream:
+		// jump the whole window and tell our own downstream about the
+		// new baseline.
+		n.mq.ForceRelease(max)
+		n.fanoutJump(max)
+	default:
+		lo := s.Range.Min
+		if f := uint64(n.mq.Front()); lo <= f {
+			lo = f + 1
+		}
+		for g := lo; g <= s.Range.Max; g++ {
+			if err := n.mq.InsertLost(seq.GlobalSeq(g)); err != nil {
+				break
+			}
+		}
+	}
+	n.deliverLoop()
+	n.ackUpstream(from)
+}
+
+// fanoutJump propagates a join-point baseline downstream: everything at
+// or below g predates this subtree's membership.
+func (n *NE) fanoutJump(g seq.GlobalSeq) {
+	sk := &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: 1, Max: uint64(g)}, Jump: true}
+	if n.ringSender != nil {
+		n.ringSender.Send(uint64(g), sk)
+	}
+	for _, cs := range n.sortedChildSenders() {
+		cs.Send(uint64(g), sk)
+	}
+	for _, hs := range n.sortedMHSenders() {
+		hs.Send(uint64(g), sk)
+	}
+}
+
+func (n *NE) ackUpstream(to seq.NodeID) {
+	if to == n.id || to == seq.None {
+		return
+	}
+	n.e.Net.Send(n.id, to, &msg.Ack{Group: n.e.Group, From: n.id, CumGlobal: n.mq.Front()})
+}
+
+// deliverLoop advances the delivery front as far as possible, fanning
+// each message out to the ring successor (non-top rings), active
+// children, and attached MHs. Really-lost gaps propagate as Skip.
+func (n *NE) deliverLoop() {
+	for {
+		d, ok := n.mq.NextDeliverable()
+		if !ok {
+			break
+		}
+		g := n.mq.Front() + 1
+		n.mq.AdvanceFront()
+		if d != nil {
+			n.fanout(g, d)
+		} else {
+			n.fanoutSkip(g)
+		}
+	}
+	n.release()
+}
+
+func (n *NE) fanout(g seq.GlobalSeq, d *msg.Data) {
+	if n.ringSender != nil {
+		n.ringSender.Send(uint64(g), d)
+	}
+	for _, cs := range n.sortedChildSenders() {
+		cs.Send(uint64(g), d)
+	}
+	for _, hs := range n.sortedMHSenders() {
+		hs.Send(uint64(g), d)
+	}
+}
+
+func (n *NE) fanoutSkip(g seq.GlobalSeq) {
+	sk := &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}}
+	if n.ringSender != nil {
+		n.ringSender.Send(uint64(g), sk)
+	}
+	for _, cs := range n.sortedChildSenders() {
+		cs.Send(uint64(g), sk)
+	}
+	for _, hs := range n.sortedMHSenders() {
+		hs.Send(uint64(g), sk)
+	}
+}
+
+func (n *NE) sortedChildSenders() []*transport.Sender {
+	if len(n.childSenders) == 0 {
+		return nil
+	}
+	out := make([]*transport.Sender, 0, len(n.childSenders))
+	for _, c := range n.view.Children {
+		if s := n.childSenders[c]; s != nil {
+			out = append(out, s)
+		}
+	}
+	// Senders for children not in the current view (rare transient)
+	// still need service.
+	if len(out) != len(n.childSenders) {
+		seen := make(map[*transport.Sender]bool, len(out))
+		for _, s := range out {
+			seen[s] = true
+		}
+		for _, s := range n.childSenders {
+			if !seen[s] {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func (n *NE) sortedMHSenders() []*transport.Sender {
+	if len(n.mhSenders) == 0 {
+		return nil
+	}
+	hosts := make([]seq.HostID, 0, len(n.mhSenders))
+	for h := range n.mhSenders {
+		hosts = append(hosts, h)
+	}
+	// Deterministic order.
+	for i := 1; i < len(hosts); i++ {
+		for j := i; j > 0 && hosts[j] < hosts[j-1]; j-- {
+			hosts[j], hosts[j-1] = hosts[j-1], hosts[j]
+		}
+	}
+	out := make([]*transport.Sender, len(hosts))
+	for i, h := range hosts {
+		out[i] = n.mhSenders[h]
+	}
+	return out
+}
+
+// --- acknowledgements and garbage collection ---
+
+func (n *NE) handleAck(from seq.NodeID, a *msg.Ack) {
+	if a.Source != seq.None {
+		// Top-ring per-source WQ ack from the next node.
+		if from == n.view.Next {
+			if s := n.wqSenders[a.Source]; s != nil {
+				s.Ack(uint64(a.CumLocal))
+			}
+		}
+		return
+	}
+	if n.ringSender != nil && from == n.ringSender.To() {
+		n.ringSender.Ack(uint64(a.CumGlobal))
+		n.wt.Set(uint32(from), a.CumGlobal)
+	} else if s := n.childSenders[from]; s != nil {
+		s.Ack(uint64(a.CumGlobal))
+		n.wt.Set(uint32(from), a.CumGlobal)
+	}
+	n.release()
+}
+
+func (n *NE) handleProgress(from seq.NodeID, p *msg.Progress) {
+	if p.Host != 0 {
+		if s := n.mhSenders[p.Host]; s != nil {
+			s.Ack(uint64(p.Max))
+			n.wt.Set(uint32(p.Host), p.Max)
+			n.release()
+		}
+		return
+	}
+	// NE progress reports feed WT directly (used by membership-driven
+	// reporting paths).
+	n.wt.Set(uint32(p.Child), p.Max)
+	n.release()
+}
+
+// release advances ValidFront to the minimum downstream progress, keeping
+// RetainExtra delivered slots for handoff catch-up.
+func (n *NE) release() {
+	target := n.mq.Front()
+	if min, ok := n.wt.Min(); ok && min < target {
+		target = min
+	}
+	retain := seq.GlobalSeq(n.e.Cfg.RetainExtra)
+	if target <= retain {
+		return
+	}
+	target -= retain
+	if target > n.mq.ValidFront() {
+		n.mq.ReleaseUpTo(target)
+	}
+}
+
+// catchUpRing replays this node's retained ordered window to a fresh ring
+// successor.
+func (n *NE) catchUpRing() {
+	if n.ringSender == nil {
+		return
+	}
+	n.wt.Reset(uint32(n.ringSender.To()), n.mq.ValidFront())
+	if vf := n.mq.ValidFront(); vf > 0 {
+		// Baseline for a successor that may be virgin.
+		n.ringSender.Send(uint64(vf), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: 1, Max: uint64(vf)}, Jump: true})
+	}
+	for g := n.mq.ValidFront() + 1; g <= n.mq.Front(); g++ {
+		if d := n.mq.Data(g); d != nil {
+			n.ringSender.Send(uint64(g), d)
+		} else {
+			n.ringSender.Send(uint64(g), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}})
+		}
+	}
+}
+
+// --- gap repair (Nack) ---
+
+func (n *NE) handleNack(from seq.NodeID, nk *msg.Nack) {
+	n.ctrNacks++
+	for g := nk.Range.Min; g <= nk.Range.Max; g++ {
+		if d := n.mq.Data(seq.GlobalSeq(g)); d != nil {
+			n.e.Net.Send(n.id, from, d)
+		}
+	}
+}
+
+// --- AP activity protocol ---
+
+// attachHostFresh binds a brand-new member with join-point semantics:
+// the stream starts wherever the group currently is; the baseline Jump
+// propagates the exact position to the MH.
+func (n *NE) attachHostFresh(h seq.HostID) {
+	if !n.isAP {
+		return
+	}
+	if !n.active {
+		if n.mq.Rear() == 0 {
+			n.activate(joinAtCurrent)
+		} else {
+			n.activate(n.mq.Front())
+		}
+	}
+	n.attachHost(h, n.mq.Front())
+}
+
+// attachHost binds a mobile host to this AP and starts (or resumes) its
+// ordered stream at start+1, skipping anything below the retained window.
+func (n *NE) attachHost(h seq.HostID, start seq.GlobalSeq) {
+	if !n.isAP {
+		return
+	}
+	if !n.active {
+		n.activate(start)
+	}
+	n.e.EnsureLink(n.id, MHNodeID(h))
+	if old := n.mhSenders[h]; old != nil {
+		old.Close()
+	}
+	s := transport.NewSender(n.e.Net, n.id, MHNodeID(h), n.e.Cfg.Wireless)
+	n.wireGiveUp(s)
+	n.mhSenders[h] = s
+	s.Ack(uint64(start)) // nothing at or below the resume point is ever sent
+	eff := start
+	if vf := n.mq.ValidFront(); vf > eff {
+		// The retained window no longer covers the MH's resume point:
+		// the gap is really lost to this MH. The Skip rides the stream
+		// (seqno vf) so it is retransmitted until the MH acknowledges.
+		s.Send(uint64(vf), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(start) + 1, Max: uint64(vf)}})
+		eff = vf
+	}
+	n.wt.Reset(uint32(h), eff)
+	for g := eff + 1; g <= n.mq.Front(); g++ {
+		if d := n.mq.Data(g); d != nil {
+			s.Send(uint64(g), d)
+		} else {
+			s.Send(uint64(g), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}})
+		}
+	}
+	if n.lingerTimer != nil {
+		n.lingerTimer.Stop()
+		n.lingerTimer = nil
+	}
+}
+
+func (n *NE) detachHost(h seq.HostID) {
+	if s := n.mhSenders[h]; s != nil {
+		s.Close()
+		delete(n.mhSenders, h)
+	}
+	n.wt.Remove(uint32(h))
+	n.release()
+	if len(n.mhSenders) == 0 && n.active {
+		// Linger before leaving the tree (hysteresis).
+		n.armLinger()
+	}
+}
+
+func (n *NE) armLinger() {
+	if n.lingerTimer != nil {
+		n.lingerTimer.Stop()
+	}
+	n.lingerTimer = n.e.Scheduler().After(n.e.Cfg.Linger, func() {
+		n.lingerTimer = nil
+		n.maybeDeactivate()
+	})
+}
+
+func (n *NE) maybeDeactivate() {
+	if !n.active || len(n.mhSenders) > 0 {
+		return
+	}
+	if n.now() < n.reservedUntil {
+		// Re-check when the reservation expires.
+		n.e.Scheduler().At(n.reservedUntil, func() { n.maybeDeactivate() })
+		return
+	}
+	n.active = false
+	n.awaitingJoin = false
+	n.joinedParent = seq.None
+	n.joinCourier.Confirm()
+	n.e.Net.Send(n.id, n.view.Parent, &msg.Leave{Group: n.e.Group, Node: n.id})
+}
+
+// activate (re)attaches this AP to the delivery tree via its parent.
+// resume == joinAtCurrent requests the stream from the parent's current
+// position (reservations); any other value resumes the AP's own stream
+// position (or jumps a virgin queue to resume first).
+func (n *NE) activate(resume seq.GlobalSeq) {
+	if n.active {
+		return
+	}
+	n.active = true
+	n.joinedParent = seq.None
+	if resume == joinAtCurrent {
+		if n.view.Parent != seq.None {
+			n.sendJoin(joinAtCurrent)
+		}
+		return
+	}
+	if n.mq.Rear() == 0 && resume > 0 {
+		n.mq.ForceRelease(resume)
+	}
+	// The Join goes out now if the neighbor view is ready, otherwise
+	// refreshNeighbors sends it once the view materializes (engine
+	// start order).
+	if n.view.Parent != seq.None {
+		n.sendJoin(n.mq.Front())
+	}
+}
+
+// handleJoin attaches a child AP to this node's delivery fan-out.
+func (n *NE) handleJoin(from seq.NodeID, j *msg.Join) {
+	if j.Node == seq.None {
+		return // MH-level membership joins are bookkeeping (membership pkg)
+	}
+	c := j.Node
+	// A Join always rebuilds the child's stream: courier retries are
+	// rare (the child confirms on first parent traffic) and a child
+	// that crashed and reset genuinely needs the rebuild; duplicates
+	// cost only re-acked retransmissions.
+	if s := n.childSenders[c]; s != nil {
+		s.Close()
+		delete(n.childSenders, c)
+		n.wt.Remove(uint32(c))
+	}
+	start := j.Resume
+	fresh := start == joinAtCurrent
+	if fresh {
+		start = n.mq.Front() // join-point semantics: from now on
+	}
+	s := n.addChildSender(c, start)
+	eff := start
+	if fresh {
+		// Tell the virgin child where the stream begins. The baseline
+		// Skip rides the sequenced stream so it is retransmitted until
+		// the child acknowledges it.
+		if start > 0 {
+			s.Send(uint64(start), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: 1, Max: uint64(start)}, Jump: true})
+		}
+	} else {
+		s.Ack(uint64(start)) // nothing at or below the resume point is sent
+		if vf := n.mq.ValidFront(); vf > eff {
+			// The resume point fell off the retained window: the gap is
+			// really lost to this child.
+			s.Send(uint64(vf), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(start) + 1, Max: uint64(vf)}})
+			eff = vf
+			n.wt.Reset(uint32(c), eff)
+		}
+	}
+	for g := eff + 1; g <= n.mq.Front(); g++ {
+		if d := n.mq.Data(g); d != nil {
+			s.Send(uint64(g), d)
+		} else {
+			s.Send(uint64(g), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}})
+		}
+	}
+}
+
+func (n *NE) handleLeave(from seq.NodeID, l *msg.Leave) {
+	if l.Node == seq.None {
+		return
+	}
+	if s := n.childSenders[l.Node]; s != nil {
+		s.Close()
+		delete(n.childSenders, l.Node)
+	}
+	n.wt.Remove(uint32(l.Node))
+	n.release()
+}
+
+// handleHandoffNotify resumes delivery for an arriving MH and triggers
+// multicast path reservation at nearby APs (paper §3).
+func (n *NE) handleHandoffNotify(from seq.NodeID, hn *msg.HandoffNotify) {
+	n.attachHost(hn.Host, hn.Delivered)
+	if old := n.e.nes[hn.OldAP]; old != nil && !old.failed {
+		old.detachHost(hn.Host)
+	}
+}
+
+// reserveNearby asks sibling APs (same parent) to pre-establish paths.
+func (n *NE) reserveNearby() {
+	p := n.e.H.Node(n.view.Parent)
+	if p == nil {
+		return
+	}
+	for _, sib := range p.Children {
+		if sib == n.id {
+			continue
+		}
+		if sn := n.e.H.Node(sib); sn == nil || sn.Tier != topology.TierAP {
+			continue
+		}
+		n.e.EnsureLink(n.id, sib)
+		n.e.Net.Send(n.id, sib, &msg.Reserve{Group: n.e.Group, From: n.id, TTL: 1})
+	}
+}
+
+func (n *NE) handleReserve(from seq.NodeID, r *msg.Reserve) {
+	if !n.isAP {
+		return
+	}
+	until := n.now() + n.e.Cfg.ReserveFor
+	if until > n.reservedUntil {
+		n.reservedUntil = until
+	}
+	if !n.active {
+		// A reserved AP has no member with history: join at the
+		// group's current position.
+		if n.mq.Rear() == 0 {
+			n.activate(joinAtCurrent)
+		} else {
+			n.activate(n.mq.Front())
+		}
+	}
+	// A memberless reservation must eventually lapse even though no
+	// member detach will ever arm the linger timer.
+	if len(n.mhSenders) == 0 {
+		n.e.Scheduler().At(n.reservedUntil+1, func() { n.maybeDeactivate() })
+	}
+}
+
+// --- metrics helpers ---
+
+func (n *NE) outstanding() int {
+	total := 0
+	if n.ringSender != nil {
+		total += n.ringSender.Outstanding()
+	}
+	for _, s := range n.wqSenders {
+		total += s.Outstanding()
+	}
+	for _, s := range n.childSenders {
+		total += s.Outstanding()
+	}
+	for _, s := range n.mhSenders {
+		total += s.Outstanding()
+	}
+	return total
+}
+
+func (n *NE) retransmissions() uint64 {
+	total := n.tokenCourier.Retransmissions + n.regenCourier.Retransmissions + n.joinCourier.Retransmissions
+	if n.ringSender != nil {
+		total += n.ringSender.Retransmissions
+	}
+	for _, s := range n.wqSenders {
+		total += s.Retransmissions
+	}
+	for _, s := range n.childSenders {
+		total += s.Retransmissions
+	}
+	for _, s := range n.mhSenders {
+		total += s.Retransmissions
+	}
+	return total
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"repro/internal/msg"
+	"repro/internal/seq"
+)
+
+// This file implements the top-ring algorithms of paper §4.2.1: token
+// circulation (Message-Ordering), the periodic Order-Assignment that
+// copies ordered messages from WQ to MQ, Token-Regeneration after token
+// loss, and Multiple-Token filtering after ring merges.
+
+// handleToken processes an arriving OrderingToken. Steps (paper §4.2.1):
+// update WTSNP and NextGlobalSeqNo from the holder's unordered source
+// messages, keep the token as NewOrderingToken (shifting the previous one
+// to OldOrderingToken), then reliably transfer it to the next node.
+func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
+	if n.failed || tok == nil {
+		return
+	}
+	// Acknowledge receipt to the sender so its courier stops
+	// retransmitting (even for duplicates we then discard).
+	if from != n.id {
+		n.e.Net.Send(n.id, from, &msg.TokenAck{From: n.id, Epoch: tok.Epoch, Next: tok.NextGlobalSeq})
+	}
+	// Duplicate suppression: Hops strictly increases within an epoch, so
+	// anything not strictly newer is a courier retransmit or a stale
+	// copy.
+	if n.stampSet && (tok.Epoch < n.stampEpoch ||
+		(tok.Epoch == n.stampEpoch && tok.Hops <= n.stampHops)) {
+		n.ctrTokenDestroys++
+		return
+	}
+	// Multiple-Token filtering: during the filter window only the
+	// superseding token survives (paper: "keep only one OrderingToken
+	// alive according to some rule").
+	if n.now() < n.filterUntil {
+		if n.bestToken != nil && !tok.Supersedes(n.bestToken) {
+			n.ctrTokenDestroys++
+			return
+		}
+		n.bestToken = tok.Clone()
+	}
+	if n.wq == nil || !n.view.IsTop {
+		// Not a top-ring node (e.g. received mid-reconfiguration):
+		// pass the token along unmodified so it finds the ring.
+		n.held = tok
+		n.forwardHeldToken()
+		return
+	}
+
+	n.holding = true
+	n.held = tok
+	n.lastToken = n.now()
+	n.tokenSeen = true
+
+	// Everything the arriving token has assigned is replicated at the
+	// previous holders: safe to deliver.
+	if tok.NextGlobalSeq > n.safeHorizon {
+		n.safeHorizon = tok.NextGlobalSeq
+	}
+
+	// Assign global numbers to this node's own ready-to-be-ordered
+	// source messages (MinLocalSeqNo..MaxLocalSeqNo in paper terms).
+	hw := tok.Table.MaxAssignedLocal(n.id)
+	cum := n.wq.ForSource(n.id).CumReceived()
+	if cum > hw {
+		if _, err := tok.Assign(n.id, n.id, hw+1, cum); err != nil {
+			// A conflicting assignment can only follow an unresolved
+			// multi-token divergence; drop this token.
+			n.holding = false
+			n.held = nil
+			n.ctrTokenDestroys++
+			return
+		}
+	}
+	// Bound the token's wire size.
+	if n.e.Cfg.CompactAbove > 0 && tok.Table.Len() > n.e.Cfg.CompactAbove {
+		if uint64(tok.NextGlobalSeq) > n.e.Cfg.CompactKeep {
+			tok.Table.Compact(tok.NextGlobalSeq - seq.GlobalSeq(n.e.Cfg.CompactKeep))
+		}
+	}
+
+	// Keep the two most recent token versions (Old/NewOrderingToken)
+	// and fold the assignments into the node's cumulative table.
+	n.oldToken = n.newToken
+	n.newToken = tok.Clone()
+	if n.assign != nil {
+		n.assign.Absorb(tok.Table)
+	}
+	n.stampEpoch, n.stampHops, n.stampSet = tok.Epoch, tok.Hops, true
+
+	// Order opportunistically before the next τ tick (optimization
+	// over the paper's purely periodic Order-Assignment).
+	if n.e.Cfg.OpportunisticAssign {
+		n.orderAssign()
+	}
+
+	// Forward after the (small) holding time.
+	n.e.Scheduler().After(n.e.Cfg.TokenHold, func() { n.forwardHeldToken() })
+}
+
+// forwardHeldToken sends the held token to the current ring successor.
+func (n *NE) forwardHeldToken() {
+	if n.failed || n.held == nil {
+		return
+	}
+	tok := n.held
+	nx := n.view.Next
+	if nx == seq.None || nx == n.id {
+		// Singleton ring: re-visit self after a τ so ordering continues.
+		n.holding = false
+		if tok.NextGlobalSeq > n.safeHorizon {
+			n.safeHorizon = tok.NextGlobalSeq
+		}
+		self := tok.Clone()
+		self.Hops++
+		n.held = nil
+		n.stampSet = false // allow re-processing our own token
+		n.e.Scheduler().After(n.e.Cfg.Tau, func() { n.handleToken(n.id, self) })
+		return
+	}
+	n.holding = false
+	send := tok.Clone()
+	send.Hops++
+	n.tokenExpect = ackExpect{active: true, epoch: send.Epoch, next: send.NextGlobalSeq}
+	n.ctrTokenForwards++
+	n.tokenCourier.Deliver(nx, &msg.TokenMsg{From: n.id, Token: send})
+}
+
+// onTokenCourierFail retries token forwarding after topology repair (the
+// successor may have changed).
+func (n *NE) onTokenCourierFail() {
+	if n.failed || n.held == nil {
+		return
+	}
+	n.tokenExpect = ackExpect{}
+	n.e.Scheduler().After(n.e.Cfg.Hop.RTO, func() {
+		if n.held != nil && !n.failed {
+			n.forwardHeldToken()
+		}
+	})
+}
+
+func (n *NE) handleTokenAck(from seq.NodeID, a *msg.TokenAck) {
+	if n.tokenExpect.active && a.Epoch == n.tokenExpect.epoch && a.Next == n.tokenExpect.next {
+		n.tokenCourier.Confirm()
+		n.tokenExpect = ackExpect{}
+		// The forwarded token now exists at two nodes: its assignments
+		// are stable and may be delivered (stability gate).
+		if a.Next > n.safeHorizon {
+			n.safeHorizon = a.Next
+		}
+		n.held = nil
+		n.lastToken = n.now()
+		if n.e.Cfg.OpportunisticAssign {
+			n.orderAssign()
+		}
+		return
+	}
+	if n.regenExpect.active && a.Epoch == n.regenExpect.epoch && a.Next == n.regenExpect.next {
+		n.regenCourier.Confirm()
+		n.regenExpect = ackExpect{}
+	}
+}
+
+// orderAssign is the Order-Assignment algorithm (paper §4.2.1): match
+// ready-to-be-ordered WQ messages against the stored ordering tokens,
+// stamp global sequence numbers, and copy them to MQ.
+func (n *NE) orderAssign() {
+	if n.failed || n.wq == nil {
+		return
+	}
+	for _, src := range n.wq.Sources() {
+		n.orderAssignSource(src)
+	}
+	if n.e.Cfg.CompactAbove > 0 && n.assign != nil && n.assign.Len() > n.e.Cfg.CompactAbove {
+		vf := n.mq.ValidFront()
+		if vf > 0 {
+			n.assign.Compact(vf)
+		}
+	}
+	n.deliverLoop()
+}
+
+func (n *NE) orderAssignSource(src seq.NodeID) {
+	if n.wq == nil || n.assign == nil {
+		return
+	}
+	n.forwardWQ(src)
+	sq := n.wq.ForSource(src)
+	progressed := false
+	for {
+		l := sq.MaxOrdered() + 1
+		g, ord, ok := n.lookupAssignment(src, l)
+		if !ok {
+			delete(n.stallSince, src)
+			break
+		}
+		if n.e.Cfg.StabilityGate && g >= n.safeHorizon {
+			break
+		}
+		body := sq.Get(l)
+		if body == nil {
+			n.maybeNack(src, g)
+			break
+		}
+		stamped := body.Clone()
+		stamped.OrderingNode = ord
+		stamped.GlobalSeq = g
+		if _, err := n.mq.Insert(stamped); err != nil {
+			break // MQ full: resume next tick after release
+		}
+		sq.Extract(l, l)
+		delete(n.stallSince, src)
+		progressed = true
+	}
+	if progressed {
+		n.deliverLoop()
+	}
+}
+
+// lookupAssignment consults the cumulative assignment table first, then
+// the two stored token versions (New/OldOrderingToken) as the paper
+// prescribes.
+func (n *NE) lookupAssignment(src seq.NodeID, l seq.LocalSeq) (seq.GlobalSeq, seq.NodeID, bool) {
+	if n.assign != nil {
+		if g, ord, ok := n.assign.GlobalFor(src, l); ok {
+			return g, ord, true
+		}
+	}
+	if n.newToken != nil {
+		if g, ord, ok := n.newToken.Table.GlobalFor(src, l); ok {
+			return g, ord, true
+		}
+	}
+	if n.oldToken != nil {
+		if g, ord, ok := n.oldToken.Table.GlobalFor(src, l); ok {
+			return g, ord, true
+		}
+	}
+	return 0, seq.None, false
+}
+
+// maybeNack requests a missing body from the previous ring node once the
+// stall exceeds NackTimeout. The body is known to be ordered (assignment
+// exists) so the previous node can serve it from its MQ.
+func (n *NE) maybeNack(src seq.NodeID, g seq.GlobalSeq) {
+	since, ok := n.stallSince[src]
+	if !ok {
+		n.stallSince[src] = n.now()
+		return
+	}
+	if n.now()-since < n.e.Cfg.NackTimeout {
+		return
+	}
+	n.stallSince[src] = n.now()
+	prev := n.view.Previous
+	if prev == seq.None || prev == n.id {
+		return
+	}
+	n.ctrNacks++
+	n.e.Net.Send(n.id, prev, &msg.Nack{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}})
+}
+
+// --- Token-Regeneration (paper §4.2.1) ---
+
+// onTokenLoss handles the membership protocol's Token-Loss signal. If
+// Message-Ordering "runs well" here (recent token activity) the signal is
+// ignored; otherwise a Token-Regeneration message encapsulating this
+// node's NewOrderingToken starts traversing the ring.
+func (n *NE) onTokenLoss() {
+	if n.failed || !n.view.IsTop {
+		return
+	}
+	if n.ordersWell() {
+		return
+	}
+	tok := n.bestLocalToken()
+	nx := n.view.Next
+	if nx == seq.None || nx == n.id {
+		// Alone on the ring: restart immediately.
+		restart := tok.Clone()
+		restart.Epoch++
+		n.ctrRegens++
+		n.handleToken(n.id, restart)
+		return
+	}
+	n.ctrRegens++
+	rg := &msg.TokenRegen{Origin: n.id, From: n.id, Token: tok.Clone()}
+	n.regenExpect = ackExpect{active: true, epoch: rg.Token.Epoch, next: rg.Token.NextGlobalSeq}
+	n.regenCourier.Deliver(nx, rg)
+}
+
+// ordersWell reports whether this node has seen token activity recently
+// (or is holding the token right now).
+func (n *NE) ordersWell() bool {
+	if n.holding || n.held != nil {
+		return true
+	}
+	return n.tokenSeen && n.now()-n.lastToken < n.e.Cfg.TokenLossThreshold
+}
+
+func (n *NE) bestLocalToken() *seq.Token {
+	if n.newToken != nil {
+		return n.newToken
+	}
+	if n.oldToken != nil {
+		return n.oldToken
+	}
+	return seq.NewToken(n.e.Group)
+}
+
+// handleTokenRegen implements the traversal rules: a node where ordering
+// runs well destroys the message; the origin restarts with the best token
+// seen (epoch bumped); otherwise the message is re-encapsulated with a
+// newer local token if available and forwarded.
+//
+// Deviation from the paper (documented in DESIGN.md): the paper restarts
+// at the first node whose NewOrderingToken is not older than the
+// message's; we let the message complete the full circle back to its
+// origin so it collects the maximum NextGlobalSeqNo among survivors,
+// which prevents duplicate global sequence numbers when surviving nodes
+// hold tokens of different ages.
+func (n *NE) handleTokenRegen(from seq.NodeID, rg *msg.TokenRegen) {
+	if n.failed || rg.Token == nil {
+		return
+	}
+	if from != n.id {
+		n.e.Net.Send(n.id, from, &msg.TokenAck{From: n.id, Epoch: rg.Token.Epoch, Next: rg.Token.NextGlobalSeq})
+	}
+	// Duplicate suppression for courier retransmits.
+	stamp := regenStamp{origin: rg.Origin, next: rg.Token.NextGlobalSeq, epoch: rg.Token.Epoch, set: true}
+	if n.lastRegen == stamp {
+		return
+	}
+	n.lastRegen = stamp
+
+	if n.ordersWell() {
+		n.ctrTokenDestroys++
+		return
+	}
+	if rg.Origin == n.id {
+		// Full circle: restart Message-Ordering here with the best
+		// token collected, at a fresh epoch.
+		restart := rg.Token.Clone()
+		restart.Epoch++
+		restart.Hops = 0
+		n.stampSet = false
+		n.handleToken(n.id, restart)
+		return
+	}
+	fwd := &msg.TokenRegen{Origin: rg.Origin, From: n.id, Token: rg.Token}
+	if best := n.bestLocalToken(); best.NextGlobalSeq > rg.Token.NextGlobalSeq {
+		fwd.Token = best.Clone()
+	}
+	nx := n.view.Next
+	if nx == seq.None || nx == n.id {
+		// Ring collapsed to this node: restart here.
+		restart := fwd.Token.Clone()
+		restart.Epoch++
+		restart.Hops = 0
+		n.stampSet = false
+		n.handleToken(n.id, restart)
+		return
+	}
+	n.regenExpect = ackExpect{active: true, epoch: fwd.Token.Epoch, next: fwd.Token.NextGlobalSeq}
+	n.regenCourier.Deliver(nx, fwd)
+}
+
+// onMultipleToken arms the Multiple-Token filter after a ring merge.
+func (n *NE) onMultipleToken() {
+	if n.failed {
+		return
+	}
+	n.filterUntil = n.now() + n.e.Cfg.FilterWindow
+	if n.newToken != nil {
+		n.bestToken = n.newToken.Clone()
+	} else {
+		n.bestToken = nil
+	}
+}

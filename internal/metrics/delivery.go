@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+	"repro/internal/sim"
+)
+
+// DeliveryLog verifies end-to-end multicast properties while measuring
+// them: it records, per receiver, the global-sequence stream actually
+// delivered and checks the total-order and no-duplicate invariants
+// online. It also computes per-message latency against a send-time table
+// maintained by the workload generator.
+type DeliveryLog struct {
+	// sendTime maps (source, local seq) to the virtual send time.
+	sendTime map[sendKey]sim.Time
+	// content maps global seq to (source, local) for cross-receiver
+	// consistency checking.
+	content map[seq.GlobalSeq]sendKey
+	// perReceiver tracks each receiver's last delivered global seq and
+	// delivered set size.
+	perReceiver map[uint32]*receiverState
+
+	Latency   Sample  // seconds, across all receivers
+	Delivered Counter // total deliveries across receivers
+	Gaps      Counter // really-lost messages skipped
+	violation error
+}
+
+type sendKey struct {
+	Source seq.NodeID
+	Local  seq.LocalSeq
+}
+
+type receiverState struct {
+	last      seq.GlobalSeq
+	delivered uint64
+	// firstAt/lastAt bracket this receiver's delivery activity.
+	firstAt, lastAt sim.Time
+	// maxGapAt tracks the largest inter-delivery gap (handoff
+	// disruption metric).
+	maxGap sim.Time
+	// joined marks receivers that started mid-stream; their first
+	// delivery may begin past 1.
+	seen bool
+}
+
+// NewDeliveryLog returns an empty log.
+func NewDeliveryLog() *DeliveryLog {
+	return &DeliveryLog{
+		sendTime:    make(map[sendKey]sim.Time),
+		content:     make(map[seq.GlobalSeq]sendKey),
+		perReceiver: make(map[uint32]*receiverState),
+	}
+}
+
+// Sent records that (src, local) was submitted at time t.
+func (l *DeliveryLog) Sent(src seq.NodeID, local seq.LocalSeq, t sim.Time) {
+	l.sendTime[sendKey{src, local}] = t
+}
+
+// SentCount returns the number of recorded sends.
+func (l *DeliveryLog) SentCount() int { return len(l.sendTime) }
+
+// Deliver records that receiver recv delivered global sequence g carrying
+// (src, local) at time t, and checks invariants:
+//   - per-receiver global sequence strictly increases (total order);
+//   - all receivers agree on the content of each global sequence.
+func (l *DeliveryLog) Deliver(recv uint32, g seq.GlobalSeq, src seq.NodeID, local seq.LocalSeq, t sim.Time) {
+	st, ok := l.perReceiver[recv]
+	if !ok {
+		st = &receiverState{}
+		l.perReceiver[recv] = st
+	}
+	if st.seen && g <= st.last {
+		l.fail(fmt.Errorf("receiver %d: global seq %d after %d (order violation or duplicate)", recv, g, st.last))
+		return
+	}
+	key := sendKey{src, local}
+	if prev, ok := l.content[g]; ok {
+		if prev != key {
+			l.fail(fmt.Errorf("global seq %d delivered as %v at receiver %d but %v elsewhere", g, key, recv, prev))
+			return
+		}
+	} else {
+		l.content[g] = key
+	}
+	if st.seen {
+		if gap := t - st.lastAt; gap > st.maxGap {
+			st.maxGap = gap
+		}
+	} else {
+		st.firstAt = t
+	}
+	st.seen = true
+	st.last = g
+	st.lastAt = t
+	st.delivered++
+	l.Delivered.Inc()
+	if sent, ok := l.sendTime[key]; ok {
+		l.Latency.AddTime(t - sent)
+	}
+}
+
+// Skip records that receiver recv skipped global sequence g as really
+// lost.
+func (l *DeliveryLog) Skip(recv uint32, g seq.GlobalSeq) { l.Gaps.Inc() }
+
+func (l *DeliveryLog) fail(err error) {
+	if l.violation == nil {
+		l.violation = err
+	}
+}
+
+// Err returns the first invariant violation observed, if any.
+func (l *DeliveryLog) Err() error { return l.violation }
+
+// Receivers returns the number of receivers that delivered anything.
+func (l *DeliveryLog) Receivers() int { return len(l.perReceiver) }
+
+// DeliveredAt returns how many messages receiver recv delivered.
+func (l *DeliveryLog) DeliveredAt(recv uint32) uint64 {
+	if st, ok := l.perReceiver[recv]; ok {
+		return st.delivered
+	}
+	return 0
+}
+
+// LastAt returns the highest global sequence receiver recv delivered.
+func (l *DeliveryLog) LastAt(recv uint32) seq.GlobalSeq {
+	if st, ok := l.perReceiver[recv]; ok {
+		return st.last
+	}
+	return 0
+}
+
+// MaxGapAt returns the largest inter-delivery gap at recv (handoff
+// disruption), or 0.
+func (l *DeliveryLog) MaxGapAt(recv uint32) sim.Time {
+	if st, ok := l.perReceiver[recv]; ok {
+		return st.maxGap
+	}
+	return 0
+}
+
+// MaxGap returns the largest inter-delivery gap across receivers.
+func (l *DeliveryLog) MaxGap() sim.Time {
+	var m sim.Time
+	for _, st := range l.perReceiver {
+		if st.maxGap > m {
+			m = st.maxGap
+		}
+	}
+	return m
+}
+
+// MinDelivered returns the smallest per-receiver delivery count (all
+// receivers should converge when the run quiesces).
+func (l *DeliveryLog) MinDelivered() uint64 {
+	first := true
+	var min uint64
+	for _, st := range l.perReceiver {
+		if first || st.delivered < min {
+			min = st.delivered
+			first = false
+		}
+	}
+	if first {
+		return 0
+	}
+	return min
+}
+
+// Throughput returns deliveries per second per receiver measured from
+// each receiver's first to last delivery, averaged across receivers.
+func (l *DeliveryLog) Throughput() float64 {
+	var sum float64
+	var n int
+	for _, st := range l.perReceiver {
+		span := (st.lastAt - st.firstAt).Seconds()
+		if span <= 0 || st.delivered < 2 {
+			continue
+		}
+		sum += float64(st.delivered-1) / span
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

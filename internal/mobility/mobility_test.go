@@ -1,0 +1,128 @@
+package mobility
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/seq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func rig(t *testing.T) (*sim.Scheduler, *core.Engine, *topology.Built, *sim.RNG) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	sched.MaxEvents = 50_000_000
+	net := netsim.New(sched, sim.NewRNG(3))
+	b, err := topology.Build(topology.Spec{BRs: 3, AGRings: 2, AGSize: 2, APsPerAG: 2, MHsPerAP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(1, core.DefaultConfig(), net, b.H)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return sched, e, b, sim.NewRNG(99)
+}
+
+func TestRandomWalkMovesHosts(t *testing.T) {
+	sched, e, b, rng := rig(t)
+	mv := New(e, rng, b.APs, Config{MeanDwell: 100 * sim.Millisecond})
+	mv.Start(b.Hosts)
+	if _, err := sched.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Handoffs < 50 {
+		t.Fatalf("only %d handoffs in 5s with 100ms dwell over %d hosts", mv.Handoffs, len(b.Hosts))
+	}
+	// Hierarchy remains sound under churn.
+	if err := e.H.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliveryContinuesUnderChurn(t *testing.T) {
+	sched, e, b, rng := rig(t)
+	mv := New(e, rng, b.APs, Config{MeanDwell: 200 * sim.Millisecond, Reserve: true})
+	mv.Start(b.Hosts)
+	const n = 100
+	for i := 0; i < n; i++ {
+		at := sim.Time(50+i*3) * sim.Millisecond
+		sched.At(at, func() { e.Submit(b.BRs[0], []byte("churn")) })
+	}
+	if _, err := sched.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	mv.Stop()
+	if _, err := sched.Run(12 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Log.Err(); err != nil {
+		t.Fatalf("ordering violated under churn: %v", err)
+	}
+	if min := e.Log.MinDelivered(); min != n {
+		t.Fatalf("MinDelivered = %d, want %d (gaps=%d)", min, n, e.Log.Gaps.Value())
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	sched, e, b, rng := rig(t)
+	hot := b.APs[0]
+	mv := New(e, rng, b.APs, Config{
+		MeanDwell: 50 * sim.Millisecond,
+		Pattern:   Hotspot{AP: hot, Bias: 0.9},
+	})
+	mv.Start(b.Hosts)
+	if _, err := sched.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// With strong bias, the hotspot AP should host a disproportionate
+	// share at steady state (8 hosts, 8 APs: uniform share is 1).
+	if got := len(e.H.HostsAt(hot)); got < 2 {
+		t.Fatalf("hotspot AP hosts %d, want clustering", got)
+	}
+}
+
+func TestOrphanRescueAfterAPFailure(t *testing.T) {
+	sched, e, b, rng := rig(t)
+	mv := New(e, rng, b.APs, Config{
+		MeanDwell:   time10s(), // effectively static: only rescue moves hosts
+		RescueAfter: 100 * sim.Millisecond,
+	})
+	mv.Start(b.Hosts)
+	victim := b.APs[0]
+	orphans := e.H.HostsAt(victim)
+	if len(orphans) == 0 {
+		t.Fatal("no hosts on victim AP")
+	}
+	sched.At(200*sim.Millisecond, func() { e.FailNode(victim) })
+	if _, err := sched.Run(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range orphans {
+		if ap := e.H.APOf(h); ap == victim {
+			t.Fatalf("host %v still on crashed AP", h)
+		}
+	}
+	if mv.Handoffs == 0 {
+		t.Fatal("rescue produced no handoffs")
+	}
+}
+
+func time10s() sim.Time { return 10 * sim.Second }
+
+func TestPatternInterfaces(t *testing.T) {
+	rng := sim.NewRNG(1)
+	nbrs := []seq.NodeID{2, 3, 4}
+	for i := 0; i < 100; i++ {
+		got := (RandomWalk{}).Next(rng, 1, nbrs)
+		if got != 2 && got != 3 && got != 4 {
+			t.Fatalf("RandomWalk picked %v", got)
+		}
+	}
+	h := Hotspot{AP: 2, Bias: 1}
+	if got := h.Next(rng, 1, nbrs); got != 2 {
+		t.Fatalf("Hotspot with bias 1 picked %v", got)
+	}
+}

@@ -1,0 +1,46 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func BenchmarkEncodeData(b *testing.B) {
+	d := &Data{Group: 1, SourceNode: 2, LocalSeq: 3, OrderingNode: 4, GlobalSeq: 5, Payload: make([]byte, 256)}
+	b.ReportAllocs()
+	b.SetBytes(int64(d.WireSize()))
+	for i := 0; i < b.N; i++ {
+		if buf := Encode(d); len(buf) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkDecodeData(b *testing.B) {
+	d := &Data{Group: 1, SourceNode: 2, LocalSeq: 3, OrderingNode: 4, GlobalSeq: 5, Payload: make([]byte, 256)}
+	buf := Encode(d)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeToken(b *testing.B) {
+	tok := seq.NewToken(1)
+	for i := 0; i < 64; i++ {
+		if _, err := tok.Assign(seq.NodeID(i%8+1), 9, seq.LocalSeq(i/8*4+1), seq.LocalSeq(i/8*4+4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := &TokenMsg{From: 1, Token: tok}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if buf := Encode(m); len(buf) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

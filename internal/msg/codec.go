@@ -1,0 +1,349 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// The binary wire format is little-endian, one leading Kind byte, then
+// fixed-width fields in declaration order. Variable-length payloads and
+// WTSNP tables are length-prefixed with uint32 counts. The codec exists so
+// the simulated network can carry realistic byte counts and so the
+// concurrent runtime can move messages across real channels/sockets
+// without sharing memory.
+
+// ErrTruncated is returned when a buffer ends before the message does.
+var ErrTruncated = errors.New("msg: truncated message")
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:])
+	r.off += n
+	return b
+}
+
+func encodeToken(w *writer, t *seq.Token) {
+	if t == nil {
+		w.u8(0)
+		return
+	}
+	w.u8(1)
+	w.u32(uint32(t.Group))
+	w.u64(uint64(t.NextGlobalSeq))
+	w.u64(t.Epoch)
+	w.u64(t.Hops)
+	entries := t.Table.Entries()
+	w.u32(uint32(len(entries)))
+	for _, e := range entries {
+		w.u32(uint32(e.SourceNode))
+		w.u32(uint32(e.OrderingNode))
+		w.u64(e.Local.Min)
+		w.u64(e.Local.Max)
+		w.u64(e.Global.Min)
+		w.u64(e.Global.Max)
+	}
+}
+
+func decodeToken(r *reader) (*seq.Token, error) {
+	if r.u8() == 0 {
+		return nil, r.err
+	}
+	t := seq.NewToken(seq.GroupID(r.u32()))
+	t.NextGlobalSeq = seq.GlobalSeq(r.u64())
+	t.Epoch = r.u64()
+	t.Hops = r.u64()
+	n := int(r.u32())
+	for i := 0; i < n; i++ {
+		p := seq.Pair{
+			SourceNode:   seq.NodeID(r.u32()),
+			OrderingNode: seq.NodeID(r.u32()),
+		}
+		p.Local.Min = r.u64()
+		p.Local.Max = r.u64()
+		p.Global.Min = r.u64()
+		p.Global.Max = r.u64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if err := t.Table.Append(p); err != nil {
+			return nil, fmt.Errorf("msg: decoding token: %w", err)
+		}
+	}
+	return t, r.err
+}
+
+// Encode serializes m to a fresh byte slice.
+func Encode(m Message) []byte {
+	w := &writer{buf: make([]byte, 0, m.WireSize())}
+	w.u8(uint8(m.Kind()))
+	switch v := m.(type) {
+	case *Data:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.SourceNode))
+		w.u64(uint64(v.LocalSeq))
+		w.u32(uint32(v.OrderingNode))
+		w.u64(uint64(v.GlobalSeq))
+		w.bytes(v.Payload)
+	case *SourceData:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.SourceNode))
+		w.u64(uint64(v.LocalSeq))
+		w.bytes(v.Payload)
+	case *Ack:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.From))
+		w.u32(uint32(v.Source))
+		w.u64(uint64(v.CumLocal))
+		w.u64(uint64(v.CumGlobal))
+	case *Nack:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.From))
+		w.u64(v.Range.Min)
+		w.u64(v.Range.Max)
+	case *TokenMsg:
+		w.u32(uint32(v.From))
+		encodeToken(w, v.Token)
+	case *TokenAck:
+		w.u32(uint32(v.From))
+		w.u64(v.Epoch)
+		w.u64(uint64(v.Next))
+	case *TokenLoss:
+		w.u32(uint32(v.Group))
+	case *TokenRegen:
+		w.u32(uint32(v.Origin))
+		w.u32(uint32(v.From))
+		encodeToken(w, v.Token)
+	case *MultipleToken:
+		w.u32(uint32(v.Group))
+	case *Join:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.Host))
+		w.u32(uint32(v.Node))
+		w.u32(v.Batch)
+		w.u64(uint64(v.Resume))
+	case *Leave:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.Host))
+		w.u32(uint32(v.Node))
+		if v.Failure {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.u32(v.Batch)
+	case *HandoffNotify:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.Host))
+		w.u32(uint32(v.OldAP))
+		w.u64(uint64(v.Delivered))
+	case *HandoffLeave:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.Host))
+		w.u32(uint32(v.NewAP))
+	case *Reserve:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.From))
+		w.u8(v.TTL)
+	case *Progress:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.Child))
+		w.u32(uint32(v.Host))
+		w.u64(uint64(v.Max))
+	case *Heartbeat:
+		w.u32(uint32(v.From))
+	case *Skip:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.From))
+		w.u64(v.Range.Min)
+		w.u64(v.Range.Max)
+		if v.Jump {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	default:
+		panic(fmt.Sprintf("msg: cannot encode %T", m))
+	}
+	return w.buf
+}
+
+// Decode parses a message produced by Encode.
+func Decode(buf []byte) (Message, error) {
+	r := &reader{buf: buf}
+	kind := Kind(r.u8())
+	var m Message
+	switch kind {
+	case KindData:
+		v := &Data{}
+		v.Group = seq.GroupID(r.u32())
+		v.SourceNode = seq.NodeID(r.u32())
+		v.LocalSeq = seq.LocalSeq(r.u64())
+		v.OrderingNode = seq.NodeID(r.u32())
+		v.GlobalSeq = seq.GlobalSeq(r.u64())
+		v.Payload = r.bytes()
+		m = v
+	case KindSourceData:
+		v := &SourceData{}
+		v.Group = seq.GroupID(r.u32())
+		v.SourceNode = seq.NodeID(r.u32())
+		v.LocalSeq = seq.LocalSeq(r.u64())
+		v.Payload = r.bytes()
+		m = v
+	case KindAck:
+		v := &Ack{}
+		v.Group = seq.GroupID(r.u32())
+		v.From = seq.NodeID(r.u32())
+		v.Source = seq.NodeID(r.u32())
+		v.CumLocal = seq.LocalSeq(r.u64())
+		v.CumGlobal = seq.GlobalSeq(r.u64())
+		m = v
+	case KindNack:
+		v := &Nack{}
+		v.Group = seq.GroupID(r.u32())
+		v.From = seq.NodeID(r.u32())
+		v.Range.Min = r.u64()
+		v.Range.Max = r.u64()
+		m = v
+	case KindToken:
+		v := &TokenMsg{}
+		v.From = seq.NodeID(r.u32())
+		tok, err := decodeToken(r)
+		if err != nil {
+			return nil, err
+		}
+		v.Token = tok
+		m = v
+	case KindTokenAck:
+		v := &TokenAck{}
+		v.From = seq.NodeID(r.u32())
+		v.Epoch = r.u64()
+		v.Next = seq.GlobalSeq(r.u64())
+		m = v
+	case KindTokenLoss:
+		m = &TokenLoss{Group: seq.GroupID(r.u32())}
+	case KindTokenRegen:
+		v := &TokenRegen{}
+		v.Origin = seq.NodeID(r.u32())
+		v.From = seq.NodeID(r.u32())
+		tok, err := decodeToken(r)
+		if err != nil {
+			return nil, err
+		}
+		v.Token = tok
+		m = v
+	case KindMultipleToken:
+		m = &MultipleToken{Group: seq.GroupID(r.u32())}
+	case KindJoin:
+		v := &Join{}
+		v.Group = seq.GroupID(r.u32())
+		v.Host = seq.HostID(r.u32())
+		v.Node = seq.NodeID(r.u32())
+		v.Batch = r.u32()
+		v.Resume = seq.GlobalSeq(r.u64())
+		m = v
+	case KindLeave:
+		v := &Leave{}
+		v.Group = seq.GroupID(r.u32())
+		v.Host = seq.HostID(r.u32())
+		v.Node = seq.NodeID(r.u32())
+		v.Failure = r.u8() == 1
+		v.Batch = r.u32()
+		m = v
+	case KindHandoffNotify:
+		v := &HandoffNotify{}
+		v.Group = seq.GroupID(r.u32())
+		v.Host = seq.HostID(r.u32())
+		v.OldAP = seq.NodeID(r.u32())
+		v.Delivered = seq.GlobalSeq(r.u64())
+		m = v
+	case KindHandoffLeave:
+		v := &HandoffLeave{}
+		v.Group = seq.GroupID(r.u32())
+		v.Host = seq.HostID(r.u32())
+		v.NewAP = seq.NodeID(r.u32())
+		m = v
+	case KindReserve:
+		v := &Reserve{}
+		v.Group = seq.GroupID(r.u32())
+		v.From = seq.NodeID(r.u32())
+		v.TTL = r.u8()
+		m = v
+	case KindProgress:
+		v := &Progress{}
+		v.Group = seq.GroupID(r.u32())
+		v.Child = seq.NodeID(r.u32())
+		v.Host = seq.HostID(r.u32())
+		v.Max = seq.GlobalSeq(r.u64())
+		m = v
+	case KindHeartbeat:
+		m = &Heartbeat{From: seq.NodeID(r.u32())}
+	case KindSkip:
+		v := &Skip{}
+		v.Group = seq.GroupID(r.u32())
+		v.From = seq.NodeID(r.u32())
+		v.Range.Min = r.u64()
+		v.Range.Max = r.u64()
+		v.Jump = r.u8() == 1
+		m = v
+	default:
+		return nil, fmt.Errorf("msg: unknown kind %d", kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}

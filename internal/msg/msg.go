@@ -1,0 +1,340 @@
+// Package msg defines the wire messages exchanged by RingNet protocol
+// entities: multicast data, per-hop acknowledgements, the ordering token,
+// token-recovery control, membership and handoff control, and delivery
+// progress reports. A compact binary encoding is provided so simulated
+// links can account for realistic message sizes.
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+	// KindData carries one multicast payload (paper §4.1 message
+	// attributes: SourceNode, LocalSeqNo, OrderingNode, GlobalSeqNo,
+	// Payload).
+	KindData
+	// KindAck acknowledges receipt of data up to a sequence number on a
+	// local scope (one hop). Used by the retransmission scheme.
+	KindAck
+	// KindNack requests retransmission of specific sequence numbers.
+	KindNack
+	// KindToken carries the OrderingToken along the top ring.
+	KindToken
+	// KindTokenAck acknowledges token receipt (reliable token transfer).
+	KindTokenAck
+	// KindTokenLoss is the membership protocol's Token-Loss signal
+	// (paper §4.2.1), sent to a top-ring node after topology maintenance.
+	KindTokenLoss
+	// KindTokenRegen is the Token-Regeneration message that traverses
+	// the top ring encapsulating a NewOrderingToken.
+	KindTokenRegen
+	// KindMultipleToken is the membership protocol's Multiple-Token
+	// signal after two top rings merge.
+	KindMultipleToken
+	// KindJoin/KindLeave propagate membership changes up the hierarchy.
+	KindJoin
+	KindLeave
+	// KindHandoffNotify tells an AP that an MH arrived, carrying the
+	// MH's delivery high-water mark so delivery resumes without gaps.
+	KindHandoffNotify
+	// KindHandoffLeave tells the old AP that an MH departed.
+	KindHandoffLeave
+	// KindReserve asks a nearby AP to pre-build a multicast path
+	// (multicast-based smooth handoff, paper §3).
+	KindReserve
+	// KindProgress reports a child's MaxGlobalSeqNo back to its parent
+	// (feeds the parent's WT and garbage collection).
+	KindProgress
+	// KindHeartbeat keeps failure detectors informed.
+	KindHeartbeat
+	// KindSourceData carries a source's message to its corresponding
+	// top-ring node (the paper's "interface mechanism").
+	KindSourceData
+	// KindSkip tells a downstream neighbor that a global-sequence range
+	// was abandoned after retry exhaustion: the receiver applies the
+	// really-lost rule (Received=false, Waiting=false ⇒ Delivered) so
+	// its delivery front can move past the gap.
+	KindSkip
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:       "invalid",
+	KindData:          "data",
+	KindAck:           "ack",
+	KindNack:          "nack",
+	KindToken:         "token",
+	KindTokenAck:      "token-ack",
+	KindTokenLoss:     "token-loss",
+	KindTokenRegen:    "token-regen",
+	KindMultipleToken: "multiple-token",
+	KindJoin:          "join",
+	KindLeave:         "leave",
+	KindHandoffNotify: "handoff-notify",
+	KindHandoffLeave:  "handoff-leave",
+	KindReserve:       "reserve",
+	KindProgress:      "progress",
+	KindHeartbeat:     "heartbeat",
+	KindSourceData:    "source-data",
+	KindSkip:          "skip",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Message is any RingNet wire message.
+type Message interface {
+	Kind() Kind
+	// WireSize is the encoded size in bytes, used by the bandwidth model.
+	WireSize() int
+}
+
+// Data is one multicast message (paper §4.1). Before ordering,
+// GlobalSeq is 0 and OrderingNode is None; Order-Assignment fills them in.
+type Data struct {
+	Group        seq.GroupID
+	SourceNode   seq.NodeID
+	LocalSeq     seq.LocalSeq
+	OrderingNode seq.NodeID
+	GlobalSeq    seq.GlobalSeq
+	Payload      []byte
+}
+
+func (*Data) Kind() Kind      { return KindData }
+func (d *Data) WireSize() int { return 1 + 4 + 4 + 8 + 4 + 8 + 4 + len(d.Payload) }
+func (d *Data) Ordered() bool { return d.GlobalSeq != 0 }
+func (d *Data) String() string {
+	return fmt.Sprintf("data{g=%d src=%v l=%d ord=%v G=%d |p|=%d}",
+		d.Group, d.SourceNode, d.LocalSeq, d.OrderingNode, d.GlobalSeq, len(d.Payload))
+}
+
+// Clone returns a copy sharing the payload bytes (payloads are immutable
+// by convention).
+func (d *Data) Clone() *Data {
+	c := *d
+	return &c
+}
+
+// SourceData is a source's submission to its corresponding top-ring node.
+type SourceData struct {
+	Group      seq.GroupID
+	SourceNode seq.NodeID // the corresponding node's identity (at most one source per node)
+	LocalSeq   seq.LocalSeq
+	Payload    []byte
+}
+
+func (*SourceData) Kind() Kind      { return KindSourceData }
+func (s *SourceData) WireSize() int { return 1 + 4 + 4 + 8 + 4 + len(s.Payload) }
+
+// Ack acknowledges, on one hop, cumulative receipt of a stream.
+// For top-ring WQ forwarding the stream is (Source, CumLocal); for MQ
+// forwarding and delivering the stream is the global order (CumGlobal).
+type Ack struct {
+	Group     seq.GroupID
+	From      seq.NodeID
+	Source    seq.NodeID
+	CumLocal  seq.LocalSeq
+	CumGlobal seq.GlobalSeq
+}
+
+func (*Ack) Kind() Kind      { return KindAck }
+func (a *Ack) WireSize() int { return 1 + 4 + 4 + 4 + 8 + 8 }
+
+// Nack requests retransmission of a specific global sequence range.
+type Nack struct {
+	Group seq.GroupID
+	From  seq.NodeID
+	Range seq.Range
+}
+
+func (*Nack) Kind() Kind      { return KindNack }
+func (n *Nack) WireSize() int { return 1 + 4 + 4 + 16 }
+
+// TokenMsg carries the ordering token to the next top-ring node.
+type TokenMsg struct {
+	From  seq.NodeID
+	Token *seq.Token
+}
+
+func (*TokenMsg) Kind() Kind { return KindToken }
+func (t *TokenMsg) WireSize() int {
+	// Token header + 40 bytes per WTSNP entry.
+	n := 1 + 4 + 8 + 8 + 8
+	if t.Token != nil {
+		n += 40 * t.Token.Table.Len()
+	}
+	return n
+}
+
+// TokenAck acknowledges reliable token transfer.
+type TokenAck struct {
+	From  seq.NodeID
+	Epoch uint64
+	Next  seq.GlobalSeq
+}
+
+func (*TokenAck) Kind() Kind      { return KindTokenAck }
+func (t *TokenAck) WireSize() int { return 1 + 4 + 8 + 8 }
+
+// TokenLoss is the membership protocol's signal that the token may have
+// been lost during topology maintenance.
+type TokenLoss struct {
+	Group seq.GroupID
+}
+
+func (*TokenLoss) Kind() Kind      { return KindTokenLoss }
+func (t *TokenLoss) WireSize() int { return 1 + 4 }
+
+// TokenRegen traverses the top ring during Token-Regeneration,
+// encapsulating the best NewOrderingToken seen so far. Origin detects a
+// full circulation.
+type TokenRegen struct {
+	Origin seq.NodeID
+	From   seq.NodeID
+	Token  *seq.Token
+}
+
+func (*TokenRegen) Kind() Kind { return KindTokenRegen }
+func (t *TokenRegen) WireSize() int {
+	n := 1 + 4 + 4 + 8 + 8
+	if t.Token != nil {
+		n += 40 * t.Token.Table.Len()
+	}
+	return n
+}
+
+// MultipleToken is the membership protocol's signal that ring merging may
+// have produced multiple live tokens.
+type MultipleToken struct {
+	Group seq.GroupID
+}
+
+func (*MultipleToken) Kind() Kind      { return KindMultipleToken }
+func (m *MultipleToken) WireSize() int { return 1 + 4 }
+
+// Join propagates a membership join up the hierarchy. Host is set for MH
+// joins; Node for NE attachments. When an AP (re)attaches itself to the
+// delivery tree, Resume carries the global sequence number it has already
+// delivered: the parent starts the stream at max(Resume, ValidFront),
+// skipping what it can no longer retransmit. Resume == 0 means a fresh
+// joiner that wants the stream from the parent's current position.
+type Join struct {
+	Group  seq.GroupID
+	Host   seq.HostID
+	Node   seq.NodeID
+	Batch  uint32 // number of joins batched into this update
+	Resume seq.GlobalSeq
+}
+
+func (*Join) Kind() Kind      { return KindJoin }
+func (j *Join) WireSize() int { return 1 + 4 + 4 + 4 + 4 + 8 }
+
+// Leave propagates a membership leave (or failure) up the hierarchy.
+type Leave struct {
+	Group   seq.GroupID
+	Host    seq.HostID
+	Node    seq.NodeID
+	Failure bool
+	Batch   uint32
+}
+
+func (*Leave) Kind() Kind      { return KindLeave }
+func (l *Leave) WireSize() int { return 1 + 4 + 4 + 4 + 1 + 4 }
+
+// HandoffNotify tells the new AP that Host is now attached and has
+// delivered everything up to Delivered.
+type HandoffNotify struct {
+	Group     seq.GroupID
+	Host      seq.HostID
+	OldAP     seq.NodeID
+	Delivered seq.GlobalSeq
+}
+
+func (*HandoffNotify) Kind() Kind      { return KindHandoffNotify }
+func (h *HandoffNotify) WireSize() int { return 1 + 4 + 4 + 4 + 8 }
+
+// HandoffLeave tells the old AP that Host departed toward NewAP.
+type HandoffLeave struct {
+	Group seq.GroupID
+	Host  seq.HostID
+	NewAP seq.NodeID
+}
+
+func (*HandoffLeave) Kind() Kind      { return KindHandoffLeave }
+func (h *HandoffLeave) WireSize() int { return 1 + 4 + 4 + 4 }
+
+// Reserve asks an AP near a handoff target to pre-establish a multicast
+// path so an arriving MH finds the flow already present (paper §3).
+type Reserve struct {
+	Group seq.GroupID
+	From  seq.NodeID
+	TTL   uint8
+}
+
+func (*Reserve) Kind() Kind      { return KindReserve }
+func (r *Reserve) WireSize() int { return 1 + 4 + 4 + 1 }
+
+// Progress reports a child's (or MH's, via its AP) delivery high-water
+// mark to its parent; parents record it in WT for garbage collection.
+type Progress struct {
+	Group seq.GroupID
+	Child seq.NodeID
+	Host  seq.HostID // set when the reporter is an MH
+	Max   seq.GlobalSeq
+}
+
+func (*Progress) Kind() Kind      { return KindProgress }
+func (p *Progress) WireSize() int { return 1 + 4 + 4 + 4 + 8 }
+
+// Heartbeat keeps neighbor failure detectors alive.
+type Heartbeat struct {
+	From seq.NodeID
+}
+
+func (*Heartbeat) Kind() Kind      { return KindHeartbeat }
+func (h *Heartbeat) WireSize() int { return 1 + 4 }
+
+// Skip abandons a global-sequence range on one hop: either the sender
+// exhausted its retransmission budget for it (really lost), or — with
+// Jump set — the range predates the receiver's join point and was never
+// meant for it (a stream-position baseline, not a loss).
+type Skip struct {
+	Group seq.GroupID
+	From  seq.NodeID
+	Range seq.Range
+	Jump  bool
+}
+
+func (*Skip) Kind() Kind      { return KindSkip }
+func (s *Skip) WireSize() int { return 1 + 4 + 4 + 16 + 1 }
+
+// Compile-time interface checks.
+var (
+	_ Message = (*Skip)(nil)
+	_ Message = (*Data)(nil)
+	_ Message = (*SourceData)(nil)
+	_ Message = (*Ack)(nil)
+	_ Message = (*Nack)(nil)
+	_ Message = (*TokenMsg)(nil)
+	_ Message = (*TokenAck)(nil)
+	_ Message = (*TokenLoss)(nil)
+	_ Message = (*TokenRegen)(nil)
+	_ Message = (*MultipleToken)(nil)
+	_ Message = (*Join)(nil)
+	_ Message = (*Leave)(nil)
+	_ Message = (*HandoffNotify)(nil)
+	_ Message = (*HandoffLeave)(nil)
+	_ Message = (*Reserve)(nil)
+	_ Message = (*Progress)(nil)
+	_ Message = (*Heartbeat)(nil)
+)

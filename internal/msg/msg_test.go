@@ -1,0 +1,251 @@
+package msg
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	buf := Encode(m)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", m.Kind(), err)
+	}
+	if got.Kind() != m.Kind() {
+		t.Fatalf("kind mismatch: %v vs %v", got.Kind(), m.Kind())
+	}
+	return got
+}
+
+func TestRoundTripData(t *testing.T) {
+	d := &Data{Group: 7, SourceNode: 3, LocalSeq: 42, OrderingNode: 9, GlobalSeq: 1000, Payload: []byte("hello")}
+	got := roundTrip(t, d).(*Data)
+	if !reflect.DeepEqual(d, got) {
+		t.Fatalf("got %+v want %+v", got, d)
+	}
+	if !d.Ordered() {
+		t.Fatal("Ordered should be true with GlobalSeq set")
+	}
+	u := &Data{Group: 7, SourceNode: 3, LocalSeq: 1}
+	if u.Ordered() {
+		t.Fatal("Ordered should be false with GlobalSeq=0")
+	}
+}
+
+func TestRoundTripDataEmptyPayload(t *testing.T) {
+	d := &Data{Group: 1, SourceNode: 2, LocalSeq: 3}
+	got := roundTrip(t, d).(*Data)
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload = %v, want empty", got.Payload)
+	}
+}
+
+func TestRoundTripSourceData(t *testing.T) {
+	s := &SourceData{Group: 1, SourceNode: 5, LocalSeq: 9, Payload: []byte{1, 2, 3}}
+	got := roundTrip(t, s).(*SourceData)
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("got %+v want %+v", got, s)
+	}
+}
+
+func TestRoundTripAckNack(t *testing.T) {
+	a := &Ack{Group: 1, From: 2, Source: 3, CumLocal: 4, CumGlobal: 5}
+	if !reflect.DeepEqual(a, roundTrip(t, a).(*Ack)) {
+		t.Fatal("ack mismatch")
+	}
+	n := &Nack{Group: 1, From: 2, Range: seq.Range{Min: 3, Max: 9}}
+	if !reflect.DeepEqual(n, roundTrip(t, n).(*Nack)) {
+		t.Fatal("nack mismatch")
+	}
+}
+
+func TestRoundTripToken(t *testing.T) {
+	tok := seq.NewToken(4)
+	if _, err := tok.Assign(1, 8, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tok.Assign(2, 9, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	tok.Epoch = 3
+	tok.Hops = 77
+	m := &TokenMsg{From: 8, Token: tok}
+	got := roundTrip(t, m).(*TokenMsg)
+	if got.From != 8 || got.Token == nil {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Token.NextGlobalSeq != tok.NextGlobalSeq || got.Token.Epoch != 3 || got.Token.Hops != 77 {
+		t.Fatalf("token header mismatch: %v", got.Token)
+	}
+	if got.Token.Table.Len() != 2 {
+		t.Fatalf("table len = %d", got.Token.Table.Len())
+	}
+	g, ord, ok := got.Token.Table.GlobalFor(2, 2)
+	if !ok || ord != 9 || g != 7 {
+		t.Fatalf("decoded table resolve = %d,%v,%v", g, ord, ok)
+	}
+}
+
+func TestRoundTripNilToken(t *testing.T) {
+	m := &TokenMsg{From: 8}
+	got := roundTrip(t, m).(*TokenMsg)
+	if got.Token != nil {
+		t.Fatal("nil token decoded as non-nil")
+	}
+	r := &TokenRegen{Origin: 1, From: 2}
+	gr := roundTrip(t, r).(*TokenRegen)
+	if gr.Token != nil || gr.Origin != 1 || gr.From != 2 {
+		t.Fatalf("got %+v", gr)
+	}
+}
+
+func TestRoundTripControl(t *testing.T) {
+	msgs := []Message{
+		&TokenAck{From: 1, Epoch: 2, Next: 3},
+		&TokenLoss{Group: 4},
+		&MultipleToken{Group: 5},
+		&Join{Group: 1, Host: 2, Node: 3, Batch: 4},
+		&Leave{Group: 1, Host: 2, Node: 3, Failure: true, Batch: 7},
+		&Leave{Group: 1, Host: 2, Node: 3, Failure: false},
+		&HandoffNotify{Group: 1, Host: 2, OldAP: 3, Delivered: 99},
+		&HandoffLeave{Group: 1, Host: 2, NewAP: 3},
+		&Reserve{Group: 1, From: 2, TTL: 3},
+		&Progress{Group: 1, Child: 2, Host: 3, Max: 1234},
+		&Heartbeat{From: 6},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v: got %+v want %+v", m.Kind(), got, m)
+		}
+	}
+}
+
+func TestRoundTripTokenRegenWithToken(t *testing.T) {
+	tok := seq.NewToken(1)
+	if _, err := tok.Assign(1, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	r := &TokenRegen{Origin: 3, From: 4, Token: tok}
+	got := roundTrip(t, r).(*TokenRegen)
+	if got.Token == nil || got.Token.NextGlobalSeq != 2 {
+		t.Fatalf("got %+v", got.Token)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("decoding empty buffer should fail")
+	}
+	if _, err := Decode([]byte{255}); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	// Truncate every valid message at every length and ensure no panic
+	// and an error (or success only at full length).
+	full := Encode(&Data{Group: 1, SourceNode: 2, LocalSeq: 3, Payload: []byte("abc")})
+	for i := 0; i < len(full); i++ {
+		if _, err := Decode(full[:i]); err == nil {
+			t.Fatalf("truncated decode at %d succeeded", i)
+		}
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	// WireSize is the bandwidth model's estimate; it must be within a
+	// few bytes of the real encoding (exactness is not required, but
+	// gross divergence would skew bandwidth simulation).
+	msgs := []Message{
+		&Data{Group: 1, SourceNode: 2, LocalSeq: 3, Payload: make([]byte, 100)},
+		&Ack{}, &Nack{}, &Heartbeat{}, &Join{}, &Leave{},
+		&HandoffNotify{}, &HandoffLeave{}, &Reserve{}, &Progress{},
+		&TokenLoss{}, &MultipleToken{}, &TokenAck{}, &SourceData{Payload: []byte("xy")},
+	}
+	for _, m := range msgs {
+		enc := len(Encode(m))
+		est := m.WireSize()
+		diff := enc - est
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 8 {
+			t.Errorf("%v: encoded %d bytes, WireSize %d", m.Kind(), enc, est)
+		}
+	}
+}
+
+func TestTokenWireSizeGrowsWithTable(t *testing.T) {
+	tok := seq.NewToken(1)
+	m := &TokenMsg{Token: tok}
+	small := m.WireSize()
+	for i := 0; i < 10; i++ {
+		if _, err := tok.Assign(seq.NodeID(i+1), 9, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.WireSize() <= small {
+		t.Fatal("token WireSize should grow with WTSNP entries")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindData.String() != "data" {
+		t.Fatal("KindData string")
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestDataClone(t *testing.T) {
+	d := &Data{Group: 1, SourceNode: 2, LocalSeq: 3, Payload: []byte("p")}
+	c := d.Clone()
+	c.GlobalSeq = 9
+	if d.GlobalSeq != 0 {
+		t.Fatal("clone aliases struct")
+	}
+	if &c.Payload[0] != &d.Payload[0] {
+		t.Fatal("clone should share payload bytes")
+	}
+}
+
+func TestQuickDataRoundTrip(t *testing.T) {
+	f := func(g, s uint32, l uint64, payload []byte) bool {
+		d := &Data{
+			Group:      seq.GroupID(g),
+			SourceNode: seq.NodeID(s),
+			LocalSeq:   seq.LocalSeq(l),
+			Payload:    payload,
+		}
+		got, err := Decode(Encode(d))
+		if err != nil {
+			return false
+		}
+		gd := got.(*Data)
+		if payload == nil {
+			return gd.Group == d.Group && gd.SourceNode == d.SourceNode &&
+				gd.LocalSeq == d.LocalSeq && len(gd.Payload) == 0
+		}
+		return gd.Group == d.Group && gd.SourceNode == d.SourceNode &&
+			gd.LocalSeq == d.LocalSeq && bytes.Equal(gd.Payload, d.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProgressRoundTrip(t *testing.T) {
+	f := func(g, c, h uint32, max uint64) bool {
+		p := &Progress{Group: seq.GroupID(g), Child: seq.NodeID(c), Host: seq.HostID(h), Max: seq.GlobalSeq(max)}
+		got, err := Decode(Encode(p))
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package queue
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/seq"
+)
+
+func BenchmarkMQInsertDeliverRelease(b *testing.B) {
+	q := NewMQ(1 << 12)
+	d := &msg.Data{Group: 1, SourceNode: 1, OrderingNode: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := seq.GlobalSeq(i + 1)
+		dd := *d
+		dd.GlobalSeq = g
+		dd.LocalSeq = seq.LocalSeq(g)
+		if _, err := q.Insert(&dd); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := q.NextDeliverable(); ok {
+			q.AdvanceFront()
+		}
+		if i%64 == 0 {
+			q.ReleaseUpTo(q.Front())
+		}
+	}
+}
+
+func BenchmarkMQOutOfOrderWindow(b *testing.B) {
+	q := NewMQ(1 << 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base := seq.GlobalSeq(i*8 + 1)
+		// Insert a burst reversed, then drain.
+		for j := 7; j >= 0; j-- {
+			d := &msg.Data{Group: 1, SourceNode: 1, LocalSeq: 1, OrderingNode: 1, GlobalSeq: base + seq.GlobalSeq(j)}
+			if _, err := q.Insert(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for {
+			if _, ok := q.NextDeliverable(); !ok {
+				break
+			}
+			q.AdvanceFront()
+		}
+		q.ReleaseUpTo(q.Front())
+	}
+}
+
+func BenchmarkSourceQueueReadyExtract(b *testing.B) {
+	w := NewWQ()
+	sq := w.ForSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: seq.LocalSeq(i + 1)})
+		if lo, hi := sq.ReadyRange(); lo != 0 {
+			sq.Extract(lo, hi)
+		}
+	}
+}
+
+func BenchmarkWTMin(b *testing.B) {
+	w := NewWT()
+	for c := uint32(1); c <= 64; c++ {
+		w.Set(c, seq.GlobalSeq(c))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Set(uint32(i%64+1), seq.GlobalSeq(i))
+		if _, ok := w.Min(); !ok {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package queue
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/msg"
+	"repro/internal/seq"
+)
+
+func data(g seq.GlobalSeq) *msg.Data {
+	return &msg.Data{Group: 1, SourceNode: 1, LocalSeq: seq.LocalSeq(g), OrderingNode: 1, GlobalSeq: g}
+}
+
+func TestMQInsertAndDeliver(t *testing.T) {
+	q := NewMQ(16)
+	for g := seq.GlobalSeq(1); g <= 5; g++ {
+		ok, err := q.Insert(data(g))
+		if err != nil || !ok {
+			t.Fatalf("Insert(%d) = %v, %v", g, ok, err)
+		}
+	}
+	if q.Rear() != 5 || q.Front() != 0 || q.ValidFront() != 0 {
+		t.Fatalf("pointers %v", q)
+	}
+	for g := seq.GlobalSeq(1); g <= 5; g++ {
+		d, ok := q.NextDeliverable()
+		if !ok || d == nil || d.GlobalSeq != g {
+			t.Fatalf("NextDeliverable at %d = %v, %v", g, d, ok)
+		}
+		q.AdvanceFront()
+	}
+	if _, ok := q.NextDeliverable(); ok {
+		t.Fatal("deliverable past Rear")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMQOutOfOrderInsert(t *testing.T) {
+	q := NewMQ(16)
+	if _, err := q.Insert(data(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Gap at 1,2: not deliverable yet, slots are Waiting.
+	if _, ok := q.NextDeliverable(); ok {
+		t.Fatal("delivered through gap")
+	}
+	missing := q.Missing(10)
+	if len(missing) != 2 || missing[0] != 1 || missing[1] != 2 {
+		t.Fatalf("Missing = %v", missing)
+	}
+	if _, err := q.Insert(data(1)); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := q.NextDeliverable()
+	if !ok || d.GlobalSeq != 1 {
+		t.Fatalf("NextDeliverable = %v, %v", d, ok)
+	}
+	q.AdvanceFront()
+	if _, ok := q.NextDeliverable(); ok {
+		t.Fatal("delivered through remaining gap at 2")
+	}
+	if _, err := q.Insert(data(2)); err != nil {
+		t.Fatal(err)
+	}
+	d, _ = q.NextDeliverable()
+	if d.GlobalSeq != 2 {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestMQDuplicateInsert(t *testing.T) {
+	q := NewMQ(8)
+	ok, err := q.Insert(data(1))
+	if !ok || err != nil {
+		t.Fatal(err)
+	}
+	ok, err = q.Insert(data(1))
+	if ok || err != nil {
+		t.Fatalf("duplicate insert = %v, %v", ok, err)
+	}
+}
+
+func TestMQStaleInsertAfterRelease(t *testing.T) {
+	q := NewMQ(8)
+	for g := seq.GlobalSeq(1); g <= 4; g++ {
+		if _, err := q.Insert(data(g)); err != nil {
+			t.Fatal(err)
+		}
+		q.AdvanceFront()
+	}
+	q.ReleaseUpTo(3)
+	ok, err := q.Insert(data(2))
+	if ok || err != nil {
+		t.Fatalf("stale insert = %v, %v", ok, err)
+	}
+	if q.ValidFront() != 3 {
+		t.Fatalf("ValidFront = %d", q.ValidFront())
+	}
+}
+
+func TestMQFull(t *testing.T) {
+	q := NewMQ(4)
+	for g := seq.GlobalSeq(1); g <= 4; g++ {
+		if _, err := q.Insert(data(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Insert(data(5)); err != ErrMQFull {
+		t.Fatalf("err = %v, want ErrMQFull", err)
+	}
+	if q.Overflows() != 1 {
+		t.Fatalf("Overflows = %d", q.Overflows())
+	}
+	// Delivering and releasing frees space.
+	q.AdvanceFront()
+	q.ReleaseUpTo(1)
+	if _, err := q.Insert(data(5)); err != nil {
+		t.Fatalf("insert after release: %v", err)
+	}
+}
+
+func TestMQReallyLostRule(t *testing.T) {
+	q := NewMQ(8)
+	if _, err := q.Insert(data(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 1 is waiting; give up on it.
+	q.MarkLost(1)
+	d, ok := q.NextDeliverable()
+	if !ok || d != nil {
+		t.Fatalf("lost slot should be skippable: %v %v", d, ok)
+	}
+	q.AdvanceFront() // skip the lost slot
+	d, ok = q.NextDeliverable()
+	if !ok || d == nil || d.GlobalSeq != 2 {
+		t.Fatalf("after skip: %v %v", d, ok)
+	}
+	sl := q.Get(1)
+	if sl == nil || !sl.Delivered || sl.Received {
+		t.Fatalf("lost slot flags: %+v", sl)
+	}
+}
+
+func TestMQLateArrivalAfterMarkLost(t *testing.T) {
+	q := NewMQ(8)
+	if _, err := q.Insert(data(2)); err != nil {
+		t.Fatal(err)
+	}
+	q.MarkLost(1)
+	// The body arrives after all: it becomes received and stays delivered.
+	ok, err := q.Insert(data(1))
+	if !ok || err != nil {
+		t.Fatalf("late insert = %v, %v", ok, err)
+	}
+	sl := q.Get(1)
+	if !sl.Received || !sl.Delivered {
+		t.Fatalf("late slot flags: %+v", sl)
+	}
+}
+
+func TestMQSetWaiting(t *testing.T) {
+	q := NewMQ(8)
+	if _, err := q.Insert(data(3)); err != nil {
+		t.Fatal(err)
+	}
+	q.SetWaiting(1, false)
+	sl := q.Get(1)
+	if sl.Waiting {
+		t.Fatal("SetWaiting(false) ignored")
+	}
+	// SetWaiting on a received slot is a no-op.
+	q.SetWaiting(3, true)
+	if q.Get(3).Waiting {
+		t.Fatal("SetWaiting mutated received slot")
+	}
+}
+
+func TestMQReleaseClampsToFront(t *testing.T) {
+	q := NewMQ(8)
+	for g := seq.GlobalSeq(1); g <= 5; g++ {
+		if _, err := q.Insert(data(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.AdvanceFront()
+	q.AdvanceFront()
+	freed := q.ReleaseUpTo(5)
+	if freed != 2 || q.ValidFront() != 2 {
+		t.Fatalf("freed=%d vf=%d, want 2,2", freed, q.ValidFront())
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMQForceFront(t *testing.T) {
+	q := NewMQ(8)
+	q.ForceFront(10)
+	if q.Front() != 10 || q.Rear() != 10 {
+		t.Fatalf("ForceFront: %v", q)
+	}
+	if _, err := q.Insert(data(11)); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := q.NextDeliverable()
+	if !ok || d.GlobalSeq != 11 {
+		t.Fatalf("after ForceFront: %v %v", d, ok)
+	}
+	// ForceFront backwards is a no-op.
+	q.ForceFront(5)
+	if q.Front() != 10 {
+		t.Fatal("ForceFront moved backwards")
+	}
+}
+
+func TestMQForceRelease(t *testing.T) {
+	q := NewMQ(8)
+	q.ForceRelease(20)
+	if q.ValidFront() != 20 || q.Front() != 20 || q.Rear() != 20 {
+		t.Fatalf("ForceRelease: %v", q)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMQPeakLen(t *testing.T) {
+	q := NewMQ(8)
+	for g := seq.GlobalSeq(1); g <= 6; g++ {
+		if _, err := q.Insert(data(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := 0; g < 6; g++ {
+		q.AdvanceFront()
+	}
+	q.ReleaseUpTo(6)
+	if q.PeakLen() != 6 || q.Len() != 0 {
+		t.Fatalf("peak=%d len=%d", q.PeakLen(), q.Len())
+	}
+}
+
+func TestMQWrapAround(t *testing.T) {
+	// Push many messages through a small buffer; the circular indexing
+	// must never confuse slots.
+	q := NewMQ(4)
+	for g := seq.GlobalSeq(1); g <= 100; g++ {
+		if _, err := q.Insert(data(g)); err != nil {
+			t.Fatalf("Insert(%d): %v", g, err)
+		}
+		d, ok := q.NextDeliverable()
+		if !ok || d.GlobalSeq != g {
+			t.Fatalf("deliverable at %d: %v %v", g, d, ok)
+		}
+		q.AdvanceFront()
+		q.ReleaseUpTo(g)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMQInsertRejectsUnordered(t *testing.T) {
+	q := NewMQ(4)
+	if _, err := q.Insert(&msg.Data{Group: 1, SourceNode: 1, LocalSeq: 1}); err == nil {
+		t.Fatal("unordered insert accepted")
+	}
+	if _, err := q.Insert(nil); err == nil {
+		t.Fatal("nil insert accepted")
+	}
+}
+
+func TestMQString(t *testing.T) {
+	q := NewMQ(4)
+	if !strings.Contains(q.String(), "MQ{") {
+		t.Fatal("String format")
+	}
+}
+
+func TestQuickMQPointerInvariant(t *testing.T) {
+	// Property: any interleaving of insert/deliver/release keeps
+	// ValidFront ≤ Front ≤ Rear and Validate() passing.
+	f := func(ops []uint8) bool {
+		q := NewMQ(8)
+		next := seq.GlobalSeq(1)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if _, err := q.Insert(data(next)); err == nil {
+					next++
+				}
+			case 1:
+				if _, ok := q.NextDeliverable(); ok {
+					q.AdvanceFront()
+				}
+			case 2:
+				q.ReleaseUpTo(q.Front())
+			}
+			if err := q.Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceQueueReadyRange(t *testing.T) {
+	sq := newSourceQueue(1)
+	lo, hi := sq.ReadyRange()
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty ReadyRange = %d,%d", lo, hi)
+	}
+	sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: 1})
+	sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: 2})
+	sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: 4})
+	lo, hi = sq.ReadyRange()
+	if lo != 1 || hi != 2 {
+		t.Fatalf("ReadyRange = %d,%d, want 1,2", lo, hi)
+	}
+	got := sq.Extract(lo, hi)
+	if len(got) != 2 || got[0].LocalSeq != 1 || got[1].LocalSeq != 2 {
+		t.Fatalf("Extract = %v", got)
+	}
+	// 4 is still not ready (3 missing).
+	if lo, hi = sq.ReadyRange(); lo != 0 || hi != 0 {
+		t.Fatalf("ReadyRange after extract = %d,%d", lo, hi)
+	}
+	sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: 3})
+	lo, hi = sq.ReadyRange()
+	if lo != 3 || hi != 4 {
+		t.Fatalf("ReadyRange = %d,%d, want 3,4", lo, hi)
+	}
+}
+
+func TestSourceQueueDuplicatesAndStale(t *testing.T) {
+	sq := newSourceQueue(1)
+	if !sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: 1}) {
+		t.Fatal("first insert rejected")
+	}
+	if sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: 1}) {
+		t.Fatal("duplicate accepted")
+	}
+	if sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: 0}) {
+		t.Fatal("zero seq accepted")
+	}
+	sq.Extract(1, 1)
+	if sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: 1}) {
+		t.Fatal("stale insert accepted")
+	}
+	if sq.MaxOrdered() != 1 || sq.MaxReceived() != 1 {
+		t.Fatalf("marks: ordered=%d recv=%d", sq.MaxOrdered(), sq.MaxReceived())
+	}
+}
+
+func TestSourceQueueSkipTo(t *testing.T) {
+	sq := newSourceQueue(1)
+	for l := seq.LocalSeq(1); l <= 5; l++ {
+		sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: l})
+	}
+	sq.SkipTo(3)
+	if sq.MaxOrdered() != 3 || sq.Len() != 2 {
+		t.Fatalf("after SkipTo: ordered=%d len=%d", sq.MaxOrdered(), sq.Len())
+	}
+	lo, hi := sq.ReadyRange()
+	if lo != 4 || hi != 5 {
+		t.Fatalf("ReadyRange = %d,%d", lo, hi)
+	}
+	sq.SkipTo(2) // backwards: no-op
+	if sq.MaxOrdered() != 3 {
+		t.Fatal("SkipTo moved backwards")
+	}
+}
+
+func TestSourceQueueExtractPanics(t *testing.T) {
+	sq := newSourceQueue(1)
+	sq.Insert(&msg.Data{SourceNode: 1, LocalSeq: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extract of non-contiguous range did not panic")
+		}
+	}()
+	sq.Extract(2, 2)
+}
+
+func TestWQSources(t *testing.T) {
+	w := NewWQ()
+	w.ForSource(3).Insert(&msg.Data{SourceNode: 3, LocalSeq: 1})
+	w.ForSource(1).Insert(&msg.Data{SourceNode: 1, LocalSeq: 1})
+	w.ForSource(2)
+	got := w.Sources()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Sources = %v", got)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if _, ok := w.Lookup(9); ok {
+		t.Fatal("Lookup invented a queue")
+	}
+	if q, ok := w.Lookup(1); !ok || q.Source != 1 {
+		t.Fatal("Lookup missed")
+	}
+}
+
+func TestWQPeak(t *testing.T) {
+	w := NewWQ()
+	q := w.ForSource(1)
+	for l := seq.LocalSeq(1); l <= 5; l++ {
+		q.Insert(&msg.Data{SourceNode: 1, LocalSeq: l})
+	}
+	q.Extract(1, 5)
+	if w.Peak() != 5 || w.Len() != 0 {
+		t.Fatalf("peak=%d len=%d", w.Peak(), w.Len())
+	}
+}
+
+func TestWTMinAndMonotonicity(t *testing.T) {
+	w := NewWT()
+	if _, ok := w.Min(); ok {
+		t.Fatal("empty WT has a Min")
+	}
+	w.Set(1, 10)
+	w.Set(2, 5)
+	w.Set(3, 8)
+	min, ok := w.Min()
+	if !ok || min != 5 {
+		t.Fatalf("Min = %d,%v", min, ok)
+	}
+	// Regression ignored.
+	w.Set(2, 3)
+	if v, _ := w.Get(2); v != 5 {
+		t.Fatalf("regressed to %d", v)
+	}
+	// Reset overrides.
+	w.Reset(2, 3)
+	if v, _ := w.Get(2); v != 3 {
+		t.Fatalf("Reset failed: %d", v)
+	}
+	w.Remove(2)
+	min, _ = w.Min()
+	if min != 8 {
+		t.Fatalf("Min after remove = %d", min)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	kids := w.Children()
+	if len(kids) != 2 || kids[0] != 1 || kids[1] != 3 {
+		t.Fatalf("Children = %v", kids)
+	}
+}
+
+func TestQuickWTMinIsLowerBound(t *testing.T) {
+	f := func(rows map[uint8]uint16) bool {
+		w := NewWT()
+		for k, v := range rows {
+			w.Set(uint32(k), seq.GlobalSeq(v))
+		}
+		min, ok := w.Min()
+		if len(rows) == 0 {
+			return !ok
+		}
+		if !ok {
+			return false
+		}
+		for k := range rows {
+			if v, _ := w.Get(uint32(k)); v < min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package queue
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/seq"
+)
+
+// SourceQueue buffers messages from one multicast source awaiting total
+// ordering, indexed by local sequence number. It is one element of WQ
+// (paper §4.1: "WQ is a list of queues, each of which is used to keep
+// messages from one source").
+type SourceQueue struct {
+	Source seq.NodeID
+	// slots holds buffered, not-yet-ordered messages by local seq.
+	slots map[seq.LocalSeq]*msg.Data
+	// ordered is the highest local seq already ordered and moved to MQ.
+	ordered seq.LocalSeq
+	// maxRecv is the highest local seq received.
+	maxRecv seq.LocalSeq
+	peak    int
+}
+
+func newSourceQueue(src seq.NodeID) *SourceQueue {
+	return &SourceQueue{Source: src, slots: make(map[seq.LocalSeq]*msg.Data)}
+}
+
+// Insert buffers a message. Duplicates and already-ordered arrivals are
+// ignored. It reports whether the message was newly buffered.
+func (sq *SourceQueue) Insert(d *msg.Data) bool {
+	l := d.LocalSeq
+	if l == 0 {
+		return false
+	}
+	if l <= sq.ordered {
+		return false
+	}
+	if _, dup := sq.slots[l]; dup {
+		return false
+	}
+	sq.slots[l] = d
+	if l > sq.maxRecv {
+		sq.maxRecv = l
+	}
+	if len(sq.slots) > sq.peak {
+		sq.peak = len(sq.slots)
+	}
+	return true
+}
+
+// Get returns the buffered message with local seq l, if present.
+func (sq *SourceQueue) Get(l seq.LocalSeq) *msg.Data { return sq.slots[l] }
+
+// Len returns the number of buffered (unordered) messages.
+func (sq *SourceQueue) Len() int { return len(sq.slots) }
+
+// Peak returns the maximum Len observed.
+func (sq *SourceQueue) Peak() int { return sq.peak }
+
+// MaxReceived returns the highest local sequence number received.
+func (sq *SourceQueue) MaxReceived() seq.LocalSeq { return sq.maxRecv }
+
+// MaxOrdered returns the highest local sequence number already ordered.
+func (sq *SourceQueue) MaxOrdered() seq.LocalSeq { return sq.ordered }
+
+// CumReceived returns the highest local sequence number such that every
+// message up to it has been received (the cumulative acknowledgement this
+// node can issue for the source's stream). Extraction does not regress it.
+func (sq *SourceQueue) CumReceived() seq.LocalSeq {
+	cum := sq.ordered
+	for {
+		if _, ok := sq.slots[cum+1]; !ok {
+			return cum
+		}
+		cum++
+	}
+}
+
+// ReadyRange returns the contiguous run (lo..hi) of buffered messages
+// immediately after the last ordered one — the "ready-to-be-ordered"
+// messages of paper §4.2.1. Empty if the next expected message is absent.
+func (sq *SourceQueue) ReadyRange() (lo, hi seq.LocalSeq) {
+	lo = sq.ordered + 1
+	hi = sq.ordered
+	for {
+		if _, ok := sq.slots[hi+1]; !ok {
+			break
+		}
+		hi++
+	}
+	if hi < lo {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// Extract removes and returns messages in [lo, hi], advancing the ordered
+// mark. All must be present and contiguous with the ordered prefix;
+// Extract panics otherwise (the Order-Assignment algorithm only extracts
+// ranges it just validated).
+func (sq *SourceQueue) Extract(lo, hi seq.LocalSeq) []*msg.Data {
+	if lo != sq.ordered+1 {
+		panic(fmt.Sprintf("queue: Extract(%d,%d) not contiguous with ordered %d", lo, hi, sq.ordered))
+	}
+	out := make([]*msg.Data, 0, hi-lo+1)
+	for l := lo; l <= hi; l++ {
+		d, ok := sq.slots[l]
+		if !ok {
+			panic(fmt.Sprintf("queue: Extract missing local seq %d", l))
+		}
+		out = append(out, d)
+		delete(sq.slots, l)
+	}
+	sq.ordered = hi
+	return out
+}
+
+// SkipTo abandons messages at or below l (used when another node ordered
+// them first and this node learned the assignment from the token, but the
+// bodies will arrive via forwarding into MQ instead).
+func (sq *SourceQueue) SkipTo(l seq.LocalSeq) {
+	if l <= sq.ordered {
+		return
+	}
+	for s := sq.ordered + 1; s <= l; s++ {
+		delete(sq.slots, s)
+	}
+	sq.ordered = l
+}
+
+// WQ is the working queue of a top-ring node: one SourceQueue per
+// multicast source whose messages transit this node.
+type WQ struct {
+	queues map[seq.NodeID]*SourceQueue
+}
+
+// NewWQ returns an empty working queue.
+func NewWQ() *WQ { return &WQ{queues: make(map[seq.NodeID]*SourceQueue)} }
+
+// ForSource returns (creating if needed) the queue for src.
+func (w *WQ) ForSource(src seq.NodeID) *SourceQueue {
+	q, ok := w.queues[src]
+	if !ok {
+		q = newSourceQueue(src)
+		w.queues[src] = q
+	}
+	return q
+}
+
+// Lookup returns the queue for src without creating it.
+func (w *WQ) Lookup(src seq.NodeID) (*SourceQueue, bool) {
+	q, ok := w.queues[src]
+	return q, ok
+}
+
+// Sources returns the source IDs with queues, in ascending order for
+// deterministic iteration.
+func (w *WQ) Sources() []seq.NodeID {
+	out := make([]seq.NodeID, 0, len(w.queues))
+	for s := range w.queues {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the total number of buffered messages across sources.
+func (w *WQ) Len() int {
+	n := 0
+	for _, q := range w.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// Peak returns the sum of per-source peaks (upper estimate of total WQ
+// occupancy used by the buffer-bound experiment).
+func (w *WQ) Peak() int {
+	n := 0
+	for _, q := range w.queues {
+		n += q.Peak()
+	}
+	return n
+}

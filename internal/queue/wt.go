@@ -1,0 +1,74 @@
+package queue
+
+import (
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// WT is the working table tracking the maximal global sequence number
+// delivered to each child node (for a non-bottom NE) or each attached MH
+// (for a bottom AP). Its minimum drives ValidFront advancement — a slot
+// may only be released once every tracked child has it (paper §4.1).
+//
+// Keys are generic uint32 so the same table serves NodeID children and
+// HostID members; the core package wraps it with typed helpers.
+type WT struct {
+	rows map[uint32]seq.GlobalSeq
+}
+
+// NewWT returns an empty working table.
+func NewWT() *WT { return &WT{rows: make(map[uint32]seq.GlobalSeq)} }
+
+// Set records that child has delivered everything up to max. Regressions
+// are ignored: progress is monotone per child except through Reset.
+func (w *WT) Set(child uint32, max seq.GlobalSeq) {
+	if cur, ok := w.rows[child]; ok && cur >= max {
+		return
+	}
+	w.rows[child] = max
+}
+
+// Reset overwrites a child's progress unconditionally (a handed-off MH
+// re-attaching with an older mark must not be filtered).
+func (w *WT) Reset(child uint32, max seq.GlobalSeq) { w.rows[child] = max }
+
+// Get returns the recorded progress for child.
+func (w *WT) Get(child uint32) (seq.GlobalSeq, bool) {
+	v, ok := w.rows[child]
+	return v, ok
+}
+
+// Remove drops a departed child from the table.
+func (w *WT) Remove(child uint32) { delete(w.rows, child) }
+
+// Len returns the number of tracked children.
+func (w *WT) Len() int { return len(w.rows) }
+
+// Min returns the minimum progress across all children and true, or
+// (0, false) when the table is empty (no children ⇒ nothing constrains
+// garbage collection).
+func (w *WT) Min() (seq.GlobalSeq, bool) {
+	if len(w.rows) == 0 {
+		return 0, false
+	}
+	first := true
+	var min seq.GlobalSeq
+	for _, v := range w.rows {
+		if first || v < min {
+			min = v
+			first = false
+		}
+	}
+	return min, true
+}
+
+// Children returns the tracked child keys in ascending order.
+func (w *WT) Children() []uint32 {
+	out := make([]uint32, 0, len(w.rows))
+	for c := range w.rows {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

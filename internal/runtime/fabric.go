@@ -1,0 +1,168 @@
+// Package runtime is the wall-clock concurrent counterpart of the
+// deterministic DES: nodes are goroutines, links are channels, and
+// latency/loss are applied in real time. The protocol logic mirrors the
+// top logical ring of RingNet — token-based total ordering with reliable
+// ring forwarding — so the examples can demonstrate the paper's core
+// mechanism running with true parallelism (and under the race detector),
+// while the benchmarks keep using the reproducible virtual-time engine.
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// LinkParams is the real-time link model.
+type LinkParams struct {
+	Latency time.Duration
+	Jitter  time.Duration
+	Loss    float64
+}
+
+// Envelope is one in-flight message.
+type Envelope struct {
+	From    seq.NodeID
+	Payload any
+}
+
+// Handler consumes messages delivered to a node. Calls are serialized
+// per node (one inbox goroutine each).
+type Handler interface {
+	Handle(env Envelope)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(env Envelope)
+
+// Handle calls f.
+func (f HandlerFunc) Handle(env Envelope) { f(env) }
+
+type inbox struct {
+	ch   chan Envelope
+	done chan struct{}
+}
+
+// Fabric is a concurrent message fabric: per-node inbox goroutines,
+// timer-based delivery, seeded loss.
+type Fabric struct {
+	mu     sync.Mutex
+	nodes  map[seq.NodeID]*inbox
+	links  map[[2]seq.NodeID]LinkParams
+	rng    *rand.Rand
+	closed bool
+	wg     sync.WaitGroup
+
+	// Sent and Dropped count transmissions (atomic under mu).
+	Sent    uint64
+	Dropped uint64
+}
+
+// NewFabric returns a fabric seeded for reproducible loss decisions
+// (delivery timing is still wall-clock and inherently racy).
+func NewFabric(seed int64) *Fabric {
+	return &Fabric{
+		nodes: make(map[seq.NodeID]*inbox),
+		links: make(map[[2]seq.NodeID]LinkParams),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register spawns the node's inbox goroutine.
+func (f *Fabric) Register(id seq.NodeID, h Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	if _, dup := f.nodes[id]; dup {
+		panic("runtime: duplicate node")
+	}
+	ib := &inbox{ch: make(chan Envelope, 1024), done: make(chan struct{})}
+	f.nodes[id] = ib
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			select {
+			case env := <-ib.ch:
+				h.Handle(env)
+			case <-ib.done:
+				return
+			}
+		}
+	}()
+}
+
+// Connect installs a bidirectional link.
+func (f *Fabric) Connect(a, b seq.NodeID, p LinkParams) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[[2]seq.NodeID{a, b}] = p
+	f.links[[2]seq.NodeID{b, a}] = p
+}
+
+// Send transmits payload from→to with the link's latency/jitter/loss.
+// It reports whether the message entered the link.
+func (f *Fabric) Send(from, to seq.NodeID, payload any) bool {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return false
+	}
+	p, ok := f.links[[2]seq.NodeID{from, to}]
+	ib, ok2 := f.nodes[to]
+	if !ok || !ok2 {
+		f.Dropped++
+		f.mu.Unlock()
+		return false
+	}
+	f.Sent++
+	drop := p.Loss > 0 && f.rng.Float64() < p.Loss
+	var delay time.Duration
+	if !drop {
+		delay = p.Latency
+		if p.Jitter > 0 {
+			delay += time.Duration(f.rng.Int63n(int64(p.Jitter) + 1))
+		}
+	}
+	f.mu.Unlock()
+	if drop {
+		f.mu.Lock()
+		f.Dropped++
+		f.mu.Unlock()
+		return true
+	}
+	env := Envelope{From: from, Payload: payload}
+	if delay <= 0 {
+		select {
+		case ib.ch <- env:
+		case <-ib.done:
+		}
+		return true
+	}
+	time.AfterFunc(delay, func() {
+		select {
+		case ib.ch <- env:
+		case <-ib.done:
+		}
+	})
+	return true
+}
+
+// Close stops all inbox goroutines and waits for them.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	for _, ib := range f.nodes {
+		close(ib.done)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}

@@ -1,0 +1,211 @@
+package runtime
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// This file runs the paper's top logical ring live: each ring member is
+// a goroutine-backed node; the OrderingToken circulates over the fabric;
+// each member assigns global sequence numbers to its own pending source
+// messages while holding the token, forwards bodies around the ring, and
+// delivers the totally-ordered stream to its subscriber. It is the
+// wall-clock demonstration of Message-Ordering + Message-Forwarding
+// (paper §4.2.1–§4.2.2); the deterministic engine remains the measured
+// artifact.
+
+type liveToken struct {
+	Next    seq.GlobalSeq
+	Assign  map[seq.GlobalSeq]liveEntry // global → (origin, local)
+	Horizon seq.GlobalSeq               // everything below is replicated ring-wide
+}
+
+type liveEntry struct {
+	Origin seq.NodeID
+	Local  seq.LocalSeq
+}
+
+type liveData struct {
+	Global  seq.GlobalSeq
+	Origin  seq.NodeID
+	Local   seq.LocalSeq
+	Payload []byte
+}
+
+type tokenPass struct{ Tok liveToken }
+
+// Ring is a live token ring of ordering nodes.
+type Ring struct {
+	fabric  *Fabric
+	members []seq.NodeID
+	nodes   map[seq.NodeID]*liveNode
+}
+
+// Deliverer observes one node's totally-ordered delivery stream.
+type Deliverer func(global seq.GlobalSeq, origin seq.NodeID, payload []byte)
+
+type liveNode struct {
+	r    *Ring
+	id   seq.NodeID
+	next seq.NodeID
+
+	mu       sync.Mutex
+	pending  [][]byte // source messages awaiting the token
+	nextLoc  seq.LocalSeq
+	bodies   map[seq.GlobalSeq]*liveData
+	front    seq.GlobalSeq
+	deliver  Deliverer
+	lastTok  time.Time
+	received map[seq.GlobalSeq]bool
+}
+
+// NewRing builds a live ring over the fabric. members must have at least
+// one node; deliverers maps each member to its application callback.
+func NewRing(f *Fabric, members []seq.NodeID, link LinkParams, deliverers map[seq.NodeID]Deliverer) *Ring {
+	ms := append([]seq.NodeID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	r := &Ring{fabric: f, members: ms, nodes: make(map[seq.NodeID]*liveNode)}
+	for i, id := range ms {
+		n := &liveNode{
+			r:        r,
+			id:       id,
+			next:     ms[(i+1)%len(ms)],
+			bodies:   make(map[seq.GlobalSeq]*liveData),
+			received: make(map[seq.GlobalSeq]bool),
+			deliver:  deliverers[id],
+		}
+		r.nodes[id] = n
+		f.Register(id, n)
+	}
+	for i, id := range ms {
+		f.Connect(id, ms[(i+1)%len(ms)], link)
+	}
+	return r
+}
+
+// Start injects the token at the first member.
+func (r *Ring) Start() {
+	first := r.nodes[r.members[0]]
+	tok := liveToken{Next: 1, Assign: make(map[seq.GlobalSeq]liveEntry)}
+	first.Handle(Envelope{From: first.id, Payload: tokenPass{Tok: tok}})
+}
+
+// Submit queues one source message at member id (thread-safe: any
+// goroutine may call it concurrently).
+func (r *Ring) Submit(id seq.NodeID, payload []byte) bool {
+	n := r.nodes[id]
+	if n == nil {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cp := append([]byte(nil), payload...)
+	n.pending = append(n.pending, cp)
+	return true
+}
+
+// Fronts returns each member's delivered high-water mark.
+func (r *Ring) Fronts() map[seq.NodeID]seq.GlobalSeq {
+	out := make(map[seq.NodeID]seq.GlobalSeq, len(r.nodes))
+	for id, n := range r.nodes {
+		n.mu.Lock()
+		out[id] = n.front
+		n.mu.Unlock()
+	}
+	return out
+}
+
+// Handle implements Handler: token passes and data forwarding.
+func (n *liveNode) Handle(env Envelope) {
+	switch v := env.Payload.(type) {
+	case tokenPass:
+		n.onToken(v.Tok)
+	case *liveData:
+		n.onData(v)
+	}
+}
+
+func (n *liveNode) onToken(tok liveToken) {
+	n.mu.Lock()
+	n.lastTok = time.Now()
+	// Everything the arriving token records is replicated at previous
+	// holders: safe to deliver.
+	if tok.Next > tok.Horizon {
+		tok.Horizon = tok.Next
+	}
+	// Assign globals to pending source messages and ship the bodies.
+	var ship []*liveData
+	for _, p := range n.pending {
+		n.nextLoc++
+		g := tok.Next
+		tok.Next++
+		tok.Assign[g] = liveEntry{Origin: n.id, Local: n.nextLoc}
+		d := &liveData{Global: g, Origin: n.id, Local: n.nextLoc, Payload: p}
+		n.bodies[g] = d
+		n.received[g] = true
+		ship = append(ship, d)
+	}
+	n.pending = nil
+	// Compact the assignment map below the ring-wide horizon.
+	for g := range tok.Assign {
+		if g < tok.Horizon {
+			delete(tok.Assign, g)
+		}
+	}
+	n.drainLocked()
+	next := n.next
+	n.mu.Unlock()
+
+	for _, d := range ship {
+		if next != n.id {
+			n.r.fabric.Send(n.id, next, d)
+		}
+	}
+	if next == n.id {
+		// Singleton ring: re-hold shortly.
+		time.AfterFunc(time.Millisecond, func() {
+			n.Handle(Envelope{From: n.id, Payload: tokenPass{Tok: tok}})
+		})
+		return
+	}
+	n.r.fabric.Send(n.id, next, tokenPass{Tok: tok})
+}
+
+func (n *liveNode) onData(d *liveData) {
+	n.mu.Lock()
+	forward := !n.received[d.Global] && n.next != d.Origin
+	if !n.received[d.Global] {
+		n.received[d.Global] = true
+		n.bodies[d.Global] = d
+	}
+	n.drainLocked()
+	next := n.next
+	n.mu.Unlock()
+	if forward {
+		n.r.fabric.Send(n.id, next, d)
+	}
+}
+
+// drainLocked delivers the contiguous prefix of bodies. Because global
+// sequence numbers are assigned by a single circulating token, the
+// contiguous prefix is identical at every node — delivering it greedily
+// preserves total order. Caller holds mu.
+func (n *liveNode) drainLocked() {
+	for {
+		g := n.front + 1
+		d, ok := n.bodies[g]
+		if !ok {
+			return
+		}
+		delete(n.bodies, g)
+		n.front = g
+		if n.deliver != nil {
+			// Callback under mu keeps per-node delivery serialized;
+			// subscribers must not call back into the ring.
+			n.deliver(d.Global, d.Origin, d.Payload)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/seq"
+)
+
+func TestFabricDelivery(t *testing.T) {
+	f := NewFabric(1)
+	defer f.Close()
+	got := make(chan Envelope, 10)
+	f.Register(1, HandlerFunc(func(env Envelope) {}))
+	f.Register(2, HandlerFunc(func(env Envelope) { got <- env }))
+	f.Connect(1, 2, LinkParams{Latency: time.Millisecond})
+	if !f.Send(1, 2, "hello") {
+		t.Fatal("Send failed")
+	}
+	select {
+	case env := <-got:
+		if env.From != 1 || env.Payload.(string) != "hello" {
+			t.Fatalf("got %+v", env)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery timed out")
+	}
+}
+
+func TestFabricNoRoute(t *testing.T) {
+	f := NewFabric(1)
+	defer f.Close()
+	f.Register(1, HandlerFunc(func(Envelope) {}))
+	if f.Send(1, 99, "x") {
+		t.Fatal("send without route succeeded")
+	}
+}
+
+func TestFabricLoss(t *testing.T) {
+	f := NewFabric(7)
+	defer f.Close()
+	var mu sync.Mutex
+	n := 0
+	f.Register(1, HandlerFunc(func(Envelope) {}))
+	f.Register(2, HandlerFunc(func(Envelope) { mu.Lock(); n++; mu.Unlock() }))
+	f.Connect(1, 2, LinkParams{Loss: 1.0})
+	for i := 0; i < 50; i++ {
+		f.Send(1, 2, i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 0 {
+		t.Fatalf("loss=1.0 delivered %d", n)
+	}
+}
+
+func TestFabricCloseIdempotent(t *testing.T) {
+	f := NewFabric(1)
+	f.Register(1, HandlerFunc(func(Envelope) {}))
+	f.Close()
+	f.Close()
+	if f.Send(1, 1, "x") {
+		t.Fatal("send after close succeeded")
+	}
+}
+
+// TestLiveRingTotalOrder runs the wall-clock token ring with concurrent
+// producer goroutines and asserts every member delivered the identical
+// totally-ordered stream. Run with -race.
+func TestLiveRingTotalOrder(t *testing.T) {
+	f := NewFabric(42)
+	defer f.Close()
+
+	members := []seq.NodeID{1, 2, 3, 4}
+	type rec struct {
+		g seq.GlobalSeq
+		o seq.NodeID
+	}
+	var mu sync.Mutex
+	streams := make(map[seq.NodeID][]rec)
+	deliverers := make(map[seq.NodeID]Deliverer)
+	for _, id := range members {
+		id := id
+		deliverers[id] = func(g seq.GlobalSeq, origin seq.NodeID, payload []byte) {
+			mu.Lock()
+			streams[id] = append(streams[id], rec{g, origin})
+			mu.Unlock()
+		}
+	}
+	ring := NewRing(f, members, LinkParams{Latency: 200 * time.Microsecond}, deliverers)
+	ring.Start()
+
+	// Concurrent producers: one goroutine per member, bursty.
+	const perProducer = 50
+	var wg sync.WaitGroup
+	for _, id := range members {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				ring.Submit(id, []byte{byte(id), byte(i)})
+				if i%10 == 9 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := seq.GlobalSeq(len(members) * perProducer)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		fronts := ring.Fronts()
+		done := true
+		for _, fr := range fronts {
+			if fr < total {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring did not converge: fronts %v (want %d)", fronts, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	ref := streams[members[0]]
+	if len(ref) != int(total) {
+		t.Fatalf("member 1 delivered %d, want %d", len(ref), total)
+	}
+	for i, r := range ref {
+		if r.g != seq.GlobalSeq(i+1) {
+			t.Fatalf("member 1 stream not gap-free at %d: %+v", i, r)
+		}
+	}
+	for _, id := range members[1:] {
+		s := streams[id][:total]
+		for i := range ref {
+			if s[i] != ref[i] {
+				t.Fatalf("member %v diverged at %d: %+v vs %+v", id, i, s[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestLiveRingSingleton(t *testing.T) {
+	f := NewFabric(3)
+	defer f.Close()
+	var mu sync.Mutex
+	var got []seq.GlobalSeq
+	ring := NewRing(f, []seq.NodeID{9}, LinkParams{}, map[seq.NodeID]Deliverer{
+		9: func(g seq.GlobalSeq, o seq.NodeID, p []byte) {
+			mu.Lock()
+			got = append(got, g)
+			mu.Unlock()
+		},
+	})
+	ring.Start()
+	for i := 0; i < 20; i++ {
+		ring.Submit(9, []byte("x"))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("singleton delivered %d/20", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !ring.Submit(99, nil) == false {
+		t.Fatal("submit to unknown member should fail")
+	}
+}

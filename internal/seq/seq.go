@@ -1,0 +1,118 @@
+// Package seq defines the identifier and sequence-number vocabulary of the
+// RingNet protocol (paper §4.1): group identities, node identities,
+// globally/locally unique mobile-host identities, local and global
+// sequence numbers, and the ordering token's working table of
+// sequence-number pairs (WTSNP).
+package seq
+
+import "fmt"
+
+// GroupID identifies a multicast group. The paper assumes a group
+// addressing scheme such as IP Multicast class-D addresses; an opaque
+// integer preserves the only property used: identity.
+type GroupID uint32
+
+// NodeID identifies a network entity (AP, AG, or BR) in the hierarchy.
+// Zero is reserved as "no node".
+type NodeID uint32
+
+// None is the absent NodeID.
+const None NodeID = 0
+
+func (n NodeID) String() string {
+	if n == None {
+		return "·"
+	}
+	return fmt.Sprintf("n%d", uint32(n))
+}
+
+// HostID globally identifies a mobile host (the paper's GUID, e.g. a
+// Mobile IP home address). Zero is reserved.
+type HostID uint32
+
+func (h HostID) String() string { return fmt.Sprintf("mh%d", uint32(h)) }
+
+// LocalID is the locally unique identity an MH holds under its current AP
+// (the paper's LUID, e.g. a care-of address).
+type LocalID uint32
+
+// LocalSeq is the per-source local sequence number attached by a multicast
+// source to each message. Sequence numbers start at 1; 0 means "none".
+type LocalSeq uint64
+
+// GlobalSeq is the totally-ordered global sequence number assigned by the
+// ordering token. Sequence numbers start at 1; 0 means "none".
+type GlobalSeq uint64
+
+// Range is a closed interval of sequence numbers [Min, Max]; the zero
+// Range is empty.
+type Range struct {
+	Min, Max uint64
+}
+
+// Empty reports whether the range contains no sequence numbers.
+func (r Range) Empty() bool { return r.Min == 0 || r.Max < r.Min }
+
+// Len returns the number of sequence numbers covered.
+func (r Range) Len() uint64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Max - r.Min + 1
+}
+
+// Contains reports whether v lies within the range.
+func (r Range) Contains(v uint64) bool { return !r.Empty() && v >= r.Min && v <= r.Max }
+
+// Overlaps reports whether two ranges intersect.
+func (r Range) Overlaps(o Range) bool {
+	if r.Empty() || o.Empty() {
+		return false
+	}
+	return r.Min <= o.Max && o.Min <= r.Max
+}
+
+func (r Range) String() string {
+	if r.Empty() {
+		return "[]"
+	}
+	return fmt.Sprintf("[%d,%d]", r.Min, r.Max)
+}
+
+// Pair is one WTSNP entry (paper §4.1, Data Structure of Tokens): a run of
+// consecutive local sequence numbers from SourceNode that OrderingNode
+// mapped onto a run of consecutive global sequence numbers. The two runs
+// have equal length and the mapping is order-preserving:
+//
+//	local Min+i  ↦  global Min+i   for 0 ≤ i < Len.
+type Pair struct {
+	SourceNode   NodeID
+	OrderingNode NodeID
+	Local        Range // MinLocalSeqNo..MaxLocalSeqNo
+	Global       Range // MinGlobalSeqNo..MaxGlobalSeqNo
+}
+
+// Valid reports whether the pair is internally consistent.
+func (p Pair) Valid() bool {
+	if p.SourceNode == None || p.OrderingNode == None {
+		return false
+	}
+	if p.Local.Empty() || p.Global.Empty() {
+		return false
+	}
+	return p.Local.Len() == p.Global.Len()
+}
+
+// GlobalFor returns the global sequence number assigned to local sequence
+// number l, and whether l is covered by this pair.
+func (p Pair) GlobalFor(l LocalSeq) (GlobalSeq, bool) {
+	if !p.Local.Contains(uint64(l)) {
+		return 0, false
+	}
+	off := uint64(l) - p.Local.Min
+	return GlobalSeq(p.Global.Min + off), true
+}
+
+func (p Pair) String() string {
+	return fmt.Sprintf("{src=%v ord=%v local=%v global=%v}", p.SourceNode, p.OrderingNode, p.Local, p.Global)
+}

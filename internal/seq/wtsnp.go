@@ -1,0 +1,265 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WTSNP is the ordering token's Working Table of Sequence Number Pairs
+// (paper §4.1). It records, for every source, which runs of local sequence
+// numbers have been assigned which runs of global sequence numbers.
+//
+// Invariants maintained (and checked by Validate):
+//   - global ranges of distinct entries never overlap;
+//   - local ranges of entries with the same SourceNode never overlap;
+//   - every entry is Valid (equal-length, order-preserving runs).
+//
+// To bound the token size on the wire, entries older than a horizon can be
+// compacted away with Compact once their messages are known to be ordered
+// everywhere; the table keeps per-source high-water marks so duplicate
+// assignment is still detected after compaction.
+type WTSNP struct {
+	entries []Pair
+	// maxLocal tracks the highest local sequence number ever assigned
+	// per source, surviving compaction.
+	maxLocal map[NodeID]LocalSeq
+}
+
+// NewWTSNP returns an empty table.
+func NewWTSNP() *WTSNP {
+	return &WTSNP{maxLocal: make(map[NodeID]LocalSeq)}
+}
+
+// Clone returns a deep copy. Tokens are copied whenever they are stored in
+// a node's Old/NewOrderingToken slots, so aliasing would corrupt recovery.
+func (w *WTSNP) Clone() *WTSNP {
+	c := NewWTSNP()
+	c.entries = append([]Pair(nil), w.entries...)
+	for k, v := range w.maxLocal {
+		c.maxLocal[k] = v
+	}
+	return c
+}
+
+// Len returns the number of entries.
+func (w *WTSNP) Len() int { return len(w.entries) }
+
+// Entries returns a copy of the entries, ordered by global range.
+func (w *WTSNP) Entries() []Pair {
+	out := append([]Pair(nil), w.entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Global.Min < out[j].Global.Min })
+	return out
+}
+
+// MaxAssignedLocal returns the highest local sequence number from src that
+// has ever been assigned a global number (0 if none).
+func (w *WTSNP) MaxAssignedLocal(src NodeID) LocalSeq { return w.maxLocal[src] }
+
+// Append adds an assignment pair. It returns an error if the pair is
+// malformed, overlaps an existing global range, re-assigns local numbers
+// already assigned for the same source, or skips local numbers (the
+// ordering algorithm always assigns contiguously from the last high-water
+// mark).
+func (w *WTSNP) Append(p Pair) error {
+	if !p.Valid() {
+		return fmt.Errorf("wtsnp: invalid pair %v", p)
+	}
+	for _, e := range w.entries {
+		if e.Global.Overlaps(p.Global) {
+			return fmt.Errorf("wtsnp: global range %v overlaps existing %v", p.Global, e.Global)
+		}
+		if e.SourceNode == p.SourceNode && e.Local.Overlaps(p.Local) {
+			return fmt.Errorf("wtsnp: local range %v overlaps existing %v for %v", p.Local, e.Local, p.SourceNode)
+		}
+	}
+	if hw := w.maxLocal[p.SourceNode]; uint64(hw) >= p.Local.Min {
+		return fmt.Errorf("wtsnp: local range %v at or below high-water %d for %v", p.Local, hw, p.SourceNode)
+	} else if uint64(hw)+1 != p.Local.Min {
+		return fmt.Errorf("wtsnp: local range %v skips numbers after high-water %d for %v", p.Local, hw, p.SourceNode)
+	}
+	w.entries = append(w.entries, p)
+	w.maxLocal[p.SourceNode] = LocalSeq(p.Local.Max)
+	return nil
+}
+
+// GlobalFor resolves the global sequence number assigned to (src, l).
+func (w *WTSNP) GlobalFor(src NodeID, l LocalSeq) (GlobalSeq, NodeID, bool) {
+	for _, e := range w.entries {
+		if e.SourceNode != src {
+			continue
+		}
+		if g, ok := e.GlobalFor(l); ok {
+			return g, e.OrderingNode, true
+		}
+	}
+	return 0, None, false
+}
+
+// Absorb merges entries from another table (a received token's WTSNP)
+// into this one, skipping entries already known. Unlike Append it does not
+// require per-source contiguity — the node may have compacted older
+// entries away — but still rejects conflicting overlaps, returning the
+// first error and absorbing the rest. It returns how many entries were
+// added.
+func (w *WTSNP) Absorb(other *WTSNP) (int, error) {
+	added := 0
+	var firstErr error
+	for _, p := range other.Entries() {
+		if !p.Valid() {
+			continue
+		}
+		if g, _, known := w.GlobalFor(p.SourceNode, LocalSeq(p.Local.Min)); known {
+			if g != GlobalSeq(p.Global.Min) && firstErr == nil {
+				firstErr = fmt.Errorf("wtsnp: conflicting assignment for %v local %d: %d vs %d",
+					p.SourceNode, p.Local.Min, g, p.Global.Min)
+			}
+			continue
+		}
+		conflict := false
+		for _, e := range w.entries {
+			if e.Global.Overlaps(p.Global) || (e.SourceNode == p.SourceNode && e.Local.Overlaps(p.Local)) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wtsnp: entry %v conflicts during absorb", p)
+			}
+			continue
+		}
+		w.entries = append(w.entries, p)
+		if hw := w.maxLocal[p.SourceNode]; LocalSeq(p.Local.Max) > hw {
+			w.maxLocal[p.SourceNode] = LocalSeq(p.Local.Max)
+		}
+		added++
+	}
+	return added, firstErr
+}
+
+// Compact drops entries whose entire global range lies at or below
+// horizon. High-water marks are retained. It returns the number of entries
+// removed.
+func (w *WTSNP) Compact(horizon GlobalSeq) int {
+	kept := w.entries[:0]
+	removed := 0
+	for _, e := range w.entries {
+		if GlobalSeq(e.Global.Max) <= horizon {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	w.entries = kept
+	return removed
+}
+
+// Validate checks all structural invariants, returning the first
+// violation found.
+func (w *WTSNP) Validate() error {
+	for i, a := range w.entries {
+		if !a.Valid() {
+			return fmt.Errorf("wtsnp: entry %d invalid: %v", i, a)
+		}
+		for j := i + 1; j < len(w.entries); j++ {
+			b := w.entries[j]
+			if a.Global.Overlaps(b.Global) {
+				return fmt.Errorf("wtsnp: entries %d and %d overlap globally", i, j)
+			}
+			if a.SourceNode == b.SourceNode && a.Local.Overlaps(b.Local) {
+				return fmt.Errorf("wtsnp: entries %d and %d overlap locally for %v", i, j, a.SourceNode)
+			}
+		}
+		if hw := w.maxLocal[a.SourceNode]; uint64(hw) < a.Local.Max {
+			return fmt.Errorf("wtsnp: high-water %d below entry %v", hw, a)
+		}
+	}
+	return nil
+}
+
+func (w *WTSNP) String() string {
+	var b strings.Builder
+	b.WriteString("WTSNP{")
+	for i, e := range w.Entries() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Token is the OrderingToken that circulates along the top logical ring
+// (paper §4.1). NextGlobalSeq is the next unassigned global sequence
+// number; Table records what has been assigned so far; Epoch distinguishes
+// regenerated tokens (higher epoch wins during Multiple-Token resolution);
+// Hops counts link traversals for diagnostics.
+type Token struct {
+	Group         GroupID
+	NextGlobalSeq GlobalSeq
+	Epoch         uint64
+	Hops          uint64
+	Table         *WTSNP
+}
+
+// NewToken returns a fresh token for a group with NextGlobalSeq = 1.
+func NewToken(g GroupID) *Token {
+	return &Token{Group: g, NextGlobalSeq: 1, Table: NewWTSNP()}
+}
+
+// Clone deep-copies the token.
+func (t *Token) Clone() *Token {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.Table = t.Table.Clone()
+	return &c
+}
+
+// Assign maps the contiguous run of local sequence numbers [lo, hi] from
+// source src, ordered at node ord, to fresh global numbers. It returns the
+// assigned global range. Empty input (hi < lo or lo == 0) is a no-op.
+func (t *Token) Assign(src, ord NodeID, lo, hi LocalSeq) (Range, error) {
+	if lo == 0 || hi < lo {
+		return Range{}, nil
+	}
+	n := uint64(hi) - uint64(lo) + 1
+	g := Range{Min: uint64(t.NextGlobalSeq), Max: uint64(t.NextGlobalSeq) + n - 1}
+	p := Pair{
+		SourceNode:   src,
+		OrderingNode: ord,
+		Local:        Range{Min: uint64(lo), Max: uint64(hi)},
+		Global:       g,
+	}
+	if err := t.Table.Append(p); err != nil {
+		return Range{}, err
+	}
+	t.NextGlobalSeq = GlobalSeq(g.Max + 1)
+	return g, nil
+}
+
+// Supersedes reports whether token t should survive a Multiple-Token
+// resolution against o: higher epoch wins, then higher NextGlobalSeq.
+func (t *Token) Supersedes(o *Token) bool {
+	if o == nil {
+		return true
+	}
+	if t == nil {
+		return false
+	}
+	if t.Epoch != o.Epoch {
+		return t.Epoch > o.Epoch
+	}
+	return t.NextGlobalSeq >= o.NextGlobalSeq
+}
+
+func (t *Token) String() string {
+	if t == nil {
+		return "Token(nil)"
+	}
+	return fmt.Sprintf("Token{g=%d next=%d epoch=%d hops=%d entries=%d}",
+		t.Group, t.NextGlobalSeq, t.Epoch, t.Hops, t.Table.Len())
+}

@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+func BenchmarkSchedulerChain(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			s.After(1, step)
+		}
+	}
+	s.After(1, step)
+	if _, err := s.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulerFanOut(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(Time(i%1000), func() {})
+		if i%1000 == 999 {
+			if _, err := s.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := s.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkTimerStopChurn(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := s.After(1000, func() {})
+		t.Stop()
+		if i%4096 == 4095 {
+			// Drain the cancelled events.
+			if _, err := s.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

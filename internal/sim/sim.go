@@ -1,0 +1,267 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All protocol logic in this repository runs on virtual time supplied by a
+// Scheduler. Events are executed in (time, sequence) order, so two runs
+// with the same seed and the same workload produce byte-identical traces.
+// Virtual time is measured in microseconds (Time).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is virtual time in microseconds since the start of the simulation.
+type Time int64
+
+// Common durations, in virtual microseconds.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * 1000
+)
+
+// String renders a Time as seconds with microsecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%06ds", int64(t)/1e6, int64(t)%1e6)
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e6 }
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: insertion order
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index
+}
+
+// Timer is a handle to a scheduled event that may be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer has neither fired nor been stopped.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && !t.ev.dead }
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a discrete-event executor over virtual time.
+// The zero value is ready to use.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running bool
+	stopped bool
+	// Executed counts events that have run, for progress reporting and
+	// runaway detection.
+	Executed uint64
+	// MaxEvents, when non-zero, aborts Run with ErrEventBudget once
+	// Executed exceeds it.
+	MaxEvents uint64
+}
+
+// ErrEventBudget is returned by Run when MaxEvents is exhausted.
+var ErrEventBudget = errors.New("sim: event budget exhausted")
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending (non-cancelled) events.
+func (s *Scheduler) Len() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past is clamped to the present. It returns a cancellable Timer.
+func (s *Scheduler) At(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run delay from now. Negative delays are clamped.
+func (s *Scheduler) After(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Every schedules fn to run periodically with the given period, starting
+// one period from now. Stop the returned Ticker to cancel. period must be
+// positive.
+func (s *Scheduler) Every(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly schedules a callback until stopped.
+type Ticker struct {
+	s       *Scheduler
+	period  Time
+	fn      func()
+	timer   *Timer
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.s.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Step executes the single next pending event, if any, advancing the
+// clock. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		ev.dead = true
+		fn := ev.fn
+		ev.fn = nil
+		s.Executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until no events remain or the clock passes until.
+// Events scheduled exactly at until are executed. It returns the number of
+// events executed and an error only if the event budget was exhausted.
+func (s *Scheduler) Run(until Time) (int, error) {
+	if s.running {
+		panic("sim: re-entrant Run")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	n := 0
+	for len(s.events) > 0 {
+		// Peek without popping cancelled events eagerly.
+		ev := s.events[0]
+		if ev.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if ev.at > until {
+			break
+		}
+		s.Step()
+		n++
+		if s.MaxEvents != 0 && s.Executed > s.MaxEvents {
+			return n, ErrEventBudget
+		}
+		if s.stopped {
+			s.stopped = false
+			break
+		}
+	}
+	// Advance the clock to until so repeated Run calls observe
+	// monotonic time even when the event queue drains early.
+	if s.now < until {
+		s.now = until
+	}
+	return n, nil
+}
+
+// RunAll executes events until the queue drains. Use MaxEvents to bound
+// runaway simulations.
+func (s *Scheduler) RunAll() (int, error) {
+	n := 0
+	for {
+		if !s.Step() {
+			return n, nil
+		}
+		n++
+		if s.MaxEvents != 0 && s.Executed > s.MaxEvents {
+			return n, ErrEventBudget
+		}
+		if s.stopped {
+			s.stopped = false
+			return n, nil
+		}
+	}
+}
+
+// Stop makes the innermost Run/RunAll return after the current event.
+func (s *Scheduler) Stop() { s.stopped = true }

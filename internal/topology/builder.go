@@ -1,0 +1,417 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/seq"
+)
+
+// Neighbors is a node's complete local view (paper §4.1): everything the
+// protocol at that node is allowed to know about the hierarchy.
+type Neighbors struct {
+	Current  seq.NodeID
+	Leader   seq.NodeID
+	Previous seq.NodeID
+	Next     seq.NodeID
+	Parent   seq.NodeID
+	Children []seq.NodeID
+	IsLeader bool
+	IsTop    bool // member of the top (BR) ring
+	Tier     Tier
+}
+
+// Neighbors computes the local view of id.
+func (h *Hierarchy) Neighbors(id seq.NodeID) (Neighbors, error) {
+	n := h.nodes[id]
+	if n == nil {
+		return Neighbors{}, fmt.Errorf("topology: unknown node %v", id)
+	}
+	v := Neighbors{
+		Current:  id,
+		Parent:   n.Parent,
+		Children: append([]seq.NodeID(nil), n.Children...),
+		Tier:     n.Tier,
+	}
+	if r := h.RingOf(id); r != nil {
+		v.Leader = r.Leader()
+		v.IsLeader = r.Leader() == id
+		v.IsTop = r.Tier == TierBR
+		v.Next, _ = r.Next(id)
+		v.Previous, _ = r.Prev(id)
+	}
+	return v, nil
+}
+
+// Spec describes a regular RingNet deployment for the builder: one top BR
+// ring, AGRings rings of AGSize gateways each (each AG ring's leader
+// parented to one BR, round-robin), APsPerAG access proxies per gateway,
+// and MHsPerAP mobile hosts per proxy.
+type Spec struct {
+	BRs      int
+	AGRings  int
+	AGSize   int
+	APsPerAG int
+	MHsPerAP int
+}
+
+// Built is the result of Build: the hierarchy plus the identity ranges it
+// allocated, for wiring the network substrate.
+type Built struct {
+	H      *Hierarchy
+	Top    *Ring
+	BRs    []seq.NodeID
+	AGs    []seq.NodeID // all gateways, ring-major order
+	AGRing []RingID     // per AG-ring ring IDs
+	APs    []seq.NodeID
+	Hosts  []seq.HostID
+}
+
+// Build constructs the hierarchy described by s with dense identities:
+// BRs first, then AGs, then APs; hosts numbered from 1.
+func Build(s Spec) (*Built, error) {
+	if s.BRs < 1 || s.AGRings < 0 || s.AGSize < 0 || s.APsPerAG < 0 || s.MHsPerAP < 0 {
+		return nil, fmt.Errorf("topology: invalid spec %+v", s)
+	}
+	h := New()
+	b := &Built{H: h}
+	next := seq.NodeID(1)
+	alloc := func() seq.NodeID { id := next; next++; return id }
+
+	for i := 0; i < s.BRs; i++ {
+		id := alloc()
+		if _, err := h.AddNode(id, TierBR); err != nil {
+			return nil, err
+		}
+		b.BRs = append(b.BRs, id)
+	}
+	top, err := h.NewRing(TierBR, b.BRs...)
+	if err != nil {
+		return nil, err
+	}
+	b.Top = top
+
+	for ri := 0; ri < s.AGRings; ri++ {
+		var members []seq.NodeID
+		for i := 0; i < s.AGSize; i++ {
+			id := alloc()
+			if _, err := h.AddNode(id, TierAG); err != nil {
+				return nil, err
+			}
+			members = append(members, id)
+			b.AGs = append(b.AGs, id)
+		}
+		if len(members) == 0 {
+			continue
+		}
+		r, err := h.NewRing(TierAG, members...)
+		if err != nil {
+			return nil, err
+		}
+		b.AGRing = append(b.AGRing, r.ID)
+		// The ring leader attaches to a BR, round-robin across BRs.
+		parent := b.BRs[ri%len(b.BRs)]
+		if err := h.SetParent(r.Leader(), parent); err != nil {
+			return nil, err
+		}
+		// Candidate parents: the other BRs (static fallback config,
+		// paper Remark 2).
+		for _, br := range b.BRs {
+			if br != parent {
+				h.Node(r.Leader()).Candidates = append(h.Node(r.Leader()).Candidates, br)
+			}
+		}
+	}
+
+	for _, ag := range b.AGs {
+		for i := 0; i < s.APsPerAG; i++ {
+			id := alloc()
+			if _, err := h.AddNode(id, TierAP); err != nil {
+				return nil, err
+			}
+			if err := h.SetParent(id, ag); err != nil {
+				return nil, err
+			}
+			b.APs = append(b.APs, id)
+		}
+	}
+	// Candidate AGs for each AP: its parent's ring neighbors.
+	for _, ap := range b.APs {
+		n := h.Node(ap)
+		if r := h.RingOf(n.Parent); r != nil {
+			if nx, ok := r.Next(n.Parent); ok && nx != n.Parent {
+				n.Candidates = append(n.Candidates, nx)
+			}
+		}
+	}
+
+	host := seq.HostID(1)
+	for _, ap := range b.APs {
+		for i := 0; i < s.MHsPerAP; i++ {
+			if err := h.AttachMH(host, ap); err != nil {
+				return nil, err
+			}
+			b.Hosts = append(b.Hosts, host)
+			host++
+		}
+	}
+	return b, nil
+}
+
+// BuildDeep constructs a hierarchy with nested gateway sub-tiers
+// (paper §3: "more complicated scenarios where sub-tiers of the AGT and
+// BRT tiers are allowed"): one BR ring, then depth levels of AG rings —
+// every gateway of a level-i ring parents one level-(i+1) ring through
+// that ring's leader — with APs and MHs under the deepest gateways.
+func BuildDeep(brs, depth, ringSize, apsPerLeaf, mhsPerAP int) (*Built, error) {
+	if brs < 1 || depth < 1 || ringSize < 1 || apsPerLeaf < 0 || mhsPerAP < 0 {
+		return nil, fmt.Errorf("topology: invalid deep spec")
+	}
+	h := New()
+	b := &Built{H: h}
+	next := seq.NodeID(1)
+	alloc := func() seq.NodeID { id := next; next++; return id }
+
+	for i := 0; i < brs; i++ {
+		id := alloc()
+		if _, err := h.AddNode(id, TierBR); err != nil {
+			return nil, err
+		}
+		b.BRs = append(b.BRs, id)
+	}
+	top, err := h.NewRing(TierBR, b.BRs...)
+	if err != nil {
+		return nil, err
+	}
+	b.Top = top
+
+	// parents at the current level whose members each sprout one ring
+	// at the next level.
+	parents := b.BRs
+	var leaves []seq.NodeID
+	for level := 0; level < depth; level++ {
+		var nextParents []seq.NodeID
+		for _, p := range parents {
+			var members []seq.NodeID
+			for i := 0; i < ringSize; i++ {
+				id := alloc()
+				if _, err := h.AddNode(id, TierAG); err != nil {
+					return nil, err
+				}
+				members = append(members, id)
+				b.AGs = append(b.AGs, id)
+			}
+			r, err := h.NewRing(TierAG, members...)
+			if err != nil {
+				return nil, err
+			}
+			b.AGRing = append(b.AGRing, r.ID)
+			if err := h.SetParent(r.Leader(), p); err != nil {
+				return nil, err
+			}
+			nextParents = append(nextParents, members...)
+		}
+		parents = nextParents
+		leaves = nextParents
+	}
+
+	for _, ag := range leaves {
+		for i := 0; i < apsPerLeaf; i++ {
+			id := alloc()
+			if _, err := h.AddNode(id, TierAP); err != nil {
+				return nil, err
+			}
+			if err := h.SetParent(id, ag); err != nil {
+				return nil, err
+			}
+			b.APs = append(b.APs, id)
+		}
+	}
+	host := seq.HostID(1)
+	for _, ap := range b.APs {
+		for i := 0; i < mhsPerAP; i++ {
+			if err := h.AttachMH(host, ap); err != nil {
+				return nil, err
+			}
+			b.Hosts = append(b.Hosts, host)
+			host++
+		}
+	}
+	return b, nil
+}
+
+// Figure1 builds the exact topology of the paper's Figure 1: one BR ring
+// of 3 border routers, three AG rings of 3 gateways each, 12 access
+// proxies (4 per AG ring, spread across its gateways), and 4 mobile
+// hosts (laptop, PDA, mobile phone, video phone) on one AP.
+func Figure1() (*Built, error) {
+	b, err := Build(Spec{BRs: 3, AGRings: 3, AGSize: 3, APsPerAG: 0})
+	if err != nil {
+		return nil, err
+	}
+	h := b.H
+	next := seq.NodeID(1 + 3 + 9)
+	// 12 APs: 4 per AG ring, parented to gateways round-robin within
+	// the ring.
+	for ri := 0; ri < 3; ri++ {
+		ring := h.Ring(b.AGRing[ri])
+		ags := ring.Nodes()
+		for i := 0; i < 4; i++ {
+			id := next
+			next++
+			if _, err := h.AddNode(id, TierAP); err != nil {
+				return nil, err
+			}
+			if err := h.SetParent(id, ags[i%len(ags)]); err != nil {
+				return nil, err
+			}
+			b.APs = append(b.APs, id)
+		}
+	}
+	// Four device-class MHs on the first AP.
+	for host := seq.HostID(1); host <= 4; host++ {
+		if err := h.AttachMH(host, b.APs[0]); err != nil {
+			return nil, err
+		}
+		b.Hosts = append(b.Hosts, host)
+	}
+	return b, nil
+}
+
+// Validate checks the structural invariants of the hierarchy:
+//   - every ring is a non-empty cycle of distinct nodes of its tier with
+//     exactly one leader who is a member;
+//   - every node's Ring field matches the ring that contains it;
+//   - ring leaders (except the top ring's members) have a live parent in
+//     the tier above;
+//   - children lists and parent pointers agree, with no duplicates;
+//   - every attached MH sits on an AP.
+func (h *Hierarchy) Validate() error {
+	seen := make(map[seq.NodeID]RingID)
+	for id, r := range h.rings {
+		if len(r.nodes) == 0 {
+			return fmt.Errorf("topology: ring %d empty", id)
+		}
+		if !r.Contains(r.leader) {
+			return fmt.Errorf("topology: ring %d leader %v not a member", id, r.leader)
+		}
+		for _, m := range r.nodes {
+			if prev, dup := seen[m]; dup {
+				return fmt.Errorf("topology: node %v in rings %d and %d", m, prev, id)
+			}
+			seen[m] = id
+			n := h.nodes[m]
+			if n == nil {
+				return fmt.Errorf("topology: ring %d contains unknown node %v", id, m)
+			}
+			if n.Ring != id {
+				return fmt.Errorf("topology: node %v Ring=%d but found in ring %d", m, n.Ring, id)
+			}
+			if n.Tier != r.Tier {
+				return fmt.Errorf("topology: node %v tier %v in %v ring %d", m, n.Tier, r.Tier, id)
+			}
+		}
+		if r.Tier != TierBR {
+			leader := h.nodes[r.leader]
+			if leader.Parent == seq.None {
+				return fmt.Errorf("topology: ring %d leader %v has no parent", id, r.leader)
+			}
+		}
+	}
+	for id, n := range h.nodes {
+		if n.Ring != 0 {
+			r := h.rings[n.Ring]
+			if r == nil || !r.Contains(id) {
+				return fmt.Errorf("topology: node %v claims ring %d", id, n.Ring)
+			}
+		}
+		if n.Parent != seq.None {
+			p := h.nodes[n.Parent]
+			if p == nil {
+				return fmt.Errorf("topology: node %v has unknown parent %v", id, n.Parent)
+			}
+			if !contains(p.Children, id) {
+				return fmt.Errorf("topology: node %v missing from parent %v children", id, n.Parent)
+			}
+			if p.Tier >= n.Tier && !(p.Tier == n.Tier && p.Ring != n.Ring) {
+				// Parents normally live in the tier above. Equal-tier
+				// parents appear only in sub-tier configurations (paper
+				// §3 "sub-tiers of the AGT and BRT tiers"), which must
+				// use distinct rings.
+				if p.Tier != n.Tier {
+					return fmt.Errorf("topology: node %v (%v) has parent %v (%v) below it", id, n.Tier, n.Parent, p.Tier)
+				}
+			}
+		}
+		dup := make(map[seq.NodeID]bool)
+		for _, c := range n.Children {
+			if dup[c] {
+				return fmt.Errorf("topology: node %v lists child %v twice", id, c)
+			}
+			dup[c] = true
+			cn := h.nodes[c]
+			if cn == nil {
+				return fmt.Errorf("topology: node %v lists unknown child %v", id, c)
+			}
+			if cn.Parent != id {
+				return fmt.Errorf("topology: child %v of %v points to parent %v", c, id, cn.Parent)
+			}
+		}
+	}
+	for host, ap := range h.mhs {
+		n := h.nodes[ap]
+		if n == nil || n.Tier != TierAP {
+			return fmt.Errorf("topology: host %v attached to non-AP %v", host, ap)
+		}
+	}
+	return nil
+}
+
+// Format renders the hierarchy as an indented tree-of-rings (top ring
+// first), for logs and the Figure-1 experiment.
+func (h *Hierarchy) Format() string {
+	var sb strings.Builder
+	top := h.TopRing()
+	if top == nil {
+		return "(no top ring)\n"
+	}
+	h.formatRing(&sb, top, 0)
+	return sb.String()
+}
+
+func (h *Hierarchy) formatRing(sb *strings.Builder, r *Ring, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(sb, "%s%v-ring %d: ", ind, r.Tier, r.ID)
+	for i, m := range r.Nodes() {
+		if i > 0 {
+			sb.WriteString(" -> ")
+		}
+		fmt.Fprintf(sb, "%v", m)
+		if m == r.Leader() {
+			sb.WriteString("*")
+		}
+	}
+	sb.WriteString("\n")
+	for _, m := range r.Nodes() {
+		for _, c := range h.nodes[m].Children {
+			cn := h.nodes[c]
+			if cn.Ring != 0 {
+				if cr := h.rings[cn.Ring]; cr != nil && cr.Leader() == c {
+					h.formatRing(sb, cr, depth+1)
+					continue
+				}
+			}
+			hosts := h.HostsAt(c)
+			fmt.Fprintf(sb, "%s  %v %v (parent %v, %d MHs)\n", ind, cn.Tier, c, m, len(hosts))
+		}
+	}
+}
+
+func contains(s []seq.NodeID, id seq.NodeID) bool {
+	for _, v := range s {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,405 @@
+// Package topology models the RingNet hierarchy (paper §3): a tree of
+// logical rings spanning the Border Router Tier (BRT) and Access Gateway
+// Tier (AGT), with Access Proxies (APT) as leaf network entities and
+// Mobile Hosts (MHT) attached beneath them.
+//
+// Each logical ring is a cyclic list of network entities with exactly one
+// leader; the leader is the ring's interface to the tier above. Every
+// node knows only its possible leader, previous, next, parent, and
+// children neighbors — the protocol never needs a global view.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// Tier enumerates the four tiers of the hierarchy.
+type Tier int
+
+const (
+	// TierBR is the Border Router Tier (top; its ring orders messages).
+	TierBR Tier = iota
+	// TierAG is the Access Gateway Tier.
+	TierAG
+	// TierAP is the Access Proxy Tier (bottom network entities).
+	TierAP
+	// TierMH is the Mobile Host Tier.
+	TierMH
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierBR:
+		return "BR"
+	case TierAG:
+		return "AG"
+	case TierAP:
+		return "AP"
+	case TierMH:
+		return "MH"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// RingID identifies a logical ring. Zero is reserved.
+type RingID uint32
+
+// Node is one network entity's view of the hierarchy: its identity, tier,
+// ring membership, and neighbor links (paper §4.1, Data Structure of NEs:
+// Current, Leader, Previous, Next, Parent, Children).
+type Node struct {
+	ID   seq.NodeID
+	Tier Tier
+	// Ring is the logical ring this node belongs to (0 for APs, which
+	// are not organized into rings in the base model).
+	Ring RingID
+	// Parent is set for ring leaders (their contact in the tier above)
+	// and for APs (their access gateway).
+	Parent seq.NodeID
+	// Children are the nodes in the tier below fed by this node.
+	Children []seq.NodeID
+	// Candidates are pre-configured fallback contactors: candidate
+	// neighbor nodes for joining rings and/or candidate parents
+	// (paper §3: "each AP, AG, and BR [has] some knowledge of its
+	// candidate contactors").
+	Candidates []seq.NodeID
+}
+
+// Ring is a logical ring: an ordered cycle of node IDs with one leader.
+type Ring struct {
+	ID     RingID
+	Tier   Tier
+	nodes  []seq.NodeID // cyclic successor order
+	leader seq.NodeID
+}
+
+// Nodes returns the ring's members in successor order starting from the
+// leader (a copy).
+func (r *Ring) Nodes() []seq.NodeID {
+	out := make([]seq.NodeID, 0, len(r.nodes))
+	li := r.index(r.leader)
+	for i := 0; i < len(r.nodes); i++ {
+		out = append(out, r.nodes[(li+i)%len(r.nodes)])
+	}
+	return out
+}
+
+// Len returns the ring size.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Leader returns the ring leader.
+func (r *Ring) Leader() seq.NodeID { return r.leader }
+
+// Contains reports ring membership.
+func (r *Ring) Contains(id seq.NodeID) bool { return r.index(id) >= 0 }
+
+func (r *Ring) index(id seq.NodeID) int {
+	for i, n := range r.nodes {
+		if n == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Next returns the successor of id on the ring.
+func (r *Ring) Next(id seq.NodeID) (seq.NodeID, bool) {
+	i := r.index(id)
+	if i < 0 || len(r.nodes) == 0 {
+		return seq.None, false
+	}
+	return r.nodes[(i+1)%len(r.nodes)], true
+}
+
+// Prev returns the predecessor of id on the ring.
+func (r *Ring) Prev(id seq.NodeID) (seq.NodeID, bool) {
+	i := r.index(id)
+	if i < 0 || len(r.nodes) == 0 {
+		return seq.None, false
+	}
+	return r.nodes[(i-1+len(r.nodes))%len(r.nodes)], true
+}
+
+// Hierarchy is the mutable tree-of-rings. It is a passive data structure:
+// the membership protocol mutates it and the multicast protocol queries
+// it; neither goroutine-shares it (the DES is single-threaded and the
+// concurrent runtime keeps a copy per driver).
+type Hierarchy struct {
+	rings  map[RingID]*Ring
+	nodes  map[seq.NodeID]*Node
+	mhs    map[seq.HostID]seq.NodeID // MH → its current AP
+	nextID RingID
+}
+
+// New returns an empty hierarchy.
+func New() *Hierarchy {
+	return &Hierarchy{
+		rings:  make(map[RingID]*Ring),
+		nodes:  make(map[seq.NodeID]*Node),
+		mhs:    make(map[seq.HostID]seq.NodeID),
+		nextID: 1,
+	}
+}
+
+// Node returns the node record for id, or nil.
+func (h *Hierarchy) Node(id seq.NodeID) *Node { return h.nodes[id] }
+
+// Ring returns the ring record, or nil.
+func (h *Hierarchy) Ring(id RingID) *Ring { return h.rings[id] }
+
+// RingOf returns the ring containing node id, or nil.
+func (h *Hierarchy) RingOf(id seq.NodeID) *Ring {
+	n := h.nodes[id]
+	if n == nil || n.Ring == 0 {
+		return nil
+	}
+	return h.rings[n.Ring]
+}
+
+// Rings returns all ring IDs in ascending order.
+func (h *Hierarchy) Rings() []RingID {
+	out := make([]RingID, 0, len(h.rings))
+	for id := range h.rings {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodeIDs returns all NE identities in ascending order.
+func (h *Hierarchy) NodeIDs() []seq.NodeID {
+	out := make([]seq.NodeID, 0, len(h.nodes))
+	for id := range h.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TopRing returns the BR-tier ring. When several BR rings exist
+// (partitioned deployments), the one with the smallest ID is "the" top
+// ring; Merge unifies them.
+func (h *Hierarchy) TopRing() *Ring {
+	var best *Ring
+	for _, r := range h.rings {
+		if r.Tier != TierBR {
+			continue
+		}
+		if best == nil || r.ID < best.ID {
+			best = r
+		}
+	}
+	return best
+}
+
+// NewRing creates a ring at a tier from an ordered node list; the first
+// node becomes leader. All nodes must already exist at that tier and not
+// belong to another ring.
+func (h *Hierarchy) NewRing(t Tier, members ...seq.NodeID) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("topology: empty ring")
+	}
+	for _, m := range members {
+		n := h.nodes[m]
+		if n == nil {
+			return nil, fmt.Errorf("topology: ring member %v unknown", m)
+		}
+		if n.Tier != t {
+			return nil, fmt.Errorf("topology: ring member %v is %v, want %v", m, n.Tier, t)
+		}
+		if n.Ring != 0 {
+			return nil, fmt.Errorf("topology: ring member %v already in ring %d", m, n.Ring)
+		}
+	}
+	r := &Ring{ID: h.nextID, Tier: t, nodes: append([]seq.NodeID(nil), members...), leader: members[0]}
+	h.nextID++
+	h.rings[r.ID] = r
+	for _, m := range members {
+		h.nodes[m].Ring = r.ID
+	}
+	return r, nil
+}
+
+// AddNode registers a network entity at a tier. It starts ringless,
+// parentless, and childless.
+func (h *Hierarchy) AddNode(id seq.NodeID, t Tier) (*Node, error) {
+	if id == seq.None {
+		return nil, fmt.Errorf("topology: cannot add the None node")
+	}
+	if _, ok := h.nodes[id]; ok {
+		return nil, fmt.Errorf("topology: node %v already exists", id)
+	}
+	n := &Node{ID: id, Tier: t}
+	h.nodes[id] = n
+	return n, nil
+}
+
+// SetParent links child to parent and records the child on the parent's
+// children list. Any previous parent link is removed first.
+func (h *Hierarchy) SetParent(child, parent seq.NodeID) error {
+	c := h.nodes[child]
+	if c == nil {
+		return fmt.Errorf("topology: unknown child %v", child)
+	}
+	if parent != seq.None && h.nodes[parent] == nil {
+		return fmt.Errorf("topology: unknown parent %v", parent)
+	}
+	if c.Parent != seq.None {
+		if old := h.nodes[c.Parent]; old != nil {
+			old.Children = remove(old.Children, child)
+		}
+	}
+	c.Parent = parent
+	if parent != seq.None {
+		p := h.nodes[parent]
+		p.Children = append(p.Children, child)
+	}
+	return nil
+}
+
+// InsertIntoRing splices id into the ring immediately after neighbor
+// (the paper's "join a logical ring through a candidate neighboring
+// node").
+func (h *Hierarchy) InsertIntoRing(id, neighbor seq.NodeID) error {
+	n := h.nodes[id]
+	if n == nil {
+		return fmt.Errorf("topology: unknown node %v", id)
+	}
+	if n.Ring != 0 {
+		return fmt.Errorf("topology: node %v already in ring %d", id, n.Ring)
+	}
+	r := h.RingOf(neighbor)
+	if r == nil {
+		return fmt.Errorf("topology: neighbor %v not in a ring", neighbor)
+	}
+	if r.Tier != n.Tier {
+		return fmt.Errorf("topology: node %v is %v, ring %d is %v", id, n.Tier, r.ID, r.Tier)
+	}
+	i := r.index(neighbor)
+	r.nodes = append(r.nodes, seq.None)
+	copy(r.nodes[i+2:], r.nodes[i+1:])
+	r.nodes[i+1] = id
+	n.Ring = r.ID
+	return nil
+}
+
+// RemoveFromRing splices id out of its ring (failure repair: the
+// previous node's next pointer bypasses it). If id was the leader, the
+// next surviving node becomes leader and inherits the old leader's
+// parent link. An emptied ring is deleted. It returns the ring and
+// whether the removed node was the leader.
+func (h *Hierarchy) RemoveFromRing(id seq.NodeID) (*Ring, bool, error) {
+	n := h.nodes[id]
+	if n == nil {
+		return nil, false, fmt.Errorf("topology: unknown node %v", id)
+	}
+	r := h.RingOf(id)
+	if r == nil {
+		return nil, false, fmt.Errorf("topology: node %v not in a ring", id)
+	}
+	wasLeader := r.leader == id
+	next, _ := r.Next(id)
+	r.nodes = remove(r.nodes, id)
+	n.Ring = 0
+	if len(r.nodes) == 0 {
+		delete(h.rings, r.ID)
+		return r, wasLeader, nil
+	}
+	if wasLeader {
+		r.leader = next
+		// The new leader inherits the upward link so the ring stays
+		// attached to the hierarchy.
+		if n.Parent != seq.None {
+			if err := h.SetParent(next, n.Parent); err != nil {
+				return nil, false, err
+			}
+			if err := h.SetParent(id, seq.None); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return r, wasLeader, nil
+}
+
+// SetLeader changes a ring's leader. The new leader must be a member.
+func (h *Hierarchy) SetLeader(ring RingID, id seq.NodeID) error {
+	r := h.rings[ring]
+	if r == nil {
+		return fmt.Errorf("topology: unknown ring %d", ring)
+	}
+	if !r.Contains(id) {
+		return fmt.Errorf("topology: %v not in ring %d", id, ring)
+	}
+	r.leader = id
+	return nil
+}
+
+// Merge concatenates ring b into ring a (two top rings merging, the
+// Multiple-Token scenario). Ring a's leader survives; b's members join a
+// preserving their cyclic order; ring b is deleted.
+func (h *Hierarchy) Merge(a, b RingID) (*Ring, error) {
+	ra, rb := h.rings[a], h.rings[b]
+	if ra == nil || rb == nil {
+		return nil, fmt.Errorf("topology: merge of unknown rings %d,%d", a, b)
+	}
+	if a == b {
+		return ra, nil
+	}
+	if ra.Tier != rb.Tier {
+		return nil, fmt.Errorf("topology: merging rings of different tiers")
+	}
+	for _, m := range rb.nodes {
+		h.nodes[m].Ring = ra.ID
+	}
+	ra.nodes = append(ra.nodes, rb.nodes...)
+	delete(h.rings, b)
+	return ra, nil
+}
+
+// AttachMH records host as attached to AP ap.
+func (h *Hierarchy) AttachMH(host seq.HostID, ap seq.NodeID) error {
+	n := h.nodes[ap]
+	if n == nil || n.Tier != TierAP {
+		return fmt.Errorf("topology: %v is not an AP", ap)
+	}
+	h.mhs[host] = ap
+	return nil
+}
+
+// DetachMH removes host. It returns its former AP.
+func (h *Hierarchy) DetachMH(host seq.HostID) seq.NodeID {
+	ap := h.mhs[host]
+	delete(h.mhs, host)
+	return ap
+}
+
+// APOf returns the AP a host is attached to (None if unattached).
+func (h *Hierarchy) APOf(host seq.HostID) seq.NodeID { return h.mhs[host] }
+
+// HostsAt returns the hosts attached to ap, ascending.
+func (h *Hierarchy) HostsAt(ap seq.NodeID) []seq.HostID {
+	var out []seq.HostID
+	for m, a := range h.mhs {
+		if a == ap {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Hosts returns the number of attached MHs.
+func (h *Hierarchy) Hosts() int { return len(h.mhs) }
+
+func remove(s []seq.NodeID, id seq.NodeID) []seq.NodeID {
+	out := s[:0]
+	for _, v := range s {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,547 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+func mustAdd(t *testing.T, h *Hierarchy, id seq.NodeID, tier Tier) {
+	t.Helper()
+	if _, err := h.AddNode(id, tier); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddNodeErrors(t *testing.T) {
+	h := New()
+	mustAdd(t, h, 1, TierBR)
+	if _, err := h.AddNode(1, TierBR); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if _, err := h.AddNode(seq.None, TierBR); err == nil {
+		t.Fatal("None add accepted")
+	}
+}
+
+func TestRingCycle(t *testing.T) {
+	h := New()
+	for i := seq.NodeID(1); i <= 4; i++ {
+		mustAdd(t, h, i, TierBR)
+	}
+	r, err := h.NewRing(TierBR, 1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Leader() != 1 || r.Len() != 4 {
+		t.Fatalf("ring %+v", r)
+	}
+	// Walk next pointers: must visit all nodes and return to start.
+	cur := seq.NodeID(1)
+	visited := map[seq.NodeID]bool{}
+	for i := 0; i < 4; i++ {
+		visited[cur] = true
+		nx, ok := r.Next(cur)
+		if !ok {
+			t.Fatal("Next failed")
+		}
+		cur = nx
+	}
+	if cur != 1 || len(visited) != 4 {
+		t.Fatalf("cycle broken: back at %v, visited %d", cur, len(visited))
+	}
+	// Prev is the inverse of Next.
+	for _, id := range r.Nodes() {
+		nx, _ := r.Next(id)
+		pv, _ := r.Prev(nx)
+		if pv != id {
+			t.Fatalf("Prev(Next(%v)) = %v", id, pv)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRingErrors(t *testing.T) {
+	h := New()
+	mustAdd(t, h, 1, TierBR)
+	mustAdd(t, h, 2, TierAG)
+	if _, err := h.NewRing(TierBR); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := h.NewRing(TierBR, 99); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+	if _, err := h.NewRing(TierBR, 2); err == nil {
+		t.Fatal("wrong-tier member accepted")
+	}
+	if _, err := h.NewRing(TierBR, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.NewRing(TierBR, 1); err == nil {
+		t.Fatal("double ring membership accepted")
+	}
+}
+
+func TestInsertIntoRing(t *testing.T) {
+	h := New()
+	for i := seq.NodeID(1); i <= 3; i++ {
+		mustAdd(t, h, i, TierBR)
+	}
+	if _, err := h.NewRing(TierBR, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertIntoRing(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	r := h.RingOf(3)
+	nx, _ := r.Next(1)
+	if nx != 3 {
+		t.Fatalf("inserted node not after neighbor: next(1)=%v", nx)
+	}
+	nx, _ = r.Next(3)
+	if nx != 2 {
+		t.Fatalf("splice broken: next(3)=%v", nx)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertIntoRingErrors(t *testing.T) {
+	h := New()
+	mustAdd(t, h, 1, TierBR)
+	mustAdd(t, h, 2, TierBR)
+	mustAdd(t, h, 3, TierAG)
+	if _, err := h.NewRing(TierBR, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertIntoRing(99, 1); err == nil {
+		t.Fatal("unknown node inserted")
+	}
+	if err := h.InsertIntoRing(2, 99); err == nil {
+		t.Fatal("insert after non-ring neighbor")
+	}
+	if err := h.InsertIntoRing(3, 1); err == nil {
+		t.Fatal("cross-tier insert accepted")
+	}
+	if err := h.InsertIntoRing(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertIntoRing(2, 1); err == nil {
+		t.Fatal("double insert accepted")
+	}
+}
+
+func TestRemoveFromRingBypass(t *testing.T) {
+	h := New()
+	for i := seq.NodeID(1); i <= 3; i++ {
+		mustAdd(t, h, i, TierBR)
+	}
+	if _, err := h.NewRing(TierBR, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	r, wasLeader, err := h.RemoveFromRing(2)
+	if err != nil || wasLeader {
+		t.Fatalf("remove: %v %v", wasLeader, err)
+	}
+	nx, _ := r.Next(1)
+	if nx != 3 {
+		t.Fatalf("bypass failed: next(1)=%v", nx)
+	}
+	if h.Node(2).Ring != 0 {
+		t.Fatal("removed node still claims ring")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveLeaderPromotesNextAndInheritsParent(t *testing.T) {
+	h := New()
+	mustAdd(t, h, 10, TierBR)
+	if _, err := h.NewRing(TierBR, 10); err != nil {
+		t.Fatal(err)
+	}
+	for i := seq.NodeID(1); i <= 3; i++ {
+		mustAdd(t, h, i, TierAG)
+	}
+	if _, err := h.NewRing(TierAG, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetParent(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	r, wasLeader, err := h.RemoveFromRing(1)
+	if err != nil || !wasLeader {
+		t.Fatalf("remove leader: %v %v", wasLeader, err)
+	}
+	if r.Leader() != 2 {
+		t.Fatalf("new leader %v, want 2", r.Leader())
+	}
+	if h.Node(2).Parent != 10 {
+		t.Fatalf("parent not inherited: %v", h.Node(2).Parent)
+	}
+	if h.Node(1).Parent != seq.None {
+		t.Fatal("old leader keeps parent")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveLastMemberDeletesRing(t *testing.T) {
+	h := New()
+	mustAdd(t, h, 1, TierBR)
+	r, err := h.NewRing(TierBR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.RemoveFromRing(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Ring(r.ID) != nil {
+		t.Fatal("empty ring not deleted")
+	}
+}
+
+func TestSetLeader(t *testing.T) {
+	h := New()
+	for i := seq.NodeID(1); i <= 2; i++ {
+		mustAdd(t, h, i, TierBR)
+	}
+	r, _ := h.NewRing(TierBR, 1, 2)
+	if err := h.SetLeader(r.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Leader() != 2 {
+		t.Fatal("leader not changed")
+	}
+	if err := h.SetLeader(r.ID, 99); err == nil {
+		t.Fatal("non-member leader accepted")
+	}
+	if err := h.SetLeader(999, 1); err == nil {
+		t.Fatal("unknown ring accepted")
+	}
+}
+
+func TestMergeRings(t *testing.T) {
+	h := New()
+	for i := seq.NodeID(1); i <= 6; i++ {
+		mustAdd(t, h, i, TierBR)
+	}
+	ra, _ := h.NewRing(TierBR, 1, 2, 3)
+	rb, _ := h.NewRing(TierBR, 4, 5, 6)
+	merged, err := h.Merge(ra.ID, rb.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 6 || merged.Leader() != 1 {
+		t.Fatalf("merged %+v", merged)
+	}
+	if h.Ring(rb.ID) != nil {
+		t.Fatal("ring b survives")
+	}
+	for i := seq.NodeID(4); i <= 6; i++ {
+		if h.Node(i).Ring != ra.ID {
+			t.Fatalf("node %v ring = %d", i, h.Node(i).Ring)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Self-merge is a no-op.
+	if _, err := h.Merge(ra.ID, ra.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	h := New()
+	mustAdd(t, h, 1, TierBR)
+	mustAdd(t, h, 2, TierAG)
+	ra, _ := h.NewRing(TierBR, 1)
+	rb, _ := h.NewRing(TierAG, 2)
+	if _, err := h.Merge(ra.ID, 999); err == nil {
+		t.Fatal("merge with unknown ring")
+	}
+	if _, err := h.Merge(ra.ID, rb.ID); err == nil {
+		t.Fatal("cross-tier merge accepted")
+	}
+}
+
+func TestMHAttachment(t *testing.T) {
+	h := New()
+	mustAdd(t, h, 1, TierAP)
+	mustAdd(t, h, 2, TierAG)
+	if err := h.AttachMH(7, 2); err == nil {
+		t.Fatal("attach to non-AP accepted")
+	}
+	if err := h.AttachMH(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if h.APOf(7) != 1 || h.Hosts() != 1 {
+		t.Fatal("APOf/Hosts")
+	}
+	hosts := h.HostsAt(1)
+	if len(hosts) != 1 || hosts[0] != 7 {
+		t.Fatalf("HostsAt = %v", hosts)
+	}
+	if ap := h.DetachMH(7); ap != 1 {
+		t.Fatalf("DetachMH = %v", ap)
+	}
+	if h.APOf(7) != seq.None {
+		t.Fatal("host survives detach")
+	}
+}
+
+func TestNeighborsView(t *testing.T) {
+	b, err := Build(Spec{BRs: 3, AGRings: 1, AGSize: 3, APsPerAG: 1, MHsPerAP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := b.H
+	// A BR in the top ring.
+	v, err := h.Neighbors(b.BRs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsTop || v.Tier != TierBR {
+		t.Fatalf("BR view %+v", v)
+	}
+	if v.Next == seq.None || v.Previous == seq.None {
+		t.Fatal("BR missing ring neighbors")
+	}
+	// AG ring leader has parent BR and is leader.
+	agLeader := h.Ring(b.AGRing[0]).Leader()
+	v, err = h.Neighbors(agLeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsLeader || v.IsTop || v.Parent == seq.None {
+		t.Fatalf("AG leader view %+v", v)
+	}
+	// AP has no ring but a parent and children (MH handled separately).
+	v, err = h.Neighbors(b.APs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Leader != seq.None || v.Next != seq.None || v.Parent == seq.None {
+		t.Fatalf("AP view %+v", v)
+	}
+	if _, err := h.Neighbors(9999); err == nil {
+		t.Fatal("unknown node view accepted")
+	}
+}
+
+func TestBuildSpecCounts(t *testing.T) {
+	s := Spec{BRs: 3, AGRings: 2, AGSize: 3, APsPerAG: 2, MHsPerAP: 4}
+	b, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.BRs) != 3 || len(b.AGs) != 6 || len(b.APs) != 12 || len(b.Hosts) != 48 {
+		t.Fatalf("counts: %d BR %d AG %d AP %d MH", len(b.BRs), len(b.AGs), len(b.APs), len(b.Hosts))
+	}
+	if err := b.H.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.H.TopRing() == nil || b.H.TopRing().Len() != 3 {
+		t.Fatal("top ring wrong")
+	}
+	// Each AG ring leader must have a BR parent.
+	for _, rid := range b.AGRing {
+		leader := b.H.Ring(rid).Leader()
+		p := b.H.Node(leader).Parent
+		if b.H.Node(p).Tier != TierBR {
+			t.Fatalf("AG ring %d leader parent %v not BR", rid, p)
+		}
+	}
+	// Candidates configured for AG leaders.
+	if len(b.H.Node(b.H.Ring(b.AGRing[0]).Leader()).Candidates) != 2 {
+		t.Fatal("AG leader candidates missing")
+	}
+}
+
+func TestBuildInvalidSpec(t *testing.T) {
+	if _, err := Build(Spec{BRs: 0}); err == nil {
+		t.Fatal("zero BRs accepted")
+	}
+	if _, err := Build(Spec{BRs: 1, AGRings: -1}); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestFigure1Topology(t *testing.T) {
+	b, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := b.H
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.TopRing().Len() != 3 {
+		t.Fatalf("top ring %d, want 3 BRs", h.TopRing().Len())
+	}
+	agRings := 0
+	for _, rid := range h.Rings() {
+		if h.Ring(rid).Tier == TierAG {
+			agRings++
+			if h.Ring(rid).Len() != 3 {
+				t.Fatalf("AG ring %d size %d, want 3", rid, h.Ring(rid).Len())
+			}
+		}
+	}
+	if agRings != 3 {
+		t.Fatalf("%d AG rings, want 3", agRings)
+	}
+	if len(b.APs) != 12 {
+		t.Fatalf("%d APs, want 12", len(b.APs))
+	}
+	if h.Hosts() != 4 {
+		t.Fatalf("%d MHs, want 4", h.Hosts())
+	}
+	out := h.Format()
+	if !strings.Contains(out, "BR-ring") || !strings.Contains(out, "AG-ring") {
+		t.Fatalf("Format output:\n%s", out)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierBR.String() != "BR" || TierMH.String() != "MH" {
+		t.Fatal("tier strings")
+	}
+	if !strings.Contains(Tier(9).String(), "9") {
+		t.Fatal("unknown tier string")
+	}
+}
+
+func TestSetParentRelink(t *testing.T) {
+	h := New()
+	mustAdd(t, h, 1, TierAG)
+	mustAdd(t, h, 2, TierAG)
+	mustAdd(t, h, 3, TierAP)
+	if err := h.SetParent(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetParent(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Node(1).Children) != 0 {
+		t.Fatal("old parent keeps child")
+	}
+	if len(h.Node(2).Children) != 1 {
+		t.Fatal("new parent missing child")
+	}
+	if err := h.SetParent(3, seq.None); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Node(2).Children) != 0 {
+		t.Fatal("None parent keeps child")
+	}
+	if err := h.SetParent(99, 1); err == nil {
+		t.Fatal("unknown child accepted")
+	}
+	if err := h.SetParent(3, 99); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+}
+
+// Property: random insert/remove sequences keep ring invariants.
+func TestQuickRingChurn(t *testing.T) {
+	f := func(ops []uint8) bool {
+		h := New()
+		for i := seq.NodeID(1); i <= 20; i++ {
+			if _, err := h.AddNode(i, TierBR); err != nil {
+				return false
+			}
+		}
+		if _, err := h.NewRing(TierBR, 1, 2); err != nil {
+			return false
+		}
+		inRing := map[seq.NodeID]bool{1: true, 2: true}
+		nextFree := seq.NodeID(3)
+		for _, op := range ops {
+			if op%2 == 0 && nextFree <= 20 {
+				// Insert after a random in-ring node.
+				var anchor seq.NodeID
+				for id := range inRing {
+					anchor = id
+					break
+				}
+				if err := h.InsertIntoRing(nextFree, anchor); err != nil {
+					return false
+				}
+				inRing[nextFree] = true
+				nextFree++
+			} else if len(inRing) > 1 {
+				var victim seq.NodeID
+				for id := range inRing {
+					victim = id
+					break
+				}
+				if _, _, err := h.RemoveFromRing(victim); err != nil {
+					return false
+				}
+				delete(inRing, victim)
+			}
+			if err := h.Validate(); err != nil {
+				return false
+			}
+			// Ring remains a single cycle covering inRing.
+			var anyR *Ring
+			for id := range inRing {
+				anyR = h.RingOf(id)
+				break
+			}
+			if anyR == nil || anyR.Len() != len(inRing) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDeepSubTiers(t *testing.T) {
+	// 2 BRs, 2 levels of AG rings of size 2: level 1 has 2 rings (one
+	// per BR) = 4 AGs; level 2 has 4 rings (one per level-1 AG) = 8
+	// AGs; 8 leaf AGs x 1 AP x 1 MH.
+	b, err := BuildDeep(2, 2, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.H.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.AGs) != 4+8 {
+		t.Fatalf("AGs = %d, want 12", len(b.AGs))
+	}
+	if len(b.AGRing) != 2+4 {
+		t.Fatalf("AG rings = %d, want 6", len(b.AGRing))
+	}
+	if len(b.APs) != 8 || b.H.Hosts() != 8 {
+		t.Fatalf("APs=%d hosts=%d", len(b.APs), b.H.Hosts())
+	}
+	// Level-2 ring leaders have equal-tier parents in distinct rings.
+	deepLeader := b.H.Ring(b.AGRing[len(b.AGRing)-1]).Leader()
+	p := b.H.Node(deepLeader).Parent
+	if b.H.Node(p).Tier != TierAG {
+		t.Fatalf("deep leader parent tier = %v, want AG", b.H.Node(p).Tier)
+	}
+	if b.H.Node(p).Ring == b.H.Node(deepLeader).Ring {
+		t.Fatal("sub-ring leader parented inside its own ring")
+	}
+}
+
+func TestBuildDeepInvalid(t *testing.T) {
+	if _, err := BuildDeep(0, 1, 1, 1, 1); err == nil {
+		t.Fatal("invalid deep spec accepted")
+	}
+}

@@ -1,0 +1,244 @@
+// Package transport implements the paper's local-scope-based
+// retransmission scheme (§4.2.3): every network entity reliably transmits
+// within its immediate-neighbor scope only — to its next node, its
+// children, or its attached MHs — using per-hop cumulative
+// acknowledgements, timeout retransmission, and bounded retries. After
+// the retry budget is exhausted a message is "really lost" and, per
+// §4.1, is considered delivered (best-effort reliability in the sense of
+// Bimodal Multicast [5]).
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/seq"
+	"repro/internal/sim"
+)
+
+// Config tunes one reliable hop.
+type Config struct {
+	// RTO is the retransmission timeout.
+	RTO sim.Time
+	// MaxRetries bounds retransmissions per message; 0 means unbounded
+	// (strong reliability within the hop).
+	MaxRetries int
+}
+
+// DefaultConfig suits wired backbone hops.
+var DefaultConfig = Config{RTO: 20 * sim.Millisecond, MaxRetries: 10}
+
+// WirelessConfig suits lossy AP→MH hops: a tighter timer and a larger
+// budget.
+var WirelessConfig = Config{RTO: 30 * sim.Millisecond, MaxRetries: 15}
+
+type pending struct {
+	m       msg.Message
+	seqno   uint64
+	retries int
+	timer   *sim.Timer
+}
+
+// Sender reliably pushes a sequence-numbered stream of messages across
+// one directed hop. Seqnos must be assigned by the caller and are
+// cumulative-acked: Ack(n) releases every message with seqno ≤ n.
+//
+// The sender never reorders: it transmits immediately on Send and
+// retransmits on timeout. OnGiveUp fires when a message exhausts its
+// retries — the caller then applies the really-lost rule.
+type Sender struct {
+	net   *netsim.Network
+	cfg   Config
+	from  seq.NodeID
+	to    seq.NodeID
+	out   map[uint64]*pending
+	acked uint64
+	// OnGiveUp is invoked with the seqno abandoned after MaxRetries.
+	OnGiveUp func(seqno uint64)
+
+	// Retransmissions counts timeout-triggered resends (overhead
+	// metric).
+	Retransmissions uint64
+	closed          bool
+}
+
+// NewSender builds a sender for one directed hop.
+func NewSender(net *netsim.Network, from, to seq.NodeID, cfg Config) *Sender {
+	if cfg.RTO <= 0 {
+		cfg.RTO = DefaultConfig.RTO
+	}
+	return &Sender{net: net, cfg: cfg, from: from, to: to, out: make(map[uint64]*pending)}
+}
+
+// To returns the destination of this hop.
+func (s *Sender) To() seq.NodeID { return s.to }
+
+// Retarget atomically redirects the hop to a new destination (ring
+// repair: the next node changed). Unacked messages are retransmitted to
+// the new destination immediately.
+func (s *Sender) Retarget(to seq.NodeID) {
+	if s.to == to {
+		return
+	}
+	s.to = to
+	for _, p := range s.out {
+		s.transmit(p)
+	}
+}
+
+// Send transmits m with the given stream seqno. Duplicate seqnos and
+// seqnos at or below the cumulative ack are ignored.
+func (s *Sender) Send(seqno uint64, m msg.Message) {
+	if s.closed || seqno <= s.acked {
+		return
+	}
+	if _, dup := s.out[seqno]; dup {
+		return
+	}
+	p := &pending{m: m, seqno: seqno}
+	s.out[seqno] = p
+	s.net.Send(s.from, s.to, m)
+	s.arm(p)
+}
+
+func (s *Sender) transmit(p *pending) {
+	s.net.Send(s.from, s.to, p.m)
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	s.arm(p)
+}
+
+func (s *Sender) arm(p *pending) {
+	p.timer = s.net.Scheduler().After(s.cfg.RTO, func() {
+		if s.closed || p.seqno <= s.acked {
+			return
+		}
+		if _, live := s.out[p.seqno]; !live {
+			return
+		}
+		if s.cfg.MaxRetries > 0 && p.retries >= s.cfg.MaxRetries {
+			delete(s.out, p.seqno)
+			if s.OnGiveUp != nil {
+				s.OnGiveUp(p.seqno)
+			}
+			return
+		}
+		p.retries++
+		s.Retransmissions++
+		s.transmit(p)
+	})
+}
+
+// Ack releases every outstanding message with seqno ≤ cum.
+func (s *Sender) Ack(cum uint64) {
+	if cum <= s.acked {
+		return
+	}
+	s.acked = cum
+	for n, p := range s.out {
+		if n <= cum {
+			if p.timer != nil {
+				p.timer.Stop()
+			}
+			delete(s.out, n)
+		}
+	}
+}
+
+// Acked returns the cumulative acknowledgement received.
+func (s *Sender) Acked() uint64 { return s.acked }
+
+// Outstanding returns the number of unacked messages.
+func (s *Sender) Outstanding() int { return len(s.out) }
+
+// Close stops all timers; subsequent Sends are dropped.
+func (s *Sender) Close() {
+	s.closed = true
+	for _, p := range s.out {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+	}
+	s.out = make(map[uint64]*pending)
+}
+
+// Courier reliably delivers one message at a time (the ordering token's
+// "some retransmission scheme", §4.2.1). Deliver sends m and retransmits
+// until Confirm is called or retries are exhausted, at which point OnFail
+// fires (the basis of the Token-Loss case when the next node is dead).
+type Courier struct {
+	net  *netsim.Network
+	cfg  Config
+	from seq.NodeID
+
+	seqno   uint64 // identifies the current in-flight delivery
+	to      seq.NodeID
+	m       msg.Message
+	retries int
+	timer   *sim.Timer
+	// OnFail is invoked when delivery of the current message is
+	// abandoned.
+	OnFail func(to seq.NodeID, m msg.Message)
+
+	Retransmissions uint64
+}
+
+// NewCourier builds a single-message reliable sender.
+func NewCourier(net *netsim.Network, from seq.NodeID, cfg Config) *Courier {
+	if cfg.RTO <= 0 {
+		cfg.RTO = DefaultConfig.RTO
+	}
+	return &Courier{net: net, cfg: cfg, from: from}
+}
+
+// Busy reports whether a delivery is in flight.
+func (c *Courier) Busy() bool { return c.m != nil }
+
+// Deliver starts reliable delivery of m to to, cancelling any previous
+// in-flight delivery.
+func (c *Courier) Deliver(to seq.NodeID, m msg.Message) {
+	c.cancel()
+	c.seqno++
+	c.to = to
+	c.m = m
+	c.retries = 0
+	c.net.Send(c.from, to, m)
+	c.armCourier(c.seqno)
+}
+
+func (c *Courier) armCourier(sn uint64) {
+	c.timer = c.net.Scheduler().After(c.cfg.RTO, func() {
+		if c.m == nil || c.seqno != sn {
+			return
+		}
+		if c.cfg.MaxRetries > 0 && c.retries >= c.cfg.MaxRetries {
+			m, to := c.m, c.to
+			c.m = nil
+			if c.OnFail != nil {
+				c.OnFail(to, m)
+			}
+			return
+		}
+		c.retries++
+		c.Retransmissions++
+		c.net.Send(c.from, c.to, c.m)
+		c.armCourier(sn)
+	})
+}
+
+// Confirm acknowledges the in-flight delivery, stopping retransmission.
+func (c *Courier) Confirm() { c.cancel() }
+
+func (c *Courier) cancel() {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.m = nil
+}
+
+func (c *Courier) String() string {
+	return fmt.Sprintf("courier{from=%v to=%v busy=%v retries=%d}", c.from, c.to, c.Busy(), c.retries)
+}

@@ -1,0 +1,240 @@
+// Package ringnet is the public API of this reproduction of "A Reliable
+// Totally-Ordered Group Multicast Protocol for Mobile Internet" (Wang,
+// Cao, Chan — ICPPW 2004).
+//
+// It exposes the RingNet hierarchy (a tree of logical rings spanning
+// border routers, access gateways, access proxies, and mobile hosts),
+// the totally-ordered reliable multicast protocol that runs on it, the
+// membership and mobility substrates, and the experiment harness that
+// regenerates the paper's analytical results (Theorem 5.1) and
+// comparative claims.
+//
+// Quick start:
+//
+//	sim, _ := ringnet.NewSim(ringnet.Config{
+//		Topology: ringnet.Spec{BRs: 3, AGRings: 2, AGSize: 2, APsPerAG: 1, MHsPerAP: 2},
+//		Seed:     42,
+//	})
+//	src := sim.Sources()[0]
+//	for i := 0; i < 100; i++ {
+//		sim.SubmitAt(ringnet.Millisecond*Time(10+i), src, []byte("hello"))
+//	}
+//	sim.Run(5 * ringnet.Second)
+//	fmt.Println(sim.Engine.Log.Latency.Summary())
+package ringnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/membership"
+	"repro/internal/mobility"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/seq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Re-exported identifier and time types, so callers need no internal
+// imports.
+type (
+	// NodeID identifies a network entity.
+	NodeID = seq.NodeID
+	// HostID identifies a mobile host.
+	HostID = seq.HostID
+	// GroupID identifies a multicast group.
+	GroupID = seq.GroupID
+	// GlobalSeq is a total-order sequence number.
+	GlobalSeq = seq.GlobalSeq
+	// Time is virtual time in microseconds.
+	Time = sim.Time
+	// Spec describes a regular RingNet deployment.
+	Spec = topology.Spec
+	// ProtocolConfig tunes the multicast protocol (τ, buffer sizes,
+	// retransmission, reservation windows...).
+	ProtocolConfig = core.Config
+	// LinkParams describes link latency/jitter/loss/bandwidth.
+	LinkParams = netsim.LinkParams
+)
+
+// Common durations.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Config assembles one simulation.
+type Config struct {
+	// Topology is the deployment shape (ignored when Hierarchy is set).
+	Topology Spec
+	// Figure1 builds the paper's Figure-1 topology instead of Topology.
+	Figure1 bool
+	// Protocol defaults to core.DefaultConfig().
+	Protocol *ProtocolConfig
+	// Seed drives all randomness (loss, jitter, mobility, workload).
+	Seed uint64
+	// Group identity (default 1).
+	Group GroupID
+	// Wired/Wireless override the default link parameters.
+	Wired    *LinkParams
+	Wireless *LinkParams
+	// Membership enables the heartbeat/repair protocol.
+	Membership bool
+	// MembershipConfig overrides membership defaults.
+	MembershipConfig *membership.Config
+}
+
+// Sim is one assembled simulation: scheduler, network, hierarchy,
+// protocol engine, and optional membership manager.
+type Sim struct {
+	Sched   *sim.Scheduler
+	Net     *netsim.Network
+	Built   *topology.Built
+	Engine  *core.Engine
+	Members *membership.Manager
+	RNG     *sim.RNG
+}
+
+// NewSim builds and starts a simulation.
+func NewSim(cfg Config) (*Sim, error) {
+	sched := sim.NewScheduler()
+	sched.MaxEvents = 500_000_000
+	root := sim.NewRNG(cfg.Seed)
+	net := netsim.New(sched, root.Fork())
+
+	var b *topology.Built
+	var err error
+	if cfg.Figure1 {
+		b, err = topology.Figure1()
+	} else {
+		b, err = topology.Build(cfg.Topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	pc := core.DefaultConfig()
+	if cfg.Protocol != nil {
+		pc = *cfg.Protocol
+	}
+	group := cfg.Group
+	if group == 0 {
+		group = 1
+	}
+	e := core.NewEngine(group, pc, net, b.H)
+	if cfg.Wired != nil {
+		e.WiredLink = *cfg.Wired
+	}
+	if cfg.Wireless != nil {
+		e.WirelessLink = *cfg.Wireless
+	}
+	if err := e.Start(); err != nil {
+		return nil, err
+	}
+
+	s := &Sim{Sched: sched, Net: net, Built: b, Engine: e, RNG: root}
+	if cfg.Membership {
+		mc := membership.DefaultConfig()
+		if cfg.MembershipConfig != nil {
+			mc = *cfg.MembershipConfig
+		}
+		s.Members = membership.New(e, mc)
+		s.Members.Start()
+	}
+	return s, nil
+}
+
+// Sources returns the top-ring nodes usable as corresponding nodes for
+// multicast sources (paper: at most one source per top-ring node).
+func (s *Sim) Sources() []NodeID { return append([]NodeID(nil), s.Built.BRs...) }
+
+// APs returns the access proxies.
+func (s *Sim) APs() []NodeID { return append([]NodeID(nil), s.Built.APs...) }
+
+// Hosts returns the mobile hosts attached at build time.
+func (s *Sim) Hosts() []HostID { return append([]HostID(nil), s.Built.Hosts...) }
+
+// Submit injects one message now.
+func (s *Sim) Submit(corr NodeID, payload []byte) error {
+	_, err := s.Engine.Submit(corr, payload)
+	return err
+}
+
+// SubmitAt schedules one message at virtual time at.
+func (s *Sim) SubmitAt(at Time, corr NodeID, payload []byte) {
+	s.Sched.At(at, func() { _, _ = s.Engine.Submit(corr, payload) })
+}
+
+// SubmitFunc adapts the engine for the workload generators.
+func (s *Sim) SubmitFunc() workload.SubmitFunc {
+	return func(corr seq.NodeID, payload []byte) error {
+		_, err := s.Engine.Submit(corr, payload)
+		return err
+	}
+}
+
+// NewTrafficGroup builds a workload generator group over the given
+// sources.
+func (s *Sim) NewTrafficGroup(corrs []NodeID, payloadSize int) *workload.Group {
+	return workload.NewGroup(s.Sched, s.SubmitFunc(), corrs, payloadSize)
+}
+
+// NewMover builds a mobility driver over this simulation's APs.
+func (s *Sim) NewMover(cfg mobility.Config) *mobility.Mover {
+	return mobility.New(s.Engine, s.RNG.Fork(), s.Built.APs, cfg)
+}
+
+// Run advances virtual time to the given instant.
+func (s *Sim) Run(until Time) error {
+	_, err := s.Sched.Run(until)
+	return err
+}
+
+// RunQuiet keeps advancing in slices of step until the engine quiesces
+// (all reliable hops drained) or maxTime passes. It returns the time at
+// quiescence.
+func (s *Sim) RunQuiet(step, maxTime Time) (Time, error) {
+	for s.Sched.Now() < maxTime {
+		if _, err := s.Sched.Run(s.Sched.Now() + step); err != nil {
+			return s.Sched.Now(), err
+		}
+		if s.Engine.Quiesced() {
+			return s.Sched.Now(), nil
+		}
+	}
+	return s.Sched.Now(), fmt.Errorf("ringnet: not quiesced after %v", maxTime)
+}
+
+// CheckOrder returns the first total-order violation observed so far.
+func (s *Sim) CheckOrder() error { return s.Engine.Log.Err() }
+
+// OnDeliver registers an application-level delivery observer for one
+// host. The callback receives the global sequence number, the source,
+// and the payload of each message as the host delivers it, in total
+// order.
+func (s *Sim) OnDeliver(h HostID, fn func(global GlobalSeq, source NodeID, payload []byte)) error {
+	m := s.Engine.MHOf(h)
+	if m == nil {
+		return fmt.Errorf("ringnet: unknown host %v", h)
+	}
+	m.OnDeliver = func(d *msg.Data) { fn(d.GlobalSeq, d.SourceNode, d.Payload) }
+	return nil
+}
+
+// Handoff moves a host to a new AP.
+func (s *Sim) Handoff(h HostID, ap NodeID, reserve bool) error {
+	return s.Engine.Handoff(h, ap, reserve)
+}
+
+// AddMember joins a fresh host at an AP.
+func (s *Sim) AddMember(h HostID, ap NodeID) error { return s.Engine.AddMH(h, ap) }
+
+// RemoveMember leaves.
+func (s *Sim) RemoveMember(h HostID) { s.Engine.RemoveMH(h) }
+
+// Fail crashes a network entity; Recover restores it.
+func (s *Sim) Fail(id NodeID)    { s.Engine.FailNode(id) }
+func (s *Sim) Recover(id NodeID) { s.Engine.RecoverNode(id) }

@@ -1,0 +1,159 @@
+package ringnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSimAndRun(t *testing.T) {
+	x, err := NewSim(Config{Topology: Spec{BRs: 3, AGRings: 1, AGSize: 2, APsPerAG: 1, MHsPerAP: 2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x.Sources()) != 3 || len(x.APs()) != 2 || len(x.Hosts()) != 4 {
+		t.Fatalf("accessors: %d/%d/%d", len(x.Sources()), len(x.APs()), len(x.Hosts()))
+	}
+	for i := 0; i < 20; i++ {
+		x.SubmitAt(Time(10+i)*Millisecond, x.Sources()[0], []byte("api"))
+	}
+	if _, err := x.RunQuiet(100*Millisecond, 30*Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.CheckOrder(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Engine.Log.MinDelivered() != 20 {
+		t.Fatalf("MinDelivered = %d", x.Engine.Log.MinDelivered())
+	}
+}
+
+func TestNewSimFigure1(t *testing.T) {
+	x, err := NewSim(Config{Figure1: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Engine.H.TopRing().Len() != 3 {
+		t.Fatal("figure-1 top ring")
+	}
+}
+
+func TestNewSimInvalidSpec(t *testing.T) {
+	if _, err := NewSim(Config{Topology: Spec{BRs: 0}}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestSubmitNowAndMembership(t *testing.T) {
+	x, err := NewSim(Config{
+		Topology:   Spec{BRs: 3, AGRings: 1, AGSize: 2, APsPerAG: 1, MHsPerAP: 1},
+		Seed:       3,
+		Membership: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Members == nil {
+		t.Fatal("membership manager missing")
+	}
+	if err := x.Submit(x.Sources()[0], []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Run(2 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.CheckOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandoffAndMembershipAPI(t *testing.T) {
+	x, err := NewSim(Config{Topology: Spec{BRs: 3, AGRings: 1, AGSize: 2, APsPerAG: 2, MHsPerAP: 1}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := x.Hosts()[0]
+	if err := x.Handoff(h, x.APs()[1], true); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddMember(HostID(999), x.APs()[2]); err != nil {
+		t.Fatal(err)
+	}
+	x.RemoveMember(HostID(999))
+	x.Fail(x.Sources()[2])
+	x.Recover(x.Sources()[2])
+	if err := x.Run(1 * Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficGroupIntegration(t *testing.T) {
+	x, err := NewSim(Config{Topology: Spec{BRs: 4, AGRings: 1, AGSize: 2, APsPerAG: 1, MHsPerAP: 1}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := x.NewTrafficGroup(x.Sources()[:2], 32)
+	g.CBR(10*Millisecond, 5*Millisecond, Millisecond, 30)
+	if _, err := x.RunQuiet(100*Millisecond, 30*Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.Sent() != 60 {
+		t.Fatalf("sent %d", g.Sent())
+	}
+	if x.Engine.Log.MinDelivered() != 60 {
+		t.Fatalf("delivered %d", x.Engine.Log.MinDelivered())
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("n=%d", 5)
+	out := tab.String()
+	for _, want := range []string{"== T: demo ==", "a", "bb", "note: n=5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Fast experiment smoke tests: the full parameter sweeps run under
+// -bench; these verify each harness end-to-end at small scale.
+
+func TestExperimentF1(t *testing.T) {
+	tab, err := ExperimentF1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("F1 rows: %d", len(tab.Rows))
+	}
+	found := false
+	for _, r := range tab.Rows {
+		if r[0] == "total order" && r[1] == "verified" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("F1 did not verify total order:\n%s", tab)
+	}
+}
+
+func TestExperimentE9(t *testing.T) {
+	tab, err := ExperimentE9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("E9 rows: %d", len(tab.Rows))
+	}
+}
+
+func TestExperimentE7(t *testing.T) {
+	tab, err := ExperimentE7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("E7 rows: %d", len(tab.Rows))
+	}
+}
