@@ -1,14 +1,14 @@
 package ringnet
 
 // The benchmark harness regenerates every evaluation artifact of the
-// paper (DESIGN.md §4): run
+// paper (see the ExperimentXX functions in experiments.go): run
 //
 //	go test -bench=. -benchmem
 //
 // Each BenchmarkEx runs its experiment end-to-end per iteration and
 // prints the regenerated table once. cmd/ringnet-bench produces the same
-// tables as a standalone binary; EXPERIMENTS.md records paper-vs-measured
-// for each.
+// tables as a standalone binary; PERFORMANCE.md records the measured
+// hot-path numbers.
 
 import (
 	"fmt"

@@ -1,7 +1,7 @@
 // ringnet-bench regenerates every evaluation artifact of the paper
 // (Theorem 5.1 bounds, the §2–§3 comparative claims, Remark 3, and the
-// Figure-1 hierarchy) as aligned tables. See DESIGN.md §4 for the
-// experiment index and EXPERIMENTS.md for recorded results.
+// Figure-1 hierarchy) as aligned tables. experiments.go documents which
+// claim each experiment reproduces.
 //
 // Usage:
 //

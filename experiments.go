@@ -15,8 +15,9 @@ import (
 // This file regenerates every evaluation artifact of the paper. The
 // paper's evaluation is analytical (Theorem 5.1) plus comparative claims
 // in §2–§3 and Remark 3 and the Figure-1 hierarchy; each ExperimentXX
-// function below produces the corresponding table (see DESIGN.md §4 for
-// the index). All experiments are deterministic given their seeds.
+// function below produces the corresponding table and documents, in its
+// own comment, which claim it reproduces. All experiments are
+// deterministic given their seeds.
 
 // ringSpec builds a RingNet deployment with r top-ring nodes that still
 // has a full tree below it.

@@ -46,8 +46,7 @@ type Config struct {
 	// assignments until the forwarded token is acknowledged by the next
 	// node, so no global sequence number can be delivered while it is
 	// known to only one node. This closes the duplicate-assignment
-	// window after a holder crash (refinement over the paper; see
-	// DESIGN.md).
+	// window after a holder crash (refinement over the paper).
 	StabilityGate bool
 	// CompactTable compacts a node's assignment table and the token's
 	// WTSNP below (NextGlobalSeq − CompactKeep) when they exceed

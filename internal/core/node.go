@@ -64,10 +64,20 @@ type NE struct {
 	reservedUntil sim.Time
 	awaitingJoin  bool
 	joinedParent  seq.NodeID
-	lingerTimer   *sim.Timer
+	lingerTimer   sim.Timer
 
 	// Gap repair: per-source stall clocks for Nack-based body recovery.
 	stallSince map[seq.NodeID]sim.Time
+
+	// Cached fanout orders (the fanout runs per delivered message;
+	// rebuilding these lists must not allocate or re-sort). The dirty
+	// flags are set wherever the sender maps or the neighbor view
+	// change.
+	childList      []*transport.Sender
+	childListDirty bool
+	mhList         []*transport.Sender
+	mhListDirty    bool
+	hostScratch    []seq.HostID
 
 	// aux receives membership-plane messages (heartbeats, token-loss
 	// and multiple-token signals, host-level membership updates) that
@@ -159,6 +169,8 @@ func (n *NE) reset() {
 	n.awaitingJoin = false
 	n.joinedParent = seq.None
 	n.stallSince = make(map[seq.NodeID]sim.Time)
+	n.childListDirty = true
+	n.mhListDirty = true
 	n.refreshNeighbors()
 }
 
@@ -240,6 +252,8 @@ func (n *NE) refreshNeighbors() {
 		return
 	}
 	n.view = v
+	// Children order follows the view; senders may be pruned below.
+	n.childListDirty = true
 
 	// Top-ring state comes and goes with ring role.
 	if v.IsTop {
@@ -332,6 +346,7 @@ func (n *NE) addChildSender(c seq.NodeID, start seq.GlobalSeq) *transport.Sender
 	s := transport.NewSender(n.e.Net, n.id, c, n.e.Cfg.Hop)
 	n.wireGiveUp(s)
 	n.childSenders[c] = s
+	n.childListDirty = true
 	n.wt.Reset(uint32(c), start)
 	return s
 }
@@ -552,37 +567,61 @@ func (n *NE) fanoutSkip(g seq.GlobalSeq) {
 	}
 }
 
+// sortedChildSenders returns the child senders in deterministic order.
+// The returned slice is a cache owned by the NE; callers must not mutate
+// or retain it.
 func (n *NE) sortedChildSenders() []*transport.Sender {
 	if len(n.childSenders) == 0 {
 		return nil
 	}
-	out := make([]*transport.Sender, 0, len(n.childSenders))
+	if !n.childListDirty {
+		return n.childList
+	}
+	out := n.childList[:0]
 	for _, c := range n.view.Children {
 		if s := n.childSenders[c]; s != nil {
 			out = append(out, s)
 		}
 	}
 	// Senders for children not in the current view (rare transient)
-	// still need service.
+	// still need service; order them by child ID so the cached fanout
+	// order stays deterministic across runs.
 	if len(out) != len(n.childSenders) {
 		seen := make(map[*transport.Sender]bool, len(out))
 		for _, s := range out {
 			seen[s] = true
 		}
-		for _, s := range n.childSenders {
+		extra := make([]seq.NodeID, 0, len(n.childSenders)-len(out))
+		for c, s := range n.childSenders {
 			if !seen[s] {
-				out = append(out, s)
+				extra = append(extra, c)
 			}
 		}
+		for i := 1; i < len(extra); i++ {
+			for j := i; j > 0 && extra[j] < extra[j-1]; j-- {
+				extra[j], extra[j-1] = extra[j-1], extra[j]
+			}
+		}
+		for _, c := range extra {
+			out = append(out, n.childSenders[c])
+		}
 	}
+	n.childList = out
+	n.childListDirty = false
 	return out
 }
 
+// sortedMHSenders returns the MH senders in deterministic order. The
+// returned slice is a cache owned by the NE; callers must not mutate or
+// retain it.
 func (n *NE) sortedMHSenders() []*transport.Sender {
 	if len(n.mhSenders) == 0 {
 		return nil
 	}
-	hosts := make([]seq.HostID, 0, len(n.mhSenders))
+	if !n.mhListDirty {
+		return n.mhList
+	}
+	hosts := n.hostScratch[:0]
 	for h := range n.mhSenders {
 		hosts = append(hosts, h)
 	}
@@ -592,10 +631,13 @@ func (n *NE) sortedMHSenders() []*transport.Sender {
 			hosts[j], hosts[j-1] = hosts[j-1], hosts[j]
 		}
 	}
-	out := make([]*transport.Sender, len(hosts))
-	for i, h := range hosts {
-		out[i] = n.mhSenders[h]
+	n.hostScratch = hosts
+	out := n.mhList[:0]
+	for _, h := range hosts {
+		out = append(out, n.mhSenders[h])
 	}
+	n.mhList = out
+	n.mhListDirty = false
 	return out
 }
 
@@ -719,6 +761,7 @@ func (n *NE) attachHost(h seq.HostID, start seq.GlobalSeq) {
 	s := transport.NewSender(n.e.Net, n.id, MHNodeID(h), n.e.Cfg.Wireless)
 	n.wireGiveUp(s)
 	n.mhSenders[h] = s
+	n.mhListDirty = true
 	s.Ack(uint64(start)) // nothing at or below the resume point is ever sent
 	eff := start
 	if vf := n.mq.ValidFront(); vf > eff {
@@ -736,16 +779,14 @@ func (n *NE) attachHost(h seq.HostID, start seq.GlobalSeq) {
 			s.Send(uint64(g), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}})
 		}
 	}
-	if n.lingerTimer != nil {
-		n.lingerTimer.Stop()
-		n.lingerTimer = nil
-	}
+	n.lingerTimer.Stop()
 }
 
 func (n *NE) detachHost(h seq.HostID) {
 	if s := n.mhSenders[h]; s != nil {
 		s.Close()
 		delete(n.mhSenders, h)
+		n.mhListDirty = true
 	}
 	n.wt.Remove(uint32(h))
 	n.release()
@@ -756,13 +797,8 @@ func (n *NE) detachHost(h seq.HostID) {
 }
 
 func (n *NE) armLinger() {
-	if n.lingerTimer != nil {
-		n.lingerTimer.Stop()
-	}
-	n.lingerTimer = n.e.Scheduler().After(n.e.Cfg.Linger, func() {
-		n.lingerTimer = nil
-		n.maybeDeactivate()
-	})
+	n.lingerTimer.Stop()
+	n.lingerTimer = n.e.Scheduler().After(n.e.Cfg.Linger, n.maybeDeactivate)
 }
 
 func (n *NE) maybeDeactivate() {
@@ -863,6 +899,7 @@ func (n *NE) handleLeave(from seq.NodeID, l *msg.Leave) {
 	if s := n.childSenders[l.Node]; s != nil {
 		s.Close()
 		delete(n.childSenders, l.Node)
+		n.childListDirty = true
 	}
 	n.wt.Remove(uint32(l.Node))
 	n.release()

@@ -211,7 +211,7 @@ func (n *NE) orderAssignSource(src seq.NodeID) {
 		if _, err := n.mq.Insert(stamped); err != nil {
 			break // MQ full: resume next tick after release
 		}
-		sq.Extract(l, l)
+		sq.Drop(l, l)
 		delete(n.stallSince, src)
 		progressed = true
 	}
@@ -316,7 +316,7 @@ func (n *NE) bestLocalToken() *seq.Token {
 // seen (epoch bumped); otherwise the message is re-encapsulated with a
 // newer local token if available and forwarded.
 //
-// Deviation from the paper (documented in DESIGN.md): the paper restarts
+// Deviation from the paper: the paper restarts
 // at the first node whose NewOrderingToken is not older than the
 // message's; we let the message complete the full circle back to its
 // origin so it collects the maximum NextGlobalSeqNo among survivors,

@@ -96,6 +96,15 @@ func encodeToken(w *writer, t *seq.Token) {
 		w.u64(e.Global.Min)
 		w.u64(e.Global.Max)
 	}
+	// Per-source high-water marks survive compaction, so the entries
+	// alone cannot reconstruct them; without them a decoded table would
+	// accept duplicate assignment of already-ordered locals.
+	hws := t.Table.HighWaters()
+	w.u32(uint32(len(hws)))
+	for _, h := range hws {
+		w.u32(uint32(h.Source))
+		w.u64(uint64(h.Max))
+	}
 }
 
 func decodeToken(r *reader) (*seq.Token, error) {
@@ -119,9 +128,20 @@ func decodeToken(r *reader) (*seq.Token, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		if err := t.Table.Append(p); err != nil {
+		// Insert, not Append: a compacted table's surviving runs need not
+		// start at the per-source high-water mark.
+		if err := t.Table.Insert(p); err != nil {
 			return nil, fmt.Errorf("msg: decoding token: %w", err)
 		}
+	}
+	nh := int(r.u32())
+	for i := 0; i < nh; i++ {
+		src := seq.NodeID(r.u32())
+		hw := seq.LocalSeq(r.u64())
+		if r.err != nil {
+			return nil, r.err
+		}
+		t.Table.RestoreHighWater(src, hw)
 	}
 	return t, r.err
 }

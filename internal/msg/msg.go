@@ -168,10 +168,11 @@ type TokenMsg struct {
 
 func (*TokenMsg) Kind() Kind { return KindToken }
 func (t *TokenMsg) WireSize() int {
-	// Token header + 40 bytes per WTSNP entry.
+	// Token header + 40 bytes per WTSNP entry + count prefix and 12
+	// bytes per high-water mark.
 	n := 1 + 4 + 8 + 8 + 8
 	if t.Token != nil {
-		n += 40 * t.Token.Table.Len()
+		n += 40*t.Token.Table.Len() + 4 + 12*t.Token.Table.SourceCount()
 	}
 	return n
 }
@@ -208,7 +209,7 @@ func (*TokenRegen) Kind() Kind { return KindTokenRegen }
 func (t *TokenRegen) WireSize() int {
 	n := 1 + 4 + 4 + 8 + 8
 	if t.Token != nil {
-		n += 40 * t.Token.Table.Len()
+		n += 40*t.Token.Table.Len() + 4 + 12*t.Token.Table.SourceCount()
 	}
 	return n
 }

@@ -249,3 +249,50 @@ func TestQuickProgressRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTokenRoundTripCompacted pins the decode path for tokens whose table
+// was compacted: surviving runs no longer start at each source's first
+// local sequence number, which the contiguity-checking Append would
+// reject. Decode must rebuild them via Insert.
+func TestTokenRoundTripCompacted(t *testing.T) {
+	tok := seq.NewToken(3)
+	if _, err := tok.Assign(1, 9, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tok.Assign(2, 9, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tok.Assign(1, 9, 11, 12); err != nil {
+		t.Fatal(err)
+	}
+	if tok.Table.Compact(15) != 2 {
+		t.Fatalf("compaction removed %d entries", tok.Table.Len())
+	}
+	buf := Encode(&TokenMsg{From: 7, Token: tok})
+	m, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decoding compacted token: %v", err)
+	}
+	got := m.(*TokenMsg)
+	if got.Token.NextGlobalSeq != tok.NextGlobalSeq || got.Token.Table.Len() != 1 {
+		t.Fatalf("round trip: %v", got.Token)
+	}
+	if g, _, ok := got.Token.Table.GlobalFor(1, 11); !ok || g != 16 {
+		t.Fatalf("GlobalFor(1,11) = %d,%v", g, ok)
+	}
+	// High-water marks must survive the round trip even for sources whose
+	// entries were all compacted away, or the rebuilt table would accept
+	// duplicate assignment of already-ordered locals.
+	if hw := got.Token.Table.MaxAssignedLocal(2); hw != 5 {
+		t.Fatalf("source 2 high-water after round trip = %d, want 5", hw)
+	}
+	if _, err := got.Token.Assign(2, 9, 1, 5); err == nil {
+		t.Fatal("duplicate assignment accepted after round trip")
+	}
+	if _, err := got.Token.Assign(2, 9, 6, 6); err != nil {
+		t.Fatalf("legitimate next assignment rejected after round trip: %v", err)
+	}
+	if err := got.Token.Table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -62,6 +62,35 @@ type endpoint struct {
 	crashed bool
 }
 
+// delivery is one scheduled in-flight message. Deliveries are pooled and
+// dispatched through the scheduler's closure-free AtCall, so a Send
+// allocates nothing once the pool is warm.
+type delivery struct {
+	net  *Network
+	dst  *endpoint
+	from seq.NodeID
+	to   seq.NodeID
+	m    msg.Message
+}
+
+// deliver is the static delivery handler.
+func deliver(v any) {
+	d := v.(*delivery)
+	n, dst, from, to, m := d.net, d.dst, d.from, d.to, d.m
+	d.dst = nil
+	d.m = nil
+	n.free = append(n.free, d)
+	if dst.crashed {
+		n.stats.DroppedNodeDown++
+		return
+	}
+	n.stats.Delivered++
+	if n.Trace != nil {
+		n.Trace(n.sched.Now(), from, to, m)
+	}
+	dst.handler.Recv(from, m)
+}
+
 // Stats aggregates network-wide counters.
 type Stats struct {
 	Sent            uint64
@@ -80,6 +109,7 @@ type Network struct {
 	rng   *sim.RNG
 	nodes map[seq.NodeID]*endpoint
 	links map[[2]seq.NodeID]*link
+	free  []*delivery // recycled delivery records
 	stats Stats
 	// Trace, when non-nil, observes every delivery (after loss and
 	// delay). Useful in tests.
@@ -252,17 +282,16 @@ func (n *Network) Send(from, to seq.NodeID, m msg.Message) bool {
 	}
 	l.lastArrival = arrival
 
-	n.sched.At(arrival, func() {
-		if dst.crashed {
-			n.stats.DroppedNodeDown++
-			return
-		}
-		n.stats.Delivered++
-		if n.Trace != nil {
-			n.Trace(n.sched.Now(), from, to, m)
-		}
-		dst.handler.Recv(from, m)
-	})
+	var d *delivery
+	if k := len(n.free); k > 0 {
+		d = n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+	} else {
+		d = &delivery{}
+	}
+	d.net, d.dst, d.from, d.to, d.m = n, dst, from, to, m
+	n.sched.AtCall(arrival, deliver, d)
 	return true
 }
 

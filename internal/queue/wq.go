@@ -101,9 +101,6 @@ func (sq *SourceQueue) ReadyRange() (lo, hi seq.LocalSeq) {
 // Extract panics otherwise (the Order-Assignment algorithm only extracts
 // ranges it just validated).
 func (sq *SourceQueue) Extract(lo, hi seq.LocalSeq) []*msg.Data {
-	if lo != sq.ordered+1 {
-		panic(fmt.Sprintf("queue: Extract(%d,%d) not contiguous with ordered %d", lo, hi, sq.ordered))
-	}
 	out := make([]*msg.Data, 0, hi-lo+1)
 	for l := lo; l <= hi; l++ {
 		d, ok := sq.slots[l]
@@ -111,10 +108,24 @@ func (sq *SourceQueue) Extract(lo, hi seq.LocalSeq) []*msg.Data {
 			panic(fmt.Sprintf("queue: Extract missing local seq %d", l))
 		}
 		out = append(out, d)
+	}
+	sq.Drop(lo, hi)
+	return out
+}
+
+// Drop is Extract without materializing the result, for callers that do
+// not need the bodies back.
+func (sq *SourceQueue) Drop(lo, hi seq.LocalSeq) {
+	if lo != sq.ordered+1 {
+		panic(fmt.Sprintf("queue: Drop(%d,%d) not contiguous with ordered %d", lo, hi, sq.ordered))
+	}
+	for l := lo; l <= hi; l++ {
+		if _, ok := sq.slots[l]; !ok {
+			panic(fmt.Sprintf("queue: Drop missing local seq %d", l))
+		}
 		delete(sq.slots, l)
 	}
 	sq.ordered = hi
-	return out
 }
 
 // SkipTo abandons messages at or below l (used when another node ordered
@@ -134,6 +145,9 @@ func (sq *SourceQueue) SkipTo(l seq.LocalSeq) {
 // multicast source whose messages transit this node.
 type WQ struct {
 	queues map[seq.NodeID]*SourceQueue
+	// sources caches the sorted key list; rebuilt only when a queue is
+	// created, so Sources is allocation-free on the Order-Assignment path.
+	sources []seq.NodeID
 }
 
 // NewWQ returns an empty working queue.
@@ -145,6 +159,14 @@ func (w *WQ) ForSource(src seq.NodeID) *SourceQueue {
 	if !ok {
 		q = newSourceQueue(src)
 		w.queues[src] = q
+		// Insert into a fresh slice so slices previously returned by
+		// Sources stay valid snapshots for callers iterating them.
+		i := sort.Search(len(w.sources), func(i int) bool { return w.sources[i] > src })
+		ns := make([]seq.NodeID, len(w.sources)+1)
+		copy(ns, w.sources[:i])
+		ns[i] = src
+		copy(ns[i+1:], w.sources[i:])
+		w.sources = ns
 	}
 	return q
 }
@@ -156,15 +178,10 @@ func (w *WQ) Lookup(src seq.NodeID) (*SourceQueue, bool) {
 }
 
 // Sources returns the source IDs with queues, in ascending order for
-// deterministic iteration.
-func (w *WQ) Sources() []seq.NodeID {
-	out := make([]seq.NodeID, 0, len(w.queues))
-	for s := range w.queues {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// deterministic iteration. The returned slice is an immutable snapshot
+// (ForSource replaces rather than mutates it); callers must not write to
+// it.
+func (w *WQ) Sources() []seq.NodeID { return w.sources }
 
 // Len returns the total number of buffered messages across sources.
 func (w *WQ) Len() int {

@@ -210,6 +210,123 @@ func TestWTSNPClone(t *testing.T) {
 	}
 }
 
+func TestWTSNPCloneIsolationBothDirections(t *testing.T) {
+	w := NewWTSNP()
+	for i := uint64(0); i < 3; i++ {
+		if err := w.Append(Pair{SourceNode: 1, OrderingNode: 9, Local: Range{1 + 2*i, 2 + 2*i}, Global: Range{1 + 2*i, 2 + 2*i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := w.Clone()
+	// Mutating the original must not leak into the clone through the
+	// shared storage...
+	if err := w.Append(Pair{SourceNode: 1, OrderingNode: 9, Local: Range{7, 8}, Global: Range{7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Compact(2) != 1 {
+		t.Fatal("compact on original")
+	}
+	if snap.Len() != 3 || snap.MaxAssignedLocal(1) != 6 {
+		t.Fatalf("clone observed original's mutations: len=%d hw=%d", snap.Len(), snap.MaxAssignedLocal(1))
+	}
+	// ...and vice versa.
+	sibling := snap.Clone()
+	if err := snap.Insert(Pair{SourceNode: 2, OrderingNode: 9, Local: Range{5, 5}, Global: Range{100, 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if sibling.Len() != 3 || sibling.MaxAssignedLocal(2) != 0 {
+		t.Fatal("sibling observed snap's mutations")
+	}
+	if w.Len() != 3 { // 4 entries - 1 compacted
+		t.Fatalf("original len = %d, want 3", w.Len())
+	}
+	for _, tab := range []*WTSNP{w, snap, sibling} {
+		if err := tab.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWTSNPInsertSkipsContiguity(t *testing.T) {
+	w := NewWTSNP()
+	// A compacted table's surviving run need not start at local 1.
+	if err := w.Insert(Pair{SourceNode: 1, OrderingNode: 9, Local: Range{57, 60}, Global: Range{57, 60}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxAssignedLocal(1) != 60 {
+		t.Fatalf("high-water = %d, want 60", w.MaxAssignedLocal(1))
+	}
+	// Overlaps are still rejected.
+	if err := w.Insert(Pair{SourceNode: 1, OrderingNode: 9, Local: Range{60, 61}, Global: Range{80, 81}}); err == nil {
+		t.Fatal("local overlap accepted")
+	}
+	if err := w.Insert(Pair{SourceNode: 2, OrderingNode: 9, Local: Range{1, 2}, Global: Range{59, 60}}); err == nil {
+		t.Fatal("global overlap accepted")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWTSNPAbsorbDelta(t *testing.T) {
+	tok := NewToken(1)
+	assign := NewWTSNP()
+	if _, err := tok.Assign(1, 9, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if added, err := assign.Absorb(tok.Table); err != nil || added != 1 {
+		t.Fatalf("first absorb: %d, %v", added, err)
+	}
+	// Re-absorbing the same table is a no-op (watermark skip).
+	if added, err := assign.Absorb(tok.Table); err != nil || added != 0 {
+		t.Fatalf("re-absorb: %d, %v", added, err)
+	}
+	// The node compacts its own table; absorbed entries below the
+	// watermark must not reappear.
+	assign.Compact(4)
+	if added, _ := assign.Absorb(tok.Table); added != 0 {
+		t.Fatal("compacted entry re-absorbed")
+	}
+	// Only the delta beyond the watermark is added.
+	if _, err := tok.Assign(2, 9, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tok.Assign(1, 9, 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	if added, err := assign.Absorb(tok.Table); err != nil || added != 2 {
+		t.Fatalf("delta absorb: %d, %v", added, err)
+	}
+	if g, _, ok := assign.GlobalFor(1, 5); !ok || g != 7 {
+		t.Fatalf("GlobalFor(1,5) = %d,%v", g, ok)
+	}
+	if err := assign.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWTSNPEntriesSortedByGlobal(t *testing.T) {
+	w := NewWTSNP()
+	if err := w.Insert(Pair{SourceNode: 1, OrderingNode: 9, Local: Range{10, 11}, Global: Range{50, 51}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Insert(Pair{SourceNode: 2, OrderingNode: 9, Local: Range{1, 1}, Global: Range{7, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Insert(Pair{SourceNode: 1, OrderingNode: 9, Local: Range{1, 2}, Global: Range{20, 21}}); err != nil {
+		t.Fatal(err)
+	}
+	es := w.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Global.Min >= es[i].Global.Min {
+			t.Fatalf("entries unsorted: %v", es)
+		}
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTokenAssign(t *testing.T) {
 	tok := NewToken(7)
 	g, err := tok.Assign(1, 9, 1, 4)

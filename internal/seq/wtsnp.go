@@ -13,33 +13,83 @@ import (
 // Invariants maintained (and checked by Validate):
 //   - global ranges of distinct entries never overlap;
 //   - local ranges of entries with the same SourceNode never overlap;
-//   - every entry is Valid (equal-length, order-preserving runs).
+//   - every entry is Valid (equal-length, order-preserving runs);
+//   - entries is sorted by global range, bySource by local range.
+//
+// The table is indexed two ways: entries holds all pairs sorted by global
+// range (disjointness makes Global.Max sorted too), and bySource holds the
+// same pairs per source sorted by local range. Both orders admit binary
+// search, so GlobalFor, Append overlap checks, and Absorb run in O(log n)
+// per pair instead of scanning the table.
+//
+// Clones share entry storage copy-on-write: Clone copies only the two
+// small per-source maps and clamps every shared slice's capacity to its
+// length, so the first append on either side reallocates (Go's append
+// forks a full slice when cap == len) and the sides diverge without ever
+// writing into shared backing arrays. Pairs are never mutated in place and
+// Compact re-slices or rebuilds, so shared storage is effectively
+// immutable. This makes the ~10 token-clone sites on the ordering hot path
+// O(#sources) instead of O(#entries).
 //
 // To bound the token size on the wire, entries older than a horizon can be
 // compacted away with Compact once their messages are known to be ordered
 // everywhere; the table keeps per-source high-water marks so duplicate
 // assignment is still detected after compaction.
 type WTSNP struct {
-	entries []Pair
+	entries  []Pair            // all pairs, sorted by Global.Min
+	bySource map[NodeID][]Pair // per-source pairs, sorted by Local.Min
 	// maxLocal tracks the highest local sequence number ever assigned
 	// per source, surviving compaction.
 	maxLocal map[NodeID]LocalSeq
+	// absorbed is the delta-absorb watermark: the highest Global.Max this
+	// table has ever recorded (via Append, Insert, or Absorb). Within one
+	// token lineage global numbers only grow, so Absorb needs to examine
+	// only the entries above this mark. It survives Compact.
+	absorbed GlobalSeq
+	// shared marks the maps and slices as aliased with a clone; the first
+	// mutation forks them (see fork).
+	shared bool
 }
 
 // NewWTSNP returns an empty table.
 func NewWTSNP() *WTSNP {
-	return &WTSNP{maxLocal: make(map[NodeID]LocalSeq)}
+	return &WTSNP{
+		bySource: make(map[NodeID][]Pair),
+		maxLocal: make(map[NodeID]LocalSeq),
+	}
 }
 
-// Clone returns a deep copy. Tokens are copied whenever they are stored in
-// a node's Old/NewOrderingToken slots, so aliasing would corrupt recovery.
+// Clone returns an independent copy in O(1). Tokens are copied whenever
+// they are stored in a node's Old/NewOrderingToken slots, so aliasing
+// would corrupt recovery. All storage is shared copy-on-write: both sides
+// are marked shared, and whichever side mutates first forks its maps and
+// clamps its slices (see fork), leaving the common storage untouched.
 func (w *WTSNP) Clone() *WTSNP {
-	c := NewWTSNP()
-	c.entries = append([]Pair(nil), w.entries...)
-	for k, v := range w.maxLocal {
-		c.maxLocal[k] = v
+	w.shared = true
+	c := *w
+	return &c
+}
+
+// fork un-shares the table's storage before a mutation. The maps are
+// copied; the slices are merely capacity-clamped — Go's append then
+// reallocates on the next insertion instead of writing into a backing
+// array a clone can still see. O(#sources), independent of table size.
+func (w *WTSNP) fork() {
+	if !w.shared {
+		return
 	}
-	return c
+	w.entries = w.entries[:len(w.entries):len(w.entries)]
+	bs := make(map[NodeID][]Pair, len(w.bySource))
+	for k, v := range w.bySource {
+		bs[k] = v[:len(v):len(v)]
+	}
+	w.bySource = bs
+	ml := make(map[NodeID]LocalSeq, len(w.maxLocal))
+	for k, v := range w.maxLocal {
+		ml[k] = v
+	}
+	w.maxLocal = ml
+	w.shared = false
 }
 
 // Len returns the number of entries.
@@ -47,14 +97,105 @@ func (w *WTSNP) Len() int { return len(w.entries) }
 
 // Entries returns a copy of the entries, ordered by global range.
 func (w *WTSNP) Entries() []Pair {
-	out := append([]Pair(nil), w.entries...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Global.Min < out[j].Global.Min })
-	return out
+	return append([]Pair(nil), w.entries...)
 }
 
 // MaxAssignedLocal returns the highest local sequence number from src that
 // has ever been assigned a global number (0 if none).
 func (w *WTSNP) MaxAssignedLocal(src NodeID) LocalSeq { return w.maxLocal[src] }
+
+// HighWater records one source's highest assigned local sequence number.
+type HighWater struct {
+	Source NodeID
+	Max    LocalSeq
+}
+
+// HighWaters returns the per-source high-water marks, sorted by source
+// for deterministic encoding. They must travel with the entries on the
+// wire: compaction may have removed the entries that carried a mark, and
+// without it a rebuilt table cannot detect duplicate assignment.
+func (w *WTSNP) HighWaters() []HighWater {
+	out := make([]HighWater, 0, len(w.maxLocal))
+	for src, hw := range w.maxLocal {
+		out = append(out, HighWater{Source: src, Max: hw})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// SourceCount returns the number of sources with a high-water mark.
+func (w *WTSNP) SourceCount() int { return len(w.maxLocal) }
+
+// RestoreHighWater raises src's high-water mark to at least hw (used when
+// rebuilding a table from the wire).
+func (w *WTSNP) RestoreHighWater(src NodeID, hw LocalSeq) {
+	if w.maxLocal[src] >= hw {
+		return
+	}
+	w.fork()
+	w.maxLocal[src] = hw
+}
+
+// globalPos returns the insertion index for a global range starting at
+// min: the first entry whose Global.Min exceeds min.
+func (w *WTSNP) globalPos(min uint64) int {
+	return sort.Search(len(w.entries), func(i int) bool { return w.entries[i].Global.Min > min })
+}
+
+// localPos returns the insertion index in src's slice for a local range
+// starting at min.
+func localPos(s []Pair, min uint64) int {
+	return sort.Search(len(s), func(i int) bool { return s[i].Local.Min > min })
+}
+
+// globalConflict returns the existing entry whose global range overlaps g,
+// given g's insertion index i.
+func (w *WTSNP) globalConflict(i int, g Range) (Pair, bool) {
+	if i > 0 && w.entries[i-1].Global.Max >= g.Min {
+		return w.entries[i-1], true
+	}
+	if i < len(w.entries) && w.entries[i].Global.Min <= g.Max {
+		return w.entries[i], true
+	}
+	return Pair{}, false
+}
+
+// localConflict returns the entry in s whose local range overlaps l, given
+// l's insertion index j.
+func localConflict(s []Pair, j int, l Range) (Pair, bool) {
+	if j > 0 && s[j-1].Local.Max >= l.Min {
+		return s[j-1], true
+	}
+	if j < len(s) && s[j].Local.Min <= l.Max {
+		return s[j], true
+	}
+	return Pair{}, false
+}
+
+// insertPair places p at index i. Append-then-shift keeps the copy-on-write
+// discipline: on a clone whose capacity is clamped, the append reallocates
+// and the shared backing array is left untouched.
+func insertPair(s []Pair, i int, p Pair) []Pair {
+	s = append(s, Pair{})
+	copy(s[i+1:], s[i:])
+	s[i] = p
+	return s
+}
+
+// insert adds p at global index i, maintaining both indexes, the
+// high-water marks, and the absorb watermark.
+func (w *WTSNP) insert(i int, p Pair) {
+	w.fork()
+	w.entries = insertPair(w.entries, i, p)
+	s := w.bySource[p.SourceNode]
+	w.bySource[p.SourceNode] = insertPair(s, localPos(s, p.Local.Min), p)
+	if hw := w.maxLocal[p.SourceNode]; LocalSeq(p.Local.Max) > hw {
+		w.maxLocal[p.SourceNode] = LocalSeq(p.Local.Max)
+	}
+	if g := GlobalSeq(p.Global.Max); g > w.absorbed {
+		w.absorbed = g
+	}
+}
 
 // Append adds an assignment pair. It returns an error if the pair is
 // malformed, overlaps an existing global range, re-assigns local numbers
@@ -65,32 +206,40 @@ func (w *WTSNP) Append(p Pair) error {
 	if !p.Valid() {
 		return fmt.Errorf("wtsnp: invalid pair %v", p)
 	}
-	for _, e := range w.entries {
-		if e.Global.Overlaps(p.Global) {
-			return fmt.Errorf("wtsnp: global range %v overlaps existing %v", p.Global, e.Global)
-		}
-		if e.SourceNode == p.SourceNode && e.Local.Overlaps(p.Local) {
-			return fmt.Errorf("wtsnp: local range %v overlaps existing %v for %v", p.Local, e.Local, p.SourceNode)
-		}
-	}
 	if hw := w.maxLocal[p.SourceNode]; uint64(hw) >= p.Local.Min {
 		return fmt.Errorf("wtsnp: local range %v at or below high-water %d for %v", p.Local, hw, p.SourceNode)
 	} else if uint64(hw)+1 != p.Local.Min {
 		return fmt.Errorf("wtsnp: local range %v skips numbers after high-water %d for %v", p.Local, hw, p.SourceNode)
 	}
-	w.entries = append(w.entries, p)
-	w.maxLocal[p.SourceNode] = LocalSeq(p.Local.Max)
+	return w.Insert(p)
+}
+
+// Insert adds an assignment pair without requiring per-source contiguity.
+// A table rebuilt from the wire may have had its older entries compacted
+// away, so the surviving runs need not start at the high-water mark.
+// Overlap invariants are still enforced.
+func (w *WTSNP) Insert(p Pair) error {
+	if !p.Valid() {
+		return fmt.Errorf("wtsnp: invalid pair %v", p)
+	}
+	i := w.globalPos(p.Global.Min)
+	if e, ok := w.globalConflict(i, p.Global); ok {
+		return fmt.Errorf("wtsnp: global range %v overlaps existing %v", p.Global, e.Global)
+	}
+	s := w.bySource[p.SourceNode]
+	if e, ok := localConflict(s, localPos(s, p.Local.Min), p.Local); ok {
+		return fmt.Errorf("wtsnp: local range %v overlaps existing %v for %v", p.Local, e.Local, p.SourceNode)
+	}
+	w.insert(i, p)
 	return nil
 }
 
 // GlobalFor resolves the global sequence number assigned to (src, l).
 func (w *WTSNP) GlobalFor(src NodeID, l LocalSeq) (GlobalSeq, NodeID, bool) {
-	for _, e := range w.entries {
-		if e.SourceNode != src {
-			continue
-		}
-		if g, ok := e.GlobalFor(l); ok {
-			return g, e.OrderingNode, true
+	s := w.bySource[src]
+	if j := localPos(s, uint64(l)); j > 0 {
+		if g, ok := s[j-1].GlobalFor(l); ok {
+			return g, s[j-1].OrderingNode, true
 		}
 	}
 	return 0, None, false
@@ -102,10 +251,18 @@ func (w *WTSNP) GlobalFor(src NodeID, l LocalSeq) (GlobalSeq, NodeID, bool) {
 // entries away — but still rejects conflicting overlaps, returning the
 // first error and absorbing the rest. It returns how many entries were
 // added.
+//
+// Absorb is delta-based: global numbers within a token lineage only grow,
+// so every entry at or below the absorb watermark was recorded by an
+// earlier Absorb (or deliberately rejected) and is skipped wholesale; only
+// the suffix of other's table above the watermark is examined.
 func (w *WTSNP) Absorb(other *WTSNP) (int, error) {
 	added := 0
 	var firstErr error
-	for _, p := range other.Entries() {
+	start := sort.Search(len(other.entries), func(i int) bool {
+		return other.entries[i].Global.Min > uint64(w.absorbed)
+	})
+	for _, p := range other.entries[start:] {
 		if !p.Valid() {
 			continue
 		}
@@ -116,64 +273,93 @@ func (w *WTSNP) Absorb(other *WTSNP) (int, error) {
 			}
 			continue
 		}
-		conflict := false
-		for _, e := range w.entries {
-			if e.Global.Overlaps(p.Global) || (e.SourceNode == p.SourceNode && e.Local.Overlaps(p.Local)) {
-				conflict = true
-				break
-			}
-		}
-		if conflict {
+		i := w.globalPos(p.Global.Min)
+		_, gc := w.globalConflict(i, p.Global)
+		s := w.bySource[p.SourceNode]
+		_, lc := localConflict(s, localPos(s, p.Local.Min), p.Local)
+		if gc || lc {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("wtsnp: entry %v conflicts during absorb", p)
 			}
 			continue
 		}
-		w.entries = append(w.entries, p)
-		if hw := w.maxLocal[p.SourceNode]; LocalSeq(p.Local.Max) > hw {
-			w.maxLocal[p.SourceNode] = LocalSeq(p.Local.Max)
-		}
+		w.insert(i, p)
 		added++
 	}
 	return added, firstErr
 }
 
 // Compact drops entries whose entire global range lies at or below
-// horizon. High-water marks are retained. It returns the number of entries
-// removed.
+// horizon. High-water marks and the absorb watermark are retained. It
+// returns the number of entries removed.
 func (w *WTSNP) Compact(horizon GlobalSeq) int {
-	kept := w.entries[:0]
-	removed := 0
-	for _, e := range w.entries {
-		if GlobalSeq(e.Global.Max) <= horizon {
-			removed++
-			continue
-		}
-		kept = append(kept, e)
+	// Disjoint sorted global ranges mean Global.Max is sorted too, so the
+	// removable entries are exactly a prefix.
+	idx := sort.Search(len(w.entries), func(i int) bool {
+		return GlobalSeq(w.entries[i].Global.Max) > horizon
+	})
+	if idx == 0 {
+		return 0
 	}
-	w.entries = kept
-	return removed
+	w.fork()
+	touched := make(map[NodeID]struct{})
+	for _, e := range w.entries[:idx] {
+		touched[e.SourceNode] = struct{}{}
+	}
+	// Re-slicing never writes, so sharing with clones stays safe.
+	w.entries = w.entries[idx:]
+	for src := range touched {
+		old := w.bySource[src]
+		kept := make([]Pair, 0, len(old))
+		for _, e := range old {
+			if GlobalSeq(e.Global.Max) > horizon {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(w.bySource, src)
+		} else {
+			w.bySource[src] = kept
+		}
+	}
+	return idx
 }
 
 // Validate checks all structural invariants, returning the first
 // violation found.
 func (w *WTSNP) Validate() error {
+	total := 0
 	for i, a := range w.entries {
 		if !a.Valid() {
 			return fmt.Errorf("wtsnp: entry %d invalid: %v", i, a)
 		}
-		for j := i + 1; j < len(w.entries); j++ {
-			b := w.entries[j]
-			if a.Global.Overlaps(b.Global) {
-				return fmt.Errorf("wtsnp: entries %d and %d overlap globally", i, j)
+		if i > 0 && w.entries[i-1].Global.Max >= a.Global.Min {
+			return fmt.Errorf("wtsnp: entries %d and %d overlap or are unsorted globally", i-1, i)
+		}
+	}
+	for src, s := range w.bySource {
+		for j, a := range s {
+			if a.SourceNode != src {
+				return fmt.Errorf("wtsnp: entry %v indexed under %v", a, src)
 			}
-			if a.SourceNode == b.SourceNode && a.Local.Overlaps(b.Local) {
-				return fmt.Errorf("wtsnp: entries %d and %d overlap locally for %v", i, j, a.SourceNode)
+			if j > 0 && s[j-1].Local.Max >= a.Local.Min {
+				return fmt.Errorf("wtsnp: entries %d and %d overlap or are unsorted locally for %v", j-1, j, src)
+			}
+			if hw := w.maxLocal[src]; uint64(hw) < a.Local.Max {
+				return fmt.Errorf("wtsnp: high-water %d below entry %v", hw, a)
+			}
+			i := w.globalPos(a.Global.Min)
+			if i == 0 || w.entries[i-1] != a {
+				return fmt.Errorf("wtsnp: entry %v missing from global index", a)
+			}
+			if g := GlobalSeq(a.Global.Max); g > w.absorbed {
+				return fmt.Errorf("wtsnp: absorb watermark %d below entry %v", w.absorbed, a)
 			}
 		}
-		if hw := w.maxLocal[a.SourceNode]; uint64(hw) < a.Local.Max {
-			return fmt.Errorf("wtsnp: high-water %d below entry %v", hw, a)
-		}
+		total += len(s)
+	}
+	if total != len(w.entries) {
+		return fmt.Errorf("wtsnp: index holds %d entries, table %d", total, len(w.entries))
 	}
 	return nil
 }
@@ -181,7 +367,7 @@ func (w *WTSNP) Validate() error {
 func (w *WTSNP) String() string {
 	var b strings.Builder
 	b.WriteString("WTSNP{")
-	for i, e := range w.Entries() {
+	for i, e := range w.entries {
 		if i > 0 {
 			b.WriteString(", ")
 		}
@@ -209,7 +395,8 @@ func NewToken(g GroupID) *Token {
 	return &Token{Group: g, NextGlobalSeq: 1, Table: NewWTSNP()}
 }
 
-// Clone deep-copies the token.
+// Clone copies the token. The table's entry storage is shared
+// copy-on-write, so cloning is O(#sources), not O(#entries).
 func (t *Token) Clone() *Token {
 	if t == nil {
 		return nil

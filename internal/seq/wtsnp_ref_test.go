@@ -1,0 +1,248 @@
+package seq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refWTSNP is a deliberately naive reference implementation of the WTSNP
+// semantics — unsorted entry list, linear scans everywhere — kept as the
+// oracle for differential testing of the indexed, copy-on-write
+// implementation. Any divergence between the two is a bug in the fast
+// path (or a semantic change that must be made deliberately in both).
+type refWTSNP struct {
+	entries  []Pair
+	maxLocal map[NodeID]LocalSeq
+	absorbed GlobalSeq
+}
+
+func newRef() *refWTSNP { return &refWTSNP{maxLocal: make(map[NodeID]LocalSeq)} }
+
+func (w *refWTSNP) clone() *refWTSNP {
+	c := newRef()
+	c.entries = append([]Pair(nil), w.entries...)
+	for k, v := range w.maxLocal {
+		c.maxLocal[k] = v
+	}
+	c.absorbed = w.absorbed
+	return c
+}
+
+func (w *refWTSNP) overlaps(p Pair) bool {
+	for _, e := range w.entries {
+		if e.Global.Overlaps(p.Global) {
+			return true
+		}
+		if e.SourceNode == p.SourceNode && e.Local.Overlaps(p.Local) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *refWTSNP) record(p Pair) {
+	w.entries = append(w.entries, p)
+	if hw := w.maxLocal[p.SourceNode]; LocalSeq(p.Local.Max) > hw {
+		w.maxLocal[p.SourceNode] = LocalSeq(p.Local.Max)
+	}
+	if g := GlobalSeq(p.Global.Max); g > w.absorbed {
+		w.absorbed = g
+	}
+}
+
+func (w *refWTSNP) appendPair(p Pair) error {
+	if !p.Valid() || w.overlaps(p) {
+		return fmt.Errorf("ref: invalid or overlapping")
+	}
+	if hw := w.maxLocal[p.SourceNode]; uint64(hw)+1 != p.Local.Min {
+		return fmt.Errorf("ref: not contiguous with high-water %d", hw)
+	}
+	w.record(p)
+	return nil
+}
+
+func (w *refWTSNP) insertPair(p Pair) error {
+	if !p.Valid() || w.overlaps(p) {
+		return fmt.Errorf("ref: invalid or overlapping")
+	}
+	w.record(p)
+	return nil
+}
+
+func (w *refWTSNP) globalFor(src NodeID, l LocalSeq) (GlobalSeq, NodeID, bool) {
+	for _, e := range w.entries {
+		if e.SourceNode != src {
+			continue
+		}
+		if g, ok := e.GlobalFor(l); ok {
+			return g, e.OrderingNode, true
+		}
+	}
+	return 0, None, false
+}
+
+func (w *refWTSNP) absorb(other *refWTSNP) int {
+	added := 0
+	for _, p := range other.entries {
+		if !p.Valid() || GlobalSeq(p.Global.Min) <= w.absorbed {
+			continue
+		}
+		if _, _, known := w.globalFor(p.SourceNode, LocalSeq(p.Local.Min)); known {
+			continue
+		}
+		if w.overlaps(p) {
+			continue
+		}
+		w.record(p)
+		added++
+	}
+	return added
+}
+
+func (w *refWTSNP) compact(horizon GlobalSeq) int {
+	kept := w.entries[:0]
+	removed := 0
+	for _, e := range w.entries {
+		if GlobalSeq(e.Global.Max) <= horizon {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	w.entries = kept
+	return removed
+}
+
+// pairUnderTest keeps a fast table and its naive reference in lockstep.
+type pairUnderTest struct {
+	fast *WTSNP
+	ref  *refWTSNP
+}
+
+func (u *pairUnderTest) check(t *testing.T, step int) {
+	t.Helper()
+	if err := u.fast.Validate(); err != nil {
+		t.Fatalf("step %d: Validate: %v", step, err)
+	}
+	if u.fast.Len() != len(u.ref.entries) {
+		t.Fatalf("step %d: Len %d, ref %d\nfast: %v", step, u.fast.Len(), len(u.ref.entries), u.fast)
+	}
+	for src, hw := range u.ref.maxLocal {
+		if got := u.fast.MaxAssignedLocal(src); got != hw {
+			t.Fatalf("step %d: MaxAssignedLocal(%v) = %d, ref %d", step, src, got, hw)
+		}
+	}
+	// Every assigned local must resolve identically (probe every entry's
+	// endpoints plus a miss on either side).
+	for _, e := range u.ref.entries {
+		for _, l := range []LocalSeq{LocalSeq(e.Local.Min), LocalSeq(e.Local.Max)} {
+			wantG, wantOrd, _ := u.ref.globalFor(e.SourceNode, l)
+			g, ord, ok := u.fast.GlobalFor(e.SourceNode, l)
+			if !ok || g != wantG || ord != wantOrd {
+				t.Fatalf("step %d: GlobalFor(%v,%d) = (%d,%v,%v), ref (%d,%v)",
+					step, e.SourceNode, l, g, ord, ok, wantG, wantOrd)
+			}
+		}
+	}
+}
+
+// TestDifferentialWTSNP fuzzes random Append/Insert/Absorb/Compact/
+// GlobalFor/Clone sequences against the naive reference and requires
+// identical observable behavior after every step.
+func TestDifferentialWTSNP(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			u := &pairUnderTest{fast: NewWTSNP(), ref: newRef()}
+			// clones accumulates CoW snapshots with their reference
+			// states; mutated originals must never disturb them.
+			type snap struct {
+				fast *WTSNP
+				ref  *refWTSNP
+			}
+			var clones []snap
+			nextGlobal := uint64(1)
+			nextLocal := map[NodeID]uint64{}
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // Append a contiguous run for a random source
+					src := NodeID(rng.Intn(5) + 1)
+					n := uint64(rng.Intn(4) + 1)
+					lo := nextLocal[src] + 1
+					p := Pair{
+						SourceNode:   src,
+						OrderingNode: NodeID(rng.Intn(3) + 10),
+						Local:        Range{Min: lo, Max: lo + n - 1},
+						Global:       Range{Min: nextGlobal, Max: nextGlobal + n - 1},
+					}
+					errFast := u.fast.Append(p)
+					errRef := u.ref.appendPair(p)
+					if (errFast == nil) != (errRef == nil) {
+						t.Fatalf("step %d: Append(%v) fast err %v, ref err %v", step, p, errFast, errRef)
+					}
+					if errFast == nil {
+						nextGlobal += n
+						nextLocal[src] = p.Local.Max
+					}
+				case op < 5: // Insert a detached (post-compaction style) run
+					src := NodeID(rng.Intn(5) + 1)
+					n := uint64(rng.Intn(3) + 1)
+					lo := nextLocal[src] + 1 + uint64(rng.Intn(3)) // may skip locals
+					p := Pair{
+						SourceNode:   src,
+						OrderingNode: NodeID(rng.Intn(3) + 10),
+						Local:        Range{Min: lo, Max: lo + n - 1},
+						Global:       Range{Min: nextGlobal, Max: nextGlobal + n - 1},
+					}
+					errFast := u.fast.Insert(p)
+					errRef := u.ref.insertPair(p)
+					if (errFast == nil) != (errRef == nil) {
+						t.Fatalf("step %d: Insert(%v) fast err %v, ref err %v", step, p, errFast, errRef)
+					}
+					if errFast == nil {
+						nextGlobal += n
+						nextLocal[src] = p.Local.Max
+					}
+				case op < 6: // Compact at a random horizon
+					h := GlobalSeq(rng.Int63n(int64(nextGlobal) + 1))
+					remFast := u.fast.Compact(h)
+					remRef := u.ref.compact(h)
+					if remFast != remRef {
+						t.Fatalf("step %d: Compact(%d) removed %d, ref %d", step, h, remFast, remRef)
+					}
+				case op < 8: // Clone and absorb the original into a snapshot
+					clones = append(clones, snap{fast: u.fast.Clone(), ref: u.ref.clone()})
+					if len(clones) > 1 && rng.Intn(2) == 0 {
+						i := rng.Intn(len(clones))
+						addFast, _ := clones[i].fast.Absorb(u.fast)
+						addRef := clones[i].ref.absorb(u.ref)
+						if addFast != addRef {
+							t.Fatalf("step %d: Absorb added %d, ref %d", step, addFast, addRef)
+						}
+						cu := &pairUnderTest{fast: clones[i].fast, ref: clones[i].ref}
+						cu.check(t, step)
+					}
+				default: // Random GlobalFor probes, hit or miss
+					src := NodeID(rng.Intn(6) + 1)
+					l := LocalSeq(rng.Int63n(int64(nextLocal[src]) + 3))
+					gF, oF, okF := u.fast.GlobalFor(src, l)
+					gR, oR, okR := u.ref.globalFor(src, l)
+					if gF != gR || oF != oR || okF != okR {
+						t.Fatalf("step %d: GlobalFor(%v,%d) = (%d,%v,%v), ref (%d,%v,%v)",
+							step, src, l, gF, oF, okF, gR, oR, okR)
+					}
+				}
+				u.check(t, step)
+			}
+			// Snapshots must still match their reference states: mutations
+			// of the original since the Clone must not have leaked through
+			// the shared storage.
+			for i := range clones {
+				cu := &pairUnderTest{fast: clones[i].fast, ref: clones[i].ref}
+				cu.check(t, -1-i)
+			}
+		})
+	}
+}

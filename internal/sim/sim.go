@@ -30,30 +30,47 @@ func (t Time) String() string {
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e6 }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback: either a plain closure fn, or a static
+// function fnc applied to arg (the closure-free form used by hot paths to
+// avoid allocating a closure per event).
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: insertion order
 	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index
+	fnc  func(any)
+	arg  any
+	gen  uint64 // incremented on recycle; detects stale Timer handles
+	dead bool   // cancelled
+	idx  int    // heap index
 }
 
-// Timer is a handle to a scheduled event that may be cancelled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event that may be cancelled. The zero
+// Timer is valid and behaves as already-fired. Timers are values: they
+// carry the event's generation so a recycled event is never confused with
+// the one the handle was issued for.
+type Timer struct {
+	ev  *event
+	s   *Scheduler
+	gen uint64
+}
 
 // Stop cancels the timer. It reports whether the timer was still pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
 	t.ev.fn = nil
+	t.ev.fnc = nil
+	t.ev.arg = nil
+	t.s.live--
 	return true
 }
 
 // Pending reports whether the timer has neither fired nor been stopped.
-func (t *Timer) Pending() bool { return t != nil && t.ev != nil && !t.ev.dead }
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
+}
 
 // eventHeap orders events by (at, seq).
 type eventHeap []*event
@@ -92,6 +109,12 @@ type Scheduler struct {
 	events  eventHeap
 	running bool
 	stopped bool
+	// live counts pending non-cancelled events so Len is O(1): it is
+	// incremented on schedule and decremented on fire or Stop.
+	live int
+	// free recycles fired/cancelled events; generations on the events
+	// keep outstanding Timer handles from resurrecting them.
+	free []*event
 	// Executed counts events that have run, for progress reporting and
 	// runaway detection.
 	Executed uint64
@@ -110,37 +133,81 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len returns the number of pending (non-cancelled) events.
-func (s *Scheduler) Len() int {
-	n := 0
-	for _, ev := range s.events {
-		if !ev.dead {
-			n++
-		}
+func (s *Scheduler) Len() int { return s.live }
+
+// alloc takes an event from the freelist or allocates a fresh one.
+func (s *Scheduler) alloc(at Time) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.dead = false
+	} else {
+		ev = &event{}
 	}
-	return n
+	ev.at = at
+	ev.seq = s.seq
+	s.seq++
+	s.live++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// recycle returns a popped event to the freelist for reuse.
+func (s *Scheduler) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.fnc = nil
+	ev.arg = nil
+	s.free = append(s.free, ev)
 }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past is clamped to the present. It returns a cancellable Timer.
-func (s *Scheduler) At(at Time, fn func()) *Timer {
+func (s *Scheduler) At(at Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
 	if at < s.now {
 		at = s.now
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	ev := s.alloc(at)
+	ev.fn = fn
+	return Timer{ev: ev, s: s, gen: ev.gen}
 }
 
 // After schedules fn to run delay from now. Negative delays are clamped.
-func (s *Scheduler) After(delay Time, fn func()) *Timer {
+func (s *Scheduler) After(delay Time, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
 	return s.At(s.now+delay, fn)
+}
+
+// AtCall schedules fn(arg) at absolute virtual time at. Unlike At it
+// needs no closure: with a static fn and a pointer-shaped arg, scheduling
+// is allocation-free (events themselves are recycled), which matters on
+// the per-message hot paths.
+func (s *Scheduler) AtCall(at Time, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := s.alloc(at)
+	ev.fnc = fn
+	ev.arg = arg
+	return Timer{ev: ev, s: s, gen: ev.gen}
+}
+
+// AfterCall schedules fn(arg) delay from now. Negative delays are clamped.
+func (s *Scheduler) AfterCall(delay Time, fn func(any), arg any) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.AtCall(s.now+delay, fn, arg)
 }
 
 // Every schedules fn to run periodically with the given period, starting
@@ -160,7 +227,7 @@ type Ticker struct {
 	s       *Scheduler
 	period  Time
 	fn      func()
-	timer   *Timer
+	timer   Timer
 	stopped bool
 }
 
@@ -182,9 +249,7 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }
 
 // Step executes the single next pending event, if any, advancing the
@@ -193,14 +258,20 @@ func (s *Scheduler) Step() bool {
 	for len(s.events) > 0 {
 		ev := heap.Pop(&s.events).(*event)
 		if ev.dead {
+			s.recycle(ev)
 			continue
 		}
 		s.now = ev.at
 		ev.dead = true
-		fn := ev.fn
-		ev.fn = nil
+		fn, fnc, arg := ev.fn, ev.fnc, ev.arg
+		s.recycle(ev)
+		s.live--
 		s.Executed++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			fnc(arg)
+		}
 		return true
 	}
 	return false
@@ -221,6 +292,7 @@ func (s *Scheduler) Run(until Time) (int, error) {
 		ev := s.events[0]
 		if ev.dead {
 			heap.Pop(&s.events)
+			s.recycle(ev)
 			continue
 		}
 		if ev.at > until {

@@ -416,3 +416,86 @@ func TestQuickRNGDurationInRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLenConstantTime(t *testing.T) {
+	s := NewScheduler()
+	if s.Len() != 0 {
+		t.Fatal("empty Len")
+	}
+	t1 := s.After(10, func() {})
+	s.After(20, func() {})
+	t3 := s.After(30, func() {})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !t1.Stop() {
+		t.Fatal("Stop failed")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after Stop = %d, want 2", s.Len())
+	}
+	if t1.Stop() {
+		t.Fatal("double Stop succeeded")
+	}
+	s.Step()
+	if s.Len() != 1 {
+		t.Fatalf("Len after Step = %d, want 1", s.Len())
+	}
+	if !t3.Pending() {
+		t.Fatal("t3 should be pending")
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", s.Len())
+	}
+	if t3.Pending() {
+		t.Fatal("t3 still pending after drain")
+	}
+}
+
+func TestAtCallDispatch(t *testing.T) {
+	s := NewScheduler()
+	got := make([]int, 0, 3)
+	record := func(v any) { got = append(got, v.(int)) }
+	s.AtCall(5, record, 1)
+	s.AfterCall(10, record, 2)
+	tm := s.AtCall(7, record, 99)
+	tm.Stop()
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+// TestRecycledEventTimerSafety pins the generation discipline: a Timer
+// handle for a fired event must stay inert even after the event struct is
+// recycled into a new scheduling.
+func TestRecycledEventTimerSafety(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	t1 := s.After(1, func() { fired++ })
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// The event backing t1 is now on the freelist; reschedule reuses it.
+	t2 := s.After(1, func() { fired++ })
+	if t1.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if t1.Stop() {
+		t.Fatal("stale handle stopped the recycled event")
+	}
+	if !t2.Pending() {
+		t.Fatal("fresh handle should be pending")
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}

@@ -34,10 +34,35 @@ var DefaultConfig = Config{RTO: 20 * sim.Millisecond, MaxRetries: 10}
 var WirelessConfig = Config{RTO: 30 * sim.Millisecond, MaxRetries: 15}
 
 type pending struct {
+	s       *Sender
 	m       msg.Message
 	seqno   uint64
 	retries int
-	timer   *sim.Timer
+	timer   sim.Timer
+}
+
+// pendingTimeout is the static retransmission handler: scheduled with
+// AfterCall so arming a timer allocates no closure.
+func pendingTimeout(v any) {
+	p := v.(*pending)
+	s := p.s
+	if s.closed || p.seqno <= s.acked {
+		return
+	}
+	if q, live := s.out[p.seqno]; !live || q != p {
+		return
+	}
+	if s.cfg.MaxRetries > 0 && p.retries >= s.cfg.MaxRetries {
+		seqno := p.seqno
+		s.release(p)
+		if s.OnGiveUp != nil {
+			s.OnGiveUp(seqno)
+		}
+		return
+	}
+	p.retries++
+	s.Retransmissions++
+	s.transmit(p)
 }
 
 // Sender reliably pushes a sequence-numbered stream of messages across
@@ -53,6 +78,7 @@ type Sender struct {
 	from  seq.NodeID
 	to    seq.NodeID
 	out   map[uint64]*pending
+	free  []*pending // recycled pending slots (their timers are stopped)
 	acked uint64
 	// OnGiveUp is invoked with the seqno abandoned after MaxRetries.
 	OnGiveUp func(seqno uint64)
@@ -96,39 +122,39 @@ func (s *Sender) Send(seqno uint64, m msg.Message) {
 	if _, dup := s.out[seqno]; dup {
 		return
 	}
-	p := &pending{m: m, seqno: seqno}
+	var p *pending
+	if n := len(s.free); n > 0 {
+		p = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		p = &pending{s: s}
+	}
+	p.m = m
+	p.seqno = seqno
+	p.retries = 0
 	s.out[seqno] = p
 	s.net.Send(s.from, s.to, m)
 	s.arm(p)
 }
 
+// release stops p's timer, drops it from the outstanding window, and
+// recycles the slot.
+func (s *Sender) release(p *pending) {
+	p.timer.Stop()
+	delete(s.out, p.seqno)
+	p.m = nil
+	s.free = append(s.free, p)
+}
+
 func (s *Sender) transmit(p *pending) {
 	s.net.Send(s.from, s.to, p.m)
-	if p.timer != nil {
-		p.timer.Stop()
-	}
+	p.timer.Stop()
 	s.arm(p)
 }
 
 func (s *Sender) arm(p *pending) {
-	p.timer = s.net.Scheduler().After(s.cfg.RTO, func() {
-		if s.closed || p.seqno <= s.acked {
-			return
-		}
-		if _, live := s.out[p.seqno]; !live {
-			return
-		}
-		if s.cfg.MaxRetries > 0 && p.retries >= s.cfg.MaxRetries {
-			delete(s.out, p.seqno)
-			if s.OnGiveUp != nil {
-				s.OnGiveUp(p.seqno)
-			}
-			return
-		}
-		p.retries++
-		s.Retransmissions++
-		s.transmit(p)
-	})
+	p.timer = s.net.Scheduler().AfterCall(s.cfg.RTO, pendingTimeout, p)
 }
 
 // Ack releases every outstanding message with seqno ≤ cum.
@@ -139,10 +165,7 @@ func (s *Sender) Ack(cum uint64) {
 	s.acked = cum
 	for n, p := range s.out {
 		if n <= cum {
-			if p.timer != nil {
-				p.timer.Stop()
-			}
-			delete(s.out, n)
+			s.release(p)
 		}
 	}
 }
@@ -157,11 +180,8 @@ func (s *Sender) Outstanding() int { return len(s.out) }
 func (s *Sender) Close() {
 	s.closed = true
 	for _, p := range s.out {
-		if p.timer != nil {
-			p.timer.Stop()
-		}
+		s.release(p)
 	}
-	s.out = make(map[uint64]*pending)
 }
 
 // Courier reliably delivers one message at a time (the ordering token's
@@ -177,7 +197,7 @@ type Courier struct {
 	to      seq.NodeID
 	m       msg.Message
 	retries int
-	timer   *sim.Timer
+	timer   sim.Timer
 	// OnFail is invoked when delivery of the current message is
 	// abandoned.
 	OnFail func(to seq.NodeID, m msg.Message)
@@ -232,10 +252,7 @@ func (c *Courier) armCourier(sn uint64) {
 func (c *Courier) Confirm() { c.cancel() }
 
 func (c *Courier) cancel() {
-	if c.timer != nil {
-		c.timer.Stop()
-		c.timer = nil
-	}
+	c.timer.Stop()
 	c.m = nil
 }
 

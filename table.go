@@ -6,7 +6,7 @@ import (
 )
 
 // Table is one regenerated experiment result: an ID matching the
-// experiment index in DESIGN.md, a caption, and aligned rows.
+// ExperimentXX function in experiments.go, a caption, and aligned rows.
 type Table struct {
 	ID     string
 	Title  string
