@@ -1,0 +1,190 @@
+// Command benchgate parses `go test -bench` output, emits a JSON summary
+// (BENCH_steady.json in CI), and gates benchmark regressions: it exits
+// non-zero when ns/op, B/op, or allocs/op of any benchmark regresses
+// more than the threshold against a checked-in baseline. B/op and
+// allocs/op are deterministic across machines; ns/op is not, so refresh
+// the baseline from a CI-produced BENCH_steady.json artifact if the gate
+// runs on hardware unlike the machine that produced the baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... | tee bench.txt
+//	go run ./cmd/benchgate -input bench.txt -out BENCH_steady.json \
+//	    -baseline ci/bench_baseline.json -threshold 0.15
+//
+// Refresh the baseline after an intentional performance change:
+//
+//	go run ./cmd/benchgate -input bench.txt -out ci/bench_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark measurement. Zero B/op and allocs/op are
+// meaningful (allocation-free hot paths) and are serialized explicitly
+// so the gate can flag a zero-alloc path that starts allocating.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Summary is the JSON artifact schema.
+type Summary struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkProtocolSteadyState-8  24616  56366 ns/op  70865 B/op  38 allocs/op
+//	BenchmarkWTSNPGlobalFor/entries=64  78953013  13.36 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func parse(r io.Reader) (Summary, error) {
+	s := Summary{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := Result{}
+		res.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			res.BPerOp, _ = strconv.ParseFloat(m[3], 64)
+			res.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		// Repeated -count runs: keep the last measurement.
+		s.Benchmarks[m[1]] = res
+	}
+	return s, sc.Err()
+}
+
+func load(path string) (Summary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	var s Summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Summary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// exceeds reports whether cur regresses past base by more than the
+// fractional threshold. A zero baseline is a hard property (e.g. an
+// allocation-free path): any non-zero current value is a regression.
+func exceeds(base, cur, threshold float64) bool {
+	if base == 0 {
+		return cur > 0
+	}
+	return (cur-base)/base > threshold
+}
+
+// compare returns human-readable violations of the regression
+// thresholds. nsThreshold applies to ns/op (hardware-sensitive);
+// threshold applies to B/op and allocs/op, which are deterministic
+// across machines and therefore the sharpest cross-runner signal.
+func compare(base, cur Summary, threshold, nsThreshold float64) []string {
+	var bad []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: present in baseline but not measured", name))
+			continue
+		}
+		if exceeds(b.NsPerOp, c.NsPerOp, nsThreshold) {
+			bad = append(bad, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%, limit %.0f%%)",
+				name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp, 100*nsThreshold))
+		}
+		if exceeds(b.BPerOp, c.BPerOp, threshold) {
+			bad = append(bad, fmt.Sprintf("%s: B/op %.0f -> %.0f (baseline was allocation-free or +>%.0f%%)",
+				name, b.BPerOp, c.BPerOp, 100*threshold))
+		}
+		if exceeds(b.AllocsPerOp, c.AllocsPerOp, threshold) {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (baseline was allocation-free or +>%.0f%%)",
+				name, b.AllocsPerOp, c.AllocsPerOp, 100*threshold))
+		}
+	}
+	return bad
+}
+
+func main() {
+	var (
+		input       = flag.String("input", "-", "raw `go test -bench` output file, or - for stdin")
+		out         = flag.String("out", "", "write the parsed JSON summary here")
+		baseline    = flag.String("baseline", "", "baseline JSON to gate against (omit to skip gating)")
+		threshold   = flag.Float64("threshold", 0.15, "allowed fractional regression of B/op and allocs/op")
+		nsThreshold = flag.Float64("ns-threshold", 0, "allowed fractional regression of ns/op (default: same as -threshold; loosen on hardware unlike the baseline machine)")
+	)
+	flag.Parse()
+	if *nsThreshold == 0 {
+		*nsThreshold = *threshold
+	}
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results found in input")
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		b, _ := json.MarshalIndent(cur, "", "  ")
+		b = append(b, '\n')
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(cur.Benchmarks), *out)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if bad := compare(base, cur, *threshold, *nsThreshold); len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — benchmark regressions:")
+		for _, line := range bad {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — %d baseline benchmarks within %.0f%% (ns/op %.0f%%)\n",
+		len(base.Benchmarks), 100**threshold, 100**nsThreshold)
+}

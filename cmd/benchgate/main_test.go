@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+BenchmarkProtocolSteadyState 	   24616	     56366 ns/op	   70865 B/op	      38 allocs/op
+BenchmarkWTSNPGlobalFor/entries=64-8         	78953013	        13.36 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTokenCloneMutate/entries=4096-8     	  364837	      3424 ns/op	    5776 B/op	      14 allocs/op
+PASS
+ok  	repro	1.888s
+`
+
+func TestParse(t *testing.T) {
+	s, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(s.Benchmarks))
+	}
+	r, ok := s.Benchmarks["BenchmarkProtocolSteadyState"]
+	if !ok || r.NsPerOp != 56366 || r.BPerOp != 70865 || r.AllocsPerOp != 38 {
+		t.Fatalf("steady state = %+v", r)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so runs from machines
+	// with different core counts compare against the same baseline key.
+	if _, ok := s.Benchmarks["BenchmarkWTSNPGlobalFor/entries=64"]; !ok {
+		t.Fatalf("suffix not stripped: %v", s.Benchmarks)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Summary{Benchmarks: map[string]Result{
+		"A": {NsPerOp: 100, BPerOp: 1000},
+		"B": {NsPerOp: 100},
+		"C": {NsPerOp: 100},
+	}}
+	base.Benchmarks["E"] = Result{NsPerOp: 100, AllocsPerOp: 10}
+	base.Benchmarks["F"] = Result{NsPerOp: 100} // allocation-free path
+	cur := Summary{Benchmarks: map[string]Result{
+		"A": {NsPerOp: 114, BPerOp: 1149}, // within 15%
+		"B": {NsPerOp: 120},               // ns regression
+		// C missing
+		"D": {NsPerOp: 1},                              // extra benchmarks are fine
+		"E": {NsPerOp: 100, AllocsPerOp: 14},           // alloc regression
+		"F": {NsPerOp: 100, BPerOp: 8, AllocsPerOp: 1}, // zero-alloc path now allocates
+	}}
+	bad := compare(base, cur, 0.15, 0.15)
+	if len(bad) != 5 {
+		t.Fatalf("violations = %v, want 5", bad)
+	}
+	if !strings.Contains(bad[0], "B: ns/op") || !strings.Contains(bad[1], "C: present in baseline") ||
+		!strings.Contains(bad[2], "E: allocs/op") ||
+		!strings.Contains(bad[3], "F: B/op") || !strings.Contains(bad[4], "F: allocs/op") {
+		t.Fatalf("violations = %v", bad)
+	}
+	// A looser ns threshold admits the hardware-sensitive metric while
+	// the byte/alloc gates stay sharp.
+	if bad := compare(base, cur, 0.15, 0.5); len(bad) != 4 {
+		t.Fatalf("violations with loose ns = %v, want 4", bad)
+	}
+	// Improvements never fail the gate.
+	if bad := compare(base, Summary{Benchmarks: map[string]Result{
+		"A": {NsPerOp: 10, BPerOp: 10}, "B": {NsPerOp: 10}, "C": {NsPerOp: 10},
+		"E": {NsPerOp: 10, AllocsPerOp: 1}, "F": {NsPerOp: 10},
+	}}, 0.15, 0.15); len(bad) != 0 {
+		t.Fatalf("improvement flagged: %v", bad)
+	}
+}

@@ -48,9 +48,17 @@ type Config struct {
 	// known to only one node. This closes the duplicate-assignment
 	// window after a holder crash (refinement over the paper).
 	StabilityGate bool
-	// CompactTable compacts a node's assignment table and the token's
-	// WTSNP below (NextGlobalSeq − CompactKeep) when they exceed
-	// CompactAbove entries. Zero values disable compaction.
+	// CompactAbove/CompactKeep bound the assignment tables. When a table
+	// exceeds CompactAbove entries it is compacted: a node's cumulative
+	// table drops below its MQ's valid front, and the circulating
+	// token's WTSNP drops below (NextGlobalSeq − CompactKeep) — or, when
+	// the global sequence has not yet passed CompactKeep, down to the
+	// newest ¾·CompactAbove entries, capping the token's wire size from
+	// the first rotation. The size cap never cuts below two top-ring
+	// rotations' worth of entries (2 × ring size), so with CompactAbove
+	// smaller than the ring the table is bounded by the rotation floor,
+	// not CompactAbove itself — entries must survive one circulation for
+	// every node to absorb them. Zero values disable compaction.
 	CompactAbove int
 	CompactKeep  uint64
 	// ReserveFor is how long a multicast path reservation keeps a

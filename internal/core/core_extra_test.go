@@ -370,3 +370,64 @@ func TestLongRunCompaction(t *testing.T) {
 		}
 	}
 }
+
+// TestTokenBoundedBelowCompactKeep pins the size-capped compaction path:
+// with a CompactKeep window that never opens (the global sequence stays
+// far below it), CompactAbove alone must still hard-cap the circulating
+// token's table — the seed let it grow without bound until the sequence
+// passed CompactKeep. Ordering must survive the aggressive compaction
+// (high-water marks carry duplicate detection for the dropped prefix).
+func TestTokenBoundedBelowCompactKeep(t *testing.T) {
+	r := newRig(t, smallSpec(), func(c *Config) {
+		c.CompactAbove = 32
+		c.CompactKeep = 1 << 40 // window never opens during this run
+	})
+	const count = 2000
+	r.pump([]seq.NodeID{r.b.BRs[0], r.b.BRs[1]}, count, 1*sim.Millisecond, 10*sim.Millisecond)
+	r.run(30 * sim.Second)
+	r.assertClean(2 * count)
+	for _, br := range r.b.BRs {
+		ne := r.e.NE(br)
+		if ne.newToken == nil {
+			continue
+		}
+		// One rotation can add at most a handful of entries beyond the
+		// cap before the next holder compacts again.
+		if n := ne.newToken.Table.Len(); n > 64 {
+			t.Fatalf("BR %v token table %d entries despite CompactAbove=32 (size cap not engaged)", br, n)
+		}
+		if err := ne.newToken.Table.Validate(); err != nil {
+			t.Fatalf("BR %v token table: %v", br, err)
+		}
+	}
+}
+
+// TestSizeCapRespectsRingRotation pins the rotation-safety floor of the
+// size cap: with CompactAbove smaller than the top ring, naive
+// cut-to-newest compaction would drop entries before they finish one
+// circulation, leaving some nodes permanently unable to resolve those
+// assignments. The floor (two rotations' worth) must keep ordering
+// complete while still bounding the table.
+func TestSizeCapRespectsRingRotation(t *testing.T) {
+	spec := topology.Spec{BRs: 8, AGRings: 1, AGSize: 1, APsPerAG: 1, MHsPerAP: 1}
+	r := newRig(t, spec, func(c *Config) {
+		c.CompactAbove = 4      // far below the 8-node top ring
+		c.CompactKeep = 1 << 40 // seq window never opens
+	})
+	const count = 300
+	// Every BR is a source, maximizing entries added per rotation.
+	r.pump(r.b.BRs, count, 2*sim.Millisecond, 10*sim.Millisecond)
+	r.run(30 * sim.Second)
+	r.assertClean(uint64(count * len(r.b.BRs)))
+	for _, br := range r.b.BRs {
+		ne := r.e.NE(br)
+		if ne.newToken == nil {
+			continue
+		}
+		// Bounded by the rotation floor (2·ring = 16) plus one
+		// rotation of growth before the next compaction.
+		if n := ne.newToken.Table.Len(); n > 3*2*len(r.b.BRs) {
+			t.Fatalf("BR %v token table %d entries, want ≤ %d", br, n, 3*2*len(r.b.BRs))
+		}
+	}
+}

@@ -128,9 +128,12 @@ func (e *Engine) Start() error {
 			}
 		}
 	}
-	// Refresh neighbor views now that everything exists.
-	for _, ne := range e.nes {
-		ne.refreshNeighbors()
+	// Refresh neighbor views now that everything exists. Iterate in
+	// sorted ID order: refreshing can send (Join couriers), and sends
+	// draw from the loss/jitter RNG stream, so map order here would make
+	// whole runs nondeterministic.
+	for _, id := range e.H.NodeIDs() {
+		e.nes[id].refreshNeighbors()
 	}
 	// Inject the ordering token at the top-ring leader.
 	if top := e.H.TopRing(); top != nil {

@@ -74,10 +74,40 @@ func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
 			return
 		}
 	}
-	// Bound the token's wire size.
-	if n.e.Cfg.CompactAbove > 0 && tok.Table.Len() > n.e.Cfg.CompactAbove {
+	// Bound the token's wire size: CompactAbove is a hard cap on the
+	// circulating table. Preferably drop only entries older than the
+	// CompactKeep history window; before the global sequence has opened
+	// that window (NextGlobalSeq ≤ CompactKeep) the seed let the table
+	// grow without bound, so additionally cut to the newest CompactAbove
+	// entries regardless. Everything dropped has circulated the full
+	// ring at least once (CompactAbove spans many rotations), and the
+	// per-source high-water marks keep duplicate-assignment detection
+	// alive for compacted history.
+	if above := n.e.Cfg.CompactAbove; above > 0 && tok.Table.Len() > above {
+		var horizon seq.GlobalSeq
 		if uint64(tok.NextGlobalSeq) > n.e.Cfg.CompactKeep {
-			tok.Table.Compact(tok.NextGlobalSeq - seq.GlobalSeq(n.e.Cfg.CompactKeep))
+			horizon = tok.NextGlobalSeq - seq.GlobalSeq(n.e.Cfg.CompactKeep)
+		}
+		// Cut to ¾·CompactAbove, not CompactAbove exactly: the slack is
+		// hysteresis, so a rotation adds many entries before the table
+		// crosses the cap again instead of re-compacting on every hop.
+		// Never cut below two rotations' worth of entries, though: each
+		// holder adds at most one entry per visit, and an entry must
+		// survive one full circulation for every node to absorb it —
+		// a CompactAbove smaller than the top ring would otherwise drop
+		// assignments some nodes have not seen, stalling their delivery
+		// forever.
+		keep := above - above/4
+		if top := n.e.H.TopRing(); top != nil {
+			if floor := 2 * len(top.Nodes()); keep < floor {
+				keep = floor
+			}
+		}
+		if h := tok.Table.HorizonForSize(keep); h > horizon {
+			horizon = h
+		}
+		if horizon > 0 {
+			tok.Table.Compact(horizon)
 		}
 	}
 

@@ -86,16 +86,17 @@ func encodeToken(w *writer, t *seq.Token) {
 	w.u64(uint64(t.NextGlobalSeq))
 	w.u64(t.Epoch)
 	w.u64(t.Hops)
-	entries := t.Table.Entries()
-	w.u32(uint32(len(entries)))
-	for _, e := range entries {
+	w.u32(uint32(t.Table.Len()))
+	// Iterate the chunked table in place instead of materializing a
+	// []Pair copy of every entry just to serialize it.
+	t.Table.ForEachEntry(func(e seq.Pair) {
 		w.u32(uint32(e.SourceNode))
 		w.u32(uint32(e.OrderingNode))
 		w.u64(e.Local.Min)
 		w.u64(e.Local.Max)
 		w.u64(e.Global.Min)
 		w.u64(e.Global.Max)
-	}
+	})
 	// Per-source high-water marks survive compaction, so the entries
 	// alone cannot reconstruct them; without them a decoded table would
 	// accept duplicate assignment of already-ordered locals.

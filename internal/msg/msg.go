@@ -166,15 +166,17 @@ type TokenMsg struct {
 	Token *seq.Token
 }
 
-func (*TokenMsg) Kind() Kind { return KindToken }
-func (t *TokenMsg) WireSize() int {
-	// Token header + 40 bytes per WTSNP entry + count prefix and 12
-	// bytes per high-water mark.
-	n := 1 + 4 + 8 + 8 + 8
-	if t.Token != nil {
-		n += 40*t.Token.Table.Len() + 4 + 12*t.Token.Table.SourceCount()
+func (*TokenMsg) Kind() Kind      { return KindToken }
+func (t *TokenMsg) WireSize() int { return 1 + 4 + tokenWireSize(t.Token) }
+
+// tokenWireSize is the encoded size of an optional token: presence byte,
+// header, 40 bytes per WTSNP entry, and count prefix plus 12 bytes per
+// high-water mark. It matches codec.go's encodeToken byte for byte.
+func tokenWireSize(t *seq.Token) int {
+	if t == nil {
+		return 1
 	}
-	return n
+	return 1 + 4 + 8 + 8 + 8 + 4 + 40*t.Table.Len() + 4 + 12*t.Table.SourceCount()
 }
 
 // TokenAck acknowledges reliable token transfer.
@@ -205,14 +207,8 @@ type TokenRegen struct {
 	Token  *seq.Token
 }
 
-func (*TokenRegen) Kind() Kind { return KindTokenRegen }
-func (t *TokenRegen) WireSize() int {
-	n := 1 + 4 + 4 + 8 + 8
-	if t.Token != nil {
-		n += 40*t.Token.Table.Len() + 4 + 12*t.Token.Table.SourceCount()
-	}
-	return n
-}
+func (*TokenRegen) Kind() Kind      { return KindTokenRegen }
+func (t *TokenRegen) WireSize() int { return 1 + 4 + 4 + tokenWireSize(t.Token) }
 
 // MultipleToken is the membership protocol's signal that ring merging may
 // have produced multiple live tokens.

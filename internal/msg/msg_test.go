@@ -13,6 +13,11 @@ import (
 func roundTrip(t *testing.T, m Message) Message {
 	t.Helper()
 	buf := Encode(m)
+	// WireSize feeds the bandwidth model; it must equal the real
+	// encoding, not approximate it.
+	if len(buf) != m.WireSize() {
+		t.Fatalf("%v: encoded %d bytes, WireSize says %d", m.Kind(), len(buf), m.WireSize())
+	}
 	got, err := Decode(buf)
 	if err != nil {
 		t.Fatalf("Decode(%v): %v", m.Kind(), err)
@@ -89,6 +94,66 @@ func TestRoundTripToken(t *testing.T) {
 	g, ord, ok := got.Token.Table.GlobalFor(2, 2)
 	if !ok || ord != 9 || g != 7 {
 		t.Fatalf("decoded table resolve = %d,%v,%v", g, ord, ok)
+	}
+}
+
+// TestRoundTripChunkedCompactedToken round-trips a token whose table
+// spans many storage chunks and has been compacted (non-zero chunk
+// offset, detached runs): the decoded table must resolve every surviving
+// assignment, keep the per-source high-water marks of the compacted
+// prefix, and measure the same wire size the encoder declared.
+func TestRoundTripChunkedCompactedToken(t *testing.T) {
+	tok := seq.NewToken(4)
+	next := map[seq.NodeID]seq.LocalSeq{}
+	const n = 300 // ~10 chunks
+	for i := 0; i < n; i++ {
+		src := seq.NodeID(i%5 + 1)
+		lo := next[src] + 1
+		hi := lo + 2
+		if _, err := tok.Assign(src, 9, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		next[src] = hi
+	}
+	horizon := tok.NextGlobalSeq / 2
+	tok.Table.Compact(horizon)
+	if err := tok.Table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &TokenMsg{From: 8, Token: tok}
+	buf := Encode(m)
+	if len(buf) != m.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(buf), m.WireSize())
+	}
+	got := roundTrip(t, m).(*TokenMsg)
+	if got.Token.Table.Len() != tok.Table.Len() {
+		t.Fatalf("decoded %d entries, want %d", got.Token.Table.Len(), tok.Table.Len())
+	}
+	if err := got.Token.Table.Validate(); err != nil {
+		t.Fatalf("decoded table invalid: %v", err)
+	}
+	if !reflect.DeepEqual(got.Token.Table.Entries(), tok.Table.Entries()) {
+		t.Fatal("decoded entries differ")
+	}
+	// Surviving assignments resolve; compacted high-water marks survive.
+	for src, hw := range next {
+		if got.Token.Table.MaxAssignedLocal(src) != hw {
+			t.Fatalf("source %v high-water %d, want %d", src, got.Token.Table.MaxAssignedLocal(src), hw)
+		}
+		g1, _, ok1 := tok.Table.GlobalFor(src, hw)
+		g2, _, ok2 := got.Token.Table.GlobalFor(src, hw)
+		if ok1 != ok2 || g1 != g2 {
+			t.Fatalf("source %v: GlobalFor(%d) = (%d,%v), want (%d,%v)", src, hw, g2, ok2, g1, ok1)
+		}
+		// Re-assigning already-ordered locals must still be rejected.
+		if err := got.Token.Table.Append(seq.Pair{
+			SourceNode: src, OrderingNode: 9,
+			Local:  seq.Range{Min: 1, Max: 1},
+			Global: seq.Range{Min: 1 << 30, Max: 1 << 30},
+		}); err == nil {
+			t.Fatalf("source %v: duplicate assignment accepted after round-trip", src)
+		}
 	}
 }
 

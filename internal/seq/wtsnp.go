@@ -22,22 +22,20 @@ import (
 // search, so GlobalFor, Append overlap checks, and Absorb run in O(log n)
 // per pair instead of scanning the table.
 //
-// Clones share entry storage copy-on-write: Clone copies only the two
-// small per-source maps and clamps every shared slice's capacity to its
-// length, so the first append on either side reallocates (Go's append
-// forks a full slice when cap == len) and the sides diverge without ever
-// writing into shared backing arrays. Pairs are never mutated in place and
-// Compact re-slices or rebuilds, so shared storage is effectively
-// immutable. This makes the ~10 token-clone sites on the ordering hot path
-// O(#sources) instead of O(#entries).
+// Both indexes are chunked pair lists (see chunk.go): immutable fixed-size
+// chunks referenced from small pointer spines, shared structurally between
+// clones. Clone is O(1); the first mutation after a clone copies the two
+// small per-source maps and, per touched list, the spine and the tail
+// chunk — never the full entry array. A token hop therefore costs a
+// constant number of chunks in bytes, independent of table size.
 //
 // To bound the token size on the wire, entries older than a horizon can be
 // compacted away with Compact once their messages are known to be ordered
 // everywhere; the table keeps per-source high-water marks so duplicate
 // assignment is still detected after compaction.
 type WTSNP struct {
-	entries  []Pair            // all pairs, sorted by Global.Min
-	bySource map[NodeID][]Pair // per-source pairs, sorted by Local.Min
+	entries  pairList            // all pairs, sorted by Global.Min
+	bySource map[NodeID]pairList // per-source pairs, sorted by Local.Min
 	// maxLocal tracks the highest local sequence number ever assigned
 	// per source, surviving compaction.
 	maxLocal map[NodeID]LocalSeq
@@ -46,15 +44,15 @@ type WTSNP struct {
 	// token lineage global numbers only grow, so Absorb needs to examine
 	// only the entries above this mark. It survives Compact.
 	absorbed GlobalSeq
-	// shared marks the maps and slices as aliased with a clone; the first
-	// mutation forks them (see fork).
+	// shared marks the maps, spines, and chunks as aliased with a clone;
+	// the first mutation forks them (see fork).
 	shared bool
 }
 
 // NewWTSNP returns an empty table.
 func NewWTSNP() *WTSNP {
 	return &WTSNP{
-		bySource: make(map[NodeID][]Pair),
+		bySource: make(map[NodeID]pairList),
 		maxLocal: make(map[NodeID]LocalSeq),
 	}
 }
@@ -63,7 +61,8 @@ func NewWTSNP() *WTSNP {
 // they are stored in a node's Old/NewOrderingToken slots, so aliasing
 // would corrupt recovery. All storage is shared copy-on-write: both sides
 // are marked shared, and whichever side mutates first forks its maps and
-// clamps its slices (see fork), leaving the common storage untouched.
+// re-owns the chunk lists it touches (see fork), leaving the common
+// storage untouched.
 func (w *WTSNP) Clone() *WTSNP {
 	w.shared = true
 	c := *w
@@ -71,17 +70,18 @@ func (w *WTSNP) Clone() *WTSNP {
 }
 
 // fork un-shares the table's storage before a mutation. The maps are
-// copied; the slices are merely capacity-clamped — Go's append then
-// reallocates on the next insertion instead of writing into a backing
-// array a clone can still see. O(#sources), independent of table size.
+// copied and every chunk list loses tail ownership, so the next append on
+// a list copies its pointer spine and tail chunk instead of writing into
+// storage a clone can still see. O(#sources), independent of table size.
 func (w *WTSNP) fork() {
 	if !w.shared {
 		return
 	}
-	w.entries = w.entries[:len(w.entries):len(w.entries)]
-	bs := make(map[NodeID][]Pair, len(w.bySource))
+	w.entries.priv = false
+	bs := make(map[NodeID]pairList, len(w.bySource))
 	for k, v := range w.bySource {
-		bs[k] = v[:len(v):len(v)]
+		v.priv = false
+		bs[k] = v
 	}
 	w.bySource = bs
 	ml := make(map[NodeID]LocalSeq, len(w.maxLocal))
@@ -93,11 +93,19 @@ func (w *WTSNP) fork() {
 }
 
 // Len returns the number of entries.
-func (w *WTSNP) Len() int { return len(w.entries) }
+func (w *WTSNP) Len() int { return w.entries.len() }
 
 // Entries returns a copy of the entries, ordered by global range.
 func (w *WTSNP) Entries() []Pair {
-	return append([]Pair(nil), w.entries...)
+	return w.entries.appendTo(make([]Pair, 0, w.entries.len()))
+}
+
+// ForEachEntry calls fn for every entry in global order, without
+// materializing the table (the wire encoder's iteration path).
+func (w *WTSNP) ForEachEntry(fn func(Pair)) {
+	for i, n := 0, w.entries.len(); i < n; i++ {
+		fn(w.entries.at(i))
+	}
 }
 
 // MaxAssignedLocal returns the highest local sequence number from src that
@@ -139,56 +147,55 @@ func (w *WTSNP) RestoreHighWater(src NodeID, hw LocalSeq) {
 // globalPos returns the insertion index for a global range starting at
 // min: the first entry whose Global.Min exceeds min.
 func (w *WTSNP) globalPos(min uint64) int {
-	return sort.Search(len(w.entries), func(i int) bool { return w.entries[i].Global.Min > min })
+	return sort.Search(w.entries.len(), func(i int) bool { return w.entries.at(i).Global.Min > min })
 }
 
-// localPos returns the insertion index in src's slice for a local range
+// localPos returns the insertion index in src's list for a local range
 // starting at min.
-func localPos(s []Pair, min uint64) int {
-	return sort.Search(len(s), func(i int) bool { return s[i].Local.Min > min })
+func localPos(s *pairList, min uint64) int {
+	return sort.Search(s.len(), func(i int) bool { return s.at(i).Local.Min > min })
 }
 
 // globalConflict returns the existing entry whose global range overlaps g,
 // given g's insertion index i.
 func (w *WTSNP) globalConflict(i int, g Range) (Pair, bool) {
-	if i > 0 && w.entries[i-1].Global.Max >= g.Min {
-		return w.entries[i-1], true
+	if i > 0 {
+		if e := w.entries.at(i - 1); e.Global.Max >= g.Min {
+			return e, true
+		}
 	}
-	if i < len(w.entries) && w.entries[i].Global.Min <= g.Max {
-		return w.entries[i], true
+	if i < w.entries.len() {
+		if e := w.entries.at(i); e.Global.Min <= g.Max {
+			return e, true
+		}
 	}
 	return Pair{}, false
 }
 
 // localConflict returns the entry in s whose local range overlaps l, given
 // l's insertion index j.
-func localConflict(s []Pair, j int, l Range) (Pair, bool) {
-	if j > 0 && s[j-1].Local.Max >= l.Min {
-		return s[j-1], true
+func localConflict(s *pairList, j int, l Range) (Pair, bool) {
+	if j > 0 {
+		if e := s.at(j - 1); e.Local.Max >= l.Min {
+			return e, true
+		}
 	}
-	if j < len(s) && s[j].Local.Min <= l.Max {
-		return s[j], true
+	if j < s.len() {
+		if e := s.at(j); e.Local.Min <= l.Max {
+			return e, true
+		}
 	}
 	return Pair{}, false
-}
-
-// insertPair places p at index i. Append-then-shift keeps the copy-on-write
-// discipline: on a clone whose capacity is clamped, the append reallocates
-// and the shared backing array is left untouched.
-func insertPair(s []Pair, i int, p Pair) []Pair {
-	s = append(s, Pair{})
-	copy(s[i+1:], s[i:])
-	s[i] = p
-	return s
 }
 
 // insert adds p at global index i, maintaining both indexes, the
 // high-water marks, and the absorb watermark.
 func (w *WTSNP) insert(i int, p Pair) {
 	w.fork()
-	w.entries = insertPair(w.entries, i, p)
+	w.entries.insert(i, p)
 	s := w.bySource[p.SourceNode]
-	w.bySource[p.SourceNode] = insertPair(s, localPos(s, p.Local.Min), p)
+	s.insert(localPos(&s, p.Local.Min), p)
+	w.bySource[p.SourceNode] = s
 	if hw := w.maxLocal[p.SourceNode]; LocalSeq(p.Local.Max) > hw {
 		w.maxLocal[p.SourceNode] = LocalSeq(p.Local.Max)
 	}
@@ -227,7 +234,7 @@ func (w *WTSNP) Insert(p Pair) error {
 		return fmt.Errorf("wtsnp: global range %v overlaps existing %v", p.Global, e.Global)
 	}
 	s := w.bySource[p.SourceNode]
-	if e, ok := localConflict(s, localPos(s, p.Local.Min), p.Local); ok {
+	if e, ok := localConflict(&s, localPos(&s, p.Local.Min), p.Local); ok {
 		return fmt.Errorf("wtsnp: local range %v overlaps existing %v for %v", p.Local, e.Local, p.SourceNode)
 	}
 	w.insert(i, p)
@@ -237,9 +244,10 @@ func (w *WTSNP) Insert(p Pair) error {
 // GlobalFor resolves the global sequence number assigned to (src, l).
 func (w *WTSNP) GlobalFor(src NodeID, l LocalSeq) (GlobalSeq, NodeID, bool) {
 	s := w.bySource[src]
-	if j := localPos(s, uint64(l)); j > 0 {
-		if g, ok := s[j-1].GlobalFor(l); ok {
-			return g, s[j-1].OrderingNode, true
+	if j := localPos(&s, uint64(l)); j > 0 {
+		e := s.at(j - 1)
+		if g, ok := e.GlobalFor(l); ok {
+			return g, e.OrderingNode, true
 		}
 	}
 	return 0, None, false
@@ -259,10 +267,12 @@ func (w *WTSNP) GlobalFor(src NodeID, l LocalSeq) (GlobalSeq, NodeID, bool) {
 func (w *WTSNP) Absorb(other *WTSNP) (int, error) {
 	added := 0
 	var firstErr error
-	start := sort.Search(len(other.entries), func(i int) bool {
-		return other.entries[i].Global.Min > uint64(w.absorbed)
+	n := other.entries.len()
+	start := sort.Search(n, func(i int) bool {
+		return other.entries.at(i).Global.Min > uint64(w.absorbed)
 	})
-	for _, p := range other.entries[start:] {
+	for idx := start; idx < n; idx++ {
+		p := other.entries.at(idx)
 		if !p.Valid() {
 			continue
 		}
@@ -276,7 +286,7 @@ func (w *WTSNP) Absorb(other *WTSNP) (int, error) {
 		i := w.globalPos(p.Global.Min)
 		_, gc := w.globalConflict(i, p.Global)
 		s := w.bySource[p.SourceNode]
-		_, lc := localConflict(s, localPos(s, p.Local.Min), p.Local)
+		_, lc := localConflict(&s, localPos(&s, p.Local.Min), p.Local)
 		if gc || lc {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("wtsnp: entry %v conflicts during absorb", p)
@@ -295,28 +305,29 @@ func (w *WTSNP) Absorb(other *WTSNP) (int, error) {
 func (w *WTSNP) Compact(horizon GlobalSeq) int {
 	// Disjoint sorted global ranges mean Global.Max is sorted too, so the
 	// removable entries are exactly a prefix.
-	idx := sort.Search(len(w.entries), func(i int) bool {
-		return GlobalSeq(w.entries[i].Global.Max) > horizon
+	idx := sort.Search(w.entries.len(), func(i int) bool {
+		return GlobalSeq(w.entries.at(i).Global.Max) > horizon
 	})
 	if idx == 0 {
 		return 0
 	}
 	w.fork()
 	touched := make(map[NodeID]struct{})
-	for _, e := range w.entries[:idx] {
-		touched[e.SourceNode] = struct{}{}
+	for i := 0; i < idx; i++ {
+		touched[w.entries.at(i).SourceNode] = struct{}{}
 	}
-	// Re-slicing never writes, so sharing with clones stays safe.
-	w.entries = w.entries[idx:]
+	// Dropping a prefix shares the surviving chunks with clones.
+	w.entries.dropPrefix(idx)
 	for src := range touched {
 		old := w.bySource[src]
-		kept := make([]Pair, 0, len(old))
-		for _, e := range old {
+		var kept pairList
+		for i, n := 0, old.len(); i < n; i++ {
+			e := old.at(i)
 			if GlobalSeq(e.Global.Max) > horizon {
-				kept = append(kept, e)
+				kept.append(e)
 			}
 		}
-		if len(kept) == 0 {
+		if kept.len() == 0 {
 			delete(w.bySource, src)
 		} else {
 			w.bySource[src] = kept
@@ -325,41 +336,65 @@ func (w *WTSNP) Compact(horizon GlobalSeq) int {
 	return idx
 }
 
+// HorizonForSize returns the compaction horizon that keeps only the
+// newest max entries (0 when the table is not larger than max). Global
+// ranges are disjoint and sorted, so compacting at this horizon drops
+// exactly Len()−max entries. Callers use it to hard-cap a circulating
+// token's size when the sequence-based CompactKeep window has not opened
+// yet; the per-source high-water marks keep duplicate-assignment
+// detection intact for whatever is dropped.
+func (w *WTSNP) HorizonForSize(max int) GlobalSeq {
+	n := w.entries.len()
+	if max < 0 || n <= max {
+		return 0
+	}
+	return GlobalSeq(w.entries.at(n - max - 1).Global.Max)
+}
+
 // Validate checks all structural invariants, returning the first
 // violation found.
 func (w *WTSNP) Validate() error {
+	if err := w.entries.check(); err != nil {
+		return fmt.Errorf("wtsnp: entries: %w", err)
+	}
 	total := 0
-	for i, a := range w.entries {
+	n := w.entries.len()
+	for i := 0; i < n; i++ {
+		a := w.entries.at(i)
 		if !a.Valid() {
 			return fmt.Errorf("wtsnp: entry %d invalid: %v", i, a)
 		}
-		if i > 0 && w.entries[i-1].Global.Max >= a.Global.Min {
+		if i > 0 && w.entries.at(i-1).Global.Max >= a.Global.Min {
 			return fmt.Errorf("wtsnp: entries %d and %d overlap or are unsorted globally", i-1, i)
 		}
 	}
 	for src, s := range w.bySource {
-		for j, a := range s {
+		if err := s.check(); err != nil {
+			return fmt.Errorf("wtsnp: source %v: %w", src, err)
+		}
+		for j, m := 0, s.len(); j < m; j++ {
+			a := s.at(j)
 			if a.SourceNode != src {
 				return fmt.Errorf("wtsnp: entry %v indexed under %v", a, src)
 			}
-			if j > 0 && s[j-1].Local.Max >= a.Local.Min {
+			if j > 0 && s.at(j-1).Local.Max >= a.Local.Min {
 				return fmt.Errorf("wtsnp: entries %d and %d overlap or are unsorted locally for %v", j-1, j, src)
 			}
 			if hw := w.maxLocal[src]; uint64(hw) < a.Local.Max {
 				return fmt.Errorf("wtsnp: high-water %d below entry %v", hw, a)
 			}
 			i := w.globalPos(a.Global.Min)
-			if i == 0 || w.entries[i-1] != a {
+			if i == 0 || w.entries.at(i-1) != a {
 				return fmt.Errorf("wtsnp: entry %v missing from global index", a)
 			}
 			if g := GlobalSeq(a.Global.Max); g > w.absorbed {
 				return fmt.Errorf("wtsnp: absorb watermark %d below entry %v", w.absorbed, a)
 			}
 		}
-		total += len(s)
+		total += s.len()
 	}
-	if total != len(w.entries) {
-		return fmt.Errorf("wtsnp: index holds %d entries, table %d", total, len(w.entries))
+	if total != n {
+		return fmt.Errorf("wtsnp: index holds %d entries, table %d", total, n)
 	}
 	return nil
 }
@@ -367,11 +402,11 @@ func (w *WTSNP) Validate() error {
 func (w *WTSNP) String() string {
 	var b strings.Builder
 	b.WriteString("WTSNP{")
-	for i, e := range w.entries {
+	for i, n := 0, w.entries.len(); i < n; i++ {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(e.String())
+		b.WriteString(w.entries.at(i).String())
 	}
 	b.WriteString("}")
 	return b.String()
@@ -395,8 +430,9 @@ func NewToken(g GroupID) *Token {
 	return &Token{Group: g, NextGlobalSeq: 1, Table: NewWTSNP()}
 }
 
-// Clone copies the token. The table's entry storage is shared
-// copy-on-write, so cloning is O(#sources), not O(#entries).
+// Clone copies the token. The table's chunked entry storage is shared
+// structurally, so cloning is O(1) and the per-hop mutation that follows
+// copies a chunk-pointer spine and one tail chunk, not the entry array.
 func (t *Token) Clone() *Token {
 	if t == nil {
 		return nil

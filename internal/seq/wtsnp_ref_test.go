@@ -3,6 +3,7 @@ package seq
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -114,10 +115,42 @@ func (w *refWTSNP) compact(horizon GlobalSeq) int {
 	return removed
 }
 
-// pairUnderTest keeps a fast table and its naive reference in lockstep.
+// horizonForSize mirrors WTSNP.HorizonForSize on the unsorted reference:
+// the Global.Max of the (len-max)th entry in global order.
+func (w *refWTSNP) horizonForSize(max int) GlobalSeq {
+	if max < 0 || len(w.entries) <= max {
+		return 0
+	}
+	maxes := make([]uint64, 0, len(w.entries))
+	for _, e := range w.entries {
+		maxes = append(maxes, e.Global.Max)
+	}
+	sort.Slice(maxes, func(i, j int) bool { return maxes[i] < maxes[j] })
+	return GlobalSeq(maxes[len(maxes)-max-1])
+}
+
+// pairUnderTest keeps a fast table and its naive reference in lockstep,
+// together with the bookkeeping needed to generate valid appends against
+// this table's own history (clones diverge, so each has its own).
 type pairUnderTest struct {
-	fast *WTSNP
-	ref  *refWTSNP
+	fast       *WTSNP
+	ref        *refWTSNP
+	nextGlobal uint64
+	nextLocal  map[NodeID]uint64
+}
+
+func newPairUnderTest() *pairUnderTest {
+	return &pairUnderTest{fast: NewWTSNP(), ref: newRef(), nextGlobal: 1, nextLocal: map[NodeID]uint64{}}
+}
+
+// clonePair snapshots both sides; the fast side shares chunk storage
+// copy-on-write with its parent, which is exactly what the fuzz attacks.
+func (u *pairUnderTest) clonePair() *pairUnderTest {
+	nl := make(map[NodeID]uint64, len(u.nextLocal))
+	for k, v := range u.nextLocal {
+		nl[k] = v
+	}
+	return &pairUnderTest{fast: u.fast.Clone(), ref: u.ref.clone(), nextGlobal: u.nextGlobal, nextLocal: nl}
 }
 
 func (u *pairUnderTest) check(t *testing.T, step int) {
@@ -145,37 +178,54 @@ func (u *pairUnderTest) check(t *testing.T, step int) {
 			}
 		}
 	}
+	// The materialized entries must be the reference set in global order,
+	// and ForEachEntry must agree with Entries.
+	want := append([]Pair(nil), u.ref.entries...)
+	sort.Slice(want, func(i, j int) bool { return want[i].Global.Min < want[j].Global.Min })
+	got := u.fast.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: Entries len %d, ref %d", step, len(got), len(want))
+	}
+	i := 0
+	u.fast.ForEachEntry(func(p Pair) {
+		if got[i] != want[i] || p != want[i] {
+			t.Fatalf("step %d: entry %d = %v (iter %v), ref %v", step, i, got[i], p, want[i])
+		}
+		i++
+	})
 }
 
 // TestDifferentialWTSNP fuzzes random Append/Insert/Absorb/Compact/
 // GlobalFor/Clone sequences against the naive reference and requires
 // identical observable behavior after every step.
+//
+// Unlike a snapshot-only fuzz, every member of the clone pool is a live
+// table: clones of clones are taken at arbitrary depths, every member is
+// mutated (appends, detached inserts, compaction at both random and
+// size-capped horizons), and absorbs run in both directions between
+// randomly chosen members. With the chunked entry store this attacks
+// exactly the dangerous surface: chunks and spines shared across many
+// generations of diverging tables, interleaved with prefix-dropping
+// compaction and suffix-rebuilding interior inserts. After every step,
+// every pool member is revalidated against its own reference.
 func TestDifferentialWTSNP(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
-			u := &pairUnderTest{fast: NewWTSNP(), ref: newRef()}
-			// clones accumulates CoW snapshots with their reference
-			// states; mutated originals must never disturb them.
-			type snap struct {
-				fast *WTSNP
-				ref  *refWTSNP
-			}
-			var clones []snap
-			nextGlobal := uint64(1)
-			nextLocal := map[NodeID]uint64{}
+			pool := []*pairUnderTest{newPairUnderTest()}
 			for step := 0; step < 400; step++ {
-				switch op := rng.Intn(10); {
+				u := pool[rng.Intn(len(pool))]
+				switch op := rng.Intn(12); {
 				case op < 4: // Append a contiguous run for a random source
 					src := NodeID(rng.Intn(5) + 1)
 					n := uint64(rng.Intn(4) + 1)
-					lo := nextLocal[src] + 1
+					lo := u.nextLocal[src] + 1
 					p := Pair{
 						SourceNode:   src,
 						OrderingNode: NodeID(rng.Intn(3) + 10),
 						Local:        Range{Min: lo, Max: lo + n - 1},
-						Global:       Range{Min: nextGlobal, Max: nextGlobal + n - 1},
+						Global:       Range{Min: u.nextGlobal, Max: u.nextGlobal + n - 1},
 					}
 					errFast := u.fast.Append(p)
 					errRef := u.ref.appendPair(p)
@@ -183,18 +233,18 @@ func TestDifferentialWTSNP(t *testing.T) {
 						t.Fatalf("step %d: Append(%v) fast err %v, ref err %v", step, p, errFast, errRef)
 					}
 					if errFast == nil {
-						nextGlobal += n
-						nextLocal[src] = p.Local.Max
+						u.nextGlobal += n
+						u.nextLocal[src] = p.Local.Max
 					}
 				case op < 5: // Insert a detached (post-compaction style) run
 					src := NodeID(rng.Intn(5) + 1)
 					n := uint64(rng.Intn(3) + 1)
-					lo := nextLocal[src] + 1 + uint64(rng.Intn(3)) // may skip locals
+					lo := u.nextLocal[src] + 1 + uint64(rng.Intn(3)) // may skip locals
 					p := Pair{
 						SourceNode:   src,
 						OrderingNode: NodeID(rng.Intn(3) + 10),
 						Local:        Range{Min: lo, Max: lo + n - 1},
-						Global:       Range{Min: nextGlobal, Max: nextGlobal + n - 1},
+						Global:       Range{Min: u.nextGlobal, Max: u.nextGlobal + n - 1},
 					}
 					errFast := u.fast.Insert(p)
 					errRef := u.ref.insertPair(p)
@@ -202,31 +252,56 @@ func TestDifferentialWTSNP(t *testing.T) {
 						t.Fatalf("step %d: Insert(%v) fast err %v, ref err %v", step, p, errFast, errRef)
 					}
 					if errFast == nil {
-						nextGlobal += n
-						nextLocal[src] = p.Local.Max
+						u.nextGlobal += n
+						u.nextLocal[src] = p.Local.Max
 					}
 				case op < 6: // Compact at a random horizon
-					h := GlobalSeq(rng.Int63n(int64(nextGlobal) + 1))
+					h := GlobalSeq(rng.Int63n(int64(u.nextGlobal) + 1))
 					remFast := u.fast.Compact(h)
 					remRef := u.ref.compact(h)
 					if remFast != remRef {
 						t.Fatalf("step %d: Compact(%d) removed %d, ref %d", step, h, remFast, remRef)
 					}
-				case op < 8: // Clone and absorb the original into a snapshot
-					clones = append(clones, snap{fast: u.fast.Clone(), ref: u.ref.clone()})
-					if len(clones) > 1 && rng.Intn(2) == 0 {
-						i := rng.Intn(len(clones))
-						addFast, _ := clones[i].fast.Absorb(u.fast)
-						addRef := clones[i].ref.absorb(u.ref)
-						if addFast != addRef {
-							t.Fatalf("step %d: Absorb added %d, ref %d", step, addFast, addRef)
+				case op < 7: // Compact to a size cap (the token wire-size bound)
+					max := rng.Intn(u.fast.Len() + 2)
+					hFast := u.fast.HorizonForSize(max)
+					if hRef := u.ref.horizonForSize(max); hFast != hRef {
+						t.Fatalf("step %d: HorizonForSize(%d) = %d, ref %d", step, max, hFast, hRef)
+					}
+					remFast := u.fast.Compact(hFast)
+					remRef := u.ref.compact(hFast)
+					if remFast != remRef {
+						t.Fatalf("step %d: size-capped Compact(%d) removed %d, ref %d", step, hFast, remFast, remRef)
+					}
+				case op < 9: // Clone (of any member, to any depth)
+					c := u.clonePair()
+					if len(pool) < 8 {
+						pool = append(pool, c)
+					} else {
+						pool[rng.Intn(len(pool))] = c
+					}
+				case op < 10: // Absorb another member's table into this one
+					o := pool[rng.Intn(len(pool))]
+					if o == u {
+						break
+					}
+					addFast, _ := u.fast.Absorb(o.fast)
+					addRef := u.ref.absorb(o.ref)
+					if addFast != addRef {
+						t.Fatalf("step %d: Absorb added %d, ref %d", step, addFast, addRef)
+					}
+					// Future appends on u must clear everything absorbed.
+					if o.nextGlobal > u.nextGlobal {
+						u.nextGlobal = o.nextGlobal
+					}
+					for src, hw := range o.nextLocal {
+						if hw > u.nextLocal[src] {
+							u.nextLocal[src] = hw
 						}
-						cu := &pairUnderTest{fast: clones[i].fast, ref: clones[i].ref}
-						cu.check(t, step)
 					}
 				default: // Random GlobalFor probes, hit or miss
 					src := NodeID(rng.Intn(6) + 1)
-					l := LocalSeq(rng.Int63n(int64(nextLocal[src]) + 3))
+					l := LocalSeq(rng.Int63n(int64(u.nextLocal[src]) + 3))
 					gF, oF, okF := u.fast.GlobalFor(src, l)
 					gR, oR, okR := u.ref.globalFor(src, l)
 					if gF != gR || oF != oR || okF != okR {
@@ -234,14 +309,11 @@ func TestDifferentialWTSNP(t *testing.T) {
 							step, src, l, gF, oF, okF, gR, oR, okR)
 					}
 				}
-				u.check(t, step)
-			}
-			// Snapshots must still match their reference states: mutations
-			// of the original since the Clone must not have leaked through
-			// the shared storage.
-			for i := range clones {
-				cu := &pairUnderTest{fast: clones[i].fast, ref: clones[i].ref}
-				cu.check(t, -1-i)
+				// A mutation through shared chunks must never perturb any
+				// other pool member: revalidate everyone.
+				for _, m := range pool {
+					m.check(t, step)
+				}
 			}
 		})
 	}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// This file keeps the seed's container/heap scheduler alive as an
+// ordering oracle: the calendar-queue scheduler must execute nested,
+// self-scheduling, self-cancelling workloads in the byte-identical
+// (time, seq) order the original binary heap produced. Simulator trace
+// stability across the queue-discipline swap rests on this equivalence.
+
+// oldEvent/oldHeap/oldSched replicate the seed container/heap scheduler
+// as the ordering oracle.
+type oldEvent struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+type oldHeap []*oldEvent
+
+func (h oldHeap) Len() int { return len(h) }
+func (h oldHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oldHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *oldHeap) Push(x any) {
+	ev := x.(*oldEvent)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *oldHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type oldSched struct {
+	now    Time
+	seq    uint64
+	events oldHeap
+}
+
+func (s *oldSched) At(at Time, fn func()) *oldEvent {
+	if at < s.now {
+		at = s.now
+	}
+	ev := &oldEvent{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+func (s *oldSched) Run(until Time) {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if ev.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = ev.at
+		ev.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// script decides, deterministically per event id, what an event does when
+// it fires: schedule children and/or stop previously created events.
+type action struct {
+	children []Time // delays
+	stops    []int  // ids to stop
+}
+
+func makeScript(seed int64, n int) []action {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]action, n)
+	for i := range out {
+		a := &out[i]
+		for k := rng.Intn(3); k > 0; k-- {
+			var d Time
+			switch rng.Intn(5) {
+			case 0:
+				d = 0
+			case 1:
+				d = Time(rng.Int63n(64)) // same slot-ish
+			case 2:
+				d = Time(rng.Int63n(wheelSpan))
+			case 3:
+				d = wheelSpan - 64 + Time(rng.Int63n(128))
+			default:
+				d = Time(rng.Int63n(3 * wheelSpan))
+			}
+			a.children = append(a.children, d)
+		}
+		for k := rng.Intn(2); k > 0; k-- {
+			a.stops = append(a.stops, rng.Intn(n))
+		}
+	}
+	return out
+}
+
+func TestNestedDifferential(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		const n = 4000
+		script := makeScript(seed, n)
+
+		runNew := func() []int {
+			s := NewScheduler()
+			var order []int
+			timers := map[int]Timer{}
+			next := 0
+			var fire func(id int) func()
+			fire = func(id int) func() {
+				return func() {
+					order = append(order, id)
+					a := script[id%len(script)]
+					for _, d := range a.children {
+						if next >= n {
+							break
+						}
+						id2 := next
+						next++
+						timers[id2] = s.After(d, fire(id2))
+					}
+					for _, sid := range a.stops {
+						if tm, ok := timers[sid]; ok {
+							tm.Stop()
+						}
+					}
+				}
+			}
+			for i := 0; i < 20 && next < n; i++ {
+				id := next
+				next++
+				timers[id] = s.After(Time(i*37), fire(id))
+			}
+			rng := rand.New(rand.NewSource(seed + 1000))
+			for s.Len() > 0 {
+				s.Run(s.now + Time(rng.Int63n(wheelSpan)))
+			}
+			return order
+		}
+
+		runOld := func() []int {
+			s := &oldSched{}
+			var order []int
+			timers := map[int]*oldEvent{}
+			next := 0
+			var fire func(id int) func()
+			fire = func(id int) func() {
+				return func() {
+					order = append(order, id)
+					a := script[id%len(script)]
+					for _, d := range a.children {
+						if next >= n {
+							break
+						}
+						id2 := next
+						next++
+						timers[id2] = s.At(s.now+d, fire(id2))
+					}
+					for _, sid := range a.stops {
+						if ev, ok := timers[sid]; ok && !ev.dead {
+							ev.dead = true
+						}
+					}
+				}
+			}
+			for i := 0; i < 20 && next < n; i++ {
+				id := next
+				next++
+				timers[id] = s.At(Time(i*37), fire(id))
+			}
+			rng := rand.New(rand.NewSource(seed + 1000))
+			live := func() int {
+				c := 0
+				for _, ev := range s.events {
+					if !ev.dead {
+						c++
+					}
+				}
+				return c
+			}
+			for live() > 0 {
+				s.Run(s.now + Time(rng.Int63n(wheelSpan)))
+			}
+			return order
+		}
+
+		a, b := runNew(), runOld()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: new fired %d, old fired %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: order diverges at %d: new=%d old=%d", seed, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// wheelSpan is the virtual-time width of the wheel window; delays beyond
+// it exercise the overflow heap and the promotion path.
+const wheelSpan = wheelSlots << slotShift
+
+// refEvent is one scheduled callback in the reference model: a plain
+// sorted-slice scheduler that fires in exact (at, seq) order.
+type refEvent struct {
+	at    Time
+	seq   uint64
+	id    int
+	timer Timer
+}
+
+// TestDifferentialScheduler drives the calendar-queue scheduler and a
+// naive sorted-list reference through random schedule/stop/run
+// interleavings and requires the exact same firing sequence. Delays are
+// drawn across the wheel horizon so events cross the bucket/overflow
+// boundary in both directions, and a bias toward slot-width multiples
+// exercises exact-boundary placement. Timers are stopped both before and
+// after the cursor has advanced past them, covering cancellation in
+// buckets, the slot heap, and the overflow heap.
+func TestDifferentialScheduler(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		var pending []refEvent // model: live events, unordered
+		var gotIDs, wantIDs []int
+		var stale []Timer // handles whose events fired or were stopped
+		nextID := 0
+		seqNo := uint64(0)
+
+		fire := func(id int) func() {
+			return func() { gotIDs = append(gotIDs, id) }
+		}
+		schedule := func() {
+			var d Time
+			switch rng.Intn(4) {
+			case 0: // inside the wheel
+				d = Time(rng.Int63n(wheelSpan))
+			case 1: // straddling the horizon
+				d = wheelSpan - 256 + Time(rng.Int63n(512))
+			case 2: // deep overflow
+				d = wheelSpan + Time(rng.Int63n(4*wheelSpan))
+			default: // exact slot boundaries, including zero delay
+				d = Time(rng.Int63n(4)) * (1 << slotShift) * Time(rng.Int63n(wheelSlots))
+			}
+			id := nextID
+			nextID++
+			tm := s.After(d, fire(id))
+			pending = append(pending, refEvent{at: s.Now() + d, seq: seqNo, id: id, timer: tm})
+			seqNo++
+		}
+
+		runRef := func(until Time) {
+			sort.Slice(pending, func(i, j int) bool {
+				if pending[i].at != pending[j].at {
+					return pending[i].at < pending[j].at
+				}
+				return pending[i].seq < pending[j].seq
+			})
+			kept := pending[:0]
+			for _, e := range pending {
+				if e.at <= until {
+					wantIDs = append(wantIDs, e.id)
+					stale = append(stale, e.timer)
+					continue
+				}
+				kept = append(kept, e)
+			}
+			pending = kept
+		}
+
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5:
+				for i := rng.Intn(8); i >= 0; i-- {
+					schedule()
+				}
+			case op < 7 && len(pending) > 0:
+				// Stop a random live timer; mirror in the model.
+				i := rng.Intn(len(pending))
+				if !pending[i].timer.Stop() {
+					t.Fatalf("seed %d step %d: Stop on live timer returned false", seed, step)
+				}
+				stale = append(stale, pending[i].timer)
+				pending = append(pending[:i], pending[i+1:]...)
+			case op < 8 && len(stale) > 0:
+				// Stale handles must stay inert across recycling.
+				i := rng.Intn(len(stale))
+				if stale[i].Stop() || stale[i].Pending() {
+					t.Fatalf("seed %d step %d: stale handle still active", seed, step)
+				}
+			default:
+				until := s.Now() + Time(rng.Int63n(2*wheelSpan))
+				if _, err := s.Run(until); err != nil {
+					t.Fatal(err)
+				}
+				runRef(until)
+			}
+			// The live count must track the model continuously.
+			if s.Len() != len(pending) {
+				t.Fatalf("seed %d step %d: Len=%d, model %d", seed, step, s.Len(), len(pending))
+			}
+		}
+		if _, err := s.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		runRef(Time(1) << 60)
+
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("seed %d: fired %d events, model %d", seed, len(gotIDs), len(wantIDs))
+		}
+		for i := range gotIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: got id %d, want id %d",
+					seed, i, gotIDs[i], wantIDs[i])
+			}
+		}
+	}
+}
+
+// TestWheelHorizonBoundary pins exact placement at the overflow horizon:
+// an event exactly at curSlot+wheelSlots slots ahead must still fire in
+// (time, seq) order relative to wheel residents scheduled around it.
+func TestWheelHorizonBoundary(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	span := Time(wheelSpan)
+	s.At(span, func() { got = append(got, 2) })     // exactly at the horizon → overflow
+	s.At(span-1, func() { got = append(got, 1) })   // last wheel slot
+	s.At(span+1, func() { got = append(got, 3) })   // overflow
+	s.At(span, func() { got = append(got, 4) })     // same time as #2, later seq
+	s.At(2*span+5, func() { got = append(got, 5) }) // deep overflow
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// TestStopAcrossPromotion cancels an overflow-resident timer, lets the
+// cursor advance so the (dead) event is promoted and recycled, and checks
+// the stale handle stays inert through the recycle and re-arm.
+func TestStopAcrossPromotion(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	far := s.After(3*wheelSpan, func() { fired += 100 }) // overflow
+	s.After(1, func() { fired++ })
+	if !far.Stop() {
+		t.Fatal("Stop on pending overflow timer returned false")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after Stop", s.Len())
+	}
+	// Walk the cursor across several horizons so the dead event is
+	// promoted/recycled, then re-arm timers that reuse its struct.
+	s.After(4*wheelSpan, func() { fired += 10 })
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 11 {
+		t.Fatalf("fired = %d, want 11 (stopped overflow timer ran?)", fired)
+	}
+	if far.Stop() || far.Pending() {
+		t.Fatal("stale overflow handle still active after recycle")
+	}
+}
+
+// TestStopDuringSlotDrain stops an event that has already been migrated
+// into the current-slot heap (same slot, later time) from a callback in
+// the same slot.
+func TestStopDuringSlotDrain(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	var victim Timer
+	s.At(2, func() {
+		got = append(got, 1)
+		if !victim.Stop() {
+			t.Fatal("victim not pending")
+		}
+		// Schedule into the slot currently being drained.
+		s.At(5, func() { got = append(got, 3) })
+	})
+	victim = s.At(10, func() { got = append(got, 2) })
+	s.At(20, func() { got = append(got, 4) })
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+// TestLiveCountAtRecycleBoundaries pins the live-event accounting across
+// the stop→recycle→re-arm cycle: a stopped event is decremented exactly
+// once no matter which structure (bucket, slot heap, overflow) recycles
+// it, and a recycled struct re-armed under a new generation is counted as
+// a fresh event.
+func TestLiveCountAtRecycleBoundaries(t *testing.T) {
+	s := NewScheduler()
+	// Fill the freelist through a fire.
+	s.After(1, func() {})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after drain", s.Len())
+	}
+	// Stop in bucket (never migrated): schedule far ahead in the wheel,
+	// stop, then drain.
+	tw := s.After(wheelSpan/2, func() { t.Fatal("stopped wheel event fired") })
+	to := s.After(2*wheelSpan, func() { t.Fatal("stopped overflow event fired") })
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !tw.Stop() || !to.Stop() {
+		t.Fatal("Stop failed")
+	}
+	if tw.Stop() || to.Stop() {
+		t.Fatal("double Stop succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after stops", s.Len())
+	}
+	// Draining recycles the dead events; Len must not go negative or
+	// double-decrement when they are encountered.
+	if _, err := s.Run(4 * wheelSpan); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after drain of dead events", s.Len())
+	}
+	// Re-arm: recycled structs come back with a fresh generation.
+	fired := 0
+	t3 := s.After(1, func() { fired++ })
+	if s.Len() != 1 || !t3.Pending() {
+		t.Fatalf("Len = %d, pending=%v", s.Len(), t3.Pending())
+	}
+	if tw.Pending() || to.Pending() || tw.Stop() || to.Stop() {
+		t.Fatal("stale handles affect recycled events")
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 || s.Len() != 0 {
+		t.Fatalf("fired=%d Len=%d", fired, s.Len())
+	}
+}
