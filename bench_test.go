@@ -70,6 +70,10 @@ func BenchmarkE10GroupScaling(b *testing.B) { runExperiment(b, "E10", Experiment
 // delay inflates Torder and ordering latency).
 func BenchmarkE11Bandwidth(b *testing.B) { runExperiment(b, "E11", ExperimentE11) }
 
+// BenchmarkE12ControlOverhead — control-plane overhead with and without
+// ack coalescing (acks/progress per 1k delivered, control/data bytes).
+func BenchmarkE12ControlOverhead(b *testing.B) { runExperiment(b, "E12", ExperimentE12) }
+
 // BenchmarkF1HierarchyBuild — Figure 1: structure + end-to-end run.
 func BenchmarkF1HierarchyBuild(b *testing.B) { runExperiment(b, "F1", ExperimentF1) }
 
@@ -96,6 +100,45 @@ func BenchmarkProtocolSteadyState(b *testing.B) {
 	if err := x.CheckOrder(); err != nil {
 		b.Fatal(err)
 	}
+	reportControl(b, x)
+}
+
+// BenchmarkProtocolMultiSource drives all 4 sources of the 4-BR top ring
+// concurrently, so per-source WQ forwarding, multi-source ack batching,
+// and ordering interleave are measured rather than assumed.
+func BenchmarkProtocolMultiSource(b *testing.B) {
+	x, err := NewSim(Config{Topology: ringSpec(4), Seed: 321})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := x.Sources()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range srcs {
+			x.SubmitAt(x.Sched.Now()+Millisecond, src, []byte("bench"))
+		}
+		if err := x.Run(x.Sched.Now() + 2*Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := x.RunQuiet(250*Millisecond, x.Sched.Now()+60*Second); err != nil {
+		b.Fatal(err)
+	}
+	if err := x.CheckOrder(); err != nil {
+		b.Fatal(err)
+	}
+	reportControl(b, x)
+}
+
+// reportControl attaches the standalone ack-plane volume per delivered
+// payload as a custom benchmark metric. It is deterministic for a given
+// b.N, machine-independent, and gated by cmd/benchgate like B/op so
+// ack-volume regressions fail CI.
+func reportControl(b *testing.B, x *Sim) {
+	b.Helper()
+	rep := x.ControlReport()
+	b.ReportMetric(rep.AckPerDelivered(), "ctrl/deliv")
 }
 
 func BenchmarkHierarchyConstruction(b *testing.B) {

@@ -32,10 +32,16 @@ import (
 // Result is one benchmark measurement. Zero B/op and allocs/op are
 // meaningful (allocation-free hot paths) and are serialized explicitly
 // so the gate can flag a zero-alloc path that starts allocating.
+// CtrlPerDeliv is the protocol benchmarks' custom "ctrl/deliv" metric
+// (standalone ack-plane control messages per delivered payload); it is
+// machine-independent and gated like B/op, but — unlike the built-in
+// metrics — only when the baseline records it (a zero here means "not
+// measured", not "hard zero property").
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BPerOp      float64 `json:"b_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BPerOp       float64 `json:"b_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	CtrlPerDeliv float64 `json:"ctrl_per_deliv,omitempty"`
 }
 
 // Summary is the JSON artifact schema.
@@ -43,12 +49,17 @@ type Summary struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-// benchLine matches e.g.
+// benchLine matches the name and iteration count, e.g.
 //
-//	BenchmarkProtocolSteadyState-8  24616  56366 ns/op  70865 B/op  38 allocs/op
+//	BenchmarkProtocolSteadyState-8  24616  56366 ns/op  0.71 ctrl/deliv  70865 B/op  38 allocs/op
 //	BenchmarkWTSNPGlobalFor/entries=64  78953013  13.36 ns/op  0 B/op  0 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+//
+// The measurements that follow are (value, unit) pairs in any order —
+// custom metrics reported with b.ReportMetric interleave with the
+// built-in ones — so they are scanned generically.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
+
+var metricPair = regexp.MustCompile(`([\d.eE+-]+) (\S+)`)
 
 func parse(r io.Reader) (Summary, error) {
 	s := Summary{Benchmarks: map[string]Result{}}
@@ -60,10 +71,26 @@ func parse(r io.Reader) (Summary, error) {
 			continue
 		}
 		res := Result{}
-		res.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
-		if m[3] != "" {
-			res.BPerOp, _ = strconv.ParseFloat(m[3], 64)
-			res.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		seen := false
+		for _, pair := range metricPair.FindAllStringSubmatch(m[2], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch pair[2] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen = true
+			case "B/op":
+				res.BPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			case "ctrl/deliv":
+				res.CtrlPerDeliv = v
+			}
+		}
+		if !seen {
+			continue
 		}
 		// Repeated -count runs: keep the last measurement.
 		s.Benchmarks[m[1]] = res
@@ -122,6 +149,21 @@ func compare(base, cur Summary, threshold, nsThreshold float64) []string {
 		if exceeds(b.AllocsPerOp, c.AllocsPerOp, threshold) {
 			bad = append(bad, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (baseline was allocation-free or +>%.0f%%)",
 				name, b.AllocsPerOp, c.AllocsPerOp, 100*threshold))
+		}
+		// Control-message volume gates only when the baseline measured
+		// it: zero means "metric absent", not an allocation-free-style
+		// hard property. A baseline metric that vanished from the
+		// current run is itself a failure — a deleted ReportMetric call
+		// must not read as an improvement and silently un-gate
+		// ack-volume regressions.
+		if b.CtrlPerDeliv > 0 {
+			if c.CtrlPerDeliv == 0 {
+				bad = append(bad, fmt.Sprintf("%s: ctrl/deliv %.3f in baseline but not measured (ReportMetric call lost?)",
+					name, b.CtrlPerDeliv))
+			} else if exceeds(b.CtrlPerDeliv, c.CtrlPerDeliv, threshold) {
+				bad = append(bad, fmt.Sprintf("%s: ctrl/deliv %.3f -> %.3f (+>%.0f%%: ack-volume regression)",
+					name, b.CtrlPerDeliv, c.CtrlPerDeliv, 100*threshold))
+			}
 		}
 	}
 	return bad

@@ -71,3 +71,42 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("improvement flagged: %v", bad)
 	}
 }
+
+func TestParseCustomControlMetric(t *testing.T) {
+	const line = `BenchmarkProtocolSteadyState-8   106454	     22019 ns/op	         0.716 ctrl/deliv	    2834 B/op	      26 allocs/op
+`
+	s, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s.Benchmarks["BenchmarkProtocolSteadyState"]
+	if !ok || r.NsPerOp != 22019 || r.BPerOp != 2834 || r.AllocsPerOp != 26 || r.CtrlPerDeliv != 0.716 {
+		t.Fatalf("parsed = %+v", r)
+	}
+}
+
+func TestCompareControlMetric(t *testing.T) {
+	base := Summary{Benchmarks: map[string]Result{
+		"A": {NsPerOp: 100, CtrlPerDeliv: 0.7},
+		"B": {NsPerOp: 100}, // metric absent in baseline
+	}}
+	cur := Summary{Benchmarks: map[string]Result{
+		"A": {NsPerOp: 100, CtrlPerDeliv: 0.9}, // +28%: ack-volume regression
+		"B": {NsPerOp: 100, CtrlPerDeliv: 5},   // not gated without a baseline
+	}}
+	bad := compare(base, cur, 0.15, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "A: ctrl/deliv") {
+		t.Fatalf("violations = %v, want only A's ctrl/deliv", bad)
+	}
+	cur.Benchmarks["A"] = Result{NsPerOp: 100, CtrlPerDeliv: 0.5}
+	if bad := compare(base, cur, 0.15, 0.15); len(bad) != 0 {
+		t.Fatalf("improvement flagged: %v", bad)
+	}
+	// A metric present in the baseline but missing from the run is a
+	// failure, not an improvement (a lost ReportMetric call).
+	cur.Benchmarks["A"] = Result{NsPerOp: 100}
+	bad = compare(base, cur, 0.15, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "not measured") {
+		t.Fatalf("vanished metric not flagged: %v", bad)
+	}
+}

@@ -34,6 +34,7 @@ var experiments = []struct {
 	{"E9", ringnet.ExperimentE9},
 	{"E10", ringnet.ExperimentE10},
 	{"E11", ringnet.ExperimentE11},
+	{"E12", ringnet.ExperimentE12},
 	{"F1", ringnet.ExperimentF1},
 }
 

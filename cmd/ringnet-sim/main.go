@@ -101,6 +101,11 @@ func main() {
 		buf.PeakWQ, buf.PeakMQ, buf.Overflows)
 	fmt.Printf("retransmissions   %d\n", buf.Retransmits)
 	fmt.Printf("network           %v\n", stats)
+	rep := sim.ControlReport()
+	fmt.Printf("bandwidth         data %d msgs / %d B; control %d msgs / %d B (%.1f%% of bytes)\n",
+		rep.DataMsgs, rep.DataBytes, rep.ControlMsgs, rep.ControlBytes, 100*rep.ControlByteShare())
+	fmt.Printf("ack plane         %.2f standalone msgs per delivered payload (ack %d, progress %d, nack %d)\n",
+		rep.AckPerDelivered(), rep.Acks, rep.Progress, rep.Nacks)
 	if mover != nil {
 		fmt.Printf("handoffs          %d\n", mover.Handoffs)
 	}

@@ -77,5 +77,8 @@ func main() {
 	fmt.Printf("frames rendered per participant: min=%d max=%d (of %d)\n", min, max, 3*frames)
 	fmt.Printf("frame latency: %s\n", lg.Latency.Summary())
 	fmt.Printf("worst render stall (handoff disruption): %v\n", lg.MaxGap())
+	rep := sim.ControlReport()
+	fmt.Printf("bandwidth: data %d B, control %d B (%.1f%% control; %.2f standalone acks per frame delivery)\n",
+		rep.DataBytes, rep.ControlBytes, 100*rep.ControlByteShare(), rep.AckPerDelivered())
 	fmt.Println("all participants rendered the identical frame order")
 }

@@ -12,7 +12,7 @@ import (
 	ringnet "repro"
 )
 
-func run(reserve bool) (gap ringnet.Time, delivered uint64, lost uint64) {
+func run(reserve bool) (gap ringnet.Time, delivered uint64, lost uint64, rep ringnet.ControlReport) {
 	sim, err := ringnet.NewSim(ringnet.Config{
 		// One corridor of 6 cells under two gateways.
 		Topology: ringnet.Spec{BRs: 3, AGRings: 1, AGSize: 2, APsPerAG: 3, MHsPerAP: 0},
@@ -50,15 +50,17 @@ func run(reserve bool) (gap ringnet.Time, delivered uint64, lost uint64) {
 		log.Fatalf("ordering violated: %v", err)
 	}
 	lg := sim.Engine.Log
-	return lg.MaxGapAt(uint32(commuter)), lg.DeliveredAt(uint32(commuter)), lg.Gaps.Value()
+	return lg.MaxGapAt(uint32(commuter)), lg.DeliveredAt(uint32(commuter)), lg.Gaps.Value(), sim.ControlReport()
 }
 
 func main() {
 	fmt.Println("commuter crossing 6 cell boundaries during a 600-quote ticker")
 	for _, reserve := range []bool{false, true} {
-		gap, delivered, lost := run(reserve)
+		gap, delivered, lost, rep := run(reserve)
 		fmt.Printf("reservation=%-5v delivered=%d/600 lost=%d worst-stall=%v\n",
 			reserve, delivered, lost, gap)
+		fmt.Printf("  bandwidth: data %d B, control %d B (%.1f%% control; %.2f standalone acks per delivery)\n",
+			rep.DataBytes, rep.ControlBytes, 100*rep.ControlByteShare(), rep.AckPerDelivered())
 	}
 	fmt.Println("\nwith reservation the neighbor cells pre-join the multicast tree,")
 	fmt.Println("so arrival finds the flow present (paper §3 smooth handoff)")

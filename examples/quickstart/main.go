@@ -62,5 +62,10 @@ func main() {
 	fmt.Printf("receivers: %d mobile hosts, each delivered %d messages (min)\n",
 		lg.Receivers(), lg.MinDelivered())
 	fmt.Printf("latency: %s\n", lg.Latency.Summary())
+	rep := sim.ControlReport()
+	fmt.Printf("bandwidth: data %d msgs / %d B, control %d msgs / %d B (%.1f%% of bytes)\n",
+		rep.DataMsgs, rep.DataBytes, rep.ControlMsgs, rep.ControlBytes, 100*rep.ControlByteShare())
+	fmt.Printf("standalone acks: %.2f per delivered payload (ack %d, progress %d, nack %d)\n",
+		rep.AckPerDelivered(), rep.Acks, rep.Progress, rep.Nacks)
 	fmt.Println("total order: verified across all receivers")
 }

@@ -48,5 +48,8 @@ func main() {
 	fmt.Printf("all %d messages delivered to every surviving host (min=%d)\n",
 		lg.SentCount(), lg.MinDelivered())
 	fmt.Printf("worst ordering stall during recovery: %v\n", lg.MaxGap())
+	rep := x.ControlReport()
+	fmt.Printf("bandwidth: data %d B, control %d B (%.1f%% control; %.2f standalone acks per delivery)\n",
+		rep.DataBytes, rep.ControlBytes, 100*rep.ControlByteShare(), rep.AckPerDelivered())
 	fmt.Println("total order preserved across token regeneration")
 }

@@ -35,6 +35,17 @@ type Config struct {
 	Hop transport.Config
 	// Wireless is the AP→MH per-hop retransmission configuration.
 	Wireless transport.Config
+	// AckDelay coalesces acknowledgements: instead of one Ack (or MH
+	// Progress) per received message, a receiver registers the pending
+	// cumulative acknowledgement and flushes it after at most AckDelay —
+	// or immediately on gap detection, on a duplicate arrival (the
+	// sender is already retransmitting, so its ack was lost), or under
+	// MQ-window/RetainExtra pressure, keeping Nack latency and garbage
+	// collection behavior unchanged. It must be smaller than the hop RTO
+	// (default ¼·RTO) or every coalesced message would be retransmitted
+	// once before its ack leaves. Zero restores the seed's
+	// ack-per-message behavior (useful as an ablation).
+	AckDelay sim.Time
 	// TokenLossThreshold: a node considers Message-Ordering to be
 	// "running well" (§4.2.1) if it saw token activity within this
 	// window; Token-Loss signals inside the window are ignored.
@@ -90,6 +101,7 @@ func DefaultConfig() Config {
 		RetainExtra:         64,
 		Hop:                 transport.DefaultConfig,
 		Wireless:            transport.WirelessConfig,
+		AckDelay:            transport.DefaultConfig.RTO / 4,
 		TokenLossThreshold:  500 * sim.Millisecond,
 		FilterWindow:        1 * sim.Second,
 		StabilityGate:       true,

@@ -148,6 +148,12 @@ func (e *Engine) spawnNE(id seq.NodeID) error {
 	if _, dup := e.nes[id]; dup {
 		return fmt.Errorf("core: NE %v already exists", id)
 	}
+	// NE identities must stay below the MH offset: the WT keys hosts
+	// through MHNodeID into the disjoint upper range, so an NE there
+	// would collide with host progress tracking (and MH routing).
+	if uint32(id) >= MHIDOffset {
+		return fmt.Errorf("core: NE id %v overlaps the MH identity range (≥ %d)", id, MHIDOffset)
+	}
 	ne := newNE(e, id)
 	e.nes[id] = ne
 	e.Net.Register(id, ne)
@@ -348,6 +354,22 @@ func (e *Engine) Buffers() BufferReport {
 		r.Retransmits += ne.retransmissions()
 	}
 	return r
+}
+
+// ControlReport summarizes this run's control-plane vs data-plane
+// message volume (acks, progress, nacks; control vs payload bytes).
+func (e *Engine) ControlReport() metrics.ControlReport {
+	st := e.Net.Stats()
+	return metrics.ControlReport{
+		Acks:         st.ByKind[msg.KindAck],
+		Progress:     st.ByKind[msg.KindProgress],
+		Nacks:        st.ByKind[msg.KindNack],
+		ControlMsgs:  st.CtrlMsgs,
+		ControlBytes: st.CtrlBytes,
+		DataMsgs:     st.DataMsgs,
+		DataBytes:    st.DataBytes,
+		Delivered:    e.Log.Delivered.Value(),
+	}
 }
 
 // TokenRounds returns the hop count of the token observed at the given

@@ -28,6 +28,14 @@ type MH struct {
 	handoffCourier *transport.Courier
 	awaitingAP     bool
 
+	// Progress coalescing: instead of one Progress per delivery, the MH
+	// arms a flush timer and reports after Cfg.AckDelay — or immediately
+	// when its reassembly window holds a gap or a duplicate arrives (the
+	// AP is retransmitting, so a report was lost). The timer's Pending
+	// state is the dirty flag: it is only armed with a report owed.
+	ackTimer sim.Timer
+	ackFlush func()
+
 	// OnDeliver, when set, observes each application-level delivery.
 	OnDeliver func(*msg.Data)
 
@@ -47,6 +55,7 @@ func newMH(e *Engine, id seq.HostID, ap seq.NodeID) *MH {
 		pending: make(map[seq.GlobalSeq]*msg.Data),
 	}
 	m.handoffCourier = transport.NewCourier(e.Net, MHNodeID(id), transport.Config{RTO: e.Cfg.Wireless.RTO, MaxRetries: 0})
+	m.ackFlush = m.flushAck
 	return m
 }
 
@@ -62,6 +71,7 @@ func (m *MH) Last() seq.GlobalSeq { return m.last }
 func (m *MH) close() {
 	m.closed = true
 	m.handoffCourier.Confirm()
+	m.ackTimer.Stop()
 }
 
 // Recv implements netsim.Handler for the wireless downlink.
@@ -85,8 +95,8 @@ func (m *MH) Recv(from seq.NodeID, message msg.Message) {
 func (m *MH) onData(d *msg.Data) {
 	g := d.GlobalSeq
 	if g <= m.last {
-		// Duplicate (lost ack): re-acknowledge.
-		m.ack()
+		// Duplicate (lost ack): re-acknowledge immediately.
+		m.flushAck()
 		return
 	}
 	if len(m.pending) < m.e.Cfg.MHWindow {
@@ -100,7 +110,7 @@ func (m *MH) onData(d *msg.Data) {
 func (m *MH) onSkip(s *msg.Skip) {
 	max := seq.GlobalSeq(s.Range.Max)
 	if max <= m.last {
-		m.ack()
+		m.flushAck()
 		return
 	}
 	if s.Jump && m.last == 0 && m.Delivered == 0 {
@@ -140,7 +150,7 @@ func (m *MH) drain() {
 		}
 		break
 	}
-	m.ack()
+	m.noteAck()
 	m.gcSkips()
 }
 
@@ -168,7 +178,26 @@ func (m *MH) gcSkips() {
 	}
 }
 
-func (m *MH) ack() {
+// noteAck registers a pending Progress report. A gap in the reassembly
+// window flushes at once — the AP needs the precise front to retransmit
+// only what is missing and to release what got through — as does window
+// pressure; otherwise the report waits out AckDelay and covers every
+// delivery in between.
+func (m *MH) noteAck() {
+	if m.e.Cfg.AckDelay <= 0 || len(m.pending) > 0 {
+		m.flushAck()
+		return
+	}
+	if !m.ackTimer.Pending() {
+		m.ackTimer = m.e.Scheduler().After(m.e.Cfg.AckDelay, m.ackFlush)
+	}
+}
+
+func (m *MH) flushAck() {
+	m.ackTimer.Stop()
+	if m.closed {
+		return
+	}
 	m.e.Net.Send(MHNodeID(m.id), m.ap, &msg.Progress{Group: m.e.Group, Host: m.id, Max: m.last})
 }
 

@@ -69,6 +69,14 @@ type NE struct {
 	// Gap repair: per-source stall clocks for Nack-based body recovery.
 	stallSince map[seq.NodeID]sim.Time
 
+	// ack is the pending-acknowledgement register: cumulative acks owed
+	// to the current upstream neighbor, coalesced under Cfg.AckDelay and
+	// flushed as one (possibly multi-source) Ack — or piggybacked on a
+	// TokenAck / ordered frame already headed to the same neighbor.
+	ack        ackPending
+	ackFlush   func()        // cached closure for the flush timer
+	runScratch []msg.Message // fanoutRun burst assembly buffer
+
 	// Cached fanout orders (the fanout runs per delivered message;
 	// rebuilding these lists must not allocate or re-sort). The dirty
 	// flags are set wherever the sender maps or the neighbor view
@@ -99,6 +107,20 @@ type ackExpect struct {
 	next   seq.GlobalSeq
 }
 
+// ackPending coalesces outgoing cumulative acknowledgements to one
+// upstream neighbor (the paper acknowledges cumulatively, so only the
+// newest value per stream matters). global marks a pending ordered-stream
+// ack; sources lists WQ source streams with pending per-source cums.
+type ackPending struct {
+	to      seq.NodeID
+	global  bool
+	sources []seq.NodeID
+	sentCum seq.GlobalSeq // CumGlobal of the last flush (RetainExtra pressure)
+	timer   sim.Timer
+}
+
+func (a *ackPending) dirty() bool { return a.global || len(a.sources) > 0 }
+
 type regenStamp struct {
 	origin seq.NodeID
 	next   seq.GlobalSeq
@@ -118,6 +140,7 @@ func newNE(e *Engine, id seq.NodeID) *NE {
 		mhSenders:    make(map[seq.HostID]*transport.Sender),
 		stallSince:   make(map[seq.NodeID]sim.Time),
 	}
+	n.ackFlush = n.flushAcks
 	n.tokenCourier = transport.NewCourier(e.Net, id, e.Cfg.Hop)
 	n.tokenCourier.OnFail = func(to seq.NodeID, m msg.Message) { n.onTokenCourierFail() }
 	n.regenCourier = transport.NewCourier(e.Net, id, e.Cfg.Hop)
@@ -165,6 +188,8 @@ func (n *NE) reset() {
 	n.regenCourier.Confirm()
 	n.joinCourier.Confirm()
 	n.tokenExpect, n.regenExpect = ackExpect{}, ackExpect{}
+	n.ack.timer.Stop()
+	n.ack = ackPending{}
 	n.active = false
 	n.awaitingJoin = false
 	n.joinedParent = seq.None
@@ -280,12 +305,12 @@ func (n *NE) refreshNeighbors() {
 			// resynchronize; duplicates are acked away.
 			n.catchUpRing()
 		} else if n.ringSender.To() != v.Next {
-			n.wt.Remove(uint32(n.ringSender.To()))
+			n.wt.Remove(wtNode(n.ringSender.To()))
 			n.ringSender.Retarget(v.Next)
-			n.wt.Reset(uint32(v.Next), n.mq.ValidFront())
+			n.wt.Reset(wtNode(v.Next), n.mq.ValidFront())
 		}
 	} else if n.ringSender != nil {
-		n.wt.Remove(uint32(n.ringSender.To()))
+		n.wt.Remove(wtNode(n.ringSender.To()))
 		n.ringSender.Close()
 		n.ringSender = nil
 	}
@@ -308,7 +333,7 @@ func (n *NE) refreshNeighbors() {
 		if !want[c] {
 			s.Close()
 			delete(n.childSenders, c)
-			n.wt.Remove(uint32(c))
+			n.wt.Remove(wtNode(c))
 		}
 	}
 
@@ -347,7 +372,7 @@ func (n *NE) addChildSender(c seq.NodeID, start seq.GlobalSeq) *transport.Sender
 	n.wireGiveUp(s)
 	n.childSenders[c] = s
 	n.childListDirty = true
-	n.wt.Reset(uint32(c), start)
+	n.wt.Reset(wtNode(c), start)
 	return s
 }
 
@@ -360,11 +385,27 @@ func (n *NE) wireGiveUp(s *transport.Sender) {
 	}
 }
 
+// The working table keys one uint32 namespace over both child network
+// entities and attached mobile hosts. The two identity spaces overlap
+// (HostIDs and NodeIDs are both small integers), so host keys are mapped
+// through the MH network-identity offset, which spawnNE guarantees no NE
+// identity can reach — a child NE and an MH with the same numeric ID can
+// never collide in one WT.
+
+// wtNode returns the WT key of a downstream network entity.
+func wtNode(id seq.NodeID) uint32 { return uint32(id) }
+
+// wtHost returns the WT key of an attached mobile host, offset into the
+// disjoint MH identity range.
+func wtHost(h seq.HostID) uint32 { return uint32(MHNodeID(h)) }
+
 func (n *NE) closeAll() {
 	if n.tauTicker != nil {
 		n.tauTicker.Stop()
 		n.tauTicker = nil
 	}
+	n.ack.timer.Stop()
+	n.ack = ackPending{}
 	if n.ringSender != nil {
 		n.ringSender.Close()
 		n.ringSender = nil
@@ -403,15 +444,22 @@ func (n *NE) handleWQData(from seq.NodeID, d *msg.Data) {
 	if n.wq == nil {
 		return // not a top-ring node (stale delivery after role change)
 	}
+	if d.AckCum != 0 {
+		n.applyCumAck(from, d.AckCum)
+	}
 	sq := n.wq.ForSource(d.SourceNode)
-	sq.Insert(d)
-	// Cumulative per-source ack back to the sender.
-	n.e.Net.Send(n.id, from, &msg.Ack{
-		Group:    n.e.Group,
-		From:     n.id,
-		Source:   d.SourceNode,
-		CumLocal: sq.CumReceived(),
-	})
+	fresh := sq.Insert(d)
+	// Register the cumulative per-source ack owed to the sender; it
+	// coalesces with acks for other sources on the same hop and rides
+	// the next TokenAck when the token beats the AckDelay timer.
+	n.noteWQAck(from, d.SourceNode)
+	if !fresh || sq.CumReceived() < d.LocalSeq {
+		// Duplicate (our ack was lost — the sender is retransmitting) or
+		// an out-of-order arrival (a gap upstream): flush immediately so
+		// the sender releases what arrived and retransmits only what is
+		// missing. Coalescing must not add retransmission latency.
+		n.flushAcks()
+	}
 	n.forwardWQ(d.SourceNode)
 	n.orderAssignSource(d.SourceNode)
 }
@@ -450,7 +498,10 @@ func (n *NE) forwardWQ(src seq.NodeID) {
 
 func (n *NE) handleOrderedData(from seq.NodeID, d *msg.Data) {
 	n.confirmJoin(from)
-	_, err := n.mq.Insert(d)
+	if d.AckCum != 0 {
+		n.applyCumAck(from, d.AckCum)
+	}
+	fresh, err := n.mq.Insert(d)
 	if err != nil {
 		// MQ full: drop without ack; upstream retransmission provides
 		// backpressure until release frees space.
@@ -462,7 +513,13 @@ func (n *NE) handleOrderedData(from seq.NodeID, d *msg.Data) {
 		n.wq.ForSource(d.SourceNode).SkipTo(d.LocalSeq)
 	}
 	n.deliverLoop()
-	n.ackUpstream(from)
+	n.noteAck(from)
+	if !fresh || n.mq.Front() < n.mq.Rear() {
+		// Duplicate (lost-ack repair) or an open gap past the delivery
+		// front: acknowledge immediately so the upstream releases what
+		// we hold and retransmits only the missing range.
+		n.flushAcks()
+	}
 }
 
 // confirmJoin stops the Join retry loop once the parent's stream starts.
@@ -475,10 +532,16 @@ func (n *NE) confirmJoin(from seq.NodeID) {
 
 func (n *NE) handleSkip(from seq.NodeID, s *msg.Skip) {
 	n.confirmJoin(from)
+	if s.AckCum != 0 {
+		n.applyCumAck(from, s.AckCum)
+	}
+	stale := false
 	max := seq.GlobalSeq(s.Range.Max)
 	switch {
 	case max <= n.mq.Front():
-		// Entirely in the past: just re-acknowledge.
+		// Entirely in the past: re-acknowledge immediately (the sender
+		// is retransmitting, so an earlier ack was lost or delayed).
+		stale = true
 	case s.Jump && n.mq.Rear() == 0:
 		// Stream-position baseline for a node that joined mid-stream:
 		// jump the whole window and tell our own downstream about the
@@ -497,7 +560,10 @@ func (n *NE) handleSkip(from seq.NodeID, s *msg.Skip) {
 		}
 	}
 	n.deliverLoop()
-	n.ackUpstream(from)
+	n.noteAck(from)
+	if stale || n.mq.Front() < n.mq.Rear() {
+		n.flushAcks()
+	}
 }
 
 // fanoutJump propagates a join-point baseline downstream: everything at
@@ -515,56 +581,222 @@ func (n *NE) fanoutJump(g seq.GlobalSeq) {
 	}
 }
 
-func (n *NE) ackUpstream(to seq.NodeID) {
+// --- pending-acknowledgement register ---
+
+// noteAck registers a pending cumulative ordered-stream ack to the
+// upstream neighbor, to be flushed within Cfg.AckDelay (or piggybacked
+// on traffic already headed there). Pressure conditions flush at once.
+func (n *NE) noteAck(to seq.NodeID) {
 	if to == n.id || to == seq.None {
 		return
 	}
-	n.e.Net.Send(n.id, to, &msg.Ack{Group: n.e.Group, From: n.id, CumGlobal: n.mq.Front()})
+	if n.ack.to != to {
+		n.flushAcks() // upstream changed: settle the old neighbor first
+		n.ack.to = to
+	}
+	n.ack.global = true
+	if n.ackPressure() {
+		n.flushAcks()
+		return
+	}
+	n.armAckTimer()
 }
 
-// deliverLoop advances the delivery front as far as possible, fanning
-// each message out to the ring successor (non-top rings), active
-// children, and attached MHs. Really-lost gaps propagate as Skip.
-func (n *NE) deliverLoop() {
-	for {
-		d, ok := n.mq.NextDeliverable()
-		if !ok {
+// noteWQAck registers a pending per-source WQ cumulative ack to the ring
+// predecessor forwarding that source's stream.
+func (n *NE) noteWQAck(to, src seq.NodeID) {
+	if to == n.id || to == seq.None {
+		return
+	}
+	if n.ack.to != to {
+		n.flushAcks()
+		n.ack.to = to
+	}
+	found := false
+	for _, s := range n.ack.sources {
+		if s == src {
+			found = true
 			break
 		}
-		g := n.mq.Front() + 1
-		n.mq.AdvanceFront()
-		if d != nil {
-			n.fanout(g, d)
-		} else {
-			n.fanoutSkip(g)
+	}
+	if !found {
+		n.ack.sources = append(n.ack.sources, src)
+	}
+	n.armAckTimer()
+}
+
+func (n *NE) armAckTimer() {
+	if n.e.Cfg.AckDelay <= 0 {
+		n.flushAcks() // coalescing disabled: seed behavior, ack per event
+		return
+	}
+	if !n.ack.timer.Pending() {
+		n.ack.timer = n.e.Scheduler().After(n.e.Cfg.AckDelay, n.ackFlush)
+	}
+}
+
+// ackPressure reports whether the pending global ack must not wait for
+// the timer: the upstream retains every slot we have not acknowledged
+// (beyond its RetainExtra allowance), and our own MQ window nearing
+// capacity means release progress upstream is urgent. Flushing here
+// keeps garbage-collection behavior equivalent to per-message acks.
+func (n *NE) ackPressure() bool {
+	if re := n.e.Cfg.RetainExtra; re > 0 {
+		if front := n.mq.Front(); front > n.ack.sentCum && int(front-n.ack.sentCum) >= re {
+			return true
 		}
+	}
+	return 4*n.mq.Len() >= 3*n.mq.MaxNo()
+}
+
+// flushAcks sends the pending register as one coalesced Ack (multi-source
+// WQ cums batched with the global cum) and clears it.
+func (n *NE) flushAcks() {
+	if !n.ack.dirty() {
+		n.ack.timer.Stop()
+		return
+	}
+	m := n.buildAck()
+	n.e.Net.Send(n.id, n.ack.to, m)
+}
+
+// buildAck materializes the register's coalesced Ack and clears it. The
+// global cum is always included — receivers apply it only when the
+// sender is a tracked downstream, and cumulative acks are monotone, so
+// over-reporting is harmless.
+func (n *NE) buildAck() *msg.Ack {
+	a := &n.ack
+	m := &msg.Ack{Group: n.e.Group, From: n.id, CumGlobal: n.mq.Front()}
+	if len(a.sources) > 0 && n.wq != nil {
+		// Insertion sort: the batch is tiny (one entry per upstream
+		// source) and must be deterministic across runs.
+		srcs := a.sources
+		for i := 1; i < len(srcs); i++ {
+			for j := i; j > 0 && srcs[j] < srcs[j-1]; j-- {
+				srcs[j], srcs[j-1] = srcs[j-1], srcs[j]
+			}
+		}
+		m.Batch = make([]msg.SourceCum, 0, len(srcs))
+		for _, src := range srcs {
+			m.Batch = append(m.Batch, msg.SourceCum{Source: src, Cum: n.wq.ForSource(src).CumReceived()})
+		}
+	}
+	a.sentCum = m.CumGlobal
+	a.global = false
+	a.sources = a.sources[:0]
+	a.timer.Stop()
+	return m
+}
+
+// takePendingAck drains the register if it is owed to exactly `to`,
+// returning the coalesced Ack for piggybacking (nil otherwise).
+func (n *NE) takePendingAck(to seq.NodeID) *msg.Ack {
+	if n.ack.to != to || !n.ack.dirty() {
+		return nil
+	}
+	return n.buildAck()
+}
+
+// takeCumFor drains the register's global-ack aspect when an ordered
+// frame is about to be sent to the very neighbor the ack is owed to
+// (degenerate rings and repair transients), returning the cum to
+// piggyback (0 otherwise). WQ source acks cannot ride ordered frames and
+// stay registered.
+func (n *NE) takeCumFor(to seq.NodeID) seq.GlobalSeq {
+	if n.ack.to != to || !n.ack.global {
+		return 0
+	}
+	n.ack.global = false
+	n.ack.sentCum = n.mq.Front()
+	if len(n.ack.sources) == 0 {
+		n.ack.timer.Stop()
+	}
+	return n.mq.Front()
+}
+
+// applyCumAck applies a piggybacked cumulative global ack carried by an
+// ordered Data/Skip frame from a downstream-tracked neighbor.
+func (n *NE) applyCumAck(from seq.NodeID, cum seq.GlobalSeq) {
+	if n.ringSender != nil && from == n.ringSender.To() {
+		n.ringSender.Ack(uint64(cum))
+		n.wt.Set(wtNode(from), cum)
+	} else if s := n.childSenders[from]; s != nil {
+		s.Ack(uint64(cum))
+		n.wt.Set(wtNode(from), cum)
+	} else {
+		return
 	}
 	n.release()
 }
 
-func (n *NE) fanout(g seq.GlobalSeq, d *msg.Data) {
+// deliverLoop advances the delivery front over the whole contiguous
+// deliverable run in one MQ slot pass, then fans the run out to the ring
+// successor (non-top rings), active children, and attached MHs — one
+// burst per hop instead of one send per message. Really-lost gaps
+// propagate as Skip frames inside the run.
+func (n *NE) deliverLoop() {
+	lo, hi := n.mq.AdvanceRun()
+	if hi >= lo {
+		n.fanoutRun(lo, hi)
+	}
+	n.release()
+}
+
+// fanoutRun materializes the delivered run [lo, hi] once — bodies from
+// MQ, Skip frames for really-lost gaps — and sends it to every hop as a
+// single burst (one netsim event per hop on jitter-free links).
+func (n *NE) fanoutRun(lo, hi seq.GlobalSeq) {
+	run := n.runScratch[:0]
+	for g := lo; g <= hi; g++ {
+		if d := n.mq.Data(g); d != nil {
+			run = append(run, d)
+		} else {
+			run = append(run, &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}})
+		}
+	}
+	n.runScratch = run
 	if n.ringSender != nil {
-		n.ringSender.Send(uint64(g), d)
+		n.sendRunTo(n.ringSender, lo, run)
 	}
 	for _, cs := range n.sortedChildSenders() {
-		cs.Send(uint64(g), d)
+		n.sendRunTo(cs, lo, run)
 	}
 	for _, hs := range n.sortedMHSenders() {
-		hs.Send(uint64(g), d)
+		n.sendRunTo(hs, lo, run)
+	}
+	for i := range run {
+		run[i] = nil // senders hold their own references; drop ours
 	}
 }
 
-func (n *NE) fanoutSkip(g seq.GlobalSeq) {
-	sk := &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}}
-	if n.ringSender != nil {
-		n.ringSender.Send(uint64(g), sk)
+// sendRunTo sends one hop's copy of the run, piggybacking the pending
+// global ack when the hop's destination happens to be the neighbor the
+// ack is owed to. The register is drained only when the head frame will
+// actually transmit (an already-acked or outstanding head would drop
+// the annotation on the floor). The run is shared across hops, so the
+// head frame is swapped for an annotated copy rather than mutated.
+func (n *NE) sendRunTo(s *transport.Sender, lo seq.GlobalSeq, run []msg.Message) {
+	var cum seq.GlobalSeq
+	if s.Unsent(uint64(lo)) {
+		cum = n.takeCumFor(s.To())
 	}
-	for _, cs := range n.sortedChildSenders() {
-		cs.Send(uint64(g), sk)
+	if cum == 0 {
+		s.SendRun(uint64(lo), run)
+		return
 	}
-	for _, hs := range n.sortedMHSenders() {
-		hs.Send(uint64(g), sk)
+	head := run[0]
+	switch v := head.(type) {
+	case *msg.Data:
+		d := v.Clone()
+		d.AckCum = cum
+		run[0] = d
+	case *msg.Skip:
+		sk := *v
+		sk.AckCum = cum
+		run[0] = &sk
 	}
+	s.SendRun(uint64(lo), run)
+	run[0] = head
 }
 
 // sortedChildSenders returns the child senders in deterministic order.
@@ -643,9 +875,21 @@ func (n *NE) sortedMHSenders() []*transport.Sender {
 
 // --- acknowledgements and garbage collection ---
 
-func (n *NE) handleAck(from seq.NodeID, a *msg.Ack) {
+func (n *NE) handleAck(from seq.NodeID, a *msg.Ack) { n.applyAck(from, a) }
+
+// applyAck processes a coalesced acknowledgement, whether it arrived as
+// a standalone Ack or piggybacked on a TokenAck.
+func (n *NE) applyAck(from seq.NodeID, a *msg.Ack) {
+	// Batched per-source WQ acks from the next ring node.
+	if len(a.Batch) > 0 && from == n.view.Next {
+		for _, sc := range a.Batch {
+			if s := n.wqSenders[sc.Source]; s != nil {
+				s.Ack(uint64(sc.Cum))
+			}
+		}
+	}
 	if a.Source != seq.None {
-		// Top-ring per-source WQ ack from the next node.
+		// Single-source WQ ack (legacy form).
 		if from == n.view.Next {
 			if s := n.wqSenders[a.Source]; s != nil {
 				s.Ack(uint64(a.CumLocal))
@@ -655,10 +899,10 @@ func (n *NE) handleAck(from seq.NodeID, a *msg.Ack) {
 	}
 	if n.ringSender != nil && from == n.ringSender.To() {
 		n.ringSender.Ack(uint64(a.CumGlobal))
-		n.wt.Set(uint32(from), a.CumGlobal)
+		n.wt.Set(wtNode(from), a.CumGlobal)
 	} else if s := n.childSenders[from]; s != nil {
 		s.Ack(uint64(a.CumGlobal))
-		n.wt.Set(uint32(from), a.CumGlobal)
+		n.wt.Set(wtNode(from), a.CumGlobal)
 	}
 	n.release()
 }
@@ -667,14 +911,14 @@ func (n *NE) handleProgress(from seq.NodeID, p *msg.Progress) {
 	if p.Host != 0 {
 		if s := n.mhSenders[p.Host]; s != nil {
 			s.Ack(uint64(p.Max))
-			n.wt.Set(uint32(p.Host), p.Max)
+			n.wt.Set(wtHost(p.Host), p.Max)
 			n.release()
 		}
 		return
 	}
 	// NE progress reports feed WT directly (used by membership-driven
 	// reporting paths).
-	n.wt.Set(uint32(p.Child), p.Max)
+	n.wt.Set(wtNode(p.Child), p.Max)
 	n.release()
 }
 
@@ -701,7 +945,7 @@ func (n *NE) catchUpRing() {
 	if n.ringSender == nil {
 		return
 	}
-	n.wt.Reset(uint32(n.ringSender.To()), n.mq.ValidFront())
+	n.wt.Reset(wtNode(n.ringSender.To()), n.mq.ValidFront())
 	if vf := n.mq.ValidFront(); vf > 0 {
 		// Baseline for a successor that may be virgin.
 		n.ringSender.Send(uint64(vf), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: 1, Max: uint64(vf)}, Jump: true})
@@ -771,7 +1015,7 @@ func (n *NE) attachHost(h seq.HostID, start seq.GlobalSeq) {
 		s.Send(uint64(vf), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(start) + 1, Max: uint64(vf)}})
 		eff = vf
 	}
-	n.wt.Reset(uint32(h), eff)
+	n.wt.Reset(wtHost(h), eff)
 	for g := eff + 1; g <= n.mq.Front(); g++ {
 		if d := n.mq.Data(g); d != nil {
 			s.Send(uint64(g), d)
@@ -788,7 +1032,7 @@ func (n *NE) detachHost(h seq.HostID) {
 		delete(n.mhSenders, h)
 		n.mhListDirty = true
 	}
-	n.wt.Remove(uint32(h))
+	n.wt.Remove(wtHost(h))
 	n.release()
 	if len(n.mhSenders) == 0 && n.active {
 		// Linger before leaving the tree (hysteresis).
@@ -857,7 +1101,7 @@ func (n *NE) handleJoin(from seq.NodeID, j *msg.Join) {
 	if s := n.childSenders[c]; s != nil {
 		s.Close()
 		delete(n.childSenders, c)
-		n.wt.Remove(uint32(c))
+		n.wt.Remove(wtNode(c))
 	}
 	start := j.Resume
 	fresh := start == joinAtCurrent
@@ -880,7 +1124,7 @@ func (n *NE) handleJoin(from seq.NodeID, j *msg.Join) {
 			// really lost to this child.
 			s.Send(uint64(vf), &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(start) + 1, Max: uint64(vf)}})
 			eff = vf
-			n.wt.Reset(uint32(c), eff)
+			n.wt.Reset(wtNode(c), eff)
 		}
 	}
 	for g := eff + 1; g <= n.mq.Front(); g++ {
@@ -901,7 +1145,7 @@ func (n *NE) handleLeave(from seq.NodeID, l *msg.Leave) {
 		delete(n.childSenders, l.Node)
 		n.childListDirty = true
 	}
-	n.wt.Remove(uint32(l.Node))
+	n.wt.Remove(wtNode(l.Node))
 	n.release()
 }
 

@@ -19,9 +19,15 @@ func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
 		return
 	}
 	// Acknowledge receipt to the sender so its courier stops
-	// retransmitting (even for duplicates we then discard).
+	// retransmitting (even for duplicates we then discard). The token
+	// arrives from the same neighbor that forwards WQ data to us, so any
+	// pending acknowledgements owed to it piggyback here — on a
+	// token-active ring the steady state needs no standalone Acks.
 	if from != n.id {
-		n.e.Net.Send(n.id, from, &msg.TokenAck{From: n.id, Epoch: tok.Epoch, Next: tok.NextGlobalSeq})
+		n.e.Net.Send(n.id, from, &msg.TokenAck{
+			From: n.id, Epoch: tok.Epoch, Next: tok.NextGlobalSeq,
+			Cum: n.takePendingAck(from),
+		})
 	}
 	// Duplicate suppression: Hops strictly increases within an epoch, so
 	// anything not strictly newer is a courier retransmit or a stale
@@ -173,6 +179,9 @@ func (n *NE) onTokenCourierFail() {
 }
 
 func (n *NE) handleTokenAck(from seq.NodeID, a *msg.TokenAck) {
+	if a.Cum != nil {
+		n.applyAck(from, a.Cum)
+	}
 	if n.tokenExpect.active && a.Epoch == n.tokenExpect.epoch && a.Next == n.tokenExpect.next {
 		n.tokenCourier.Confirm()
 		n.tokenExpect = ackExpect{}
@@ -357,7 +366,10 @@ func (n *NE) handleTokenRegen(from seq.NodeID, rg *msg.TokenRegen) {
 		return
 	}
 	if from != n.id {
-		n.e.Net.Send(n.id, from, &msg.TokenAck{From: n.id, Epoch: rg.Token.Epoch, Next: rg.Token.NextGlobalSeq})
+		n.e.Net.Send(n.id, from, &msg.TokenAck{
+			From: n.id, Epoch: rg.Token.Epoch, Next: rg.Token.NextGlobalSeq,
+			Cum: n.takePendingAck(from),
+		})
 	}
 	// Duplicate suppression for courier retransmits.
 	stamp := regenStamp{origin: rg.Origin, next: rg.Token.NextGlobalSeq, epoch: rg.Token.Epoch, set: true}

@@ -1,0 +1,51 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// TestBatchedAckRoundTrip covers the coalesced-ack wire format: the
+// multi-source batch section, the TokenAck piggyback slot, and the
+// optional AckCum on Data and Skip, each with WireSize matching the
+// encoder byte for byte.
+func TestBatchedAckRoundTrip(t *testing.T) {
+	cases := []Message{
+		&Ack{Group: 1, From: 2, CumGlobal: 77},
+		&Ack{Group: 1, From: 2, CumGlobal: 77, Batch: []SourceCum{{Source: 3, Cum: 9}, {Source: 5, Cum: 12}}},
+		&Ack{Group: 1, From: 2, Source: 3, CumLocal: 4, CumGlobal: 0},
+		&TokenAck{From: 4, Epoch: 2, Next: 100},
+		&TokenAck{From: 4, Epoch: 2, Next: 100,
+			Cum: &Ack{Group: 1, From: 4, CumGlobal: 88, Batch: []SourceCum{{Source: 1, Cum: 33}}}},
+		&Data{Group: 1, SourceNode: 2, LocalSeq: 3, OrderingNode: 4, GlobalSeq: 5, Payload: []byte("hi")},
+		&Data{Group: 1, SourceNode: 2, LocalSeq: 3, OrderingNode: 4, GlobalSeq: 5, AckCum: 42, Payload: []byte("hi")},
+		&Skip{Group: 1, From: 2, Range: seq.Range{Min: 3, Max: 9}},
+		&Skip{Group: 1, From: 2, Range: seq.Range{Min: 3, Max: 9}, Jump: true, AckCum: 7},
+	}
+	for _, m := range cases {
+		buf := Encode(m)
+		if got, want := len(buf), m.WireSize(); got != want {
+			t.Fatalf("%T: encoded %d bytes, WireSize says %d", m, got, want)
+		}
+		back, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("%T: round trip mismatch:\n  sent %#v\n  got  %#v", m, m, back)
+		}
+	}
+}
+
+// TestAckBatchTruncated: a batch count pointing past the buffer is a
+// clean ErrTruncated, not a huge allocation or a panic.
+func TestAckBatchTruncated(t *testing.T) {
+	buf := Encode(&Ack{Group: 1, From: 2, Batch: []SourceCum{{Source: 3, Cum: 9}}})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(buf))
+		}
+	}
+}

@@ -76,6 +76,62 @@ func (r *reader) bytes() []byte {
 	return b
 }
 
+// optSeq writes a presence byte followed by v when it is non-zero. Most
+// Data/Skip frames carry no piggybacked acknowledgement, so the absent
+// case costs one byte instead of eight.
+func (w *writer) optSeq(v uint64) {
+	if v == 0 {
+		w.u8(0)
+		return
+	}
+	w.u8(1)
+	w.u64(v)
+}
+
+func (r *reader) optSeq() uint64 {
+	if r.u8() == 0 {
+		return 0
+	}
+	return r.u64()
+}
+
+// encodeAckBody writes an Ack's fields sans Kind byte, shared between the
+// standalone KindAck frame and the TokenAck piggyback slot.
+func encodeAckBody(w *writer, v *Ack) {
+	w.u32(uint32(v.Group))
+	w.u32(uint32(v.From))
+	w.u32(uint32(v.Source))
+	w.u64(uint64(v.CumLocal))
+	w.u64(uint64(v.CumGlobal))
+	w.u32(uint32(len(v.Batch)))
+	for _, sc := range v.Batch {
+		w.u32(uint32(sc.Source))
+		w.u64(uint64(sc.Cum))
+	}
+}
+
+func decodeAckBody(r *reader) *Ack {
+	v := &Ack{}
+	v.Group = seq.GroupID(r.u32())
+	v.From = seq.NodeID(r.u32())
+	v.Source = seq.NodeID(r.u32())
+	v.CumLocal = seq.LocalSeq(r.u64())
+	v.CumGlobal = seq.GlobalSeq(r.u64())
+	if n := int(r.u32()); n > 0 && r.err == nil {
+		if r.off+12*n > len(r.buf) {
+			r.err = ErrTruncated
+			return v
+		}
+		v.Batch = make([]SourceCum, 0, n)
+		for i := 0; i < n; i++ {
+			sc := SourceCum{Source: seq.NodeID(r.u32())}
+			sc.Cum = seq.LocalSeq(r.u64())
+			v.Batch = append(v.Batch, sc)
+		}
+	}
+	return v
+}
+
 func encodeToken(w *writer, t *seq.Token) {
 	if t == nil {
 		w.u8(0)
@@ -158,6 +214,7 @@ func Encode(m Message) []byte {
 		w.u64(uint64(v.LocalSeq))
 		w.u32(uint32(v.OrderingNode))
 		w.u64(uint64(v.GlobalSeq))
+		w.optSeq(uint64(v.AckCum))
 		w.bytes(v.Payload)
 	case *SourceData:
 		w.u32(uint32(v.Group))
@@ -165,11 +222,7 @@ func Encode(m Message) []byte {
 		w.u64(uint64(v.LocalSeq))
 		w.bytes(v.Payload)
 	case *Ack:
-		w.u32(uint32(v.Group))
-		w.u32(uint32(v.From))
-		w.u32(uint32(v.Source))
-		w.u64(uint64(v.CumLocal))
-		w.u64(uint64(v.CumGlobal))
+		encodeAckBody(w, v)
 	case *Nack:
 		w.u32(uint32(v.Group))
 		w.u32(uint32(v.From))
@@ -182,6 +235,12 @@ func Encode(m Message) []byte {
 		w.u32(uint32(v.From))
 		w.u64(v.Epoch)
 		w.u64(uint64(v.Next))
+		if v.Cum != nil {
+			w.u8(1)
+			encodeAckBody(w, v.Cum)
+		} else {
+			w.u8(0)
+		}
 	case *TokenLoss:
 		w.u32(uint32(v.Group))
 	case *TokenRegen:
@@ -236,6 +295,7 @@ func Encode(m Message) []byte {
 		} else {
 			w.u8(0)
 		}
+		w.optSeq(uint64(v.AckCum))
 	default:
 		panic(fmt.Sprintf("msg: cannot encode %T", m))
 	}
@@ -255,6 +315,7 @@ func Decode(buf []byte) (Message, error) {
 		v.LocalSeq = seq.LocalSeq(r.u64())
 		v.OrderingNode = seq.NodeID(r.u32())
 		v.GlobalSeq = seq.GlobalSeq(r.u64())
+		v.AckCum = seq.GlobalSeq(r.optSeq())
 		v.Payload = r.bytes()
 		m = v
 	case KindSourceData:
@@ -265,13 +326,7 @@ func Decode(buf []byte) (Message, error) {
 		v.Payload = r.bytes()
 		m = v
 	case KindAck:
-		v := &Ack{}
-		v.Group = seq.GroupID(r.u32())
-		v.From = seq.NodeID(r.u32())
-		v.Source = seq.NodeID(r.u32())
-		v.CumLocal = seq.LocalSeq(r.u64())
-		v.CumGlobal = seq.GlobalSeq(r.u64())
-		m = v
+		m = decodeAckBody(r)
 	case KindNack:
 		v := &Nack{}
 		v.Group = seq.GroupID(r.u32())
@@ -293,6 +348,9 @@ func Decode(buf []byte) (Message, error) {
 		v.From = seq.NodeID(r.u32())
 		v.Epoch = r.u64()
 		v.Next = seq.GlobalSeq(r.u64())
+		if r.u8() == 1 {
+			v.Cum = decodeAckBody(r)
+		}
 		m = v
 	case KindTokenLoss:
 		m = &TokenLoss{Group: seq.GroupID(r.u32())}
@@ -359,6 +417,7 @@ func Decode(buf []byte) (Message, error) {
 		v.Range.Min = r.u64()
 		v.Range.Max = r.u64()
 		v.Jump = r.u8() == 1
+		v.AckCum = seq.GlobalSeq(r.optSeq())
 		m = v
 	default:
 		return nil, fmt.Errorf("msg: unknown kind %d", kind)

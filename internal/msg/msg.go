@@ -101,17 +101,29 @@ type Message interface {
 
 // Data is one multicast message (paper §4.1). Before ordering,
 // GlobalSeq is 0 and OrderingNode is None; Order-Assignment fills them in.
+//
+// AckCum, when non-zero, piggybacks the sender's cumulative global
+// acknowledgement on a hop where data already flows toward the
+// acknowledgee (e.g. a two-node top ring, where a node's WQ-forwarding
+// successor is also its upstream), saving a standalone Ack message.
 type Data struct {
 	Group        seq.GroupID
 	SourceNode   seq.NodeID
 	LocalSeq     seq.LocalSeq
 	OrderingNode seq.NodeID
 	GlobalSeq    seq.GlobalSeq
+	AckCum       seq.GlobalSeq
 	Payload      []byte
 }
 
-func (*Data) Kind() Kind      { return KindData }
-func (d *Data) WireSize() int { return 1 + 4 + 4 + 8 + 4 + 8 + 4 + len(d.Payload) }
+func (*Data) Kind() Kind { return KindData }
+func (d *Data) WireSize() int {
+	n := 1 + 4 + 4 + 8 + 4 + 8 + 1 + 4 + len(d.Payload)
+	if d.AckCum != 0 {
+		n += 8
+	}
+	return n
+}
 func (d *Data) Ordered() bool { return d.GlobalSeq != 0 }
 func (d *Data) String() string {
 	return fmt.Sprintf("data{g=%d src=%v l=%d ord=%v G=%d |p|=%d}",
@@ -136,19 +148,30 @@ type SourceData struct {
 func (*SourceData) Kind() Kind      { return KindSourceData }
 func (s *SourceData) WireSize() int { return 1 + 4 + 4 + 8 + 4 + len(s.Payload) }
 
+// SourceCum is one per-source cumulative acknowledgement inside a
+// batched Ack: every message of Source's stream up to Cum was received.
+type SourceCum struct {
+	Source seq.NodeID
+	Cum    seq.LocalSeq
+}
+
 // Ack acknowledges, on one hop, cumulative receipt of a stream.
-// For top-ring WQ forwarding the stream is (Source, CumLocal); for MQ
+// For top-ring WQ forwarding the stream is (Source, CumLocal) — or, when
+// several source streams share the hop, the multi-source Batch; for MQ
 // forwarding and delivering the stream is the global order (CumGlobal).
+// One Ack may carry both aspects (a coalesced flush acknowledges all
+// streams owed to one neighbor at once).
 type Ack struct {
 	Group     seq.GroupID
 	From      seq.NodeID
 	Source    seq.NodeID
 	CumLocal  seq.LocalSeq
 	CumGlobal seq.GlobalSeq
+	Batch     []SourceCum
 }
 
 func (*Ack) Kind() Kind      { return KindAck }
-func (a *Ack) WireSize() int { return 1 + 4 + 4 + 4 + 8 + 8 }
+func (a *Ack) WireSize() int { return 1 + 4 + 4 + 4 + 8 + 8 + 4 + 12*len(a.Batch) }
 
 // Nack requests retransmission of a specific global sequence range.
 type Nack struct {
@@ -179,15 +202,27 @@ func tokenWireSize(t *seq.Token) int {
 	return 1 + 4 + 8 + 8 + 8 + 4 + 40*t.Table.Len() + 4 + 12*t.Table.SourceCount()
 }
 
-// TokenAck acknowledges reliable token transfer.
+// TokenAck acknowledges reliable token transfer. Because the token and
+// the WQ data streams circulate the top ring in the same direction, a
+// TokenAck travels exactly the path a receiver's pending acknowledgements
+// to its ring predecessor would: Cum, when non-nil, piggybacks that
+// coalesced Ack (multi-source WQ cums and/or the global cum) so the
+// steady state needs no standalone Ack messages on token-active hops.
 type TokenAck struct {
 	From  seq.NodeID
 	Epoch uint64
 	Next  seq.GlobalSeq
+	Cum   *Ack
 }
 
-func (*TokenAck) Kind() Kind      { return KindTokenAck }
-func (t *TokenAck) WireSize() int { return 1 + 4 + 8 + 8 }
+func (*TokenAck) Kind() Kind { return KindTokenAck }
+func (t *TokenAck) WireSize() int {
+	n := 1 + 4 + 8 + 8 + 1
+	if t.Cum != nil {
+		n += t.Cum.WireSize() - 1 // embedded without the leading Kind byte
+	}
+	return n
+}
 
 // TokenLoss is the membership protocol's signal that the token may have
 // been lost during topology maintenance.
@@ -304,16 +339,25 @@ func (h *Heartbeat) WireSize() int { return 1 + 4 }
 // Skip abandons a global-sequence range on one hop: either the sender
 // exhausted its retransmission budget for it (really lost), or — with
 // Jump set — the range predates the receiver's join point and was never
-// meant for it (a stream-position baseline, not a loss).
+// meant for it (a stream-position baseline, not a loss). AckCum, when
+// non-zero, piggybacks the sender's cumulative global acknowledgement
+// exactly like Data.AckCum.
 type Skip struct {
-	Group seq.GroupID
-	From  seq.NodeID
-	Range seq.Range
-	Jump  bool
+	Group  seq.GroupID
+	From   seq.NodeID
+	Range  seq.Range
+	Jump   bool
+	AckCum seq.GlobalSeq
 }
 
-func (*Skip) Kind() Kind      { return KindSkip }
-func (s *Skip) WireSize() int { return 1 + 4 + 4 + 16 + 1 }
+func (*Skip) Kind() Kind { return KindSkip }
+func (s *Skip) WireSize() int {
+	n := 1 + 4 + 4 + 16 + 1 + 1
+	if s.AckCum != 0 {
+		n += 8
+	}
+	return n
+}
 
 // Compile-time interface checks.
 var (

@@ -62,24 +62,47 @@ type endpoint struct {
 	crashed bool
 }
 
-// delivery is one scheduled in-flight message. Deliveries are pooled and
-// dispatched through the scheduler's closure-free AtCall, so a Send
-// allocates nothing once the pool is warm.
+// delivery is one scheduled in-flight transmission — a single message,
+// or a burst of messages sharing one arrival (SendBurst). Deliveries are
+// pooled and dispatched through the scheduler's closure-free AtCall, so
+// a Send allocates nothing once the pool is warm.
 type delivery struct {
 	net  *Network
 	dst  *endpoint
 	from seq.NodeID
 	to   seq.NodeID
 	m    msg.Message
+	run  []msg.Message // burst payload; m is nil when set
 }
 
 // deliver is the static delivery handler.
 func deliver(v any) {
 	d := v.(*delivery)
-	n, dst, from, to, m := d.net, d.dst, d.from, d.to, d.m
+	n, dst, from, to, m, run := d.net, d.dst, d.from, d.to, d.m, d.run
 	d.dst = nil
 	d.m = nil
+	d.run = nil
 	n.free = append(n.free, d)
+	if m != nil {
+		n.deliverOne(dst, from, to, m)
+		return
+	}
+	// Burst: the run buffer goes back to its pool only after dispatch —
+	// handlers may send (and thus borrow buffers) reentrantly.
+	if dst.crashed {
+		n.stats.DroppedNodeDown += uint64(len(run))
+	} else {
+		for _, m := range run {
+			n.deliverOne(dst, from, to, m)
+		}
+	}
+	for i := range run {
+		run[i] = nil // don't retain delivered payloads through the pool
+	}
+	n.runFree = append(n.runFree, run[:0])
+}
+
+func (n *Network) deliverOne(dst *endpoint, from, to seq.NodeID, m msg.Message) {
 	if dst.crashed {
 		n.stats.DroppedNodeDown++
 		return
@@ -91,7 +114,10 @@ func deliver(v any) {
 	dst.handler.Recv(from, m)
 }
 
-// Stats aggregates network-wide counters.
+// Stats aggregates network-wide counters. Control/data classification:
+// Data and SourceData frames are the data plane (they carry payloads —
+// including any piggybacked acknowledgements, which is the point of
+// piggybacking); every other kind is control plane.
 type Stats struct {
 	Sent            uint64
 	Delivered       uint64
@@ -100,17 +126,22 @@ type Stats struct {
 	DroppedNodeDown uint64
 	DroppedNoRoute  uint64
 	Bytes           uint64
+	DataMsgs        uint64
+	DataBytes       uint64
+	CtrlMsgs        uint64
+	CtrlBytes       uint64
 	ByKind          map[msg.Kind]uint64
 }
 
 // Network is the simulated message fabric.
 type Network struct {
-	sched *sim.Scheduler
-	rng   *sim.RNG
-	nodes map[seq.NodeID]*endpoint
-	links map[[2]seq.NodeID]*link
-	free  []*delivery // recycled delivery records
-	stats Stats
+	sched   *sim.Scheduler
+	rng     *sim.RNG
+	nodes   map[seq.NodeID]*endpoint
+	links   map[[2]seq.NodeID]*link
+	free    []*delivery     // recycled delivery records
+	runFree [][]msg.Message // recycled burst buffers
+	stats   Stats
 	// Trace, when non-nil, observes every delivery (after loss and
 	// delay). Useful in tests.
 	Trace func(at sim.Time, from, to seq.NodeID, m msg.Message)
@@ -255,6 +286,7 @@ func (n *Network) Send(from, to seq.NodeID, m msg.Message) bool {
 
 	size := m.WireSize()
 	n.stats.Bytes += uint64(size)
+	n.countPlane(m, size)
 
 	// Serialization delay occupies the sender side of the link.
 	start := n.sched.Now()
@@ -293,6 +325,103 @@ func (n *Network) Send(from, to seq.NodeID, m msg.Message) bool {
 	d.net, d.dst, d.from, d.to, d.m = n, dst, from, to, m
 	n.sched.AtCall(arrival, deliver, d)
 	return true
+}
+
+// countPlane attributes one transmission that entered a link to the data
+// or control plane.
+func (n *Network) countPlane(m msg.Message, size int) {
+	switch m.Kind() {
+	case msg.KindData, msg.KindSourceData:
+		n.stats.DataMsgs++
+		n.stats.DataBytes += uint64(size)
+	default:
+		n.stats.CtrlMsgs++
+		n.stats.CtrlBytes += uint64(size)
+	}
+}
+
+// SendBurst transmits a run of messages from→to as one link burst: on a
+// jitter-free, bandwidth-unlimited link the surviving messages share a
+// single scheduled delivery event instead of one event per frame, which
+// is the transport layer's batched-delivery fast path. Loss is still
+// drawn per message, in send order, so the RNG stream — and therefore
+// every downstream stochastic outcome — is identical to len(msgs)
+// individual Sends. Links with jitter or a bandwidth model fall back to
+// per-message Send (their per-frame delays differ, so frames cannot
+// share an arrival). The caller keeps ownership of msgs; SendBurst
+// copies what it needs.
+func (n *Network) SendBurst(from, to seq.NodeID, msgs []msg.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	if len(msgs) == 1 {
+		n.Send(from, to, msgs[0])
+		return
+	}
+	l, ok := n.links[[2]seq.NodeID{from, to}]
+	if !ok || !l.up || l.params.Jitter > 0 || l.params.Bandwidth > 0 {
+		for _, m := range msgs {
+			n.Send(from, to, m)
+		}
+		return
+	}
+	src, ok := n.nodes[from]
+	if !ok || src.crashed {
+		for _, m := range msgs {
+			n.Send(from, to, m) // per-message drop accounting, same as Send
+		}
+		return
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		for _, m := range msgs {
+			n.Send(from, to, m)
+		}
+		return
+	}
+
+	var run []msg.Message
+	if k := len(n.runFree); k > 0 {
+		run = n.runFree[k-1]
+		n.runFree[k-1] = nil
+		n.runFree = n.runFree[:k-1]
+	}
+	for _, m := range msgs {
+		n.stats.Sent++
+		if n.stats.ByKind == nil {
+			n.stats.ByKind = make(map[msg.Kind]uint64)
+		}
+		n.stats.ByKind[m.Kind()]++
+		size := m.WireSize()
+		n.stats.Bytes += uint64(size)
+		n.countPlane(m, size)
+		if n.rng.Bool(l.params.Loss) {
+			n.stats.DroppedLoss++
+			continue
+		}
+		run = append(run, m)
+	}
+	if len(run) == 0 {
+		n.runFree = append(n.runFree, run)
+		return
+	}
+
+	arrival := n.sched.Now() + l.params.Latency
+	if n.FIFO && arrival < l.lastArrival {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
+
+	var d *delivery
+	if k := len(n.free); k > 0 {
+		d = n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+	} else {
+		d = &delivery{}
+	}
+	d.net, d.dst, d.from, d.to, d.run = n, dst, from, to, run
+	n.sched.AtCall(arrival, deliver, d)
 }
 
 // Broadcast sends m from one node to each of the given destinations.

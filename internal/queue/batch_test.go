@@ -1,0 +1,120 @@
+package queue
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/seq"
+)
+
+func ordered(g seq.GlobalSeq) *msg.Data {
+	return &msg.Data{SourceNode: 1, LocalSeq: seq.LocalSeq(g), OrderingNode: 1, GlobalSeq: g}
+}
+
+// TestAdvanceRunMatchesPerMessageLoop proves AdvanceRun is exactly the
+// NextDeliverable/AdvanceFront loop, including across really-lost gaps
+// and waiting slots, on a randomized arrival pattern.
+func TestAdvanceRunMatchesPerMessageLoop(t *testing.T) {
+	a := NewMQ(64)
+	b := NewMQ(64)
+	rng := uint64(12345)
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng % n
+	}
+	var inserted seq.GlobalSeq
+	for step := 0; step < 2000; step++ {
+		switch next(4) {
+		case 0, 1: // in-order or gapped insert
+			g := inserted + 1 + seq.GlobalSeq(next(3))
+			if int(g-a.ValidFront()) <= a.MaxNo() {
+				if _, err := a.Insert(ordered(g)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := b.Insert(ordered(g)); err != nil {
+					t.Fatal(err)
+				}
+				if g > inserted {
+					inserted = g
+				}
+			}
+		case 2: // really lose the next missing slot, if any
+			for g := a.Front() + 1; g <= a.Rear(); g++ {
+				if !a.Has(g) {
+					a.MarkLost(g)
+					b.MarkLost(g)
+					break
+				}
+			}
+		case 3: // drain
+			lo, hi := a.AdvanceRun()
+			var blo, bhi seq.GlobalSeq
+			blo = b.Front() + 1
+			for {
+				_, ok := b.NextDeliverable()
+				if !ok {
+					break
+				}
+				b.AdvanceFront()
+			}
+			bhi = b.Front()
+			if lo != blo || hi != bhi {
+				t.Fatalf("step %d: AdvanceRun = [%d,%d], per-message loop = [%d,%d]", step, lo, hi, blo, bhi)
+			}
+			if a.Front() != b.Front() {
+				t.Fatalf("step %d: fronts diverged %d vs %d", step, a.Front(), b.Front())
+			}
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestWTMinCache proves the cached minimum tracks a naive rescan across
+// Set/Reset/Remove interleavings, including raising the current minimum.
+func TestWTMinCache(t *testing.T) {
+	w := NewWT()
+	shadow := map[uint32]seq.GlobalSeq{}
+	naiveMin := func() (seq.GlobalSeq, bool) {
+		if len(shadow) == 0 {
+			return 0, false
+		}
+		first := true
+		var m seq.GlobalSeq
+		for _, v := range shadow {
+			if first || v < m {
+				m = v
+				first = false
+			}
+		}
+		return m, true
+	}
+	rng := uint64(99)
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng % n
+	}
+	for step := 0; step < 5000; step++ {
+		child := uint32(next(8))
+		v := seq.GlobalSeq(next(50))
+		switch next(3) {
+		case 0:
+			w.Set(child, v)
+			if cur, ok := shadow[child]; !ok || v > cur {
+				shadow[child] = v
+			}
+		case 1:
+			w.Reset(child, v)
+			shadow[child] = v
+		case 2:
+			w.Remove(child)
+			delete(shadow, child)
+		}
+		gm, gok := w.Min()
+		wm, wok := naiveMin()
+		if gm != wm || gok != wok {
+			t.Fatalf("step %d: Min = (%d,%v), naive = (%d,%v)", step, gm, gok, wm, wok)
+		}
+	}
+}

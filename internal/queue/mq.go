@@ -201,6 +201,29 @@ func (q *MQ) NextDeliverable() (d *msg.Data, ok bool) {
 	}
 }
 
+// AdvanceRun advances Front over the entire contiguous deliverable run
+// in one slot pass — every slot past Front that is either received or
+// really lost — marking each delivered, and returns the run bounds
+// [lo, hi] (hi < lo when nothing is deliverable). It replaces a
+// per-message NextDeliverable/AdvanceFront pair on the delivery hot
+// path; callers fan the run out afterwards via Data(g) (nil ⇒ the slot
+// was a really-lost gap).
+func (q *MQ) AdvanceRun() (lo, hi seq.GlobalSeq) {
+	lo = q.front + 1
+	g := lo
+	for g <= q.rear {
+		sl := q.slot(g)
+		if sl.Received || (!sl.Waiting && sl.Delivered) {
+			sl.Delivered = true
+			g++
+			continue
+		}
+		break
+	}
+	q.front = g - 1
+	return lo, g - 1
+}
+
 // AdvanceFront marks front+1 delivered and moves Front. It must only be
 // called after NextDeliverable returned ok.
 func (q *MQ) AdvanceFront() {

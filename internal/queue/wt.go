@@ -15,6 +15,13 @@ import (
 // HostID members; the core package wraps it with typed helpers.
 type WT struct {
 	rows map[uint32]seq.GlobalSeq
+	// min caches the table minimum so the release path (which calls Min
+	// once per acknowledgement) does not rescan every row. It is kept
+	// incrementally: lowering entries and inserts update it directly;
+	// raising or removing an entry that sits at the cached minimum
+	// invalidates it, and the next Min call rescans once.
+	min   seq.GlobalSeq
+	minOK bool
 }
 
 // NewWT returns an empty working table.
@@ -23,15 +30,38 @@ func NewWT() *WT { return &WT{rows: make(map[uint32]seq.GlobalSeq)} }
 // Set records that child has delivered everything up to max. Regressions
 // are ignored: progress is monotone per child except through Reset.
 func (w *WT) Set(child uint32, max seq.GlobalSeq) {
-	if cur, ok := w.rows[child]; ok && cur >= max {
+	if cur, ok := w.rows[child]; ok {
+		if cur >= max {
+			return
+		}
+		w.rows[child] = max
+		if w.minOK && cur == w.min {
+			w.minOK = false // may have raised the minimum
+		}
 		return
 	}
 	w.rows[child] = max
+	if len(w.rows) == 1 {
+		w.min, w.minOK = max, true
+	} else if w.minOK && max < w.min {
+		w.min = max
+	}
 }
 
 // Reset overwrites a child's progress unconditionally (a handed-off MH
 // re-attaching with an older mark must not be filtered).
-func (w *WT) Reset(child uint32, max seq.GlobalSeq) { w.rows[child] = max }
+func (w *WT) Reset(child uint32, max seq.GlobalSeq) {
+	cur, had := w.rows[child]
+	w.rows[child] = max
+	switch {
+	case len(w.rows) == 1:
+		w.min, w.minOK = max, true
+	case had && w.minOK && cur == w.min && max > cur:
+		w.minOK = false
+	case w.minOK && max < w.min:
+		w.min = max
+	}
+}
 
 // Get returns the recorded progress for child.
 func (w *WT) Get(child uint32) (seq.GlobalSeq, bool) {
@@ -40,27 +70,36 @@ func (w *WT) Get(child uint32) (seq.GlobalSeq, bool) {
 }
 
 // Remove drops a departed child from the table.
-func (w *WT) Remove(child uint32) { delete(w.rows, child) }
+func (w *WT) Remove(child uint32) {
+	cur, had := w.rows[child]
+	delete(w.rows, child)
+	if had && w.minOK && cur == w.min {
+		w.minOK = false
+	}
+}
 
 // Len returns the number of tracked children.
 func (w *WT) Len() int { return len(w.rows) }
 
 // Min returns the minimum progress across all children and true, or
 // (0, false) when the table is empty (no children ⇒ nothing constrains
-// garbage collection).
+// garbage collection). The cached value answers in O(1) unless the
+// current minimum entry was raised or removed since the last call.
 func (w *WT) Min() (seq.GlobalSeq, bool) {
 	if len(w.rows) == 0 {
 		return 0, false
 	}
-	first := true
-	var min seq.GlobalSeq
-	for _, v := range w.rows {
-		if first || v < min {
-			min = v
-			first = false
+	if !w.minOK {
+		first := true
+		for _, v := range w.rows {
+			if first || v < w.min {
+				w.min = v
+				first = false
+			}
 		}
+		w.minOK = true
 	}
-	return min, true
+	return w.min, true
 }
 
 // Children returns the tracked child keys in ascending order.

@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/seq"
+	"repro/internal/sim"
+)
+
+// TestSendRunBurstAndRetransmit: a run shares one delivery event on a
+// clean link, every frame still has its own retransmission timer, and
+// cumulative acks release the whole window.
+func TestSendRunBurstAndRetransmit(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netsim.New(sched, sim.NewRNG(3))
+	var got []seq.GlobalSeq
+	net.Register(1, netsim.HandlerFunc(func(seq.NodeID, msg.Message) {}))
+	net.Register(2, netsim.HandlerFunc(func(from seq.NodeID, m msg.Message) {
+		if d, ok := m.(*msg.Data); ok {
+			got = append(got, d.GlobalSeq)
+		}
+	}))
+	net.Connect(1, 2, netsim.LinkParams{Latency: sim.Millisecond})
+
+	s := NewSender(net, 1, 2, Config{RTO: 10 * sim.Millisecond, MaxRetries: 3})
+	run := make([]msg.Message, 0, 4)
+	for g := 1; g <= 4; g++ {
+		run = append(run, &msg.Data{SourceNode: 1, LocalSeq: seq.LocalSeq(g), OrderingNode: 1, GlobalSeq: seq.GlobalSeq(g)})
+	}
+	s.SendRun(1, run)
+	if s.Outstanding() != 4 {
+		t.Fatalf("outstanding = %d, want 4", s.Outstanding())
+	}
+	sched.Run(2 * sim.Millisecond)
+	if len(got) != 4 {
+		t.Fatalf("delivered %d, want 4 (burst)", len(got))
+	}
+	// No ack: every frame must retransmit individually at RTO.
+	sched.Run(12 * sim.Millisecond)
+	if len(got) != 8 {
+		t.Fatalf("after one RTO delivered %d, want 8 (per-frame retransmission)", len(got))
+	}
+	s.Ack(4)
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding after cumulative ack = %d, want 0", s.Outstanding())
+	}
+	sched.Run(sim.Second)
+	if len(got) != 8 {
+		t.Fatalf("retransmissions after ack: %d", len(got)-8)
+	}
+}
+
+// TestSendRunSkipsAckedAndDuplicate: seqnos at or below the cumulative
+// ack, and seqnos already outstanding, are not re-sent by a run.
+func TestSendRunSkipsAckedAndDuplicate(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netsim.New(sched, sim.NewRNG(3))
+	delivered := 0
+	net.Register(1, netsim.HandlerFunc(func(seq.NodeID, msg.Message) {}))
+	net.Register(2, netsim.HandlerFunc(func(seq.NodeID, msg.Message) { delivered++ }))
+	net.Connect(1, 2, netsim.LinkParams{Latency: sim.Millisecond})
+
+	s := NewSender(net, 1, 2, Config{RTO: 10 * sim.Millisecond})
+	d := func(g uint64) msg.Message {
+		return &msg.Data{SourceNode: 1, LocalSeq: seq.LocalSeq(g), OrderingNode: 1, GlobalSeq: seq.GlobalSeq(g)}
+	}
+	s.Send(3, d(3))
+	s.Ack(1)
+	s.SendRun(1, []msg.Message{d(1), d(2), d(3), d(4)})
+	// 1 is acked, 3 is outstanding: the run adds only 2 and 4.
+	if s.Outstanding() != 3 {
+		t.Fatalf("outstanding = %d, want 3 (seqnos 2,3,4)", s.Outstanding())
+	}
+	sched.Run(5 * sim.Millisecond)
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3 (no duplicate of acked/outstanding seqnos)", delivered)
+	}
+}

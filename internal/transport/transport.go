@@ -87,6 +87,10 @@ type Sender struct {
 	// metric).
 	Retransmissions uint64
 	closed          bool
+
+	// scratch buffers for SendRun (per-call burst assembly).
+	burstMsgs []msg.Message
+	burstPend []*pending
 }
 
 // NewSender builds a sender for one directed hop.
@@ -113,15 +117,21 @@ func (s *Sender) Retarget(to seq.NodeID) {
 	}
 }
 
-// Send transmits m with the given stream seqno. Duplicate seqnos and
-// seqnos at or below the cumulative ack are ignored.
-func (s *Sender) Send(seqno uint64, m msg.Message) {
+// Unsent reports whether a Send/SendRun of seqno would actually
+// transmit: the seqno is above the cumulative ack and not already
+// outstanding. Callers use it to decide whether a frame can carry
+// piggybacked state that must not be silently dropped.
+func (s *Sender) Unsent(seqno uint64) bool {
 	if s.closed || seqno <= s.acked {
-		return
+		return false
 	}
-	if _, dup := s.out[seqno]; dup {
-		return
-	}
+	_, dup := s.out[seqno]
+	return !dup
+}
+
+// track acquires a pending slot for (seqno, m) and inserts it into the
+// outstanding window; the caller transmits and arms the timer.
+func (s *Sender) track(seqno uint64, m msg.Message) *pending {
 	var p *pending
 	if n := len(s.free); n > 0 {
 		p = s.free[n-1]
@@ -134,8 +144,54 @@ func (s *Sender) Send(seqno uint64, m msg.Message) {
 	p.seqno = seqno
 	p.retries = 0
 	s.out[seqno] = p
+	return p
+}
+
+// Send transmits m with the given stream seqno. Duplicate seqnos and
+// seqnos at or below the cumulative ack are ignored.
+func (s *Sender) Send(seqno uint64, m msg.Message) {
+	if !s.Unsent(seqno) {
+		return
+	}
+	p := s.track(seqno, m)
 	s.net.Send(s.from, s.to, m)
 	s.arm(p)
+}
+
+// SendRun transmits msgs[i] with seqno start+i as one burst: every
+// message gets its own pending slot and retransmission timer exactly as
+// with Send, but the initial transmission goes through the network's
+// burst path, which schedules a single delivery event for the whole run
+// on jitter-free links instead of one event per frame. Duplicate seqnos
+// and seqnos at or below the cumulative ack are skipped, as in Send.
+func (s *Sender) SendRun(start uint64, msgs []msg.Message) {
+	if s.closed || len(msgs) == 0 {
+		return
+	}
+	if len(msgs) == 1 {
+		s.Send(start, msgs[0])
+		return
+	}
+	burst := s.burstMsgs[:0]
+	pend := s.burstPend[:0]
+	for i, m := range msgs {
+		seqno := start + uint64(i)
+		if !s.Unsent(seqno) {
+			continue
+		}
+		burst = append(burst, m)
+		pend = append(pend, s.track(seqno, m))
+	}
+	s.net.SendBurst(s.from, s.to, burst)
+	for i, p := range pend {
+		s.arm(p)
+		pend[i] = nil
+	}
+	for i := range burst {
+		burst[i] = nil // pendings hold the references; the scratch must not
+	}
+	s.burstMsgs = burst[:0]
+	s.burstPend = pend[:0]
 }
 
 // release stops p's timer, drops it from the outstanding window, and

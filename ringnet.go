@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/membership"
+	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/msg"
 	"repro/internal/netsim"
@@ -57,6 +58,8 @@ type (
 	ProtocolConfig = core.Config
 	// LinkParams describes link latency/jitter/loss/bandwidth.
 	LinkParams = netsim.LinkParams
+	// ControlReport summarizes control-plane vs data-plane volume.
+	ControlReport = metrics.ControlReport
 )
 
 // Common durations.
@@ -210,6 +213,10 @@ func (s *Sim) RunQuiet(step, maxTime Time) (Time, error) {
 
 // CheckOrder returns the first total-order violation observed so far.
 func (s *Sim) CheckOrder() error { return s.Engine.Log.Err() }
+
+// ControlReport summarizes this run's control-plane vs data-plane
+// message volume (the bandwidth model of the paper's evaluation).
+func (s *Sim) ControlReport() ControlReport { return s.Engine.ControlReport() }
 
 // OnDeliver registers an application-level delivery observer for one
 // host. The callback receives the global sequence number, the source,
