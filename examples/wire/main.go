@@ -1,0 +1,94 @@
+// Example wire: the RingNet protocol off the simulator — a three-member
+// ordering ring exchanging real UDP datagrams on loopback, with 2%
+// injected datagram loss and 1.5ms injected jitter at every socket.
+//
+// Each member runs the full protocol core (token ordering, WQ
+// forwarding, delayed cumulative acks, Nack repair) assembled onto the
+// wire transport with real timers, exactly as the standalone ringnetd
+// daemon does; here the three members share one process for a
+// self-contained demo. Every member must report the identical
+// delivery-order hash.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	const (
+		n     = 3
+		count = 80
+	)
+	nodes := make([]*wire.Node, n)
+	for i := 0; i < n; i++ {
+		cfg := wire.Config{
+			Group:      1,
+			Node:       uint32(i + 1),
+			Listen:     "127.0.0.1:0",
+			Seed:       uint64(42 + i),
+			Loss:       0.02,
+			JitterUS:   1500,
+			Count:      count,
+			RateHz:     400,
+			Payload:    64,
+			DeadlineMS: 30000,
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, wire.PeerAddr{Node: uint32(j + 1)})
+			}
+		}
+		nd, err := wire.NewNode(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	// Sockets are bound; exchange the OS-assigned addresses.
+	for i, nd := range nodes {
+		fmt.Printf("member %d listening on %s\n", i+1, nd.LocalAddr())
+		for j, other := range nodes {
+			if j != i {
+				if err := nd.SetPeerAddr(uint32(j+1), other.LocalAddr()); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	reports := make([]wire.Report, n)
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *wire.Node) {
+			defer wg.Done()
+			rep, err := nd.Run()
+			if err != nil {
+				log.Fatalf("member %d: %v", i+1, err)
+			}
+			reports[i] = rep
+		}(i, nd)
+	}
+	wg.Wait()
+
+	fmt.Printf("\n%d members × %d messages over lossy loopback UDP:\n", n, count)
+	for _, r := range reports {
+		var drops uint64
+		for _, p := range r.Transport.Peers {
+			drops += p.InjectedDrops
+		}
+		fmt.Printf("  member %d: delivered %d/%d order=%s wall=%dms latency mean=%.1fms p99=%.1fms injected drops=%d\n",
+			r.Node, r.Delivered, r.Expected, r.OrderHash, r.WallMS,
+			r.LatencyMeanMS, r.LatencyP99MS, drops)
+	}
+	for _, r := range reports[1:] {
+		if r.OrderHash != reports[0].OrderHash {
+			log.Fatalf("delivery order diverged: %s vs %s", r.OrderHash, reports[0].OrderHash)
+		}
+	}
+	fmt.Println("total order identical at every member ✓")
+}

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/netsim"
 	"repro/internal/seq"
@@ -88,18 +89,15 @@ func TestDeliveryTraceGolden(t *testing.T) {
 	r := newRig(t, benchShapeSpec(), nil)
 	type hostHash struct {
 		host seq.HostID
-		h    interface {
-			Write(p []byte) (int, error)
-			Sum64() uint64
-		}
+		h    *metrics.OrderHash
 	}
 	hashes := make([]hostHash, 0, len(r.b.Hosts))
 	for _, hostID := range r.b.Hosts {
-		hh := hostHash{host: hostID, h: fnv.New64a()}
+		hh := hostHash{host: hostID, h: metrics.NewOrderHash()}
 		hashes = append(hashes, hh)
 		m := r.e.MHOf(hostID)
 		m.OnDeliver = func(d *msg.Data) {
-			fmt.Fprintf(hh.h, "%d:%d:%d;", d.GlobalSeq, d.SourceNode, d.LocalSeq)
+			hh.h.Note(d.GlobalSeq, d.SourceNode, d.LocalSeq)
 		}
 	}
 	r.pump([]seq.NodeID{r.b.BRs[0], r.b.BRs[2]}, 250, 2*sim.Millisecond, 10*sim.Millisecond)

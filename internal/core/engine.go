@@ -46,6 +46,14 @@ type Engine struct {
 	WiredLink    netsim.LinkParams
 	WirelessLink netsim.LinkParams
 
+	// OnDeliver, when set, observes every node-level delivery: it fires
+	// as an NE's delivery front passes each received message, in global
+	// order. In the simulator application delivery happens at MHs and
+	// this stays nil; real deployments (cmd/ringnetd) run protocol nodes
+	// as the end consumers and hook their delivery stream here. Set it
+	// before Start/StartLocal.
+	OnDeliver func(at seq.NodeID, d *msg.Data)
+
 	started bool
 }
 
@@ -138,6 +146,54 @@ func (e *Engine) Start() error {
 	// Inject the ordering token at the top-ring leader.
 	if top := e.H.TopRing(); top != nil {
 		leader := e.nes[top.Leader()]
+		tok := seq.NewToken(e.Group)
+		e.Scheduler().After(0, func() { leader.handleToken(leader.id, tok) })
+	}
+	return nil
+}
+
+// StartLocal instantiates ONLY the network entity for id — the
+// single-process slice of a multi-process deployment (cmd/ringnetd).
+// Every process builds the identical hierarchy from the shared ring
+// config and spawns just its own node; the remaining members must be
+// registered on the local network substrate as forwarding endpoints (the
+// wire bridge's job) before any traffic flows. Links are wired for the
+// hops incident to id; the ordering token is injected only in the
+// top-ring leader's process, so exactly one token is born cluster-wide.
+func (e *Engine) StartLocal(id seq.NodeID) error {
+	if e.started {
+		return fmt.Errorf("core: engine already started")
+	}
+	node := e.H.Node(id)
+	if node == nil {
+		return fmt.Errorf("core: unknown node %v", id)
+	}
+	e.started = true
+	if err := e.spawnNE(id); err != nil {
+		return err
+	}
+	// Wire the links this node's hops use; the remote ends are bridge
+	// endpoints, not local NEs.
+	if r := e.H.RingOf(id); r != nil {
+		if nx, ok := r.Next(id); ok && nx != id {
+			e.Net.Connect(id, nx, e.WiredLink)
+		}
+		if pv, ok := r.Prev(id); ok && pv != id {
+			e.Net.Connect(id, pv, e.WiredLink)
+		}
+	}
+	if node.Parent != seq.None {
+		e.Net.Connect(id, node.Parent, e.WiredLink)
+	}
+	for _, c := range node.Candidates {
+		e.Net.Connect(id, c, e.WiredLink)
+	}
+	for _, c := range node.Children {
+		e.Net.Connect(id, c, e.WiredLink)
+	}
+	e.nes[id].refreshNeighbors()
+	if top := e.H.TopRing(); top != nil && top.Leader() == id {
+		leader := e.nes[id]
 		tok := seq.NewToken(e.Group)
 		e.Scheduler().After(0, func() { leader.handleToken(leader.id, tok) })
 	}

@@ -104,6 +104,7 @@ type NE struct {
 type ackExpect struct {
 	active bool
 	epoch  uint64
+	hops   uint64
 	next   seq.GlobalSeq
 }
 
@@ -265,6 +266,14 @@ func (n *NE) Active() bool { return !n.isAP || n.active }
 
 // Failed reports whether the node is crashed.
 func (n *NE) Failed() bool { return n.failed }
+
+// TokenIdle reports whether this node neither holds the ordering token
+// nor has a token or regeneration transfer awaiting acknowledgement —
+// the safe-to-exit check for real deployments (cmd/ringnetd) whose
+// processes leave the ring after converging.
+func (n *NE) TokenIdle() bool {
+	return !n.holding && n.held == nil && !n.tokenCourier.Busy() && !n.regenCourier.Busy()
+}
 
 // refreshNeighbors re-reads the node's local view from the hierarchy and
 // retargets all hop senders accordingly. Called at start and whenever the
@@ -737,6 +746,13 @@ func (n *NE) applyCumAck(from seq.NodeID, cum seq.GlobalSeq) {
 func (n *NE) deliverLoop() {
 	lo, hi := n.mq.AdvanceRun()
 	if hi >= lo {
+		if h := n.e.OnDeliver; h != nil {
+			for g := lo; g <= hi; g++ {
+				if d := n.mq.Data(g); d != nil {
+					h(n.id, d)
+				}
+			}
+		}
 		n.fanoutRun(lo, hi)
 	}
 	n.release()

@@ -25,7 +25,7 @@ func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
 	// token-active ring the steady state needs no standalone Acks.
 	if from != n.id {
 		n.e.Net.Send(n.id, from, &msg.TokenAck{
-			From: n.id, Epoch: tok.Epoch, Next: tok.NextGlobalSeq,
+			From: n.id, Epoch: tok.Epoch, Hops: tok.Hops, Next: tok.NextGlobalSeq,
 			Cum: n.takePendingAck(from),
 		})
 	}
@@ -159,7 +159,7 @@ func (n *NE) forwardHeldToken() {
 	n.holding = false
 	send := tok.Clone()
 	send.Hops++
-	n.tokenExpect = ackExpect{active: true, epoch: send.Epoch, next: send.NextGlobalSeq}
+	n.tokenExpect = ackExpect{active: true, epoch: send.Epoch, hops: send.Hops, next: send.NextGlobalSeq}
 	n.ctrTokenForwards++
 	n.tokenCourier.Deliver(nx, &msg.TokenMsg{From: n.id, Token: send})
 }
@@ -182,7 +182,12 @@ func (n *NE) handleTokenAck(from seq.NodeID, a *msg.TokenAck) {
 	if a.Cum != nil {
 		n.applyAck(from, a.Cum)
 	}
-	if n.tokenExpect.active && a.Epoch == n.tokenExpect.epoch && a.Next == n.tokenExpect.next {
+	// Hops is part of the match: it strictly increases per forward, so a
+	// delayed duplicate ack from an earlier rotation (same Epoch and —
+	// on a quiescent ring — same Next) can never falsely confirm the
+	// forward currently in flight.
+	if n.tokenExpect.active && a.Epoch == n.tokenExpect.epoch &&
+		a.Hops == n.tokenExpect.hops && a.Next == n.tokenExpect.next {
 		n.tokenCourier.Confirm()
 		n.tokenExpect = ackExpect{}
 		// The forwarded token now exists at two nodes: its assignments
@@ -190,14 +195,21 @@ func (n *NE) handleTokenAck(from seq.NodeID, a *msg.TokenAck) {
 		if a.Next > n.safeHorizon {
 			n.safeHorizon = a.Next
 		}
-		n.held = nil
+		// The held copy exists for re-forwarding the unacked transfer.
+		// If the token has meanwhile circled back and is being held for
+		// the NEXT rotation (ack outrun by the ring — real networks
+		// only), that newer copy must survive the old rotation's ack.
+		if !n.holding {
+			n.held = nil
+		}
 		n.lastToken = n.now()
 		if n.e.Cfg.OpportunisticAssign {
 			n.orderAssign()
 		}
 		return
 	}
-	if n.regenExpect.active && a.Epoch == n.regenExpect.epoch && a.Next == n.regenExpect.next {
+	if n.regenExpect.active && a.Epoch == n.regenExpect.epoch &&
+		a.Hops == n.regenExpect.hops && a.Next == n.regenExpect.next {
 		n.regenCourier.Confirm()
 		n.regenExpect = ackExpect{}
 	}
@@ -327,7 +339,7 @@ func (n *NE) onTokenLoss() {
 	}
 	n.ctrRegens++
 	rg := &msg.TokenRegen{Origin: n.id, From: n.id, Token: tok.Clone()}
-	n.regenExpect = ackExpect{active: true, epoch: rg.Token.Epoch, next: rg.Token.NextGlobalSeq}
+	n.regenExpect = ackExpect{active: true, epoch: rg.Token.Epoch, hops: rg.Token.Hops, next: rg.Token.NextGlobalSeq}
 	n.regenCourier.Deliver(nx, rg)
 }
 
@@ -367,7 +379,7 @@ func (n *NE) handleTokenRegen(from seq.NodeID, rg *msg.TokenRegen) {
 	}
 	if from != n.id {
 		n.e.Net.Send(n.id, from, &msg.TokenAck{
-			From: n.id, Epoch: rg.Token.Epoch, Next: rg.Token.NextGlobalSeq,
+			From: n.id, Epoch: rg.Token.Epoch, Hops: rg.Token.Hops, Next: rg.Token.NextGlobalSeq,
 			Cum: n.takePendingAck(from),
 		})
 	}
@@ -406,7 +418,7 @@ func (n *NE) handleTokenRegen(from seq.NodeID, rg *msg.TokenRegen) {
 		n.handleToken(n.id, restart)
 		return
 	}
-	n.regenExpect = ackExpect{active: true, epoch: fwd.Token.Epoch, next: fwd.Token.NextGlobalSeq}
+	n.regenExpect = ackExpect{active: true, epoch: fwd.Token.Epoch, hops: fwd.Token.Hops, next: fwd.Token.NextGlobalSeq}
 	n.regenCourier.Deliver(nx, fwd)
 }
 

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/seq"
+)
+
+// These tests pin the TokenAck forward-identity fix. On a real network
+// (internal/wire) an ack can be delayed behind a full ring rotation; in
+// a quiescent ring every forward carries the same (Epoch, Next), so
+// before the fix a duplicate ack from an earlier rotation could falsely
+// confirm the forward currently in flight — and, worse, clear a held
+// token — permanently losing the ordering token. The simulator's
+// fixed-latency FIFO links cannot produce that interleaving, so the
+// states are driven white-box here.
+
+// stepUntilExpect runs the sim until the NE has a token forward awaiting
+// acknowledgement.
+func stepUntilExpect(t *testing.T, r *rig, ne *NE) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if ne.tokenExpect.active {
+			return
+		}
+		if !r.sched.Step() {
+			break
+		}
+	}
+	t.Fatal("token forward never became pending")
+}
+
+// TestStaleTokenAckDoesNotConfirm: an ack whose Hops names an earlier
+// rotation must not confirm the in-flight forward, even when Epoch and
+// Next match exactly (the quiescent-ring case).
+func TestStaleTokenAckDoesNotConfirm(t *testing.T) {
+	r := newRig(t, smallSpec(), nil)
+	ne := r.e.NE(r.b.BRs[0])
+	stepUntilExpect(t, r, ne)
+	exp := ne.tokenExpect
+	if !ne.tokenCourier.Busy() {
+		t.Fatal("courier not busy while expecting an ack")
+	}
+	stale := &msg.TokenAck{From: ne.view.Next, Epoch: exp.epoch, Hops: exp.hops - 1, Next: exp.next}
+	ne.handleTokenAck(ne.view.Next, stale)
+	if !ne.tokenExpect.active || !ne.tokenCourier.Busy() {
+		t.Fatal("stale ack (older Hops) confirmed the in-flight token forward")
+	}
+	genuine := &msg.TokenAck{From: ne.view.Next, Epoch: exp.epoch, Hops: exp.hops, Next: exp.next}
+	ne.handleTokenAck(ne.view.Next, genuine)
+	if ne.tokenExpect.active || ne.tokenCourier.Busy() {
+		t.Fatal("genuine ack did not confirm the forward")
+	}
+}
+
+// TestLateAckPreservesHeldToken: when the ack for rotation k arrives
+// after the token has already circled back and is being held for
+// rotation k+ring, confirming the old forward must not destroy the held
+// (newer) token — that token is the only live copy.
+func TestLateAckPreservesHeldToken(t *testing.T) {
+	r := newRig(t, smallSpec(), nil)
+	ne := r.e.NE(r.b.BRs[0])
+	stepUntilExpect(t, r, ne)
+	exp := ne.tokenExpect
+
+	// The token circled back before the old rotation's ack arrived.
+	held := seq.NewToken(r.e.Group)
+	held.Epoch = exp.epoch
+	held.Hops = exp.hops + uint64(len(r.b.BRs)) - 1
+	held.NextGlobalSeq = exp.next
+	ne.holding = true
+	ne.held = held
+
+	late := &msg.TokenAck{From: ne.view.Next, Epoch: exp.epoch, Hops: exp.hops, Next: exp.next}
+	ne.handleTokenAck(ne.view.Next, late)
+	if ne.tokenExpect.active || ne.tokenCourier.Busy() {
+		t.Fatal("late ack did not confirm the old forward")
+	}
+	if ne.held != held {
+		t.Fatal("late ack for the previous rotation destroyed the held token (token loss)")
+	}
+}

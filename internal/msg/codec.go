@@ -234,6 +234,7 @@ func Encode(m Message) []byte {
 	case *TokenAck:
 		w.u32(uint32(v.From))
 		w.u64(v.Epoch)
+		w.u64(v.Hops)
 		w.u64(uint64(v.Next))
 		if v.Cum != nil {
 			w.u8(1)
@@ -347,6 +348,7 @@ func Decode(buf []byte) (Message, error) {
 		v := &TokenAck{}
 		v.From = seq.NodeID(r.u32())
 		v.Epoch = r.u64()
+		v.Hops = r.u64()
 		v.Next = seq.GlobalSeq(r.u64())
 		if r.u8() == 1 {
 			v.Cum = decodeAckBody(r)

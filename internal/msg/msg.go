@@ -208,16 +208,26 @@ func tokenWireSize(t *seq.Token) int {
 // to its ring predecessor would: Cum, when non-nil, piggybacks that
 // coalesced Ack (multi-source WQ cums and/or the global cum) so the
 // steady state needs no standalone Ack messages on token-active hops.
+//
+// Hops echoes the acknowledged token's hop count, which strictly
+// increases per forward. (Epoch, Next) alone is ambiguous on a real
+// network: in a quiescent ring Next never changes, so a delayed
+// duplicate ack from an earlier rotation would be indistinguishable
+// from the ack of the forward currently in flight — a false confirm
+// that loses the token. The sim's fixed-latency FIFO links can never
+// reorder an ack behind a full rotation, which is why only the wire
+// path exposed this.
 type TokenAck struct {
 	From  seq.NodeID
 	Epoch uint64
+	Hops  uint64
 	Next  seq.GlobalSeq
 	Cum   *Ack
 }
 
 func (*TokenAck) Kind() Kind { return KindTokenAck }
 func (t *TokenAck) WireSize() int {
-	n := 1 + 4 + 8 + 8 + 1
+	n := 1 + 4 + 8 + 8 + 8 + 1
 	if t.Cum != nil {
 		n += t.Cum.WireSize() - 1 // embedded without the leading Kind byte
 	}

@@ -54,19 +54,27 @@ type Fabric struct {
 	rng    *rand.Rand
 	closed bool
 	wg     sync.WaitGroup
+	// delayed tracks armed delivery timers so Close can stop the ones
+	// that have not fired and join the ones that have: no delivery
+	// goroutine outlives Close.
+	delayed map[*delayedSend]struct{}
 
 	// Sent and Dropped count transmissions (atomic under mu).
 	Sent    uint64
 	Dropped uint64
 }
 
+// delayedSend is one latency-delayed in-flight delivery.
+type delayedSend struct{ t *time.Timer }
+
 // NewFabric returns a fabric seeded for reproducible loss decisions
 // (delivery timing is still wall-clock and inherently racy).
 func NewFabric(seed int64) *Fabric {
 	return &Fabric{
-		nodes: make(map[seq.NodeID]*inbox),
-		links: make(map[[2]seq.NodeID]LinkParams),
-		rng:   rand.New(rand.NewSource(seed)),
+		nodes:   make(map[seq.NodeID]*inbox),
+		links:   make(map[[2]seq.NodeID]LinkParams),
+		rng:     rand.New(rand.NewSource(seed)),
+		delayed: make(map[*delayedSend]struct{}),
 	}
 }
 
@@ -143,16 +151,38 @@ func (f *Fabric) Send(from, to seq.NodeID, payload any) bool {
 		}
 		return true
 	}
-	time.AfterFunc(delay, func() {
+	// Delayed deliveries are tracked so Close can join them: the timer
+	// callback is wg-counted from the moment it is armed, and Close
+	// reclaims the count for every timer it manages to stop first.
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return true
+	}
+	f.wg.Add(1)
+	ds := &delayedSend{}
+	f.delayed[ds] = struct{}{}
+	ds.t = time.AfterFunc(delay, func() {
+		defer f.wg.Done()
+		f.mu.Lock()
+		delete(f.delayed, ds)
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			return
+		}
 		select {
 		case ib.ch <- env:
 		case <-ib.done:
 		}
 	})
+	f.mu.Unlock()
 	return true
 }
 
-// Close stops all inbox goroutines and waits for them.
+// Close stops all inbox goroutines and all pending delayed deliveries
+// and waits for both: when Close returns, no fabric goroutine is left
+// running and no handler will be invoked again.
 func (f *Fabric) Close() {
 	f.mu.Lock()
 	if f.closed {
@@ -162,6 +192,15 @@ func (f *Fabric) Close() {
 	f.closed = true
 	for _, ib := range f.nodes {
 		close(ib.done)
+	}
+	for ds := range f.delayed {
+		if ds.t.Stop() {
+			// The callback will never run; reclaim its count. Timers
+			// that already fired run their callback, observe closed,
+			// and call Done themselves.
+			delete(f.delayed, ds)
+			f.wg.Done()
+		}
 	}
 	f.mu.Unlock()
 	f.wg.Wait()

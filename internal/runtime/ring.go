@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/seq"
 )
 
@@ -46,6 +47,22 @@ type Ring struct {
 
 // Deliverer observes one node's totally-ordered delivery stream.
 type Deliverer func(global seq.GlobalSeq, origin seq.NodeID, payload []byte)
+
+// HashDeliverer folds each delivery into h — the delivery-order
+// fingerprint shared with the simulator's golden-trace tests and the
+// ringnetd wire harness (metrics.OrderHash) — before passing it on to
+// wrap (which may be nil). The live ring has no per-source local
+// sequence at delivery time, so it hashes (global, origin, 0): two live
+// members agree iff their digests match, but live digests are not
+// comparable with engine digests.
+func HashDeliverer(h *metrics.OrderHash, wrap Deliverer) Deliverer {
+	return func(global seq.GlobalSeq, origin seq.NodeID, payload []byte) {
+		h.Note(global, origin, 0)
+		if wrap != nil {
+			wrap(global, origin, payload)
+		}
+	}
+}
 
 type liveNode struct {
 	r    *Ring

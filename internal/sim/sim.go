@@ -409,6 +409,11 @@ func (s *Scheduler) peek() (Time, bool) {
 	return 0, false
 }
 
+// NextAt returns the execution time of the earliest pending event, if
+// any, without executing it. Real-time drivers (internal/wire) use it to
+// sleep exactly until the next timer is due instead of polling.
+func (s *Scheduler) NextAt() (Time, bool) { return s.peek() }
+
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past is clamped to the present. It returns a cancellable Timer.
 func (s *Scheduler) At(at Time, fn func()) Timer {

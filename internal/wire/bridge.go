@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/seq"
+)
+
+// Bridge splices a single-node engine's local netsim substrate onto a
+// UDP transport. Remote ring members are registered on the local
+// substrate as forwarding endpoints: when the unmodified protocol core
+// sends to a remote neighbor through its transport.Sender, the local
+// substrate "delivers" the message to the forwarding endpoint, which
+// batches it onto the wire. Inbound datagrams are injected through the
+// driver and dispatched to the local protocol handler as if the remote
+// node were a local neighbor.
+//
+// The local links are zero-latency and lossless — the real network
+// supplies latency, jitter, loss, and reordering — so the substrate
+// degenerates into an in-process dispatch-and-accounting layer and the
+// paper's per-hop reliability machinery runs against genuine packet
+// behavior.
+type Bridge struct {
+	drv   *Driver
+	tr    *Transport
+	net   *netsim.Network
+	local seq.NodeID
+	sink  netsim.Handler
+
+	// SendErrs counts outbound flushes the transport rejected.
+	SendErrs uint64
+}
+
+// outbox batches one peer's outbound messages within a single event
+// round into one datagram-sized flush.
+type outbox struct {
+	b    *Bridge
+	to   seq.NodeID
+	msgs []msg.Message
+	arm  bool
+}
+
+// NewBridge builds the splice; call Expose, then start the engine's
+// local node, then Attach.
+func NewBridge(drv *Driver, tr *Transport, net *netsim.Network, local seq.NodeID) *Bridge {
+	return &Bridge{drv: drv, tr: tr, net: net, local: local}
+}
+
+// Expose registers every remote member as a forwarding endpoint on the
+// local substrate and wires zero-latency links both ways.
+func (b *Bridge) Expose(peers []seq.NodeID) {
+	for _, p := range peers {
+		ob := &outbox{b: b, to: p}
+		b.net.Register(p, ob)
+		b.net.Connect(b.local, p, netsim.LinkParams{})
+	}
+}
+
+// Recv implements netsim.Handler for a forwarding endpoint: a message
+// the local node addressed to this peer. Runs on the driver goroutine
+// (inside a scheduler event). Flushes are deferred to an immediate
+// follow-up event so every message sent within one protocol event (a
+// token plus its piggybacked acks, a fanout burst) shares a datagram.
+func (ob *outbox) Recv(from seq.NodeID, m msg.Message) {
+	ob.msgs = append(ob.msgs, m)
+	if !ob.arm {
+		ob.arm = true
+		ob.b.net.Scheduler().After(0, ob.flush)
+	}
+}
+
+func (ob *outbox) flush() {
+	msgs := ob.msgs
+	ob.arm = false
+	if len(msgs) == 0 {
+		return
+	}
+	if err := ob.b.tr.Send(ob.to, msgs...); err != nil {
+		ob.b.SendErrs++
+	}
+	for i := range msgs {
+		msgs[i] = nil
+	}
+	ob.msgs = msgs[:0]
+}
+
+// Attach installs the local protocol handler and starts the transport's
+// reader: inbound messages are serialized onto the driver goroutine and
+// handed to h exactly as a local netsim delivery would be.
+func (b *Bridge) Attach(h netsim.Handler) {
+	b.sink = h
+	b.tr.Start(func(from seq.NodeID, msgs []msg.Message) {
+		b.drv.Call(func() {
+			for _, m := range msgs {
+				b.sink.Recv(from, m)
+			}
+		})
+	})
+}

@@ -1,0 +1,450 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/seq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// PeerAddr names one remote ring member. Addr may be empty at load time
+// and filled later with Node.SetPeerAddr (in-process clusters bind their
+// sockets first and exchange addresses afterwards).
+type PeerAddr struct {
+	Node uint32 `json:"node"`
+	Addr string `json:"addr"`
+}
+
+// Config is a ringnetd node's deployment description, read from a small
+// JSON file. Every member of the ring runs the same member list (self
+// included via Node); the sorted member IDs form the top ring, and the
+// lowest ID is the ring leader, which injects the ordering token.
+type Config struct {
+	Group    uint32     `json:"group"`
+	Node     uint32     `json:"node"`
+	Role     string     `json:"role"` // "ring" (top-ring ordering member) — the only role today
+	Listen   string     `json:"listen"`
+	ListenFD int        `json:"listen_fd,omitempty"`
+	Peers    []PeerAddr `json:"peers"`
+
+	// Fault injection on inbound datagrams (socket layer).
+	Seed     uint64  `json:"seed"`
+	Loss     float64 `json:"loss"`
+	JitterUS int64   `json:"jitter_us"`
+
+	// Workload: this node sources Count messages of Payload bytes at
+	// RateHz, starting StartMS after launch (time for the other members
+	// to come up; per-hop retransmission covers stragglers).
+	Count   int     `json:"count"`
+	RateHz  float64 `json:"rate_hz"`
+	Payload int     `json:"payload"`
+	StartMS int64   `json:"start_ms"`
+
+	// Expect is the total deliveries this node waits for; 0 means
+	// Count × members (the symmetric-workload default). DeadlineMS
+	// bounds the whole run in wall-clock time; QuiesceMS bounds the
+	// post-barrier drain (outstanding retransmissions, token transfer);
+	// LingerMS is the minimum time a member keeps gossiping Done after
+	// the cluster-wide barrier before closing its socket.
+	Expect     uint64 `json:"expect,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms"`
+	QuiesceMS  int64  `json:"quiesce_ms,omitempty"`
+	LingerMS   int64  `json:"linger_ms,omitempty"`
+}
+
+// Report is the daemon's stdout status report: the delivery-order hash
+// every member must agree on, plus the delivery/latency/control-plane
+// metrics of the run. One JSON object per line.
+type Report struct {
+	Node      uint32 `json:"node"`
+	Members   int    `json:"members"`
+	Leader    uint32 `json:"leader"`
+	Converged bool   `json:"converged"`
+	Delivered uint64 `json:"delivered"`
+	Expected  uint64 `json:"expected"`
+
+	// OrderHash fingerprints the delivered total order (identical on
+	// every member iff they delivered the same stream in the same
+	// order); OrderErr reports any online total-order violation.
+	OrderHash string `json:"order_hash"`
+	OrderErr  string `json:"order_err,omitempty"`
+
+	WallMS        int64   `json:"wall_ms"`
+	ThroughputPS  float64 `json:"throughput_per_s"`
+	LatencyMeanMS float64 `json:"latency_mean_ms"` // submit→local delivery, own messages
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+
+	// Control is the outbound control/data byte split (the simulator's
+	// gated metric, now measured over a real socket); Transport counts
+	// datagrams, bytes, reorders, and injected faults per peer.
+	Control   metrics.ControlReport `json:"control"`
+	Transport Stats                 `json:"transport"`
+	SendErrs  uint64                `json:"send_errs,omitempty"`
+}
+
+// Node is one assembled ringnetd member: engine, transport, bridge, and
+// real-time driver. Build with NewNode, optionally patch late-bound peer
+// addresses, then Run.
+type Node struct {
+	cfg     Config
+	self    seq.NodeID
+	members []seq.NodeID
+	tr      *Transport
+
+	// filled by Run
+	e   *core.Engine
+	drv *Driver
+	br  *Bridge
+}
+
+// defaults fills zero-valued tunables.
+func (c *Config) defaults() {
+	if c.Role == "" {
+		c.Role = "ring"
+	}
+	if c.RateHz <= 0 {
+		c.RateHz = 200
+	}
+	if c.Payload <= 0 {
+		c.Payload = 64
+	}
+	if c.StartMS <= 0 {
+		c.StartMS = 250
+	}
+	if c.DeadlineMS <= 0 {
+		c.DeadlineMS = 30000
+	}
+	if c.QuiesceMS <= 0 {
+		c.QuiesceMS = 500
+	}
+	if c.LingerMS <= 0 {
+		c.LingerMS = 300
+	}
+}
+
+// LoadConfig reads a JSON config file.
+func LoadConfig(path string) (Config, error) {
+	var c Config
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(b, &c); err != nil {
+		return c, fmt.Errorf("wire: config %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// NewNode validates cfg and binds the UDP socket. The returned node's
+// LocalAddr is final, so in-process clusters can exchange addresses
+// before any Run starts.
+func NewNode(cfg Config) (*Node, error) {
+	cfg.defaults()
+	if cfg.Role != "ring" {
+		return nil, fmt.Errorf("wire: unsupported role %q (only \"ring\")", cfg.Role)
+	}
+	if cfg.Node == 0 {
+		return nil, fmt.Errorf("wire: node id must be non-zero")
+	}
+	self := seq.NodeID(cfg.Node)
+	members := []seq.NodeID{self}
+	seen := map[seq.NodeID]bool{self: true}
+	for _, p := range cfg.Peers {
+		id := seq.NodeID(p.Node)
+		if id == 0 || seen[id] {
+			return nil, fmt.Errorf("wire: bad or duplicate peer id %d", p.Node)
+		}
+		seen[id] = true
+		members = append(members, id)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	tr, err := Listen(TransportConfig{
+		Self:     self,
+		Listen:   cfg.Listen,
+		ListenFD: cfg.ListenFD,
+		Faults: Faults{
+			Seed:   cfg.Seed ^ uint64(cfg.Node)<<32,
+			Loss:   cfg.Loss,
+			Jitter: time.Duration(cfg.JitterUS) * time.Microsecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{cfg: cfg, self: self, members: members, tr: tr}, nil
+}
+
+// LocalAddr returns the bound socket address ("127.0.0.1:port").
+func (nd *Node) LocalAddr() string { return nd.tr.LocalAddr().String() }
+
+// SetPeerAddr fills (or overrides) a peer's address before Run.
+func (nd *Node) SetPeerAddr(id uint32, addr string) error {
+	for i := range nd.cfg.Peers {
+		if nd.cfg.Peers[i].Node == id {
+			nd.cfg.Peers[i].Addr = addr
+			return nil
+		}
+	}
+	return fmt.Errorf("wire: unknown peer %d", id)
+}
+
+// protocolConfig is the core tuning for a real-socket deployment:
+// unbounded per-hop retries (the acceptance criterion is exact total
+// order, not best-effort under give-up), and a tight token-compaction
+// cap so the circulating token always fits one datagram with room to
+// spare.
+func protocolConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Hop.MaxRetries = 0
+	cfg.Wireless.MaxRetries = 0
+	cfg.CompactAbove = 256
+	cfg.CompactKeep = 1024
+	return cfg
+}
+
+// Run assembles the protocol node, drives the workload, waits for
+// convergence (or the deadline), drains, and reports. It blocks for the
+// life of the process's membership in the ring.
+func (nd *Node) Run() (Report, error) {
+	cfg := nd.cfg
+	wallStart := time.Now()
+
+	// Identical hierarchy in every process: one top ring of all members.
+	h := topology.New()
+	for _, id := range nd.members {
+		if _, err := h.AddNode(id, topology.TierBR); err != nil {
+			nd.tr.Close()
+			return Report{}, err
+		}
+	}
+	top, err := h.NewRing(topology.TierBR, nd.members...)
+	if err != nil {
+		nd.tr.Close()
+		return Report{}, err
+	}
+
+	sched := sim.NewScheduler()
+	net := netsim.New(sched, sim.NewRNG(cfg.Seed+1))
+	e := core.NewEngine(seq.GroupID(cfg.Group), protocolConfig(), net, h)
+	e.WiredLink = netsim.LinkParams{} // zero latency: the socket is the link
+	nd.e = e
+
+	// Delivery stream: hash the total order, feed the delivery log
+	// (online order/duplicate checking + latency for our own messages).
+	oh := metrics.NewOrderHash()
+	var delivered uint64
+	e.OnDeliver = func(at seq.NodeID, d *msg.Data) {
+		oh.Note(d.GlobalSeq, d.SourceNode, d.LocalSeq)
+		e.Log.Deliver(uint32(at), d.GlobalSeq, d.SourceNode, d.LocalSeq, net.Now())
+		delivered++
+	}
+
+	drv := NewDriver(sched)
+	nd.drv = drv
+	br := NewBridge(drv, nd.tr, net, nd.self)
+	nd.br = br
+	peers := make([]seq.NodeID, 0, len(nd.members)-1)
+	for _, id := range nd.members {
+		if id != nd.self {
+			peers = append(peers, id)
+		}
+	}
+	br.Expose(peers)
+	for _, p := range cfg.Peers {
+		if p.Addr == "" {
+			nd.tr.Close()
+			return Report{}, fmt.Errorf("wire: peer %d has no address", p.Node)
+		}
+		if err := nd.tr.AddPeer(seq.NodeID(p.Node), p.Addr); err != nil {
+			nd.tr.Close()
+			return Report{}, err
+		}
+	}
+	if err := e.StartLocal(nd.self); err != nil {
+		nd.tr.Close()
+		return Report{}, err
+	}
+
+	// Termination barrier. Local convergence is NOT exit-safe: gap
+	// repair (Nack) is pull-based, so this member may be the only
+	// reachable holder of a body a straggler is still missing, and the
+	// holder of the only copy of the circulating token. Once locally
+	// converged each member gossips a FlagDone beacon to every peer
+	// (repeated — the beacon rides the same lossy socket) and leaves
+	// the ring only after hearing Done from all of them, i.e. when its
+	// retransmission state is provably unneeded.
+	doneFrom := make(map[seq.NodeID]bool)
+	lastReply := make(map[seq.NodeID]sim.Time)
+	localDone := false
+	everyoneDone := false
+	allDone := make(chan struct{})
+	nd.tr.OnControl = func(from seq.NodeID, flags uint8) {
+		if flags&FlagDone == 0 {
+			return
+		}
+		drv.Call(func() {
+			// A converged member answers Done with Done (rate-limited):
+			// beacons ride the same lossy socket they gossip about, so
+			// a straggler that missed our periodic beacons re-learns we
+			// are done the moment its own beacons start flowing, even
+			// if we are already lingering on the way out.
+			if localDone && sched.Now()-lastReply[from] >= 50*sim.Millisecond {
+				lastReply[from] = sched.Now()
+				nd.tr.SendControl(from, FlagDone)
+			}
+			if doneFrom[from] {
+				return
+			}
+			doneFrom[from] = true
+			if len(doneFrom) == len(peers) {
+				everyoneDone = true
+				close(allDone)
+			}
+		})
+	}
+	br.Attach(e.NE(nd.self))
+	drv.Start()
+
+	expected := cfg.Expect
+	if expected == 0 {
+		expected = uint64(cfg.Count) * uint64(len(nd.members))
+	}
+
+	// Workload and convergence polling live on the scheduler, so all
+	// protocol state stays on the driver goroutine.
+	converged := make(chan struct{})
+	drained := make(chan struct{})
+	drv.CallWait(func() {
+		src := workload.NewSource(sched, func(corr seq.NodeID, payload []byte) error {
+			_, err := e.Submit(corr, payload)
+			return err
+		}, nd.self, cfg.Payload)
+		gap := sim.Time(float64(sim.Second) / cfg.RateHz)
+		if gap < 1 {
+			gap = 1
+		}
+		src.CBR(sim.Time(cfg.StartMS)*sim.Millisecond, gap, cfg.Count)
+
+		beacon := func() {
+			for _, p := range peers {
+				nd.tr.SendControl(p, FlagDone) // best-effort; repeated
+			}
+		}
+		sent := func() bool { return src.Sent >= uint64(cfg.Count) }
+		phase := 0 // 0 = converging, 1 = draining
+		var tick *sim.Ticker
+		tick = sched.Every(10*sim.Millisecond, func() {
+			switch phase {
+			case 0:
+				if delivered >= expected && sent() {
+					phase = 1
+					localDone = true
+					close(converged)
+					beacon()
+					sched.Every(100*sim.Millisecond, beacon)
+				}
+			case 1:
+				if everyoneDone && e.Quiesced() && e.NE(nd.self).TokenIdle() {
+					tick.Stop() // no further ticks fire after Stop
+					close(drained)
+				}
+			}
+		})
+	})
+
+	deadline := time.After(time.Duration(cfg.DeadlineMS) * time.Millisecond)
+	ok := false
+	select {
+	case <-converged:
+		ok = true
+		// Wait for the cluster-wide barrier, then a bounded drain so
+		// trailing retransmissions and the token settle, then a linger
+		// floor during which beacons (and Done replies) keep flowing —
+		// so a peer that lost our earlier beacons to the same faults we
+		// are gossiping about still hears one before the socket dies.
+		select {
+		case <-allDone:
+			linger := time.After(time.Duration(cfg.LingerMS) * time.Millisecond)
+			select {
+			case <-drained:
+			case <-time.After(time.Duration(cfg.QuiesceMS) * time.Millisecond):
+			case <-deadline:
+			}
+			select {
+			case <-linger:
+			case <-deadline:
+			}
+		case <-deadline:
+		}
+	case <-deadline:
+	}
+
+	var rep Report
+	drv.CallWait(func() {
+		lat := &e.Log.Latency
+		rep = Report{
+			Node:          cfg.Node,
+			Members:       len(nd.members),
+			Leader:        uint32(top.Leader()),
+			Converged:     ok,
+			Delivered:     delivered,
+			Expected:      expected,
+			OrderHash:     oh.Hex(),
+			ThroughputPS:  e.Log.Throughput(),
+			LatencyMeanMS: lat.Mean() * 1000,
+			LatencyP99MS:  lat.Quantile(0.99) * 1000,
+			Control:       e.ControlReport(),
+			SendErrs:      br.SendErrs,
+		}
+		if err := e.Log.Err(); err != nil {
+			rep.OrderErr = err.Error()
+		}
+	})
+	drv.Stop()
+	nd.tr.Close()
+	rep.Transport = nd.tr.Stats()
+	rep.WallMS = time.Since(wallStart).Milliseconds()
+	if !ok {
+		return rep, fmt.Errorf("wire: node %d did not converge: delivered %d/%d within %dms",
+			cfg.Node, rep.Delivered, expected, cfg.DeadlineMS)
+	}
+	if rep.OrderErr != "" {
+		return rep, fmt.Errorf("wire: node %d total-order violation: %s", cfg.Node, rep.OrderErr)
+	}
+	return rep, nil
+}
+
+// Run loads a config, runs the node to completion, and writes the JSON
+// report (one line) to out. This is the whole of cmd/ringnetd and of
+// every harness-spawned member process.
+func Run(cfg Config, out io.Writer) (Report, error) {
+	nd, err := NewNode(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep, runErr := nd.Run()
+	if b, err := json.Marshal(rep); err == nil {
+		fmt.Fprintf(out, "%s\n", b)
+	}
+	return rep, runErr
+}
+
+// RunFromFile is Run over a config file path.
+func RunFromFile(path string, out io.Writer) (Report, error) {
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		return Report{}, err
+	}
+	return Run(cfg, out)
+}

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+)
+
+// launchCluster assembles n in-process daemon nodes over real loopback
+// UDP sockets and runs them to convergence concurrently. This is the
+// single-process variant of the harness's multi-process cluster test:
+// same engine assembly, same wire path, just shared address space.
+func launchCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) []Report {
+	t.Helper()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Group:      1,
+			Node:       uint32(i + 1),
+			Listen:     "127.0.0.1:0",
+			Seed:       uint64(1000 + i),
+			Count:      60,
+			RateHz:     600,
+			Payload:    48,
+			StartMS:    150,
+			DeadlineMS: 45000,
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, PeerAddr{Node: uint32(j + 1)})
+			}
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		nd, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	for i, nd := range nodes {
+		for j, other := range nodes {
+			if j != i {
+				if err := nd.SetPeerAddr(uint32(j+1), other.LocalAddr()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	reports := make([]Report, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *Node) {
+			defer wg.Done()
+			reports[i], errs[i] = nd.Run()
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v (report %+v)", i+1, err, reports[i])
+		}
+		t.Logf("node %d: delivered %d/%d order=%s wall=%dms",
+			reports[i].Node, reports[i].Delivered, reports[i].Expected,
+			reports[i].OrderHash, reports[i].WallMS)
+	}
+	return reports
+}
+
+func assertIdenticalOrder(t *testing.T, reports []Report) {
+	t.Helper()
+	for _, r := range reports {
+		if !r.Converged {
+			t.Fatalf("node %d did not converge: %+v", r.Node, r)
+		}
+		if r.Delivered != r.Expected {
+			t.Fatalf("node %d delivered %d, expected %d", r.Node, r.Delivered, r.Expected)
+		}
+		if r.OrderErr != "" {
+			t.Fatalf("node %d order violation: %s", r.Node, r.OrderErr)
+		}
+		if r.OrderHash != reports[0].OrderHash {
+			t.Fatalf("delivery order diverged: node %d hash %s vs node %d hash %s",
+				r.Node, r.OrderHash, reports[0].Node, reports[0].OrderHash)
+		}
+	}
+}
+
+// TestDaemonPairLossless: the smallest real ring — two processes' worth
+// of protocol over loopback UDP, no injected faults.
+func TestDaemonPairLossless(t *testing.T) {
+	reports := launchCluster(t, 2, nil)
+	assertIdenticalOrder(t, reports)
+	if reports[0].Control.DataBytes == 0 || reports[0].Control.ControlBytes == 0 {
+		t.Fatalf("control/data byte split not measured: %+v", reports[0].Control)
+	}
+}
+
+// TestDaemonTrioUnderInjectedLoss: three members, 3% injected datagram
+// loss and 2ms injected jitter at every socket. The retransmission
+// machinery must still produce the identical total order everywhere.
+func TestDaemonTrioUnderInjectedLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node loss cluster in -short")
+	}
+	reports := launchCluster(t, 3, func(i int, cfg *Config) {
+		cfg.Loss = 0.03
+		cfg.JitterUS = 2000
+	})
+	assertIdenticalOrder(t, reports)
+	var drops uint64
+	for _, r := range reports {
+		for _, p := range r.Transport.Peers {
+			drops += p.InjectedDrops
+		}
+	}
+	if drops == 0 {
+		t.Fatal("fault injector never dropped a datagram at 3% loss")
+	}
+}

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Driver executes a deterministic sim.Scheduler against the wall clock —
+// the real-time interpreter for the event-driven protocol core. Virtual
+// microseconds are anchored at Start: an event scheduled for virtual
+// time T runs once the wall clock passes Start+T. All protocol state is
+// touched only from the driver goroutine; external goroutines (socket
+// readers, control planes) enter via Call/CallWait, which serialize
+// injected work between events.
+//
+// The protocol core is unchanged: its RTO retransmission timers, τ
+// ordering ticks, and ack-delay timers are ordinary scheduler events
+// that now fire in real time.
+type Driver struct {
+	sched *sim.Scheduler
+	calls chan func()
+	quit  chan struct{}
+	done  chan struct{}
+
+	start    time.Time
+	started  bool
+	stopOnce sync.Once
+
+	// idle caps the sleep when no event is pending, so the virtual
+	// clock never lags the wall clock by more than this.
+	idle time.Duration
+}
+
+// NewDriver wraps a scheduler. The scheduler must not be driven by
+// anyone else once Start is called.
+func NewDriver(s *sim.Scheduler) *Driver {
+	return &Driver{
+		sched: s,
+		calls: make(chan func(), 4096),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		idle:  50 * time.Millisecond,
+	}
+}
+
+// Start anchors virtual time zero at the current wall clock and starts
+// the execution loop.
+func (d *Driver) Start() {
+	if d.started {
+		panic("wire: driver started twice")
+	}
+	d.started = true
+	d.start = time.Now()
+	go d.loop()
+}
+
+// wallNow maps the wall clock to virtual microseconds.
+func (d *Driver) wallNow() sim.Time {
+	return sim.Time(time.Since(d.start) / time.Microsecond)
+}
+
+// Call enqueues fn to run on the driver goroutine, between events, with
+// the virtual clock synced to the wall clock. It reports false (without
+// running fn) once the driver is stopped. It may block briefly when the
+// injection queue is full — backpressure on socket readers.
+func (d *Driver) Call(fn func()) bool {
+	select {
+	case <-d.quit:
+		return false
+	default:
+	}
+	select {
+	case d.calls <- fn:
+		return true
+	case <-d.quit:
+		return false
+	}
+}
+
+// CallWait runs fn on the driver goroutine and waits for it. It reports
+// false if the driver stopped before fn ran.
+func (d *Driver) CallWait(fn func()) bool {
+	ran := make(chan struct{})
+	if !d.Call(func() { fn(); close(ran) }) {
+		return false
+	}
+	select {
+	case <-ran:
+		return true
+	case <-d.done:
+		// The loop exited; fn may never run.
+		select {
+		case <-ran:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// Stop terminates the loop and waits for it to exit. Pending injected
+// calls are discarded. Idempotent.
+func (d *Driver) Stop() {
+	d.stopOnce.Do(func() { close(d.quit) })
+	if d.started {
+		<-d.done
+	}
+}
+
+func (d *Driver) loop() {
+	defer close(d.done)
+	tm := time.NewTimer(time.Hour)
+	defer tm.Stop()
+	for {
+		// Execute everything due up to the present; Run also advances
+		// the virtual clock to "now" even when idle, so injected work
+		// and new timers observe current time.
+		d.sched.Run(d.wallNow())
+
+		wait := d.idle
+		if at, ok := d.sched.NextAt(); ok {
+			until := time.Duration(at-d.wallNow()) * time.Microsecond
+			if until < 0 {
+				until = 0
+			}
+			if until < wait {
+				wait = until
+			}
+		}
+		if !tm.Stop() {
+			select {
+			case <-tm.C:
+			default:
+			}
+		}
+		tm.Reset(wait)
+
+		select {
+		case <-d.quit:
+			return
+		case fn := <-d.calls:
+			d.sched.Run(d.wallNow())
+			fn()
+		case <-tm.C:
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package wire moves RingNet protocol messages over real UDP sockets —
+// the step from event-driven simulation to real-time execution. The
+// pieces compose bottom-up:
+//
+//   - frame.go:     datagram framing on top of internal/msg's binary codec
+//     (several protocol messages batched per datagram, with
+//     per-peer datagram sequencing for loss/reorder stats);
+//   - transport.go: the UDP transport — one socket, a static peer table,
+//     per-peer counters, an optional deterministic loss/jitter
+//     injector at the socket layer, clean shutdown;
+//   - driver.go:    a real-time executor for the deterministic sim
+//     scheduler, so the unmodified protocol core (its RTO
+//     timers, τ ticks, ack-delay timers) runs against the
+//     wall clock;
+//   - bridge.go:    the splice between internal/core and the transport —
+//     remote ring members appear as forwarding endpoints on
+//     the local netsim substrate;
+//   - daemon.go:    node assembly for cmd/ringnetd and the multi-process
+//     harness: config, lifecycle, and the delivery/metrics
+//     status report.
+//
+// The paper's local-scope retransmission machinery (transport.Sender,
+// couriers, Nack repair, token recovery) is reused as-is: the simulator's
+// network is reduced to a zero-latency in-process dispatch layer and the
+// real network supplies latency, jitter, loss, and reordering.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/seq"
+)
+
+// Datagram framing: a fixed header followed by length-prefixed encoded
+// messages. Little-endian, like the message codec.
+//
+//	magic   u16  0x524E ("RN")
+//	version u8   1
+//	flags   u8   frame-level control bits (FlagDone, ...)
+//	count   u8   messages in this datagram (0 allowed only when flags≠0)
+//	from    u32  sender NodeID
+//	seqno   u64  per-(sender→receiver) datagram sequence number
+//	count × { len u32, len bytes of msg.Encode output }
+const (
+	frameMagic   = 0x524E
+	frameVersion = 1
+	headerSize   = 2 + 1 + 1 + 1 + 4 + 8
+
+	// MaxDatagram is the default frame-size budget: safely under the
+	// 65507-byte UDP payload ceiling, with headroom for the header.
+	MaxDatagram = 60000
+
+	// maxFrameMsgs is the per-datagram message cap imposed by the u8
+	// count field.
+	maxFrameMsgs = 255
+)
+
+// Frame-level control flags: daemon-to-daemon signals that ride the
+// transport without entering the protocol core.
+const (
+	// FlagDone gossips "this member has delivered everything it
+	// expects". Exiting a ring is only safe once every member is done:
+	// gap repair (Nack) is pull-based, so a locally-converged member
+	// may still be the only reachable holder of a body some straggler
+	// is missing. Members repeat the beacon until they exit, so it
+	// survives the lossy socket it travels on.
+	FlagDone uint8 = 1 << 0
+)
+
+// Framing errors.
+var (
+	ErrBadMagic    = errors.New("wire: bad frame magic")
+	ErrBadVersion  = errors.New("wire: unsupported frame version")
+	ErrTruncated   = errors.New("wire: truncated frame")
+	ErrOversize    = errors.New("wire: message exceeds datagram budget")
+	ErrEmptyFrame  = errors.New("wire: empty frame")
+	ErrTooManyMsgs = errors.New("wire: too many messages for one frame")
+)
+
+// Frame is one decoded datagram.
+type Frame struct {
+	From  seq.NodeID
+	Seqno uint64
+	Flags uint8
+	Msgs  []msg.Message
+}
+
+// frameSize returns the encoded size of a frame carrying msgs, using the
+// messages' WireSize (which the codec tests pin to len(Encode)).
+func frameSize(msgs []msg.Message) int {
+	n := headerSize
+	for _, m := range msgs {
+		n += 4 + m.WireSize()
+	}
+	return n
+}
+
+// EncodeFrame serializes one datagram carrying msgs (and optional
+// control flags) from from. A message-less frame is valid only when it
+// carries flags. The caller is responsible for keeping the result under
+// the transport's datagram budget; EncodeFrame only enforces the
+// structural count limit.
+func EncodeFrame(from seq.NodeID, seqno uint64, flags uint8, msgs []msg.Message) ([]byte, error) {
+	if len(msgs) == 0 && flags == 0 {
+		return nil, ErrEmptyFrame
+	}
+	if len(msgs) > maxFrameMsgs {
+		return nil, ErrTooManyMsgs
+	}
+	buf := make([]byte, 0, frameSize(msgs))
+	buf = binary.LittleEndian.AppendUint16(buf, frameMagic)
+	buf = append(buf, frameVersion, flags, byte(len(msgs)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(from))
+	buf = binary.LittleEndian.AppendUint64(buf, seqno)
+	for _, m := range msgs {
+		enc := msg.Encode(m)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf, nil
+}
+
+// DecodeFrame parses one datagram.
+func DecodeFrame(buf []byte) (Frame, error) {
+	var f Frame
+	if len(buf) < headerSize {
+		return f, ErrTruncated
+	}
+	if binary.LittleEndian.Uint16(buf) != frameMagic {
+		return f, ErrBadMagic
+	}
+	if buf[2] != frameVersion {
+		return f, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	f.Flags = buf[3]
+	count := int(buf[4])
+	if count == 0 && f.Flags == 0 {
+		return f, ErrEmptyFrame
+	}
+	f.From = seq.NodeID(binary.LittleEndian.Uint32(buf[5:]))
+	f.Seqno = binary.LittleEndian.Uint64(buf[9:])
+	off := headerSize
+	f.Msgs = make([]msg.Message, 0, count)
+	for i := 0; i < count; i++ {
+		if off+4 > len(buf) {
+			return f, ErrTruncated
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if n < 0 || off+n > len(buf) {
+			return f, ErrTruncated
+		}
+		m, err := msg.Decode(buf[off : off+n])
+		if err != nil {
+			return f, fmt.Errorf("wire: frame message %d: %w", i, err)
+		}
+		f.Msgs = append(f.Msgs, m)
+		off += n
+	}
+	if off != len(buf) {
+		return f, fmt.Errorf("wire: %d trailing bytes after frame", len(buf)-off)
+	}
+	return f, nil
+}

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/seq"
+)
+
+func sampleMsgs() []msg.Message {
+	tok := seq.NewToken(1)
+	tok.NextGlobalSeq = 42
+	if _, err := tok.Assign(3, 9, 1, 5); err != nil {
+		panic(err)
+	}
+	return []msg.Message{
+		&msg.Data{Group: 1, SourceNode: 3, LocalSeq: 7, OrderingNode: 2, GlobalSeq: 11, Payload: []byte("payload")},
+		&msg.Ack{Group: 1, From: 2, Source: 3, CumLocal: 7, CumGlobal: 11,
+			Batch: []msg.SourceCum{{Source: 4, Cum: 2}}},
+		&msg.TokenMsg{From: 2, Token: tok},
+		&msg.Skip{Group: 1, From: 2, Range: seq.Range{Min: 5, Max: 6}, AckCum: 4},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := sampleMsgs()
+	buf, err := EncodeFrame(9, 77, 0, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != frameSize(msgs) {
+		t.Fatalf("encoded %d bytes, frameSize says %d", len(buf), frameSize(msgs))
+	}
+	f, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != 9 || f.Seqno != 77 || len(f.Msgs) != len(msgs) {
+		t.Fatalf("decoded header/count mismatch: %+v", f)
+	}
+	for i, m := range f.Msgs {
+		if m.Kind() != msgs[i].Kind() {
+			t.Fatalf("msg %d kind %v, want %v", i, m.Kind(), msgs[i].Kind())
+		}
+		if !bytes.Equal(msg.Encode(m), msg.Encode(msgs[i])) {
+			t.Fatalf("msg %d re-encode mismatch", i)
+		}
+	}
+}
+
+// TestFrameControl: message-less control frames (the Done barrier
+// gossip) round-trip; flags coexist with messages.
+func TestFrameControl(t *testing.T) {
+	buf, err := EncodeFrame(4, 9, FlagDone, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != headerSize {
+		t.Fatalf("control frame is %d bytes, want bare header %d", len(buf), headerSize)
+	}
+	f, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != 4 || f.Seqno != 9 || f.Flags != FlagDone || len(f.Msgs) != 0 {
+		t.Fatalf("control frame decoded as %+v", f)
+	}
+	both, err := EncodeFrame(4, 10, FlagDone, sampleMsgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = DecodeFrame(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Flags != FlagDone || len(f.Msgs) != len(sampleMsgs()) {
+		t.Fatalf("flags+msgs frame decoded as %+v", f)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, err := EncodeFrame(1, 1, 0, nil); !errors.Is(err, ErrEmptyFrame) {
+		t.Fatalf("empty frame: %v", err)
+	}
+	good, err := EncodeFrame(1, 1, 0, sampleMsgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short":      good[:headerSize-1],
+		"magic":      append([]byte{0, 0}, good[2:]...),
+		"version":    append([]byte{good[0], good[1], 99}, good[3:]...),
+		"truncated":  good[:len(good)-3],
+		"trailing":   append(append([]byte(nil), good...), 1, 2, 3),
+		"zero count": func() []byte { b := append([]byte(nil), good...); b[4] = 0; return b }(),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeFrame(buf); err == nil {
+			t.Errorf("%s: decode accepted corrupt frame", name)
+		}
+	}
+	// A frame of garbage message bytes must error, not panic.
+	bad := append([]byte(nil), good[:headerSize]...)
+	bad[4] = 1 // count
+	bad = append(bad, 4, 0, 0, 0, 0xff, 0xff, 0xff, 0xff)
+	if _, err := DecodeFrame(bad); err == nil {
+		t.Error("garbage message accepted")
+	}
+}

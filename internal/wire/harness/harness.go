@@ -1,0 +1,212 @@
+// Package harness spawns and supervises real multi-process ringnetd
+// rings on loopback UDP — the integration rig behind the cluster tests
+// and the PERFORMANCE.md wire measurements.
+//
+// The parent binds every member's UDP socket itself, writes each member
+// a JSON config naming all peers' final addresses, and passes the bound
+// socket to the child as inherited file descriptor 3 — so there is no
+// port race and no startup coordination protocol: a member can transmit
+// the moment it starts and the kernel buffers until the peer's daemon
+// attaches. Each member prints a one-line JSON wire.Report on stdout;
+// the harness collects and returns them.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/seq"
+	"repro/internal/wire"
+)
+
+// Options shapes one cluster run. Command builds the member process for
+// a given config path; the harness adds the inherited socket as fd 3.
+type Options struct {
+	Nodes      int
+	Count      int     // messages sourced per member
+	RateHz     float64 // per-member submission rate
+	Payload    int
+	Loss       float64 // injected inbound datagram loss at every member
+	JitterUS   int64   // injected inbound delay bound
+	Seed       uint64
+	StartMS    int64
+	DeadlineMS int64
+
+	// Dir receives the generated config files (use t.TempDir).
+	Dir string
+	// Command builds one member process from its config path. The
+	// default (nil) is only valid for callers that set it; tests re-exec
+	// their own binary, manual runs use the ringnetd binary.
+	Command func(cfgPath string) *exec.Cmd
+}
+
+// Member is one spawned ring member and its outcome.
+type Member struct {
+	ID     seq.NodeID
+	Report wire.Report
+	Stdout string
+	Stderr string
+	Err    error
+}
+
+// Run launches the cluster, waits for every member (bounded by
+// DeadlineMS plus slack), and returns the members with parsed reports.
+// The first member error (spawn, exit status, unparsable report) is
+// returned alongside the full slice.
+func Run(opts Options) ([]Member, error) {
+	if opts.Nodes < 2 {
+		return nil, fmt.Errorf("harness: need at least 2 nodes")
+	}
+	if opts.Command == nil {
+		return nil, fmt.Errorf("harness: Options.Command is required")
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("harness: Options.Dir is required")
+	}
+	if opts.DeadlineMS <= 0 {
+		opts.DeadlineMS = 30000
+	}
+
+	// Bind every member's socket up front; keep a dup for the child.
+	n := opts.Nodes
+	files := make([]*os.File, n)
+	addrs := make([]string, n)
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, fmt.Errorf("harness: bind member %d: %w", i+1, err)
+		}
+		addrs[i] = c.LocalAddr().String()
+		f, err := c.File()
+		c.Close() // the dup keeps the binding alive
+		if err != nil {
+			return nil, fmt.Errorf("harness: dup member %d socket: %w", i+1, err)
+		}
+		files[i] = f
+	}
+
+	// One config per member: identical ring, its own identity and fd.
+	cfgPaths := make([]string, n)
+	for i := 0; i < n; i++ {
+		cfg := wire.Config{
+			Group:      1,
+			Node:       uint32(i + 1),
+			ListenFD:   3,
+			Seed:       opts.Seed + uint64(i)*7919,
+			Loss:       opts.Loss,
+			JitterUS:   opts.JitterUS,
+			Count:      opts.Count,
+			RateHz:     opts.RateHz,
+			Payload:    opts.Payload,
+			StartMS:    opts.StartMS,
+			DeadlineMS: opts.DeadlineMS,
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, wire.PeerAddr{Node: uint32(j + 1), Addr: addrs[j]})
+			}
+		}
+		b, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		cfgPaths[i] = filepath.Join(opts.Dir, fmt.Sprintf("node%d.json", i+1))
+		if err := os.WriteFile(cfgPaths[i], b, 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	members := make([]Member, n)
+	type proc struct {
+		cmd      *exec.Cmd
+		out, err *bytes.Buffer
+	}
+	procs := make([]proc, n)
+	for i := 0; i < n; i++ {
+		members[i].ID = seq.NodeID(i + 1)
+		cmd := opts.Command(cfgPaths[i])
+		cmd.ExtraFiles = []*os.File{files[i]}
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		procs[i] = proc{cmd: cmd, out: &out, err: &errb}
+		if err := cmd.Start(); err != nil {
+			for j := 0; j < i; j++ {
+				procs[j].cmd.Process.Kill()
+			}
+			return members, fmt.Errorf("harness: start member %d: %w", i+1, err)
+		}
+		// The child holds its own dup now.
+		files[i].Close()
+		files[i] = nil
+	}
+
+	// Join all members, bounded by the run deadline plus teardown slack.
+	waitErr := make([]chan error, n)
+	for i := range procs {
+		ch := make(chan error, 1)
+		waitErr[i] = ch
+		go func(c *exec.Cmd, ch chan error) { ch <- c.Wait() }(procs[i].cmd, ch)
+	}
+	limit := time.Duration(opts.DeadlineMS)*time.Millisecond + 15*time.Second
+	deadline := time.Now().Add(limit)
+	var firstErr error
+	for i := range procs {
+		// Fresh timer per member against one shared deadline: once it
+		// passes, every remaining straggler is killed (a one-shot
+		// time.After channel would fire for the first hung member only
+		// and block forever on the second).
+		tm := time.NewTimer(time.Until(deadline))
+		select {
+		case err := <-waitErr[i]:
+			members[i].Err = err
+		case <-tm.C:
+			procs[i].cmd.Process.Kill()
+			members[i].Err = fmt.Errorf("harness: member %d exceeded %v; killed", i+1, limit)
+			<-waitErr[i]
+		}
+		tm.Stop()
+		members[i].Stdout = procs[i].out.String()
+		members[i].Stderr = procs[i].err.String()
+		if rep, err := parseReport(members[i].Stdout); err == nil {
+			members[i].Report = rep
+		} else if members[i].Err == nil {
+			members[i].Err = err
+		}
+		if members[i].Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("member %d: %w (stderr: %s)", i+1, members[i].Err,
+				strings.TrimSpace(members[i].Stderr))
+		}
+	}
+	return members, firstErr
+}
+
+// parseReport extracts the last JSON report line from a member's stdout.
+func parseReport(out string) (wire.Report, error) {
+	var rep wire.Report
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		l := strings.TrimSpace(lines[i])
+		if l == "" || l[0] != '{' {
+			continue
+		}
+		if err := json.Unmarshal([]byte(l), &rep); err == nil {
+			return rep, nil
+		}
+	}
+	return rep, fmt.Errorf("harness: no JSON report on stdout (%d bytes)", len(out))
+}

@@ -1,0 +1,406 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/seq"
+	"repro/internal/sim"
+)
+
+// Handler consumes the messages of one received datagram. It is invoked
+// from the transport's reader goroutine (or a delay-injection timer
+// goroutine); serializing onto the protocol thread is the caller's job
+// (see Bridge).
+type Handler func(from seq.NodeID, msgs []msg.Message)
+
+// Faults is the optional deterministic loss/jitter injector at the
+// socket layer. It acts on inbound datagrams — after the kernel, before
+// the protocol — so tests can force packet loss and delay-induced
+// reordering on loopback, where the real network is too polite. Draws
+// come from a seeded splitmix64 stream, so a run's drop pattern is
+// reproducible from the seed (arrival order on a real socket is not, so
+// unlike the simulator this is statistical, not trace-exact,
+// determinism).
+type Faults struct {
+	Seed uint64
+	// Loss is the probability an inbound datagram is dropped.
+	Loss float64
+	// Jitter delays each inbound datagram uniformly in [0, Jitter),
+	// reordering datagrams that arrive close together.
+	Jitter time.Duration
+}
+
+// TransportConfig configures one UDP transport endpoint.
+type TransportConfig struct {
+	// Self is the local node identity stamped on outbound frames.
+	Self seq.NodeID
+	// Listen is the UDP address to bind ("127.0.0.1:0" for an
+	// OS-assigned port). Ignored when ListenFD is set.
+	Listen string
+	// ListenFD, when > 0, is an inherited datagram-socket file
+	// descriptor (the multi-process harness binds every member's socket
+	// before spawning, eliminating port races).
+	ListenFD int
+	// MaxDatagram bounds encoded frame size; 0 means the package
+	// default.
+	MaxDatagram int
+	// Faults optionally injects loss/jitter on receive.
+	Faults Faults
+}
+
+// PeerStats counts one peer's traffic as seen by this endpoint.
+type PeerStats struct {
+	SentDatagrams uint64 `json:"sent_datagrams"`
+	SentMsgs      uint64 `json:"sent_msgs"`
+	SentBytes     uint64 `json:"sent_bytes"`
+	RecvDatagrams uint64 `json:"recv_datagrams"`
+	RecvMsgs      uint64 `json:"recv_msgs"`
+	RecvBytes     uint64 `json:"recv_bytes"`
+	// OutOfOrder counts datagrams arriving with a sequence number at or
+	// below the highest already seen (reordered or duplicated);
+	// GapsSeen sums the sequence jumps above highest+1 (an upper bound
+	// on datagrams lost in flight, before any later reordered arrival).
+	OutOfOrder uint64 `json:"out_of_order"`
+	GapsSeen   uint64 `json:"gaps_seen"`
+	// InjectedDrops/InjectedDelays count the fault injector's actions.
+	InjectedDrops  uint64 `json:"injected_drops"`
+	InjectedDelays uint64 `json:"injected_delays"`
+}
+
+// Stats is a snapshot of the transport's counters.
+type Stats struct {
+	Peers        map[seq.NodeID]PeerStats `json:"peers"`
+	RecvUnknown  uint64                   `json:"recv_unknown"`
+	DecodeErrors uint64                   `json:"decode_errors"`
+	Oversize     uint64                   `json:"oversize"`
+}
+
+type peer struct {
+	addr  *net.UDPAddr
+	txSeq uint64
+	rxMax uint64
+	st    PeerStats
+}
+
+// Transport is one UDP endpoint of a RingNet deployment: a socket, a
+// static peer table, per-peer sequencing and stats, and an optional
+// fault injector. Send batches messages into framed datagrams; received
+// datagrams are decoded and handed to the Handler installed by Start.
+// Close shuts the socket and joins the reader and every pending
+// delay-injection timer, so no Handler call is in flight after Close
+// returns.
+type Transport struct {
+	self seq.NodeID
+	conn *net.UDPConn
+	max  int
+
+	mu           sync.Mutex
+	peers        map[seq.NodeID]*peer
+	rng          *sim.RNG
+	faults       Faults
+	closed       bool
+	recvUnknown  uint64
+	decodeErrors uint64
+	oversize     uint64
+
+	h  Handler
+	wg sync.WaitGroup
+
+	// OnControl, when set before Start, receives frame-level control
+	// flags (FlagDone gossip). Called from the reader (or a delay
+	// timer) goroutine, like Handler. Control frames ride the same
+	// socket and fault injector as protocol traffic.
+	OnControl func(from seq.NodeID, flags uint8)
+}
+
+// Listen binds the socket described by cfg. Peers are added with
+// AddPeer; the reader starts with Start.
+func Listen(cfg TransportConfig) (*Transport, error) {
+	var conn *net.UDPConn
+	if cfg.ListenFD > 0 {
+		f := os.NewFile(uintptr(cfg.ListenFD), "ringnet-udp")
+		if f == nil {
+			return nil, fmt.Errorf("wire: bad listen fd %d", cfg.ListenFD)
+		}
+		pc, err := net.FilePacketConn(f)
+		f.Close() // FilePacketConn dups the descriptor
+		if err != nil {
+			return nil, fmt.Errorf("wire: inheriting fd %d: %w", cfg.ListenFD, err)
+		}
+		uc, ok := pc.(*net.UDPConn)
+		if !ok {
+			pc.Close()
+			return nil, fmt.Errorf("wire: fd %d is %T, not UDP", cfg.ListenFD, pc)
+		}
+		conn = uc
+	} else {
+		addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("wire: listen address: %w", err)
+		}
+		conn, err = net.ListenUDP("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("wire: bind: %w", err)
+		}
+	}
+	max := cfg.MaxDatagram
+	if max <= 0 {
+		max = MaxDatagram
+	}
+	return &Transport{
+		self:   cfg.Self,
+		conn:   conn,
+		max:    max,
+		peers:  make(map[seq.NodeID]*peer),
+		rng:    sim.NewRNG(cfg.Faults.Seed),
+		faults: cfg.Faults,
+	}, nil
+}
+
+// LocalAddr returns the bound socket address.
+func (t *Transport) LocalAddr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddPeer installs the address of a remote member.
+func (t *Transport) AddPeer(id seq.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: peer %v address %q: %w", id, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = &peer{addr: ua}
+	return nil
+}
+
+// Start installs the receive handler and starts the reader goroutine.
+func (t *Transport) Start(h Handler) {
+	t.mu.Lock()
+	t.h = h
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.readLoop()
+}
+
+// Send frames msgs into as few datagrams as fit the budget and transmits
+// them to peer to. A single message larger than the budget is dropped
+// and counted (the protocol's token compaction is configured to keep
+// every message far below it).
+//
+// The lock covers only peer lookup, sequence reservation, and stats;
+// encoding and the write syscalls run outside it so inbound dispatch
+// (receive also needs the lock per datagram) is never stalled behind a
+// burst of sends.
+func (t *Transport) Send(to seq.NodeID, msgs ...msg.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	// Chunk boundaries depend only on the immutable budget.
+	type chunk struct{ start, end, bytes int }
+	chunks := make([]chunk, 0, 1)
+	var firstErr error
+	oversize := 0
+	start, size := 0, headerSize
+	cut := func(end int) {
+		if end > start {
+			chunks = append(chunks, chunk{start, end, size})
+		}
+		start, size = end, headerSize
+	}
+	for i, m := range msgs {
+		need := 4 + m.WireSize()
+		if need > t.max-headerSize {
+			cut(i)
+			oversize++
+			start = i + 1
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %v is %d bytes", ErrOversize, m.Kind(), need)
+			}
+			continue
+		}
+		if size+need > t.max || i-start >= maxFrameMsgs {
+			cut(i)
+		}
+		size += need
+	}
+	cut(len(msgs))
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return net.ErrClosed
+	}
+	p, ok := t.peers[to]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("wire: unknown peer %v", to)
+	}
+	t.oversize += uint64(oversize)
+	base := p.txSeq + 1
+	p.txSeq += uint64(len(chunks))
+	addr := p.addr
+	for _, c := range chunks {
+		p.st.SentDatagrams++
+		p.st.SentMsgs += uint64(c.end - c.start)
+		p.st.SentBytes += uint64(c.bytes)
+	}
+	t.mu.Unlock()
+
+	for i, c := range chunks {
+		buf, err := EncodeFrame(t.self, base+uint64(i), 0, msgs[c.start:c.end])
+		if err == nil {
+			_, err = t.conn.WriteToUDP(buf, addr)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SendControl transmits one message-less control frame carrying flags.
+func (t *Transport) SendControl(to seq.NodeID, flags uint8) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return net.ErrClosed
+	}
+	p, ok := t.peers[to]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("wire: unknown peer %v", to)
+	}
+	p.txSeq++
+	seqno := p.txSeq
+	addr := p.addr
+	p.st.SentDatagrams++
+	p.st.SentBytes += headerSize
+	t.mu.Unlock()
+	buf, err := EncodeFrame(t.self, seqno, flags, nil)
+	if err == nil {
+		_, err = t.conn.WriteToUDP(buf, addr)
+	}
+	return err
+}
+
+// Stats returns a snapshot of all counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Stats{
+		Peers:        make(map[seq.NodeID]PeerStats, len(t.peers)),
+		RecvUnknown:  t.recvUnknown,
+		DecodeErrors: t.decodeErrors,
+		Oversize:     t.oversize,
+	}
+	for id, p := range t.peers {
+		s.Peers[id] = p.st
+	}
+	return s
+}
+
+// Close shuts the socket and joins the reader and all pending delayed
+// deliveries. After Close returns no Handler invocation is in flight.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *Transport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient (e.g. ICMP-induced) errors: keep reading.
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		t.receive(pkt)
+	}
+}
+
+// receive decodes one datagram, applies fault injection, updates stats,
+// and dispatches to the handler (possibly after an injected delay).
+func (t *Transport) receive(pkt []byte) {
+	f, err := DecodeFrame(pkt)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if err != nil {
+		t.decodeErrors++
+		t.mu.Unlock()
+		return
+	}
+	p, ok := t.peers[f.From]
+	if !ok {
+		t.recvUnknown++
+		t.mu.Unlock()
+		return
+	}
+	if t.faults.Loss > 0 && t.rng.Bool(t.faults.Loss) {
+		p.st.InjectedDrops++
+		t.mu.Unlock()
+		return
+	}
+	p.st.RecvDatagrams++
+	p.st.RecvMsgs += uint64(len(f.Msgs))
+	p.st.RecvBytes += uint64(len(pkt))
+	if f.Seqno <= p.rxMax && p.rxMax != 0 {
+		p.st.OutOfOrder++
+	} else {
+		if f.Seqno > p.rxMax+1 && p.rxMax != 0 {
+			p.st.GapsSeen += f.Seqno - p.rxMax - 1
+		}
+		p.rxMax = f.Seqno
+	}
+	var delay time.Duration
+	if t.faults.Jitter > 0 {
+		delay = time.Duration(t.rng.Int63n(int64(t.faults.Jitter)))
+		p.st.InjectedDelays++
+	}
+	h := t.h
+	oc := t.OnControl
+	t.mu.Unlock()
+	dispatch := func() {
+		if f.Flags != 0 && oc != nil {
+			oc(f.From, f.Flags)
+		}
+		if len(f.Msgs) > 0 && h != nil {
+			h(f.From, f.Msgs)
+		}
+	}
+	if delay <= 0 {
+		dispatch()
+		return
+	}
+	t.wg.Add(1)
+	time.AfterFunc(delay, func() {
+		defer t.wg.Done()
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if !closed {
+			dispatch()
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/seq"
+)
+
+// pairUp binds two transports on loopback and introduces them.
+func pairUp(t *testing.T, fa, fb Faults) (*Transport, *Transport) {
+	t.Helper()
+	a, err := Listen(TransportConfig{Self: 1, Listen: "127.0.0.1:0", Faults: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen(TransportConfig{Self: 2, Listen: "127.0.0.1:0", Faults: fb})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	if err := a.AddPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(1, a.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTransportDelivery(t *testing.T) {
+	a, b := pairUp(t, Faults{}, Faults{})
+	var mu sync.Mutex
+	var got []msg.Message
+	var from seq.NodeID
+	b.Start(func(f seq.NodeID, ms []msg.Message) {
+		mu.Lock()
+		from = f
+		got = append(got, ms...)
+		mu.Unlock()
+	})
+	a.Start(func(seq.NodeID, []msg.Message) {})
+	want := sampleMsgs()
+	if err := a.Send(2, want...); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= len(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/%d", n, len(want))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if from != 1 {
+		t.Fatalf("from = %v, want 1", from)
+	}
+	for i, m := range got {
+		if m.Kind() != want[i].Kind() {
+			t.Fatalf("msg %d kind %v, want %v (batching must preserve order)", i, m.Kind(), want[i].Kind())
+		}
+	}
+	st := a.Stats().Peers[2]
+	if st.SentDatagrams != 1 || st.SentMsgs != uint64(len(want)) {
+		t.Fatalf("sender stats: %+v (want one datagram, %d msgs)", st, len(want))
+	}
+	rst := b.Stats().Peers[1]
+	if rst.RecvDatagrams != 1 || rst.RecvMsgs != uint64(len(want)) {
+		t.Fatalf("receiver stats: %+v", rst)
+	}
+}
+
+// TestTransportChunking: a burst larger than the datagram budget splits
+// into several datagrams, none oversize, nothing lost.
+func TestTransportChunking(t *testing.T) {
+	a, err := Listen(TransportConfig{Self: 1, Listen: "127.0.0.1:0", MaxDatagram: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen(TransportConfig{Self: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	a.AddPeer(2, b.LocalAddr().String())
+	b.AddPeer(1, a.LocalAddr().String())
+	var mu sync.Mutex
+	recv := 0
+	b.Start(func(_ seq.NodeID, ms []msg.Message) {
+		mu.Lock()
+		recv += len(ms)
+		mu.Unlock()
+	})
+	var burst []msg.Message
+	for i := 0; i < 40; i++ {
+		burst = append(burst, &msg.Data{Group: 1, SourceNode: 1, LocalSeq: seq.LocalSeq(i + 1),
+			OrderingNode: 1, GlobalSeq: seq.GlobalSeq(i + 1), Payload: make([]byte, 100)})
+	}
+	if err := a.Send(2, burst...); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats().Peers[2]
+	if st.SentDatagrams < 2 {
+		t.Fatalf("expected chunking into multiple datagrams, got %d", st.SentDatagrams)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := recv
+		mu.Unlock()
+		if n == len(burst) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d", n, len(burst))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTransportFaults: with Loss=1 nothing is handed up and drops are
+// counted; with jitter every datagram is delayed but still delivered,
+// and Close joins pending delayed deliveries.
+func TestTransportFaults(t *testing.T) {
+	a, b := pairUp(t, Faults{}, Faults{Seed: 1, Loss: 1})
+	delivered := make(chan struct{}, 64)
+	b.Start(func(seq.NodeID, []msg.Message) { delivered <- struct{}{} })
+	for i := 0; i < 20; i++ {
+		if err := a.Send(2, &msg.Heartbeat{From: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.Stats().Peers[1].InjectedDrops == 20 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-delivered:
+		t.Fatal("datagram delivered despite Loss=1")
+	default:
+	}
+	if got := b.Stats().Peers[1].InjectedDrops; got != 20 {
+		t.Fatalf("injected drops = %d, want 20", got)
+	}
+
+	c, d := pairUp(t, Faults{}, Faults{Seed: 2, Jitter: 5 * time.Millisecond})
+	var mu sync.Mutex
+	n := 0
+	d.Start(func(seq.NodeID, []msg.Message) { mu.Lock(); n++; mu.Unlock() })
+	for i := 0; i < 10; i++ {
+		c.Send(2, &msg.Heartbeat{From: 1})
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		k := n
+		mu.Unlock()
+		if k == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jittered delivery %d/10", k)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := d.Stats().Peers[1]
+	if st.InjectedDelays != 10 {
+		t.Fatalf("injected delays = %d, want 10", st.InjectedDelays)
+	}
+	// Close with fresh deliveries possibly in flight must not race the
+	// handler (run with -race).
+	c.Send(2, &msg.Heartbeat{From: 1})
+	d.Close()
+	c.Close()
+}
+
+func TestTransportSequencingStats(t *testing.T) {
+	a, b := pairUp(t, Faults{}, Faults{})
+	got := make(chan uint64, 16)
+	b.Start(func(seq.NodeID, []msg.Message) { got <- 1 })
+	// Three datagrams in order: no reorders, no gaps.
+	for i := 0; i < 3; i++ {
+		a.Send(2, &msg.Heartbeat{From: 1})
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+	st := b.Stats().Peers[1]
+	if st.OutOfOrder != 0 || st.GapsSeen != 0 {
+		t.Fatalf("in-order stream miscounted: %+v", st)
+	}
+	if st.RecvDatagrams != 3 {
+		t.Fatalf("recv datagrams = %d", st.RecvDatagrams)
+	}
+}
+
+// TestTransportControlFrames: SendControl reaches the OnControl hook
+// (set before Start) and never the message handler.
+func TestTransportControlFrames(t *testing.T) {
+	a, b := pairUp(t, Faults{}, Faults{})
+	ctl := make(chan uint8, 8)
+	b.OnControl = func(from seq.NodeID, flags uint8) {
+		if from == 1 {
+			ctl <- flags
+		}
+	}
+	b.Start(func(seq.NodeID, []msg.Message) { t.Error("control frame hit the message handler") })
+	if err := a.SendControl(2, FlagDone); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case flags := <-ctl:
+		if flags != FlagDone {
+			t.Fatalf("flags = %#x, want FlagDone", flags)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("control frame never delivered")
+	}
+	if st := b.Stats().Peers[1]; st.RecvDatagrams != 1 || st.RecvMsgs != 0 {
+		t.Fatalf("control frame stats: %+v", st)
+	}
+}
+
+func TestTransportUnknownPeer(t *testing.T) {
+	a, b := pairUp(t, Faults{}, Faults{})
+	if err := a.Send(99, &msg.Heartbeat{From: 1}); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+	// b receives from an address whose From id it doesn't know.
+	c, err := Listen(TransportConfig{Self: 77, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.AddPeer(2, b.LocalAddr().String())
+	b.Start(func(seq.NodeID, []msg.Message) {})
+	c.Send(2, &msg.Heartbeat{From: 77})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.Stats().RecvUnknown == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("unknown-sender datagram not counted: %+v", b.Stats())
+}
