@@ -18,6 +18,14 @@
 //	for i in 1 2 3 4; do ringnetd -config /tmp/rn$i.json & done; wait
 //
 // All four reports must print the same order_hash.
+//
+// Add "live":true to every config to enable the membership plane: the
+// configured ring is only the bootstrap epoch — members heartbeat each
+// other, a crashed member is evicted and the ring repaired at a new
+// epoch (the token regenerated if it died with the member), SIGTERM
+// performs a graceful leave (announce, drain, hand off a held token),
+// and a fresh process with "join":true (whose peers are seed members)
+// splices into the running ring mid-stream.
 package main
 
 import (

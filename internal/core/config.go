@@ -83,6 +83,31 @@ type Config struct {
 	// message body whose global assignment is already known before
 	// asking its previous node to repair the gap from its MQ.
 	NackTimeout sim.Time
+	// NackWindow is how many consecutive global sequence numbers one
+	// Nack requests, starting at the first known-assigned missing body.
+	// The responder serves whatever subset it retains, so over-asking is
+	// safe. 1 reproduces the seed's one-body-per-timeout repair; real
+	// deployments use a larger window so a member that fell behind a
+	// reconfiguration (its WQ feed was retargeted around it, or it just
+	// joined) catches up in a few round trips instead of one body per
+	// NackTimeout.
+	NackWindow int
+	// NackBroadcastAfter widens repair after this many fruitless Nack
+	// rounds on one source: instead of asking only the ring predecessor,
+	// the stalled node asks every top-ring member (any one of them may
+	// retain the body after a reconfiguration re-routed the streams).
+	// 0 disables (seed behavior: predecessor only).
+	NackBroadcastAfter int
+	// NackGiveUpRounds applies the really-lost rule to a gap whose
+	// source is no longer in the hierarchy (crashed and evicted): after
+	// this many fruitless Nack rounds — including broadcast rounds that
+	// every live member failed to answer — the body provably died with
+	// its source, so the slot is marked lost and the delivery front
+	// moves on, identically at every stalled member. A message a crashed
+	// member submitted and got assigned, whose body datagram was lost
+	// before anyone stored it, would otherwise stall the whole ring
+	// forever. 0 disables (never give up).
+	NackGiveUpRounds int
 	// OpportunisticAssign additionally runs Order-Assignment the moment
 	// a token arrives or its forwarding is acknowledged, instead of
 	// waiting for the next τ tick. The paper specifies only the
@@ -110,6 +135,7 @@ func DefaultConfig() Config {
 		ReserveFor:          2 * sim.Second,
 		Linger:              500 * sim.Millisecond,
 		NackTimeout:         50 * sim.Millisecond,
+		NackWindow:          1,
 		OpportunisticAssign: true,
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/metrics"
 	"repro/internal/msg"
@@ -347,6 +348,31 @@ func (e *Engine) OnTopologyChanged(affected ...seq.NodeID) {
 	}
 }
 
+// DropPeer cancels reliable-delivery state at node `at` that targets a
+// member removed from the ring. Topology must already reflect the
+// removal (and `at` must have refreshed its neighbor view): a token
+// transfer in flight to the removed member is canceled (presumed
+// delivered-or-lost; regeneration recovers a genuinely lost token at a
+// bumped epoch), a token-regeneration traversal stuck on it restarts
+// from here, and pending acknowledgements owed to it are discarded.
+// Without this, the wire deployment's unbounded-retry couriers would
+// retransmit to the corpse forever.
+func (e *Engine) DropPeer(at, dead seq.NodeID) {
+	if ne := e.nes[at]; ne != nil && !ne.failed {
+		ne.dropPeer(dead)
+	}
+}
+
+// JumpTo force-releases a virgin node's MQ to global position g: the
+// stream baseline for a member that joins the ring mid-stream (it
+// receives and delivers the total order from g+1 onward). No-op once the
+// node has received any ordered traffic.
+func (e *Engine) JumpTo(at seq.NodeID, g seq.GlobalSeq) {
+	if ne := e.nes[at]; ne != nil && ne.mq.Rear() == 0 && g > 0 {
+		ne.mq.ForceRelease(g)
+	}
+}
+
 // OnTokenLoss delivers the membership protocol's Token-Loss signal
 // (paper §4.2.1) to a top-ring node.
 func (e *Engine) OnTokenLoss(at seq.NodeID) {
@@ -420,6 +446,7 @@ func (e *Engine) ControlReport() metrics.ControlReport {
 		Acks:         st.ByKind[msg.KindAck],
 		Progress:     st.ByKind[msg.KindProgress],
 		Nacks:        st.ByKind[msg.KindNack],
+		Heartbeats:   st.ByKind[msg.KindHeartbeat],
 		ControlMsgs:  st.CtrlMsgs,
 		ControlBytes: st.CtrlBytes,
 		DataMsgs:     st.DataMsgs,
@@ -443,6 +470,43 @@ func (e *Engine) QueueOf(id seq.NodeID) *queue.MQ {
 		return ne.mq
 	}
 	return nil
+}
+
+// DebugState renders one NE's ordering/repair state — the first thing to
+// read when a wire deployment fails to converge.
+func (e *Engine) DebugState(id seq.NodeID) string {
+	ne := e.nes[id]
+	if ne == nil {
+		return fmt.Sprintf("core: no NE %v", id)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "NE %v: mq front=%d rear=%d validFront=%d nacks=%d frontRounds=%d regens=%d destroys=%d tokenSeen=%v lastToken=%v holding=%v held=%v safeHorizon=%d\n",
+		id, ne.mq.Front(), ne.mq.Rear(), ne.mq.ValidFront(), ne.ctrNacks, ne.frontRounds, ne.ctrRegens, ne.ctrTokenDestroys,
+		ne.tokenSeen, ne.lastToken, ne.holding, ne.held != nil, ne.safeHorizon)
+	if src, l, ok := ne.sourceForGlobal(ne.mq.Front() + 1); ok {
+		fmt.Fprintf(&sb, "  front+1 assigned to src %v local %d (in hierarchy: %v)\n", src, l, e.H.Node(src) != nil)
+	} else {
+		fmt.Fprintf(&sb, "  front+1 assignment unresolvable here\n")
+	}
+	for g, n := ne.mq.Front()+1, 0; g <= ne.mq.Rear() && n < 8; g, n = g+1, n+1 {
+		sl := ne.mq.Get(g)
+		if sl == nil {
+			fmt.Fprintf(&sb, "  g=%d: outside window\n", g)
+			continue
+		}
+		fmt.Fprintf(&sb, "  g=%d: received=%v delivered=%v waiting=%v\n", g, sl.Received, sl.Delivered, sl.Waiting)
+	}
+	if ne.wq != nil {
+		for _, src := range ne.wq.Sources() {
+			sq := ne.wq.ForSource(src)
+			hw := ne.assignedHighWater(src)
+			l := sq.MaxOrdered() + 1
+			g, ord, ok := ne.lookupAssignment(src, l)
+			fmt.Fprintf(&sb, "  src %v: ordered=%d cum=%d maxRecv=%d buffered=%d assignedHW=%d next(l=%d): g=%d ord=%v known=%v stallRounds=%d\n",
+				src, sq.MaxOrdered(), sq.CumReceived(), sq.MaxReceived(), sq.Len(), hw, l, g, ord, ok, ne.stallRounds[src])
+		}
+	}
+	return sb.String()
 }
 
 // Quiesced reports whether all senders are drained and all MH receivers

@@ -56,6 +56,7 @@ type NE struct {
 	tokenExpect  ackExpect
 	regenExpect  ackExpect
 	lastRegen    regenStamp
+	lastRegenAt  sim.Time
 
 	// AP activity: an AP is attached to the delivery tree only while it
 	// has members or a live reservation (paper §3).
@@ -66,8 +67,17 @@ type NE struct {
 	joinedParent  seq.NodeID
 	lingerTimer   sim.Timer
 
-	// Gap repair: per-source stall clocks for Nack-based body recovery.
-	stallSince map[seq.NodeID]sim.Time
+	// Gap repair: per-source stall clocks for Nack-based body recovery,
+	// plus the count of fruitless repair rounds (escalation state), and
+	// the delivery-front stall clock for the MQ-level repair backstop.
+	stallSince  map[seq.NodeID]sim.Time
+	stallRounds map[seq.NodeID]int
+	frontStall  sim.Time
+	frontRounds int
+	frontG      seq.GlobalSeq // the global the front-stall state refers to
+	// wqAligned marks source queues that have ordered at least one real
+	// body: their mid-stream joiner alignment (ordering.go) is over.
+	wqAligned map[seq.NodeID]bool
 
 	// ack is the pending-acknowledgement register: cumulative acks owed
 	// to the current upstream neighbor, coalesced under Cfg.AckDelay and
@@ -140,6 +150,8 @@ func newNE(e *Engine, id seq.NodeID) *NE {
 		childSenders: make(map[seq.NodeID]*transport.Sender),
 		mhSenders:    make(map[seq.HostID]*transport.Sender),
 		stallSince:   make(map[seq.NodeID]sim.Time),
+		stallRounds:  make(map[seq.NodeID]int),
+		wqAligned:    make(map[seq.NodeID]bool),
 	}
 	n.ackFlush = n.flushAcks
 	n.tokenCourier = transport.NewCourier(e.Net, id, e.Cfg.Hop)
@@ -195,6 +207,9 @@ func (n *NE) reset() {
 	n.awaitingJoin = false
 	n.joinedParent = seq.None
 	n.stallSince = make(map[seq.NodeID]sim.Time)
+	n.stallRounds = make(map[seq.NodeID]int)
+	n.wqAligned = make(map[seq.NodeID]bool)
+	n.frontStall, n.frontRounds, n.frontG = 0, 0, 0
 	n.childListDirty = true
 	n.mhListDirty = true
 	n.refreshNeighbors()
@@ -246,7 +261,8 @@ func (n *NE) Recv(from seq.NodeID, m msg.Message) {
 		n.handleReserve(from, v)
 	case *msg.SourceData:
 		n.acceptSource(v.LocalSeq, v.Payload)
-	case *msg.Heartbeat, *msg.TokenLoss, *msg.MultipleToken, *msg.HandoffLeave:
+	case *msg.Heartbeat, *msg.TokenLoss, *msg.MultipleToken, *msg.HandoffLeave,
+		*msg.JoinReq, *msg.LeaveReq, *msg.RingUpdate:
 		// Membership-plane messages belong to the membership manager.
 		if n.aux != nil {
 			n.aux.Recv(from, m)
@@ -273,6 +289,76 @@ func (n *NE) Failed() bool { return n.failed }
 // processes leave the ring after converging.
 func (n *NE) TokenIdle() bool {
 	return !n.holding && n.held == nil && !n.tokenCourier.Busy() && !n.regenCourier.Busy()
+}
+
+// TokenActivity reports whether this node has ever sighted the ordering
+// token and when it last did (token arrival or acknowledged forward).
+// The wire membership manager's token watchdog uses it to detect a lost
+// token independently of topology-maintenance signals.
+func (n *NE) TokenActivity() (last sim.Time, seen bool) { return n.lastToken, n.tokenSeen }
+
+// dropPeer severs reliable-delivery state targeting a member that was
+// removed from the ring. The caller has already repaired the topology
+// and refreshed this node's neighbor view.
+func (n *NE) dropPeer(dead seq.NodeID) {
+	// Pending acknowledgements owed to the corpse are moot.
+	if n.ack.to == dead {
+		n.ack.timer.Stop()
+		n.ack = ackPending{}
+	}
+	n.wt.Remove(wtNode(dead))
+	delete(n.stallSince, dead)
+	delete(n.stallRounds, dead)
+	if s := n.childSenders[dead]; s != nil {
+		s.Close()
+		delete(n.childSenders, dead)
+		n.childListDirty = true
+	}
+	// WQ streams were retargeted by refreshNeighbors when a successor
+	// exists; if the ring collapsed around us they may still point at the
+	// corpse — close them (wqFwd survives, so a future successor resumes
+	// from the high-water and repairs the gap via Nack).
+	for src, s := range n.wqSenders {
+		if s.To() == dead {
+			s.Close()
+			delete(n.wqSenders, src)
+		}
+	}
+	if n.ringSender != nil && n.ringSender.To() == dead {
+		n.ringSender.Close()
+		n.ringSender = nil
+	}
+	// A token transfer in flight to the removed member would retry
+	// forever under the wire's unbounded-retry config: cancel it and
+	// presume delivered-or-lost. Re-forwarding the held copy here would
+	// be unsafe — the member may well have received the transfer (a
+	// gracefully-leaving member is alive and forwards the token onward;
+	// a crashed one may have acked into the void) and a same-epoch twin
+	// causes divergent duplicate assignments. If the token really died,
+	// the Token-Loss signal/watchdog regenerates it at a bumped epoch,
+	// which supersedes any surviving copy (paper §4.2.1).
+	if n.tokenCourier.Busy() && n.tokenCourier.To() == dead {
+		n.tokenCourier.Confirm()
+		n.tokenExpect = ackExpect{}
+		if n.held != nil && !n.holding {
+			n.held = nil
+		}
+	}
+	// A regeneration traversal stuck on the corpse is abandoned — NOT
+	// restarted from here: regeneration must keep a single origin (the
+	// membership plane's designated signaler re-raises Token-Loss while
+	// ordering stays silent), or two concurrent traversals restart two
+	// same-epoch tokens and assignments diverge.
+	if n.regenCourier.Busy() && n.regenCourier.To() == dead {
+		n.regenCourier.Confirm()
+		n.regenExpect = ackExpect{}
+	}
+	if n.joinCourier.Busy() && n.joinCourier.To() == dead {
+		n.joinCourier.Confirm()
+		n.awaitingJoin = false
+		n.joinedParent = seq.None
+	}
+	n.release()
 }
 
 // refreshNeighbors re-reads the node's local view from the hierarchy and
@@ -458,6 +544,25 @@ func (n *NE) handleWQData(from seq.NodeID, d *msg.Data) {
 	}
 	sq := n.wq.ForSource(d.SourceNode)
 	fresh := sq.Insert(d)
+	if !fresh && d.LocalSeq <= sq.MaxOrdered() && n.e.Cfg.NackBroadcastAfter > 0 {
+		// Reconfiguration repair (wire deployments): ordered-data SkipTo
+		// may have advanced this queue past locals whose bodies we never
+		// received, while their MQ slots still gape. The origin's
+		// retransmission carries exactly those bodies — and the origin
+		// may be their only holder (it is draining out of the ring) — so
+		// rejecting the "duplicate" here would ack the body away forever.
+		// Stamp it with its known assignment and fill the slot directly.
+		if g, ord, ok := n.lookupAssignment(d.SourceNode, d.LocalSeq); ok {
+			if sl := n.mq.Get(g); sl != nil && !sl.Received && !sl.Delivered {
+				stamped := d.Clone()
+				stamped.OrderingNode = ord
+				stamped.GlobalSeq = g
+				if _, err := n.mq.Insert(stamped); err == nil {
+					n.deliverLoop()
+				}
+			}
+		}
+	}
 	// Register the cumulative per-source ack owed to the sender; it
 	// coalesces with acks for other sources on the same hop and rides
 	// the next TokenAck when the token beats the AckDelay timer.
@@ -495,7 +600,17 @@ func (n *NE) forwardWQ(src seq.NodeID) {
 	for l := n.wqFwd[src] + 1; l <= cum; l++ {
 		d := sq.Get(l)
 		if d == nil {
-			break // already ordered away; next node recovers via Nack
+			if l <= sq.MaxOrdered() {
+				// Ordered away before this hop forwarded it — possible only
+				// after a successor change (the forwarding high-water
+				// belongs to the previous successor). The body lives in MQ
+				// now; the new successor obtains it through its own
+				// ordering (or Nack repair), so the WQ stream skips it
+				// instead of stalling on the vacated slot forever.
+				n.wqFwd[src] = l
+				continue
+			}
+			break
 		}
 		s.Send(uint64(l), d)
 		n.wqFwd[src] = l
@@ -519,7 +634,17 @@ func (n *NE) handleOrderedData(from seq.NodeID, d *msg.Data) {
 	// A top-ring node may learn a body through gap repair before its WQ
 	// copy arrives; keep the WQ mark consistent.
 	if n.wq != nil && d.SourceNode != seq.None {
-		n.wq.ForSource(d.SourceNode).SkipTo(d.LocalSeq)
+		if n.e.Cfg.NackBroadcastAfter > 0 {
+			// Wire deployments advance the mark honestly: never past a
+			// local whose assigned MQ slot still lacks its body. The mark
+			// feeds the cumulative stream ack, and over-acking releases
+			// the upstream's retransmission state — which may be the last
+			// copy of exactly that body when the upstream is draining out
+			// of a reconfigured ring.
+			n.advanceWQOrdered(d.SourceNode, d.LocalSeq)
+		} else {
+			n.wq.ForSource(d.SourceNode).SkipTo(d.LocalSeq)
+		}
 	}
 	n.deliverLoop()
 	n.noteAck(from)
@@ -528,6 +653,26 @@ func (n *NE) handleOrderedData(from seq.NodeID, d *msg.Data) {
 		// front: acknowledge immediately so the upstream releases what
 		// we hold and retransmits only the missing range.
 		n.flushAcks()
+	}
+}
+
+// advanceWQOrdered moves a source queue's ordered mark up to upTo,
+// skipping only locals that are buffered-free AND whose assigned global
+// slot (when known) no longer needs a body. A local whose MQ slot still
+// gapes holds the mark — and therefore the cumulative ack — so the
+// upstream keeps retransmitting the body until it actually lands.
+func (n *NE) advanceWQOrdered(src seq.NodeID, upTo seq.LocalSeq) {
+	sq := n.wq.ForSource(src)
+	for l := sq.MaxOrdered() + 1; l <= upTo; l++ {
+		if sq.Get(l) != nil {
+			break // body buffered: normal ordering consumes it
+		}
+		if g, _, ok := n.lookupAssignment(src, l); ok {
+			if sl := n.mq.Get(g); sl != nil && !sl.Received && !sl.Delivered {
+				break // body still needed in the MQ: hold the ack basis
+			}
+		}
+		sq.SkipTo(l)
 	}
 }
 

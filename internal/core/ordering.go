@@ -231,7 +231,111 @@ func (n *NE) orderAssign() {
 			n.assign.Compact(vf)
 		}
 	}
+	n.maybeNackFront()
 	n.deliverLoop()
+}
+
+// maybeNackFront is the MQ-level repair backstop for deployments with
+// broadcast repair enabled: when the delivery front is blocked by a
+// body-missing slot for more than NackTimeout — regardless of whether
+// any source queue can name its assignment (reconfiguration races can
+// leave the front gap with no WQ-side stall to trigger maybeNack) — ask
+// the ring for the ordered bodies directly. Any member that delivered
+// them retains them for RetainExtra slots.
+func (n *NE) maybeNackFront() {
+	if n.e.Cfg.NackBroadcastAfter <= 0 {
+		return // seed behavior: WQ-stall-driven repair only
+	}
+	g := n.mq.Front() + 1
+	if g > n.mq.Rear() {
+		n.frontStall = 0
+		return
+	}
+	if sl := n.mq.Get(g); sl == nil || sl.Received || sl.Delivered {
+		n.frontStall = 0
+		return
+	}
+	now := n.now()
+	if n.frontStall == 0 || n.frontG != g {
+		// Fresh stall, or the front advanced onto a DIFFERENT gap: the
+		// fruitless-round count belongs to the old global and must not
+		// carry over (a stale count could trigger the give-up on a gap
+		// no Nack ever requested).
+		n.frontG = g
+		n.frontStall = now
+		n.frontRounds = 0
+		return
+	}
+	if now-n.frontStall < n.e.Cfg.NackTimeout {
+		return
+	}
+	n.frontStall = now
+	n.frontRounds++
+	// Really-lost rule, MQ edition: after enough fruitless broadcast
+	// rounds, if the blocking global was assigned to a source that is no
+	// longer in the hierarchy (evicted mid-replication), its body died
+	// with that source — no live member answered — and every stalled
+	// member marks the slot lost alike. Sweep the contiguous run of such
+	// slots so multi-hole losses clear in one pass. After 4× the
+	// patience, give up even when the assignment entry itself is
+	// unresolvable (it can die with its source's last token copy): a
+	// live source always retains its own message, so this many
+	// unanswered cluster-wide rounds prove the source is gone whoever it
+	// was.
+	if gr := n.e.Cfg.NackGiveUpRounds; gr > 0 && n.frontRounds >= gr {
+		hard := n.frontRounds >= 4*gr
+		cleared := false
+		for ; g <= n.mq.Rear(); g++ {
+			if sl := n.mq.Get(g); sl == nil || sl.Received || sl.Delivered {
+				break
+			}
+			src, _, ok := n.sourceForGlobal(g)
+			if !(hard || (ok && n.e.H.Node(src) == nil)) {
+				break
+			}
+			if n.mq.InsertLost(g) != nil {
+				break
+			}
+			cleared = true
+		}
+		if cleared {
+			n.frontStall = 0
+			n.frontRounds = 0
+			n.deliverLoop()
+			return
+		}
+	}
+	n.sendRepairNack(g, n.frontRounds)
+}
+
+// sendRepairNack requests the window of bodies starting at g from the
+// ring predecessor, escalating to every ring member once the stall has
+// survived NackBroadcastAfter rounds (any member that delivered a body
+// retains it for RetainExtra slots).
+func (n *NE) sendRepairNack(g seq.GlobalSeq, rounds int) {
+	hi := g
+	if w := n.e.Cfg.NackWindow; w > 1 {
+		hi = g + seq.GlobalSeq(w-1)
+	}
+	nk := &msg.Nack{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(hi)}}
+	if ba := n.e.Cfg.NackBroadcastAfter; ba > 0 && rounds >= ba {
+		if r := n.e.H.RingOf(n.id); r != nil {
+			for _, p := range r.Nodes() {
+				if p != n.id {
+					n.ctrNacks++
+					n.e.EnsureLink(n.id, p)
+					n.e.Net.Send(n.id, p, nk)
+				}
+			}
+			return
+		}
+	}
+	prev := n.view.Previous
+	if prev == seq.None || prev == n.id {
+		return
+	}
+	n.ctrNacks++
+	n.e.Net.Send(n.id, prev, nk)
 }
 
 func (n *NE) orderAssignSource(src seq.NodeID) {
@@ -240,12 +344,30 @@ func (n *NE) orderAssignSource(src seq.NodeID) {
 	}
 	n.forwardWQ(src)
 	sq := n.wq.ForSource(src)
+	// A queue that has never ordered a real body is still ALIGNING: a
+	// mid-stream joiner’s missing prefix sits below its MQ baseline, so
+	// fast-forwarding past locals that were assigned somewhere but are
+	// unknowable here — and that it holds no body for — is what engages
+	// its ordering with the live stream. Alignment is resumable across
+	// calls (it may pause on an in-flight body) but ends permanently at
+	// the first real ordering: on an engaged queue an unknown assignment
+	// or missing body must STALL instead — skipping would discard state
+	// the protocol still repairs (the origin may be retransmitting
+	// exactly those bodies, and a skipped local’s global slot becomes an
+	// unrepairable hole). Stalled gaps heal through sender
+	// retransmission, maybeNack, and the front-gap Nack backstop.
+	aligning := !n.wqAligned[src]
 	progressed := false
 	for {
 		l := sq.MaxOrdered() + 1
 		g, ord, ok := n.lookupAssignment(src, l)
 		if !ok {
+			if aligning && l <= n.assignedHighWater(src) && sq.Get(l) == nil {
+				sq.SkipTo(l)
+				continue
+			}
 			delete(n.stallSince, src)
+			delete(n.stallRounds, src)
 			break
 		}
 		if n.e.Cfg.StabilityGate && g >= n.safeHorizon {
@@ -263,12 +385,57 @@ func (n *NE) orderAssignSource(src seq.NodeID) {
 			break // MQ full: resume next tick after release
 		}
 		sq.Drop(l, l)
+		n.wqAligned[src] = true
 		delete(n.stallSince, src)
+		delete(n.stallRounds, src)
 		progressed = true
 	}
 	if progressed {
 		n.deliverLoop()
 	}
+}
+
+// assignedHighWater returns the highest local sequence number of src
+// known (across the cumulative table and both stored tokens) to have
+// been assigned a global number — whether or not the assignment entry
+// itself is still available.
+func (n *NE) assignedHighWater(src seq.NodeID) seq.LocalSeq {
+	var hw seq.LocalSeq
+	if n.assign != nil {
+		hw = n.assign.MaxAssignedLocal(src)
+	}
+	if n.newToken != nil {
+		if h := n.newToken.Table.MaxAssignedLocal(src); h > hw {
+			hw = h
+		}
+	}
+	if n.oldToken != nil {
+		if h := n.oldToken.Table.MaxAssignedLocal(src); h > hw {
+			hw = h
+		}
+	}
+	return hw
+}
+
+// sourceForGlobal resolves the source of an assigned global number from
+// any table this node holds (repair paths only).
+func (n *NE) sourceForGlobal(g seq.GlobalSeq) (seq.NodeID, seq.LocalSeq, bool) {
+	if n.assign != nil {
+		if src, l, ok := n.assign.SourceForGlobal(g); ok {
+			return src, l, ok
+		}
+	}
+	if n.newToken != nil {
+		if src, l, ok := n.newToken.Table.SourceForGlobal(g); ok {
+			return src, l, ok
+		}
+	}
+	if n.oldToken != nil {
+		if src, l, ok := n.oldToken.Table.SourceForGlobal(g); ok {
+			return src, l, ok
+		}
+	}
+	return seq.None, 0, false
 }
 
 // lookupAssignment consults the cumulative assignment table first, then
@@ -295,23 +462,57 @@ func (n *NE) lookupAssignment(src seq.NodeID, l seq.LocalSeq) (seq.GlobalSeq, se
 
 // maybeNack requests a missing body from the previous ring node once the
 // stall exceeds NackTimeout. The body is known to be ordered (assignment
-// exists) so the previous node can serve it from its MQ.
+// exists) so the previous node can serve it from its MQ. Persistent
+// stalls escalate: after NackBroadcastAfter fruitless rounds the request
+// goes to every ring member (reconfiguration may have re-routed the
+// streams past the predecessor), and after NackGiveUpRounds rounds with
+// the source gone from the hierarchy the really-lost rule applies — the
+// body died with its source and every stalled member skips it alike.
 func (n *NE) maybeNack(src seq.NodeID, g seq.GlobalSeq) {
 	since, ok := n.stallSince[src]
 	if !ok {
 		n.stallSince[src] = n.now()
+		n.stallRounds[src] = 0
 		return
 	}
 	if n.now()-since < n.e.Cfg.NackTimeout {
 		return
 	}
 	n.stallSince[src] = n.now()
-	prev := n.view.Previous
-	if prev == seq.None || prev == n.id {
+	rounds := n.stallRounds[src] + 1
+	n.stallRounds[src] = rounds
+	if gr := n.e.Cfg.NackGiveUpRounds; gr > 0 && rounds >= gr && n.e.H.Node(src) == nil {
+		n.giveUpSource(src)
 		return
 	}
-	n.ctrNacks++
-	n.e.Net.Send(n.id, prev, &msg.Nack{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}})
+	n.sendRepairNack(g, rounds)
+}
+
+// giveUpSource applies the really-lost rule to every known-assigned,
+// still-missing body of a source that has been removed from the
+// hierarchy: repeated broadcast Nacks went unanswered, so no live member
+// retains the body and nobody can ever deliver it — marking the slots
+// lost (identically at every stalled member) is the only way the
+// delivery front moves again.
+func (n *NE) giveUpSource(src seq.NodeID) {
+	sq := n.wq.ForSource(src)
+	for {
+		l := sq.MaxOrdered() + 1
+		g, _, ok := n.lookupAssignment(src, l)
+		if !ok {
+			break
+		}
+		if sq.Get(l) != nil {
+			break // body present after all; normal ordering resumes
+		}
+		if err := n.mq.InsertLost(g); err != nil {
+			break
+		}
+		sq.SkipTo(l)
+	}
+	delete(n.stallSince, src)
+	delete(n.stallRounds, src)
+	n.deliverLoop()
 }
 
 // --- Token-Regeneration (paper §4.2.1) ---
@@ -383,12 +584,18 @@ func (n *NE) handleTokenRegen(from seq.NodeID, rg *msg.TokenRegen) {
 			Cum: n.takePendingAck(from),
 		})
 	}
-	// Duplicate suppression for courier retransmits.
+	// Duplicate suppression for courier retransmits — time-bounded to
+	// the retransmission scale: a re-raised traversal (the coordinator
+	// signals again while ordering stays silent) is legitimately
+	// identical in (origin, next, epoch) and must traverse, or token
+	// recovery deadlocks the moment one traversal is abandoned on a
+	// removed member.
 	stamp := regenStamp{origin: rg.Origin, next: rg.Token.NextGlobalSeq, epoch: rg.Token.Epoch, set: true}
-	if n.lastRegen == stamp {
+	if n.lastRegen == stamp && n.now()-n.lastRegenAt < 2*n.e.Cfg.Hop.RTO {
 		return
 	}
 	n.lastRegen = stamp
+	n.lastRegenAt = n.now()
 
 	if n.ordersWell() {
 		n.ctrTokenDestroys++

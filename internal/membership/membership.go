@@ -43,10 +43,61 @@ func DefaultConfig() Config {
 	}
 }
 
+// Detector is the heartbeat-silence failure detector shared by the
+// simulator's membership manager (one instance per observing node) and
+// the wire path's live-membership manager (one per process): it tracks
+// when each watched peer was last heard and reports the peers whose
+// silence exceeds the suspect threshold. Time is sim.Time in both
+// worlds — virtual in the simulator, wall-clock-anchored under the
+// wire's real-time driver — so the logic is identical.
+type Detector struct {
+	suspect   sim.Time
+	lastHeard map[seq.NodeID]sim.Time
+}
+
+// NewDetector builds a detector with the given silence threshold.
+func NewDetector(suspect sim.Time) *Detector {
+	return &Detector{suspect: suspect, lastHeard: make(map[seq.NodeID]sim.Time)}
+}
+
+// Heard records a liveness proof (heartbeat or any traffic) from p.
+func (d *Detector) Heard(p seq.NodeID, now sim.Time) { d.lastHeard[p] = now }
+
+// Watch starts p's silence clock if it is not already running — a peer
+// must get a full suspect window from the moment we first expect it.
+func (d *Detector) Watch(p seq.NodeID, now sim.Time) {
+	if _, ok := d.lastHeard[p]; !ok {
+		d.lastHeard[p] = now
+	}
+}
+
+// Watching reports whether p's clock is running.
+func (d *Detector) Watching(p seq.NodeID) bool {
+	_, ok := d.lastHeard[p]
+	return ok
+}
+
+// Forget drops p (removed from the ring, or handed to repair — a
+// recovering peer restarts with a fresh window).
+func (d *Detector) Forget(p seq.NodeID) { delete(d.lastHeard, p) }
+
+// Silent returns the watched peers whose silence exceeds the threshold,
+// in ascending order (deterministic sweep).
+func (d *Detector) Silent(now sim.Time) []seq.NodeID {
+	var out []seq.NodeID
+	for p, last := range d.lastHeard {
+		if now-last > d.suspect {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // nodeState is one node's local membership-protocol state.
 type nodeState struct {
-	id        seq.NodeID
-	lastHeard map[seq.NodeID]sim.Time
+	id  seq.NodeID
+	det *Detector
 	// pending host-level membership deltas awaiting batch propagation.
 	pendingJoin  uint32
 	pendingLeave uint32
@@ -97,7 +148,7 @@ func (m *Manager) adopt(id seq.NodeID) {
 	if _, ok := m.st[id]; ok {
 		return
 	}
-	ns := &nodeState{id: id, lastHeard: make(map[seq.NodeID]sim.Time)}
+	ns := &nodeState{id: id, det: NewDetector(m.cfg.Suspect)}
 	m.st[id] = ns
 	if ne := m.e.NE(id); ne != nil {
 		ne.SetAux(netsim.HandlerFunc(func(from seq.NodeID, message msg.Message) {
@@ -147,21 +198,21 @@ func (m *Manager) tick() {
 			ns = m.st[id]
 		}
 		watch := m.watchSet(id)
+		watched := make(map[seq.NodeID]bool, len(watch))
 		for _, peer := range watch {
+			watched[peer] = true
 			m.e.EnsureLink(id, peer)
 			m.e.Net.Send(id, peer, &msg.Heartbeat{From: id})
+			ns.det.Watch(peer, now)
 		}
-		for _, peer := range watch {
-			last, heard := ns.lastHeard[peer]
-			if !heard {
-				// Start the clock on first watch.
-				ns.lastHeard[peer] = now
+		for _, peer := range ns.det.Silent(now) {
+			if !watched[peer] {
+				// No longer a hierarchy neighbor (repaired away).
+				ns.det.Forget(peer)
 				continue
 			}
-			if now-last > m.cfg.Suspect {
-				m.declareFailed(id, peer)
-				delete(ns.lastHeard, peer)
-			}
+			m.declareFailed(id, peer)
+			ns.det.Forget(peer)
 		}
 		m.flushBatch(id, ns, now)
 	}
@@ -174,7 +225,7 @@ func (m *Manager) recv(at, from seq.NodeID, message msg.Message) {
 	}
 	switch v := message.(type) {
 	case *msg.Heartbeat:
-		ns.lastHeard[v.From] = m.e.Net.Now()
+		ns.det.Heard(v.From, m.e.Net.Now())
 	case *msg.Join:
 		ns.pendingJoin += v.Batch
 		ns.members += int64(v.Batch)

@@ -248,3 +248,30 @@ func TestRecoveredNodeNotAmputated(t *testing.T) {
 		t.Fatal("briefly-failed node was amputated")
 	}
 }
+
+// TestDetector pins the shared failure detector's contract (both the
+// sim manager and the wire membership plane build on it).
+func TestDetector(t *testing.T) {
+	d := NewDetector(100 * sim.Millisecond)
+	d.Watch(2, 0)
+	d.Watch(3, 0)
+	d.Watch(2, 50*sim.Millisecond) // must not reset a running clock
+	if s := d.Silent(90 * sim.Millisecond); len(s) != 0 {
+		t.Fatalf("silent before threshold: %v", s)
+	}
+	d.Heard(3, 80*sim.Millisecond)
+	s := d.Silent(150 * sim.Millisecond)
+	if len(s) != 1 || s[0] != 2 {
+		t.Fatalf("want [2] silent, got %v", s)
+	}
+	if s := d.Silent(200 * sim.Millisecond); len(s) != 2 || s[0] != 2 || s[1] != 3 {
+		t.Fatalf("want sorted [2 3], got %v", s)
+	}
+	d.Forget(2)
+	if d.Watching(2) {
+		t.Fatal("forgotten peer still watched")
+	}
+	if s := d.Silent(200 * sim.Millisecond); len(s) != 1 || s[0] != 3 {
+		t.Fatalf("want [3] after Forget, got %v", s)
+	}
+}

@@ -14,6 +14,10 @@ type ControlReport struct {
 	Progress uint64 // standalone Progress reports sent
 	Nacks    uint64 // Nack repair requests sent
 
+	// Heartbeats counts membership-plane beacons (zero outside live
+	// deployments) — the failure detector's share of the control plane.
+	Heartbeats uint64 `json:",omitempty"`
+
 	ControlMsgs  uint64 // all non-payload messages sent
 	ControlBytes uint64
 	DataMsgs     uint64 // payload-carrying messages sent

@@ -286,6 +286,28 @@ func Encode(m Message) []byte {
 		w.u64(uint64(v.Max))
 	case *Heartbeat:
 		w.u32(uint32(v.From))
+		w.u64(v.Epoch)
+	case *JoinReq:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.Node))
+		w.bytes([]byte(v.Addr))
+	case *LeaveReq:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.Node))
+	case *RingUpdate:
+		w.u32(uint32(v.Group))
+		w.u64(v.Epoch)
+		w.u32(uint32(v.Coord))
+		w.u64(uint64(v.Baseline))
+		w.u32(uint32(len(v.Members)))
+		for _, m := range v.Members {
+			w.u32(uint32(m.Node))
+			w.bytes([]byte(m.Addr))
+		}
+	case *TimeSync:
+		w.u8(v.Phase)
+		w.u64(uint64(v.T1))
+		w.u64(uint64(v.T2))
 	case *Skip:
 		w.u32(uint32(v.Group))
 		w.u32(uint32(v.From))
@@ -411,7 +433,43 @@ func Decode(buf []byte) (Message, error) {
 		v.Max = seq.GlobalSeq(r.u64())
 		m = v
 	case KindHeartbeat:
-		m = &Heartbeat{From: seq.NodeID(r.u32())}
+		m = &Heartbeat{From: seq.NodeID(r.u32()), Epoch: r.u64()}
+	case KindJoinReq:
+		v := &JoinReq{}
+		v.Group = seq.GroupID(r.u32())
+		v.Node = seq.NodeID(r.u32())
+		v.Addr = string(r.bytes())
+		m = v
+	case KindLeaveReq:
+		v := &LeaveReq{}
+		v.Group = seq.GroupID(r.u32())
+		v.Node = seq.NodeID(r.u32())
+		m = v
+	case KindRingUpdate:
+		v := &RingUpdate{}
+		v.Group = seq.GroupID(r.u32())
+		v.Epoch = r.u64()
+		v.Coord = seq.NodeID(r.u32())
+		v.Baseline = seq.GlobalSeq(r.u64())
+		if n := int(r.u32()); n > 0 && r.err == nil {
+			if n > len(r.buf) { // each member costs ≥ 8 bytes
+				r.err = ErrTruncated
+				return nil, r.err
+			}
+			v.Members = make([]MemberAddr, 0, n)
+			for i := 0; i < n; i++ {
+				ma := MemberAddr{Node: seq.NodeID(r.u32())}
+				ma.Addr = string(r.bytes())
+				v.Members = append(v.Members, ma)
+			}
+		}
+		m = v
+	case KindTimeSync:
+		v := &TimeSync{}
+		v.Phase = r.u8()
+		v.T1 = int64(r.u64())
+		v.T2 = int64(r.u64())
+		m = v
 	case KindSkip:
 		v := &Skip{}
 		v.Group = seq.GroupID(r.u32())

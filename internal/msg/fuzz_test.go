@@ -69,11 +69,21 @@ func (t *taker) token() *seq.Token {
 	return tok
 }
 
+// addr builds a short printable address string from fuzz bytes.
+func (t *taker) addr() string {
+	n := int(t.u8()) % 24
+	b := make([]byte, 0, n)
+	for j := 0; j < n; j++ {
+		b = append(b, '0'+t.u8()%10)
+	}
+	return string(b)
+}
+
 // build constructs one message of the kind selected by the first fuzz
 // byte. Every Kind is reachable.
 func build(data []byte) Message {
 	t := &taker{b: data}
-	switch Kind(t.u8()%uint8(KindSkip) + 1) {
+	switch Kind(t.u8()%uint8(KindTimeSync) + 1) {
 	case KindData:
 		return &Data{
 			Group:        seq.GroupID(t.u32()),
@@ -158,7 +168,7 @@ func build(data []byte) Message {
 			Max:   seq.GlobalSeq(t.u64()),
 		}
 	case KindHeartbeat:
-		return &Heartbeat{From: seq.NodeID(t.u32())}
+		return &Heartbeat{From: seq.NodeID(t.u32()), Epoch: t.u64()}
 	case KindSkip:
 		return &Skip{
 			Group:  seq.GroupID(t.u32()),
@@ -167,6 +177,23 @@ func build(data []byte) Message {
 			Jump:   t.u8()%2 == 1,
 			AckCum: seq.GlobalSeq(t.u64() % 3 * t.u64()),
 		}
+	case KindJoinReq:
+		return &JoinReq{Group: seq.GroupID(t.u32()), Node: seq.NodeID(t.u32()), Addr: t.addr()}
+	case KindLeaveReq:
+		return &LeaveReq{Group: seq.GroupID(t.u32()), Node: seq.NodeID(t.u32())}
+	case KindRingUpdate:
+		ru := &RingUpdate{
+			Group:    seq.GroupID(t.u32()),
+			Epoch:    t.u64(),
+			Coord:    seq.NodeID(t.u32()),
+			Baseline: seq.GlobalSeq(t.u64()),
+		}
+		for j := int(t.u8()) % 8; j > 0; j-- { // nil when 0, matching Decode
+			ru.Members = append(ru.Members, MemberAddr{Node: seq.NodeID(t.u32()), Addr: t.addr()})
+		}
+		return ru
+	case KindTimeSync:
+		return &TimeSync{Phase: t.u8() % 2, T1: int64(t.u64()), T2: int64(t.u64())}
 	}
 	return nil
 }
@@ -179,7 +206,7 @@ func build(data []byte) Message {
 // rebuild is faithful). The raw fuzz input is additionally thrown at
 // Decode, which must reject garbage with an error, never a panic.
 func FuzzCodecRoundTrip(f *testing.F) {
-	for k := 1; k <= int(KindSkip); k++ {
+	for k := 1; k <= int(KindTimeSync); k++ {
 		seed := append([]byte{byte(k - 1)}, bytes.Repeat([]byte{0x5a, 3, 0xc1, 7}, 40)...)
 		f.Add(seed)
 		f.Add(append([]byte{byte(k - 1)}, bytes.Repeat([]byte{0xff}, 150)...))

@@ -62,6 +62,24 @@ const (
 	// really-lost rule (Received=false, Waiting=false ⇒ Delivered) so
 	// its delivery front can move past the gap.
 	KindSkip
+	// KindJoinReq asks a live ring for membership: a fresh process sends
+	// it (repeatedly) to seed members until a RingUpdate containing it
+	// arrives. It carries the joiner's UDP address so the coordinator can
+	// add it to every member's peer table.
+	KindJoinReq
+	// KindLeaveReq announces a graceful departure (SIGTERM): the leaver
+	// keeps serving retransmissions and forwards any held token, then
+	// exits once a RingUpdate excluding it arrives and its couriers drain.
+	KindLeaveReq
+	// KindRingUpdate disseminates one versioned ring membership epoch
+	// from the coordinator to every member (and doubles as the JoinOK:
+	// the first update containing the joiner grants membership and
+	// carries the stream baseline it resumes from).
+	KindRingUpdate
+	// KindTimeSync is the NTP-lite ping/pong the wire transport answers
+	// directly from its reader, used for cross-process clock-offset
+	// estimation. It never reaches the protocol core.
+	KindTimeSync
 )
 
 var kindNames = map[Kind]string{
@@ -83,6 +101,10 @@ var kindNames = map[Kind]string{
 	KindHeartbeat:     "heartbeat",
 	KindSourceData:    "source-data",
 	KindSkip:          "skip",
+	KindJoinReq:       "join-req",
+	KindLeaveReq:      "leave-req",
+	KindRingUpdate:    "ring-update",
+	KindTimeSync:      "time-sync",
 }
 
 func (k Kind) String() string {
@@ -338,13 +360,18 @@ type Progress struct {
 func (*Progress) Kind() Kind      { return KindProgress }
 func (p *Progress) WireSize() int { return 1 + 4 + 4 + 4 + 8 }
 
-// Heartbeat keeps neighbor failure detectors alive.
+// Heartbeat keeps neighbor failure detectors alive. Epoch carries the
+// sender's current ring-membership epoch (0 in the simulator's
+// membership protocol, which has no epochs): the wire coordinator uses
+// it as the implicit acknowledgement of RingUpdate dissemination and
+// resends updates to members whose heartbeats lag the current epoch.
 type Heartbeat struct {
-	From seq.NodeID
+	From  seq.NodeID
+	Epoch uint64
 }
 
 func (*Heartbeat) Kind() Kind      { return KindHeartbeat }
-func (h *Heartbeat) WireSize() int { return 1 + 4 }
+func (h *Heartbeat) WireSize() int { return 1 + 4 + 8 }
 
 // Skip abandons a global-sequence range on one hop: either the sender
 // exhausted its retransmission budget for it (really lost), or — with
@@ -369,9 +396,78 @@ func (s *Skip) WireSize() int {
 	return n
 }
 
+// MemberAddr names one ring member and its transport address inside a
+// RingUpdate.
+type MemberAddr struct {
+	Node seq.NodeID
+	Addr string
+}
+
+// JoinReq asks the ring's coordinator for membership. Node is the
+// joiner's identity; Addr is its bound UDP address. A member that is not
+// the coordinator forwards the request toward its coordinator.
+type JoinReq struct {
+	Group seq.GroupID
+	Node  seq.NodeID
+	Addr  string
+}
+
+func (*JoinReq) Kind() Kind      { return KindJoinReq }
+func (j *JoinReq) WireSize() int { return 1 + 4 + 4 + 4 + len(j.Addr) }
+
+// LeaveReq announces Node's graceful departure to the coordinator.
+type LeaveReq struct {
+	Group seq.GroupID
+	Node  seq.NodeID
+}
+
+func (*LeaveReq) Kind() Kind      { return KindLeaveReq }
+func (l *LeaveReq) WireSize() int { return 1 + 4 + 4 }
+
+// RingUpdate is one versioned top-ring membership epoch: the complete
+// member list (with transport addresses) computed by coordinator Coord.
+// Members apply an update iff Epoch exceeds their current epoch and
+// acknowledge it implicitly through the Epoch field of their heartbeats.
+// Baseline is the coordinator's delivery front when the epoch was
+// created; a joiner force-releases its virgin MQ to it so delivery
+// starts at the stream's current position instead of global sequence 1.
+type RingUpdate struct {
+	Group    seq.GroupID
+	Epoch    uint64
+	Coord    seq.NodeID
+	Baseline seq.GlobalSeq
+	Members  []MemberAddr
+}
+
+func (*RingUpdate) Kind() Kind { return KindRingUpdate }
+func (r *RingUpdate) WireSize() int {
+	n := 1 + 4 + 8 + 4 + 8 + 4
+	for _, m := range r.Members {
+		n += 4 + 4 + len(m.Addr)
+	}
+	return n
+}
+
+// TimeSync is the clock-offset probe: a ping carries the sender's wall
+// clock T1 (unix nanoseconds); the pong echoes T1 and adds the
+// responder's wall clock T2. The prober combines them with its receive
+// time T4 into the classic offset estimate T2 − (T1+T4)/2.
+type TimeSync struct {
+	Phase uint8 // 0 = ping, 1 = pong
+	T1    int64
+	T2    int64
+}
+
+func (*TimeSync) Kind() Kind      { return KindTimeSync }
+func (t *TimeSync) WireSize() int { return 1 + 1 + 8 + 8 }
+
 // Compile-time interface checks.
 var (
 	_ Message = (*Skip)(nil)
+	_ Message = (*JoinReq)(nil)
+	_ Message = (*LeaveReq)(nil)
+	_ Message = (*RingUpdate)(nil)
+	_ Message = (*TimeSync)(nil)
 	_ Message = (*Data)(nil)
 	_ Message = (*SourceData)(nil)
 	_ Message = (*Ack)(nil)

@@ -182,7 +182,16 @@ func TestRoundTripControl(t *testing.T) {
 		&HandoffLeave{Group: 1, Host: 2, NewAP: 3},
 		&Reserve{Group: 1, From: 2, TTL: 3},
 		&Progress{Group: 1, Child: 2, Host: 3, Max: 1234},
-		&Heartbeat{From: 6},
+		&Heartbeat{From: 6, Epoch: 42},
+		&JoinReq{Group: 1, Node: 9, Addr: "127.0.0.1:9009"},
+		&JoinReq{Group: 1, Node: 9},
+		&LeaveReq{Group: 1, Node: 4},
+		&RingUpdate{Group: 1, Epoch: 7, Coord: 1, Baseline: 321, Members: []MemberAddr{
+			{Node: 1, Addr: "127.0.0.1:1"}, {Node: 2, Addr: "127.0.0.1:2"}, {Node: 9, Addr: ""},
+		}},
+		&RingUpdate{Group: 1, Epoch: 1, Coord: 3},
+		&TimeSync{Phase: 0, T1: 123456789},
+		&TimeSync{Phase: 1, T1: 123456789, T2: 123456999},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -230,6 +239,8 @@ func TestWireSizeMatchesEncoding(t *testing.T) {
 		&Ack{}, &Nack{}, &Heartbeat{}, &Join{}, &Leave{},
 		&HandoffNotify{}, &HandoffLeave{}, &Reserve{}, &Progress{},
 		&TokenLoss{}, &MultipleToken{}, &TokenAck{}, &SourceData{Payload: []byte("xy")},
+		&JoinReq{Addr: "127.0.0.1:4242"}, &LeaveReq{}, &TimeSync{},
+		&RingUpdate{Members: []MemberAddr{{Node: 1, Addr: "127.0.0.1:1"}, {Node: 2, Addr: "10.0.0.2:99"}}},
 	}
 	for _, m := range msgs {
 		enc := len(Encode(m))

@@ -253,6 +253,21 @@ func (w *WTSNP) GlobalFor(src NodeID, l LocalSeq) (GlobalSeq, NodeID, bool) {
 	return 0, None, false
 }
 
+// SourceForGlobal finds the assignment covering global number g and
+// returns its source and local sequence number. It scans the entries
+// (repair paths only — never the ordering hot path).
+func (w *WTSNP) SourceForGlobal(g GlobalSeq) (src NodeID, l LocalSeq, ok bool) {
+	w.ForEachEntry(func(e Pair) {
+		if ok || uint64(g) < e.Global.Min || uint64(g) > e.Global.Max {
+			return
+		}
+		src = e.SourceNode
+		l = LocalSeq(e.Local.Min + (uint64(g) - e.Global.Min))
+		ok = true
+	})
+	return src, l, ok
+}
+
 // Absorb merges entries from another table (a received token's WTSNP)
 // into this one, skipping entries already known. Unlike Append it does not
 // require per-source contiguity — the node may have compacted older

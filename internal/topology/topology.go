@@ -324,6 +324,80 @@ func (h *Hierarchy) RemoveFromRing(id seq.NodeID) (*Ring, bool, error) {
 	return r, wasLeader, nil
 }
 
+// ReformRing rebuilds ring id to contain exactly members, in the given
+// cyclic order, led by leader — the bulk mutation behind versioned
+// membership epochs (live wire rings): instead of splicing one node at a
+// time, a member applies a whole RingUpdate in one step. Every member
+// must exist at the ring's tier and be either ringless or already in
+// this ring; nodes dropped from the ring become ringless (their records
+// survive — see RemoveNode).
+func (h *Hierarchy) ReformRing(id RingID, leader seq.NodeID, members ...seq.NodeID) error {
+	r := h.rings[id]
+	if r == nil {
+		return fmt.Errorf("topology: unknown ring %d", id)
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("topology: reform to empty ring %d", id)
+	}
+	seen := make(map[seq.NodeID]bool, len(members))
+	for _, m := range members {
+		n := h.nodes[m]
+		if n == nil {
+			return fmt.Errorf("topology: reform member %v unknown", m)
+		}
+		if n.Tier != r.Tier {
+			return fmt.Errorf("topology: reform member %v is %v, ring %d is %v", m, n.Tier, id, r.Tier)
+		}
+		if n.Ring != 0 && n.Ring != id {
+			return fmt.Errorf("topology: reform member %v already in ring %d", m, n.Ring)
+		}
+		if seen[m] {
+			return fmt.Errorf("topology: reform member %v listed twice", m)
+		}
+		seen[m] = true
+	}
+	if !seen[leader] {
+		return fmt.Errorf("topology: reform leader %v not a member", leader)
+	}
+	for _, old := range r.nodes {
+		if !seen[old] {
+			h.nodes[old].Ring = 0
+		}
+	}
+	r.nodes = append(r.nodes[:0:0], members...)
+	r.leader = leader
+	for _, m := range members {
+		h.nodes[m].Ring = id
+	}
+	return nil
+}
+
+// RemoveNode deletes a ringless node record entirely: its parent link and
+// children links are detached first (children become parentless — the
+// membership protocol re-parents them via candidates). Nodes still in a
+// ring must be spliced out (RemoveFromRing / ReformRing) first.
+func (h *Hierarchy) RemoveNode(id seq.NodeID) error {
+	n := h.nodes[id]
+	if n == nil {
+		return fmt.Errorf("topology: unknown node %v", id)
+	}
+	if n.Ring != 0 {
+		return fmt.Errorf("topology: node %v still in ring %d", id, n.Ring)
+	}
+	if n.Parent != seq.None {
+		if err := h.SetParent(id, seq.None); err != nil {
+			return err
+		}
+	}
+	for _, c := range append([]seq.NodeID(nil), n.Children...) {
+		if err := h.SetParent(c, seq.None); err != nil {
+			return err
+		}
+	}
+	delete(h.nodes, id)
+	return nil
+}
+
 // SetLeader changes a ring's leader. The new leader must be a member.
 func (h *Hierarchy) SetLeader(ring RingID, id seq.NodeID) error {
 	r := h.rings[ring]

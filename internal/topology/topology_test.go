@@ -545,3 +545,104 @@ func TestBuildDeepInvalid(t *testing.T) {
 		t.Fatal("invalid deep spec accepted")
 	}
 }
+
+func TestReformRing(t *testing.T) {
+	h := New()
+	for id := seq.NodeID(1); id <= 5; id++ {
+		if _, err := h.AddNode(id, TierBR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := h.NewRing(TierBR, 1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One epoch: drop 2, add 5, keep the leader.
+	if err := h.ReformRing(r.ID, 1, 1, 3, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Node(2).Ring != 0 {
+		t.Fatalf("dropped node still in ring %d", h.Node(2).Ring)
+	}
+	if h.Node(5).Ring != r.ID {
+		t.Fatal("added node not in ring")
+	}
+	if nx, _ := r.Next(4); nx != 5 {
+		t.Fatalf("Next(4) = %v, want 5", nx)
+	}
+	if nx, _ := r.Next(5); nx != 1 {
+		t.Fatalf("Next(5) = %v, want 1 (cycle)", nx)
+	}
+	// Leader change through reform (old leader failed).
+	if err := h.ReformRing(r.ID, 3, 3, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Leader() != 3 || h.Node(1).Ring != 0 {
+		t.Fatalf("leader %v, node1 ring %d", r.Leader(), h.Node(1).Ring)
+	}
+
+	// Error cases: unknown member, leader outside the list, duplicate,
+	// member of another ring, empty reform.
+	if err := h.ReformRing(r.ID, 3, 3, 99); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+	if err := h.ReformRing(r.ID, 1, 3, 4); err == nil {
+		t.Fatal("outside leader accepted")
+	}
+	if err := h.ReformRing(r.ID, 3, 3, 3); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := h.NewRing(TierBR, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ReformRing(r.ID, 3, 3, 1); err == nil {
+		t.Fatal("member of another ring accepted")
+	}
+	if err := h.ReformRing(r.ID, 3); err == nil {
+		t.Fatal("empty reform accepted")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	h := New()
+	for id := seq.NodeID(1); id <= 3; id++ {
+		if _, err := h.AddNode(id, TierBR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.AddNode(10, TierAG); err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.NewRing(TierBR, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetParent(10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RemoveNode(2); err == nil {
+		t.Fatal("removed a node still in its ring")
+	}
+	if _, _, err := h.RemoveFromRing(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if h.Node(2) != nil {
+		t.Fatal("node record survived RemoveNode")
+	}
+	if h.Node(10).Parent != seq.None {
+		t.Fatalf("orphan child still parented to %v", h.Node(10).Parent)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RemoveNode(2); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	_ = r
+}

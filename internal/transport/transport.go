@@ -272,6 +272,10 @@ func NewCourier(net *netsim.Network, from seq.NodeID, cfg Config) *Courier {
 // Busy reports whether a delivery is in flight.
 func (c *Courier) Busy() bool { return c.m != nil }
 
+// To returns the destination of the current (or last) delivery — used by
+// membership reconfiguration to find couriers stuck on a removed member.
+func (c *Courier) To() seq.NodeID { return c.to }
+
 // Deliver starts reliable delivery of m to to, cancelling any previous
 // in-flight delivery.
 func (c *Courier) Deliver(to seq.NodeID, m msg.Message) {

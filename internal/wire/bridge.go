@@ -4,6 +4,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/netsim"
 	"repro/internal/seq"
+	"repro/internal/sim"
 )
 
 // Bridge splices a single-node engine's local netsim substrate onto a
@@ -20,58 +21,140 @@ import (
 // degenerates into an in-process dispatch-and-accounting layer and the
 // paper's per-hop reliability machinery runs against genuine packet
 // behavior.
+//
+// The peer set is mutable: ExposePeer/RetirePeer track live ring
+// membership, so a reconfiguration epoch can splice members in and out
+// of the running bridge.
 type Bridge struct {
 	drv   *Driver
 	tr    *Transport
 	net   *netsim.Network
 	local seq.NodeID
 	sink  netsim.Handler
+	boxes map[seq.NodeID]*outbox
+
+	// Batch, when positive, is the outbox aggregation window: data-plane
+	// messages for one peer wait up to this long (in driver virtual
+	// time) so deliveries produced by *different* scheduler events — a
+	// WQ forwarding run, back-to-back source submissions — share
+	// datagrams, the wire analogue of Sender.SendRun/netsim.SendBurst.
+	// Latency-critical control (token, token acks, regen, nacks, joins,
+	// ring updates) still flushes at the end of the current event, as
+	// does any outbox nearing the datagram budget. Zero restores
+	// flush-per-event. Set before Expose.
+	Batch sim.Time
 
 	// SendErrs counts outbound flushes the transport rejected.
 	SendErrs uint64
 }
 
-// outbox batches one peer's outbound messages within a single event
-// round into one datagram-sized flush.
+// batchFlushBytes caps how much an outbox accumulates before it stops
+// waiting for its window: comfortably one datagram's worth.
+const batchFlushBytes = 48_000
+
+// outbox batches one peer's outbound messages into datagram-sized
+// flushes. Within one scheduler event everything coalesces for free
+// (the flush runs strictly after the event); across events the Batch
+// window keeps the box open for data-plane traffic.
 type outbox struct {
-	b    *Bridge
-	to   seq.NodeID
-	msgs []msg.Message
-	arm  bool
+	b     *Bridge
+	to    seq.NodeID
+	msgs  []msg.Message
+	bytes int
+	arm   bool
+	asap  bool // armed for end-of-event (not end-of-window) flush
+	timer sim.Timer
 }
 
 // NewBridge builds the splice; call Expose, then start the engine's
 // local node, then Attach.
 func NewBridge(drv *Driver, tr *Transport, net *netsim.Network, local seq.NodeID) *Bridge {
-	return &Bridge{drv: drv, tr: tr, net: net, local: local}
+	return &Bridge{drv: drv, tr: tr, net: net, local: local, boxes: make(map[seq.NodeID]*outbox)}
 }
 
 // Expose registers every remote member as a forwarding endpoint on the
 // local substrate and wires zero-latency links both ways.
 func (b *Bridge) Expose(peers []seq.NodeID) {
 	for _, p := range peers {
-		ob := &outbox{b: b, to: p}
-		b.net.Register(p, ob)
-		b.net.Connect(b.local, p, netsim.LinkParams{})
+		b.ExposePeer(p)
 	}
+}
+
+// ExposePeer registers one remote member (idempotent). Runs on the
+// driver goroutine once the driver is started.
+func (b *Bridge) ExposePeer(p seq.NodeID) {
+	if _, ok := b.boxes[p]; ok || p == b.local {
+		return
+	}
+	ob := &outbox{b: b, to: p}
+	b.boxes[p] = ob
+	b.net.Register(p, ob)
+	b.net.Connect(b.local, p, netsim.LinkParams{})
+}
+
+// RetirePeer unregisters a remote member: its endpoint and links leave
+// the local substrate and any unflushed messages are dropped (the member
+// is gone; reliability state pointing at it is the engine's DropPeer
+// business). Runs on the driver goroutine.
+func (b *Bridge) RetirePeer(p seq.NodeID) {
+	ob, ok := b.boxes[p]
+	if !ok {
+		return
+	}
+	ob.timer.Stop()
+	ob.msgs = nil // a pending flush event finds the box empty and no-ops
+	ob.bytes = 0
+	delete(b.boxes, p)
+	b.net.Unregister(p)
+	b.net.Disconnect(b.local, p)
+}
+
+// urgentKind reports whether a message must not wait for the batch
+// window: everything except bulk data-plane and coalescable control.
+func urgentKind(k msg.Kind) bool {
+	switch k {
+	case msg.KindData, msg.KindSourceData, msg.KindSkip, msg.KindAck,
+		msg.KindProgress, msg.KindHeartbeat:
+		return false
+	}
+	return true
 }
 
 // Recv implements netsim.Handler for a forwarding endpoint: a message
 // the local node addressed to this peer. Runs on the driver goroutine
-// (inside a scheduler event). Flushes are deferred to an immediate
-// follow-up event so every message sent within one protocol event (a
-// token plus its piggybacked acks, a fanout burst) shares a datagram.
+// (inside a scheduler event). Flushes are deferred at least to an
+// immediate follow-up event so every message sent within one protocol
+// event (a token plus its piggybacked acks, a fanout burst) shares a
+// datagram; data-plane messages may additionally wait out the bridge's
+// Batch window so runs spanning several events share datagrams too.
 func (ob *outbox) Recv(from seq.NodeID, m msg.Message) {
 	ob.msgs = append(ob.msgs, m)
+	ob.bytes += 4 + m.WireSize()
+	asap := ob.b.Batch <= 0 || urgentKind(m.Kind()) || ob.bytes >= batchFlushBytes
 	if !ob.arm {
 		ob.arm = true
-		ob.b.net.Scheduler().After(0, ob.flush)
+		ob.asap = asap
+		delay := sim.Time(0)
+		if !asap {
+			delay = ob.b.Batch
+		}
+		ob.timer = ob.b.net.Scheduler().After(delay, ob.flush)
+		return
+	}
+	if asap && !ob.asap {
+		// Upgrade a windowed flush: something latency-critical joined
+		// the box.
+		ob.timer.Stop()
+		ob.asap = true
+		ob.timer = ob.b.net.Scheduler().After(0, ob.flush)
 	}
 }
 
 func (ob *outbox) flush() {
 	msgs := ob.msgs
 	ob.arm = false
+	ob.asap = false
+	ob.bytes = 0
 	if len(msgs) == 0 {
 		return
 	}

@@ -1,11 +1,16 @@
 package wire
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -30,6 +35,12 @@ type PeerAddr struct {
 // JSON file. Every member of the ring runs the same member list (self
 // included via Node); the sorted member IDs form the top ring, and the
 // lowest ID is the ring leader, which injects the ordering token.
+//
+// With Live set, the static list is only the bootstrap epoch: members
+// heartbeat each other, a crashed member is evicted and the ring
+// repaired at a new epoch, SIGTERM becomes a graceful leave, and fresh
+// processes can join a running ring (Join mode, where Peers are the
+// seed members to solicit).
 type Config struct {
 	Group    uint32     `json:"group"`
 	Node     uint32     `json:"node"`
@@ -38,6 +49,18 @@ type Config struct {
 	ListenFD int        `json:"listen_fd,omitempty"`
 	Peers    []PeerAddr `json:"peers"`
 
+	// Live enables the membership plane (heartbeats, failure detection,
+	// ring repair, join/leave). Join starts this node outside the ring:
+	// Peers are seeds, and the node splices in at the granted epoch.
+	Live bool `json:"live,omitempty"`
+	Join bool `json:"join,omitempty"`
+
+	// Membership timers (defaults: 150/900/3000/500 ms).
+	HeartbeatMS  int64 `json:"heartbeat_ms,omitempty"`
+	SuspectMS    int64 `json:"suspect_ms,omitempty"`
+	LameMS       int64 `json:"lame_ms,omitempty"`
+	TokenWatchMS int64 `json:"token_watch_ms,omitempty"`
+
 	// Fault injection on inbound datagrams (socket layer).
 	Seed     uint64  `json:"seed"`
 	Loss     float64 `json:"loss"`
@@ -45,7 +68,8 @@ type Config struct {
 
 	// Workload: this node sources Count messages of Payload bytes at
 	// RateHz, starting StartMS after launch (time for the other members
-	// to come up; per-hop retransmission covers stragglers).
+	// to come up; per-hop retransmission covers stragglers). A joiner
+	// starts its workload StartMS after it is spliced into the ring.
 	Count   int     `json:"count"`
 	RateHz  float64 `json:"rate_hz"`
 	Payload int     `json:"payload"`
@@ -61,6 +85,30 @@ type Config struct {
 	DeadlineMS int64  `json:"deadline_ms"`
 	QuiesceMS  int64  `json:"quiesce_ms,omitempty"`
 	LingerMS   int64  `json:"linger_ms,omitempty"`
+
+	// IdleMS is the live-mode convergence criterion: with dynamic
+	// membership the exact delivery count is unknowable (a crashed
+	// member sourced an unknowable prefix), so a member declares itself
+	// done once it sent everything, its MQ has no undelivered slots, its
+	// senders drained, and no delivery arrived for IdleMS.
+	IdleMS int64 `json:"idle_ms,omitempty"`
+
+	// BatchUS is the outbox aggregation window in microseconds: data
+	// frames wait up to this long so contiguous delivery runs produced
+	// by different scheduler events share datagrams (the wire analogue
+	// of Sender.SendRun). 0 means the 1000µs default; negative disables
+	// batching (one flush per event, the pre-batching behavior).
+	BatchUS int64 `json:"batch_us,omitempty"`
+
+	// SyncRounds is the number of clock-offset ping rounds run against
+	// every configured peer at spawn (0 means the default 4; negative
+	// disables). The offsets calibrate cross-process send→deliver
+	// latency in the report.
+	SyncRounds int `json:"sync_rounds,omitempty"`
+
+	// TracePath, when set, dumps the delivery trace ("global source
+	// local" per line) for offline suffix/equality checks.
+	TracePath string `json:"trace_path,omitempty"`
 }
 
 // Report is the daemon's stdout status report: the delivery-order hash
@@ -74,16 +122,35 @@ type Report struct {
 	Delivered uint64 `json:"delivered"`
 	Expected  uint64 `json:"expected"`
 
+	// Epoch is the final membership epoch (1 = the bootstrap ring;
+	// static runs stay at 0). Left marks a graceful leave (SIGTERM or
+	// eviction): the node drained and exited mid-run by design.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Left  bool   `json:"left,omitempty"`
+
 	// OrderHash fingerprints the delivered total order (identical on
 	// every member iff they delivered the same stream in the same
 	// order); OrderErr reports any online total-order violation.
-	OrderHash string `json:"order_hash"`
-	OrderErr  string `json:"order_err,omitempty"`
+	// FirstGlobal/LastGlobal delimit the delivered global-sequence range
+	// (a late joiner delivers a suffix: FirstGlobal = baseline+1).
+	OrderHash   string `json:"order_hash"`
+	OrderErr    string `json:"order_err,omitempty"`
+	FirstGlobal uint64 `json:"first_global,omitempty"`
+	LastGlobal  uint64 `json:"last_global,omitempty"`
 
 	WallMS        int64   `json:"wall_ms"`
 	ThroughputPS  float64 `json:"throughput_per_s"`
 	LatencyMeanMS float64 `json:"latency_mean_ms"` // submit→local delivery, own messages
 	LatencyP99MS  float64 `json:"latency_p99_ms"`
+
+	// Cross-process send→deliver latency over foreign-sourced messages,
+	// computed from payload-embedded send timestamps corrected by the
+	// spawn-time clock-offset estimate. MaxGapMS is the longest
+	// inter-delivery stall observed (failover cost shows up here).
+	CrossLatMeanMS float64 `json:"cross_lat_mean_ms,omitempty"`
+	CrossLatP99MS  float64 `json:"cross_lat_p99_ms,omitempty"`
+	CrossLatN      int     `json:"cross_lat_n,omitempty"`
+	MaxGapMS       float64 `json:"max_gap_ms,omitempty"`
 
 	// Control is the outbound control/data byte split (the simulator's
 	// gated metric, now measured over a real socket); Transport counts
@@ -93,19 +160,25 @@ type Report struct {
 	SendErrs  uint64                `json:"send_errs,omitempty"`
 }
 
-// Node is one assembled ringnetd member: engine, transport, bridge, and
-// real-time driver. Build with NewNode, optionally patch late-bound peer
-// addresses, then Run.
+// Node is one assembled ringnetd member: engine, transport, bridge,
+// real-time driver, and (live mode) the membership manager. Build with
+// NewNode, optionally patch late-bound peer addresses, then Run.
 type Node struct {
 	cfg     Config
 	self    seq.NodeID
 	members []seq.NodeID
 	tr      *Transport
 
-	// filled by Run
+	killed   chan struct{}
+	killOnce sync.Once
+
+	// filled by Run; mu guards them against Shutdown/Kill from other
+	// goroutines (signal handlers, tests).
+	mu  sync.Mutex
 	e   *core.Engine
 	drv *Driver
 	br  *Bridge
+	ms  *Membership
 }
 
 // defaults fills zero-valued tunables.
@@ -130,6 +203,27 @@ func (c *Config) defaults() {
 	}
 	if c.LingerMS <= 0 {
 		c.LingerMS = 300
+	}
+	if c.HeartbeatMS <= 0 {
+		c.HeartbeatMS = 150
+	}
+	if c.SuspectMS <= 0 {
+		c.SuspectMS = 900
+	}
+	if c.LameMS <= 0 {
+		c.LameMS = 3000
+	}
+	if c.TokenWatchMS <= 0 {
+		c.TokenWatchMS = 500
+	}
+	if c.IdleMS <= 0 {
+		c.IdleMS = 1500
+	}
+	if c.BatchUS == 0 {
+		c.BatchUS = 1000
+	}
+	if c.SyncRounds == 0 {
+		c.SyncRounds = 4
 	}
 }
 
@@ -157,6 +251,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Node == 0 {
 		return nil, fmt.Errorf("wire: node id must be non-zero")
 	}
+	if cfg.Join && !cfg.Live {
+		return nil, fmt.Errorf("wire: join requires live membership")
+	}
 	self := seq.NodeID(cfg.Node)
 	members := []seq.NodeID{self}
 	seen := map[seq.NodeID]bool{self: true}
@@ -166,7 +263,9 @@ func NewNode(cfg Config) (*Node, error) {
 			return nil, fmt.Errorf("wire: bad or duplicate peer id %d", p.Node)
 		}
 		seen[id] = true
-		members = append(members, id)
+		if !cfg.Join {
+			members = append(members, id)
+		}
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	tr, err := Listen(TransportConfig{
@@ -182,7 +281,7 @@ func NewNode(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Node{cfg: cfg, self: self, members: members, tr: tr}, nil
+	return &Node{cfg: cfg, self: self, members: members, tr: tr, killed: make(chan struct{})}, nil
 }
 
 // LocalAddr returns the bound socket address ("127.0.0.1:port").
@@ -199,17 +298,45 @@ func (nd *Node) SetPeerAddr(id uint32, addr string) error {
 	return fmt.Errorf("wire: unknown peer %d", id)
 }
 
+// Kill terminates the node abruptly mid-run — the in-process equivalent
+// of a process crash for live-membership tests. Unlike Shutdown nothing
+// is announced: the socket dies, the driver halts, Run returns an
+// error. Safe from any goroutine.
+func (nd *Node) Kill() {
+	nd.killOnce.Do(func() { close(nd.killed) })
+}
+
+// Shutdown initiates a graceful leave (live mode): announce, keep
+// serving retransmissions, hand off a held token through the normal
+// courier path, and exit once an epoch excludes this node and its
+// couriers drain. Safe from any goroutine; a no-op for static rings.
+func (nd *Node) Shutdown() {
+	nd.mu.Lock()
+	drv, ms := nd.drv, nd.ms
+	nd.mu.Unlock()
+	if drv == nil || ms == nil {
+		return
+	}
+	drv.Call(func() { ms.Leave() })
+}
+
 // protocolConfig is the core tuning for a real-socket deployment:
 // unbounded per-hop retries (the acceptance criterion is exact total
-// order, not best-effort under give-up), and a tight token-compaction
-// cap so the circulating token always fits one datagram with room to
-// spare.
+// order, not best-effort under give-up), a tight token-compaction cap so
+// the circulating token always fits one datagram with room to spare, and
+// a deep retained window plus ranged Nacks so a member that fell behind
+// a reconfiguration (ring repair re-routed its WQ feed, or it just
+// joined) catches up from its predecessor's MQ in a few round trips.
 func protocolConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Hop.MaxRetries = 0
 	cfg.Wireless.MaxRetries = 0
 	cfg.CompactAbove = 256
 	cfg.CompactKeep = 1024
+	cfg.RetainExtra = 4096
+	cfg.NackWindow = 64
+	cfg.NackBroadcastAfter = 3
+	cfg.NackGiveUpRounds = 12
 	return cfg
 }
 
@@ -221,39 +348,91 @@ func (nd *Node) Run() (Report, error) {
 	wallStart := time.Now()
 
 	// Identical hierarchy in every process: one top ring of all members.
+	// A joiner starts ringless; its first RingUpdate splices it in.
 	h := topology.New()
+	var ringID topology.RingID
 	for _, id := range nd.members {
 		if _, err := h.AddNode(id, topology.TierBR); err != nil {
 			nd.tr.Close()
 			return Report{}, err
 		}
 	}
-	top, err := h.NewRing(topology.TierBR, nd.members...)
-	if err != nil {
-		nd.tr.Close()
-		return Report{}, err
+	if !cfg.Join {
+		top, err := h.NewRing(topology.TierBR, nd.members...)
+		if err != nil {
+			nd.tr.Close()
+			return Report{}, err
+		}
+		ringID = top.ID
 	}
 
 	sched := sim.NewScheduler()
 	net := netsim.New(sched, sim.NewRNG(cfg.Seed+1))
 	e := core.NewEngine(seq.GroupID(cfg.Group), protocolConfig(), net, h)
 	e.WiredLink = netsim.LinkParams{} // zero latency: the socket is the link
+	nd.mu.Lock()
 	nd.e = e
+	nd.mu.Unlock()
 
 	// Delivery stream: hash the total order, feed the delivery log
-	// (online order/duplicate checking + latency for our own messages).
+	// (online order/duplicate checking + latency for our own messages),
+	// measure cross-process latency and inter-delivery gaps, and dump
+	// the trace when asked.
 	oh := metrics.NewOrderHash()
 	var delivered uint64
+	var firstG, lastG seq.GlobalSeq
+	var lastDeliverAt, maxGap sim.Time
+	var crossLat metrics.Sample
+	var trace *bufio.Writer
+	var traceFile *os.File
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			nd.tr.Close()
+			return Report{}, err
+		}
+		traceFile = f
+		trace = bufio.NewWriter(f)
+	}
 	e.OnDeliver = func(at seq.NodeID, d *msg.Data) {
 		oh.Note(d.GlobalSeq, d.SourceNode, d.LocalSeq)
 		e.Log.Deliver(uint32(at), d.GlobalSeq, d.SourceNode, d.LocalSeq, net.Now())
 		delivered++
+		if firstG == 0 {
+			firstG = d.GlobalSeq
+		}
+		lastG = d.GlobalSeq
+		now := net.Now()
+		if lastDeliverAt > 0 && now-lastDeliverAt > maxGap {
+			maxGap = now - lastDeliverAt
+		}
+		lastDeliverAt = now
+		if trace != nil {
+			fmt.Fprintf(trace, "%d %d %d\n", d.GlobalSeq, uint32(d.SourceNode), d.LocalSeq)
+		}
+		if d.SourceNode != nd.self && len(d.Payload) >= 8 {
+			if ts := int64(binary.LittleEndian.Uint64(d.Payload)); ts > 0 {
+				// Only offset-corrected samples count: without an estimate
+				// the "latency" would silently include the full clock skew.
+				if off, ok := nd.tr.OffsetOf(d.SourceNode); ok {
+					lat := time.Duration(time.Now().UnixNano()-ts) + off
+					if lat > 0 && lat < time.Minute {
+						crossLat.Add(lat.Seconds())
+					}
+				}
+			}
+		}
 	}
 
 	drv := NewDriver(sched)
-	nd.drv = drv
 	br := NewBridge(drv, nd.tr, net, nd.self)
+	if cfg.BatchUS > 0 {
+		br.Batch = sim.Time(cfg.BatchUS) // sim.Time is microseconds
+	}
+	nd.mu.Lock()
+	nd.drv = drv
 	nd.br = br
+	nd.mu.Unlock()
 	peers := make([]seq.NodeID, 0, len(nd.members)-1)
 	for _, id := range nd.members {
 		if id != nd.self {
@@ -276,6 +455,38 @@ func (nd *Node) Run() (Report, error) {
 		return Report{}, err
 	}
 
+	// Live membership plane.
+	var ms *Membership
+	if cfg.Live {
+		tun := MemberTunables{
+			Heartbeat:  sim.Time(cfg.HeartbeatMS) * sim.Millisecond,
+			Suspect:    sim.Time(cfg.SuspectMS) * sim.Millisecond,
+			Lame:       sim.Time(cfg.LameMS) * sim.Millisecond,
+			TokenWatch: sim.Time(cfg.TokenWatchMS) * sim.Millisecond,
+		}
+		var initial map[seq.NodeID]string
+		var seeds []PeerAddr
+		if cfg.Join {
+			seeds = cfg.Peers
+		} else {
+			initial = make(map[seq.NodeID]string, len(nd.members))
+			initial[nd.self] = nd.LocalAddr()
+			for _, p := range cfg.Peers {
+				initial[seq.NodeID(p.Node)] = p.Addr
+			}
+		}
+		ms = NewMembership(e, nd.tr, br, nd.self, nd.LocalAddr(), tun, initial, ringID, seeds)
+		if os.Getenv("RINGNET_MEMBER_TRACE") != "" {
+			ms.Trace = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "member[%d@%v]: %s\n", cfg.Node, time.Since(wallStart).Round(time.Millisecond), fmt.Sprintf(format, args...))
+			}
+		}
+		nd.mu.Lock()
+		nd.ms = ms
+		nd.mu.Unlock()
+		nd.tr.OnUnknown = func(f Frame) { drv.Call(func() { ms.HandleUnknown(f) }) }
+	}
+
 	// Termination barrier. Local convergence is NOT exit-safe: gap
 	// repair (Nack) is pull-based, so this member may be the only
 	// reachable holder of a body a straggler is still missing, and the
@@ -283,12 +494,13 @@ func (nd *Node) Run() (Report, error) {
 	// converged each member gossips a FlagDone beacon to every peer
 	// (repeated — the beacon rides the same lossy socket) and leaves
 	// the ring only after hearing Done from all of them, i.e. when its
-	// retransmission state is provably unneeded.
+	// retransmission state is provably unneeded. With live membership
+	// the barrier audience is the current live peer set, so a crashed
+	// member cannot wedge everyone else's exit.
 	doneFrom := make(map[seq.NodeID]bool)
 	lastReply := make(map[seq.NodeID]sim.Time)
 	localDone := false
-	everyoneDone := false
-	allDone := make(chan struct{})
+	left := make(chan struct{})
 	nd.tr.OnControl = func(from seq.NodeID, flags uint8) {
 		if flags&FlagDone == 0 {
 			return
@@ -303,21 +515,43 @@ func (nd *Node) Run() (Report, error) {
 				lastReply[from] = sched.Now()
 				nd.tr.SendControl(from, FlagDone)
 			}
-			if doneFrom[from] {
-				return
-			}
 			doneFrom[from] = true
-			if len(doneFrom) == len(peers) {
-				everyoneDone = true
-				close(allDone)
-			}
 		})
 	}
-	br.Attach(e.NE(nd.self))
+	sink := netsim.Handler(e.NE(nd.self))
+	if cfg.Join {
+		// Until the first RingUpdate splices this node in, only
+		// membership-plane messages may reach the protocol core: ordered
+		// traffic or a token arriving early (a peer applied the grant
+		// before our copy of it landed) would fill the virgin MQ and
+		// defeat the baseline jump, stranding the delivery front at the
+		// unreachable stream prefix forever. Dropped frames are simply
+		// retransmitted by their senders until we join and ack.
+		inner := sink
+		gate := ms
+		sink = netsim.HandlerFunc(func(from seq.NodeID, m msg.Message) {
+			// Gate only until the FIRST splice: an evicted leaver must
+			// keep receiving acks/Nacks to drain and serve stragglers.
+			if gate != nil && !gate.Spliced() {
+				switch m.(type) {
+				case *msg.Heartbeat, *msg.RingUpdate, *msg.JoinReq, *msg.LeaveReq:
+				default:
+					return
+				}
+			}
+			inner.Recv(from, m)
+		})
+	}
+	br.Attach(sink)
 	drv.Start()
+	if cfg.SyncRounds > 0 && len(cfg.Peers) > 0 {
+		// Clock-offset calibration against the spawn-time peers; pongs
+		// are folded in at the transport layer while the ring warms up.
+		go nd.tr.SyncClocks(cfg.SyncRounds, 25*time.Millisecond)
+	}
 
 	expected := cfg.Expect
-	if expected == 0 {
+	if expected == 0 && !cfg.Live {
 		expected = uint64(cfg.Count) * uint64(len(nd.members))
 	}
 
@@ -326,28 +560,108 @@ func (nd *Node) Run() (Report, error) {
 	converged := make(chan struct{})
 	drained := make(chan struct{})
 	drv.CallWait(func() {
-		src := workload.NewSource(sched, func(corr seq.NodeID, payload []byte) error {
-			_, err := e.Submit(corr, payload)
-			return err
-		}, nd.self, cfg.Payload)
-		gap := sim.Time(float64(sim.Second) / cfg.RateHz)
-		if gap < 1 {
-			gap = 1
+		var src *workload.Source
+		startWorkload := func() {
+			// Stamp each payload with the send wall clock (fresh buffer
+			// per message: payload slices are shared by reference all the
+			// way to retransmission buffers).
+			src = workload.NewSource(sched, func(corr seq.NodeID, payload []byte) error {
+				if len(payload) >= 8 {
+					buf := make([]byte, len(payload))
+					copy(buf, payload)
+					binary.LittleEndian.PutUint64(buf, uint64(time.Now().UnixNano()))
+					payload = buf
+				}
+				_, err := e.Submit(corr, payload)
+				return err
+			}, nd.self, cfg.Payload)
+			gap := sim.Time(float64(sim.Second) / cfg.RateHz)
+			if gap < 1 {
+				gap = 1
+			}
+			src.CBR(sched.Now()+sim.Time(cfg.StartMS)*sim.Millisecond, gap, cfg.Count)
 		}
-		src.CBR(sim.Time(cfg.StartMS)*sim.Millisecond, gap, cfg.Count)
+		if ms != nil {
+			ms.OnJoined = func(baseline seq.GlobalSeq) { startWorkload() }
+			ms.OnEvicted = func() {
+				if src != nil {
+					src.Stop()
+				}
+			}
+			ms.Start()
+		}
+		if !cfg.Join {
+			startWorkload()
+		}
 
+		livePeers := func() []seq.NodeID {
+			if ms != nil {
+				return ms.LivePeers()
+			}
+			return peers
+		}
 		beacon := func() {
-			for _, p := range peers {
+			for _, p := range livePeers() {
 				nd.tr.SendControl(p, FlagDone) // best-effort; repeated
 			}
 		}
-		sent := func() bool { return src.Sent >= uint64(cfg.Count) }
+		sent := func() bool { return src != nil && src.Sent+src.Errors >= uint64(cfg.Count) }
+		locallyConverged := func() bool {
+			if cfg.Live {
+				// Dynamic membership: the exact delivery count is
+				// unknowable, so converge on quiescence — everything
+				// sent, no undelivered slot in the MQ (an open gap means
+				// repair is still running), senders drained, and the
+				// delivery stream idle.
+				if !ms.Joined() || !sent() || !e.Quiesced() {
+					return false
+				}
+				q := e.QueueOf(nd.self)
+				if q == nil || q.Front() != q.Rear() {
+					return false
+				}
+				idleFor := sched.Now() - lastDeliverAt
+				if lastDeliverAt == 0 {
+					idleFor = sched.Now()
+				}
+				return idleFor >= sim.Time(cfg.IdleMS)*sim.Millisecond
+			}
+			return delivered >= expected && sent()
+		}
+		barrier := func() bool {
+			for _, p := range livePeers() {
+				if !doneFrom[p] {
+					return false
+				}
+			}
+			return true
+		}
+		leftClosed := false
+		evictedAt := sim.Time(0)
 		phase := 0 // 0 = converging, 1 = draining
+		var barrierAt sim.Time
+		quiesce := sim.Time(cfg.QuiesceMS) * sim.Millisecond
 		var tick *sim.Ticker
 		tick = sched.Every(10*sim.Millisecond, func() {
+			if ms != nil && ms.Evicted() {
+				// Graceful leave (or eviction): serve retransmissions
+				// until our couriers drain — bounded by QuiesceMS, so a
+				// transfer stuck on an unreachable peer cannot pin the
+				// process to its deadline.
+				if evictedAt == 0 {
+					evictedAt = sched.Now()
+				}
+				drainedOut := e.Quiesced() && e.NE(nd.self).TokenIdle()
+				if !leftClosed && (drainedOut || sched.Now()-evictedAt >= quiesce) {
+					leftClosed = true
+					tick.Stop()
+					close(left)
+				}
+				return
+			}
 			switch phase {
 			case 0:
-				if delivered >= expected && sent() {
+				if locallyConverged() {
 					phase = 1
 					localDone = true
 					close(converged)
@@ -355,7 +669,17 @@ func (nd *Node) Run() (Report, error) {
 					sched.Every(100*sim.Millisecond, beacon)
 				}
 			case 1:
-				if everyoneDone && e.Quiesced() && e.NE(nd.self).TokenIdle() {
+				if !barrier() {
+					barrierAt = 0
+					return
+				}
+				if barrierAt == 0 {
+					barrierAt = sched.Now()
+				}
+				// Post-barrier drain (trailing retransmissions, the token
+				// settling between rotations), bounded by QuiesceMS.
+				if (e.Quiesced() && e.NE(nd.self).TokenIdle()) ||
+					sched.Now()-barrierAt >= quiesce {
 					tick.Stop() // no further ticks fire after Stop
 					close(drained)
 				}
@@ -365,6 +689,23 @@ func (nd *Node) Run() (Report, error) {
 
 	deadline := time.After(time.Duration(cfg.DeadlineMS) * time.Millisecond)
 	ok := false
+	didLeave := false
+	linger := func() {
+		lt := time.After(time.Duration(cfg.LingerMS) * time.Millisecond)
+		select {
+		case <-lt:
+		case <-deadline:
+		}
+	}
+	killed := func() (Report, error) {
+		drv.Stop()
+		nd.tr.Close()
+		if trace != nil {
+			trace.Flush()
+			traceFile.Close()
+		}
+		return Report{Node: cfg.Node}, fmt.Errorf("wire: node %d killed", cfg.Node)
+	}
 	select {
 	case <-converged:
 		ok = true
@@ -374,64 +715,114 @@ func (nd *Node) Run() (Report, error) {
 		// so a peer that lost our earlier beacons to the same faults we
 		// are gossiping about still hears one before the socket dies.
 		select {
-		case <-allDone:
-			linger := time.After(time.Duration(cfg.LingerMS) * time.Millisecond)
-			select {
-			case <-drained:
-			case <-time.After(time.Duration(cfg.QuiesceMS) * time.Millisecond):
-			case <-deadline:
-			}
-			select {
-			case <-linger:
-			case <-deadline:
-			}
+		case <-drained:
+			linger()
+		case <-left:
+			didLeave = true
+			linger()
+		case <-nd.killed:
+			return killed()
 		case <-deadline:
 		}
+	case <-left:
+		didLeave = true
+		linger()
+	case <-nd.killed:
+		return killed()
 	case <-deadline:
 	}
 
 	var rep Report
+	var debugState string
 	drv.CallWait(func() {
+		debugState = e.DebugState(nd.self)
 		lat := &e.Log.Latency
+		memberCount := len(nd.members)
+		var epoch uint64
+		if ms != nil {
+			memberCount = len(ms.order)
+			epoch = ms.Epoch()
+		}
+		var leader uint32
+		if top := e.H.TopRing(); top != nil {
+			leader = uint32(top.Leader())
+		}
 		rep = Report{
 			Node:          cfg.Node,
-			Members:       len(nd.members),
-			Leader:        uint32(top.Leader()),
+			Members:       memberCount,
+			Leader:        leader,
 			Converged:     ok,
 			Delivered:     delivered,
 			Expected:      expected,
+			Epoch:         epoch,
+			Left:          didLeave,
 			OrderHash:     oh.Hex(),
+			FirstGlobal:   uint64(firstG),
+			LastGlobal:    uint64(lastG),
 			ThroughputPS:  e.Log.Throughput(),
 			LatencyMeanMS: lat.Mean() * 1000,
 			LatencyP99MS:  lat.Quantile(0.99) * 1000,
+			MaxGapMS:      float64(maxGap) / float64(sim.Millisecond),
 			Control:       e.ControlReport(),
 			SendErrs:      br.SendErrs,
+		}
+		if crossLat.N() > 0 {
+			rep.CrossLatMeanMS = crossLat.Mean() * 1000
+			rep.CrossLatP99MS = crossLat.Quantile(0.99) * 1000
+			rep.CrossLatN = crossLat.N()
 		}
 		if err := e.Log.Err(); err != nil {
 			rep.OrderErr = err.Error()
 		}
+		if ms != nil {
+			ms.Stop()
+		}
 	})
 	drv.Stop()
 	nd.tr.Close()
+	if trace != nil {
+		trace.Flush()
+		traceFile.Close()
+	}
 	rep.Transport = nd.tr.Stats()
 	rep.WallMS = time.Since(wallStart).Milliseconds()
-	if !ok {
-		return rep, fmt.Errorf("wire: node %d did not converge: delivered %d/%d within %dms",
-			cfg.Node, rep.Delivered, expected, cfg.DeadlineMS)
-	}
 	if rep.OrderErr != "" {
 		return rep, fmt.Errorf("wire: node %d total-order violation: %s", cfg.Node, rep.OrderErr)
+	}
+	if didLeave {
+		return rep, nil
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, debugState)
+		return rep, fmt.Errorf("wire: node %d did not converge: delivered %d/%d within %dms",
+			cfg.Node, rep.Delivered, expected, cfg.DeadlineMS)
 	}
 	return rep, nil
 }
 
 // Run loads a config, runs the node to completion, and writes the JSON
 // report (one line) to out. This is the whole of cmd/ringnetd and of
-// every harness-spawned member process.
+// every harness-spawned member process. In live mode SIGTERM triggers a
+// graceful leave (announce, drain, hand off a held token) instead of
+// killing the process mid-protocol.
 func Run(cfg Config, out io.Writer) (Report, error) {
 	nd, err := NewNode(cfg)
 	if err != nil {
 		return Report{}, err
+	}
+	if cfg.Live {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM)
+		done := make(chan struct{})
+		defer close(done)
+		defer signal.Stop(sig)
+		go func() {
+			select {
+			case <-sig:
+				nd.Shutdown()
+			case <-done:
+			}
+		}()
 	}
 	rep, runErr := nd.Run()
 	if b, err := json.Marshal(rep); err == nil {

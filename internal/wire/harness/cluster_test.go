@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"strings"
 	"testing"
 
 	"repro/internal/wire"
@@ -118,4 +119,252 @@ func TestHarnessReportsChildFailure(t *testing.T) {
 	if err == nil {
 		t.Fatal("harness succeeded with children that exited on a missing config")
 	}
+}
+
+// readTrace loads a member's delivery-trace lines ("global source local").
+func readTrace(t *testing.T, path string) []string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strings.TrimSpace(string(b))
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// TestClusterSurvivesCrash is the failover acceptance test: one member
+// of a 5-process live cluster with injected loss and jitter is
+// SIGKILLed mid-run. The survivors must detect the crash, evict it at a
+// new membership epoch, repair the ring (regenerating the ordering
+// token if the corpse held it), and still converge to the identical
+// delivery-order hash everywhere.
+func TestClusterSurvivesCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5-process chaos cluster in -short")
+	}
+	members, err := Run(Options{
+		Nodes:       5,
+		Count:       100,
+		RateHz:      150,
+		Payload:     48,
+		Loss:        0.01,
+		JitterUS:    1000,
+		Seed:        11,
+		StartMS:     300,
+		DeadlineMS:  90000,
+		Live:        true,
+		HeartbeatMS: 150,
+		SuspectMS:   2500, // must exceed worst-case process spawn stagger under CI load
+		IdleMS:      1500,
+		Specs: map[int]Spec{
+			4: {KillAfterMS: 700}, // mid-sending: the window spans 300–967ms
+		},
+		Dir:     t.TempDir(),
+		Command: selfExec(t),
+	})
+	if err != nil {
+		t.Fatalf("cluster failed: %v", err)
+	}
+	if !members[4].Killed || members[4].Err == nil {
+		t.Fatalf("member 5 was not killed as specified: killed=%v err=%v",
+			members[4].Killed, members[4].Err)
+	}
+	var drops uint64
+	for i := 0; i < 4; i++ {
+		r := members[i].Report
+		if !r.Converged {
+			t.Fatalf("survivor %v did not converge: %+v\nstderr: %s", members[i].ID, r, members[i].Stderr)
+		}
+		if r.OrderErr != "" {
+			t.Fatalf("survivor %v order violation: %s", members[i].ID, r.OrderErr)
+		}
+		if r.Epoch < 2 {
+			t.Fatalf("survivor %v never applied an eviction epoch: %+v", members[i].ID, r)
+		}
+		if r.Members != 4 {
+			t.Fatalf("survivor %v final membership %d, want 4", members[i].ID, r.Members)
+		}
+		if r.OrderHash != members[0].Report.OrderHash {
+			t.Fatalf("survivors diverged: member %v hash %s, member %v hash %s",
+				members[i].ID, r.OrderHash, members[0].ID, members[0].Report.OrderHash)
+		}
+		if r.Delivered < 400 {
+			t.Fatalf("survivor %v delivered only %d (own traffic alone is 400)", members[i].ID, r.Delivered)
+		}
+		for _, p := range r.Transport.Peers {
+			drops += p.InjectedDrops
+		}
+		t.Logf("survivor %v: delivered=%d order=%s epoch=%d maxGap=%.0fms crossLat=%.2fms wall=%dms",
+			members[i].ID, r.Delivered, r.OrderHash, r.Epoch, r.MaxGapMS, r.CrossLatMeanMS, r.WallMS)
+	}
+	if drops == 0 {
+		t.Fatal("1% injected loss never dropped a datagram — the recovery path went unexercised")
+	}
+}
+
+// TestClusterLateJoin: a fresh process joins a running lossy 4-process
+// ring mid-stream (JoinReq → RingUpdate), sources its own traffic, and
+// must observe a consistent suffix of the total order: its delivery
+// trace is exactly the tail of every steady member's trace.
+func TestClusterLateJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5-process chaos cluster in -short")
+	}
+	members, err := Run(Options{
+		Nodes:       5,
+		Count:       150,
+		RateHz:      150,
+		Payload:     48,
+		Loss:        0.01,
+		JitterUS:    1000,
+		Seed:        23,
+		StartMS:     300,
+		DeadlineMS:  90000,
+		Live:        true,
+		HeartbeatMS: 150,
+		SuspectMS:   2500, // must exceed worst-case process spawn stagger under CI load
+		IdleMS:      1500,
+		Trace:       true,
+		Specs: map[int]Spec{
+			4: {Join: true, StartAfterMS: 900, Count: 40},
+		},
+		Dir:     t.TempDir(),
+		Command: selfExec(t),
+	})
+	if err != nil {
+		t.Fatalf("cluster failed: %v", err)
+	}
+	for i, m := range members {
+		r := m.Report
+		if !r.Converged {
+			t.Fatalf("member %v did not converge: %+v\nstderr: %s", m.ID, r, m.Stderr)
+		}
+		if r.OrderErr != "" {
+			t.Fatalf("member %v order violation: %s", m.ID, r.OrderErr)
+		}
+		if r.Members != 5 {
+			t.Fatalf("member %v final membership %d, want 5", m.ID, r.Members)
+		}
+		if i < 4 && r.OrderHash != members[0].Report.OrderHash {
+			t.Fatalf("steady members diverged: %s vs %s", r.OrderHash, members[0].Report.OrderHash)
+		}
+	}
+	joiner := members[4].Report
+	if joiner.FirstGlobal <= 1 {
+		t.Fatalf("joiner started at global %d — not a mid-stream join", joiner.FirstGlobal)
+	}
+	ref := readTrace(t, members[0].TracePath)
+	jt := readTrace(t, members[4].TracePath)
+	if len(jt) == 0 || len(jt) > len(ref) {
+		t.Fatalf("joiner trace %d lines, reference %d", len(jt), len(ref))
+	}
+	start := len(ref) - len(jt)
+	for i, l := range jt {
+		if ref[start+i] != l {
+			t.Fatalf("joiner suffix diverged at line %d: %q vs %q", i, l, ref[start+i])
+		}
+	}
+	own := 0
+	for _, l := range ref {
+		if strings.Split(l, " ")[1] == "5" {
+			own++
+		}
+	}
+	if own != 40 {
+		t.Fatalf("steady members delivered %d of the joiner's 40 messages", own)
+	}
+	t.Logf("joiner: %d-line suffix from global %d, epoch=%d; steady members delivered %d",
+		len(jt), joiner.FirstGlobal, joiner.Epoch, len(ref))
+}
+
+// TestClusterGracefulLeaveSIGTERM: SIGTERM to a live member is a
+// graceful leave — announce, drain, hand off a held token — not a
+// silent death. The leaver must exit zero with Left set and a delivered
+// stream that is a prefix of the survivors'; nothing it submitted may
+// be lost.
+func TestClusterGracefulLeaveSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-process chaos cluster in -short")
+	}
+	members, err := Run(Options{
+		Nodes:       3,
+		Count:       120,
+		RateHz:      150,
+		Payload:     48,
+		Loss:        0.005,
+		JitterUS:    500,
+		Seed:        31,
+		StartMS:     300,
+		DeadlineMS:  90000,
+		Live:        true,
+		HeartbeatMS: 150,
+		SuspectMS:   2500, // must exceed worst-case process spawn stagger under CI load
+		IdleMS:      1500,
+		Trace:       true,
+		Specs: map[int]Spec{
+			2: {TermAfterMS: 800, Count: 50}, // SIGTERM lands just after its 50 msgs went out
+		},
+		Dir:     t.TempDir(),
+		Command: selfExec(t),
+	})
+	if err != nil {
+		t.Fatalf("cluster failed: %v", err)
+	}
+	leaver := members[2].Report
+	if !leaver.Left {
+		t.Fatalf("SIGTERMed member did not leave gracefully: %+v\nstderr: %s",
+			leaver, members[2].Stderr)
+	}
+	for i := 0; i < 2; i++ {
+		r := members[i].Report
+		if !r.Converged || r.OrderErr != "" {
+			t.Fatalf("survivor %v: %+v", members[i].ID, r)
+		}
+		if r.Epoch < 2 {
+			t.Fatalf("survivor %v never applied the leave epoch: %+v", members[i].ID, r)
+		}
+		if r.OrderHash != members[0].Report.OrderHash {
+			a := readTrace(t, members[0].TracePath)
+			b := readTrace(t, members[i].TracePath)
+			for j := 0; j < len(a) || j < len(b); j++ {
+				var la, lb string
+				if j < len(a) {
+					la = a[j]
+				}
+				if j < len(b) {
+					lb = b[j]
+				}
+				if la != lb {
+					t.Logf("first divergence at line %d: member1=%q member%d=%q", j, la, i+1, lb)
+					break
+				}
+			}
+			t.Fatalf("survivors diverged: member1 %s (%d) vs member%d %s (%d)",
+				members[0].Report.OrderHash, len(a), i+1, r.OrderHash, len(b))
+		}
+	}
+	ref := readTrace(t, members[0].TracePath)
+	lt := readTrace(t, members[2].TracePath)
+	if len(lt) == 0 || len(lt) > len(ref) {
+		t.Fatalf("leaver trace %d lines, reference %d", len(lt), len(ref))
+	}
+	for i, l := range lt {
+		if ref[i] != l {
+			t.Fatalf("leaver trace diverged at line %d: %q vs %q", i, l, ref[i])
+		}
+	}
+	own := 0
+	for _, l := range ref {
+		if strings.Split(l, " ")[1] == "3" {
+			own++
+		}
+	}
+	if own != 50 {
+		t.Fatalf("survivors delivered %d of the leaver's 50 submitted messages", own)
+	}
+	t.Logf("leaver: clean prefix of %d/%d lines, survivors epoch=%d",
+		len(lt), len(ref), members[0].Report.Epoch)
 }

@@ -9,6 +9,11 @@
 // the moment it starts and the kernel buffers until the peer's daemon
 // attaches. Each member prints a one-line JSON wire.Report on stdout;
 // the harness collects and returns them.
+//
+// Per-member Specs turn the rig into a chaos harness for the live
+// membership plane: members can be spawned late as joiners (outside the
+// bootstrap ring, soliciting the initial members as seeds), killed
+// mid-run with SIGKILL (crash), or sent SIGTERM (graceful leave).
 package harness
 
 import (
@@ -20,11 +25,32 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/seq"
 	"repro/internal/wire"
 )
+
+// Spec overrides one member's behavior in the cluster.
+type Spec struct {
+	// Join spawns this member outside the bootstrap ring: it solicits
+	// the initial members (its seeds) and splices in at the granted
+	// epoch. Implies Live.
+	Join bool
+	// StartAfterMS delays the process launch (late join).
+	StartAfterMS int64
+	// KillAfterMS sends SIGKILL this long after the process started —
+	// a crash, nothing announced.
+	KillAfterMS int64
+	// TermAfterMS sends SIGTERM this long after the process started —
+	// the graceful-leave path.
+	TermAfterMS int64
+	// Count overrides the member's sourced message count: 0 inherits
+	// the cluster default, negative means source nothing.
+	Count int
+}
 
 // Options shapes one cluster run. Command builds the member process for
 // a given config path; the harness adds the inherited socket as fd 3.
@@ -39,6 +65,20 @@ type Options struct {
 	StartMS    int64
 	DeadlineMS int64
 
+	// Live enables the membership plane on every member. Required when
+	// any Spec joins, kills, or terms.
+	Live        bool
+	HeartbeatMS int64
+	SuspectMS   int64
+	IdleMS      int64
+
+	// Trace dumps each member's delivery trace to Dir/trace<id> and
+	// records the path on the Member.
+	Trace bool
+
+	// Specs holds per-member overrides, keyed by 0-based member index.
+	Specs map[int]Spec
+
 	// Dir receives the generated config files (use t.TempDir).
 	Dir string
 	// Command builds one member process from its config path. The
@@ -49,17 +89,19 @@ type Options struct {
 
 // Member is one spawned ring member and its outcome.
 type Member struct {
-	ID     seq.NodeID
-	Report wire.Report
-	Stdout string
-	Stderr string
-	Err    error
+	ID        seq.NodeID
+	Report    wire.Report
+	Stdout    string
+	Stderr    string
+	Err       error
+	Killed    bool // SIGKILLed by its Spec: exit error and missing report are expected
+	TracePath string
 }
 
 // Run launches the cluster, waits for every member (bounded by
 // DeadlineMS plus slack), and returns the members with parsed reports.
 // The first member error (spawn, exit status, unparsable report) is
-// returned alongside the full slice.
+// returned alongside the full slice; SIGKILLed members are exempt.
 func Run(opts Options) ([]Member, error) {
 	if opts.Nodes < 2 {
 		return nil, fmt.Errorf("harness: need at least 2 nodes")
@@ -99,23 +141,54 @@ func Run(opts Options) ([]Member, error) {
 		files[i] = f
 	}
 
-	// One config per member: identical ring, its own identity and fd.
+	// The bootstrap ring is every member whose Spec does not Join.
+	initial := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !opts.Specs[i].Join {
+			initial = append(initial, i)
+		}
+	}
+	if len(initial) < 2 {
+		return nil, fmt.Errorf("harness: need at least 2 bootstrap members")
+	}
+
+	members := make([]Member, n)
 	cfgPaths := make([]string, n)
 	for i := 0; i < n; i++ {
-		cfg := wire.Config{
-			Group:      1,
-			Node:       uint32(i + 1),
-			ListenFD:   3,
-			Seed:       opts.Seed + uint64(i)*7919,
-			Loss:       opts.Loss,
-			JitterUS:   opts.JitterUS,
-			Count:      opts.Count,
-			RateHz:     opts.RateHz,
-			Payload:    opts.Payload,
-			StartMS:    opts.StartMS,
-			DeadlineMS: opts.DeadlineMS,
+		spec := opts.Specs[i]
+		if spec.Join && !opts.Live {
+			return nil, fmt.Errorf("harness: member %d joins but Options.Live is off", i+1)
 		}
-		for j := 0; j < n; j++ {
+		cfg := wire.Config{
+			Group:       1,
+			Node:        uint32(i + 1),
+			ListenFD:    3,
+			Live:        opts.Live,
+			Join:        spec.Join,
+			HeartbeatMS: opts.HeartbeatMS,
+			SuspectMS:   opts.SuspectMS,
+			IdleMS:      opts.IdleMS,
+			Seed:        opts.Seed + uint64(i)*7919,
+			Loss:        opts.Loss,
+			JitterUS:    opts.JitterUS,
+			Count:       opts.Count,
+			RateHz:      opts.RateHz,
+			Payload:     opts.Payload,
+			StartMS:     opts.StartMS,
+			DeadlineMS:  opts.DeadlineMS,
+		}
+		if spec.Count > 0 {
+			cfg.Count = spec.Count
+		} else if spec.Count < 0 {
+			cfg.Count = 0
+		}
+		if opts.Trace {
+			members[i].TracePath = filepath.Join(opts.Dir, fmt.Sprintf("trace%d", i+1))
+			cfg.TracePath = members[i].TracePath
+		}
+		// A bootstrap member's peers are the other bootstrap members; a
+		// joiner's peers are its seeds — the whole bootstrap ring.
+		for _, j := range initial {
 			if j != i {
 				cfg.Peers = append(cfg.Peers, wire.PeerAddr{Node: uint32(j + 1), Addr: addrs[j]})
 			}
@@ -130,40 +203,87 @@ func Run(opts Options) ([]Member, error) {
 		}
 	}
 
-	members := make([]Member, n)
 	type proc struct {
 		cmd      *exec.Cmd
 		out, err *bytes.Buffer
+		started  chan struct{} // closed once cmd.Start returned (ok or not)
 	}
 	procs := make([]proc, n)
+	waitErr := make([]chan error, n)
+	// doom fires when any member fails to start: the cluster cannot
+	// succeed, so every started member is killed instead of burning the
+	// whole deadline (and masking the start error with timeouts).
+	doom := make(chan struct{})
+	var doomOnce sync.Once
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		members[i].ID = seq.NodeID(i + 1)
+		spec := opts.Specs[i]
 		cmd := opts.Command(cfgPaths[i])
-		cmd.ExtraFiles = []*os.File{files[i]}
+		f := files[i]
+		files[i] = nil // the spawner goroutine owns it now
+		cmd.ExtraFiles = []*os.File{f}
 		var out, errb bytes.Buffer
 		cmd.Stdout = &out
 		cmd.Stderr = &errb
-		procs[i] = proc{cmd: cmd, out: &out, err: &errb}
-		if err := cmd.Start(); err != nil {
-			for j := 0; j < i; j++ {
-				procs[j].cmd.Process.Kill()
-			}
-			return members, fmt.Errorf("harness: start member %d: %w", i+1, err)
-		}
-		// The child holds its own dup now.
-		files[i].Close()
-		files[i] = nil
-	}
-
-	// Join all members, bounded by the run deadline plus teardown slack.
-	waitErr := make([]chan error, n)
-	for i := range procs {
+		procs[i] = proc{cmd: cmd, out: &out, err: &errb, started: make(chan struct{})}
 		ch := make(chan error, 1)
 		waitErr[i] = ch
-		go func(c *exec.Cmd, ch chan error) { ch <- c.Wait() }(procs[i].cmd, ch)
+		if spec.KillAfterMS > 0 {
+			members[i].Killed = true
+		}
+		wg.Add(1)
+		go func(i int, spec Spec, cmd *exec.Cmd, f *os.File, started chan struct{}, ch chan error) {
+			defer wg.Done()
+			if spec.StartAfterMS > 0 {
+				time.Sleep(time.Duration(spec.StartAfterMS) * time.Millisecond)
+			}
+			err := cmd.Start()
+			close(started)
+			if err != nil {
+				f.Close()
+				ch <- fmt.Errorf("harness: start member %d: %w", i+1, err)
+				doomOnce.Do(func() { close(doom) })
+				return
+			}
+			f.Close() // the child holds its own dup now
+			if spec.KillAfterMS > 0 {
+				time.AfterFunc(time.Duration(spec.KillAfterMS)*time.Millisecond, func() {
+					cmd.Process.Kill()
+				})
+			}
+			if spec.TermAfterMS > 0 {
+				time.AfterFunc(time.Duration(spec.TermAfterMS)*time.Millisecond, func() {
+					cmd.Process.Signal(syscall.SIGTERM)
+				})
+			}
+			ch <- cmd.Wait()
+		}(i, spec, cmd, f, procs[i].started, ch)
 	}
-	limit := time.Duration(opts.DeadlineMS)*time.Millisecond + 15*time.Second
+
+	// Join all members, bounded by the run deadline plus startup delays
+	// and teardown slack.
+	var maxDelay int64
+	for _, s := range opts.Specs {
+		if s.StartAfterMS > maxDelay {
+			maxDelay = s.StartAfterMS
+		}
+	}
+	limit := time.Duration(opts.DeadlineMS+maxDelay)*time.Millisecond + 15*time.Second
 	deadline := time.Now().Add(limit)
+	go func() {
+		<-doom
+		for j := range procs {
+			j := j
+			go func() {
+				<-procs[j].started
+				if p := procs[j].cmd.Process; p != nil {
+					p.Kill() // no-op error on already-exited members
+				}
+			}()
+		}
+	}()
+	defer doomOnce.Do(func() { close(doom) }) // release the supervisor
 	var firstErr error
 	for i := range procs {
 		// Fresh timer per member against one shared deadline: once it
@@ -175,7 +295,13 @@ func Run(opts Options) ([]Member, error) {
 		case err := <-waitErr[i]:
 			members[i].Err = err
 		case <-tm.C:
-			procs[i].cmd.Process.Kill()
+			// Wait for the spawner to finish Start before touching the
+			// process handle (bounded by StartAfterMS, already inside
+			// the limit): an unsynchronized read would race cmd.Start.
+			<-procs[i].started
+			if p := procs[i].cmd.Process; p != nil {
+				p.Kill()
+			}
 			members[i].Err = fmt.Errorf("harness: member %d exceeded %v; killed", i+1, limit)
 			<-waitErr[i]
 		}
@@ -184,14 +310,15 @@ func Run(opts Options) ([]Member, error) {
 		members[i].Stderr = procs[i].err.String()
 		if rep, err := parseReport(members[i].Stdout); err == nil {
 			members[i].Report = rep
-		} else if members[i].Err == nil {
+		} else if members[i].Err == nil && !members[i].Killed {
 			members[i].Err = err
 		}
-		if members[i].Err != nil && firstErr == nil {
+		if members[i].Err != nil && !members[i].Killed && firstErr == nil {
 			firstErr = fmt.Errorf("member %d: %w (stderr: %s)", i+1, members[i].Err,
 				strings.TrimSpace(members[i].Stderr))
 		}
 	}
+	wg.Wait()
 	return members, firstErr
 }
 

@@ -1,0 +1,638 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/membership"
+	"repro/internal/msg"
+	"repro/internal/seq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file is the live-membership subsystem of the wire path: it runs
+// the paper's §3 failure-detection/ring-repair machinery over real
+// sockets so a ringnetd cluster survives member crashes and accepts
+// dynamic joins and graceful leaves, instead of freezing the moment its
+// static JSON ring config stops matching reality.
+//
+// Design: full-mesh heartbeats (they ride the protocol bridge, so they
+// coalesce into data datagrams and are counted in the control-plane
+// split) feed per-member suspect timers on the real-time driver. All
+// reconfiguration is decided by one deterministic coordinator — the
+// lowest-ID member the local detector believes alive — which computes
+// the repaired ring, bumps the membership epoch, and disseminates a
+// RingUpdate carrying the full member list (with transport addresses)
+// to every member. Heartbeats echo the sender's epoch, so dissemination
+// is reliable by retry-until-echoed rather than by per-message acks.
+// Members apply an update by reforming the topology ring in place,
+// splicing transport peers and bridge endpoints, refreshing the local
+// NE's neighbor view, and severing reliable-delivery state aimed at
+// removed members (Engine.DropPeer — which also releases a token
+// transfer stuck on the removed member). A token watchdog re-emits the
+// paper's Token-Loss signal whenever token circulation stays silent
+// past the threshold — raised only at the coordinator, so
+// Token-Regeneration always runs from a single origin.
+//
+// Joins: a fresh process sends JoinReq (with its UDP address) to seed
+// members; non-coordinators forward it inward; the coordinator adds the
+// joiner at the next epoch. The first RingUpdate containing the joiner
+// doubles as its JoinOK: it carries the coordinator's delivery front as
+// the stream baseline, which the joiner force-releases its MQ to, so it
+// observes a consistent suffix of the total order from that point on.
+//
+// Leaves: SIGTERM turns into LeaveReq gossip; the coordinator evicts
+// the leaver at the next epoch; the leaver keeps serving
+// retransmissions (and forwards any held token through the normal
+// courier path) until its couriers drain, then exits. Members removed
+// from the ring stay reachable as transport/bridge "lame ducks" for a
+// grace period so exactly that drain traffic can complete.
+//
+// Known limitation: eviction is coordinator-decided, not quorum-voted.
+// A network partition makes each side elect its own coordinator and
+// evict the other at the same next epoch; the equal epochs never
+// supersede each other, so the sides run as independent rings until an
+// operator merges them (the paper's §4.2.1 Multiple-Token machinery
+// handles the token side of a merge; epoch reconciliation needs a
+// quorum or an external arbiter and is an open ROADMAP item). Crash
+// and leave — the scenarios the chaos suite gates — are unaffected.
+
+// MemberTunables shapes the live-membership protocol's timers (driver
+// virtual time, which tracks the wall clock).
+type MemberTunables struct {
+	// Heartbeat is the beacon (and protocol tick) interval.
+	Heartbeat sim.Time
+	// Suspect declares a member failed after this much heartbeat silence.
+	Suspect sim.Time
+	// Lame is how long a removed member stays in the transport/bridge
+	// peer set so in-flight drains (token handoff acks, Nack service)
+	// complete before the endpoint vanishes.
+	Lame sim.Time
+	// TokenWatch re-emits the Token-Loss signal after this much token
+	// silence at a member that has seen the token before. It must be at
+	// least the core's TokenLossThreshold or the signal is ignored.
+	TokenWatch sim.Time
+}
+
+// DefaultMemberTunables suits loopback/LAN rings.
+func DefaultMemberTunables() MemberTunables {
+	return MemberTunables{
+		Heartbeat:  150 * sim.Millisecond,
+		Suspect:    900 * sim.Millisecond,
+		Lame:       3 * sim.Second,
+		TokenWatch: 500 * sim.Millisecond,
+	}
+}
+
+// Membership runs the live-membership state machine for one wire node.
+// All state is confined to the driver goroutine: messages arrive through
+// the local NE's aux handler, timers through the scheduler ticker.
+// External goroutines use Driver.Call to enter (see Node.Shutdown).
+type Membership struct {
+	e    *core.Engine
+	tr   *Transport
+	br   *Bridge
+	self seq.NodeID
+	addr string
+	cfg  MemberTunables
+
+	epoch   uint64
+	members map[seq.NodeID]string // id → transport address ("" for self)
+	order   []seq.NodeID          // sorted member ids
+	ringID  topology.RingID
+
+	det       *membership.Detector // shared with the sim membership manager
+	peerEpoch map[seq.NodeID]uint64
+	suspect   map[seq.NodeID]bool
+
+	joined  bool
+	leaving bool
+	evicted bool
+	seeds   []PeerAddr
+
+	lastTokenSignal sim.Time
+	ticker          *sim.Ticker
+
+	// OnJoined fires (on the driver goroutine) when a joiner's first
+	// RingUpdate splices it into the ring, with the stream baseline.
+	OnJoined func(baseline seq.GlobalSeq)
+	// OnEvicted fires when an update excludes this node (graceful leave
+	// or eviction) — time to drain and exit.
+	OnEvicted func()
+
+	// Trace, when set, receives one line per membership event (tests,
+	// verbose daemons).
+	Trace func(format string, args ...any)
+
+	// Counters for reports and tests.
+	Epochs       uint64 // updates applied (exceeding the initial epoch)
+	Failovers    uint64 // eviction epochs this node coordinated
+	JoinsGranted uint64 // join epochs this node coordinated
+	TokenSignals uint64 // watchdog Token-Loss signals raised
+}
+
+// NewMembership builds the manager for an assembled node. For an initial
+// ring member, members lists the configured ring (epoch 1, already in
+// topology); for a joiner, members is nil and seeds names the processes
+// to solicit.
+func NewMembership(e *core.Engine, tr *Transport, br *Bridge, self seq.NodeID, selfAddr string,
+	cfg MemberTunables, members map[seq.NodeID]string, ringID topology.RingID, seeds []PeerAddr) *Membership {
+	m := &Membership{
+		e: e, tr: tr, br: br, self: self, addr: selfAddr, cfg: cfg,
+		members:   make(map[seq.NodeID]string),
+		det:       membership.NewDetector(cfg.Suspect),
+		peerEpoch: make(map[seq.NodeID]uint64),
+		suspect:   make(map[seq.NodeID]bool),
+		ringID:    ringID,
+		seeds:     seeds,
+	}
+	if len(members) > 0 {
+		m.epoch = 1
+		m.joined = true
+		for id, a := range members {
+			m.members[id] = a
+		}
+		m.reorder()
+	}
+	return m
+}
+
+// Start installs the aux handler on the local NE and arms the ticker.
+// Must run on the driver goroutine.
+func (m *Membership) Start() {
+	if ne := m.e.NE(m.self); ne != nil {
+		ne.SetAux(m)
+	}
+	now := m.e.Net.Now()
+	for _, p := range m.order {
+		if p != m.self {
+			m.det.Watch(p, now)
+		}
+	}
+	m.ticker = m.e.Scheduler().Every(m.cfg.Heartbeat, m.tick)
+}
+
+// Stop disarms the ticker.
+func (m *Membership) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+		m.ticker = nil
+	}
+}
+
+// Joined reports whether this node is currently a ring member.
+func (m *Membership) Joined() bool { return m.joined && !m.evicted }
+
+// Spliced reports whether this node has EVER been spliced into the ring
+// (it stays true after eviction — an evicted leaver still serves its
+// drain: acks, token handoff, straggler Nacks).
+func (m *Membership) Spliced() bool { return m.joined }
+
+// Evicted reports whether an epoch has excluded this node.
+func (m *Membership) Evicted() bool { return m.evicted }
+
+// Epoch returns the current membership epoch.
+func (m *Membership) Epoch() uint64 { return m.epoch }
+
+// LivePeers returns the members this node currently believes alive,
+// excluding itself — the done-barrier and beacon audience.
+func (m *Membership) LivePeers() []seq.NodeID {
+	out := make([]seq.NodeID, 0, len(m.order))
+	for _, p := range m.order {
+		if p != m.self && !m.suspect[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Leave starts a graceful departure: announce to the coordinator (and
+// keep announcing — the socket is lossy) until an epoch excludes us.
+// If we are the coordinator, evict ourselves directly.
+func (m *Membership) Leave() {
+	if m.evicted || m.leaving {
+		return
+	}
+	m.leaving = true
+	if !m.joined {
+		// Never made it into the ring: nothing to announce.
+		m.evicted = true
+		if m.OnEvicted != nil {
+			m.OnEvicted()
+		}
+		return
+	}
+	m.announceLeave()
+}
+
+func (m *Membership) announceLeave() {
+	if m.coordinator() == m.self {
+		m.evict([]seq.NodeID{m.self})
+		return
+	}
+	m.e.Net.Send(m.self, m.coordinator(), &msg.LeaveReq{Group: m.e.Group, Node: m.self})
+}
+
+func (m *Membership) reorder() {
+	m.order = m.order[:0]
+	for id := range m.members {
+		m.order = append(m.order, id)
+	}
+	sort.Slice(m.order, func(i, j int) bool { return m.order[i] < m.order[j] })
+}
+
+// coordinator is the lowest member this node believes alive.
+func (m *Membership) coordinator() seq.NodeID {
+	for _, p := range m.order {
+		if p == m.self || !m.suspect[p] {
+			return p
+		}
+	}
+	return m.self
+}
+
+// Recv implements netsim.Handler: the membership-plane messages the NE's
+// protocol dispatch does not consume. Driver goroutine.
+func (m *Membership) Recv(from seq.NodeID, message msg.Message) {
+	switch v := message.(type) {
+	case *msg.Heartbeat:
+		if _, ok := m.members[v.From]; ok {
+			m.det.Heard(v.From, m.e.Net.Now())
+			m.peerEpoch[v.From] = v.Epoch
+			delete(m.suspect, v.From)
+		} else if m.joined && !m.evicted && m.coordinator() == m.self &&
+			v.Epoch < m.epoch && m.tr.HasPeer(v.From) {
+			// A non-member heartbeating on a stale epoch (evicted while
+			// partitioned or paused, or a stray bootstrap config): send
+			// it the current epoch — seeing itself excluded, it stands
+			// down instead of running a split-brain ring.
+			m.trace("stale heartbeat from non-member %v (epoch %d < %d); correcting", v.From, v.Epoch, m.epoch)
+			m.br.ExposePeer(v.From)
+			m.e.Net.Send(m.self, v.From, m.buildUpdate())
+		}
+	case *msg.RingUpdate:
+		m.applyUpdate(v)
+	case *msg.JoinReq:
+		m.handleJoinReq(v)
+	case *msg.LeaveReq:
+		m.handleLeaveReq(v)
+	}
+}
+
+// HandleUnknown consumes membership messages from senders outside the
+// transport peer table: a JoinReq from a fresh process, or a RingUpdate
+// from a coordinator this (joining) node has not met yet. Driver
+// goroutine.
+func (m *Membership) HandleUnknown(f Frame) {
+	for _, mm := range f.Msgs {
+		switch v := mm.(type) {
+		case *msg.JoinReq:
+			m.handleJoinReq(v)
+		case *msg.RingUpdate:
+			m.applyUpdate(v)
+		}
+	}
+}
+
+func (m *Membership) trace(format string, args ...any) {
+	if m.Trace != nil {
+		m.Trace(format, args...)
+	}
+}
+
+// tick is one heartbeat round: beacon, detect, coordinate, watch the
+// token. Driver goroutine.
+func (m *Membership) tick() {
+	if m.evicted {
+		return
+	}
+	now := m.e.Net.Now()
+	if !m.joined {
+		// Joiner: solicit membership from every seed.
+		jr := &msg.JoinReq{Group: m.e.Group, Node: m.self, Addr: m.addr}
+		for _, s := range m.seeds {
+			m.tr.Send(seq.NodeID(s.Node), jr) // direct: we are nobody's netsim endpoint yet
+		}
+		return
+	}
+	hb := &msg.Heartbeat{From: m.self, Epoch: m.epoch}
+	for _, p := range m.order {
+		if p != m.self {
+			m.e.Net.Send(m.self, p, hb)
+		}
+	}
+	for _, p := range m.det.Silent(now) {
+		if p != m.self {
+			m.suspect[p] = true
+		}
+	}
+	if m.leaving {
+		m.announceLeave()
+		if m.evicted {
+			return
+		}
+	}
+	if m.coordinator() == m.self {
+		var dead []seq.NodeID
+		for _, p := range m.order {
+			if p != m.self && m.suspect[p] {
+				dead = append(dead, p)
+			}
+		}
+		if len(dead) > 0 {
+			m.Failovers++
+			m.evict(dead)
+		} else {
+			var u *msg.RingUpdate
+			for _, p := range m.order {
+				if p != m.self && m.peerEpoch[p] < m.epoch {
+					if u == nil {
+						u = m.buildUpdate()
+					}
+					m.sendUpdateTo(p, m.members[p], u)
+				}
+			}
+		}
+	}
+	m.tokenWatchdog(now)
+}
+
+// tokenWatchdog re-raises Token-Loss when circulation stays silent: the
+// one failure topology maintenance cannot see is a token that died with
+// its holder while every survivor still remembers recent activity. Only
+// the coordinator signals: Token-Regeneration traversals from multiple
+// concurrent origins can complete independently and restart two tokens
+// at the same bumped epoch — divergent duplicate assignments. One
+// deterministic origin serializes regeneration; if the coordinator
+// itself dies, its successor takes over with the next eviction epoch.
+func (m *Membership) tokenWatchdog(now sim.Time) {
+	if m.coordinator() != m.self {
+		return
+	}
+	ne := m.e.NE(m.self)
+	if ne == nil {
+		return
+	}
+	last, seen := ne.TokenActivity()
+	if !seen {
+		return
+	}
+	if now-last > m.cfg.TokenWatch && now-m.lastTokenSignal > m.cfg.TokenWatch {
+		m.lastTokenSignal = now
+		m.TokenSignals++
+		m.e.OnTokenLoss(m.self)
+	}
+}
+
+// evict removes dead members (possibly including self, for a
+// coordinator's own graceful leave) at a new epoch and disseminates.
+func (m *Membership) evict(dead []seq.NodeID) {
+	selfLeave := false
+	for _, d := range dead {
+		if d == m.self {
+			selfLeave = true
+		}
+		delete(m.members, d)
+	}
+	m.reorder()
+	m.epoch++
+	m.trace("evicting %v at epoch %d members=%v", dead, m.epoch, m.order)
+	u := m.buildUpdate()
+	m.sendAll(u)
+	if selfLeave {
+		// Coordinator leaving: don't reform our own topology (the old
+		// view serves the drain); resend the farewell epoch a few times
+		// against loss, then the survivors' new coordinator takes over.
+		for i := sim.Time(1); i <= 3; i++ {
+			m.e.Scheduler().After(i*m.cfg.Heartbeat, func() { m.sendAll(u) })
+		}
+		m.evicted = true
+		if m.OnEvicted != nil {
+			m.OnEvicted()
+		}
+		return
+	}
+	m.applyLocal(u, dead)
+	// The departed may have held the token; ordersWell() filters the
+	// signal when circulation is demonstrably healthy.
+	m.e.OnTokenLoss(m.self)
+}
+
+func (m *Membership) buildUpdate() *msg.RingUpdate {
+	u := &msg.RingUpdate{Group: m.e.Group, Epoch: m.epoch, Coord: m.self}
+	if q := m.e.QueueOf(m.self); q != nil {
+		u.Baseline = q.Front()
+	}
+	for _, id := range m.order {
+		addr := m.members[id]
+		if id == m.self {
+			addr = m.addr
+		}
+		u.Members = append(u.Members, msg.MemberAddr{Node: id, Addr: addr})
+	}
+	return u
+}
+
+func (m *Membership) sendAll(u *msg.RingUpdate) {
+	for _, ma := range u.Members {
+		if ma.Node != m.self {
+			m.sendUpdateTo(ma.Node, ma.Addr, u)
+		}
+	}
+}
+
+func (m *Membership) sendUpdate(to seq.NodeID) {
+	m.sendUpdateTo(to, m.members[to], m.buildUpdate())
+}
+
+// sendUpdateTo delivers one RingUpdate, establishing the transport peer
+// and bridge endpoint first (the recipient may be a brand-new joiner).
+func (m *Membership) sendUpdateTo(to seq.NodeID, addr string, u *msg.RingUpdate) {
+	if !m.tr.HasPeer(to) {
+		if addr == "" {
+			return
+		}
+		if err := m.tr.AddPeer(to, addr); err != nil {
+			return
+		}
+	}
+	m.br.ExposePeer(to)
+	m.e.Net.Send(m.self, to, u)
+}
+
+// handleJoinReq grants membership (coordinator) or forwards the request
+// toward the coordinator. Forwarding strictly decreases the coordinator
+// id, so relay chains terminate.
+func (m *Membership) handleJoinReq(jr *msg.JoinReq) {
+	if m.evicted || !m.joined || jr.Node == m.self || jr.Node == seq.None {
+		return
+	}
+	if m.coordinator() != m.self {
+		m.e.Net.Send(m.self, m.coordinator(), jr)
+		return
+	}
+	if _, ok := m.members[jr.Node]; ok {
+		// Duplicate solicitation: the grant (or its ack) is still in
+		// flight — resend the current epoch to the joiner.
+		m.trace("dup joinreq from %v, resending epoch %d", jr.Node, m.epoch)
+		m.sendUpdate(jr.Node)
+		return
+	}
+	if jr.Addr == "" {
+		return
+	}
+	m.members[jr.Node] = jr.Addr
+	m.reorder()
+	m.epoch++
+	m.JoinsGranted++
+	m.trace("granting join of %v at epoch %d members=%v", jr.Node, m.epoch, m.order)
+	u := m.buildUpdate()
+	m.applyLocal(u, nil)
+	m.sendAll(u)
+}
+
+// handleLeaveReq evicts a gracefully-departing member (coordinator) or
+// forwards the announcement inward.
+func (m *Membership) handleLeaveReq(lr *msg.LeaveReq) {
+	if m.evicted || !m.joined || lr.Node == seq.None {
+		return
+	}
+	if m.coordinator() != m.self {
+		m.e.Net.Send(m.self, m.coordinator(), lr)
+		return
+	}
+	if _, ok := m.members[lr.Node]; !ok {
+		return // already evicted; the leaver learns via resent updates
+	}
+	m.evict([]seq.NodeID{lr.Node})
+}
+
+// applyUpdate applies a received epoch if it is newer than ours.
+func (m *Membership) applyUpdate(u *msg.RingUpdate) {
+	if m.evicted || u.Epoch <= m.epoch {
+		return
+	}
+	inRing := false
+	for _, ma := range u.Members {
+		if ma.Node == m.self {
+			inRing = true
+			break
+		}
+	}
+	old := m.members
+	m.members = make(map[seq.NodeID]string, len(u.Members))
+	for _, ma := range u.Members {
+		m.members[ma.Node] = ma.Addr
+	}
+	m.epoch = u.Epoch
+	m.reorder()
+	m.trace("applying epoch %d members=%v baseline=%d inRing=%v", u.Epoch, m.order, u.Baseline, inRing)
+	if !inRing {
+		m.evicted = true
+		if m.OnEvicted != nil {
+			m.OnEvicted()
+		}
+		return
+	}
+	var removed []seq.NodeID
+	for id := range old {
+		if _, ok := m.members[id]; !ok && id != m.self {
+			removed = append(removed, id)
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+	wasJoined := m.joined
+	m.joined = true
+	if !wasJoined {
+		// Set the stream baseline before the splice makes this node a
+		// top-ring member: delivery starts at Baseline+1.
+		m.e.JumpTo(m.self, u.Baseline)
+	}
+	m.applyLocal(u, removed)
+	if !wasJoined {
+		// A joiner's spawn-time clock pings died as unknown-sender frames
+		// at the seeds; now that membership is mutual, calibrate against
+		// every member so cross-process latency samples materialize.
+		for _, p := range m.order {
+			if p != m.self {
+				m.calibrate(p)
+			}
+		}
+		if m.OnJoined != nil {
+			m.OnJoined(u.Baseline)
+		}
+	}
+}
+
+// calibrate schedules a short burst of clock-offset pings toward peer.
+func (m *Membership) calibrate(peer seq.NodeID) {
+	for i := sim.Time(1); i <= 3; i++ {
+		m.e.Scheduler().After(i*50*sim.Millisecond, func() { m.tr.SendTimePing(peer) })
+	}
+}
+
+// applyLocal makes the current member set real: topology ring, transport
+// peers, bridge endpoints, neighbor refresh, and severed state toward
+// removed members (who linger as lame ducks before retirement).
+func (m *Membership) applyLocal(u *msg.RingUpdate, removed []seq.NodeID) {
+	h := m.e.H
+	now := m.e.Net.Now()
+	wasVirgin := m.ringID == 0 || h.Ring(m.ringID) == nil
+	for _, id := range m.order {
+		if id == m.self {
+			continue
+		}
+		if h.Node(id) == nil {
+			h.AddNode(id, topology.TierBR)
+		}
+		if addr := m.members[id]; addr != "" {
+			if fresh := !m.tr.HasPeer(id); m.tr.AddPeer(id, addr) == nil && fresh {
+				// Calibrate the clock offset toward a member met after
+				// spawn (a joiner granted mid-run), so cross-process
+				// latency samples stay offset-corrected.
+				m.calibrate(id)
+			}
+		}
+		m.br.ExposePeer(id)
+		m.det.Watch(id, now)
+	}
+	if wasVirgin {
+		// Joiner's first epoch: its hierarchy has no top ring yet.
+		if r, err := h.NewRing(topology.TierBR, m.order...); err == nil {
+			m.ringID = r.ID
+		}
+	} else {
+		h.ReformRing(m.ringID, m.order[0], m.order...)
+	}
+	for _, dead := range removed {
+		if h.Node(dead) != nil {
+			h.RemoveNode(dead)
+		}
+	}
+	m.e.OnTopologyChanged(m.self)
+	for _, dead := range removed {
+		m.e.DropPeer(m.self, dead)
+		m.det.Forget(dead)
+		delete(m.peerEpoch, dead)
+		delete(m.suspect, dead)
+		dead := dead
+		// Lame-duck retirement: keep the corpse addressable while drains
+		// (a leaver's token-handoff ack, straggler Nack service) finish.
+		m.e.Scheduler().After(m.cfg.Lame, func() {
+			if _, back := m.members[dead]; back {
+				return // rejoined meanwhile
+			}
+			m.br.RetirePeer(dead)
+			m.tr.RemovePeer(dead)
+		})
+	}
+	m.Epochs++
+}
+
+// String renders the membership state for logs.
+func (m *Membership) String() string {
+	return fmt.Sprintf("membership{self=%v epoch=%d members=%v joined=%v evicted=%v}",
+		m.self, m.epoch, m.order, m.joined, m.evicted)
+}

@@ -1,0 +1,327 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// launchLive assembles n in-process live-membership nodes (joiners
+// included — their Peers lists name seeds), with per-node config
+// mutation, per-node start delays, and a mid-run action hook, and runs
+// them all concurrently.
+func launchLive(t *testing.T, n int, mutate func(i int, cfg *Config), delays map[int]time.Duration, action func(nodes []*Node)) ([]Report, []error) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Group:      1,
+			Node:       uint32(i + 1),
+			Listen:     "127.0.0.1:0",
+			Live:       true,
+			Seed:       uint64(2000 + i),
+			Count:      60,
+			RateHz:     300,
+			Payload:    48,
+			StartMS:    200,
+			DeadlineMS: 60000,
+			// Brisk failure detection for test wall-clock budgets.
+			HeartbeatMS: 100,
+			SuspectMS:   600,
+			LameMS:      2000,
+			IdleMS:      1200,
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, PeerAddr{Node: uint32(j + 1)})
+			}
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		nd, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	for i, nd := range nodes {
+		for _, p := range nd.cfg.Peers {
+			if err := nd.SetPeerAddr(p.Node, nodes[p.Node-1].LocalAddr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = i
+	}
+	reports := make([]Report, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *Node) {
+			defer wg.Done()
+			if d := delays[i]; d > 0 {
+				time.Sleep(d)
+			}
+			reports[i], errs[i] = nd.Run()
+		}(i, nd)
+	}
+	if action != nil {
+		action(nodes)
+	}
+	wg.Wait()
+	return reports, errs
+}
+
+// readTrace loads a delivery-trace file's lines.
+func readTrace(t *testing.T, path string) []string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strings.TrimSpace(string(b))
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// TestLiveTrioSurvivesCrash: one member of a three-node live ring is
+// killed mid-run (socket dies, nothing announced). The survivors must
+// detect the failure, evict the corpse at a new epoch, repair the ring
+// (regenerating the token if the corpse held it), and converge to the
+// identical delivery order.
+func TestLiveTrioSurvivesCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live cluster in -short")
+	}
+	reports, errs := launchLive(t, 3, nil, nil, func(nodes []*Node) {
+		// Mid-run: workload spans 200–400ms; the kill lands inside it.
+		time.Sleep(320 * time.Millisecond)
+		nodes[2].Kill()
+	})
+	if errs[2] == nil {
+		t.Fatal("killed node reported success")
+	}
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("survivor %d: %v (report %+v)", i+1, errs[i], reports[i])
+		}
+		r := reports[i]
+		if !r.Converged {
+			t.Fatalf("survivor %d did not converge: %+v", i+1, r)
+		}
+		if r.OrderErr != "" {
+			t.Fatalf("survivor %d order violation: %s", i+1, r.OrderErr)
+		}
+		if r.Epoch < 2 {
+			t.Fatalf("survivor %d never applied an eviction epoch (epoch=%d)", i+1, r.Epoch)
+		}
+		if r.Members != 2 {
+			t.Fatalf("survivor %d final membership %d, want 2", i+1, r.Members)
+		}
+		t.Logf("survivor %d: delivered=%d order=%s epoch=%d maxGap=%.0fms wall=%dms",
+			i+1, r.Delivered, r.OrderHash, r.Epoch, r.MaxGapMS, r.WallMS)
+	}
+	if reports[0].OrderHash != reports[1].OrderHash {
+		t.Fatalf("survivors diverged: %s vs %s", reports[0].OrderHash, reports[1].OrderHash)
+	}
+	// Both survivors delivered at least their own traffic.
+	if reports[0].Delivered < 120 {
+		t.Fatalf("suspiciously few deliveries: %d", reports[0].Delivered)
+	}
+}
+
+// TestLiveGracefulLeave: a member leaves via Shutdown (the SIGTERM path)
+// mid-run. It must announce, drain (handing off any held token through
+// the normal courier path), and exit cleanly with Left set; its
+// delivered stream must be a prefix of the survivors' identical order.
+func TestLiveGracefulLeave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live cluster in -short")
+	}
+	dir := t.TempDir()
+	reports, errs := launchLive(t, 3, func(i int, cfg *Config) {
+		cfg.TracePath = filepath.Join(dir, fmt.Sprintf("trace%d", i+1))
+		if i == 2 {
+			cfg.Count = 30 // the leaver sources less, then departs
+		}
+	}, nil, func(nodes []*Node) {
+		time.Sleep(500 * time.Millisecond)
+		nodes[2].Shutdown()
+	})
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("survivor %d: %v (report %+v)", i+1, errs[i], reports[i])
+		}
+		if !reports[i].Converged || reports[i].OrderErr != "" {
+			t.Fatalf("survivor %d: %+v", i+1, reports[i])
+		}
+		if reports[i].Epoch < 2 {
+			t.Fatalf("survivor %d never applied the leave epoch (epoch=%d)", i+1, reports[i].Epoch)
+		}
+	}
+	if errs[2] != nil {
+		t.Fatalf("leaver: %v (report %+v)", errs[2], reports[2])
+	}
+	if !reports[2].Left {
+		t.Fatalf("leaver not marked Left: %+v", reports[2])
+	}
+	if reports[0].OrderHash != reports[1].OrderHash {
+		t.Fatalf("survivors diverged: %s vs %s", reports[0].OrderHash, reports[1].OrderHash)
+	}
+	// All of the leaver's own messages must appear at the survivors
+	// (graceful leave loses nothing that was submitted), and the
+	// leaver's delivered stream must be a prefix of the survivors'.
+	ref := readTrace(t, filepath.Join(dir, "trace1"))
+	leaver := readTrace(t, filepath.Join(dir, "trace3"))
+	if len(leaver) == 0 || len(leaver) > len(ref) {
+		t.Fatalf("leaver trace %d lines, reference %d", len(leaver), len(ref))
+	}
+	for i, l := range leaver {
+		if ref[i] != l {
+			t.Fatalf("leaver trace diverged at line %d: %q vs %q", i, l, ref[i])
+		}
+	}
+	own := 0
+	for _, l := range ref {
+		if strings.Split(l, " ")[1] == "3" {
+			own++
+		}
+	}
+	if own != 30 {
+		t.Fatalf("survivors delivered %d of the leaver's 30 messages", own)
+	}
+	t.Logf("leaver delivered %d (prefix ok), survivors %d, epoch=%d",
+		len(leaver), len(ref), reports[0].Epoch)
+}
+
+// TestLiveJoinInProcess: a fresh node joins a running two-member ring
+// via JoinReq→RingUpdate, splices in at the granted baseline, sources
+// its own traffic, and observes a consistent suffix of the total order.
+func TestLiveJoinInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live cluster in -short")
+	}
+	dir := t.TempDir()
+	reports, errs := launchLive(t, 3, func(i int, cfg *Config) {
+		cfg.TracePath = filepath.Join(dir, fmt.Sprintf("trace%d", i+1))
+		if i == 2 {
+			cfg.Join = true
+			cfg.Count = 20
+			cfg.StartMS = 100
+			cfg.Peers = []PeerAddr{{Node: 1}, {Node: 2}}
+		} else {
+			cfg.Count = 150
+			cfg.RateHz = 250 // members still sourcing when the joiner lands
+			// The joiner is NOT part of the bootstrap ring: only 1↔2.
+			cfg.Peers = []PeerAddr{{Node: uint32(2 - i)}}
+		}
+	}, map[int]time.Duration{2: 800 * time.Millisecond}, nil)
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v (report %+v)", i+1, errs[i], reports[i])
+		}
+		if !reports[i].Converged || reports[i].OrderErr != "" {
+			t.Fatalf("node %d: %+v", i+1, reports[i])
+		}
+		if reports[i].Members != 3 {
+			t.Fatalf("node %d final membership %d, want 3", i+1, reports[i].Members)
+		}
+	}
+	if reports[0].OrderHash != reports[1].OrderHash {
+		t.Fatalf("members diverged: %s vs %s", reports[0].OrderHash, reports[1].OrderHash)
+	}
+	// The joiner's trace must be exactly the tail of the members' trace.
+	ref := readTrace(t, filepath.Join(dir, "trace1"))
+	joiner := readTrace(t, filepath.Join(dir, "trace3"))
+	if len(joiner) == 0 {
+		t.Fatal("joiner delivered nothing")
+	}
+	if reports[2].FirstGlobal <= 1 {
+		t.Fatalf("joiner started at global %d — not a mid-stream join", reports[2].FirstGlobal)
+	}
+	start := len(ref) - len(joiner)
+	if start < 0 {
+		t.Fatalf("joiner trace (%d) longer than reference (%d)", len(joiner), len(ref))
+	}
+	for i, l := range joiner {
+		if ref[start+i] != l {
+			t.Fatalf("joiner suffix diverged at line %d: %q vs %q", i, l, ref[start+i])
+		}
+	}
+	// The joiner's own messages were woven into the shared total order.
+	own := 0
+	for _, l := range ref {
+		if strings.Split(l, " ")[1] == "3" {
+			own++
+		}
+	}
+	if own != 20 {
+		t.Fatalf("members delivered %d of the joiner's 20 messages", own)
+	}
+	t.Logf("joiner: suffix of %d lines from global %d, epoch=%d",
+		len(joiner), reports[2].FirstGlobal, reports[2].Epoch)
+}
+
+// TestLiveJoinerLeaves covers the full join→leave lifecycle: a process
+// joins mid-stream, sources traffic, then departs gracefully. The gate
+// that protects a joiner's virgin MQ must not re-engage after eviction
+// (the drain needs inbound acks), and its cross-process latency must be
+// measured despite the late clock calibration.
+func TestLiveJoinerLeaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live cluster in -short")
+	}
+	reports, errs := launchLive(t, 3, func(i int, cfg *Config) {
+		if i == 2 {
+			cfg.Join = true
+			cfg.Count = 15
+			cfg.StartMS = 100
+			cfg.Peers = []PeerAddr{{Node: 1}, {Node: 2}}
+		} else {
+			cfg.Count = 200
+			cfg.RateHz = 150 // members still sourcing through join AND leave
+			cfg.Peers = []PeerAddr{{Node: uint32(2 - i)}}
+		}
+	}, map[int]time.Duration{2: 700 * time.Millisecond}, func(nodes []*Node) {
+		time.Sleep(2200 * time.Millisecond) // joined ~0.8s, sourced by ~1s
+		nodes[2].Shutdown()
+	})
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("member %d: %v (report %+v)", i+1, errs[i], reports[i])
+		}
+		if !reports[i].Converged || reports[i].OrderErr != "" {
+			t.Fatalf("member %d: %+v", i+1, reports[i])
+		}
+	}
+	if errs[2] != nil {
+		t.Fatalf("joiner-leaver: %v (report %+v)", errs[2], reports[2])
+	}
+	if !reports[2].Left {
+		t.Fatalf("joiner-leaver not marked Left: %+v", reports[2])
+	}
+	if reports[0].OrderHash != reports[1].OrderHash {
+		t.Fatalf("members diverged: %s vs %s", reports[0].OrderHash, reports[1].OrderHash)
+	}
+	// Epochs: join (2) then leave (3).
+	if reports[0].Epoch < 3 {
+		t.Fatalf("members never applied the leave epoch: %+v", reports[0])
+	}
+	if reports[2].FirstGlobal <= 1 {
+		t.Fatalf("joiner started at global %d — not a mid-stream join", reports[2].FirstGlobal)
+	}
+	// The post-splice calibration must have produced offset-corrected
+	// cross-latency samples for seed-sourced traffic.
+	if reports[2].CrossLatN == 0 {
+		t.Fatal("joiner collected no cross-process latency samples")
+	}
+	t.Logf("joiner-leaver: delivered=%d from global %d, crossLatN=%d, members epoch=%d",
+		reports[2].Delivered, reports[2].FirstGlobal, reports[2].CrossLatN, reports[0].Epoch)
+}

@@ -112,11 +112,33 @@ type Transport struct {
 	h  Handler
 	wg sync.WaitGroup
 
+	// removedStats aggregates the counters of peers dropped by
+	// RemovePeer, keyed under node 0 in Stats.
+	removedStats PeerStats
+
+	// offsets holds the best (lowest-RTT) clock-offset sample per peer,
+	// collected from TimeSync pongs.
+	offsets map[seq.NodeID]offsetSample
+
 	// OnControl, when set before Start, receives frame-level control
 	// flags (FlagDone gossip). Called from the reader (or a delay
 	// timer) goroutine, like Handler. Control frames ride the same
 	// socket and fault injector as protocol traffic.
 	OnControl func(from seq.NodeID, flags uint8)
+
+	// OnUnknown, when set before Start, receives frames from senders not
+	// in the peer table instead of having them dropped and counted. Live
+	// membership uses it for the one legitimate unknown-sender message:
+	// a JoinReq from a process that is not (yet) a ring member. Called
+	// from the reader goroutine.
+	OnUnknown func(f Frame)
+}
+
+// offsetSample is one NTP-lite estimate: offset ≈ remote clock − local
+// clock, believed to within ±rtt/2.
+type offsetSample struct {
+	offset time.Duration
+	rtt    time.Duration
 }
 
 // Listen binds the socket described by cfg. Peers are added with
@@ -154,19 +176,22 @@ func Listen(cfg TransportConfig) (*Transport, error) {
 		max = MaxDatagram
 	}
 	return &Transport{
-		self:   cfg.Self,
-		conn:   conn,
-		max:    max,
-		peers:  make(map[seq.NodeID]*peer),
-		rng:    sim.NewRNG(cfg.Faults.Seed),
-		faults: cfg.Faults,
+		self:    cfg.Self,
+		conn:    conn,
+		max:     max,
+		peers:   make(map[seq.NodeID]*peer),
+		offsets: make(map[seq.NodeID]offsetSample),
+		rng:     sim.NewRNG(cfg.Faults.Seed),
+		faults:  cfg.Faults,
 	}, nil
 }
 
 // LocalAddr returns the bound socket address.
 func (t *Transport) LocalAddr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
 
-// AddPeer installs the address of a remote member.
+// AddPeer installs the address of a remote member. Re-adding an existing
+// peer keeps its sequence counters and stats (live membership re-learns
+// addresses from RingUpdates).
 func (t *Transport) AddPeer(id seq.NodeID, addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -174,8 +199,45 @@ func (t *Transport) AddPeer(id seq.NodeID, addr string) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if p, ok := t.peers[id]; ok {
+		p.addr = ua
+		return nil
+	}
 	t.peers[id] = &peer{addr: ua}
 	return nil
+}
+
+// RemovePeer drops a member from the peer table (ring removal after the
+// lame-duck grace): its stats are folded into the dead-peer aggregate so
+// Stats stays complete, and subsequent frames from it count as unknown.
+func (t *Transport) RemovePeer(id seq.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[id]; ok {
+		t.removedStats.merge(p.st)
+		delete(t.peers, id)
+	}
+}
+
+// HasPeer reports whether id is in the peer table.
+func (t *Transport) HasPeer(id seq.NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.peers[id]
+	return ok
+}
+
+func (s *PeerStats) merge(o PeerStats) {
+	s.SentDatagrams += o.SentDatagrams
+	s.SentMsgs += o.SentMsgs
+	s.SentBytes += o.SentBytes
+	s.RecvDatagrams += o.RecvDatagrams
+	s.RecvMsgs += o.RecvMsgs
+	s.RecvBytes += o.RecvBytes
+	s.OutOfOrder += o.OutOfOrder
+	s.GapsSeen += o.GapsSeen
+	s.InjectedDrops += o.InjectedDrops
+	s.InjectedDelays += o.InjectedDelays
 }
 
 // Start installs the receive handler and starts the reader goroutine.
@@ -301,7 +363,68 @@ func (t *Transport) Stats() Stats {
 	for id, p := range t.peers {
 		s.Peers[id] = p.st
 	}
+	if t.removedStats != (PeerStats{}) {
+		// Counters of peers removed from the ring, folded under node 0.
+		s.Peers[0] = t.removedStats
+	}
 	return s
+}
+
+// --- clock-offset estimation (NTP-lite) ---
+
+// SendTimePing probes one peer's clock: the pong handler records the
+// classic offset estimate T2 − (T1+T4)/2 and keeps the sample with the
+// smallest round trip (least asymmetric queueing error).
+func (t *Transport) SendTimePing(to seq.NodeID) error {
+	return t.Send(to, &msg.TimeSync{Phase: 0, T1: time.Now().UnixNano()})
+}
+
+// SyncClocks runs `rounds` ping exchanges against every current peer,
+// spaced by gap, blocking between rounds. Call it after Start (pongs
+// arrive through the reader) and before latency measurement begins.
+func (t *Transport) SyncClocks(rounds int, gap time.Duration) {
+	t.mu.Lock()
+	ids := make([]seq.NodeID, 0, len(t.peers))
+	for id := range t.peers {
+		ids = append(ids, id)
+	}
+	t.mu.Unlock()
+	for r := 0; r < rounds; r++ {
+		for _, id := range ids {
+			t.SendTimePing(id) // best-effort; lossy sockets drop some
+		}
+		time.Sleep(gap)
+	}
+}
+
+// OffsetOf returns the estimated clock offset of peer id relative to the
+// local clock (remote − local), if any pong was collected.
+func (t *Transport) OffsetOf(id seq.NodeID) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.offsets[id]
+	return s.offset, ok
+}
+
+// handleTimeSync consumes one TimeSync at the transport layer: pings are
+// answered immediately (minimizing the asymmetric processing delay the
+// offset formula cannot cancel), pongs fold into the per-peer estimate.
+func (t *Transport) handleTimeSync(from seq.NodeID, v *msg.TimeSync) {
+	if v.Phase == 0 {
+		t.Send(from, &msg.TimeSync{Phase: 1, T1: v.T1, T2: time.Now().UnixNano()})
+		return
+	}
+	t4 := time.Now().UnixNano()
+	rtt := time.Duration(t4 - v.T1)
+	if rtt < 0 {
+		return
+	}
+	off := time.Duration(v.T2 - (v.T1+t4)/2)
+	t.mu.Lock()
+	if old, ok := t.offsets[from]; !ok || rtt < old.rtt {
+		t.offsets[from] = offsetSample{offset: off, rtt: rtt}
+	}
+	t.mu.Unlock()
 }
 
 // Close shuts the socket and joins the reader and all pending delayed
@@ -353,8 +476,12 @@ func (t *Transport) receive(pkt []byte) {
 	}
 	p, ok := t.peers[f.From]
 	if !ok {
+		ou := t.OnUnknown
 		t.recvUnknown++
 		t.mu.Unlock()
+		if ou != nil {
+			ou(f)
+		}
 		return
 	}
 	if t.faults.Loss > 0 && t.rng.Bool(t.faults.Loss) {
@@ -381,6 +508,27 @@ func (t *Transport) receive(pkt []byte) {
 	h := t.h
 	oc := t.OnControl
 	t.mu.Unlock()
+	// Clock probes are transport business: answer/record them here —
+	// timestamped as close to the socket as possible — and keep them out
+	// of the protocol dispatch. They are rare (a startup burst), so the
+	// scan below costs nothing on the data path.
+	sync := 0
+	for _, m := range f.Msgs {
+		if _, ok := m.(*msg.TimeSync); ok {
+			sync++
+		}
+	}
+	if sync > 0 {
+		rest := make([]msg.Message, 0, len(f.Msgs)-sync)
+		for _, m := range f.Msgs {
+			if ts, ok := m.(*msg.TimeSync); ok {
+				t.handleTimeSync(f.From, ts)
+			} else {
+				rest = append(rest, m)
+			}
+		}
+		f.Msgs = rest
+	}
 	dispatch := func() {
 		if f.Flags != 0 && oc != nil {
 			oc(f.From, f.Flags)
@@ -388,6 +536,9 @@ func (t *Transport) receive(pkt []byte) {
 		if len(f.Msgs) > 0 && h != nil {
 			h(f.From, f.Msgs)
 		}
+	}
+	if len(f.Msgs) == 0 && f.Flags == 0 {
+		return
 	}
 	if delay <= 0 {
 		dispatch()

@@ -261,3 +261,115 @@ func TestTransportUnknownPeer(t *testing.T) {
 	}
 	t.Fatalf("unknown-sender datagram not counted: %+v", b.Stats())
 }
+
+// TestTimeSyncOffset: two loopback transports share a clock, so the
+// NTP-lite estimate must come out near zero (bounded by the measured
+// round trip), and pings must never reach the protocol handler.
+func TestTimeSyncOffset(t *testing.T) {
+	a, b := pairUp(t, Faults{}, Faults{})
+	var mu sync.Mutex
+	leaked := 0
+	sink := func(seq.NodeID, []msg.Message) {
+		mu.Lock()
+		leaked++
+		mu.Unlock()
+	}
+	a.Start(sink)
+	b.Start(sink)
+	a.SyncClocks(5, 5*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := a.OffsetOf(2); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no clock-offset sample collected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	off, _ := a.OffsetOf(2)
+	if off < -50*time.Millisecond || off > 50*time.Millisecond {
+		t.Fatalf("same-host offset estimate %v implausibly large", off)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d TimeSync frames leaked into the protocol handler", leaked)
+	}
+}
+
+// TestRemovePeer: a removed peer's frames count as unknown, sends to it
+// fail, and its traffic history survives in the dead-peer aggregate.
+func TestRemovePeer(t *testing.T) {
+	a, b := pairUp(t, Faults{}, Faults{})
+	got := make(chan struct{}, 16)
+	a.Start(func(seq.NodeID, []msg.Message) { got <- struct{}{} })
+	b.Start(func(seq.NodeID, []msg.Message) {})
+	if err := b.Send(1, &msg.Heartbeat{From: 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-removal heartbeat never arrived")
+	}
+
+	a.RemovePeer(2)
+	if a.HasPeer(2) {
+		t.Fatal("HasPeer after RemovePeer")
+	}
+	if err := a.Send(2, &msg.Heartbeat{From: 1}); err == nil {
+		t.Fatal("send to removed peer succeeded")
+	}
+	if st := a.Stats(); st.Peers[0].RecvDatagrams == 0 {
+		t.Fatalf("removed peer's stats not aggregated: %+v", st)
+	}
+	if err := b.Send(1, &msg.Heartbeat{From: 2}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Stats().RecvUnknown == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("post-removal frame not counted as unknown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOnUnknownJoinPath: a frame from a sender outside the peer table
+// reaches the OnUnknown hook — the transport half of the live-join path.
+func TestOnUnknownJoinPath(t *testing.T) {
+	a, err := Listen(TransportConfig{Self: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner, err := Listen(TransportConfig{Self: 9, Listen: "127.0.0.1:0"})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); joiner.Close() })
+	reqs := make(chan Frame, 4)
+	a.OnUnknown = func(f Frame) { reqs <- f }
+	a.Start(func(seq.NodeID, []msg.Message) {})
+	joiner.Start(func(seq.NodeID, []msg.Message) {})
+	if err := joiner.AddPeer(1, a.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	want := &msg.JoinReq{Group: 1, Node: 9, Addr: joiner.LocalAddr().String()}
+	if err := joiner.Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-reqs:
+		if f.From != 9 || len(f.Msgs) != 1 {
+			t.Fatalf("unexpected unknown frame %+v", f)
+		}
+		jr, ok := f.Msgs[0].(*msg.JoinReq)
+		if !ok || jr.Node != 9 || jr.Addr != want.Addr {
+			t.Fatalf("unexpected join request %+v", f.Msgs[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("JoinReq from unknown sender never surfaced")
+	}
+}
