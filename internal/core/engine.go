@@ -348,6 +348,18 @@ func (e *Engine) OnTopologyChanged(affected ...seq.NodeID) {
 	}
 }
 
+// OrdersWell reports whether Message-Ordering at the node sees recent
+// token activity (or holds the token right now) — i.e. the ring is
+// token-alive from its vantage point. The wire daemon's convergence
+// gate uses this: a node must not declare itself done on a token-dead
+// ring, where pending repair could still change what it delivers.
+func (e *Engine) OrdersWell(id seq.NodeID) bool {
+	if ne := e.nes[id]; ne != nil && !ne.failed {
+		return ne.ordersWell()
+	}
+	return false
+}
+
 // DropPeer cancels reliable-delivery state at node `at` that targets a
 // member removed from the ring. Topology must already reflect the
 // removal (and `at` must have refreshed its neighbor view): a token
@@ -387,6 +399,51 @@ func (e *Engine) OnMultipleToken(at seq.NodeID) {
 	if ne := e.nes[at]; ne != nil && !ne.failed {
 		ne.onMultipleToken()
 	}
+}
+
+// SetDeliveryHold parks (or resumes) delivery at a node without touching
+// its ordered state: the MQ keeps accepting and repairing bodies but the
+// delivery front never advances and no really-lost verdicts are issued.
+// The wire membership plane holds a partition minority's delivery while
+// it sits in the lame ring, so nothing the quorum side might contradict
+// is ever handed to the application.
+func (e *Engine) SetDeliveryHold(at seq.NodeID, hold bool) {
+	if ne := e.nes[at]; ne != nil && !ne.failed {
+		ne.setDeliveryHold(hold)
+	}
+}
+
+// DiscardTokenBelow destroys a token held (or awaiting forward ack) at
+// node `at` whose epoch is strictly below epoch. Returns whether a token
+// was destroyed. Used during partition merge: the minority's parked
+// token must die before its members rejoin the quorum ring.
+func (e *Engine) DiscardTokenBelow(at seq.NodeID, epoch uint64) bool {
+	ne := e.nes[at]
+	if ne == nil || ne.failed {
+		return false
+	}
+	return ne.discardTokenBelow(epoch)
+}
+
+// Readmit resets node `at`'s repair clocks for re-admission into the
+// ring with retained pre-partition state, and releases any delivery
+// hold. A virgin queue with baseline > 0 force-releases like JumpTo.
+func (e *Engine) Readmit(at seq.NodeID, baseline seq.GlobalSeq) {
+	if ne := e.nes[at]; ne != nil && !ne.failed {
+		ne.readmit(baseline)
+	}
+}
+
+// TokenStamp reports the highest (epoch, hops) token stamp node `at` has
+// witnessed, and whether it has witnessed any token at all. The wire
+// membership plane embeds it in ring summaries so merging sides can run
+// Multiple-Token resolution before any member rejoins.
+func (e *Engine) TokenStamp(at seq.NodeID) (epoch, hops uint64, ok bool) {
+	ne := e.nes[at]
+	if ne == nil || !ne.stampSet {
+		return 0, 0, false
+	}
+	return ne.stampEpoch, ne.stampHops, true
 }
 
 // EnsureLink wires a link with tier-appropriate parameters if absent

@@ -44,6 +44,13 @@ type NE struct {
 	filterUntil sim.Time
 	bestToken   *seq.Token
 
+	// deliveryHold parks delivery without touching ordered state: the MQ
+	// keeps accepting and repairing bodies but the front never advances
+	// and no really-lost verdicts are issued. The wire layer sets it on a
+	// partition minority (lame ring) so no delivery the majority might
+	// contradict can happen before the rings merge.
+	deliveryHold bool
+
 	// Reliable hop state.
 	ringSender   *transport.Sender                // ordered stream to ring next (non-top rings)
 	wqSenders    map[seq.NodeID]*transport.Sender // per-source unordered streams to ring next (top ring)
@@ -180,6 +187,7 @@ func (n *NE) reset() {
 	n.tokenSeen = false
 	n.stampSet = false
 	n.bestToken = nil
+	n.deliveryHold = false
 	for _, s := range n.wqSenders {
 		s.Close()
 	}
@@ -262,7 +270,8 @@ func (n *NE) Recv(from seq.NodeID, m msg.Message) {
 	case *msg.SourceData:
 		n.acceptSource(v.LocalSeq, v.Payload)
 	case *msg.Heartbeat, *msg.TokenLoss, *msg.MultipleToken, *msg.HandoffLeave,
-		*msg.JoinReq, *msg.LeaveReq, *msg.RingUpdate:
+		*msg.JoinReq, *msg.LeaveReq, *msg.RingUpdate,
+		*msg.QuorumVote, *msg.RingSummary, *msg.MergeReq:
 		// Membership-plane messages belong to the membership manager.
 		if n.aux != nil {
 			n.aux.Recv(from, m)
@@ -296,6 +305,56 @@ func (n *NE) TokenIdle() bool {
 // The wire membership manager's token watchdog uses it to detect a lost
 // token independently of topology-maintenance signals.
 func (n *NE) TokenActivity() (last sim.Time, seen bool) { return n.lastToken, n.tokenSeen }
+
+// setDeliveryHold parks or resumes delivery. Clearing the hold flushes
+// whatever contiguous run accumulated while parked.
+func (n *NE) setDeliveryHold(hold bool) {
+	if n.deliveryHold == hold {
+		return
+	}
+	n.deliveryHold = hold
+	if !hold {
+		n.deliverLoop()
+	}
+}
+
+// discardTokenBelow destroys a held or in-flight token whose epoch
+// predates epoch (strict less-than). A partition minority re-admitted
+// into the quorum ring calls this so the token it parked during the
+// split can never re-enter circulation and dispute assignments the
+// surviving token already made.
+func (n *NE) discardTokenBelow(epoch uint64) bool {
+	if n.held == nil || n.held.Epoch >= epoch {
+		return false
+	}
+	n.held = nil
+	n.holding = false
+	n.ctrTokenDestroys++
+	if n.tokenCourier.Busy() {
+		n.tokenCourier.Confirm()
+	}
+	n.tokenExpect = ackExpect{}
+	return true
+}
+
+// readmit resets the repair clocks of a member rejoining the ring with
+// retained pre-partition state. Its stall counters accumulated against
+// unreachable peers and would otherwise trigger spurious give-ups the
+// moment repair resumes; the token clock is refreshed so the watchdog
+// measures from re-admission, not from before the split. A virgin queue
+// with a baseline force-releases exactly like a fresh join.
+func (n *NE) readmit(baseline seq.GlobalSeq) {
+	if baseline > 0 && n.mq.Rear() == 0 {
+		n.mq.ForceRelease(baseline)
+	}
+	n.stallSince = make(map[seq.NodeID]sim.Time)
+	n.stallRounds = make(map[seq.NodeID]int)
+	n.frontStall, n.frontRounds, n.frontG = 0, 0, 0
+	if n.tokenSeen {
+		n.lastToken = n.now()
+	}
+	n.setDeliveryHold(false)
+}
 
 // dropPeer severs reliable-delivery state targeting a member that was
 // removed from the ring. The caller has already repaired the topology
@@ -353,6 +412,12 @@ func (n *NE) dropPeer(dead seq.NodeID) {
 		n.regenCourier.Confirm()
 		n.regenExpect = ackExpect{}
 	}
+	// Reconfiguration invalidates the regen-traversal dedup stamp: the
+	// membership plane legitimately re-raises Token-Loss right after a
+	// commit, and that fresh traversal must not be mistaken for a courier
+	// retransmit of one that died on the old ring. A true duplicate that
+	// slips through dies at its origin's ordersWell gate.
+	n.lastRegen = regenStamp{}
 	if n.joinCourier.Busy() && n.joinCourier.To() == dead {
 		n.joinCourier.Confirm()
 		n.awaitingJoin = false
@@ -889,6 +954,9 @@ func (n *NE) applyCumAck(from seq.NodeID, cum seq.GlobalSeq) {
 // burst per hop instead of one send per message. Really-lost gaps
 // propagate as Skip frames inside the run.
 func (n *NE) deliverLoop() {
+	if n.deliveryHold {
+		return
+	}
 	lo, hi := n.mq.AdvanceRun()
 	if hi >= lo {
 		if h := n.e.OnDeliver; h != nil {

@@ -246,6 +246,12 @@ func (n *NE) maybeNackFront() {
 	if n.e.Cfg.NackBroadcastAfter <= 0 {
 		return // seed behavior: WQ-stall-driven repair only
 	}
+	if n.deliveryHold {
+		// Parked (lame ring): the front is held on purpose, and a
+		// really-lost verdict issued here could contradict a delivery the
+		// quorum side makes. Repair restarts when the hold clears.
+		return
+	}
 	g := n.mq.Front() + 1
 	if g > n.mq.Rear() {
 		n.frontStall = 0
@@ -469,6 +475,9 @@ func (n *NE) lookupAssignment(src seq.NodeID, l seq.LocalSeq) (seq.GlobalSeq, se
 // the source gone from the hierarchy the really-lost rule applies — the
 // body died with its source and every stalled member skips it alike.
 func (n *NE) maybeNack(src seq.NodeID, g seq.GlobalSeq) {
+	if n.deliveryHold {
+		return // parked: see maybeNackFront
+	}
 	since, ok := n.stallSince[src]
 	if !ok {
 		n.stallSince[src] = n.now()

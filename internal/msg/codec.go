@@ -304,6 +304,40 @@ func Encode(m Message) []byte {
 			w.u32(uint32(m.Node))
 			w.bytes([]byte(m.Addr))
 		}
+		if v.Merge {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.optSeq(v.MergeTokenEpoch)
+	case *QuorumVote:
+		w.u32(uint32(v.Group))
+		w.u64(v.Epoch)
+		w.u64(v.Base)
+		w.u32(uint32(v.Proposer))
+		w.u32(uint32(v.Voter))
+		if v.Granted {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	case *RingSummary:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.From))
+		w.u64(v.Epoch)
+		w.u64(uint64(v.Front))
+		w.u64(v.OrderHash)
+		w.u64(v.TokenEpoch)
+		w.u64(v.TokenHops)
+	case *MergeReq:
+		w.u32(uint32(v.Group))
+		w.u32(uint32(v.Node))
+		w.bytes([]byte(v.Addr))
+		w.u64(v.Epoch)
+		w.u64(uint64(v.Front))
+		w.u64(v.OrderHash)
+		w.u64(v.TokenEpoch)
+		w.u64(v.TokenHops)
 	case *TimeSync:
 		w.u8(v.Phase)
 		w.u64(uint64(v.T1))
@@ -463,6 +497,38 @@ func Decode(buf []byte) (Message, error) {
 				v.Members = append(v.Members, ma)
 			}
 		}
+		v.Merge = r.u8() == 1
+		v.MergeTokenEpoch = r.optSeq()
+		m = v
+	case KindQuorumVote:
+		v := &QuorumVote{}
+		v.Group = seq.GroupID(r.u32())
+		v.Epoch = r.u64()
+		v.Base = r.u64()
+		v.Proposer = seq.NodeID(r.u32())
+		v.Voter = seq.NodeID(r.u32())
+		v.Granted = r.u8() == 1
+		m = v
+	case KindRingSummary:
+		v := &RingSummary{}
+		v.Group = seq.GroupID(r.u32())
+		v.From = seq.NodeID(r.u32())
+		v.Epoch = r.u64()
+		v.Front = seq.GlobalSeq(r.u64())
+		v.OrderHash = r.u64()
+		v.TokenEpoch = r.u64()
+		v.TokenHops = r.u64()
+		m = v
+	case KindMergeReq:
+		v := &MergeReq{}
+		v.Group = seq.GroupID(r.u32())
+		v.Node = seq.NodeID(r.u32())
+		v.Addr = string(r.bytes())
+		v.Epoch = r.u64()
+		v.Front = seq.GlobalSeq(r.u64())
+		v.OrderHash = r.u64()
+		v.TokenEpoch = r.u64()
+		v.TokenHops = r.u64()
 		m = v
 	case KindTimeSync:
 		v := &TimeSync{}

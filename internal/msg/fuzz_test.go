@@ -83,7 +83,7 @@ func (t *taker) addr() string {
 // byte. Every Kind is reachable.
 func build(data []byte) Message {
 	t := &taker{b: data}
-	switch Kind(t.u8()%uint8(KindTimeSync) + 1) {
+	switch Kind(t.u8()%uint8(KindMergeReq) + 1) {
 	case KindData:
 		return &Data{
 			Group:        seq.GroupID(t.u32()),
@@ -191,9 +191,41 @@ func build(data []byte) Message {
 		for j := int(t.u8()) % 8; j > 0; j-- { // nil when 0, matching Decode
 			ru.Members = append(ru.Members, MemberAddr{Node: seq.NodeID(t.u32()), Addr: t.addr()})
 		}
+		ru.Merge = t.u8()%2 == 1
+		ru.MergeTokenEpoch = t.u64() % 3 * t.u64() // often zero
 		return ru
 	case KindTimeSync:
 		return &TimeSync{Phase: t.u8() % 2, T1: int64(t.u64()), T2: int64(t.u64())}
+	case KindQuorumVote:
+		return &QuorumVote{
+			Group:    seq.GroupID(t.u32()),
+			Epoch:    t.u64(),
+			Base:     t.u64(),
+			Proposer: seq.NodeID(t.u32()),
+			Voter:    seq.NodeID(t.u32()),
+			Granted:  t.u8()%2 == 1,
+		}
+	case KindRingSummary:
+		return &RingSummary{
+			Group:      seq.GroupID(t.u32()),
+			From:       seq.NodeID(t.u32()),
+			Epoch:      t.u64(),
+			Front:      seq.GlobalSeq(t.u64()),
+			OrderHash:  t.u64(),
+			TokenEpoch: t.u64(),
+			TokenHops:  t.u64(),
+		}
+	case KindMergeReq:
+		return &MergeReq{
+			Group:      seq.GroupID(t.u32()),
+			Node:       seq.NodeID(t.u32()),
+			Addr:       t.addr(),
+			Epoch:      t.u64(),
+			Front:      seq.GlobalSeq(t.u64()),
+			OrderHash:  t.u64(),
+			TokenEpoch: t.u64(),
+			TokenHops:  t.u64(),
+		}
 	}
 	return nil
 }
@@ -206,7 +238,7 @@ func build(data []byte) Message {
 // rebuild is faithful). The raw fuzz input is additionally thrown at
 // Decode, which must reject garbage with an error, never a panic.
 func FuzzCodecRoundTrip(f *testing.F) {
-	for k := 1; k <= int(KindTimeSync); k++ {
+	for k := 1; k <= int(KindMergeReq); k++ {
 		seed := append([]byte{byte(k - 1)}, bytes.Repeat([]byte{0x5a, 3, 0xc1, 7}, 40)...)
 		f.Add(seed)
 		f.Add(append([]byte{byte(k - 1)}, bytes.Repeat([]byte{0xff}, 150)...))

@@ -80,6 +80,21 @@ const (
 	// directly from its reader, used for cross-process clock-offset
 	// estimation. It never reaches the protocol core.
 	KindTimeSync
+	// KindQuorumVote carries one round of the wire membership plane's
+	// epoch quorum: a coordinator proposes the next epoch number and each
+	// previous-epoch member grants it at most one proposer. An epoch (and
+	// therefore an eviction) commits only with a majority of grants, so a
+	// partition minority can never advance the ring on its own.
+	KindQuorumVote
+	// KindRingSummary is the quorum side's merge offer across a healed
+	// partition: epoch, delivery front, order-hash fingerprint, and the
+	// surviving token's (epoch, hops) stamp, sent to a probing member the
+	// ring evicted while partitioned.
+	KindRingSummary
+	// KindMergeReq is the minority member's answer to a RingSummary: its
+	// own epoch/front/hash/token summary plus its transport address,
+	// asking the quorum coordinator to splice it back in.
+	KindMergeReq
 )
 
 var kindNames = map[Kind]string{
@@ -105,6 +120,9 @@ var kindNames = map[Kind]string{
 	KindLeaveReq:      "leave-req",
 	KindRingUpdate:    "ring-update",
 	KindTimeSync:      "time-sync",
+	KindQuorumVote:    "quorum-vote",
+	KindRingSummary:   "ring-summary",
+	KindMergeReq:      "merge-req",
 }
 
 func (k Kind) String() string {
@@ -431,17 +449,28 @@ func (l *LeaveReq) WireSize() int { return 1 + 4 + 4 }
 // Baseline is the coordinator's delivery front when the epoch was
 // created; a joiner force-releases its virgin MQ to it so delivery
 // starts at the stream's current position instead of global sequence 1.
+//
+// Merge marks a partition-heal epoch that re-admits members holding
+// pre-partition state: every applier arms the paper's Multiple-Token
+// filter atomically with the epoch, and MergeTokenEpoch (when non-zero)
+// names the surviving token's epoch so a re-admitted member discards a
+// parked token from before the split instead of re-injecting it.
 type RingUpdate struct {
-	Group    seq.GroupID
-	Epoch    uint64
-	Coord    seq.NodeID
-	Baseline seq.GlobalSeq
-	Members  []MemberAddr
+	Group           seq.GroupID
+	Epoch           uint64
+	Coord           seq.NodeID
+	Baseline        seq.GlobalSeq
+	Members         []MemberAddr
+	Merge           bool
+	MergeTokenEpoch uint64
 }
 
 func (*RingUpdate) Kind() Kind { return KindRingUpdate }
 func (r *RingUpdate) WireSize() int {
-	n := 1 + 4 + 8 + 4 + 8 + 4
+	n := 1 + 4 + 8 + 4 + 8 + 4 + 1 + 1
+	if r.MergeTokenEpoch != 0 {
+		n += 8
+	}
 	for _, m := range r.Members {
 		n += 4 + 4 + len(m.Addr)
 	}
@@ -460,6 +489,67 @@ type TimeSync struct {
 
 func (*TimeSync) Kind() Kind      { return KindTimeSync }
 func (t *TimeSync) WireSize() int { return 1 + 1 + 8 + 8 }
+
+// QuorumVote is one leg of the wire membership plane's epoch quorum.
+// With Granted false it is the proposer's request: Proposer, whose last
+// committed epoch is Base, asks Voter to grant it epoch number Epoch
+// (> Base; numbers may skip when an earlier proposal died ungranted).
+// With Granted true it is the voter's reply. A voter grants a given
+// epoch number to at most one proposer, and only to a proposer whose
+// Base matches its own committed epoch — a proposer that missed a
+// commit is caught up with the current RingUpdate instead of granted —
+// so two sides of a partition can never both commit the same epoch:
+// one of them fails to reach a majority of the previous epoch's
+// membership and parks lame instead.
+type QuorumVote struct {
+	Group    seq.GroupID
+	Epoch    uint64
+	Base     uint64
+	Proposer seq.NodeID
+	Voter    seq.NodeID
+	Granted  bool
+}
+
+func (*QuorumVote) Kind() Kind      { return KindQuorumVote }
+func (q *QuorumVote) WireSize() int { return 1 + 4 + 8 + 8 + 4 + 4 + 1 }
+
+// RingSummary is the quorum side's merge offer across a healed
+// partition: when a probe heartbeat from a member the ring evicted while
+// partitioned reaches the coordinator, it answers with its epoch,
+// delivery front, order-hash fingerprint, and the surviving token's
+// (epoch, hops) stamp. The minority member compares the summary against
+// its own state and answers with a MergeReq to be spliced back in.
+type RingSummary struct {
+	Group      seq.GroupID
+	From       seq.NodeID
+	Epoch      uint64
+	Front      seq.GlobalSeq
+	OrderHash  uint64
+	TokenEpoch uint64
+	TokenHops  uint64
+}
+
+func (*RingSummary) Kind() Kind      { return KindRingSummary }
+func (r *RingSummary) WireSize() int { return 1 + 4 + 4 + 8 + 8 + 8 + 8 + 8 }
+
+// MergeReq is the minority member's answer to a RingSummary: its own
+// epoch/front/hash/token summary plus its transport address, asking the
+// quorum coordinator to splice it back into the ring at the next epoch.
+type MergeReq struct {
+	Group      seq.GroupID
+	Node       seq.NodeID
+	Addr       string
+	Epoch      uint64
+	Front      seq.GlobalSeq
+	OrderHash  uint64
+	TokenEpoch uint64
+	TokenHops  uint64
+}
+
+func (*MergeReq) Kind() Kind { return KindMergeReq }
+func (m *MergeReq) WireSize() int {
+	return 1 + 4 + 4 + 4 + len(m.Addr) + 8 + 8 + 8 + 8 + 8
+}
 
 // Compile-time interface checks.
 var (
@@ -484,4 +574,7 @@ var (
 	_ Message = (*Reserve)(nil)
 	_ Message = (*Progress)(nil)
 	_ Message = (*Heartbeat)(nil)
+	_ Message = (*QuorumVote)(nil)
+	_ Message = (*RingSummary)(nil)
+	_ Message = (*MergeReq)(nil)
 )

@@ -61,10 +61,13 @@ type Config struct {
 	LameMS       int64 `json:"lame_ms,omitempty"`
 	TokenWatchMS int64 `json:"token_watch_ms,omitempty"`
 
-	// Fault injection on inbound datagrams (socket layer).
-	Seed     uint64  `json:"seed"`
-	Loss     float64 `json:"loss"`
-	JitterUS int64   `json:"jitter_us"`
+	// Fault injection on inbound datagrams (socket layer). DropRules is
+	// the programmable per-peer, time-windowed drop matrix the partition
+	// harness uses to cut a cluster without touching sockets.
+	Seed      uint64     `json:"seed"`
+	Loss      float64    `json:"loss"`
+	JitterUS  int64      `json:"jitter_us"`
+	DropRules []DropRule `json:"drop_rules,omitempty"`
 
 	// Workload: this node sources Count messages of Payload bytes at
 	// RateHz, starting StartMS after launch (time for the other members
@@ -127,6 +130,20 @@ type Report struct {
 	// eviction): the node drained and exited mid-run by design.
 	Epoch uint64 `json:"epoch,omitempty"`
 	Left  bool   `json:"left,omitempty"`
+
+	// Partition life cycle: Lame is the final lame-ring state (true
+	// only if the node ended parked in a minority fragment);
+	// LameEntries/LameMS count park episodes and total parked time;
+	// LameDeliveries MUST stay 0 (a parked member delivers nothing).
+	// Merges counts merge epochs this node coordinated; HealUS is the
+	// probe-to-readmission latency of the last completed heal, in
+	// microseconds (on loopback the whole handshake is sub-millisecond).
+	Lame           bool   `json:"lame,omitempty"`
+	LameEntries    uint64 `json:"lame_entries,omitempty"`
+	LameMS         int64  `json:"lame_ms,omitempty"`
+	LameDeliveries uint64 `json:"lame_deliveries,omitempty"`
+	Merges         uint64 `json:"merges,omitempty"`
+	HealUS         int64  `json:"heal_us,omitempty"`
 
 	// OrderHash fingerprints the delivered total order (identical on
 	// every member iff they delivered the same stream in the same
@@ -277,6 +294,7 @@ func NewNode(cfg Config) (*Node, error) {
 			Loss:   cfg.Loss,
 			Jitter: time.Duration(cfg.JitterUS) * time.Microsecond,
 		},
+		Drops: cfg.DropRules,
 	})
 	if err != nil {
 		return nil, err
@@ -379,7 +397,8 @@ func (nd *Node) Run() (Report, error) {
 	// measure cross-process latency and inter-delivery gaps, and dump
 	// the trace when asked.
 	oh := metrics.NewOrderHash()
-	var delivered uint64
+	var ms *Membership // set below in live mode; OnDeliver reads it
+	var delivered, lameDeliveries uint64
 	var firstG, lastG seq.GlobalSeq
 	var lastDeliverAt, maxGap sim.Time
 	var crossLat metrics.Sample
@@ -398,6 +417,9 @@ func (nd *Node) Run() (Report, error) {
 		oh.Note(d.GlobalSeq, d.SourceNode, d.LocalSeq)
 		e.Log.Deliver(uint32(at), d.GlobalSeq, d.SourceNode, d.LocalSeq, net.Now())
 		delivered++
+		if ms != nil && ms.Lame() {
+			lameDeliveries++ // must stay 0: the lame ring is read-only
+		}
 		if firstG == 0 {
 			firstG = d.GlobalSeq
 		}
@@ -456,7 +478,6 @@ func (nd *Node) Run() (Report, error) {
 	}
 
 	// Live membership plane.
-	var ms *Membership
 	if cfg.Live {
 		tun := MemberTunables{
 			Heartbeat:  sim.Time(cfg.HeartbeatMS) * sim.Millisecond,
@@ -476,6 +497,7 @@ func (nd *Node) Run() (Report, error) {
 			}
 		}
 		ms = NewMembership(e, nd.tr, br, nd.self, nd.LocalAddr(), tun, initial, ringID, seeds)
+		ms.OrderHash = oh.Sum64 // RingSummary/MergeReq carry the live order fingerprint
 		if os.Getenv("RINGNET_MEMBER_TRACE") != "" {
 			ms.Trace = func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "member[%d@%v]: %s\n", cfg.Node, time.Since(wallStart).Round(time.Millisecond), fmt.Sprintf(format, args...))
@@ -613,7 +635,14 @@ func (nd *Node) Run() (Report, error) {
 				// sent, no undelivered slot in the MQ (an open gap means
 				// repair is still running), senders drained, and the
 				// delivery stream idle.
-				if !ms.Joined() || !sent() || !e.Quiesced() {
+				if !ms.Joined() || ms.Lame() || !sent() || !e.Quiesced() {
+					return false
+				}
+				// A token-dead ring is never converged, however idle:
+				// a pending regeneration may order messages this node
+				// has not yet seen, so leaving now could strand a
+				// divergent delivery prefix.
+				if !e.OrdersWell(nd.self) {
 					return false
 				}
 				q := e.QueueOf(nd.self)
@@ -775,6 +804,12 @@ func (nd *Node) Run() (Report, error) {
 			rep.OrderErr = err.Error()
 		}
 		if ms != nil {
+			rep.Lame = ms.Lame()
+			rep.LameEntries = ms.LameEntries
+			rep.LameMS = int64(ms.LameTime() / sim.Millisecond)
+			rep.LameDeliveries = lameDeliveries
+			rep.Merges = ms.Merges
+			rep.HealUS = int64(ms.HealLatency() / sim.Microsecond)
 			ms.Stop()
 		}
 	})

@@ -368,3 +368,124 @@ func TestClusterGracefulLeaveSIGTERM(t *testing.T) {
 	t.Logf("leaver: clean prefix of %d/%d lines, survivors epoch=%d",
 		len(lt), len(ref), members[0].Report.Epoch)
 }
+
+// TestClusterPartitionHeal: the network splits a 5-process cluster 3/2
+// for seven seconds. The majority side must form a quorum, evict the
+// unreachable pair at a new epoch, and keep ordering traffic; the
+// minority side must detect the loss of quorum and park in the
+// read-only lame ring (delivering nothing new). When the drop matrix
+// expires, the lame side's probe heartbeats cross the healed link, the
+// sides exchange ring summaries, and the quorum coordinator splices the
+// minority back in. All five members must converge to one order hash
+// with line-for-line identical delivery traces.
+func TestClusterPartitionHeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5-process partition cluster in -short")
+	}
+	// Sizing matters: the whole run must stay under the token's
+	// CompactKeep window (1024 globals) so the post-heal token still
+	// carries every assignment the minority missed — that is what lets
+	// the rejoined pair discover the full gap and Nack-repair it into
+	// a complete, identical trace. 3×200 + 2×50 = 700 globals.
+	members, err := Run(Options{
+		Nodes:       5,
+		Count:       200,
+		RateHz:      60,
+		Payload:     48,
+		Seed:        41,
+		StartMS:     500,
+		DeadlineMS:  45000,
+		Live:        true,
+		HeartbeatMS: 100,
+		SuspectMS:   2500, // must exceed worst-case process spawn stagger under CI load
+		LameMS:      1500,
+		IdleMS:      2500, // heal at 6.5s must land before the majority latches Done
+		Trace:       true,
+		Splits: []SplitWindow{
+			{A: []int{0, 1, 2}, B: []int{3, 4}, FromMS: 2000, UntilMS: 6500},
+		},
+		Specs: map[int]Spec{
+			// The minority pair finishes sourcing before the cut so the
+			// lame ring holds a committed prefix, not in-flight traffic.
+			3: {Count: 50},
+			4: {Count: 50},
+		},
+		Dir:     t.TempDir(),
+		Command: selfExec(t),
+	})
+	if err != nil {
+		t.Fatalf("cluster failed: %v", err)
+	}
+	var matrixDrops, merges uint64
+	var healUS int64
+	for i, m := range members {
+		r := m.Report
+		if !r.Converged {
+			t.Fatalf("member %v did not converge: %+v\nstderr: %s", m.ID, r, m.Stderr)
+		}
+		if r.OrderErr != "" {
+			t.Fatalf("member %v order violation: %s", m.ID, r.OrderErr)
+		}
+		if r.Members != 5 {
+			t.Fatalf("member %v final membership %d, want 5", m.ID, r.Members)
+		}
+		if r.Epoch < 3 {
+			// eviction epoch(s) during the cut plus the merge epoch
+			t.Fatalf("member %v finished at epoch %d — partition never reconfigured the ring", m.ID, r.Epoch)
+		}
+		if r.Lame {
+			t.Fatalf("member %v is still parked in the lame ring after heal: %+v", m.ID, r)
+		}
+		if r.LameDeliveries != 0 {
+			t.Fatalf("member %v delivered %d messages while lame — the lame ring must be read-only",
+				m.ID, r.LameDeliveries)
+		}
+		if i >= 3 {
+			if r.LameEntries == 0 {
+				t.Fatalf("minority member %v never entered the lame ring: %+v", m.ID, r)
+			}
+			if r.LameMS <= 0 {
+				t.Fatalf("minority member %v reports no parked time: %+v", m.ID, r)
+			}
+		}
+		if r.OrderHash != members[0].Report.OrderHash {
+			t.Fatalf("member %v hash %s diverged from member %v hash %s",
+				m.ID, r.OrderHash, members[0].ID, members[0].Report.OrderHash)
+		}
+		matrixDrops += r.Transport.MatrixDrops
+		merges += r.Merges
+		if r.HealUS > healUS {
+			healUS = r.HealUS
+		}
+		t.Logf("member %v: delivered=%d epoch=%d lameEntries=%d lameMS=%d merges=%d healUS=%d wall=%dms",
+			m.ID, r.Delivered, r.Epoch, r.LameEntries, r.LameMS, r.Merges, r.HealUS, r.WallMS)
+	}
+	if matrixDrops == 0 {
+		t.Fatal("drop matrix never dropped a frame — the partition was not induced")
+	}
+	if merges == 0 {
+		t.Fatal("no member coordinated a ring merge — the heal path went unexercised")
+	}
+	if healUS <= 0 {
+		t.Fatal("no member measured a heal latency")
+	}
+	// Line-for-line identical traces: everyone started at global 1, so
+	// full equality, not suffix containment.
+	ref := readTrace(t, members[0].TracePath)
+	if len(ref) == 0 {
+		t.Fatal("member 1 delivered nothing")
+	}
+	for i := 1; i < 5; i++ {
+		got := readTrace(t, members[i].TracePath)
+		if len(got) != len(ref) {
+			t.Fatalf("member %d trace %d lines, member 1 has %d", i+1, len(got), len(ref))
+		}
+		for j, l := range got {
+			if ref[j] != l {
+				t.Fatalf("member %d trace diverged at line %d: %q vs %q", i+1, j, l, ref[j])
+			}
+		}
+	}
+	t.Logf("partition healed: %d matrix drops, %d merge epochs, worst heal latency %dus, %d-line common trace",
+		matrixDrops, merges, healUS, len(ref))
+}

@@ -70,7 +70,13 @@ type Options struct {
 	Live        bool
 	HeartbeatMS int64
 	SuspectMS   int64
+	LameMS      int64
 	IdleMS      int64
+
+	// Splits cuts the cluster along time-windowed partition lines via
+	// each member's inbound drop matrix. Requires Live (a static ring
+	// has no membership plane to repair the cut).
+	Splits []SplitWindow
 
 	// Trace dumps each member's delivery trace to Dir/trace<id> and
 	// records the path on the Member.
@@ -85,6 +91,19 @@ type Options struct {
 	// default (nil) is only valid for callers that set it; tests re-exec
 	// their own binary, manual runs use the ringnetd binary.
 	Command func(cfgPath string) *exec.Cmd
+}
+
+// SplitWindow partitions the cluster for a time window: members in A
+// and members in B exchange no datagrams between FromMS and UntilMS
+// (milliseconds from each member's transport bind; the harness
+// pre-binds every socket and spawns members together, so the clocks
+// are near-aligned — size the window with heartbeat-scale margins).
+// A and B hold 0-based member indexes. The cut is installed
+// symmetrically as inbound drop rules on both sides.
+type SplitWindow struct {
+	A, B    []int
+	FromMS  int64
+	UntilMS int64
 }
 
 // Member is one spawned ring member and its outcome.
@@ -167,6 +186,7 @@ func Run(opts Options) ([]Member, error) {
 			Join:        spec.Join,
 			HeartbeatMS: opts.HeartbeatMS,
 			SuspectMS:   opts.SuspectMS,
+			LameMS:      opts.LameMS,
 			IdleMS:      opts.IdleMS,
 			Seed:        opts.Seed + uint64(i)*7919,
 			Loss:        opts.Loss,
@@ -181,6 +201,22 @@ func Run(opts Options) ([]Member, error) {
 			cfg.Count = spec.Count
 		} else if spec.Count < 0 {
 			cfg.Count = 0
+		}
+		for _, sw := range opts.Splits {
+			if !opts.Live {
+				return nil, fmt.Errorf("harness: Splits require Options.Live")
+			}
+			var far []int
+			if containsIndex(sw.A, i) {
+				far = sw.B
+			} else if containsIndex(sw.B, i) {
+				far = sw.A
+			}
+			for _, j := range far {
+				cfg.DropRules = append(cfg.DropRules, wire.DropRule{
+					From: uint32(j + 1), FromMS: sw.FromMS, UntilMS: sw.UntilMS, Prob: 1,
+				})
+			}
 		}
 		if opts.Trace {
 			members[i].TracePath = filepath.Join(opts.Dir, fmt.Sprintf("trace%d", i+1))
@@ -320,6 +356,15 @@ func Run(opts Options) ([]Member, error) {
 	}
 	wg.Wait()
 	return members, firstErr
+}
+
+func containsIndex(s []int, i int) bool {
+	for _, v := range s {
+		if v == i {
+			return true
+		}
+	}
+	return false
 }
 
 // parseReport extracts the last JSON report line from a member's stdout.

@@ -22,42 +22,82 @@ import (
 // coalesce into data datagrams and are counted in the control-plane
 // split) feed per-member suspect timers on the real-time driver. All
 // reconfiguration is decided by one deterministic coordinator — the
-// lowest-ID member the local detector believes alive — which computes
-// the repaired ring, bumps the membership epoch, and disseminates a
-// RingUpdate carrying the full member list (with transport addresses)
-// to every member. Heartbeats echo the sender's epoch, so dissemination
-// is reliable by retry-until-echoed rather than by per-message acks.
-// Members apply an update by reforming the topology ring in place,
-// splicing transport peers and bridge endpoints, refreshing the local
-// NE's neighbor view, and severing reliable-delivery state aimed at
-// removed members (Engine.DropPeer — which also releases a token
-// transfer stuck on the removed member). A token watchdog re-emits the
-// paper's Token-Loss signal whenever token circulation stays silent
-// past the threshold — raised only at the coordinator, so
+// lowest-ID member the local detector believes alive — but a
+// coordinator may only COMMIT a new epoch once a majority of the
+// previous epoch's membership has granted it a quorum vote for that
+// epoch number. Votes are content-free promises keyed by epoch number:
+// each voter grants a given epoch number to at most one proposer
+// (first come, sticky), so two coordinators separated by a partition
+// can never both commit the same next epoch — quorum intersection over
+// the uniquely-determined previous-epoch voter set guarantees at most
+// one winner. Every reconfiguration (eviction, join, graceful leave,
+// partition merge) flows through one staged proposal per epoch.
+//
+// The committed RingUpdate carries the full member list (with
+// transport addresses) to every member. Heartbeats echo the sender's
+// epoch, so dissemination is reliable by retry-until-echoed — bounded
+// by exponential backoff with jitter and a per-epoch attempt cap, so a
+// dead peer stops costing datagrams (a heartbeat from a written-off
+// peer revives its resends). Members apply an update by reforming the
+// topology ring in place, splicing transport peers and bridge
+// endpoints, refreshing the local NE's neighbor view, and severing
+// reliable-delivery state aimed at removed members. A token watchdog
+// re-emits the paper's Token-Loss signal whenever token circulation
+// stays silent past the threshold — raised only at the coordinator, so
 // Token-Regeneration always runs from a single origin.
 //
+// Partitions: the side that cannot count a strict majority of the
+// current membership as live (self + unsuspected peers) parks in a
+// read-only LAME RING: it holds its delivery queue state and keeps
+// answering retransmission Nacks, but delivers nothing new, proposes
+// nothing, grants no joins, and never regenerates a token. While lame
+// it keeps low-rate probe heartbeats flowing toward its suspects; when
+// a probe crosses a healed link, the quorum-side coordinator (which
+// remembers every evicted member's address in its graves map) answers
+// with a RingSummary — epoch, delivery front, order hash, and the
+// stamp of its surviving token. The minority member sees the higher
+// epoch, destroys any stale token it still holds (the paper's §4.2.1
+// Multiple-Token resolution: lower epoch dies), arms the multi-token
+// filter window, and replies with a MergeReq. The coordinator stages
+// the returning member and splices it back in at the next quorum
+// epoch, flagged Merge so every applier runs the same token-side
+// reconciliation. The rejoined minority backfills the globals it
+// missed through the normal Nack repair path, so all members converge
+// to one total order.
+//
 // Joins: a fresh process sends JoinReq (with its UDP address) to seed
-// members; non-coordinators forward it inward; the coordinator adds the
-// joiner at the next epoch. The first RingUpdate containing the joiner
-// doubles as its JoinOK: it carries the coordinator's delivery front as
-// the stream baseline, which the joiner force-releases its MQ to, so it
-// observes a consistent suffix of the total order from that point on.
+// members; non-coordinators forward it inward; the coordinator stages
+// the joiner for the next quorum epoch. The first RingUpdate
+// containing the joiner doubles as its JoinOK: it carries the
+// coordinator's delivery front as the stream baseline, which the
+// joiner force-releases its MQ to, so it observes a consistent suffix
+// of the total order from that point on.
 //
 // Leaves: SIGTERM turns into LeaveReq gossip; the coordinator evicts
-// the leaver at the next epoch; the leaver keeps serving
+// the leaver at the next quorum epoch; the leaver keeps serving
 // retransmissions (and forwards any held token through the normal
 // courier path) until its couriers drain, then exits. Members removed
 // from the ring stay reachable as transport/bridge "lame ducks" for a
 // grace period so exactly that drain traffic can complete.
-//
-// Known limitation: eviction is coordinator-decided, not quorum-voted.
-// A network partition makes each side elect its own coordinator and
-// evict the other at the same next epoch; the equal epochs never
-// supersede each other, so the sides run as independent rings until an
-// operator merges them (the paper's §4.2.1 Multiple-Token machinery
-// handles the token side of a merge; epoch reconciliation needs a
-// quorum or an external arbiter and is an open ROADMAP item). Crash
-// and leave — the scenarios the chaos suite gates — are unaffected.
+
+const (
+	// probeEvery throttles a lame member's heartbeats toward suspects to
+	// one in this many ticks — these are the heal probes.
+	probeEvery = 4
+	// maxResendAttempts caps per-epoch RingUpdate retransmissions toward
+	// one laggard before it is written off.
+	maxResendAttempts = 12
+	// maxResendInterval caps the exponential resend backoff.
+	maxResendInterval = 5 * sim.Second
+	// proposalTimeoutTicks (× Heartbeat) bounds how long a proposal may
+	// sit at one epoch number without reaching quorum before the
+	// proposer retries at a higher number. This is what un-wedges
+	// coordinator succession: when the old coordinator died after
+	// collecting grants, the voters' ledger entries for its number are
+	// skipped past, never contested — epoch numbers may skip, and
+	// appliers only require them to grow.
+	proposalTimeoutTicks = 6
+)
 
 // MemberTunables shapes the live-membership protocol's timers (driver
 // virtual time, which tracks the wall clock).
@@ -86,6 +126,35 @@ func DefaultMemberTunables() MemberTunables {
 	}
 }
 
+// proposal is a staged next-epoch reconfiguration awaiting quorum. The
+// voter set is the membership of the PREVIOUS epoch (the one being
+// superseded), so any two proposals for the same epoch number share a
+// voter set and must intersect in at least one voter.
+type proposal struct {
+	epoch    uint64 // proposed number (> base; may skip past dead numbers)
+	base     uint64 // proposer's committed epoch when staged
+	born     sim.Time
+	update   *msg.RingUpdate
+	removed  []seq.NodeID // sorted
+	added    map[seq.NodeID]string
+	hadDead  bool
+	hadJoin  bool
+	isMerge  bool
+	voters   []seq.NodeID
+	voterSet map[seq.NodeID]bool
+	votes    map[seq.NodeID]bool
+	need     int
+}
+
+// resendState bounds RingUpdate retransmission toward one laggard.
+type resendState struct {
+	epoch    uint64
+	next     sim.Time
+	interval sim.Time
+	attempts int
+	written  bool // written off (one-shot log fired)
+}
+
 // Membership runs the live-membership state machine for one wire node.
 // All state is confined to the driver goroutine: messages arrive through
 // the local NE's aux handler, timers through the scheduler ticker.
@@ -105,12 +174,37 @@ type Membership struct {
 
 	det       *membership.Detector // shared with the sim membership manager
 	peerEpoch map[seq.NodeID]uint64
-	suspect   map[seq.NodeID]bool
 
 	joined  bool
 	leaving bool
 	evicted bool
+	lame    bool
 	seeds   []PeerAddr
+
+	// Quorum state.
+	prop    *proposal
+	skew    uint64   // numbers burned by timed-out proposals since the last commit
+	granted struct { // voter ledger: highest epoch promised, and to whom
+		epoch uint64
+		to    seq.NodeID
+	}
+	pendingLeave map[seq.NodeID]bool
+	pendingJoin  map[seq.NodeID]string
+	pendingMerge map[seq.NodeID]string
+
+	// Partition-heal state.
+	graves      map[seq.NodeID]string // evicted id → last known address
+	lastSummary map[seq.NodeID]sim.Time
+	lameSince   sim.Time
+	lameTotal   sim.Time
+	healStartAt sim.Time
+	healDoneAt  sim.Time
+	probeTick   uint64
+
+	// Bounded dissemination state.
+	resend     map[seq.NodeID]*resendState
+	lastUpdate *msg.RingUpdate // last committed/applied update (keeps Merge flag on resends)
+	rng        *sim.RNG        // resend jitter
 
 	lastTokenSignal sim.Time
 	ticker          *sim.Ticker
@@ -121,16 +215,24 @@ type Membership struct {
 	// OnEvicted fires when an update excludes this node (graceful leave
 	// or eviction) — time to drain and exit.
 	OnEvicted func()
+	// OrderHash, when set, supplies the local delivery-order hash for
+	// RingSummary/MergeReq exchanges (wired to the daemon's tracker).
+	OrderHash func() uint64
 
 	// Trace, when set, receives one line per membership event (tests,
 	// verbose daemons).
 	Trace func(format string, args ...any)
 
 	// Counters for reports and tests.
-	Epochs       uint64 // updates applied (exceeding the initial epoch)
-	Failovers    uint64 // eviction epochs this node coordinated
-	JoinsGranted uint64 // join epochs this node coordinated
-	TokenSignals uint64 // watchdog Token-Loss signals raised
+	Epochs           uint64 // updates applied (exceeding the initial epoch)
+	Failovers        uint64 // eviction epochs this node coordinated
+	JoinsGranted     uint64 // join epochs this node coordinated
+	TokenSignals     uint64 // watchdog Token-Loss signals raised
+	VotesRequested   uint64 // quorum vote requests sent (proposer side)
+	VotesGranted     uint64 // quorum grants received (proposer side)
+	ProposalsAborted uint64 // proposals dropped (delta emptied / superseded)
+	Merges           uint64 // merge epochs this node coordinated
+	LameEntries      uint64 // times this node parked in the lame ring
 }
 
 // NewMembership builds the manager for an assembled node. For an initial
@@ -141,12 +243,18 @@ func NewMembership(e *core.Engine, tr *Transport, br *Bridge, self seq.NodeID, s
 	cfg MemberTunables, members map[seq.NodeID]string, ringID topology.RingID, seeds []PeerAddr) *Membership {
 	m := &Membership{
 		e: e, tr: tr, br: br, self: self, addr: selfAddr, cfg: cfg,
-		members:   make(map[seq.NodeID]string),
-		det:       membership.NewDetector(cfg.Suspect),
-		peerEpoch: make(map[seq.NodeID]uint64),
-		suspect:   make(map[seq.NodeID]bool),
-		ringID:    ringID,
-		seeds:     seeds,
+		members:      make(map[seq.NodeID]string),
+		det:          membership.NewDetector(cfg.Suspect),
+		peerEpoch:    make(map[seq.NodeID]uint64),
+		pendingLeave: make(map[seq.NodeID]bool),
+		pendingJoin:  make(map[seq.NodeID]string),
+		pendingMerge: make(map[seq.NodeID]string),
+		graves:       make(map[seq.NodeID]string),
+		lastSummary:  make(map[seq.NodeID]sim.Time),
+		resend:       make(map[seq.NodeID]*resendState),
+		rng:          sim.NewRNG(uint64(self)),
+		ringID:       ringID,
+		seeds:        seeds,
 	}
 	if len(members) > 0 {
 		m.epoch = 1
@@ -196,12 +304,35 @@ func (m *Membership) Evicted() bool { return m.evicted }
 // Epoch returns the current membership epoch.
 func (m *Membership) Epoch() uint64 { return m.epoch }
 
+// Lame reports whether this node is parked in the read-only lame ring
+// (lost quorum; holding state, delivering nothing new).
+func (m *Membership) Lame() bool { return m.lame }
+
+// LameTime returns cumulative time spent parked in the lame ring.
+func (m *Membership) LameTime() sim.Time {
+	if m.lame {
+		return m.lameTotal + (m.e.Net.Now() - m.lameSince)
+	}
+	return m.lameTotal
+}
+
+// HealLatency returns the duration of the last completed partition
+// heal: from the first cross-partition probe answered (coordinator) or
+// RingSummary received (minority) to the merge epoch landing. Zero if
+// no heal has completed.
+func (m *Membership) HealLatency() sim.Time {
+	if m.healStartAt != 0 && m.healDoneAt > m.healStartAt {
+		return m.healDoneAt - m.healStartAt
+	}
+	return 0
+}
+
 // LivePeers returns the members this node currently believes alive,
 // excluding itself — the done-barrier and beacon audience.
 func (m *Membership) LivePeers() []seq.NodeID {
 	out := make([]seq.NodeID, 0, len(m.order))
 	for _, p := range m.order {
-		if p != m.self && !m.suspect[p] {
+		if p != m.self && !m.det.Suspected(p) {
 			out = append(out, p)
 		}
 	}
@@ -210,7 +341,8 @@ func (m *Membership) LivePeers() []seq.NodeID {
 
 // Leave starts a graceful departure: announce to the coordinator (and
 // keep announcing — the socket is lossy) until an epoch excludes us.
-// If we are the coordinator, evict ourselves directly.
+// If we are the coordinator, stage our own eviction for the next
+// quorum epoch.
 func (m *Membership) Leave() {
 	if m.evicted || m.leaving {
 		return
@@ -228,8 +360,14 @@ func (m *Membership) Leave() {
 }
 
 func (m *Membership) announceLeave() {
+	if m.lame {
+		return // no quorum to commit a leave; park until the ring heals
+	}
 	if m.coordinator() == m.self {
-		m.evict([]seq.NodeID{m.self})
+		if !m.pendingLeave[m.self] {
+			m.pendingLeave[m.self] = true
+			m.coordinate(m.e.Net.Now())
+		}
 		return
 	}
 	m.e.Net.Send(m.self, m.coordinator(), &msg.LeaveReq{Group: m.e.Group, Node: m.self})
@@ -246,7 +384,7 @@ func (m *Membership) reorder() {
 // coordinator is the lowest member this node believes alive.
 func (m *Membership) coordinator() seq.NodeID {
 	for _, p := range m.order {
-		if p == m.self || !m.suspect[p] {
+		if p == m.self || !m.det.Suspected(p) {
 			return p
 		}
 	}
@@ -261,17 +399,22 @@ func (m *Membership) Recv(from seq.NodeID, message msg.Message) {
 		if _, ok := m.members[v.From]; ok {
 			m.det.Heard(v.From, m.e.Net.Now())
 			m.peerEpoch[v.From] = v.Epoch
-			delete(m.suspect, v.From)
-		} else if m.joined && !m.evicted && m.coordinator() == m.self &&
-			v.Epoch < m.epoch && m.tr.HasPeer(v.From) {
-			// A non-member heartbeating on a stale epoch (evicted while
-			// partitioned or paused, or a stray bootstrap config): send
-			// it the current epoch — seeing itself excluded, it stands
-			// down instead of running a split-brain ring.
-			m.trace("stale heartbeat from non-member %v (epoch %d < %d); correcting", v.From, v.Epoch, m.epoch)
-			m.br.ExposePeer(v.From)
-			m.e.Net.Send(m.self, v.From, m.buildUpdate())
+			// A heartbeat from a written-off laggard proves it is alive:
+			// revive its resends with a fresh attempt budget.
+			if rs := m.resend[v.From]; rs != nil && rs.written && v.Epoch < m.epoch {
+				delete(m.resend, v.From)
+			}
+		} else {
+			// Non-member heartbeat: a previously-evicted node probing
+			// across a healed partition (or resuming from a pause).
+			m.handleProbe(v.From, v.Epoch)
 		}
+	case *msg.QuorumVote:
+		m.handleVote(v)
+	case *msg.RingSummary:
+		m.handleRingSummary(v)
+	case *msg.MergeReq:
+		m.handleMergeReq(v)
 	case *msg.RingUpdate:
 		m.applyUpdate(v)
 	case *msg.JoinReq:
@@ -282,9 +425,10 @@ func (m *Membership) Recv(from seq.NodeID, message msg.Message) {
 }
 
 // HandleUnknown consumes membership messages from senders outside the
-// transport peer table: a JoinReq from a fresh process, or a RingUpdate
-// from a coordinator this (joining) node has not met yet. Driver
-// goroutine.
+// transport peer table: a JoinReq from a fresh process, a RingUpdate
+// from a coordinator this (joining) node has not met yet, or a probe
+// heartbeat / MergeReq from an evicted member whose endpoint was
+// already retired. Driver goroutine.
 func (m *Membership) HandleUnknown(f Frame) {
 	for _, mm := range f.Msgs {
 		switch v := mm.(type) {
@@ -292,6 +436,10 @@ func (m *Membership) HandleUnknown(f Frame) {
 			m.handleJoinReq(v)
 		case *msg.RingUpdate:
 			m.applyUpdate(v)
+		case *msg.Heartbeat:
+			m.handleProbe(v.From, v.Epoch)
+		case *msg.MergeReq:
+			m.handleMergeReq(v)
 		}
 	}
 }
@@ -302,8 +450,10 @@ func (m *Membership) trace(format string, args ...any) {
 	}
 }
 
-// tick is one heartbeat round: beacon, detect, coordinate, watch the
-// token. Driver goroutine.
+// tick is one heartbeat round: beacon, detect, re-evaluate quorum,
+// coordinate, watch the token. The order is load-bearing: suspicion is
+// swept and the lame decision taken BEFORE any coordination, so a node
+// that just lost quorum parks without ever proposing. Driver goroutine.
 func (m *Membership) tick() {
 	if m.evicted {
 		return
@@ -317,16 +467,22 @@ func (m *Membership) tick() {
 		}
 		return
 	}
+	m.probeTick++
+	probe := !m.lame || m.probeTick%probeEvery == 0
 	hb := &msg.Heartbeat{From: m.self, Epoch: m.epoch}
 	for _, p := range m.order {
-		if p != m.self {
-			m.e.Net.Send(m.self, p, hb)
+		if p == m.self {
+			continue
 		}
+		if m.lame && m.det.Suspected(p) && !probe {
+			continue // lame: throttle beacons toward suspects to probe rate
+		}
+		m.e.Net.Send(m.self, p, hb)
 	}
-	for _, p := range m.det.Silent(now) {
-		if p != m.self {
-			m.suspect[p] = true
-		}
+	m.det.Silent(now) // sweep: marks suspicion inside the detector
+	m.updateLame(now)
+	if m.lame {
+		return // read-only: no proposals, no joins, no token watchdog
 	}
 	if m.leaving {
 		m.announceLeave()
@@ -335,28 +491,57 @@ func (m *Membership) tick() {
 		}
 	}
 	if m.coordinator() == m.self {
-		var dead []seq.NodeID
-		for _, p := range m.order {
-			if p != m.self && m.suspect[p] {
-				dead = append(dead, p)
-			}
-		}
-		if len(dead) > 0 {
-			m.Failovers++
-			m.evict(dead)
-		} else {
-			var u *msg.RingUpdate
-			for _, p := range m.order {
-				if p != m.self && m.peerEpoch[p] < m.epoch {
-					if u == nil {
-						u = m.buildUpdate()
-					}
-					m.sendUpdateTo(p, m.members[p], u)
-				}
-			}
-		}
+		m.coordinate(now)
 	}
 	m.tokenWatchdog(now)
+}
+
+// updateLame re-evaluates quorum: live = self + unsuspected members.
+// Losing a strict majority parks the node in the lame ring; regaining
+// it (a suspect heartbeats again before any eviction) releases it.
+func (m *Membership) updateLame(now sim.Time) {
+	live := 1
+	for _, p := range m.order {
+		if p != m.self && !m.det.Suspected(p) {
+			live++
+		}
+	}
+	quorate := live*2 > len(m.order)
+	switch {
+	case m.lame && quorate:
+		m.trace("lame ring over: %d/%d live again", live, len(m.order))
+		m.exitLame(now, 0)
+	case !m.lame && !quorate:
+		m.lame = true
+		m.lameSince = now
+		m.LameEntries++
+		if m.prop != nil {
+			m.ProposalsAborted++
+			m.prop = nil
+		}
+		m.e.SetDeliveryHold(m.self, true)
+		m.trace("entering lame ring: %d/%d live, parking read-only", live, len(m.order))
+	}
+}
+
+// exitLame releases the read-only park and resumes delivery.
+func (m *Membership) exitLame(now sim.Time, baseline seq.GlobalSeq) {
+	m.lame = false
+	m.lameTotal += now - m.lameSince
+	m.e.Readmit(m.self, baseline)
+	if m.healStartAt != 0 && m.healDoneAt == 0 {
+		m.healDoneAt = now
+	}
+}
+
+// markHealStart opens a heal episode (idempotent within one episode).
+func (m *Membership) markHealStart(now sim.Time) {
+	if m.healDoneAt != 0 {
+		m.healStartAt, m.healDoneAt = 0, 0 // new episode
+	}
+	if m.healStartAt == 0 {
+		m.healStartAt = now
+	}
 }
 
 // tokenWatchdog re-raises Token-Loss when circulation stays silent: the
@@ -386,20 +571,318 @@ func (m *Membership) tokenWatchdog(now sim.Time) {
 	}
 }
 
-// evict removes dead members (possibly including self, for a
-// coordinator's own graceful leave) at a new epoch and disseminates.
-func (m *Membership) evict(dead []seq.NodeID) {
+// coordinate runs one coordinator round: build or refresh the staged
+// proposal, push vote requests, or — with nothing staged — resend the
+// current epoch to laggards.
+func (m *Membership) coordinate(now sim.Time) {
+	if m.prop != nil && m.prop.epoch <= m.epoch {
+		m.prop = nil // superseded by a committed/applied epoch
+	}
+	if m.prop != nil && now-m.prop.born >= proposalTimeoutTicks*m.cfg.Heartbeat {
+		// The number may be wedged: a prior (now dead) proposer collected
+		// grants for it that will never be released. Burn it and retry
+		// one higher.
+		p := m.prop
+		m.trace("proposal for epoch %d timed out at %d/%d votes; retrying at a higher number",
+			p.epoch, len(p.votes), p.need)
+		m.ProposalsAborted++
+		m.skew = p.epoch - m.epoch
+		m.prop = nil
+	}
+	if m.prop == nil {
+		m.prop = m.buildProposal(now)
+		if m.prop != nil {
+			p := m.prop
+			m.trace("proposing epoch %d: remove=%v add=%d merge=%v need=%d/%d",
+				p.epoch, p.removed, len(p.added), p.isMerge, p.need, len(p.voters))
+			if m.checkQuorum() {
+				return // single-member ring (or cached grants): instant commit
+			}
+		}
+	} else {
+		m.refreshProposal(now)
+	}
+	if m.prop == nil {
+		m.resendUpdates(now)
+		return
+	}
+	m.pushVotes()
+}
+
+// buildProposal stages the next epoch from current suspicion and the
+// pending join/leave/merge sets. Returns nil when there is no delta.
+// The proposed number starts at epoch+1, skips numbers burned by
+// timed-out proposals (skew), and steps past any number our own ledger
+// has promised to another proposer — the self-vote is a grant like any
+// other and must not break a promise.
+func (m *Membership) buildProposal(now sim.Time) *proposal {
+	removedSet := make(map[seq.NodeID]bool)
+	var removed []seq.NodeID
+	hadDead := false
+	for _, p := range m.order { // sorted, so removed comes out sorted
+		if p != m.self && m.det.Suspected(p) {
+			removed = append(removed, p)
+			removedSet[p] = true
+			hadDead = true
+			continue
+		}
+		if m.pendingLeave[p] {
+			removed = append(removed, p)
+			removedSet[p] = true
+		}
+	}
+	added := make(map[seq.NodeID]string)
+	hadJoin, isMerge := false, false
+	for n, a := range m.pendingJoin {
+		if _, ok := m.members[n]; ok || removedSet[n] || a == "" {
+			continue
+		}
+		added[n] = a
+		hadJoin = true
+	}
+	for n, a := range m.pendingMerge {
+		if _, ok := m.members[n]; ok || removedSet[n] || a == "" {
+			continue
+		}
+		added[n] = a
+		isMerge = true
+	}
+	if len(removed) == 0 && len(added) == 0 {
+		return nil
+	}
+	number := m.epoch + 1 + m.skew
+	if m.granted.epoch >= number {
+		if m.granted.to == m.self {
+			number = m.granted.epoch // our own promise; reuse it
+		} else {
+			number = m.granted.epoch + 1
+		}
+		if number <= m.epoch {
+			number = m.epoch + 1
+		}
+	}
+	next := make(map[seq.NodeID]string, len(m.members)+len(added))
+	for _, id := range m.order {
+		if !removedSet[id] {
+			next[id] = m.members[id]
+		}
+	}
+	for n, a := range added {
+		next[n] = a
+	}
+	u := m.buildUpdateFor(number, next)
+	if isMerge {
+		u.Merge = true
+		if te, _, ok := m.e.TokenStamp(m.self); ok {
+			u.MergeTokenEpoch = te
+		}
+	}
+	p := &proposal{
+		epoch:    number,
+		base:     m.epoch,
+		born:     now,
+		update:   u,
+		removed:  removed,
+		added:    added,
+		hadDead:  hadDead,
+		hadJoin:  hadJoin,
+		isMerge:  isMerge,
+		voters:   append([]seq.NodeID(nil), m.order...),
+		voterSet: make(map[seq.NodeID]bool, len(m.order)),
+		votes:    map[seq.NodeID]bool{m.self: true},
+		need:     len(m.order)/2 + 1,
+	}
+	for _, v := range p.voters {
+		p.voterSet[v] = true
+	}
+	m.granted.epoch, m.granted.to = number, m.self // the self-vote, through the ledger
+	return p
+}
+
+// refreshProposal re-derives the staged delta: aborts when it emptied
+// (a suspect recovered), rebuilds when it changed (another member
+// died, a merge arrived). Collected votes carry over — grants are
+// content-free promises on the epoch NUMBER, and the voter set is the
+// unchanged previous-epoch membership.
+func (m *Membership) refreshProposal(now sim.Time) {
+	old := m.prop
+	fresh := m.buildProposal(now)
+	if fresh == nil {
+		m.trace("aborting proposal for epoch %d: delta emptied", old.epoch)
+		m.ProposalsAborted++
+		m.prop = nil
+		return
+	}
+	if sameDelta(old, fresh) && fresh.epoch == old.epoch {
+		return
+	}
+	if fresh.epoch == old.epoch {
+		// Same number: carried grants are still promises on it.
+		fresh.votes = old.votes
+		fresh.born = old.born
+	}
+	m.prop = fresh
+	m.trace("reproposing epoch %d: remove=%v add=%d merge=%v",
+		fresh.epoch, fresh.removed, len(fresh.added), fresh.isMerge)
+	m.checkQuorum()
+}
+
+func sameDelta(a, b *proposal) bool {
+	if len(a.removed) != len(b.removed) || len(a.added) != len(b.added) {
+		return false
+	}
+	for i := range a.removed {
+		if a.removed[i] != b.removed[i] {
+			return false
+		}
+	}
+	for n, addr := range a.added {
+		if b.added[n] != addr {
+			return false
+		}
+	}
+	return true
+}
+
+// pushVotes (re)solicits grants from voters that have not granted yet.
+func (m *Membership) pushVotes() {
+	for _, p := range m.prop.voters {
+		if p == m.self || m.prop.votes[p] {
+			continue
+		}
+		m.e.Net.Send(m.self, p, &msg.QuorumVote{
+			Group: m.e.Group, Epoch: m.prop.epoch, Base: m.prop.base,
+			Proposer: m.self, Voter: p,
+		})
+		m.VotesRequested++
+	}
+}
+
+func (m *Membership) handleVote(v *msg.QuorumVote) {
+	if v.Granted {
+		m.handleVoteGrant(v)
+	} else {
+		m.handleVoteReq(v)
+	}
+}
+
+// handleVoteReq answers a proposer's solicitation. Voters answer
+// regardless of lame/leaving state — a minority member's grant is what
+// lets a 2-2-1 split's largest fragment commit, and a leaver's grant
+// is what lets a 2-ring process its own departure. The ledger keeps
+// the safety invariant: one epoch number, at most one proposer.
+func (m *Membership) handleVoteReq(v *msg.QuorumVote) {
+	if v.Voter != m.self || v.Proposer == seq.None {
+		return
+	}
+	if v.Base < m.epoch {
+		// Stale proposer (it missed a committed epoch, so its voter set
+		// is out of date): catch it up instead of granting.
+		if m.joined && !m.evicted {
+			if _, ok := m.members[v.Proposer]; ok {
+				m.sendUpdateTo(v.Proposer, m.members[v.Proposer], m.currentUpdate())
+			}
+		}
+		return
+	}
+	if v.Base > m.epoch || v.Epoch <= v.Base {
+		// We are the laggard — the proposer's committed epoch will reach
+		// us through normal dissemination — or the number is malformed.
+		return
+	}
+	if v.Epoch < m.granted.epoch {
+		return // conservatively refuse anything below the highest promise
+	}
+	if v.Epoch == m.granted.epoch && m.granted.to != seq.None && m.granted.to != v.Proposer {
+		return // this epoch number is promised to someone else
+	}
+	m.granted.epoch = v.Epoch
+	m.granted.to = v.Proposer
+	if _, ok := m.members[v.Proposer]; !ok {
+		return
+	}
+	m.e.Net.Send(m.self, v.Proposer, &msg.QuorumVote{
+		Group: m.e.Group, Epoch: v.Epoch, Base: v.Base,
+		Proposer: v.Proposer, Voter: m.self, Granted: true,
+	})
+}
+
+func (m *Membership) handleVoteGrant(v *msg.QuorumVote) {
+	p := m.prop
+	if p == nil || v.Epoch != p.epoch || v.Proposer != m.self {
+		return
+	}
+	if !p.voterSet[v.Voter] || p.votes[v.Voter] {
+		return
+	}
+	p.votes[v.Voter] = true
+	m.VotesGranted++
+	m.checkQuorum()
+}
+
+// checkQuorum commits the staged proposal once a majority of the
+// previous epoch's membership has granted. Reports whether it did.
+func (m *Membership) checkQuorum() bool {
+	p := m.prop
+	if p == nil || len(p.votes) < p.need {
+		return false
+	}
+	m.prop = nil
+	m.commit(p)
+	return true
+}
+
+// commit makes a quorum-approved epoch real: adopt the member list,
+// remember evicted addresses in the graves map (the heal path needs
+// them), disseminate, and apply locally.
+func (m *Membership) commit(p *proposal) {
+	u := p.update
 	selfLeave := false
-	for _, d := range dead {
+	for _, d := range p.removed {
 		if d == m.self {
 			selfLeave = true
+			continue
 		}
-		delete(m.members, d)
+		// Remember evicted addresses for the heal path — but NOT
+		// graceful leavers: their pre-farewell heartbeats must not read
+		// as partition probes and resurrect them.
+		if a := m.members[d]; a != "" && !m.pendingLeave[d] {
+			m.graves[d] = a
+		}
 	}
+	m.members = make(map[seq.NodeID]string, len(u.Members))
+	for _, ma := range u.Members {
+		addr := ma.Addr
+		if ma.Node == m.self {
+			addr = ""
+		}
+		m.members[ma.Node] = addr
+	}
+	m.epoch = u.Epoch
+	m.skew = 0
 	m.reorder()
-	m.epoch++
-	m.trace("evicting %v at epoch %d members=%v", dead, m.epoch, m.order)
-	u := m.buildUpdate()
+	m.lastUpdate = u
+	for _, d := range p.removed {
+		delete(m.pendingLeave, d)
+	}
+	for n := range p.added {
+		delete(m.pendingJoin, n)
+		delete(m.pendingMerge, n)
+	}
+	if p.hadDead {
+		m.Failovers++
+	}
+	if p.hadJoin {
+		m.JoinsGranted++
+	}
+	if p.isMerge {
+		m.Merges++
+		if m.healStartAt != 0 && m.healDoneAt == 0 {
+			m.healDoneAt = m.e.Net.Now()
+		}
+	}
+	m.trace("committing epoch %d members=%v removed=%v merge=%v votes=%d/%d",
+		u.Epoch, m.order, p.removed, p.isMerge, len(p.votes), len(p.voters))
 	m.sendAll(u)
 	if selfLeave {
 		// Coordinator leaving: don't reform our own topology (the old
@@ -414,19 +897,89 @@ func (m *Membership) evict(dead []seq.NodeID) {
 		}
 		return
 	}
-	m.applyLocal(u, dead)
-	// The departed may have held the token; ordersWell() filters the
-	// signal when circulation is demonstrably healthy.
-	m.e.OnTokenLoss(m.self)
+	m.applyLocal(u, p.removed)
+	if u.Merge {
+		// Multiple-Token resolution (§4.2.1): our token survives — it is
+		// AT the stamped epoch, DiscardTokenBelow is strictly below — and
+		// the filter window arms against the minority's stale token.
+		if u.MergeTokenEpoch != 0 {
+			m.e.DiscardTokenBelow(m.self, u.MergeTokenEpoch)
+		}
+		m.e.OnMultipleToken(m.self)
+	}
+	if p.hadDead {
+		// The departed may have held the token; ordersWell() filters the
+		// signal when circulation is demonstrably healthy.
+		m.e.OnTokenLoss(m.self)
+	}
 }
 
+// resendUpdates pushes the current epoch at laggards (members whose
+// heartbeats echo an older epoch), bounded by exponential backoff with
+// jitter and a per-epoch attempt cap.
+func (m *Membership) resendUpdates(now sim.Time) {
+	var u *msg.RingUpdate
+	for _, p := range m.order {
+		if p == m.self || m.peerEpoch[p] >= m.epoch {
+			continue
+		}
+		rs := m.resend[p]
+		if rs == nil || rs.epoch != m.epoch {
+			rs = &resendState{epoch: m.epoch, next: now, interval: m.cfg.Heartbeat}
+			m.resend[p] = rs
+		}
+		if now < rs.next {
+			continue
+		}
+		if rs.attempts >= maxResendAttempts {
+			if !rs.written {
+				rs.written = true
+				m.trace("writing off %v after %d epoch-%d resends", p, rs.attempts, m.epoch)
+			}
+			continue
+		}
+		if u == nil {
+			u = m.currentUpdate()
+		}
+		m.sendUpdateTo(p, m.members[p], u)
+		rs.attempts++
+		jitter := sim.Time(m.rng.Int63n(int64(rs.interval/2) + 1))
+		rs.next = now + rs.interval + jitter
+		if rs.interval < maxResendInterval {
+			rs.interval *= 2
+			if rs.interval > maxResendInterval {
+				rs.interval = maxResendInterval
+			}
+		}
+	}
+}
+
+// buildUpdate renders the CURRENT epoch as a RingUpdate.
 func (m *Membership) buildUpdate() *msg.RingUpdate {
-	u := &msg.RingUpdate{Group: m.e.Group, Epoch: m.epoch, Coord: m.self}
+	return m.buildUpdateFor(m.epoch, m.members)
+}
+
+// currentUpdate prefers the cached committed update (it carries the
+// Merge flag and baseline of the commit moment) over a rebuild.
+func (m *Membership) currentUpdate() *msg.RingUpdate {
+	if m.lastUpdate != nil && m.lastUpdate.Epoch == m.epoch {
+		return m.lastUpdate
+	}
+	return m.buildUpdate()
+}
+
+func (m *Membership) buildUpdateFor(epoch uint64, members map[seq.NodeID]string) *msg.RingUpdate {
+	u := &msg.RingUpdate{Group: m.e.Group, Epoch: epoch, Coord: m.self}
 	if q := m.e.QueueOf(m.self); q != nil {
 		u.Baseline = q.Front()
 	}
-	for _, id := range m.order {
-		addr := m.members[id]
+	ids := make([]seq.NodeID, 0, len(members))
+	for id := range members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		addr := members[id]
 		if id == m.self {
 			addr = m.addr
 		}
@@ -444,7 +997,7 @@ func (m *Membership) sendAll(u *msg.RingUpdate) {
 }
 
 func (m *Membership) sendUpdate(to seq.NodeID) {
-	m.sendUpdateTo(to, m.members[to], m.buildUpdate())
+	m.sendUpdateTo(to, m.members[to], m.currentUpdate())
 }
 
 // sendUpdateTo delivers one RingUpdate, establishing the transport peer
@@ -462,11 +1015,108 @@ func (m *Membership) sendUpdateTo(to seq.NodeID, addr string, u *msg.RingUpdate)
 	m.e.Net.Send(m.self, to, u)
 }
 
-// handleJoinReq grants membership (coordinator) or forwards the request
-// toward the coordinator. Forwarding strictly decreases the coordinator
-// id, so relay chains terminate.
+// handleProbe reacts to a heartbeat from a NON-member: an evicted node
+// probing across a healed partition (or resuming from a pause). The
+// quorum-side coordinator answers from its graves map with a
+// RingSummary — the merge offer. Rate-limited per peer.
+func (m *Membership) handleProbe(from seq.NodeID, epoch uint64) {
+	if !m.joined || m.evicted || m.lame || from == m.self {
+		return
+	}
+	if m.coordinator() != m.self || epoch >= m.epoch {
+		return
+	}
+	addr := m.graves[from]
+	if addr == "" {
+		return // a stranger, not a former member: ignore
+	}
+	now := m.e.Net.Now()
+	if last := m.lastSummary[from]; last != 0 && now-last < 2*m.cfg.Heartbeat {
+		return
+	}
+	m.lastSummary[from] = now
+	if !m.tr.HasPeer(from) {
+		if m.tr.AddPeer(from, addr) != nil {
+			return
+		}
+	}
+	m.br.ExposePeer(from)
+	m.markHealStart(now)
+	rs := &msg.RingSummary{Group: m.e.Group, From: m.self, Epoch: m.epoch}
+	if q := m.e.QueueOf(m.self); q != nil {
+		rs.Front = q.Front()
+	}
+	if m.OrderHash != nil {
+		rs.OrderHash = m.OrderHash()
+	}
+	if te, th, ok := m.e.TokenStamp(m.self); ok {
+		rs.TokenEpoch, rs.TokenHops = te, th
+	}
+	m.trace("probe from evicted %v (epoch %d < %d): offering merge summary", from, epoch, m.epoch)
+	m.e.Net.Send(m.self, from, rs)
+}
+
+// handleRingSummary is the minority side of the heal handshake: a
+// quorum-side coordinator reports a higher epoch, so its ring won.
+// Run Multiple-Token resolution (destroy any stale held token, arm the
+// filter window) and ask to be spliced back in.
+func (m *Membership) handleRingSummary(rs *msg.RingSummary) {
+	if !m.joined || m.evicted || rs.From == m.self {
+		return
+	}
+	if rs.Epoch <= m.epoch {
+		return
+	}
+	if rs.TokenEpoch != 0 {
+		m.e.DiscardTokenBelow(m.self, rs.TokenEpoch)
+	}
+	m.e.OnMultipleToken(m.self)
+	m.markHealStart(m.e.Net.Now())
+	mr := &msg.MergeReq{Group: m.e.Group, Node: m.self, Addr: m.addr, Epoch: m.epoch}
+	if q := m.e.QueueOf(m.self); q != nil {
+		mr.Front = q.Front()
+	}
+	if m.OrderHash != nil {
+		mr.OrderHash = m.OrderHash()
+	}
+	if te, th, ok := m.e.TokenStamp(m.self); ok {
+		mr.TokenEpoch, mr.TokenHops = te, th
+	}
+	m.trace("ring summary from %v (epoch %d > %d, front=%d): requesting merge",
+		rs.From, rs.Epoch, m.epoch, rs.Front)
+	m.e.Net.Send(m.self, rs.From, mr)
+}
+
+// handleMergeReq stages a returning member for readmission at the next
+// quorum epoch (coordinator) or forwards it inward.
+func (m *Membership) handleMergeReq(mr *msg.MergeReq) {
+	if !m.joined || m.evicted || m.lame || mr.Node == m.self || mr.Node == seq.None {
+		return
+	}
+	if m.coordinator() != m.self {
+		m.e.Net.Send(m.self, m.coordinator(), mr)
+		return
+	}
+	if _, ok := m.members[mr.Node]; ok {
+		m.sendUpdate(mr.Node) // already spliced; its epoch is in flight
+		return
+	}
+	if mr.Addr == "" {
+		return
+	}
+	if m.pendingMerge[mr.Node] == "" {
+		m.trace("merge request from %v (epoch %d front=%d hash=%016x): staging readmission",
+			mr.Node, mr.Epoch, mr.Front, mr.OrderHash)
+	}
+	m.pendingMerge[mr.Node] = mr.Addr
+	m.coordinate(m.e.Net.Now())
+}
+
+// handleJoinReq stages a joiner for the next quorum epoch (coordinator)
+// or forwards the request toward the coordinator. Forwarding strictly
+// decreases the coordinator id, so relay chains terminate.
 func (m *Membership) handleJoinReq(jr *msg.JoinReq) {
-	if m.evicted || !m.joined || jr.Node == m.self || jr.Node == seq.None {
+	if m.evicted || !m.joined || m.lame || jr.Node == m.self || jr.Node == seq.None {
 		return
 	}
 	if m.coordinator() != m.self {
@@ -483,20 +1133,17 @@ func (m *Membership) handleJoinReq(jr *msg.JoinReq) {
 	if jr.Addr == "" {
 		return
 	}
-	m.members[jr.Node] = jr.Addr
-	m.reorder()
-	m.epoch++
-	m.JoinsGranted++
-	m.trace("granting join of %v at epoch %d members=%v", jr.Node, m.epoch, m.order)
-	u := m.buildUpdate()
-	m.applyLocal(u, nil)
-	m.sendAll(u)
+	if m.pendingJoin[jr.Node] == "" {
+		m.trace("staging join of %v for epoch %d", jr.Node, m.epoch+1)
+	}
+	m.pendingJoin[jr.Node] = jr.Addr
+	m.coordinate(m.e.Net.Now())
 }
 
-// handleLeaveReq evicts a gracefully-departing member (coordinator) or
-// forwards the announcement inward.
+// handleLeaveReq stages a gracefully-departing member's eviction
+// (coordinator) or forwards the announcement inward.
 func (m *Membership) handleLeaveReq(lr *msg.LeaveReq) {
-	if m.evicted || !m.joined || lr.Node == seq.None {
+	if m.evicted || !m.joined || m.lame || lr.Node == seq.None {
 		return
 	}
 	if m.coordinator() != m.self {
@@ -504,15 +1151,29 @@ func (m *Membership) handleLeaveReq(lr *msg.LeaveReq) {
 		return
 	}
 	if _, ok := m.members[lr.Node]; !ok {
-		return // already evicted; the leaver learns via resent updates
+		// Already evicted: the farewell may have been lost — answer the
+		// retry with the excluding epoch so the leaver can stand down.
+		if m.tr.HasPeer(lr.Node) {
+			m.br.ExposePeer(lr.Node)
+			m.e.Net.Send(m.self, lr.Node, m.currentUpdate())
+		}
+		return
 	}
-	m.evict([]seq.NodeID{lr.Node})
+	if !m.pendingLeave[lr.Node] {
+		m.trace("staging leave of %v for epoch %d", lr.Node, m.epoch+1)
+	}
+	m.pendingLeave[lr.Node] = true
+	m.coordinate(m.e.Net.Now())
 }
 
 // applyUpdate applies a received epoch if it is newer than ours.
 func (m *Membership) applyUpdate(u *msg.RingUpdate) {
 	if m.evicted || u.Epoch <= m.epoch {
 		return
+	}
+	if m.prop != nil && u.Epoch >= m.prop.epoch {
+		m.ProposalsAborted++
+		m.prop = nil // someone else committed first
 	}
 	inRing := false
 	for _, ma := range u.Members {
@@ -527,8 +1188,11 @@ func (m *Membership) applyUpdate(u *msg.RingUpdate) {
 		m.members[ma.Node] = ma.Addr
 	}
 	m.epoch = u.Epoch
+	m.skew = 0
 	m.reorder()
-	m.trace("applying epoch %d members=%v baseline=%d inRing=%v", u.Epoch, m.order, u.Baseline, inRing)
+	m.lastUpdate = u
+	m.trace("applying epoch %d members=%v baseline=%d inRing=%v merge=%v",
+		u.Epoch, m.order, u.Baseline, inRing, u.Merge)
 	if !inRing {
 		m.evicted = true
 		if m.OnEvicted != nil {
@@ -540,10 +1204,21 @@ func (m *Membership) applyUpdate(u *msg.RingUpdate) {
 	for id := range old {
 		if _, ok := m.members[id]; !ok && id != m.self {
 			removed = append(removed, id)
+			if a := old[id]; a != "" {
+				m.graves[id] = a
+			}
 		}
 	}
 	sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+	for _, d := range removed {
+		delete(m.pendingLeave, d)
+	}
+	for _, ma := range u.Members {
+		delete(m.pendingJoin, ma.Node)
+		delete(m.pendingMerge, ma.Node)
+	}
 	wasJoined := m.joined
+	wasLame := m.lame
 	m.joined = true
 	if !wasJoined {
 		// Set the stream baseline before the splice makes this node a
@@ -551,6 +1226,20 @@ func (m *Membership) applyUpdate(u *msg.RingUpdate) {
 		m.e.JumpTo(m.self, u.Baseline)
 	}
 	m.applyLocal(u, removed)
+	if u.Merge {
+		// Token-side reconciliation runs at EVERY applier: tokens below
+		// the surviving stamp die, and the filter window arms so the
+		// dead ring's stragglers are absorbed, not double-assigned.
+		if u.MergeTokenEpoch != 0 {
+			m.e.DiscardTokenBelow(m.self, u.MergeTokenEpoch)
+		}
+		m.e.OnMultipleToken(m.self)
+	}
+	if wasLame {
+		now := m.e.Net.Now()
+		m.trace("rejoined quorum ring at epoch %d after %v lame", u.Epoch, now-m.lameSince)
+		m.exitLame(now, u.Baseline)
+	}
 	if !wasJoined {
 		// A joiner's spawn-time clock pings died as unknown-sender frames
 		// at the seeds; now that membership is mutual, calibrate against
@@ -575,13 +1264,17 @@ func (m *Membership) calibrate(peer seq.NodeID) {
 
 // applyLocal makes the current member set real: topology ring, transport
 // peers, bridge endpoints, neighbor refresh, and severed state toward
-// removed members (who linger as lame ducks before retirement).
+// removed members (who linger as lame ducks before retirement). Every
+// member's failure detector restarts with a fresh window — without
+// this, a merged-back member would be instantly re-suspected off its
+// pre-partition lastHeard.
 func (m *Membership) applyLocal(u *msg.RingUpdate, removed []seq.NodeID) {
 	h := m.e.H
 	now := m.e.Net.Now()
 	wasVirgin := m.ringID == 0 || h.Ring(m.ringID) == nil
 	for _, id := range m.order {
 		if id == m.self {
+			delete(m.graves, id)
 			continue
 		}
 		if h.Node(id) == nil {
@@ -596,7 +1289,9 @@ func (m *Membership) applyLocal(u *msg.RingUpdate, removed []seq.NodeID) {
 			}
 		}
 		m.br.ExposePeer(id)
+		m.det.Forget(id)
 		m.det.Watch(id, now)
+		delete(m.graves, id)
 	}
 	if wasVirgin {
 		// Joiner's first epoch: its hierarchy has no top ring yet.
@@ -616,7 +1311,7 @@ func (m *Membership) applyLocal(u *msg.RingUpdate, removed []seq.NodeID) {
 		m.e.DropPeer(m.self, dead)
 		m.det.Forget(dead)
 		delete(m.peerEpoch, dead)
-		delete(m.suspect, dead)
+		delete(m.resend, dead)
 		dead := dead
 		// Lame-duck retirement: keep the corpse addressable while drains
 		// (a leaver's token-handoff ack, straggler Nack service) finish.
@@ -633,6 +1328,6 @@ func (m *Membership) applyLocal(u *msg.RingUpdate, removed []seq.NodeID) {
 
 // String renders the membership state for logs.
 func (m *Membership) String() string {
-	return fmt.Sprintf("membership{self=%v epoch=%d members=%v joined=%v evicted=%v}",
-		m.self, m.epoch, m.order, m.joined, m.evicted)
+	return fmt.Sprintf("membership{self=%v epoch=%d members=%v joined=%v evicted=%v lame=%v}",
+		m.self, m.epoch, m.order, m.joined, m.evicted, m.lame)
 }

@@ -36,6 +36,20 @@ type Faults struct {
 	Jitter time.Duration
 }
 
+// DropRule is one entry of the programmable drop matrix: inbound frames
+// from peer From (0 = any sender) are dropped with probability Prob while
+// the transport's uptime clock is inside [FromMS, UntilMS) milliseconds
+// (UntilMS 0 = forever). The matrix sits before the peer table, so it
+// also cuts probe traffic from senders the ring has since evicted —
+// exactly what a partition severs. The harness writes symmetric rules on
+// both sides of a split to emulate a full network cut.
+type DropRule struct {
+	From    uint32  `json:"from"`
+	FromMS  int64   `json:"from_ms"`
+	UntilMS int64   `json:"until_ms,omitempty"`
+	Prob    float64 `json:"prob"`
+}
+
 // TransportConfig configures one UDP transport endpoint.
 type TransportConfig struct {
 	// Self is the local node identity stamped on outbound frames.
@@ -52,6 +66,9 @@ type TransportConfig struct {
 	MaxDatagram int
 	// Faults optionally injects loss/jitter on receive.
 	Faults Faults
+	// Drops is the programmable per-peer, time-windowed drop matrix
+	// (partition emulation). Checked on receive, before the peer table.
+	Drops []DropRule
 }
 
 // PeerStats counts one peer's traffic as seen by this endpoint.
@@ -79,6 +96,7 @@ type Stats struct {
 	RecvUnknown  uint64                   `json:"recv_unknown"`
 	DecodeErrors uint64                   `json:"decode_errors"`
 	Oversize     uint64                   `json:"oversize"`
+	MatrixDrops  uint64                   `json:"matrix_drops"`
 }
 
 type peer struct {
@@ -104,6 +122,9 @@ type Transport struct {
 	peers        map[seq.NodeID]*peer
 	rng          *sim.RNG
 	faults       Faults
+	drops        []DropRule
+	started      time.Time
+	matrixDrops  uint64
 	closed       bool
 	recvUnknown  uint64
 	decodeErrors uint64
@@ -183,6 +204,8 @@ func Listen(cfg TransportConfig) (*Transport, error) {
 		offsets: make(map[seq.NodeID]offsetSample),
 		rng:     sim.NewRNG(cfg.Faults.Seed),
 		faults:  cfg.Faults,
+		drops:   cfg.Drops,
+		started: time.Now(),
 	}, nil
 }
 
@@ -359,6 +382,7 @@ func (t *Transport) Stats() Stats {
 		RecvUnknown:  t.recvUnknown,
 		DecodeErrors: t.decodeErrors,
 		Oversize:     t.oversize,
+		MatrixDrops:  t.matrixDrops,
 	}
 	for id, p := range t.peers {
 		s.Peers[id] = p.st
@@ -473,6 +497,24 @@ func (t *Transport) receive(pkt []byte) {
 		t.decodeErrors++
 		t.mu.Unlock()
 		return
+	}
+	// Drop matrix: partition emulation cuts the frame before the peer
+	// table, so probe traffic from already-evicted senders is severed too.
+	if len(t.drops) > 0 {
+		ms := time.Since(t.started).Milliseconds()
+		for _, r := range t.drops {
+			if r.From != 0 && seq.NodeID(r.From) != f.From {
+				continue
+			}
+			if ms < r.FromMS || (r.UntilMS > 0 && ms >= r.UntilMS) {
+				continue
+			}
+			if r.Prob >= 1 || t.rng.Bool(r.Prob) {
+				t.matrixDrops++
+				t.mu.Unlock()
+				return
+			}
+		}
 	}
 	p, ok := t.peers[f.From]
 	if !ok {

@@ -373,3 +373,101 @@ func TestOnUnknownJoinPath(t *testing.T) {
 		t.Fatal("JoinReq from unknown sender never surfaced")
 	}
 }
+
+// TestTransportDropMatrix: a windowed drop rule severs frames from the
+// named peer only while the transport's uptime clock is inside the
+// window, counts them in MatrixDrops, and never touches frames from
+// other senders or arrivals after the window closes.
+func TestTransportDropMatrix(t *testing.T) {
+	a, err := Listen(TransportConfig{Self: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Listen(TransportConfig{Self: 3, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen(TransportConfig{Self: 2, Listen: "127.0.0.1:0", Drops: []DropRule{
+		{From: 1, FromMS: 0, UntilMS: 600, Prob: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close(); c.Close() })
+	for _, p := range []struct {
+		tr   *Transport
+		id   seq.NodeID
+		addr string
+	}{
+		{a, 2, b.LocalAddr().String()},
+		{c, 2, b.LocalAddr().String()},
+		{b, 1, a.LocalAddr().String()},
+		{b, 3, c.LocalAddr().String()},
+	} {
+		if err := p.tr.AddPeer(p.id, p.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	got := map[seq.NodeID]int{}
+	b.Start(func(f seq.NodeID, ms []msg.Message) {
+		mu.Lock()
+		got[f] += len(ms)
+		mu.Unlock()
+	})
+	a.Start(func(seq.NodeID, []msg.Message) {})
+	c.Start(func(seq.NodeID, []msg.Message) {})
+
+	probe := &msg.Heartbeat{From: 1, Epoch: 1}
+	// Inside the window: frames from 1 die at the matrix, frames from 3
+	// pass — the rule is per-peer, not global.
+	for i := 0; i < 5; i++ {
+		if err := a.Send(2, probe); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Send(2, &msg.Heartbeat{From: 3, Epoch: 1}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n3 := got[3]
+		mu.Unlock()
+		if n3 >= 5 && b.Stats().MatrixDrops >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-window: got[3]=%d matrixDrops=%d, want 5 and >=5", n3, b.Stats().MatrixDrops)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	if got[1] != 0 {
+		t.Fatalf("matrix leaked %d msgs from peer 1 inside the window", got[1])
+	}
+	mu.Unlock()
+	inWindow := b.Stats().MatrixDrops
+
+	// After the window: the same rule is inert and frames from 1 flow.
+	time.Sleep(650 * time.Millisecond)
+	for {
+		if err := a.Send(2, probe); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		n1 := got[1]
+		mu.Unlock()
+		if n1 > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no frame from peer 1 arrived after the drop window expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if d := b.Stats().MatrixDrops; d != inWindow {
+		t.Fatalf("matrix dropped %d frames after its window closed", d-inWindow)
+	}
+}
