@@ -26,6 +26,20 @@
 // performs a graceful leave (announce, drain, hand off a held token),
 // and a fresh process with "join":true (whose peers are seed members)
 // splices into the running ring mid-stream.
+//
+// One daemon can host many independent ordering groups over the same
+// socket (config schema v2): replace the flat "group" id with a
+// "groups" array —
+//
+//	{"node":1,"listen":"127.0.0.1:9001","peers":[...],
+//	 "groups":[{"id":1,"count":200},{"id":2,"count":50,"rate_hz":100}]}
+//
+// Each group runs its own engine, driver goroutine, membership plane,
+// and token; inbound datagrams demultiplex by the group id carried in
+// every frame section, and outbound traffic from all groups coalesces
+// through a shared per-peer batching outbox. The report then carries
+// one entry per group plus the daemon aggregate. Legacy single-group
+// configs load unchanged (lifted to a one-element array).
 package main
 
 import (
@@ -50,10 +64,15 @@ func main() {
 	rep, err := wire.RunFromFile(*config, os.Stdout)
 	if !*quiet {
 		fmt.Fprintf(os.Stderr,
-			"ringnetd node %d: converged=%v delivered=%d/%d order=%s wall=%dms latency mean=%.2fms p99=%.2fms\n",
-			rep.Node, rep.Converged, rep.Delivered, rep.Expected, rep.OrderHash,
-			rep.WallMS, rep.LatencyMeanMS, rep.LatencyP99MS)
-		fmt.Fprintf(os.Stderr, "ringnetd node %d: %v\n", rep.Node, rep.Control)
+			"ringnetd node %d: groups=%d converged=%v delivered=%d aggregate=%.0f/s wall=%dms\n",
+			rep.Node, len(rep.Groups), rep.Converged, rep.Delivered, rep.ThroughputPS, rep.WallMS)
+		for _, g := range rep.Groups {
+			fmt.Fprintf(os.Stderr,
+				"ringnetd node %d group %d: converged=%v delivered=%d/%d order=%s latency mean=%.2fms p99=%.2fms\n",
+				rep.Node, g.Group, g.Converged, g.Delivered, g.Expected, g.OrderHash,
+				g.LatencyMeanMS, g.LatencyP99MS)
+			fmt.Fprintf(os.Stderr, "ringnetd node %d group %d: %v\n", rep.Node, g.Group, g.Control)
+		}
 	}
 	if err != nil {
 		log.Fatal(err)

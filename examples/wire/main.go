@@ -1,13 +1,16 @@
 // Example wire: the RingNet protocol off the simulator — a three-member
-// ordering ring exchanging real UDP datagrams on loopback, with 2%
-// injected datagram loss and 1.5ms injected jitter at every socket.
+// federation exchanging real UDP datagrams on loopback, with 2% injected
+// datagram loss and 1.5ms injected jitter at every socket.
 //
-// Each member runs the full protocol core (token ordering, WQ
-// forwarding, delayed cumulative acks, Nack repair) assembled onto the
-// wire transport with real timers, exactly as the standalone ringnetd
-// daemon does; here the three members share one process for a
-// self-contained demo. Every member must report the identical
-// delivery-order hash.
+// Each member daemon hosts TWO independent ordering groups over one
+// shared socket (config schema v2): every group runs the full protocol
+// core (token ordering, WQ forwarding, delayed cumulative acks, Nack
+// repair) on its own driver goroutine, while inbound datagrams demux by
+// the group id in each frame section and outbound traffic from both
+// groups coalesces through the shared per-peer outbox. Here the three
+// members share one process for a self-contained demo; the standalone
+// ringnetd daemon assembles the same pieces. Every member must report
+// the identical delivery-order hash per group.
 package main
 
 import (
@@ -20,22 +23,25 @@ import (
 
 func main() {
 	const (
-		n     = 3
-		count = 80
+		n      = 3
+		countA = 80 // group 1: the busy stream
+		countB = 30 // group 2: a slower sibling sharing the socket
 	)
 	nodes := make([]*wire.Node, n)
 	for i := 0; i < n; i++ {
 		cfg := wire.Config{
-			Group:      1,
 			Node:       uint32(i + 1),
 			Listen:     "127.0.0.1:0",
 			Seed:       uint64(42 + i),
 			Loss:       0.02,
 			JitterUS:   1500,
-			Count:      count,
 			RateHz:     400,
 			Payload:    64,
 			DeadlineMS: 30000,
+			Groups: []wire.GroupConfig{
+				{ID: 1, Count: countA},
+				{ID: 2, Count: countB, RateHz: 150},
+			},
 		}
 		for j := 0; j < n; j++ {
 			if j != i {
@@ -75,20 +81,28 @@ func main() {
 	}
 	wg.Wait()
 
-	fmt.Printf("\n%d members × %d messages over lossy loopback UDP:\n", n, count)
+	fmt.Printf("\n%d members × 2 groups (%d+%d messages) over one lossy loopback socket each:\n",
+		n, countA, countB)
 	for _, r := range reports {
 		var drops uint64
 		for _, p := range r.Transport.Peers {
 			drops += p.InjectedDrops
 		}
-		fmt.Printf("  member %d: delivered %d/%d order=%s wall=%dms latency mean=%.1fms p99=%.1fms injected drops=%d\n",
-			r.Node, r.Delivered, r.Expected, r.OrderHash, r.WallMS,
-			r.LatencyMeanMS, r.LatencyP99MS, drops)
-	}
-	for _, r := range reports[1:] {
-		if r.OrderHash != reports[0].OrderHash {
-			log.Fatalf("delivery order diverged: %s vs %s", r.OrderHash, reports[0].OrderHash)
+		fmt.Printf("  member %d: delivered %d total, aggregate %.0f/s, wall=%dms, injected drops=%d\n",
+			r.Node, r.Delivered, r.ThroughputPS, r.WallMS, drops)
+		for _, g := range r.Groups {
+			fmt.Printf("    group %d: delivered %d/%d order=%s latency mean=%.1fms p99=%.1fms\n",
+				g.Group, g.Delivered, g.Expected, g.OrderHash, g.LatencyMeanMS, g.LatencyP99MS)
 		}
 	}
-	fmt.Println("total order identical at every member ✓")
+	for _, gid := range []uint32{1, 2} {
+		ref := reports[0].ByGroup(gid)
+		for _, r := range reports[1:] {
+			g := r.ByGroup(gid)
+			if g == nil || ref == nil || g.OrderHash != ref.OrderHash {
+				log.Fatalf("group %d delivery order diverged", gid)
+			}
+		}
+	}
+	fmt.Println("total order identical at every member, in both groups ✓")
 }

@@ -24,6 +24,18 @@ type Config struct {
 	// TokenHold is how long a holder keeps the token before forwarding
 	// (processing time; the paper treats it as negligible).
 	TokenHold sim.Time
+	// TokenIdleBackoff, when non-zero, lets an idle ring slow down: every
+	// token rotation that arrives with nothing newly assigned doubles the
+	// holding time, up to this cap, and any advance of the global
+	// sequence snaps it back to TokenHold. The τ Order-Assignment tick
+	// stretches toward the same cap while the node has no queued, held,
+	// or undelivered work (it is a fallback path under
+	// OpportunisticAssign). Real deployments
+	// hosting many federated rings need quiet groups to stop burning
+	// CPU and sockets on full-rate circulation; keep it well under the
+	// membership plane's token watchdog. 0 disables (the simulator
+	// default — constant-rate circulation, the paper's model).
+	TokenIdleBackoff sim.Time
 	// MQSize is the MaxNo of every NE's message queue, in slots.
 	MQSize int
 	// MHWindow is the reassembly window of a mobile host.

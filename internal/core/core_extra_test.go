@@ -92,6 +92,35 @@ func TestNackGapRepair(t *testing.T) {
 	}
 }
 
+// TestNackRepairReverseLink: a broadcast Nack can come from a ring
+// member the responder has never linked to — links are directional, and
+// before the fix the served bodies were silently dropped (DroppedNoRoute)
+// on the missing return link, letting the requester's fruitless rounds
+// climb to the really-lost give-up on a body a live member was holding.
+func TestNackRepairReverseLink(t *testing.T) {
+	r := newRig(t, topology.Spec{BRs: 4, AGRings: 2, AGSize: 2, APsPerAG: 1, MHsPerAP: 1}, nil)
+	r.pump([]seq.NodeID{r.b.BRs[0]}, 20, 1*sim.Millisecond, 10*sim.Millisecond)
+	r.run(2 * sim.Second)
+	responder := r.e.NE(r.b.BRs[0])
+	requester := r.b.BRs[2] // two ring hops away: no direct link either way
+	if r.e.Net.Linked(r.b.BRs[0], requester) {
+		t.Fatalf("precondition: BR0 already linked to BR2; pick a non-neighbor")
+	}
+	if responder.mq.Data(1) == nil {
+		t.Fatal("precondition: responder retains no body for global seq 1")
+	}
+	before := r.e.Net.Stats().DroppedNoRoute
+	responder.handleNack(requester, &msg.Nack{
+		Group: 1, From: requester, Range: seq.Range{Min: 1, Max: 4},
+	})
+	if after := r.e.Net.Stats().DroppedNoRoute; after != before {
+		t.Fatalf("repair bodies dropped on missing return link: DroppedNoRoute %d -> %d", before, after)
+	}
+	if !r.e.Net.Linked(r.b.BRs[0], requester) {
+		t.Fatal("handleNack did not establish the return link to the requester")
+	}
+}
+
 // TestReservationExpiry: a reserved AP with no members leaves the tree
 // after the reservation lapses.
 func TestReservationExpiry(t *testing.T) {

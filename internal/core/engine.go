@@ -393,6 +393,29 @@ func (e *Engine) OnTokenLoss(at seq.NodeID) {
 	}
 }
 
+// ParkToken retires a node from token circulation: the next token (or
+// regeneration traversal) it sees is acknowledged — stopping the
+// sender's courier — and swallowed, and the node never signals or
+// answers Token-Loss again. A group whose run is complete (every member
+// delivered everything, group-wide barrier passed, couriers quiesced)
+// calls this so a federated daemon hosting hundreds of finished rings
+// stops burning CPU and sockets on circulation that can never order
+// another message. MQ retransmission service is untouched — only the
+// token dies. Irreversible for the node; callers park only rings they
+// know are done.
+func (e *Engine) ParkToken(at seq.NodeID) {
+	ne := e.nes[at]
+	if ne == nil {
+		return
+	}
+	ne.tokenParked = true
+	if ne.held != nil {
+		ne.held = nil
+		ne.holding = false
+		ne.ctrTokenDestroys++
+	}
+}
+
 // OnMultipleToken delivers the Multiple-Token signal to a node of a
 // freshly merged top ring.
 func (e *Engine) OnMultipleToken(at seq.NodeID) {

@@ -33,6 +33,9 @@ type NE struct {
 	newToken    *seq.Token
 	held        *seq.Token // token currently held (pre-forward) or awaiting forward ack
 	holding     bool
+	tokenParked bool          // retired ring: swallow the token, never regenerate
+	idleNext    seq.GlobalSeq // NextGlobalSeq when the idle streak began
+	idleStreak  int           // consecutive rotations with no new assignment
 	safeHorizon seq.GlobalSeq
 	lastToken   sim.Time
 	tokenSeen   bool
@@ -183,6 +186,7 @@ func (n *NE) reset() {
 	n.assign = nil
 	n.oldToken, n.newToken, n.held = nil, nil, nil
 	n.holding = false
+	n.tokenParked = false
 	n.safeHorizon = 0
 	n.tokenSeen = false
 	n.stampSet = false
@@ -447,7 +451,24 @@ func (n *NE) refreshNeighbors() {
 			n.assign = seq.NewWTSNP()
 		}
 		if n.tauTicker == nil {
-			n.tauTicker = n.e.Scheduler().Every(n.e.Cfg.Tau, n.orderAssign)
+			if max := n.e.Cfg.TokenIdleBackoff; max > n.e.Cfg.Tau {
+				// Idle backoff (federated wire deployments): a quiet
+				// engine stretches its Order-Assignment tick toward the
+				// same cap as the token hold, and snaps back the moment
+				// there is queued, held, or undelivered work. With
+				// OpportunisticAssign the tick is a fallback path, so
+				// the stretch costs one cap interval of latency at most.
+				n.tauTicker = n.e.Scheduler().EveryBackoff(n.e.Cfg.Tau, max, func() bool {
+					n.orderAssign()
+					if n.failed || n.wq == nil {
+						return false
+					}
+					return n.wq.Len() > 0 || n.held != nil ||
+						n.mq.Front() != n.mq.Rear()
+				})
+			} else {
+				n.tauTicker = n.e.Scheduler().Every(n.e.Cfg.Tau, n.orderAssign)
+			}
 		}
 	} else if n.tauTicker != nil {
 		n.tauTicker.Stop()
@@ -1192,6 +1213,12 @@ func (n *NE) catchUpRing() {
 
 func (n *NE) handleNack(from seq.NodeID, nk *msg.Nack) {
 	n.ctrNacks++
+	// A broadcast Nack can come from a non-neighbor the topology has no
+	// return link to yet — links are directional, and an unlinked Send
+	// is silently dropped, which would let the requester's fruitless
+	// rounds climb all the way to the really-lost give-up on a body we
+	// are holding right here.
+	n.e.EnsureLink(n.id, from)
 	for g := nk.Range.Min; g <= nk.Range.Max; g++ {
 		if d := n.mq.Data(seq.GlobalSeq(g)); d != nil {
 			n.e.Net.Send(n.id, from, d)

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/msg"
 	"repro/internal/seq"
+	"repro/internal/sim"
 )
 
 // This file implements the top-ring algorithms of paper §4.2.1: token
@@ -28,6 +29,16 @@ func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
 			From: n.id, Epoch: tok.Epoch, Hops: tok.Hops, Next: tok.NextGlobalSeq,
 			Cum: n.takePendingAck(from),
 		})
+	}
+	// A parked node retires the ring: the group is done — every member
+	// delivered everything and quiesced — so circulation serves nothing.
+	// The ack above already stopped the sender's courier; swallowing the
+	// copy here (instead of forwarding) ends rotation at the first parked
+	// receiver. Stragglers still get MQ retransmissions; only the token
+	// dies.
+	if n.tokenParked {
+		n.ctrTokenDestroys++
+		return
 	}
 	// Duplicate suppression: Hops strictly increases within an epoch, so
 	// anything not strictly newer is a courier retransmit or a stale
@@ -132,13 +143,44 @@ func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
 		n.orderAssign()
 	}
 
-	// Forward after the (small) holding time.
-	n.e.Scheduler().After(n.e.Cfg.TokenHold, func() { n.forwardHeldToken() })
+	// Forward after the (small) holding time — stretched exponentially
+	// on an idle ring when TokenIdleBackoff is enabled, so a quiet
+	// group's token does not spin the CPU and the sockets at full rate.
+	// Assignments made during the stretched hold (a τ tick ordering
+	// freshly arrived data) advance Next, so the next sighting resets
+	// every holder back to full speed.
+	hold := n.e.Cfg.TokenHold
+	if max := n.e.Cfg.TokenIdleBackoff; max > 0 && n.held != nil {
+		if next := n.held.NextGlobalSeq; next != n.idleNext {
+			n.idleNext, n.idleStreak = next, 0
+		} else if hold < max {
+			if n.idleStreak < 63 {
+				n.idleStreak++
+			}
+			if hold <= 0 {
+				hold = sim.Millisecond
+			}
+			for i := 0; i < n.idleStreak && hold < max; i++ {
+				hold *= 2
+			}
+			if hold > max {
+				hold = max
+			}
+		}
+	}
+	n.e.Scheduler().After(hold, func() { n.forwardHeldToken() })
 }
 
 // forwardHeldToken sends the held token to the current ring successor.
 func (n *NE) forwardHeldToken() {
 	if n.failed || n.held == nil {
+		return
+	}
+	if n.tokenParked {
+		// Parked while a hold timer was pending: drop the copy here.
+		n.holding = false
+		n.held = nil
+		n.ctrTokenDestroys++
 		return
 	}
 	tok := n.held
@@ -284,10 +326,13 @@ func (n *NE) maybeNackFront() {
 	// member marks the slot lost alike. Sweep the contiguous run of such
 	// slots so multi-hole losses clear in one pass. After 4× the
 	// patience, give up even when the assignment entry itself is
-	// unresolvable (it can die with its source's last token copy): a
-	// live source always retains its own message, so this many
-	// unanswered cluster-wide rounds prove the source is gone whoever it
-	// was.
+	// unresolvable (it can die with its source's last token copy).
+	// When the assignment IS resolvable to a source still in the
+	// hierarchy, never give up, however many rounds pass: a live source
+	// always retains its own message, so the repair is merely delayed —
+	// congestion can hold answers back for many round-trips, and marking
+	// a live message lost permanently desynchronizes this member's
+	// delivery count from the group's.
 	if gr := n.e.Cfg.NackGiveUpRounds; gr > 0 && n.frontRounds >= gr {
 		hard := n.frontRounds >= 4*gr
 		cleared := false
@@ -296,7 +341,7 @@ func (n *NE) maybeNackFront() {
 				break
 			}
 			src, _, ok := n.sourceForGlobal(g)
-			if !(hard || (ok && n.e.H.Node(src) == nil)) {
+			if !((hard && !ok) || (ok && n.e.H.Node(src) == nil)) {
 				break
 			}
 			if n.mq.InsertLost(g) != nil {
@@ -531,7 +576,7 @@ func (n *NE) giveUpSource(src seq.NodeID) {
 // ignored; otherwise a Token-Regeneration message encapsulating this
 // node's NewOrderingToken starts traversing the ring.
 func (n *NE) onTokenLoss() {
-	if n.failed || !n.view.IsTop {
+	if n.failed || !n.view.IsTop || n.tokenParked {
 		return
 	}
 	if n.ordersWell() {
@@ -599,6 +644,12 @@ func (n *NE) handleTokenRegen(from seq.NodeID, rg *msg.TokenRegen) {
 	// identical in (origin, next, epoch) and must traverse, or token
 	// recovery deadlocks the moment one traversal is abandoned on a
 	// removed member.
+	// A parked node absorbs regeneration traversals: the ack above
+	// stopped the courier, and a retired ring must not be resurrected.
+	if n.tokenParked {
+		n.ctrTokenDestroys++
+		return
+	}
 	stamp := regenStamp{origin: rg.Origin, next: rg.Token.NextGlobalSeq, epoch: rg.Token.Epoch, set: true}
 	if n.lastRegen == stamp && n.now()-n.lastRegenAt < 2*n.e.Cfg.Hop.RTO {
 		return

@@ -24,6 +24,15 @@ type Config struct {
 	// MaxRetries bounds retransmissions per message; 0 means unbounded
 	// (strong reliability within the hop).
 	MaxRetries int
+	// BackoffCap, when non-zero, doubles the retransmission delay on
+	// every retry of the same message, up to this cap; a fresh message
+	// (or a retargeted hop) starts back at RTO. A receiver that has
+	// genuinely fallen behind — seconds of scheduler backlog on an
+	// overloaded federated daemon — is only buried deeper by fixed-rate
+	// duplicates, and the duplicates it processes are pure overhead
+	// since the first copy is already queued. 0 keeps the paper's
+	// fixed-RTO scheme (the simulator default).
+	BackoffCap sim.Time
 }
 
 // DefaultConfig suits wired backbone hops.
@@ -113,6 +122,11 @@ func (s *Sender) Retarget(to seq.NodeID) {
 	}
 	s.to = to
 	for _, p := range s.out {
+		if s.cfg.BackoffCap > 0 {
+			// A fresh destination deserves a fresh cadence: the old
+			// peer's unresponsiveness says nothing about the new one.
+			p.retries = 0
+		}
 		s.transmit(p)
 	}
 }
@@ -210,7 +224,23 @@ func (s *Sender) transmit(p *pending) {
 }
 
 func (s *Sender) arm(p *pending) {
-	p.timer = s.net.Scheduler().AfterCall(s.cfg.RTO, pendingTimeout, p)
+	p.timer = s.net.Scheduler().AfterCall(retryDelay(s.cfg, p.retries), pendingTimeout, p)
+}
+
+// retryDelay is the rearm delay after the retries-th transmission:
+// fixed RTO, or exponentially backed off to cfg.BackoffCap.
+func retryDelay(cfg Config, retries int) sim.Time {
+	d := cfg.RTO
+	if cfg.BackoffCap <= 0 {
+		return d
+	}
+	for i := 0; i < retries && d < cfg.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > cfg.BackoffCap {
+		d = cfg.BackoffCap
+	}
+	return d
 }
 
 // Ack releases every outstanding message with seqno ≤ cum.
@@ -289,7 +319,7 @@ func (c *Courier) Deliver(to seq.NodeID, m msg.Message) {
 }
 
 func (c *Courier) armCourier(sn uint64) {
-	c.timer = c.net.Scheduler().After(c.cfg.RTO, func() {
+	c.timer = c.net.Scheduler().After(retryDelay(c.cfg, c.retries), func() {
 		if c.m == nil || c.seqno != sn {
 			return
 		}

@@ -1,20 +1,22 @@
 package wire
 
 import (
-	"repro/internal/msg"
 	"repro/internal/netsim"
 	"repro/internal/seq"
-	"repro/internal/sim"
+
+	"repro/internal/msg"
 )
 
-// Bridge splices a single-node engine's local netsim substrate onto a
-// UDP transport. Remote ring members are registered on the local
+// Bridge splices one group's local netsim substrate onto the daemon's
+// shared outbox. Remote ring members are registered on the local
 // substrate as forwarding endpoints: when the unmodified protocol core
 // sends to a remote neighbor through its transport.Sender, the local
 // substrate "delivers" the message to the forwarding endpoint, which
-// batches it onto the wire. Inbound datagrams are injected through the
-// driver and dispatched to the local protocol handler as if the remote
-// node were a local neighbor.
+// enqueues it — tagged with this group's id — into the shared per-peer
+// outbox, where it coalesces with sibling groups' traffic for the same
+// peer. Inbound sections are injected through the driver and dispatched
+// to the local protocol handler as if the remote node were a local
+// neighbor.
 //
 // The local links are zero-latency and lossless — the real network
 // supplies latency, jitter, loss, and reordering — so the substrate
@@ -27,49 +29,18 @@ import (
 // of the running bridge.
 type Bridge struct {
 	drv   *Driver
-	tr    *Transport
+	ob    *SharedOutbox
 	net   *netsim.Network
 	local seq.NodeID
+	group uint32
 	sink  netsim.Handler
-	boxes map[seq.NodeID]*outbox
-
-	// Batch, when positive, is the outbox aggregation window: data-plane
-	// messages for one peer wait up to this long (in driver virtual
-	// time) so deliveries produced by *different* scheduler events — a
-	// WQ forwarding run, back-to-back source submissions — share
-	// datagrams, the wire analogue of Sender.SendRun/netsim.SendBurst.
-	// Latency-critical control (token, token acks, regen, nacks, joins,
-	// ring updates) still flushes at the end of the current event, as
-	// does any outbox nearing the datagram budget. Zero restores
-	// flush-per-event. Set before Expose.
-	Batch sim.Time
-
-	// SendErrs counts outbound flushes the transport rejected.
-	SendErrs uint64
+	peers map[seq.NodeID]bool
 }
 
-// batchFlushBytes caps how much an outbox accumulates before it stops
-// waiting for its window: comfortably one datagram's worth.
-const batchFlushBytes = 48_000
-
-// outbox batches one peer's outbound messages into datagram-sized
-// flushes. Within one scheduler event everything coalesces for free
-// (the flush runs strictly after the event); across events the Batch
-// window keeps the box open for data-plane traffic.
-type outbox struct {
-	b     *Bridge
-	to    seq.NodeID
-	msgs  []msg.Message
-	bytes int
-	arm   bool
-	asap  bool // armed for end-of-event (not end-of-window) flush
-	timer sim.Timer
-}
-
-// NewBridge builds the splice; call Expose, then start the engine's
-// local node, then Attach.
-func NewBridge(drv *Driver, tr *Transport, net *netsim.Network, local seq.NodeID) *Bridge {
-	return &Bridge{drv: drv, tr: tr, net: net, local: local, boxes: make(map[seq.NodeID]*outbox)}
+// NewBridge builds the splice for one group; call Expose, then start the
+// engine's local node, then Attach.
+func NewBridge(drv *Driver, ob *SharedOutbox, net *netsim.Network, local seq.NodeID, group uint32) *Bridge {
+	return &Bridge{drv: drv, ob: ob, net: net, local: local, group: group, peers: make(map[seq.NodeID]bool)}
 }
 
 // Expose registers every remote member as a forwarding endpoint on the
@@ -83,100 +54,55 @@ func (b *Bridge) Expose(peers []seq.NodeID) {
 // ExposePeer registers one remote member (idempotent). Runs on the
 // driver goroutine once the driver is started.
 func (b *Bridge) ExposePeer(p seq.NodeID) {
-	if _, ok := b.boxes[p]; ok || p == b.local {
+	if b.peers[p] || p == b.local {
 		return
 	}
-	ob := &outbox{b: b, to: p}
-	b.boxes[p] = ob
-	b.net.Register(p, ob)
+	b.peers[p] = true
+	b.net.Register(p, fwd{b: b, to: p})
 	b.net.Connect(b.local, p, netsim.LinkParams{})
 }
 
 // RetirePeer unregisters a remote member: its endpoint and links leave
-// the local substrate and any unflushed messages are dropped (the member
-// is gone; reliability state pointing at it is the engine's DropPeer
-// business). Runs on the driver goroutine.
+// the local substrate and this group's unflushed messages for it are
+// dropped from the shared outbox (the member is gone; reliability state
+// pointing at it is the engine's DropPeer business). Runs on the driver
+// goroutine.
 func (b *Bridge) RetirePeer(p seq.NodeID) {
-	ob, ok := b.boxes[p]
-	if !ok {
+	if !b.peers[p] {
 		return
 	}
-	ob.timer.Stop()
-	ob.msgs = nil // a pending flush event finds the box empty and no-ops
-	ob.bytes = 0
-	delete(b.boxes, p)
+	delete(b.peers, p)
+	b.ob.Drop(b.group, p)
 	b.net.Unregister(p)
 	b.net.Disconnect(b.local, p)
 }
 
-// urgentKind reports whether a message must not wait for the batch
-// window: everything except bulk data-plane and coalescable control.
-func urgentKind(k msg.Kind) bool {
-	switch k {
-	case msg.KindData, msg.KindSourceData, msg.KindSkip, msg.KindAck,
-		msg.KindProgress, msg.KindHeartbeat:
-		return false
-	}
-	return true
+// fwd is the forwarding endpoint for one remote peer: netsim deliveries
+// addressed to the peer become shared-outbox enqueues on this group's
+// scheduler. Messages produced within one protocol event (a token plus
+// its piggybacked acks, a fanout burst) coalesce at the outbox exactly
+// as they did with a per-group outbox — plus whatever sibling groups
+// have pending for the same peer.
+type fwd struct {
+	b  *Bridge
+	to seq.NodeID
 }
 
-// Recv implements netsim.Handler for a forwarding endpoint: a message
-// the local node addressed to this peer. Runs on the driver goroutine
-// (inside a scheduler event). Flushes are deferred at least to an
-// immediate follow-up event so every message sent within one protocol
-// event (a token plus its piggybacked acks, a fanout burst) shares a
-// datagram; data-plane messages may additionally wait out the bridge's
-// Batch window so runs spanning several events share datagrams too.
-func (ob *outbox) Recv(from seq.NodeID, m msg.Message) {
-	ob.msgs = append(ob.msgs, m)
-	ob.bytes += 4 + m.WireSize()
-	asap := ob.b.Batch <= 0 || urgentKind(m.Kind()) || ob.bytes >= batchFlushBytes
-	if !ob.arm {
-		ob.arm = true
-		ob.asap = asap
-		delay := sim.Time(0)
-		if !asap {
-			delay = ob.b.Batch
-		}
-		ob.timer = ob.b.net.Scheduler().After(delay, ob.flush)
-		return
-	}
-	if asap && !ob.asap {
-		// Upgrade a windowed flush: something latency-critical joined
-		// the box.
-		ob.timer.Stop()
-		ob.asap = true
-		ob.timer = ob.b.net.Scheduler().After(0, ob.flush)
-	}
+func (f fwd) Recv(from seq.NodeID, m msg.Message) {
+	f.b.ob.Enqueue(f.b.net.Scheduler(), f.b.group, f.to, m)
 }
 
-func (ob *outbox) flush() {
-	msgs := ob.msgs
-	ob.arm = false
-	ob.asap = false
-	ob.bytes = 0
-	if len(msgs) == 0 {
-		return
-	}
-	if err := ob.b.tr.Send(ob.to, msgs...); err != nil {
-		ob.b.SendErrs++
-	}
-	for i := range msgs {
-		msgs[i] = nil
-	}
-	ob.msgs = msgs[:0]
-}
-
-// Attach installs the local protocol handler and starts the transport's
-// reader: inbound messages are serialized onto the driver goroutine and
-// handed to h exactly as a local netsim delivery would be.
-func (b *Bridge) Attach(h netsim.Handler) {
+// Attach installs the local protocol handler: inbound sections for this
+// group are serialized onto the driver goroutine and handed to h exactly
+// as a local netsim delivery would be. The returned Handler is what the
+// group registers with the transport.
+func (b *Bridge) Attach(h netsim.Handler) Handler {
 	b.sink = h
-	b.tr.Start(func(from seq.NodeID, msgs []msg.Message) {
+	return func(from seq.NodeID, msgs []msg.Message) {
 		b.drv.Call(func() {
 			for _, m := range msgs {
 				b.sink.Recv(from, m)
 			}
 		})
-	})
+	}
 }

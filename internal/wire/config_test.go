@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestConfigV1Lift: a legacy flat config normalizes into the canonical
+// one-element Groups array with the flat fields moved over and cleared,
+// and normalizing again is a no-op (Normalize is idempotent — NewNode
+// and tools may both call it).
+func TestConfigV1Lift(t *testing.T) {
+	c := Config{
+		Node:      3,
+		Group:     7,
+		Listen:    "127.0.0.1:0",
+		Count:     120,
+		Expect:    360,
+		TracePath: "/tmp/trace",
+		Peers:     []PeerAddr{{Node: 1}, {Node: 2}},
+	}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Groups) != 1 {
+		t.Fatalf("lifted into %d groups, want 1", len(c.Groups))
+	}
+	g := c.Groups[0]
+	if g.ID != 7 || g.Count != 120 || g.Expect != 360 || g.TracePath != "/tmp/trace" {
+		t.Fatalf("lift lost fields: %+v", g)
+	}
+	if c.Group != 0 || c.Expect != 0 || c.TracePath != "" {
+		t.Fatalf("legacy fields not cleared after lift: Group=%d Expect=%d TracePath=%q",
+			c.Group, c.Expect, c.TracePath)
+	}
+	// Inherited stream defaults land on the group.
+	if g.RateHz != 200 || g.Payload != 64 || g.StartMS != 250 {
+		t.Fatalf("daemon defaults not inherited: %+v", g)
+	}
+	if err := c.Normalize(); err != nil {
+		t.Fatalf("second Normalize: %v", err)
+	}
+	if len(c.Groups) != 1 || c.Groups[0].ID != 7 {
+		t.Fatalf("Normalize not idempotent: %+v", c.Groups)
+	}
+}
+
+// TestConfigV1DefaultGroup: a v1 config with no group id at all gets
+// group 1 — the pre-v2 wire default.
+func TestConfigV1DefaultGroup(t *testing.T) {
+	c := Config{Node: 1, Listen: "127.0.0.1:0", Count: 10}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Groups) != 1 || c.Groups[0].ID != 1 {
+		t.Fatalf("default lift: %+v", c.Groups)
+	}
+}
+
+// TestConfigGroupInheritance: per-group stream fields override the
+// daemon-level defaults field by field; Count < 0 means "source
+// nothing" explicitly, distinct from 0 = inherit.
+func TestConfigGroupInheritance(t *testing.T) {
+	c := Config{
+		Node:    1,
+		Listen:  "127.0.0.1:0",
+		Count:   100,
+		RateHz:  500,
+		Payload: 32,
+		StartMS: 400,
+		Groups: []GroupConfig{
+			{ID: 1},
+			{ID: 2, Count: 7, RateHz: 50, Payload: 16, StartMS: 10},
+			{ID: 3, Count: -1},
+		},
+	}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Groups[0]; g.Count != 100 || g.RateHz != 500 || g.Payload != 32 || g.StartMS != 400 {
+		t.Fatalf("group 1 did not inherit daemon defaults: %+v", g)
+	}
+	if g := c.Groups[1]; g.Count != 7 || g.RateHz != 50 || g.Payload != 16 || g.StartMS != 10 {
+		t.Fatalf("group 2 overrides lost: %+v", g)
+	}
+	if g := c.Groups[2]; g.Count != 0 {
+		t.Fatalf("group 3 Count=-1 should mean source-nothing, got Count=%d", g.Count)
+	}
+}
+
+// TestConfigValidation: every malformed shape is rejected with an error
+// that names the problem and the fix.
+func TestConfigValidation(t *testing.T) {
+	base := func() Config {
+		return Config{Node: 1, Listen: "127.0.0.1:0", Peers: []PeerAddr{{Node: 2}, {Node: 3}}}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string // substring the error must carry
+	}{
+		{
+			name:    "zero node id",
+			mutate:  func(c *Config) { c.Node = 0 },
+			wantSub: "node id",
+		},
+		{
+			name:    "unsupported role",
+			mutate:  func(c *Config) { c.Role = "observer" },
+			wantSub: "unsupported role",
+		},
+		{
+			name:    "duplicate peer",
+			mutate:  func(c *Config) { c.Peers = append(c.Peers, PeerAddr{Node: 2}) },
+			wantSub: "duplicate peer",
+		},
+		{
+			name: "mixed schemas: flat group id",
+			mutate: func(c *Config) {
+				c.Group = 4
+				c.Groups = []GroupConfig{{ID: 4}}
+			},
+			wantSub: "mixes schemas",
+		},
+		{
+			name: "mixed schemas: flat join",
+			mutate: func(c *Config) {
+				c.Live, c.Join = true, true
+				c.Groups = []GroupConfig{{ID: 1}}
+			},
+			wantSub: "mixes schemas",
+		},
+		{
+			name: "mixed schemas: flat expect",
+			mutate: func(c *Config) {
+				c.Expect = 99
+				c.Groups = []GroupConfig{{ID: 1}}
+			},
+			wantSub: "mixes schemas",
+		},
+		{
+			name: "mixed schemas: flat trace path",
+			mutate: func(c *Config) {
+				c.TracePath = "/tmp/t"
+				c.Groups = []GroupConfig{{ID: 1}}
+			},
+			wantSub: "mixes schemas",
+		},
+		{
+			name: "duplicate group ids",
+			mutate: func(c *Config) {
+				c.Groups = []GroupConfig{{ID: 5}, {ID: 6}, {ID: 5}}
+			},
+			wantSub: "duplicate group id 5",
+		},
+		{
+			name: "group id zero",
+			mutate: func(c *Config) {
+				c.Groups = []GroupConfig{{ID: 0}}
+			},
+			wantSub: "id must be non-zero",
+		},
+		{
+			name: "join without live",
+			mutate: func(c *Config) {
+				c.Groups = []GroupConfig{{ID: 1, Join: true}}
+			},
+			wantSub: "join requires live",
+		},
+		{
+			name: "leader conflicts with ring election",
+			mutate: func(c *Config) {
+				// Lowest member id is 1 (self); asserting 2 contradicts
+				// positional leadership.
+				c.Groups = []GroupConfig{{ID: 1, Leader: 2}}
+			},
+			wantSub: "conflicts with ring election",
+		},
+		{
+			name: "leader not a member",
+			mutate: func(c *Config) {
+				c.Groups = []GroupConfig{{ID: 1, Leader: 9}}
+			},
+			wantSub: "not a configured member",
+		},
+		{
+			name: "leader asserted on a joiner",
+			mutate: func(c *Config) {
+				c.Live = true
+				c.Groups = []GroupConfig{{ID: 1, Join: true, Leader: 1}}
+			},
+			wantSub: "joining member",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base()
+			tc.mutate(&c)
+			err := c.Normalize()
+			if err == nil {
+				t.Fatalf("accepted: %+v", c)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestConfigLeaderAssertionAccepted: asserting the leader that ring
+// election would pick anyway is fine — the field documents intent.
+func TestConfigLeaderAssertionAccepted(t *testing.T) {
+	c := Config{
+		Node:   2,
+		Listen: "127.0.0.1:0",
+		Peers:  []PeerAddr{{Node: 1}, {Node: 3}},
+		Groups: []GroupConfig{{ID: 1, Leader: 1}},
+	}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadConfigSchemas: both schema versions load from disk; the lift
+// happens at Normalize, so a JSON v1 file and its v2 rewrite normalize
+// to the same canonical shape.
+func TestLoadConfigSchemas(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "v1.json")
+	v2 := filepath.Join(dir, "v2.json")
+	if err := os.WriteFile(v1, []byte(`{"node":1,"listen":"127.0.0.1:0","group":4,"count":50,
+		"peers":[{"node":2,"addr":"127.0.0.1:9002"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v2, []byte(`{"node":1,"listen":"127.0.0.1:0","count":50,
+		"peers":[{"node":2,"addr":"127.0.0.1:9002"}],
+		"groups":[{"id":4}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadConfig(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadConfig(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Groups) != 1 || len(b.Groups) != 1 || a.Groups[0] != b.Groups[0] {
+		t.Fatalf("v1 lift %+v != v2 %+v", a.Groups, b.Groups)
+	}
+}

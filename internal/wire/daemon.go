@@ -1,290 +1,50 @@
 package wire
 
 import (
-	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
-	"sort"
 	"sync"
 	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/metrics"
-	"repro/internal/msg"
-	"repro/internal/netsim"
 	"repro/internal/seq"
 	"repro/internal/sim"
-	"repro/internal/topology"
-	"repro/internal/workload"
 )
 
-// PeerAddr names one remote ring member. Addr may be empty at load time
-// and filled later with Node.SetPeerAddr (in-process clusters bind their
-// sockets first and exchange addresses afterwards).
-type PeerAddr struct {
-	Node uint32 `json:"node"`
-	Addr string `json:"addr"`
-}
-
-// Config is a ringnetd node's deployment description, read from a small
-// JSON file. Every member of the ring runs the same member list (self
-// included via Node); the sorted member IDs form the top ring, and the
-// lowest ID is the ring leader, which injects the ordering token.
-//
-// With Live set, the static list is only the bootstrap epoch: members
-// heartbeat each other, a crashed member is evicted and the ring
-// repaired at a new epoch, SIGTERM becomes a graceful leave, and fresh
-// processes can join a running ring (Join mode, where Peers are the
-// seed members to solicit).
-type Config struct {
-	Group    uint32     `json:"group"`
-	Node     uint32     `json:"node"`
-	Role     string     `json:"role"` // "ring" (top-ring ordering member) — the only role today
-	Listen   string     `json:"listen"`
-	ListenFD int        `json:"listen_fd,omitempty"`
-	Peers    []PeerAddr `json:"peers"`
-
-	// Live enables the membership plane (heartbeats, failure detection,
-	// ring repair, join/leave). Join starts this node outside the ring:
-	// Peers are seeds, and the node splices in at the granted epoch.
-	Live bool `json:"live,omitempty"`
-	Join bool `json:"join,omitempty"`
-
-	// Membership timers (defaults: 150/900/3000/500 ms).
-	HeartbeatMS  int64 `json:"heartbeat_ms,omitempty"`
-	SuspectMS    int64 `json:"suspect_ms,omitempty"`
-	LameMS       int64 `json:"lame_ms,omitempty"`
-	TokenWatchMS int64 `json:"token_watch_ms,omitempty"`
-
-	// Fault injection on inbound datagrams (socket layer). DropRules is
-	// the programmable per-peer, time-windowed drop matrix the partition
-	// harness uses to cut a cluster without touching sockets.
-	Seed      uint64     `json:"seed"`
-	Loss      float64    `json:"loss"`
-	JitterUS  int64      `json:"jitter_us"`
-	DropRules []DropRule `json:"drop_rules,omitempty"`
-
-	// Workload: this node sources Count messages of Payload bytes at
-	// RateHz, starting StartMS after launch (time for the other members
-	// to come up; per-hop retransmission covers stragglers). A joiner
-	// starts its workload StartMS after it is spliced into the ring.
-	Count   int     `json:"count"`
-	RateHz  float64 `json:"rate_hz"`
-	Payload int     `json:"payload"`
-	StartMS int64   `json:"start_ms"`
-
-	// Expect is the total deliveries this node waits for; 0 means
-	// Count × members (the symmetric-workload default). DeadlineMS
-	// bounds the whole run in wall-clock time; QuiesceMS bounds the
-	// post-barrier drain (outstanding retransmissions, token transfer);
-	// LingerMS is the minimum time a member keeps gossiping Done after
-	// the cluster-wide barrier before closing its socket.
-	Expect     uint64 `json:"expect,omitempty"`
-	DeadlineMS int64  `json:"deadline_ms"`
-	QuiesceMS  int64  `json:"quiesce_ms,omitempty"`
-	LingerMS   int64  `json:"linger_ms,omitempty"`
-
-	// IdleMS is the live-mode convergence criterion: with dynamic
-	// membership the exact delivery count is unknowable (a crashed
-	// member sourced an unknowable prefix), so a member declares itself
-	// done once it sent everything, its MQ has no undelivered slots, its
-	// senders drained, and no delivery arrived for IdleMS.
-	IdleMS int64 `json:"idle_ms,omitempty"`
-
-	// BatchUS is the outbox aggregation window in microseconds: data
-	// frames wait up to this long so contiguous delivery runs produced
-	// by different scheduler events share datagrams (the wire analogue
-	// of Sender.SendRun). 0 means the 1000µs default; negative disables
-	// batching (one flush per event, the pre-batching behavior).
-	BatchUS int64 `json:"batch_us,omitempty"`
-
-	// SyncRounds is the number of clock-offset ping rounds run against
-	// every configured peer at spawn (0 means the default 4; negative
-	// disables). The offsets calibrate cross-process send→deliver
-	// latency in the report.
-	SyncRounds int `json:"sync_rounds,omitempty"`
-
-	// TracePath, when set, dumps the delivery trace ("global source
-	// local" per line) for offline suffix/equality checks.
-	TracePath string `json:"trace_path,omitempty"`
-}
-
-// Report is the daemon's stdout status report: the delivery-order hash
-// every member must agree on, plus the delivery/latency/control-plane
-// metrics of the run. One JSON object per line.
-type Report struct {
-	Node      uint32 `json:"node"`
-	Members   int    `json:"members"`
-	Leader    uint32 `json:"leader"`
-	Converged bool   `json:"converged"`
-	Delivered uint64 `json:"delivered"`
-	Expected  uint64 `json:"expected"`
-
-	// Epoch is the final membership epoch (1 = the bootstrap ring;
-	// static runs stay at 0). Left marks a graceful leave (SIGTERM or
-	// eviction): the node drained and exited mid-run by design.
-	Epoch uint64 `json:"epoch,omitempty"`
-	Left  bool   `json:"left,omitempty"`
-
-	// Partition life cycle: Lame is the final lame-ring state (true
-	// only if the node ended parked in a minority fragment);
-	// LameEntries/LameMS count park episodes and total parked time;
-	// LameDeliveries MUST stay 0 (a parked member delivers nothing).
-	// Merges counts merge epochs this node coordinated; HealUS is the
-	// probe-to-readmission latency of the last completed heal, in
-	// microseconds (on loopback the whole handshake is sub-millisecond).
-	Lame           bool   `json:"lame,omitempty"`
-	LameEntries    uint64 `json:"lame_entries,omitempty"`
-	LameMS         int64  `json:"lame_ms,omitempty"`
-	LameDeliveries uint64 `json:"lame_deliveries,omitempty"`
-	Merges         uint64 `json:"merges,omitempty"`
-	HealUS         int64  `json:"heal_us,omitempty"`
-
-	// OrderHash fingerprints the delivered total order (identical on
-	// every member iff they delivered the same stream in the same
-	// order); OrderErr reports any online total-order violation.
-	// FirstGlobal/LastGlobal delimit the delivered global-sequence range
-	// (a late joiner delivers a suffix: FirstGlobal = baseline+1).
-	OrderHash   string `json:"order_hash"`
-	OrderErr    string `json:"order_err,omitempty"`
-	FirstGlobal uint64 `json:"first_global,omitempty"`
-	LastGlobal  uint64 `json:"last_global,omitempty"`
-
-	WallMS        int64   `json:"wall_ms"`
-	ThroughputPS  float64 `json:"throughput_per_s"`
-	LatencyMeanMS float64 `json:"latency_mean_ms"` // submit→local delivery, own messages
-	LatencyP99MS  float64 `json:"latency_p99_ms"`
-
-	// Cross-process send→deliver latency over foreign-sourced messages,
-	// computed from payload-embedded send timestamps corrected by the
-	// spawn-time clock-offset estimate. MaxGapMS is the longest
-	// inter-delivery stall observed (failover cost shows up here).
-	CrossLatMeanMS float64 `json:"cross_lat_mean_ms,omitempty"`
-	CrossLatP99MS  float64 `json:"cross_lat_p99_ms,omitempty"`
-	CrossLatN      int     `json:"cross_lat_n,omitempty"`
-	MaxGapMS       float64 `json:"max_gap_ms,omitempty"`
-
-	// Control is the outbound control/data byte split (the simulator's
-	// gated metric, now measured over a real socket); Transport counts
-	// datagrams, bytes, reorders, and injected faults per peer.
-	Control   metrics.ControlReport `json:"control"`
-	Transport Stats                 `json:"transport"`
-	SendErrs  uint64                `json:"send_errs,omitempty"`
-}
-
-// Node is one assembled ringnetd member: engine, transport, bridge,
-// real-time driver, and (live mode) the membership manager. Build with
-// NewNode, optionally patch late-bound peer addresses, then Run.
+// Node is one assembled ringnetd daemon: the federation of every ring
+// group the config hosts. The daemon owns exactly one UDP transport
+// (socket, peer table, clock sync) and one shared per-peer batching
+// outbox; each group owns its engine, driver goroutine, bridge, and
+// membership plane. Inbound datagrams demultiplex by the group id in
+// each frame section; outbound traffic from all groups coalesces in the
+// outbox. Build with NewNode, optionally patch late-bound peer
+// addresses, then Run.
 type Node struct {
-	cfg     Config
-	self    seq.NodeID
-	members []seq.NodeID
-	tr      *Transport
+	cfg  Config
+	self seq.NodeID
+	tr   *Transport
+	ob   *SharedOutbox
 
 	killed   chan struct{}
 	killOnce sync.Once
 
 	// filled by Run; mu guards them against Shutdown/Kill from other
 	// goroutines (signal handlers, tests).
-	mu  sync.Mutex
-	e   *core.Engine
-	drv *Driver
-	br  *Bridge
-	ms  *Membership
+	mu     sync.Mutex
+	groups []*ringGroup
 }
 
-// defaults fills zero-valued tunables.
-func (c *Config) defaults() {
-	if c.Role == "" {
-		c.Role = "ring"
-	}
-	if c.RateHz <= 0 {
-		c.RateHz = 200
-	}
-	if c.Payload <= 0 {
-		c.Payload = 64
-	}
-	if c.StartMS <= 0 {
-		c.StartMS = 250
-	}
-	if c.DeadlineMS <= 0 {
-		c.DeadlineMS = 30000
-	}
-	if c.QuiesceMS <= 0 {
-		c.QuiesceMS = 500
-	}
-	if c.LingerMS <= 0 {
-		c.LingerMS = 300
-	}
-	if c.HeartbeatMS <= 0 {
-		c.HeartbeatMS = 150
-	}
-	if c.SuspectMS <= 0 {
-		c.SuspectMS = 900
-	}
-	if c.LameMS <= 0 {
-		c.LameMS = 3000
-	}
-	if c.TokenWatchMS <= 0 {
-		c.TokenWatchMS = 500
-	}
-	if c.IdleMS <= 0 {
-		c.IdleMS = 1500
-	}
-	if c.BatchUS == 0 {
-		c.BatchUS = 1000
-	}
-	if c.SyncRounds == 0 {
-		c.SyncRounds = 4
-	}
-}
-
-// LoadConfig reads a JSON config file.
-func LoadConfig(path string) (Config, error) {
-	var c Config
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return c, err
-	}
-	if err := json.Unmarshal(b, &c); err != nil {
-		return c, fmt.Errorf("wire: config %s: %w", path, err)
-	}
-	return c, nil
-}
-
-// NewNode validates cfg and binds the UDP socket. The returned node's
-// LocalAddr is final, so in-process clusters can exchange addresses
-// before any Run starts.
+// NewNode normalizes and validates cfg and binds the UDP socket. The
+// returned node's LocalAddr is final, so in-process clusters can
+// exchange addresses before any Run starts.
 func NewNode(cfg Config) (*Node, error) {
-	cfg.defaults()
-	if cfg.Role != "ring" {
-		return nil, fmt.Errorf("wire: unsupported role %q (only \"ring\")", cfg.Role)
-	}
-	if cfg.Node == 0 {
-		return nil, fmt.Errorf("wire: node id must be non-zero")
-	}
-	if cfg.Join && !cfg.Live {
-		return nil, fmt.Errorf("wire: join requires live membership")
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
 	}
 	self := seq.NodeID(cfg.Node)
-	members := []seq.NodeID{self}
-	seen := map[seq.NodeID]bool{self: true}
-	for _, p := range cfg.Peers {
-		id := seq.NodeID(p.Node)
-		if id == 0 || seen[id] {
-			return nil, fmt.Errorf("wire: bad or duplicate peer id %d", p.Node)
-		}
-		seen[id] = true
-		if !cfg.Join {
-			members = append(members, id)
-		}
-	}
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	tr, err := Listen(TransportConfig{
 		Self:     self,
 		Listen:   cfg.Listen,
@@ -299,7 +59,17 @@ func NewNode(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Node{cfg: cfg, self: self, members: members, tr: tr, killed: make(chan struct{})}, nil
+	var window sim.Time
+	if cfg.BatchUS > 0 {
+		window = sim.Time(cfg.BatchUS) // sim.Time is microseconds
+	}
+	return &Node{
+		cfg:    cfg,
+		self:   self,
+		tr:     tr,
+		ob:     NewSharedOutbox(tr, window),
+		killed: make(chan struct{}),
+	}, nil
 }
 
 // LocalAddr returns the bound socket address ("127.0.0.1:port").
@@ -316,536 +86,138 @@ func (nd *Node) SetPeerAddr(id uint32, addr string) error {
 	return fmt.Errorf("wire: unknown peer %d", id)
 }
 
-// Kill terminates the node abruptly mid-run — the in-process equivalent
-// of a process crash for live-membership tests. Unlike Shutdown nothing
-// is announced: the socket dies, the driver halts, Run returns an
-// error. Safe from any goroutine.
+// Kill terminates the daemon abruptly mid-run — the in-process
+// equivalent of a process crash for live-membership tests. Unlike
+// Shutdown nothing is announced: the socket dies, every group's driver
+// halts, Run returns an error. Safe from any goroutine.
 func (nd *Node) Kill() {
 	nd.killOnce.Do(func() { close(nd.killed) })
 }
 
-// Shutdown initiates a graceful leave (live mode): announce, keep
-// serving retransmissions, hand off a held token through the normal
-// courier path, and exit once an epoch excludes this node and its
-// couriers drain. Safe from any goroutine; a no-op for static rings.
+// Shutdown initiates a graceful leave of every hosted group (live mode):
+// announce, keep serving retransmissions, hand off held tokens through
+// the normal courier paths, and exit once an epoch of each group
+// excludes this node and its couriers drain. Safe from any goroutine; a
+// no-op for static rings.
 func (nd *Node) Shutdown() {
 	nd.mu.Lock()
-	drv, ms := nd.drv, nd.ms
+	groups := nd.groups
 	nd.mu.Unlock()
-	if drv == nil || ms == nil {
-		return
+	for _, g := range groups {
+		if g.ms != nil {
+			ms := g.ms
+			g.drv.Call(func() { ms.Leave() })
+		}
 	}
-	drv.Call(func() { ms.Leave() })
 }
 
-// protocolConfig is the core tuning for a real-socket deployment:
-// unbounded per-hop retries (the acceptance criterion is exact total
-// order, not best-effort under give-up), a tight token-compaction cap so
-// the circulating token always fits one datagram with room to spare, and
-// a deep retained window plus ranged Nacks so a member that fell behind
-// a reconfiguration (ring repair re-routed its WQ feed, or it just
-// joined) catches up from its predecessor's MQ in a few round trips.
-func protocolConfig() core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Hop.MaxRetries = 0
-	cfg.Wireless.MaxRetries = 0
-	cfg.CompactAbove = 256
-	cfg.CompactKeep = 1024
-	cfg.RetainExtra = 4096
-	cfg.NackWindow = 64
-	cfg.NackBroadcastAfter = 3
-	cfg.NackGiveUpRounds = 12
-	return cfg
-}
-
-// Run assembles the protocol node, drives the workload, waits for
-// convergence (or the deadline), drains, and reports. It blocks for the
-// life of the process's membership in the ring.
+// Run assembles every hosted group, drives their workloads concurrently
+// — one driver goroutine per group — waits for each to converge (or for
+// the shared deadline), drains, and reports. It blocks for the life of
+// the process's membership in its rings.
 func (nd *Node) Run() (Report, error) {
 	cfg := nd.cfg
 	wallStart := time.Now()
 
-	// Identical hierarchy in every process: one top ring of all members.
-	// A joiner starts ringless; its first RingUpdate splices it in.
-	h := topology.New()
-	var ringID topology.RingID
-	for _, id := range nd.members {
-		if _, err := h.AddNode(id, topology.TierBR); err != nil {
-			nd.tr.Close()
-			return Report{}, err
+	groups := make([]*ringGroup, 0, len(cfg.Groups))
+	fail := func(err error) (Report, error) {
+		for _, g := range groups {
+			g.closeTrace()
 		}
-	}
-	if !cfg.Join {
-		top, err := h.NewRing(topology.TierBR, nd.members...)
-		if err != nil {
-			nd.tr.Close()
-			return Report{}, err
-		}
-		ringID = top.ID
-	}
-
-	sched := sim.NewScheduler()
-	net := netsim.New(sched, sim.NewRNG(cfg.Seed+1))
-	e := core.NewEngine(seq.GroupID(cfg.Group), protocolConfig(), net, h)
-	e.WiredLink = netsim.LinkParams{} // zero latency: the socket is the link
-	nd.mu.Lock()
-	nd.e = e
-	nd.mu.Unlock()
-
-	// Delivery stream: hash the total order, feed the delivery log
-	// (online order/duplicate checking + latency for our own messages),
-	// measure cross-process latency and inter-delivery gaps, and dump
-	// the trace when asked.
-	oh := metrics.NewOrderHash()
-	var ms *Membership // set below in live mode; OnDeliver reads it
-	var delivered, lameDeliveries uint64
-	var firstG, lastG seq.GlobalSeq
-	var lastDeliverAt, maxGap sim.Time
-	var crossLat metrics.Sample
-	var trace *bufio.Writer
-	var traceFile *os.File
-	if cfg.TracePath != "" {
-		f, err := os.Create(cfg.TracePath)
-		if err != nil {
-			nd.tr.Close()
-			return Report{}, err
-		}
-		traceFile = f
-		trace = bufio.NewWriter(f)
-	}
-	e.OnDeliver = func(at seq.NodeID, d *msg.Data) {
-		oh.Note(d.GlobalSeq, d.SourceNode, d.LocalSeq)
-		e.Log.Deliver(uint32(at), d.GlobalSeq, d.SourceNode, d.LocalSeq, net.Now())
-		delivered++
-		if ms != nil && ms.Lame() {
-			lameDeliveries++ // must stay 0: the lame ring is read-only
-		}
-		if firstG == 0 {
-			firstG = d.GlobalSeq
-		}
-		lastG = d.GlobalSeq
-		now := net.Now()
-		if lastDeliverAt > 0 && now-lastDeliverAt > maxGap {
-			maxGap = now - lastDeliverAt
-		}
-		lastDeliverAt = now
-		if trace != nil {
-			fmt.Fprintf(trace, "%d %d %d\n", d.GlobalSeq, uint32(d.SourceNode), d.LocalSeq)
-		}
-		if d.SourceNode != nd.self && len(d.Payload) >= 8 {
-			if ts := int64(binary.LittleEndian.Uint64(d.Payload)); ts > 0 {
-				// Only offset-corrected samples count: without an estimate
-				// the "latency" would silently include the full clock skew.
-				if off, ok := nd.tr.OffsetOf(d.SourceNode); ok {
-					lat := time.Duration(time.Now().UnixNano()-ts) + off
-					if lat > 0 && lat < time.Minute {
-						crossLat.Add(lat.Seconds())
-					}
-				}
-			}
-		}
-	}
-
-	drv := NewDriver(sched)
-	br := NewBridge(drv, nd.tr, net, nd.self)
-	if cfg.BatchUS > 0 {
-		br.Batch = sim.Time(cfg.BatchUS) // sim.Time is microseconds
-	}
-	nd.mu.Lock()
-	nd.drv = drv
-	nd.br = br
-	nd.mu.Unlock()
-	peers := make([]seq.NodeID, 0, len(nd.members)-1)
-	for _, id := range nd.members {
-		if id != nd.self {
-			peers = append(peers, id)
-		}
-	}
-	br.Expose(peers)
-	for _, p := range cfg.Peers {
-		if p.Addr == "" {
-			nd.tr.Close()
-			return Report{}, fmt.Errorf("wire: peer %d has no address", p.Node)
-		}
-		if err := nd.tr.AddPeer(seq.NodeID(p.Node), p.Addr); err != nil {
-			nd.tr.Close()
-			return Report{}, err
-		}
-	}
-	if err := e.StartLocal(nd.self); err != nil {
 		nd.tr.Close()
 		return Report{}, err
 	}
+	for _, gc := range cfg.Groups {
+		g, err := newRingGroup(nd, gc, wallStart)
+		if err != nil {
+			return fail(err)
+		}
+		groups = append(groups, g)
+	}
+	nd.mu.Lock()
+	nd.groups = groups
+	nd.mu.Unlock()
 
-	// Live membership plane.
-	if cfg.Live {
-		tun := MemberTunables{
-			Heartbeat:  sim.Time(cfg.HeartbeatMS) * sim.Millisecond,
-			Suspect:    sim.Time(cfg.SuspectMS) * sim.Millisecond,
-			Lame:       sim.Time(cfg.LameMS) * sim.Millisecond,
-			TokenWatch: sim.Time(cfg.TokenWatchMS) * sim.Millisecond,
-		}
-		var initial map[seq.NodeID]string
-		var seeds []PeerAddr
-		if cfg.Join {
-			seeds = cfg.Peers
-		} else {
-			initial = make(map[seq.NodeID]string, len(nd.members))
-			initial[nd.self] = nd.LocalAddr()
-			for _, p := range cfg.Peers {
-				initial[seq.NodeID(p.Node)] = p.Addr
-			}
-		}
-		ms = NewMembership(e, nd.tr, br, nd.self, nd.LocalAddr(), tun, initial, ringID, seeds)
-		ms.OrderHash = oh.Sum64 // RingSummary/MergeReq carry the live order fingerprint
-		if os.Getenv("RINGNET_MEMBER_TRACE") != "" {
-			ms.Trace = func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "member[%d@%v]: %s\n", cfg.Node, time.Since(wallStart).Round(time.Millisecond), fmt.Sprintf(format, args...))
-			}
-		}
-		nd.mu.Lock()
-		nd.ms = ms
-		nd.mu.Unlock()
-		nd.tr.OnUnknown = func(f Frame) { drv.Call(func() { ms.HandleUnknown(f) }) }
+	// One reader, one clock calibration — shared by every group.
+	nd.tr.Start()
+	for _, g := range groups {
+		g.start()
 	}
-
-	// Termination barrier. Local convergence is NOT exit-safe: gap
-	// repair (Nack) is pull-based, so this member may be the only
-	// reachable holder of a body a straggler is still missing, and the
-	// holder of the only copy of the circulating token. Once locally
-	// converged each member gossips a FlagDone beacon to every peer
-	// (repeated — the beacon rides the same lossy socket) and leaves
-	// the ring only after hearing Done from all of them, i.e. when its
-	// retransmission state is provably unneeded. With live membership
-	// the barrier audience is the current live peer set, so a crashed
-	// member cannot wedge everyone else's exit.
-	doneFrom := make(map[seq.NodeID]bool)
-	lastReply := make(map[seq.NodeID]sim.Time)
-	localDone := false
-	left := make(chan struct{})
-	nd.tr.OnControl = func(from seq.NodeID, flags uint8) {
-		if flags&FlagDone == 0 {
-			return
-		}
-		drv.Call(func() {
-			// A converged member answers Done with Done (rate-limited):
-			// beacons ride the same lossy socket they gossip about, so
-			// a straggler that missed our periodic beacons re-learns we
-			// are done the moment its own beacons start flowing, even
-			// if we are already lingering on the way out.
-			if localDone && sched.Now()-lastReply[from] >= 50*sim.Millisecond {
-				lastReply[from] = sched.Now()
-				nd.tr.SendControl(from, FlagDone)
-			}
-			doneFrom[from] = true
-		})
-	}
-	sink := netsim.Handler(e.NE(nd.self))
-	if cfg.Join {
-		// Until the first RingUpdate splices this node in, only
-		// membership-plane messages may reach the protocol core: ordered
-		// traffic or a token arriving early (a peer applied the grant
-		// before our copy of it landed) would fill the virgin MQ and
-		// defeat the baseline jump, stranding the delivery front at the
-		// unreachable stream prefix forever. Dropped frames are simply
-		// retransmitted by their senders until we join and ack.
-		inner := sink
-		gate := ms
-		sink = netsim.HandlerFunc(func(from seq.NodeID, m msg.Message) {
-			// Gate only until the FIRST splice: an evicted leaver must
-			// keep receiving acks/Nacks to drain and serve stragglers.
-			if gate != nil && !gate.Spliced() {
-				switch m.(type) {
-				case *msg.Heartbeat, *msg.RingUpdate, *msg.JoinReq, *msg.LeaveReq:
-				default:
-					return
-				}
-			}
-			inner.Recv(from, m)
-		})
-	}
-	br.Attach(sink)
-	drv.Start()
 	if cfg.SyncRounds > 0 && len(cfg.Peers) > 0 {
 		// Clock-offset calibration against the spawn-time peers; pongs
-		// are folded in at the transport layer while the ring warms up.
+		// are folded in at the transport layer while the rings warm up.
 		go nd.tr.SyncClocks(cfg.SyncRounds, 25*time.Millisecond)
 	}
 
-	expected := cfg.Expect
-	if expected == 0 && !cfg.Live {
-		expected = uint64(cfg.Count) * uint64(len(nd.members))
-	}
+	// The deadline is shared: a broadcast channel, not time.After, so
+	// every group observes it.
+	deadlineCh := make(chan struct{})
+	dt := time.AfterFunc(time.Duration(cfg.DeadlineMS)*time.Millisecond, func() { close(deadlineCh) })
+	defer dt.Stop()
 
-	// Workload and convergence polling live on the scheduler, so all
-	// protocol state stays on the driver goroutine.
-	converged := make(chan struct{})
-	drained := make(chan struct{})
-	drv.CallWait(func() {
-		var src *workload.Source
-		startWorkload := func() {
-			// Stamp each payload with the send wall clock (fresh buffer
-			// per message: payload slices are shared by reference all the
-			// way to retransmission buffers).
-			src = workload.NewSource(sched, func(corr seq.NodeID, payload []byte) error {
-				if len(payload) >= 8 {
-					buf := make([]byte, len(payload))
-					copy(buf, payload)
-					binary.LittleEndian.PutUint64(buf, uint64(time.Now().UnixNano()))
-					payload = buf
-				}
-				_, err := e.Submit(corr, payload)
-				return err
-			}, nd.self, cfg.Payload)
-			gap := sim.Time(float64(sim.Second) / cfg.RateHz)
-			if gap < 1 {
-				gap = 1
-			}
-			src.CBR(sched.Now()+sim.Time(cfg.StartMS)*sim.Millisecond, gap, cfg.Count)
-		}
-		if ms != nil {
-			ms.OnJoined = func(baseline seq.GlobalSeq) { startWorkload() }
-			ms.OnEvicted = func() {
-				if src != nil {
-					src.Stop()
-				}
-			}
-			ms.Start()
-		}
-		if !cfg.Join {
-			startWorkload()
-		}
-
-		livePeers := func() []seq.NodeID {
-			if ms != nil {
-				return ms.LivePeers()
-			}
-			return peers
-		}
-		beacon := func() {
-			for _, p := range livePeers() {
-				nd.tr.SendControl(p, FlagDone) // best-effort; repeated
-			}
-		}
-		sent := func() bool { return src != nil && src.Sent+src.Errors >= uint64(cfg.Count) }
-		locallyConverged := func() bool {
-			if cfg.Live {
-				// Dynamic membership: the exact delivery count is
-				// unknowable, so converge on quiescence — everything
-				// sent, no undelivered slot in the MQ (an open gap means
-				// repair is still running), senders drained, and the
-				// delivery stream idle.
-				if !ms.Joined() || ms.Lame() || !sent() || !e.Quiesced() {
-					return false
-				}
-				// A token-dead ring is never converged, however idle:
-				// a pending regeneration may order messages this node
-				// has not yet seen, so leaving now could strand a
-				// divergent delivery prefix.
-				if !e.OrdersWell(nd.self) {
-					return false
-				}
-				q := e.QueueOf(nd.self)
-				if q == nil || q.Front() != q.Rear() {
-					return false
-				}
-				idleFor := sched.Now() - lastDeliverAt
-				if lastDeliverAt == 0 {
-					idleFor = sched.Now()
-				}
-				return idleFor >= sim.Time(cfg.IdleMS)*sim.Millisecond
-			}
-			return delivered >= expected && sent()
-		}
-		barrier := func() bool {
-			for _, p := range livePeers() {
-				if !doneFrom[p] {
-					return false
-				}
-			}
-			return true
-		}
-		leftClosed := false
-		evictedAt := sim.Time(0)
-		phase := 0 // 0 = converging, 1 = draining
-		var barrierAt sim.Time
-		quiesce := sim.Time(cfg.QuiesceMS) * sim.Millisecond
-		var tick *sim.Ticker
-		tick = sched.Every(10*sim.Millisecond, func() {
-			if ms != nil && ms.Evicted() {
-				// Graceful leave (or eviction): serve retransmissions
-				// until our couriers drain — bounded by QuiesceMS, so a
-				// transfer stuck on an unreachable peer cannot pin the
-				// process to its deadline.
-				if evictedAt == 0 {
-					evictedAt = sched.Now()
-				}
-				drainedOut := e.Quiesced() && e.NE(nd.self).TokenIdle()
-				if !leftClosed && (drainedOut || sched.Now()-evictedAt >= quiesce) {
-					leftClosed = true
-					tick.Stop()
-					close(left)
-				}
-				return
-			}
-			switch phase {
-			case 0:
-				if locallyConverged() {
-					phase = 1
-					localDone = true
-					close(converged)
-					beacon()
-					sched.Every(100*sim.Millisecond, beacon)
-				}
-			case 1:
-				if !barrier() {
-					barrierAt = 0
-					return
-				}
-				if barrierAt == 0 {
-					barrierAt = sched.Now()
-				}
-				// Post-barrier drain (trailing retransmissions, the token
-				// settling between rotations), bounded by QuiesceMS.
-				if (e.Quiesced() && e.NE(nd.self).TokenIdle()) ||
-					sched.Now()-barrierAt >= quiesce {
-					tick.Stop() // no further ticks fire after Stop
-					close(drained)
-				}
-			}
-		})
-	})
-
-	deadline := time.After(time.Duration(cfg.DeadlineMS) * time.Millisecond)
-	ok := false
-	didLeave := false
-	linger := func() {
-		lt := time.After(time.Duration(cfg.LingerMS) * time.Millisecond)
-		select {
-		case <-lt:
-		case <-deadline:
-		}
+	reps := make([]GroupReport, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g *ringGroup) {
+			defer wg.Done()
+			reps[i], errs[i] = g.run(deadlineCh)
+		}(i, g)
 	}
-	killed := func() (Report, error) {
-		drv.Stop()
-		nd.tr.Close()
-		if trace != nil {
-			trace.Flush()
-			traceFile.Close()
-		}
-		return Report{Node: cfg.Node}, fmt.Errorf("wire: node %d killed", cfg.Node)
-	}
-	select {
-	case <-converged:
-		ok = true
-		// Wait for the cluster-wide barrier, then a bounded drain so
-		// trailing retransmissions and the token settle, then a linger
-		// floor during which beacons (and Done replies) keep flowing —
-		// so a peer that lost our earlier beacons to the same faults we
-		// are gossiping about still hears one before the socket dies.
-		select {
-		case <-drained:
-			linger()
-		case <-left:
-			didLeave = true
-			linger()
-		case <-nd.killed:
-			return killed()
-		case <-deadline:
-		}
-	case <-left:
-		didLeave = true
-		linger()
-	case <-nd.killed:
-		return killed()
-	case <-deadline:
-	}
+	wg.Wait()
 
-	var rep Report
-	var debugState string
-	drv.CallWait(func() {
-		debugState = e.DebugState(nd.self)
-		lat := &e.Log.Latency
-		memberCount := len(nd.members)
-		var epoch uint64
-		if ms != nil {
-			memberCount = len(ms.order)
-			epoch = ms.Epoch()
-		}
-		var leader uint32
-		if top := e.H.TopRing(); top != nil {
-			leader = uint32(top.Leader())
-		}
-		rep = Report{
-			Node:          cfg.Node,
-			Members:       memberCount,
-			Leader:        leader,
-			Converged:     ok,
-			Delivered:     delivered,
-			Expected:      expected,
-			Epoch:         epoch,
-			Left:          didLeave,
-			OrderHash:     oh.Hex(),
-			FirstGlobal:   uint64(firstG),
-			LastGlobal:    uint64(lastG),
-			ThroughputPS:  e.Log.Throughput(),
-			LatencyMeanMS: lat.Mean() * 1000,
-			LatencyP99MS:  lat.Quantile(0.99) * 1000,
-			MaxGapMS:      float64(maxGap) / float64(sim.Millisecond),
-			Control:       e.ControlReport(),
-			SendErrs:      br.SendErrs,
-		}
-		if crossLat.N() > 0 {
-			rep.CrossLatMeanMS = crossLat.Mean() * 1000
-			rep.CrossLatP99MS = crossLat.Quantile(0.99) * 1000
-			rep.CrossLatN = crossLat.N()
-		}
-		if err := e.Log.Err(); err != nil {
-			rep.OrderErr = err.Error()
-		}
-		if ms != nil {
-			rep.Lame = ms.Lame()
-			rep.LameEntries = ms.LameEntries
-			rep.LameMS = int64(ms.LameTime() / sim.Millisecond)
-			rep.LameDeliveries = lameDeliveries
-			rep.Merges = ms.Merges
-			rep.HealUS = int64(ms.HealLatency() / sim.Microsecond)
-			ms.Stop()
-		}
-	})
-	drv.Stop()
+	// Teardown only after EVERY group finished: a finished group's
+	// driver may still hold armed shared-outbox flush timers carrying a
+	// sibling group's traffic, so drivers stop together.
+	for _, g := range groups {
+		g.drv.Stop()
+	}
 	nd.tr.Close()
-	if trace != nil {
-		trace.Flush()
-		traceFile.Close()
+	for _, g := range groups {
+		g.closeTrace()
 	}
-	rep.Transport = nd.tr.Stats()
-	rep.WallMS = time.Since(wallStart).Milliseconds()
-	if rep.OrderErr != "" {
-		return rep, fmt.Errorf("wire: node %d total-order violation: %s", cfg.Node, rep.OrderErr)
+
+	select {
+	case <-nd.killed:
+		return Report{Node: cfg.Node}, fmt.Errorf("wire: node %d killed", cfg.Node)
+	default:
 	}
-	if didLeave {
-		return rep, nil
+
+	rep := Report{
+		Node:      cfg.Node,
+		Groups:    reps,
+		Converged: true,
+		Transport: nd.tr.Stats(),
+		SendErrs:  nd.ob.SendErrs(),
+		WallMS:    time.Since(wallStart).Milliseconds(),
 	}
-	if !ok {
-		fmt.Fprintln(os.Stderr, debugState)
-		return rep, fmt.Errorf("wire: node %d did not converge: delivered %d/%d within %dms",
-			cfg.Node, rep.Delivered, expected, cfg.DeadlineMS)
+	for i := range reps {
+		rep.Converged = rep.Converged && reps[i].Converged
+		rep.Delivered += reps[i].Delivered
+		rep.ThroughputPS += reps[i].ThroughputPS
 	}
-	return rep, nil
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	return rep, firstErr
 }
 
-// Run loads a config, runs the node to completion, and writes the JSON
+// Run loads a config, runs the daemon to completion, and writes the JSON
 // report (one line) to out. This is the whole of cmd/ringnetd and of
 // every harness-spawned member process. In live mode SIGTERM triggers a
-// graceful leave (announce, drain, hand off a held token) instead of
-// killing the process mid-protocol.
+// graceful leave of every group (announce, drain, hand off held tokens)
+// instead of killing the process mid-protocol.
 func Run(cfg Config, out io.Writer) (Report, error) {
 	nd, err := NewNode(cfg)
 	if err != nil {
 		return Report{}, err
 	}
-	if cfg.Live {
+	if nd.cfg.Live {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGTERM)
 		done := make(chan struct{})

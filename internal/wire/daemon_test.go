@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"os"
 	"sync"
 	"testing"
 )
@@ -9,6 +10,8 @@ import (
 // UDP sockets and runs them to convergence concurrently. This is the
 // single-process variant of the harness's multi-process cluster test:
 // same engine assembly, same wire path, just shared address space.
+// Configs use the legacy flat "group" field so every in-process cluster
+// test also exercises the v1→v2 compat shim.
 func launchCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) []Report {
 	t.Helper()
 	nodes := make([]*Node, n)
@@ -62,9 +65,9 @@ func launchCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) []Repor
 		if err != nil {
 			t.Fatalf("node %d: %v (report %+v)", i+1, err, reports[i])
 		}
+		g := reports[i].Single()
 		t.Logf("node %d: delivered %d/%d order=%s wall=%dms",
-			reports[i].Node, reports[i].Delivered, reports[i].Expected,
-			reports[i].OrderHash, reports[i].WallMS)
+			reports[i].Node, g.Delivered, g.Expected, g.OrderHash, reports[i].WallMS)
 	}
 	return reports
 }
@@ -72,18 +75,19 @@ func launchCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) []Repor
 func assertIdenticalOrder(t *testing.T, reports []Report) {
 	t.Helper()
 	for _, r := range reports {
-		if !r.Converged {
-			t.Fatalf("node %d did not converge: %+v", r.Node, r)
+		g := r.Single()
+		if !r.Converged || !g.Converged {
+			t.Fatalf("node %d did not converge: %+v", r.Node, g)
 		}
-		if r.Delivered != r.Expected {
-			t.Fatalf("node %d delivered %d, expected %d", r.Node, r.Delivered, r.Expected)
+		if g.Delivered != g.Expected {
+			t.Fatalf("node %d delivered %d, expected %d", r.Node, g.Delivered, g.Expected)
 		}
-		if r.OrderErr != "" {
-			t.Fatalf("node %d order violation: %s", r.Node, r.OrderErr)
+		if g.OrderErr != "" {
+			t.Fatalf("node %d order violation: %s", r.Node, g.OrderErr)
 		}
-		if r.OrderHash != reports[0].OrderHash {
+		if g.OrderHash != reports[0].Single().OrderHash {
 			t.Fatalf("delivery order diverged: node %d hash %s vs node %d hash %s",
-				r.Node, r.OrderHash, reports[0].Node, reports[0].OrderHash)
+				r.Node, g.OrderHash, reports[0].Node, reports[0].Single().OrderHash)
 		}
 	}
 }
@@ -93,8 +97,9 @@ func assertIdenticalOrder(t *testing.T, reports []Report) {
 func TestDaemonPairLossless(t *testing.T) {
 	reports := launchCluster(t, 2, nil)
 	assertIdenticalOrder(t, reports)
-	if reports[0].Control.DataBytes == 0 || reports[0].Control.ControlBytes == 0 {
-		t.Fatalf("control/data byte split not measured: %+v", reports[0].Control)
+	ctl := reports[0].Single().Control
+	if ctl.DataBytes == 0 || ctl.ControlBytes == 0 {
+		t.Fatalf("control/data byte split not measured: %+v", ctl)
 	}
 }
 
@@ -118,5 +123,197 @@ func TestDaemonTrioUnderInjectedLoss(t *testing.T) {
 	}
 	if drops == 0 {
 		t.Fatal("fault injector never dropped a datagram at 3% loss")
+	}
+}
+
+// TestDaemonMultiGroupFederation: the tentpole in one process — three
+// members each hosting three independent ordering groups over one shared
+// socket, with different per-group workloads. Every group must converge
+// to its own single total order, identical across members, and the
+// shared-transport report must show per-group traffic splits for every
+// group plus aggregate sums that tile the per-group entries.
+func TestDaemonMultiGroupFederation(t *testing.T) {
+	const n = 3
+	groups := []GroupConfig{
+		{ID: 1, Count: 50},
+		{ID: 2, Count: 25, RateHz: 300},
+		{ID: 3, Count: 10, RateHz: 100, Payload: 16},
+		// Count < 0 = source nothing: the group must stay silent (zero
+		// deliveries, converged at expected 0), not fall into the
+		// workload's count-0-means-unbounded contract.
+		{ID: 4, Count: -1},
+	}
+	reports := make([]Report, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Node:       uint32(i + 1),
+			Listen:     "127.0.0.1:0",
+			Seed:       uint64(2000 + i),
+			RateHz:     600,
+			Payload:    48,
+			StartMS:    150,
+			DeadlineMS: 45000,
+			Groups:     append([]GroupConfig(nil), groups...),
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, PeerAddr{Node: uint32(j + 1)})
+			}
+		}
+		nd, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	for i, nd := range nodes {
+		for j, other := range nodes {
+			if j != i {
+				if err := nd.SetPeerAddr(uint32(j+1), other.LocalAddr()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *Node) {
+			defer wg.Done()
+			reports[i], errs[i] = nd.Run()
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+	}
+	for _, r := range reports {
+		if !r.Converged {
+			t.Fatalf("node %d aggregate did not converge: %+v", r.Node, r)
+		}
+		if len(r.Groups) != len(groups) {
+			t.Fatalf("node %d reports %d groups, hosts %d", r.Node, len(r.Groups), len(groups))
+		}
+		var sum uint64
+		for _, g := range r.Groups {
+			if !g.Converged || g.Delivered != g.Expected || g.OrderErr != "" {
+				t.Fatalf("node %d group %d: %+v", r.Node, g.Group, g)
+			}
+			sum += g.Delivered
+		}
+		if r.Delivered != sum {
+			t.Fatalf("node %d aggregate delivered %d != per-group sum %d", r.Node, r.Delivered, sum)
+		}
+		// Per-group wire accounting: every hosted group moved real bytes
+		// through the shared socket, in both directions.
+		for _, gc := range groups {
+			gs, ok := r.Transport.Groups[gc.ID]
+			if !ok || gs.SentBytes == 0 || gs.RecvBytes == 0 {
+				t.Fatalf("node %d: no transport traffic split for group %d: %+v (stats %+v)",
+					r.Node, gc.ID, gs, r.Transport.Groups)
+			}
+		}
+	}
+	for _, gc := range groups {
+		ref := reports[0].ByGroup(gc.ID)
+		for _, r := range reports[1:] {
+			g := r.ByGroup(gc.ID)
+			if g == nil || g.OrderHash != ref.OrderHash {
+				t.Fatalf("group %d order diverged: node %d vs node %d", gc.ID, r.Node, reports[0].Node)
+			}
+		}
+	}
+	// Distinct groups are independent ordering domains: their streams
+	// must not have produced the same order fingerprint by construction.
+	if h1, h2 := reports[0].ByGroup(1).OrderHash, reports[0].ByGroup(2).OrderHash; h1 == h2 {
+		t.Fatalf("groups 1 and 2 share an order hash (%s) — demux leaked across groups", h1)
+	}
+}
+
+// sentDatagrams sums the per-peer datagram counters in a stats snapshot.
+func sentDatagrams(st Stats) uint64 {
+	var n uint64
+	for _, ps := range st.Peers {
+		n += ps.SentDatagrams
+	}
+	return n
+}
+
+// TestDaemonGroupScaling measures aggregate ordered deliveries/s as the
+// number of federated groups per daemon grows, holding per-group offered
+// load fixed. It is a measurement, not a gate — enable it with
+//
+//	RINGNET_SCALE=1 go test -run TestDaemonGroupScaling -v ./internal/wire/
+//
+// and copy the logged table into PERFORMANCE.md ("Multi-group scaling").
+func TestDaemonGroupScaling(t *testing.T) {
+	if os.Getenv("RINGNET_SCALE") == "" {
+		t.Skip("measurement run; set RINGNET_SCALE=1 to enable")
+	}
+	const n = 3
+	for _, gcount := range []int{1, 2, 4, 8, 16} {
+		groups := make([]GroupConfig, gcount)
+		for i := range groups {
+			groups[i] = GroupConfig{ID: uint32(i + 1), Count: 150}
+		}
+		reports := make([]Report, n)
+		nodes := make([]*Node, n)
+		for i := 0; i < n; i++ {
+			cfg := Config{
+				Node:       uint32(i + 1),
+				Listen:     "127.0.0.1:0",
+				Seed:       uint64(7000 + i),
+				RateHz:     2000,
+				Payload:    64,
+				StartMS:    300,
+				DeadlineMS: 120000,
+				Groups:     append([]GroupConfig(nil), groups...),
+			}
+			for j := 0; j < n; j++ {
+				if j != i {
+					cfg.Peers = append(cfg.Peers, PeerAddr{Node: uint32(j + 1)})
+				}
+			}
+			nd, err := NewNode(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = nd
+		}
+		for i, nd := range nodes {
+			for j, other := range nodes {
+				if j != i {
+					if err := nd.SetPeerAddr(uint32(j+1), other.LocalAddr()); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i, nd := range nodes {
+			wg.Add(1)
+			go func(i int, nd *Node) {
+				defer wg.Done()
+				reports[i], errs[i] = nd.Run()
+			}(i, nd)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("groups=%d node %d: %v", gcount, i+1, err)
+			}
+		}
+		r := reports[0]
+		if !r.Converged {
+			t.Fatalf("groups=%d did not converge: %+v", gcount, r)
+		}
+		wall := float64(r.WallMS) / 1000
+		t.Logf("groups=%2d delivered=%6d wall=%6.2fs aggregate=%8.0f deliveries/s (datagrams sent=%d)",
+			gcount, r.Delivered, wall, float64(r.Delivered)/wall, sentDatagrams(r.Transport))
 	}
 }

@@ -143,6 +143,25 @@ func (d *Driver) loop() {
 		case fn := <-d.calls:
 			d.sched.Run(d.wallNow())
 			fn()
+			// Drain a bounded batch of the injection queue before going
+			// back to event processing: under overload the socket
+			// readers keep this queue full, and servicing one call per
+			// run cycle would make a waiter (a deadline report
+			// collection, a membership proposal) queue behind thousands
+			// of datagram deliveries — each paying a full catch-up Run.
+			// The batch must be bounded, though: an unbounded drain
+			// under sustained inbound pressure never returns to the
+			// scheduler, and protocol timers (a held token's forward, a
+			// courier RTO) starve behind the flood.
+		drain:
+			for i := 0; i < 256; i++ {
+				select {
+				case fn := <-d.calls:
+					fn()
+				default:
+					break drain
+				}
+			}
 		case <-tm.C:
 		}
 	}

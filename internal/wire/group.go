@@ -1,0 +1,664 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/seq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// protocolConfig is the core tuning for a real-socket deployment:
+// unbounded per-hop retries (the acceptance criterion is exact total
+// order, not best-effort under give-up), a tight token-compaction cap so
+// the circulating token always fits one datagram with room to spare, and
+// a deep retained window plus ranged Nacks so a member that fell behind
+// a reconfiguration (ring repair re-routed its WQ feed, or it just
+// joined) catches up from its predecessor's MQ in a few round trips.
+func protocolConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Hop.MaxRetries = 0
+	cfg.Wireless.MaxRetries = 0
+	// Unbounded retries need backoff: a peer seconds behind on a loaded
+	// federated daemon is only buried deeper by fixed-20ms duplicates.
+	cfg.Hop.BackoffCap = 500 * sim.Millisecond
+	cfg.Wireless.BackoffCap = 500 * sim.Millisecond
+	cfg.CompactAbove = 256
+	cfg.CompactKeep = 1024
+	cfg.RetainExtra = 4096
+	cfg.NackWindow = 64
+	cfg.NackBroadcastAfter = 3
+	cfg.NackGiveUpRounds = 12
+	// Idle rings slow their token to one hop per 50 ms: a federated
+	// daemon hosts up to hundreds of groups, most quiet at any moment,
+	// and constant-rate circulation would burn the whole CPU budget on
+	// idle rotations. Worst-case re-wake cost is one stretched rotation
+	// (ring size × 50 ms); the 500 ms token watchdog still sees the
+	// token several times per window.
+	cfg.TokenIdleBackoff = 50 * sim.Millisecond
+	return cfg
+}
+
+// ringGroup is one hosted ring group: its own engine, scheduler, driver
+// goroutine, bridge onto the shared outbox, membership plane, workload,
+// and convergence barrier — the single-group daemon of earlier schema
+// versions, now N-per-process. Everything below the transport is
+// group-private; the federation (daemon.go) owns what is shared.
+type ringGroup struct {
+	nd      *Node
+	gc      GroupConfig
+	gid     uint32
+	self    seq.NodeID
+	members []seq.NodeID
+	port    *Port
+
+	sched *sim.Scheduler
+	net   *netsim.Network
+	e     *core.Engine
+	drv   *Driver
+	br    *Bridge
+	ms    *Membership
+	oh    *metrics.OrderHash
+	peers []seq.NodeID
+
+	// Delivery accounting. Driver goroutine only.
+	delivered      uint64
+	lameDeliveries uint64
+	firstG, lastG  seq.GlobalSeq
+	lastDeliverAt  sim.Time
+	maxGap         sim.Time
+	crossLat       metrics.Sample
+	trace          *bufio.Writer
+	traceFile      *os.File
+
+	// Done-barrier state. Driver goroutine only.
+	doneFrom  map[seq.NodeID]bool
+	lastReply map[seq.NodeID]sim.Time
+	localDone bool
+
+	converged chan struct{}
+	drained   chan struct{}
+	left      chan struct{}
+
+	expected  uint64
+	wallStart time.Time
+}
+
+// newRingGroup assembles one group against the daemon's shared transport
+// and outbox: topology, engine, bridge endpoints, membership plane, and
+// the group's receive hooks on the transport. The driver is built but
+// not started — the federation starts every group after the transport
+// reader is up.
+func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, error) {
+	cfg := nd.cfg
+	g := &ringGroup{
+		nd:        nd,
+		gc:        gc,
+		gid:       gc.ID,
+		self:      nd.self,
+		port:      NewPort(nd.tr, gc.ID),
+		oh:        metrics.NewOrderHash(),
+		doneFrom:  make(map[seq.NodeID]bool),
+		lastReply: make(map[seq.NodeID]sim.Time),
+		converged: make(chan struct{}),
+		drained:   make(chan struct{}),
+		left:      make(chan struct{}),
+		wallStart: wallStart,
+	}
+
+	// Identical hierarchy in every process: one top ring of all members.
+	// A joiner starts ringless; its first RingUpdate splices it in.
+	g.members = []seq.NodeID{g.self}
+	if !gc.Join {
+		for _, p := range cfg.Peers {
+			g.members = append(g.members, seq.NodeID(p.Node))
+		}
+	}
+	sortNodeIDs(g.members)
+	h := topology.New()
+	var ringID topology.RingID
+	for _, id := range g.members {
+		if _, err := h.AddNode(id, topology.TierBR); err != nil {
+			return nil, err
+		}
+	}
+	if !gc.Join {
+		top, err := h.NewRing(topology.TierBR, g.members...)
+		if err != nil {
+			return nil, err
+		}
+		ringID = top.ID
+	}
+
+	g.sched = sim.NewScheduler()
+	// Group-distinct streams from the daemon seed, so sibling groups do
+	// not share fault/backoff draws.
+	g.net = netsim.New(g.sched, sim.NewRNG(cfg.Seed+1+uint64(gc.ID)*0x9e3779b9))
+	g.e = core.NewEngine(seq.GroupID(gc.ID), protocolConfig(), g.net, h)
+	g.e.WiredLink = netsim.LinkParams{} // zero latency: the socket is the link
+
+	if gc.TracePath != "" {
+		f, err := os.Create(gc.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		g.traceFile = f
+		g.trace = bufio.NewWriter(f)
+	}
+
+	// Delivery stream: hash the total order, feed the delivery log
+	// (online order/duplicate checking + latency for our own messages),
+	// measure cross-process latency and inter-delivery gaps, and dump
+	// the trace when asked.
+	g.e.OnDeliver = func(at seq.NodeID, d *msg.Data) {
+		g.oh.Note(d.GlobalSeq, d.SourceNode, d.LocalSeq)
+		g.e.Log.Deliver(uint32(at), d.GlobalSeq, d.SourceNode, d.LocalSeq, g.net.Now())
+		g.delivered++
+		if g.ms != nil && g.ms.Lame() {
+			g.lameDeliveries++ // must stay 0: the lame ring is read-only
+		}
+		if g.firstG == 0 {
+			g.firstG = d.GlobalSeq
+		}
+		g.lastG = d.GlobalSeq
+		now := g.net.Now()
+		if g.lastDeliverAt > 0 && now-g.lastDeliverAt > g.maxGap {
+			g.maxGap = now - g.lastDeliverAt
+		}
+		g.lastDeliverAt = now
+		if g.trace != nil {
+			fmt.Fprintf(g.trace, "%d %d %d\n", d.GlobalSeq, uint32(d.SourceNode), d.LocalSeq)
+		}
+		if d.SourceNode != g.self && len(d.Payload) >= 8 {
+			if ts := int64(binary.LittleEndian.Uint64(d.Payload)); ts > 0 {
+				// Only offset-corrected samples count: without an estimate
+				// the "latency" would silently include the full clock skew.
+				if off, ok := g.port.OffsetOf(d.SourceNode); ok {
+					lat := time.Duration(time.Now().UnixNano()-ts) + off
+					if lat > 0 && lat < time.Minute {
+						g.crossLat.Add(lat.Seconds())
+					}
+				}
+			}
+		}
+	}
+
+	g.drv = NewDriver(g.sched)
+	g.br = NewBridge(g.drv, nd.ob, g.net, g.self, g.gid)
+	g.peers = make([]seq.NodeID, 0, len(g.members)-1)
+	for _, id := range g.members {
+		if id != g.self {
+			g.peers = append(g.peers, id)
+		}
+	}
+	g.br.Expose(g.peers)
+	for _, p := range cfg.Peers {
+		if p.Addr == "" {
+			g.closeTrace()
+			return nil, fmt.Errorf("wire: peer %d has no address", p.Node)
+		}
+		if err := g.port.AddPeer(seq.NodeID(p.Node), p.Addr); err != nil {
+			g.closeTrace()
+			return nil, err
+		}
+	}
+	if err := g.e.StartLocal(g.self); err != nil {
+		g.closeTrace()
+		return nil, err
+	}
+
+	// Live membership plane.
+	if cfg.Live {
+		tun := MemberTunables{
+			Heartbeat:  sim.Time(cfg.HeartbeatMS) * sim.Millisecond,
+			Suspect:    sim.Time(cfg.SuspectMS) * sim.Millisecond,
+			Lame:       sim.Time(cfg.LameMS) * sim.Millisecond,
+			TokenWatch: sim.Time(cfg.TokenWatchMS) * sim.Millisecond,
+		}
+		var initial map[seq.NodeID]string
+		var seeds []PeerAddr
+		if gc.Join {
+			seeds = cfg.Peers
+		} else {
+			initial = make(map[seq.NodeID]string, len(g.members))
+			initial[g.self] = nd.LocalAddr()
+			for _, p := range cfg.Peers {
+				initial[seq.NodeID(p.Node)] = p.Addr
+			}
+		}
+		g.ms = NewMembership(g.e, g.port, g.br, g.self, nd.LocalAddr(), tun, initial, ringID, seeds)
+		g.ms.OrderHash = g.oh.Sum64 // RingSummary/MergeReq carry the live order fingerprint
+		if os.Getenv("RINGNET_MEMBER_TRACE") != "" {
+			g.ms.Trace = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "member[%d/g%d@%v]: %s\n", cfg.Node, g.gid,
+					time.Since(wallStart).Round(time.Millisecond), fmt.Sprintf(format, args...))
+			}
+		}
+	}
+
+	g.expected = gc.Expect
+	if g.expected == 0 && !cfg.Live {
+		g.expected = uint64(gc.Count) * uint64(len(g.members))
+	}
+
+	// Receive surface. The sink feeds the engine's local NE; a joiner
+	// gates non-membership traffic until its first splice: ordered
+	// traffic or a token arriving early (a peer applied the grant
+	// before our copy of it landed) would fill the virgin MQ and defeat
+	// the baseline jump, stranding the delivery front at the
+	// unreachable stream prefix forever. Dropped frames are simply
+	// retransmitted by their senders until we join and ack.
+	sink := netsim.Handler(g.e.NE(g.self))
+	if gc.Join {
+		inner := sink
+		gate := g.ms
+		sink = netsim.HandlerFunc(func(from seq.NodeID, m msg.Message) {
+			// Gate only until the FIRST splice: an evicted leaver must
+			// keep receiving acks/Nacks to drain and serve stragglers.
+			if gate != nil && !gate.Spliced() {
+				switch m.(type) {
+				case *msg.Heartbeat, *msg.RingUpdate, *msg.JoinReq, *msg.LeaveReq:
+				default:
+					return
+				}
+			}
+			inner.Recv(from, m)
+		})
+	}
+	hooks := GroupHooks{Handler: g.br.Attach(sink)}
+	hooks.OnControl = func(from seq.NodeID, flags uint8) {
+		if flags&FlagDone == 0 {
+			return
+		}
+		g.drv.Call(func() {
+			// A converged member answers Done with Done (rate-limited):
+			// beacons ride the same lossy socket they gossip about, so
+			// a straggler that missed our periodic beacons re-learns we
+			// are done the moment its own beacons start flowing, even
+			// if we are already lingering on the way out.
+			if g.localDone && g.sched.Now()-g.lastReply[from] >= 50*sim.Millisecond {
+				g.lastReply[from] = g.sched.Now()
+				g.port.SendControl(from, FlagDone)
+			}
+			g.doneFrom[from] = true
+		})
+	}
+	if g.ms != nil {
+		ms := g.ms
+		hooks.OnUnknown = func(from seq.NodeID, msgs []msg.Message) {
+			g.drv.Call(func() { ms.HandleUnknown(from, msgs) })
+		}
+	}
+	if err := nd.tr.Register(g.gid, hooks); err != nil {
+		g.closeTrace()
+		return nil, err
+	}
+	return g, nil
+}
+
+func sortNodeIDs(ids []seq.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// start launches the group's driver goroutine and installs the workload
+// and the convergence/termination state machine on its scheduler, so all
+// protocol state stays on the driver goroutine.
+//
+// Termination barrier: local convergence is NOT exit-safe — gap repair
+// (Nack) is pull-based, so this member may be the only reachable holder
+// of a body a straggler is still missing, and the holder of the only
+// copy of the circulating token. Once locally converged each member
+// gossips a FlagDone beacon (scoped to this group's sections) to every
+// peer and leaves the ring only after hearing Done from all of them,
+// i.e. when its retransmission state is provably unneeded. With live
+// membership the barrier audience is the current live peer set, so a
+// crashed member cannot wedge everyone else's exit.
+func (g *ringGroup) start() {
+	cfg := g.nd.cfg
+	gc := g.gc
+	g.drv.Start()
+	g.drv.CallWait(func() {
+		var src *workload.Source
+		startWorkload := func() {
+			// Post-Normalize, Count <= 0 means this member sources
+			// nothing for the group (inheritance already resolved) —
+			// don't build a source at all: CBR's count == 0 contract is
+			// "unbounded until Stop", which would turn a silent member
+			// into an infinite sender with no convergence criterion.
+			if gc.Count <= 0 {
+				return
+			}
+			// Stamp each payload with the send wall clock (fresh buffer
+			// per message: payload slices are shared by reference all the
+			// way to retransmission buffers).
+			src = workload.NewSource(g.sched, func(corr seq.NodeID, payload []byte) error {
+				if len(payload) >= 8 {
+					buf := make([]byte, len(payload))
+					copy(buf, payload)
+					binary.LittleEndian.PutUint64(buf, uint64(time.Now().UnixNano()))
+					payload = buf
+				}
+				_, err := g.e.Submit(corr, payload)
+				return err
+			}, g.self, gc.Payload)
+			gap := sim.Time(float64(sim.Second) / gc.RateHz)
+			if gap < 1 {
+				gap = 1
+			}
+			src.CBR(g.sched.Now()+sim.Time(gc.StartMS)*sim.Millisecond, gap, gc.Count)
+		}
+		if g.ms != nil {
+			g.ms.OnJoined = func(baseline seq.GlobalSeq) { startWorkload() }
+			g.ms.OnEvicted = func() {
+				if src != nil {
+					src.Stop()
+				}
+			}
+			g.ms.Start()
+		}
+		if !gc.Join {
+			startWorkload()
+		}
+
+		livePeers := func() []seq.NodeID {
+			if g.ms != nil {
+				return g.ms.LivePeers()
+			}
+			return g.peers
+		}
+		beacon := func() {
+			// Gossip only toward peers we have not heard Done from: a
+			// peer that missed our beacons but has itself converged will
+			// keep beaconing us, and the rate-limited Done reply above
+			// closes that asymmetry. Once the barrier holds everywhere
+			// the beacons stop entirely — a federated daemon hosting
+			// hundreds of converged groups must not keep flooding its
+			// shared socket with Done chatter while stragglers finish.
+			for _, p := range livePeers() {
+				if !g.doneFrom[p] {
+					g.port.SendControl(p, FlagDone) // best-effort; repeated
+				}
+			}
+		}
+		sent := func() bool {
+			if gc.Count <= 0 {
+				return true // nothing to source, nothing to drain
+			}
+			return src != nil && src.Sent+src.Errors >= uint64(gc.Count)
+		}
+		locallyConverged := func() bool {
+			if cfg.Live {
+				// Dynamic membership: the exact delivery count is
+				// unknowable, so converge on quiescence — everything
+				// sent, no undelivered slot in the MQ (an open gap means
+				// repair is still running), senders drained, and the
+				// delivery stream idle.
+				if !g.ms.Joined() || g.ms.Lame() || !sent() || !g.e.Quiesced() {
+					return false
+				}
+				// A token-dead ring is never converged, however idle:
+				// a pending regeneration may order messages this node
+				// has not yet seen, so leaving now could strand a
+				// divergent delivery prefix.
+				if !g.e.OrdersWell(g.self) {
+					return false
+				}
+				q := g.e.QueueOf(g.self)
+				if q == nil || q.Front() != q.Rear() {
+					return false
+				}
+				idleFor := g.sched.Now() - g.lastDeliverAt
+				if g.lastDeliverAt == 0 {
+					idleFor = g.sched.Now()
+				}
+				return idleFor >= sim.Time(cfg.IdleMS)*sim.Millisecond
+			}
+			return g.delivered >= g.expected && sent()
+		}
+		barrier := func() bool {
+			for _, p := range livePeers() {
+				if !g.doneFrom[p] {
+					return false
+				}
+			}
+			return true
+		}
+		var watchTick *sim.Ticker
+		if g.ms == nil {
+			// Static membership has no failure detector, but the token
+			// can still die under extreme overload (an assign conflict
+			// destroys the only copy after its sender was already
+			// acked), and with nobody watching, the ring stays dead
+			// forever. Re-emit the paper's Token-Loss signal after a
+			// second of token silence; the core's TokenLossThreshold
+			// filters the signal whenever circulation is demonstrably
+			// healthy, and Multiple-Token filtering resolves the rare
+			// concurrent regeneration. A second dwarfs the worst idle-
+			// backoff rotation (ring size × 50 ms), so a merely slow
+			// ring never trips it.
+			var lastSignal sim.Time
+			watchTick = g.sched.Every(250*sim.Millisecond, func() {
+				ne := g.e.NE(g.self)
+				if ne == nil {
+					return
+				}
+				last, seen := ne.TokenActivity()
+				now := g.sched.Now()
+				if seen && now-last > sim.Second && now-lastSignal > sim.Second {
+					lastSignal = now
+					g.e.OnTokenLoss(g.self)
+				}
+			})
+		}
+		leftClosed := false
+		evictedAt := sim.Time(0)
+		phase := 0 // 0 = converging, 1 = draining
+		var barrierAt sim.Time
+		quiesce := sim.Time(cfg.QuiesceMS) * sim.Millisecond
+		var tick, beaconTick *sim.Ticker
+		lastDelivered := uint64(0)
+		// The convergence check backs off to 100ms while nothing is
+		// happening: a daemon hosting hundreds of groups cannot afford a
+		// 10ms poll per group while most of them sit quietly waiting for
+		// their workload to start or for a sibling's barrier. Delivery
+		// progress or a phase transition snaps it back to 10ms, so the
+		// convergence timestamp a report records stays sharp.
+		tick = g.sched.EveryBackoff(10*sim.Millisecond, 100*sim.Millisecond, func() bool {
+			active := g.delivered != lastDelivered
+			lastDelivered = g.delivered
+			if g.ms != nil && g.ms.Evicted() {
+				// Graceful leave (or eviction): serve retransmissions
+				// until our couriers drain — bounded by QuiesceMS, so a
+				// transfer stuck on an unreachable peer cannot pin the
+				// process to its deadline.
+				if evictedAt == 0 {
+					evictedAt = g.sched.Now()
+					active = true
+				}
+				drainedOut := g.e.Quiesced() && g.e.NE(g.self).TokenIdle()
+				if !leftClosed && (drainedOut || g.sched.Now()-evictedAt >= quiesce) {
+					leftClosed = true
+					tick.Stop()
+					close(g.left)
+				}
+				return active
+			}
+			switch phase {
+			case 0:
+				if locallyConverged() {
+					phase = 1
+					g.localDone = true
+					close(g.converged)
+					beacon()
+					beaconTick = g.sched.Every(100*sim.Millisecond, beacon)
+					active = true
+				}
+			case 1:
+				if !barrier() {
+					barrierAt = 0
+					return active
+				}
+				if barrierAt == 0 {
+					barrierAt = g.sched.Now()
+					active = true
+				}
+				// Post-barrier drain (trailing retransmissions, the token
+				// settling between rotations), bounded by QuiesceMS.
+				if (g.e.Quiesced() && g.e.NE(g.self).TokenIdle()) ||
+					g.sched.Now()-barrierAt >= quiesce {
+					tick.Stop() // no further ticks fire after Stop
+					beaconTick.Stop()
+					if g.ms == nil {
+						// The static group is done everywhere: retire the
+						// ring so a daemon hosting hundreds of finished
+						// groups stops paying for their idle circulation.
+						// (Live groups leave the token to the membership
+						// plane, which owns its liveness until Stop.)
+						watchTick.Stop()
+						g.e.ParkToken(g.self)
+					}
+					close(g.drained)
+				}
+			}
+			return active
+		})
+	})
+}
+
+// run blocks until this group converges (or leaves, is killed, or hits
+// the shared deadline), then collects the group's report. The driver is
+// left running — a finished group must keep serving shared-outbox flush
+// timers and straggler repairs until every sibling group is done; the
+// federation stops all drivers together.
+func (g *ringGroup) run(deadline <-chan struct{}) (GroupReport, error) {
+	cfg := g.nd.cfg
+	ok := false
+	didLeave := false
+	linger := func() {
+		lt := time.After(time.Duration(cfg.LingerMS) * time.Millisecond)
+		select {
+		case <-lt:
+		case <-deadline:
+		}
+	}
+	select {
+	case <-g.converged:
+		ok = true
+		// Wait for the group-wide barrier, then a bounded drain so
+		// trailing retransmissions and the token settle, then a linger
+		// floor during which beacons (and Done replies) keep flowing —
+		// so a peer that lost our earlier beacons to the same faults we
+		// are gossiping about still hears one before the daemon exits.
+		select {
+		case <-g.drained:
+			linger()
+		case <-g.left:
+			didLeave = true
+			linger()
+		case <-g.nd.killed:
+			return GroupReport{Group: g.gid}, fmt.Errorf("wire: node %d killed", cfg.Node)
+		case <-deadline:
+		}
+	case <-g.left:
+		didLeave = true
+		linger()
+	case <-g.nd.killed:
+		return GroupReport{Group: g.gid}, fmt.Errorf("wire: node %d killed", cfg.Node)
+	case <-deadline:
+	}
+
+	var rep GroupReport
+	var debugState string
+	g.drv.CallWait(func() {
+		debugState = g.e.DebugState(g.self)
+		lat := &g.e.Log.Latency
+		memberCount := len(g.members)
+		var epoch uint64
+		if g.ms != nil {
+			memberCount = len(g.ms.order)
+			epoch = g.ms.Epoch()
+		}
+		var leader uint32
+		if top := g.e.H.TopRing(); top != nil {
+			leader = uint32(top.Leader())
+		}
+		rep = GroupReport{
+			Group:         g.gid,
+			Members:       memberCount,
+			Leader:        leader,
+			Converged:     ok,
+			Delivered:     g.delivered,
+			Expected:      g.expected,
+			Epoch:         epoch,
+			Left:          didLeave,
+			OrderHash:     g.oh.Hex(),
+			FirstGlobal:   uint64(g.firstG),
+			LastGlobal:    uint64(g.lastG),
+			ThroughputPS:  g.e.Log.Throughput(),
+			LatencyMeanMS: lat.Mean() * 1000,
+			LatencyP99MS:  lat.Quantile(0.99) * 1000,
+			MaxGapMS:      float64(g.maxGap) / float64(sim.Millisecond),
+			Control:       g.e.ControlReport(),
+		}
+		if g.crossLat.N() > 0 {
+			rep.CrossLatMeanMS = g.crossLat.Mean() * 1000
+			rep.CrossLatP99MS = g.crossLat.Quantile(0.99) * 1000
+			rep.CrossLatN = g.crossLat.N()
+		}
+		if err := g.e.Log.Err(); err != nil {
+			rep.OrderErr = err.Error()
+		}
+		if g.ms != nil {
+			rep.Lame = g.ms.Lame()
+			rep.LameEntries = g.ms.LameEntries
+			rep.LameMS = int64(g.ms.LameTime() / sim.Millisecond)
+			rep.LameDeliveries = g.lameDeliveries
+			rep.Merges = g.ms.Merges
+			rep.HealUS = int64(g.ms.HealLatency() / sim.Microsecond)
+			g.ms.Stop()
+		}
+		// Flush the trace while serialized with OnDeliver; the file
+		// handle is closed at federation teardown.
+		if g.trace != nil {
+			g.trace.Flush()
+		}
+	})
+	if rep.OrderErr != "" {
+		return rep, fmt.Errorf("wire: node %d group %d total-order violation: %s", cfg.Node, g.gid, rep.OrderErr)
+	}
+	if didLeave {
+		return rep, nil
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, debugState)
+		return rep, fmt.Errorf("wire: node %d group %d did not converge: delivered %d/%d within %dms",
+			cfg.Node, g.gid, rep.Delivered, g.expected, cfg.DeadlineMS)
+	}
+	return rep, nil
+}
+
+// closeTrace flushes and closes the group's trace file. Idempotent; call
+// only after the group's driver has stopped (or before it starts).
+func (g *ringGroup) closeTrace() {
+	if g.trace != nil {
+		g.trace.Flush()
+		g.trace = nil
+	}
+	if g.traceFile != nil {
+		g.traceFile.Close()
+		g.traceFile = nil
+	}
+}

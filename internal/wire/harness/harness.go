@@ -37,7 +37,7 @@ import (
 type Spec struct {
 	// Join spawns this member outside the bootstrap ring: it solicits
 	// the initial members (its seeds) and splices in at the granted
-	// epoch. Implies Live.
+	// epoch — of every hosted group. Implies Live.
 	Join bool
 	// StartAfterMS delays the process launch (late join).
 	StartAfterMS int64
@@ -47,8 +47,20 @@ type Spec struct {
 	// TermAfterMS sends SIGTERM this long after the process started —
 	// the graceful-leave path.
 	TermAfterMS int64
-	// Count overrides the member's sourced message count: 0 inherits
-	// the cluster default, negative means source nothing.
+	// Count overrides the member's sourced message count (every hosted
+	// group inherits it): 0 inherits the cluster default, negative means
+	// source nothing.
+	Count int
+	// Groups holds per-(member, group) overrides for multi-group runs
+	// (Options.Groups), keyed by group id. They take precedence over the
+	// member-level fields above.
+	Groups map[uint32]GroupSpec
+}
+
+// GroupSpec overrides one member's behavior within one hosted group.
+type GroupSpec struct {
+	// Count overrides the messages this member sources into the group:
+	// 0 inherits, negative means source nothing.
 	Count int
 }
 
@@ -56,7 +68,7 @@ type Spec struct {
 // a given config path; the harness adds the inherited socket as fd 3.
 type Options struct {
 	Nodes      int
-	Count      int     // messages sourced per member
+	Count      int     // messages sourced per member (per group)
 	RateHz     float64 // per-member submission rate
 	Payload    int
 	Loss       float64 // injected inbound datagram loss at every member
@@ -64,6 +76,13 @@ type Options struct {
 	Seed       uint64
 	StartMS    int64
 	DeadlineMS int64
+
+	// Groups lists the ring groups every member hosts (config schema
+	// v2): each entry's zero stream fields inherit the cluster-level
+	// Count/RateHz/Payload/StartMS. Empty means one group — emitted as a
+	// legacy v1 flat config, so single-group clusters keep exercising
+	// the compat shim end to end.
+	Groups []wire.GroupConfig
 
 	// Live enables the membership plane on every member. Required when
 	// any Spec joins, kills, or terms.
@@ -108,14 +127,22 @@ type SplitWindow struct {
 
 // Member is one spawned ring member and its outcome.
 type Member struct {
-	ID        seq.NodeID
-	Report    wire.Report
-	Stdout    string
-	Stderr    string
-	Err       error
-	Killed    bool // SIGKILLed by its Spec: exit error and missing report are expected
-	TracePath string
+	ID     seq.NodeID
+	Report wire.Report
+	Stdout string
+	Stderr string
+	Err    error
+	Killed bool // SIGKILLed by its Spec: exit error and missing report are expected
+	// TracePath is the single-group delivery trace (legacy runs);
+	// TracePaths keys each hosted group's trace by group id (always
+	// populated when Options.Trace is set, single-group included).
+	TracePath  string
+	TracePaths map[uint32]string
 }
+
+// Group returns this member's report entry for group id, or nil — the
+// (process, group)-keyed view of the cluster's reports.
+func (m *Member) Group(id uint32) *wire.GroupReport { return m.Report.ByGroup(id) }
 
 // Run launches the cluster, waits for every member (bounded by
 // DeadlineMS plus slack), and returns the members with parsed reports.
@@ -179,11 +206,9 @@ func Run(opts Options) ([]Member, error) {
 			return nil, fmt.Errorf("harness: member %d joins but Options.Live is off", i+1)
 		}
 		cfg := wire.Config{
-			Group:       1,
 			Node:        uint32(i + 1),
 			ListenFD:    3,
 			Live:        opts.Live,
-			Join:        spec.Join,
 			HeartbeatMS: opts.HeartbeatMS,
 			SuspectMS:   opts.SuspectMS,
 			LameMS:      opts.LameMS,
@@ -202,6 +227,34 @@ func Run(opts Options) ([]Member, error) {
 		} else if spec.Count < 0 {
 			cfg.Count = 0
 		}
+		if len(opts.Groups) > 0 {
+			// Schema v2: one entry per hosted group, with per-(member,
+			// group) overrides folded in. Group fields left zero inherit
+			// the daemon-level stream defaults above.
+			gs := make([]wire.GroupConfig, len(opts.Groups))
+			copy(gs, opts.Groups)
+			members[i].TracePaths = make(map[uint32]string)
+			for gi := range gs {
+				g := &gs[gi]
+				g.Join = g.Join || spec.Join
+				if ov, ok := spec.Groups[g.ID]; ok {
+					if ov.Count != 0 {
+						g.Count = ov.Count
+					}
+				}
+				if opts.Trace {
+					p := filepath.Join(opts.Dir, fmt.Sprintf("trace%d_g%d", i+1, g.ID))
+					g.TracePath = p
+					members[i].TracePaths[g.ID] = p
+				}
+			}
+			cfg.Groups = gs
+		} else {
+			// Legacy v1 flat schema — deliberate: every single-group
+			// cluster run also exercises the config compat shim.
+			cfg.Group = 1
+			cfg.Join = spec.Join
+		}
 		for _, sw := range opts.Splits {
 			if !opts.Live {
 				return nil, fmt.Errorf("harness: Splits require Options.Live")
@@ -218,9 +271,10 @@ func Run(opts Options) ([]Member, error) {
 				})
 			}
 		}
-		if opts.Trace {
+		if opts.Trace && len(opts.Groups) == 0 {
 			members[i].TracePath = filepath.Join(opts.Dir, fmt.Sprintf("trace%d", i+1))
 			cfg.TracePath = members[i].TracePath
+			members[i].TracePaths = map[uint32]string{1: members[i].TracePath}
 		}
 		// A bootstrap member's peers are the other bootstrap members; a
 		// joiner's peers are its seeds — the whole bootstrap ring.

@@ -161,7 +161,7 @@ type resendState struct {
 // External goroutines use Driver.Call to enter (see Node.Shutdown).
 type Membership struct {
 	e    *core.Engine
-	tr   *Transport
+	tr   *Port
 	br   *Bridge
 	self seq.NodeID
 	addr string
@@ -239,7 +239,7 @@ type Membership struct {
 // ring member, members lists the configured ring (epoch 1, already in
 // topology); for a joiner, members is nil and seeds names the processes
 // to solicit.
-func NewMembership(e *core.Engine, tr *Transport, br *Bridge, self seq.NodeID, selfAddr string,
+func NewMembership(e *core.Engine, tr *Port, br *Bridge, self seq.NodeID, selfAddr string,
 	cfg MemberTunables, members map[seq.NodeID]string, ringID topology.RingID, seeds []PeerAddr) *Membership {
 	m := &Membership{
 		e: e, tr: tr, br: br, self: self, addr: selfAddr, cfg: cfg,
@@ -424,13 +424,13 @@ func (m *Membership) Recv(from seq.NodeID, message msg.Message) {
 	}
 }
 
-// HandleUnknown consumes membership messages from senders outside the
-// transport peer table: a JoinReq from a fresh process, a RingUpdate
-// from a coordinator this (joining) node has not met yet, or a probe
-// heartbeat / MergeReq from an evicted member whose endpoint was
-// already retired. Driver goroutine.
-func (m *Membership) HandleUnknown(f Frame) {
-	for _, mm := range f.Msgs {
+// HandleUnknown consumes membership messages from senders this group
+// does not know in the transport peer table: a JoinReq from a fresh
+// process, a RingUpdate from a coordinator this (joining) node has not
+// met yet, or a probe heartbeat / MergeReq from an evicted member whose
+// endpoint was already retired. Driver goroutine.
+func (m *Membership) HandleUnknown(from seq.NodeID, msgs []msg.Message) {
+	for _, mm := range msgs {
 		switch v := mm.(type) {
 		case *msg.JoinReq:
 			m.handleJoinReq(v)

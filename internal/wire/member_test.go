@@ -116,20 +116,20 @@ func TestLiveTrioSurvivesCrash(t *testing.T) {
 		if !r.Converged {
 			t.Fatalf("survivor %d did not converge: %+v", i+1, r)
 		}
-		if r.OrderErr != "" {
-			t.Fatalf("survivor %d order violation: %s", i+1, r.OrderErr)
+		if r.Single().OrderErr != "" {
+			t.Fatalf("survivor %d order violation: %s", i+1, r.Single().OrderErr)
 		}
-		if r.Epoch < 2 {
-			t.Fatalf("survivor %d never applied an eviction epoch (epoch=%d)", i+1, r.Epoch)
+		if r.Single().Epoch < 2 {
+			t.Fatalf("survivor %d never applied an eviction epoch (epoch=%d)", i+1, r.Single().Epoch)
 		}
-		if r.Members != 2 {
-			t.Fatalf("survivor %d final membership %d, want 2", i+1, r.Members)
+		if r.Single().Members != 2 {
+			t.Fatalf("survivor %d final membership %d, want 2", i+1, r.Single().Members)
 		}
 		t.Logf("survivor %d: delivered=%d order=%s epoch=%d maxGap=%.0fms wall=%dms",
-			i+1, r.Delivered, r.OrderHash, r.Epoch, r.MaxGapMS, r.WallMS)
+			i+1, r.Delivered, r.Single().OrderHash, r.Single().Epoch, r.Single().MaxGapMS, r.WallMS)
 	}
-	if reports[0].OrderHash != reports[1].OrderHash {
-		t.Fatalf("survivors diverged: %s vs %s", reports[0].OrderHash, reports[1].OrderHash)
+	if reports[0].Single().OrderHash != reports[1].Single().OrderHash {
+		t.Fatalf("survivors diverged: %s vs %s", reports[0].Single().OrderHash, reports[1].Single().OrderHash)
 	}
 	// Both survivors delivered at least their own traffic.
 	if reports[0].Delivered < 120 {
@@ -159,21 +159,21 @@ func TestLiveGracefulLeave(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("survivor %d: %v (report %+v)", i+1, errs[i], reports[i])
 		}
-		if !reports[i].Converged || reports[i].OrderErr != "" {
+		if !reports[i].Converged || reports[i].Single().OrderErr != "" {
 			t.Fatalf("survivor %d: %+v", i+1, reports[i])
 		}
-		if reports[i].Epoch < 2 {
-			t.Fatalf("survivor %d never applied the leave epoch (epoch=%d)", i+1, reports[i].Epoch)
+		if reports[i].Single().Epoch < 2 {
+			t.Fatalf("survivor %d never applied the leave epoch (epoch=%d)", i+1, reports[i].Single().Epoch)
 		}
 	}
 	if errs[2] != nil {
 		t.Fatalf("leaver: %v (report %+v)", errs[2], reports[2])
 	}
-	if !reports[2].Left {
+	if !reports[2].Single().Left {
 		t.Fatalf("leaver not marked Left: %+v", reports[2])
 	}
-	if reports[0].OrderHash != reports[1].OrderHash {
-		t.Fatalf("survivors diverged: %s vs %s", reports[0].OrderHash, reports[1].OrderHash)
+	if reports[0].Single().OrderHash != reports[1].Single().OrderHash {
+		t.Fatalf("survivors diverged: %s vs %s", reports[0].Single().OrderHash, reports[1].Single().OrderHash)
 	}
 	// All of the leaver's own messages must appear at the survivors
 	// (graceful leave loses nothing that was submitted), and the
@@ -198,7 +198,7 @@ func TestLiveGracefulLeave(t *testing.T) {
 		t.Fatalf("survivors delivered %d of the leaver's 30 messages", own)
 	}
 	t.Logf("leaver delivered %d (prefix ok), survivors %d, epoch=%d",
-		len(leaver), len(ref), reports[0].Epoch)
+		len(leaver), len(ref), reports[0].Single().Epoch)
 }
 
 // TestLiveJoinInProcess: a fresh node joins a running two-member ring
@@ -227,15 +227,15 @@ func TestLiveJoinInProcess(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("node %d: %v (report %+v)", i+1, errs[i], reports[i])
 		}
-		if !reports[i].Converged || reports[i].OrderErr != "" {
+		if !reports[i].Converged || reports[i].Single().OrderErr != "" {
 			t.Fatalf("node %d: %+v", i+1, reports[i])
 		}
-		if reports[i].Members != 3 {
-			t.Fatalf("node %d final membership %d, want 3", i+1, reports[i].Members)
+		if reports[i].Single().Members != 3 {
+			t.Fatalf("node %d final membership %d, want 3", i+1, reports[i].Single().Members)
 		}
 	}
-	if reports[0].OrderHash != reports[1].OrderHash {
-		t.Fatalf("members diverged: %s vs %s", reports[0].OrderHash, reports[1].OrderHash)
+	if reports[0].Single().OrderHash != reports[1].Single().OrderHash {
+		t.Fatalf("members diverged: %s vs %s", reports[0].Single().OrderHash, reports[1].Single().OrderHash)
 	}
 	// The joiner's trace must be exactly the tail of the members' trace.
 	ref := readTrace(t, filepath.Join(dir, "trace1"))
@@ -243,8 +243,8 @@ func TestLiveJoinInProcess(t *testing.T) {
 	if len(joiner) == 0 {
 		t.Fatal("joiner delivered nothing")
 	}
-	if reports[2].FirstGlobal <= 1 {
-		t.Fatalf("joiner started at global %d — not a mid-stream join", reports[2].FirstGlobal)
+	if reports[2].Single().FirstGlobal <= 1 {
+		t.Fatalf("joiner started at global %d — not a mid-stream join", reports[2].Single().FirstGlobal)
 	}
 	start := len(ref) - len(joiner)
 	if start < 0 {
@@ -266,7 +266,7 @@ func TestLiveJoinInProcess(t *testing.T) {
 		t.Fatalf("members delivered %d of the joiner's 20 messages", own)
 	}
 	t.Logf("joiner: suffix of %d lines from global %d, epoch=%d",
-		len(joiner), reports[2].FirstGlobal, reports[2].Epoch)
+		len(joiner), reports[2].Single().FirstGlobal, reports[2].Single().Epoch)
 }
 
 // TestLiveJoinerLeaves covers the full join→leave lifecycle: a process
@@ -297,33 +297,33 @@ func TestLiveJoinerLeaves(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("member %d: %v (report %+v)", i+1, errs[i], reports[i])
 		}
-		if !reports[i].Converged || reports[i].OrderErr != "" {
+		if !reports[i].Converged || reports[i].Single().OrderErr != "" {
 			t.Fatalf("member %d: %+v", i+1, reports[i])
 		}
 	}
 	if errs[2] != nil {
 		t.Fatalf("joiner-leaver: %v (report %+v)", errs[2], reports[2])
 	}
-	if !reports[2].Left {
+	if !reports[2].Single().Left {
 		t.Fatalf("joiner-leaver not marked Left: %+v", reports[2])
 	}
-	if reports[0].OrderHash != reports[1].OrderHash {
-		t.Fatalf("members diverged: %s vs %s", reports[0].OrderHash, reports[1].OrderHash)
+	if reports[0].Single().OrderHash != reports[1].Single().OrderHash {
+		t.Fatalf("members diverged: %s vs %s", reports[0].Single().OrderHash, reports[1].Single().OrderHash)
 	}
 	// Epochs: join (2) then leave (3).
-	if reports[0].Epoch < 3 {
+	if reports[0].Single().Epoch < 3 {
 		t.Fatalf("members never applied the leave epoch: %+v", reports[0])
 	}
-	if reports[2].FirstGlobal <= 1 {
-		t.Fatalf("joiner started at global %d — not a mid-stream join", reports[2].FirstGlobal)
+	if reports[2].Single().FirstGlobal <= 1 {
+		t.Fatalf("joiner started at global %d — not a mid-stream join", reports[2].Single().FirstGlobal)
 	}
 	// The post-splice calibration must have produced offset-corrected
 	// cross-latency samples for seed-sourced traffic.
-	if reports[2].CrossLatN == 0 {
+	if reports[2].Single().CrossLatN == 0 {
 		t.Fatal("joiner collected no cross-process latency samples")
 	}
 	t.Logf("joiner-leaver: delivered=%d from global %d, crossLatN=%d, members epoch=%d",
-		reports[2].Delivered, reports[2].FirstGlobal, reports[2].CrossLatN, reports[0].Epoch)
+		reports[2].Delivered, reports[2].Single().FirstGlobal, reports[2].Single().CrossLatN, reports[0].Single().Epoch)
 }
 
 // TestLiveCoordinatorSuccession (satellite for the partition work):
@@ -360,14 +360,14 @@ func TestLiveCoordinatorSuccession(t *testing.T) {
 		if !r.Converged {
 			t.Fatalf("survivor %d did not converge: %+v", i+1, r)
 		}
-		if r.OrderErr != "" {
-			t.Fatalf("survivor %d order violation: %s", i+1, r.OrderErr)
+		if r.Single().OrderErr != "" {
+			t.Fatalf("survivor %d order violation: %s", i+1, r.Single().OrderErr)
 		}
-		if r.Members != 3 {
-			t.Fatalf("survivor %d final membership %d, want 3", i+1, r.Members)
+		if r.Single().Members != 3 {
+			t.Fatalf("survivor %d final membership %d, want 3", i+1, r.Single().Members)
 		}
-		if r.Epoch < 2 {
-			t.Fatalf("survivor %d never applied an eviction epoch (epoch=%d)", i+1, r.Epoch)
+		if r.Single().Epoch < 2 {
+			t.Fatalf("survivor %d never applied an eviction epoch (epoch=%d)", i+1, r.Single().Epoch)
 		}
 		// Survivors sourced 3×60 = 180; a handful of slots ordered in
 		// the dying epochs may be written off by the really-lost rule
@@ -375,16 +375,16 @@ func TestLiveCoordinatorSuccession(t *testing.T) {
 		if r.Delivered < 150 {
 			t.Fatalf("survivor %d delivered only %d", i+1, r.Delivered)
 		}
-		t.Logf("survivor %d: delivered=%d order=%s epoch=%d", i+1, r.Delivered, r.OrderHash, r.Epoch)
+		t.Logf("survivor %d: delivered=%d order=%s epoch=%d", i+1, r.Delivered, r.Single().OrderHash, r.Single().Epoch)
 	}
 	for _, i := range []int{2, 3} {
-		if reports[i].Epoch != reports[1].Epoch {
+		if reports[i].Single().Epoch != reports[1].Single().Epoch {
 			t.Fatalf("epoch split after succession: node %d at %d, node 2 at %d",
-				i+1, reports[i].Epoch, reports[1].Epoch)
+				i+1, reports[i].Single().Epoch, reports[1].Single().Epoch)
 		}
-		if reports[i].OrderHash != reports[1].OrderHash {
+		if reports[i].Single().OrderHash != reports[1].Single().OrderHash {
 			t.Fatalf("survivors diverged: node %d %s vs node 2 %s",
-				i+1, reports[i].OrderHash, reports[1].OrderHash)
+				i+1, reports[i].Single().OrderHash, reports[1].Single().OrderHash)
 		}
 	}
 }

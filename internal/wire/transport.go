@@ -13,11 +13,30 @@ import (
 	"repro/internal/sim"
 )
 
-// Handler consumes the messages of one received datagram. It is invoked
+// Handler consumes the messages of one received section. It is invoked
 // from the transport's reader goroutine (or a delay-injection timer
-// goroutine); serializing onto the protocol thread is the caller's job
-// (see Bridge).
+// goroutine); serializing onto the group's protocol thread is the
+// caller's job (see Bridge).
 type Handler func(from seq.NodeID, msgs []msg.Message)
+
+// GroupHooks is one hosted group's receive surface, installed with
+// Register. All three callbacks run on the reader (or a delay timer)
+// goroutine.
+type GroupHooks struct {
+	// Handler receives the protocol messages of sections addressed to
+	// this group from senders the group knows (has refcounted into the
+	// peer table).
+	Handler Handler
+	// OnControl receives section-level control flags (FlagDone gossip).
+	OnControl func(from seq.NodeID, flags uint8)
+	// OnUnknown receives this group's sections from senders the group
+	// does not (yet) know — either not in the peer table at all, or in
+	// it only on behalf of other groups. Live membership uses it for
+	// the legitimate unknown-sender messages: a JoinReq from a process
+	// that is not yet a member, and partition-probe Heartbeats from
+	// evicted members.
+	OnUnknown func(from seq.NodeID, msgs []msg.Message)
+}
 
 // Faults is the optional deterministic loss/jitter injector at the
 // socket layer. It acts on inbound datagrams — after the kernel, before
@@ -71,7 +90,9 @@ type TransportConfig struct {
 	Drops []DropRule
 }
 
-// PeerStats counts one peer's traffic as seen by this endpoint.
+// PeerStats counts one peer's traffic as seen by this endpoint. The
+// datagram-level counters are shared across every group talking to the
+// peer; GroupStats splits the message volume per group.
 type PeerStats struct {
 	SentDatagrams uint64 `json:"sent_datagrams"`
 	SentMsgs      uint64 `json:"sent_msgs"`
@@ -90,13 +111,33 @@ type PeerStats struct {
 	InjectedDelays uint64 `json:"injected_delays"`
 }
 
+// GroupStats counts one group's share of the shared socket's traffic.
+// Sent/Recv bytes include each section's tag and length prefixes, so the
+// sums across groups approach — but (header sharing) do not reach — the
+// datagram byte totals.
+type GroupStats struct {
+	SentMsgs  uint64 `json:"sent_msgs"`
+	SentBytes uint64 `json:"sent_bytes"`
+	RecvMsgs  uint64 `json:"recv_msgs"`
+	RecvBytes uint64 `json:"recv_bytes"`
+}
+
 // Stats is a snapshot of the transport's counters.
 type Stats struct {
-	Peers        map[seq.NodeID]PeerStats `json:"peers"`
-	RecvUnknown  uint64                   `json:"recv_unknown"`
-	DecodeErrors uint64                   `json:"decode_errors"`
-	Oversize     uint64                   `json:"oversize"`
-	MatrixDrops  uint64                   `json:"matrix_drops"`
+	Peers  map[seq.NodeID]PeerStats `json:"peers"`
+	Groups map[uint32]GroupStats    `json:"groups,omitempty"`
+	// RecvUnknown counts sections that arrived for a registered group
+	// from a sender that group does not know (JoinReqs, partition
+	// probes, stale traffic from evicted members).
+	RecvUnknown  uint64 `json:"recv_unknown"`
+	DecodeErrors uint64 `json:"decode_errors"`
+	Oversize     uint64 `json:"oversize"`
+	MatrixDrops  uint64 `json:"matrix_drops"`
+	// UnknownGroupDrops counts sections addressed to a group this
+	// daemon has not (yet) registered. Such traffic — a peer racing
+	// ahead of a late-starting group, or a misconfigured sender — is
+	// dropped and counted, never fatal to the reader.
+	UnknownGroupDrops uint64 `json:"unknown_group_drops"`
 }
 
 type peer struct {
@@ -104,33 +145,41 @@ type peer struct {
 	txSeq uint64
 	rxMax uint64
 	st    PeerStats
+	// refs tracks which groups know this peer as a ring member. The
+	// entry (and its datagram sequencing) lives as long as any group
+	// holds a reference; sections for a group without a reference are
+	// routed to that group's OnUnknown hook.
+	refs map[uint32]struct{}
 }
 
-// Transport is one UDP endpoint of a RingNet deployment: a socket, a
-// static peer table, per-peer sequencing and stats, and an optional
-// fault injector. Send batches messages into framed datagrams; received
-// datagrams are decoded and handed to the Handler installed by Start.
-// Close shuts the socket and joins the reader and every pending
-// delay-injection timer, so no Handler call is in flight after Close
-// returns.
+// Transport is one UDP endpoint shared by every group a daemon hosts: a
+// socket, a group-refcounted peer table, per-peer sequencing and stats,
+// per-group demultiplexing of inbound sections, and an optional fault
+// injector. Send batches messages into framed datagrams; received
+// datagrams are decoded and their sections handed to the GroupHooks
+// installed by Register. Close shuts the socket and joins the reader and
+// every pending delay-injection timer, so no hook call is in flight
+// after Close returns.
 type Transport struct {
 	self seq.NodeID
 	conn *net.UDPConn
 	max  int
 
-	mu           sync.Mutex
-	peers        map[seq.NodeID]*peer
-	rng          *sim.RNG
-	faults       Faults
-	drops        []DropRule
-	started      time.Time
-	matrixDrops  uint64
-	closed       bool
-	recvUnknown  uint64
-	decodeErrors uint64
-	oversize     uint64
+	mu                sync.Mutex
+	peers             map[seq.NodeID]*peer
+	handlers          map[uint32]GroupHooks
+	groupStats        map[uint32]*GroupStats
+	rng               *sim.RNG
+	faults            Faults
+	drops             []DropRule
+	started           time.Time
+	matrixDrops       uint64
+	closed            bool
+	recvUnknown       uint64
+	decodeErrors      uint64
+	oversize          uint64
+	unknownGroupDrops uint64
 
-	h  Handler
 	wg sync.WaitGroup
 
 	// removedStats aggregates the counters of peers dropped by
@@ -140,19 +189,6 @@ type Transport struct {
 	// offsets holds the best (lowest-RTT) clock-offset sample per peer,
 	// collected from TimeSync pongs.
 	offsets map[seq.NodeID]offsetSample
-
-	// OnControl, when set before Start, receives frame-level control
-	// flags (FlagDone gossip). Called from the reader (or a delay
-	// timer) goroutine, like Handler. Control frames ride the same
-	// socket and fault injector as protocol traffic.
-	OnControl func(from seq.NodeID, flags uint8)
-
-	// OnUnknown, when set before Start, receives frames from senders not
-	// in the peer table instead of having them dropped and counted. Live
-	// membership uses it for the one legitimate unknown-sender message:
-	// a JoinReq from a process that is not (yet) a ring member. Called
-	// from the reader goroutine.
-	OnUnknown func(f Frame)
 }
 
 // offsetSample is one NTP-lite estimate: offset ≈ remote clock − local
@@ -162,8 +198,9 @@ type offsetSample struct {
 	rtt    time.Duration
 }
 
-// Listen binds the socket described by cfg. Peers are added with
-// AddPeer; the reader starts with Start.
+// Listen binds the socket described by cfg. Groups install their receive
+// hooks with Register and their peers with AddPeer; the reader starts
+// with Start.
 func Listen(cfg TransportConfig) (*Transport, error) {
 	var conn *net.UDPConn
 	if cfg.ListenFD > 0 {
@@ -197,56 +234,95 @@ func Listen(cfg TransportConfig) (*Transport, error) {
 		max = MaxDatagram
 	}
 	return &Transport{
-		self:    cfg.Self,
-		conn:    conn,
-		max:     max,
-		peers:   make(map[seq.NodeID]*peer),
-		offsets: make(map[seq.NodeID]offsetSample),
-		rng:     sim.NewRNG(cfg.Faults.Seed),
-		faults:  cfg.Faults,
-		drops:   cfg.Drops,
-		started: time.Now(),
+		self:       cfg.Self,
+		conn:       conn,
+		max:        max,
+		peers:      make(map[seq.NodeID]*peer),
+		handlers:   make(map[uint32]GroupHooks),
+		groupStats: make(map[uint32]*GroupStats),
+		offsets:    make(map[seq.NodeID]offsetSample),
+		rng:        sim.NewRNG(cfg.Faults.Seed),
+		faults:     cfg.Faults,
+		drops:      cfg.Drops,
+		started:    time.Now(),
 	}, nil
 }
 
 // LocalAddr returns the bound socket address.
 func (t *Transport) LocalAddr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
 
-// AddPeer installs the address of a remote member. Re-adding an existing
-// peer keeps its sequence counters and stats (live membership re-learns
-// addresses from RingUpdates).
-func (t *Transport) AddPeer(id seq.NodeID, addr string) error {
+// Register installs the receive hooks for one group. Sections addressed
+// to group demultiplex to these hooks; sections for unregistered groups
+// are dropped and counted (Stats.UnknownGroupDrops). Group 0 is the
+// transport's own control channel and cannot be registered. A group may
+// be registered after traffic for it has already arrived — early
+// datagrams are lost (UDP semantics), not fatal.
+func (t *Transport) Register(group uint32, hooks GroupHooks) error {
+	if group == GroupControl {
+		return fmt.Errorf("wire: group id %d is reserved for transport control", GroupControl)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.handlers[group]; dup {
+		return fmt.Errorf("wire: group %d already registered", group)
+	}
+	t.handlers[group] = hooks
+	if _, ok := t.groupStats[group]; !ok {
+		t.groupStats[group] = &GroupStats{}
+	}
+	return nil
+}
+
+// AddPeer installs the address of a remote member on behalf of group.
+// The underlying peer entry (datagram sequencing, stats) is shared by
+// every group that references the peer; re-adding refreshes the address
+// and keeps counters (live membership re-learns addresses from
+// RingUpdates).
+func (t *Transport) AddPeer(group uint32, id seq.NodeID, addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return fmt.Errorf("wire: peer %v address %q: %w", id, addr, err)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if p, ok := t.peers[id]; ok {
-		p.addr = ua
-		return nil
+	p, ok := t.peers[id]
+	if !ok {
+		p = &peer{refs: make(map[uint32]struct{})}
+		t.peers[id] = p
 	}
-	t.peers[id] = &peer{addr: ua}
+	p.addr = ua
+	p.refs[group] = struct{}{}
 	return nil
 }
 
-// RemovePeer drops a member from the peer table (ring removal after the
-// lame-duck grace): its stats are folded into the dead-peer aggregate so
-// Stats stays complete, and subsequent frames from it count as unknown.
-func (t *Transport) RemovePeer(id seq.NodeID) {
+// RemovePeer drops group's reference to a member (ring removal after the
+// lame-duck grace). The peer entry survives while other groups still
+// reference it; when the last reference goes, its stats are folded into
+// the dead-peer aggregate so Stats stays complete, and subsequent frames
+// from it count as unknown.
+func (t *Transport) RemovePeer(group uint32, id seq.NodeID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if p, ok := t.peers[id]; ok {
+	p, ok := t.peers[id]
+	if !ok {
+		return
+	}
+	delete(p.refs, group)
+	if len(p.refs) == 0 {
 		t.removedStats.merge(p.st)
 		delete(t.peers, id)
 	}
 }
 
-// HasPeer reports whether id is in the peer table.
-func (t *Transport) HasPeer(id seq.NodeID) bool {
+// HasPeer reports whether group references peer id.
+func (t *Transport) HasPeer(group uint32, id seq.NodeID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	_, ok := t.peers[id]
+	p, ok := t.peers[id]
+	if !ok {
+		return false
+	}
+	_, ok = p.refs[group]
 	return ok
 }
 
@@ -263,57 +339,108 @@ func (s *PeerStats) merge(o PeerStats) {
 	s.InjectedDelays += o.InjectedDelays
 }
 
-// Start installs the receive handler and starts the reader goroutine.
-func (t *Transport) Start(h Handler) {
-	t.mu.Lock()
-	t.h = h
-	t.mu.Unlock()
+// Start launches the reader goroutine. Groups may Register before or
+// after Start; sections for groups registered later are dropped and
+// counted until the registration lands.
+func (t *Transport) Start() {
 	t.wg.Add(1)
 	go t.readLoop()
 }
 
-// Send frames msgs into as few datagrams as fit the budget and transmits
-// them to peer to. A single message larger than the budget is dropped
-// and counted (the protocol's token compaction is configured to keep
-// every message far below it).
+// Send frames msgs into a single-section datagram stream for group and
+// transmits it to peer to. Equivalent to SendSections with one section.
+func (t *Transport) Send(group uint32, to seq.NodeID, msgs ...msg.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	return t.SendSections(to, []Section{{Group: group, Msgs: msgs}})
+}
+
+// SendControl transmits one message-less control section carrying flags
+// for group.
+func (t *Transport) SendControl(group uint32, to seq.NodeID, flags uint8) error {
+	if flags == 0 {
+		return nil
+	}
+	return t.SendSections(to, []Section{{Group: group, Flags: flags}})
+}
+
+// SendSections packs the given sections into as few datagrams as fit the
+// budget and transmits them to peer to — the multi-group path the shared
+// outbox flushes through. A section whose messages overflow one datagram
+// is split across several (its flags ride the first); a single message
+// larger than the budget is dropped and counted (the protocol's token
+// compaction is configured to keep every message far below it).
 //
 // The lock covers only peer lookup, sequence reservation, and stats;
 // encoding and the write syscalls run outside it so inbound dispatch
 // (receive also needs the lock per datagram) is never stalled behind a
 // burst of sends.
-func (t *Transport) Send(to seq.NodeID, msgs ...msg.Message) error {
-	if len(msgs) == 0 {
-		return nil
+func (t *Transport) SendSections(to seq.NodeID, secs []Section) error {
+	// Plan datagram boundaries first: they depend only on the immutable
+	// budget, so this runs outside the lock.
+	var frames [][]Section
+	var cur []Section
+	curBytes := headerSize
+	flush := func() {
+		if len(cur) > 0 {
+			frames = append(frames, cur)
+			cur, curBytes = nil, headerSize
+		}
 	}
-	// Chunk boundaries depend only on the immutable budget.
-	type chunk struct{ start, end, bytes int }
-	chunks := make([]chunk, 0, 1)
 	var firstErr error
 	oversize := 0
-	start, size := 0, headerSize
-	cut := func(end int) {
-		if end > start {
-			chunks = append(chunks, chunk{start, end, size})
-		}
-		start, size = end, headerSize
-	}
-	for i, m := range msgs {
-		need := 4 + m.WireSize()
-		if need > t.max-headerSize {
-			cut(i)
-			oversize++
-			start = i + 1
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%w: %v is %d bytes", ErrOversize, m.Kind(), need)
+	for _, s := range secs {
+		if len(s.Msgs) == 0 {
+			if s.Flags == 0 {
+				continue
 			}
+			if curBytes+sectionOverhead > t.max || len(cur) >= maxFrameSections {
+				flush()
+			}
+			cur = append(cur, Section{Group: s.Group, Flags: s.Flags})
+			curBytes += sectionOverhead
 			continue
 		}
-		if size+need > t.max || i-start >= maxFrameMsgs {
-			cut(i)
+		opened := false
+		for _, m := range s.Msgs {
+			need := 4 + m.WireSize()
+			if need > t.max-headerSize-sectionOverhead {
+				oversize++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %v is %d bytes", ErrOversize, m.Kind(), need)
+				}
+				continue
+			}
+			if !opened || curBytes+need > t.max || len(cur[len(cur)-1].Msgs) >= maxFrameMsgs {
+				if curBytes+sectionOverhead+need > t.max || len(cur) >= maxFrameSections {
+					flush()
+				}
+				var fl uint8
+				if !opened {
+					fl = s.Flags // flags ride the section's first chunk
+				}
+				cur = append(cur, Section{Group: s.Group, Flags: fl})
+				curBytes += sectionOverhead
+				opened = true
+			}
+			last := &cur[len(cur)-1]
+			last.Msgs = append(last.Msgs, m)
+			curBytes += need
 		}
-		size += need
+		if !opened && s.Flags != 0 {
+			// Every message was oversize; the flags still must travel.
+			if curBytes+sectionOverhead > t.max || len(cur) >= maxFrameSections {
+				flush()
+			}
+			cur = append(cur, Section{Group: s.Group, Flags: s.Flags})
+			curBytes += sectionOverhead
+		}
 	}
-	cut(len(msgs))
+	flush()
+	if len(frames) == 0 {
+		return firstErr
+	}
 
 	t.mu.Lock()
 	if t.closed {
@@ -327,17 +454,27 @@ func (t *Transport) Send(to seq.NodeID, msgs ...msg.Message) error {
 	}
 	t.oversize += uint64(oversize)
 	base := p.txSeq + 1
-	p.txSeq += uint64(len(chunks))
+	p.txSeq += uint64(len(frames))
 	addr := p.addr
-	for _, c := range chunks {
+	for _, fsecs := range frames {
+		size := frameSize(fsecs)
 		p.st.SentDatagrams++
-		p.st.SentMsgs += uint64(c.end - c.start)
-		p.st.SentBytes += uint64(c.bytes)
+		p.st.SentBytes += uint64(size)
+		for _, s := range fsecs {
+			p.st.SentMsgs += uint64(len(s.Msgs))
+			gs := t.groupStats[s.Group]
+			if gs == nil {
+				gs = &GroupStats{}
+				t.groupStats[s.Group] = gs
+			}
+			gs.SentMsgs += uint64(len(s.Msgs))
+			gs.SentBytes += uint64(sectionBytes(s))
+		}
 	}
 	t.mu.Unlock()
 
-	for i, c := range chunks {
-		buf, err := EncodeFrame(t.self, base+uint64(i), 0, msgs[c.start:c.end])
+	for i, fsecs := range frames {
+		buf, err := EncodeFrame(t.self, base+uint64(i), fsecs)
 		if err == nil {
 			_, err = t.conn.WriteToUDP(buf, addr)
 		}
@@ -348,29 +485,14 @@ func (t *Transport) Send(to seq.NodeID, msgs ...msg.Message) error {
 	return firstErr
 }
 
-// SendControl transmits one message-less control frame carrying flags.
-func (t *Transport) SendControl(to seq.NodeID, flags uint8) error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return net.ErrClosed
+// sectionBytes is one section's encoded size: tag plus length-prefixed
+// messages.
+func sectionBytes(s Section) int {
+	n := sectionOverhead
+	for _, m := range s.Msgs {
+		n += 4 + m.WireSize()
 	}
-	p, ok := t.peers[to]
-	if !ok {
-		t.mu.Unlock()
-		return fmt.Errorf("wire: unknown peer %v", to)
-	}
-	p.txSeq++
-	seqno := p.txSeq
-	addr := p.addr
-	p.st.SentDatagrams++
-	p.st.SentBytes += headerSize
-	t.mu.Unlock()
-	buf, err := EncodeFrame(t.self, seqno, flags, nil)
-	if err == nil {
-		_, err = t.conn.WriteToUDP(buf, addr)
-	}
-	return err
+	return n
 }
 
 // Stats returns a snapshot of all counters.
@@ -378,14 +500,19 @@ func (t *Transport) Stats() Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := Stats{
-		Peers:        make(map[seq.NodeID]PeerStats, len(t.peers)),
-		RecvUnknown:  t.recvUnknown,
-		DecodeErrors: t.decodeErrors,
-		Oversize:     t.oversize,
-		MatrixDrops:  t.matrixDrops,
+		Peers:             make(map[seq.NodeID]PeerStats, len(t.peers)),
+		Groups:            make(map[uint32]GroupStats, len(t.groupStats)),
+		RecvUnknown:       t.recvUnknown,
+		DecodeErrors:      t.decodeErrors,
+		Oversize:          t.oversize,
+		MatrixDrops:       t.matrixDrops,
+		UnknownGroupDrops: t.unknownGroupDrops,
 	}
 	for id, p := range t.peers {
 		s.Peers[id] = p.st
+	}
+	for g, gs := range t.groupStats {
+		s.Groups[g] = *gs
 	}
 	if t.removedStats != (PeerStats{}) {
 		// Counters of peers removed from the ring, folded under node 0.
@@ -398,9 +525,11 @@ func (t *Transport) Stats() Stats {
 
 // SendTimePing probes one peer's clock: the pong handler records the
 // classic offset estimate T2 − (T1+T4)/2 and keeps the sample with the
-// smallest round trip (least asymmetric queueing error).
+// smallest round trip (least asymmetric queueing error). Clock traffic
+// rides group 0, the transport's own channel, so one daemon-level sync
+// serves every hosted group.
 func (t *Transport) SendTimePing(to seq.NodeID) error {
-	return t.Send(to, &msg.TimeSync{Phase: 0, T1: time.Now().UnixNano()})
+	return t.Send(GroupControl, to, &msg.TimeSync{Phase: 0, T1: time.Now().UnixNano()})
 }
 
 // SyncClocks runs `rounds` ping exchanges against every current peer,
@@ -435,7 +564,7 @@ func (t *Transport) OffsetOf(id seq.NodeID) (time.Duration, bool) {
 // offset formula cannot cancel), pongs fold into the per-peer estimate.
 func (t *Transport) handleTimeSync(from seq.NodeID, v *msg.TimeSync) {
 	if v.Phase == 0 {
-		t.Send(from, &msg.TimeSync{Phase: 1, T1: v.T1, T2: time.Now().UnixNano()})
+		t.Send(GroupControl, from, &msg.TimeSync{Phase: 1, T1: v.T1, T2: time.Now().UnixNano()})
 		return
 	}
 	t4 := time.Now().UnixNano()
@@ -452,7 +581,7 @@ func (t *Transport) handleTimeSync(from seq.NodeID, v *msg.TimeSync) {
 }
 
 // Close shuts the socket and joins the reader and all pending delayed
-// deliveries. After Close returns no Handler invocation is in flight.
+// deliveries. After Close returns no hook invocation is in flight.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -484,8 +613,54 @@ func (t *Transport) readLoop() {
 	}
 }
 
+// Port is one group's view of the shared transport: every call carries
+// the group's id, so group-local code (the membership plane, the done
+// barrier) keeps single-group signatures while the socket, peer table,
+// and clock sync stay daemon-wide.
+type Port struct {
+	tr    *Transport
+	group uint32
+}
+
+// NewPort scopes tr to group.
+func NewPort(tr *Transport, group uint32) *Port { return &Port{tr: tr, group: group} }
+
+// Send transmits msgs to peer to in this group's section stream.
+func (p *Port) Send(to seq.NodeID, msgs ...msg.Message) error { return p.tr.Send(p.group, to, msgs...) }
+
+// SendControl transmits control flags to peer to, scoped to this group.
+func (p *Port) SendControl(to seq.NodeID, flags uint8) error {
+	return p.tr.SendControl(p.group, to, flags)
+}
+
+// AddPeer references peer id for this group.
+func (p *Port) AddPeer(id seq.NodeID, addr string) error { return p.tr.AddPeer(p.group, id, addr) }
+
+// RemovePeer drops this group's reference to peer id.
+func (p *Port) RemovePeer(id seq.NodeID) { p.tr.RemovePeer(p.group, id) }
+
+// HasPeer reports whether this group references peer id.
+func (p *Port) HasPeer(id seq.NodeID) bool { return p.tr.HasPeer(p.group, id) }
+
+// SendTimePing probes a peer's clock (daemon-wide, group 0).
+func (p *Port) SendTimePing(to seq.NodeID) error { return p.tr.SendTimePing(to) }
+
+// OffsetOf returns the daemon-wide clock-offset estimate for peer id.
+func (p *Port) OffsetOf(id seq.NodeID) (time.Duration, bool) { return p.tr.OffsetOf(id) }
+
+// delivery is one section routed to a group's hooks, resolved under the
+// lock and executed outside it.
+type delivery struct {
+	hooks   GroupHooks
+	sec     Section
+	unknown bool // sender unknown to this group: route to OnUnknown
+}
+
 // receive decodes one datagram, applies fault injection, updates stats,
-// and dispatches to the handler (possibly after an injected delay).
+// and demultiplexes each section to its group's hooks (possibly after an
+// injected delay). Sections for unregistered groups are dropped and
+// counted — a late-starting group loses its early traffic to UDP
+// semantics but never wedges the reader.
 func (t *Transport) receive(pkt []byte) {
 	f, err := DecodeFrame(pkt)
 	t.mu.Lock()
@@ -516,13 +691,30 @@ func (t *Transport) receive(pkt []byte) {
 			}
 		}
 	}
-	p, ok := t.peers[f.From]
-	if !ok {
-		ou := t.OnUnknown
-		t.recvUnknown++
+	p, known := t.peers[f.From]
+	if !known {
+		// Fully unknown sender: no fault injection, no sequencing — but
+		// each section still routes to its group's OnUnknown hook (join
+		// solicitations, partition probes). Transport-internal sections
+		// from strangers are ignored.
+		var dispatches []delivery
+		for _, sec := range f.Sections {
+			if sec.Group == GroupControl {
+				continue
+			}
+			hooks, reg := t.handlers[sec.Group]
+			if !reg {
+				t.unknownGroupDrops++
+				continue
+			}
+			t.recvUnknown++
+			if len(sec.Msgs) > 0 && hooks.OnUnknown != nil {
+				dispatches = append(dispatches, delivery{hooks: hooks, sec: sec, unknown: true})
+			}
+		}
 		t.mu.Unlock()
-		if ou != nil {
-			ou(f)
+		for _, d := range dispatches {
+			d.hooks.OnUnknown(f.From, d.sec.Msgs)
 		}
 		return
 	}
@@ -532,7 +724,6 @@ func (t *Transport) receive(pkt []byte) {
 		return
 	}
 	p.st.RecvDatagrams++
-	p.st.RecvMsgs += uint64(len(f.Msgs))
 	p.st.RecvBytes += uint64(len(pkt))
 	if f.Seqno <= p.rxMax && p.rxMax != 0 {
 		p.st.OutOfOrder++
@@ -542,45 +733,70 @@ func (t *Transport) receive(pkt []byte) {
 		}
 		p.rxMax = f.Seqno
 	}
+	var dispatches []delivery
+	var syncs []*msg.TimeSync
+	for _, sec := range f.Sections {
+		if sec.Group == GroupControl {
+			// Clock probes are transport business: answer/record them
+			// outside the lock, timestamped as close to the socket as
+			// possible, and keep them out of protocol dispatch.
+			for _, m := range sec.Msgs {
+				if ts, ok := m.(*msg.TimeSync); ok {
+					syncs = append(syncs, ts)
+				}
+			}
+			p.st.RecvMsgs += uint64(len(sec.Msgs))
+			continue
+		}
+		hooks, reg := t.handlers[sec.Group]
+		if !reg {
+			t.unknownGroupDrops++
+			continue
+		}
+		p.st.RecvMsgs += uint64(len(sec.Msgs))
+		gs := t.groupStats[sec.Group]
+		if gs == nil {
+			gs = &GroupStats{}
+			t.groupStats[sec.Group] = gs
+		}
+		gs.RecvMsgs += uint64(len(sec.Msgs))
+		gs.RecvBytes += uint64(sectionBytes(sec))
+		_, reffed := p.refs[sec.Group]
+		if !reffed {
+			// Known socket peer, but a stranger to this group
+			// (partition probe, stale traffic after eviction).
+			t.recvUnknown++
+		}
+		dispatches = append(dispatches, delivery{hooks: hooks, sec: sec, unknown: !reffed})
+	}
 	var delay time.Duration
-	if t.faults.Jitter > 0 {
+	if t.faults.Jitter > 0 && len(dispatches) > 0 {
 		delay = time.Duration(t.rng.Int63n(int64(t.faults.Jitter)))
 		p.st.InjectedDelays++
 	}
-	h := t.h
-	oc := t.OnControl
 	t.mu.Unlock()
-	// Clock probes are transport business: answer/record them here —
-	// timestamped as close to the socket as possible — and keep them out
-	// of the protocol dispatch. They are rare (a startup burst), so the
-	// scan below costs nothing on the data path.
-	sync := 0
-	for _, m := range f.Msgs {
-		if _, ok := m.(*msg.TimeSync); ok {
-			sync++
-		}
+	for _, ts := range syncs {
+		t.handleTimeSync(f.From, ts)
 	}
-	if sync > 0 {
-		rest := make([]msg.Message, 0, len(f.Msgs)-sync)
-		for _, m := range f.Msgs {
-			if ts, ok := m.(*msg.TimeSync); ok {
-				t.handleTimeSync(f.From, ts)
-			} else {
-				rest = append(rest, m)
+	if len(dispatches) == 0 {
+		return
+	}
+	from := f.From
+	dispatch := func() {
+		for _, d := range dispatches {
+			if d.unknown {
+				if d.hooks.OnUnknown != nil && len(d.sec.Msgs) > 0 {
+					d.hooks.OnUnknown(from, d.sec.Msgs)
+				}
+				continue
+			}
+			if d.sec.Flags != 0 && d.hooks.OnControl != nil {
+				d.hooks.OnControl(from, d.sec.Flags)
+			}
+			if len(d.sec.Msgs) > 0 && d.hooks.Handler != nil {
+				d.hooks.Handler(from, d.sec.Msgs)
 			}
 		}
-		f.Msgs = rest
-	}
-	dispatch := func() {
-		if f.Flags != 0 && oc != nil {
-			oc(f.From, f.Flags)
-		}
-		if len(f.Msgs) > 0 && h != nil {
-			h(f.From, f.Msgs)
-		}
-	}
-	if len(f.Msgs) == 0 && f.Flags == 0 {
-		return
 	}
 	if delay <= 0 {
 		dispatch()

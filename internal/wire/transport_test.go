@@ -9,7 +9,8 @@ import (
 	"repro/internal/seq"
 )
 
-// pairUp binds two transports on loopback and introduces them.
+// pairUp binds two transports on loopback and introduces them to each
+// other on behalf of group 1.
 func pairUp(t *testing.T, fa, fb Faults) (*Transport, *Transport) {
 	t.Helper()
 	a, err := Listen(TransportConfig{Self: 1, Listen: "127.0.0.1:0", Faults: fa})
@@ -21,14 +22,22 @@ func pairUp(t *testing.T, fa, fb Faults) (*Transport, *Transport) {
 		a.Close()
 		t.Fatal(err)
 	}
-	if err := a.AddPeer(2, b.LocalAddr().String()); err != nil {
+	if err := a.AddPeer(1, 2, b.LocalAddr().String()); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.AddPeer(1, a.LocalAddr().String()); err != nil {
+	if err := b.AddPeer(1, 1, a.LocalAddr().String()); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { a.Close(); b.Close() })
 	return a, b
+}
+
+// register installs hooks for group on tr, failing the test on error.
+func register(t *testing.T, tr *Transport, group uint32, hooks GroupHooks) {
+	t.Helper()
+	if err := tr.Register(group, hooks); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestTransportDelivery(t *testing.T) {
@@ -36,15 +45,16 @@ func TestTransportDelivery(t *testing.T) {
 	var mu sync.Mutex
 	var got []msg.Message
 	var from seq.NodeID
-	b.Start(func(f seq.NodeID, ms []msg.Message) {
+	register(t, b, 1, GroupHooks{Handler: func(f seq.NodeID, ms []msg.Message) {
 		mu.Lock()
 		from = f
 		got = append(got, ms...)
 		mu.Unlock()
-	})
-	a.Start(func(seq.NodeID, []msg.Message) {})
+	}})
+	b.Start()
+	a.Start()
 	want := sampleMsgs()
-	if err := a.Send(2, want...); err != nil {
+	if err := a.Send(1, 2, want...); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -78,6 +88,200 @@ func TestTransportDelivery(t *testing.T) {
 	if rst.RecvDatagrams != 1 || rst.RecvMsgs != uint64(len(want)) {
 		t.Fatalf("receiver stats: %+v", rst)
 	}
+	gs := b.Stats().Groups[1]
+	if gs.RecvMsgs != uint64(len(want)) || gs.RecvBytes == 0 {
+		t.Fatalf("group 1 traffic split not counted: %+v", gs)
+	}
+}
+
+// TestTransportGroupDemux: sections for three groups — some coalesced
+// into one datagram, some sent separately — each reach only their own
+// group's handler, with per-group RX stats split correctly.
+func TestTransportGroupDemux(t *testing.T) {
+	a, b := pairUp(t, Faults{}, Faults{})
+	for _, g := range []uint32{10, 20, 30} {
+		// Both sides reference the peer per group: sender to route, and
+		// receiver so each group's sections count as ring traffic rather
+		// than unknown-sender solicitations.
+		if err := a.AddPeer(g, 2, b.LocalAddr().String()); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddPeer(g, 1, a.LocalAddr().String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	got := map[uint32][]msg.Message{}
+	handlerFor := func(g uint32) Handler {
+		return func(f seq.NodeID, ms []msg.Message) {
+			for _, m := range ms {
+				if d, ok := m.(*msg.Data); ok && d.Group != seq.GroupID(g) {
+					t.Errorf("group %d handler got a message tagged for group %d", g, d.Group)
+				}
+			}
+			mu.Lock()
+			got[g] = append(got[g], ms...)
+			mu.Unlock()
+		}
+	}
+	for _, g := range []uint32{10, 20, 30} {
+		register(t, b, g, GroupHooks{Handler: handlerFor(g)})
+	}
+	b.Start()
+	a.Start()
+	mk := func(g uint32, n int) []msg.Message {
+		var ms []msg.Message
+		for i := 0; i < n; i++ {
+			ms = append(ms, &msg.Data{Group: seq.GroupID(g), SourceNode: 1,
+				LocalSeq: seq.LocalSeq(i + 1), OrderingNode: 1, GlobalSeq: seq.GlobalSeq(i + 1),
+				Payload: []byte{byte(g)}})
+		}
+		return ms
+	}
+	// One coalesced datagram carrying two groups' sections, then a
+	// single-group send for the third — both demux paths.
+	if err := a.SendSections(2, []Section{
+		{Group: 10, Msgs: mk(10, 3)},
+		{Group: 20, Msgs: mk(20, 2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(30, 2, mk(30, 4)...); err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint32]int{10: 3, 20: 2, 30: 4}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := true
+		for g, n := range want {
+			if len(got[g]) < n {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			defer mu.Unlock()
+			t.Fatalf("demux incomplete: got %v, want %v", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	for g, n := range want {
+		if len(got[g]) != n {
+			t.Fatalf("group %d got %d msgs, want %d", g, len(got[g]), n)
+		}
+	}
+	mu.Unlock()
+	st := b.Stats()
+	for g, n := range want {
+		if gs := st.Groups[g]; gs.RecvMsgs != uint64(n) {
+			t.Fatalf("group %d RX stats %+v, want %d msgs", g, gs, n)
+		}
+	}
+	// The coalesced pair shared one datagram.
+	if ps := a.Stats().Peers[2]; ps.SentDatagrams != 2 {
+		t.Fatalf("expected 2 datagrams (one coalesced + one single), sent %d", ps.SentDatagrams)
+	}
+}
+
+// TestTransportUnknownGroupDrops: traffic for a group this daemon never
+// registered is dropped and counted — never fatal — while a registered
+// sibling group's traffic keeps flowing through the same reader. Once
+// the late group registers, its subsequent traffic delivers: the
+// regression test for a late-starting group wedging the reader.
+func TestTransportUnknownGroupDrops(t *testing.T) {
+	a, b := pairUp(t, Faults{}, Faults{})
+	if err := a.AddPeer(7, 2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := map[uint32]int{}
+	count := func(g uint32) Handler {
+		return func(_ seq.NodeID, ms []msg.Message) {
+			mu.Lock()
+			got[g] += len(ms)
+			mu.Unlock()
+		}
+	}
+	register(t, b, 1, GroupHooks{Handler: count(1)})
+	b.Start()
+	a.Start()
+
+	probe := &msg.Heartbeat{From: 1, Epoch: 1}
+	// Group 7 is not yet registered at b: its datagrams must vanish into
+	// UnknownGroupDrops.
+	for i := 0; i < 3; i++ {
+		if err := a.Send(7, 2, probe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().UnknownGroupDrops < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("unknown-group sections not counted: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The reader survived: the registered sibling still delivers.
+	if err := a.Send(1, 2, probe); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		mu.Lock()
+		n := got[1]
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("registered group starved after unknown-group traffic")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	if got[7] != 0 {
+		t.Fatalf("unregistered group delivered %d msgs", got[7])
+	}
+	mu.Unlock()
+
+	// Late registration: the early traffic is gone (UDP semantics), but
+	// the group works from here on once it registers and references the
+	// sender.
+	register(t, b, 7, GroupHooks{Handler: count(7)})
+	if err := b.AddPeer(7, 1, a.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(7, 2, probe); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		mu.Lock()
+		n := got[7]
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("late-registered group never received post-registration traffic")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drops := b.Stats().UnknownGroupDrops
+	if drops != 3 {
+		t.Fatalf("UnknownGroupDrops = %d, want exactly the 3 pre-registration sections", drops)
+	}
+	// Registering group 0 or a duplicate is a config error, not a panic.
+	if err := b.Register(GroupControl, GroupHooks{}); err == nil {
+		t.Fatal("registered the reserved control group")
+	}
+	if err := b.Register(1, GroupHooks{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
 }
 
 // TestTransportChunking: a burst larger than the datagram budget splits
@@ -92,21 +296,22 @@ func TestTransportChunking(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { a.Close(); b.Close() })
-	a.AddPeer(2, b.LocalAddr().String())
-	b.AddPeer(1, a.LocalAddr().String())
+	a.AddPeer(1, 2, b.LocalAddr().String())
+	b.AddPeer(1, 1, a.LocalAddr().String())
 	var mu sync.Mutex
 	recv := 0
-	b.Start(func(_ seq.NodeID, ms []msg.Message) {
+	register(t, b, 1, GroupHooks{Handler: func(_ seq.NodeID, ms []msg.Message) {
 		mu.Lock()
 		recv += len(ms)
 		mu.Unlock()
-	})
+	}})
+	b.Start()
 	var burst []msg.Message
 	for i := 0; i < 40; i++ {
 		burst = append(burst, &msg.Data{Group: 1, SourceNode: 1, LocalSeq: seq.LocalSeq(i + 1),
 			OrderingNode: 1, GlobalSeq: seq.GlobalSeq(i + 1), Payload: make([]byte, 100)})
 	}
-	if err := a.Send(2, burst...); err != nil {
+	if err := a.Send(1, 2, burst...); err != nil {
 		t.Fatal(err)
 	}
 	st := a.Stats().Peers[2]
@@ -134,9 +339,10 @@ func TestTransportChunking(t *testing.T) {
 func TestTransportFaults(t *testing.T) {
 	a, b := pairUp(t, Faults{}, Faults{Seed: 1, Loss: 1})
 	delivered := make(chan struct{}, 64)
-	b.Start(func(seq.NodeID, []msg.Message) { delivered <- struct{}{} })
+	register(t, b, 1, GroupHooks{Handler: func(seq.NodeID, []msg.Message) { delivered <- struct{}{} }})
+	b.Start()
 	for i := 0; i < 20; i++ {
-		if err := a.Send(2, &msg.Heartbeat{From: 1}); err != nil {
+		if err := a.Send(1, 2, &msg.Heartbeat{From: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -159,9 +365,10 @@ func TestTransportFaults(t *testing.T) {
 	c, d := pairUp(t, Faults{}, Faults{Seed: 2, Jitter: 5 * time.Millisecond})
 	var mu sync.Mutex
 	n := 0
-	d.Start(func(seq.NodeID, []msg.Message) { mu.Lock(); n++; mu.Unlock() })
+	register(t, d, 1, GroupHooks{Handler: func(seq.NodeID, []msg.Message) { mu.Lock(); n++; mu.Unlock() }})
+	d.Start()
 	for i := 0; i < 10; i++ {
-		c.Send(2, &msg.Heartbeat{From: 1})
+		c.Send(1, 2, &msg.Heartbeat{From: 1})
 	}
 	deadline = time.Now().Add(5 * time.Second)
 	for {
@@ -182,7 +389,7 @@ func TestTransportFaults(t *testing.T) {
 	}
 	// Close with fresh deliveries possibly in flight must not race the
 	// handler (run with -race).
-	c.Send(2, &msg.Heartbeat{From: 1})
+	c.Send(1, 2, &msg.Heartbeat{From: 1})
 	d.Close()
 	c.Close()
 }
@@ -190,10 +397,11 @@ func TestTransportFaults(t *testing.T) {
 func TestTransportSequencingStats(t *testing.T) {
 	a, b := pairUp(t, Faults{}, Faults{})
 	got := make(chan uint64, 16)
-	b.Start(func(seq.NodeID, []msg.Message) { got <- 1 })
+	register(t, b, 1, GroupHooks{Handler: func(seq.NodeID, []msg.Message) { got <- 1 }})
+	b.Start()
 	// Three datagrams in order: no reorders, no gaps.
 	for i := 0; i < 3; i++ {
-		a.Send(2, &msg.Heartbeat{From: 1})
+		a.Send(1, 2, &msg.Heartbeat{From: 1})
 	}
 	for i := 0; i < 3; i++ {
 		select {
@@ -211,18 +419,21 @@ func TestTransportSequencingStats(t *testing.T) {
 	}
 }
 
-// TestTransportControlFrames: SendControl reaches the OnControl hook
-// (set before Start) and never the message handler.
+// TestTransportControlFrames: SendControl reaches the group's OnControl
+// hook and never its message handler.
 func TestTransportControlFrames(t *testing.T) {
 	a, b := pairUp(t, Faults{}, Faults{})
 	ctl := make(chan uint8, 8)
-	b.OnControl = func(from seq.NodeID, flags uint8) {
-		if from == 1 {
-			ctl <- flags
-		}
-	}
-	b.Start(func(seq.NodeID, []msg.Message) { t.Error("control frame hit the message handler") })
-	if err := a.SendControl(2, FlagDone); err != nil {
+	register(t, b, 1, GroupHooks{
+		Handler: func(seq.NodeID, []msg.Message) { t.Error("control frame hit the message handler") },
+		OnControl: func(from seq.NodeID, flags uint8) {
+			if from == 1 {
+				ctl <- flags
+			}
+		},
+	})
+	b.Start()
+	if err := a.SendControl(1, 2, FlagDone); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -240,7 +451,7 @@ func TestTransportControlFrames(t *testing.T) {
 
 func TestTransportUnknownPeer(t *testing.T) {
 	a, b := pairUp(t, Faults{}, Faults{})
-	if err := a.Send(99, &msg.Heartbeat{From: 1}); err == nil {
+	if err := a.Send(1, 99, &msg.Heartbeat{From: 1}); err == nil {
 		t.Fatal("send to unknown peer succeeded")
 	}
 	// b receives from an address whose From id it doesn't know.
@@ -249,9 +460,10 @@ func TestTransportUnknownPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.AddPeer(2, b.LocalAddr().String())
-	b.Start(func(seq.NodeID, []msg.Message) {})
-	c.Send(2, &msg.Heartbeat{From: 77})
+	c.AddPeer(1, 2, b.LocalAddr().String())
+	register(t, b, 1, GroupHooks{Handler: func(seq.NodeID, []msg.Message) {}})
+	b.Start()
+	c.Send(1, 2, &msg.Heartbeat{From: 77})
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
 		if b.Stats().RecvUnknown == 1 {
@@ -264,18 +476,21 @@ func TestTransportUnknownPeer(t *testing.T) {
 
 // TestTimeSyncOffset: two loopback transports share a clock, so the
 // NTP-lite estimate must come out near zero (bounded by the measured
-// round trip), and pings must never reach the protocol handler.
+// round trip), and pings — group 0 traffic — must never reach a group
+// handler.
 func TestTimeSyncOffset(t *testing.T) {
 	a, b := pairUp(t, Faults{}, Faults{})
 	var mu sync.Mutex
 	leaked := 0
-	sink := func(seq.NodeID, []msg.Message) {
+	sink := GroupHooks{Handler: func(seq.NodeID, []msg.Message) {
 		mu.Lock()
 		leaked++
 		mu.Unlock()
-	}
-	a.Start(sink)
-	b.Start(sink)
+	}}
+	register(t, a, 1, sink)
+	register(t, b, 1, sink)
+	a.Start()
+	b.Start()
 	a.SyncClocks(5, 5*time.Millisecond)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -294,18 +509,29 @@ func TestTimeSyncOffset(t *testing.T) {
 	mu.Lock()
 	defer mu.Unlock()
 	if leaked != 0 {
-		t.Fatalf("%d TimeSync frames leaked into the protocol handler", leaked)
+		t.Fatalf("%d TimeSync frames leaked into a group handler", leaked)
 	}
 }
 
-// TestRemovePeer: a removed peer's frames count as unknown, sends to it
-// fail, and its traffic history survives in the dead-peer aggregate.
+// TestRemovePeer: when the last group's reference to a peer goes, its
+// frames count as unknown, sends to it fail, and its traffic history
+// survives in the dead-peer aggregate. While another group still holds a
+// reference, the peer entry (and the first group's OnUnknown routing)
+// stays alive.
 func TestRemovePeer(t *testing.T) {
 	a, b := pairUp(t, Faults{}, Faults{})
+	if err := a.AddPeer(2, 2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
 	got := make(chan struct{}, 16)
-	a.Start(func(seq.NodeID, []msg.Message) { got <- struct{}{} })
-	b.Start(func(seq.NodeID, []msg.Message) {})
-	if err := b.Send(1, &msg.Heartbeat{From: 2}); err != nil {
+	unknown := make(chan struct{}, 16)
+	register(t, a, 1, GroupHooks{
+		Handler:   func(seq.NodeID, []msg.Message) { got <- struct{}{} },
+		OnUnknown: func(seq.NodeID, []msg.Message) { unknown <- struct{}{} },
+	})
+	a.Start()
+	b.Start()
+	if err := b.Send(1, 1, &msg.Heartbeat{From: 2}); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -314,21 +540,44 @@ func TestRemovePeer(t *testing.T) {
 		t.Fatal("pre-removal heartbeat never arrived")
 	}
 
-	a.RemovePeer(2)
-	if a.HasPeer(2) {
-		t.Fatal("HasPeer after RemovePeer")
+	// Group 1 drops its reference; group 2 still holds one, so the peer
+	// entry survives and group-1 sections from it route to OnUnknown.
+	a.RemovePeer(1, 2)
+	if a.HasPeer(1, 2) {
+		t.Fatal("HasPeer(1) after RemovePeer(1)")
 	}
-	if err := a.Send(2, &msg.Heartbeat{From: 1}); err == nil {
-		t.Fatal("send to removed peer succeeded")
+	if !a.HasPeer(2, 2) {
+		t.Fatal("sibling group's reference lost by another group's RemovePeer")
+	}
+	if err := a.Send(1, 2, &msg.Heartbeat{From: 1}); err != nil {
+		t.Fatal("send with a live sibling reference failed:", err)
+	}
+	if err := b.Send(1, 1, &msg.Heartbeat{From: 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-unknown:
+	case <-time.After(5 * time.Second):
+		t.Fatal("unreffed group's section not routed to OnUnknown")
+	}
+
+	// The last reference goes: entry dies, stats fold into node 0.
+	a.RemovePeer(2, 2)
+	if a.HasPeer(2, 2) {
+		t.Fatal("HasPeer(2) after RemovePeer(2)")
+	}
+	if err := a.Send(1, 2, &msg.Heartbeat{From: 1}); err == nil {
+		t.Fatal("send to fully removed peer succeeded")
 	}
 	if st := a.Stats(); st.Peers[0].RecvDatagrams == 0 {
 		t.Fatalf("removed peer's stats not aggregated: %+v", st)
 	}
-	if err := b.Send(1, &msg.Heartbeat{From: 2}); err != nil {
+	pre := a.Stats().RecvUnknown
+	if err := b.Send(1, 1, &msg.Heartbeat{From: 2}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for a.Stats().RecvUnknown == 0 {
+	for a.Stats().RecvUnknown == pre {
 		if time.Now().After(deadline) {
 			t.Fatal("post-removal frame not counted as unknown")
 		}
@@ -337,7 +586,8 @@ func TestRemovePeer(t *testing.T) {
 }
 
 // TestOnUnknownJoinPath: a frame from a sender outside the peer table
-// reaches the OnUnknown hook — the transport half of the live-join path.
+// reaches the group's OnUnknown hook — the transport half of the
+// live-join path.
 func TestOnUnknownJoinPath(t *testing.T) {
 	a, err := Listen(TransportConfig{Self: 1, Listen: "127.0.0.1:0"})
 	if err != nil {
@@ -349,25 +599,32 @@ func TestOnUnknownJoinPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { a.Close(); joiner.Close() })
-	reqs := make(chan Frame, 4)
-	a.OnUnknown = func(f Frame) { reqs <- f }
-	a.Start(func(seq.NodeID, []msg.Message) {})
-	joiner.Start(func(seq.NodeID, []msg.Message) {})
-	if err := joiner.AddPeer(1, a.LocalAddr().String()); err != nil {
+	type unknownReq struct {
+		from seq.NodeID
+		msgs []msg.Message
+	}
+	reqs := make(chan unknownReq, 4)
+	register(t, a, 1, GroupHooks{
+		Handler:   func(seq.NodeID, []msg.Message) {},
+		OnUnknown: func(from seq.NodeID, msgs []msg.Message) { reqs <- unknownReq{from, msgs} },
+	})
+	a.Start()
+	joiner.Start()
+	if err := joiner.AddPeer(1, 1, a.LocalAddr().String()); err != nil {
 		t.Fatal(err)
 	}
 	want := &msg.JoinReq{Group: 1, Node: 9, Addr: joiner.LocalAddr().String()}
-	if err := joiner.Send(1, want); err != nil {
+	if err := joiner.Send(1, 1, want); err != nil {
 		t.Fatal(err)
 	}
 	select {
-	case f := <-reqs:
-		if f.From != 9 || len(f.Msgs) != 1 {
-			t.Fatalf("unexpected unknown frame %+v", f)
+	case r := <-reqs:
+		if r.from != 9 || len(r.msgs) != 1 {
+			t.Fatalf("unexpected unknown delivery %+v", r)
 		}
-		jr, ok := f.Msgs[0].(*msg.JoinReq)
+		jr, ok := r.msgs[0].(*msg.JoinReq)
 		if !ok || jr.Node != 9 || jr.Addr != want.Addr {
-			t.Fatalf("unexpected join request %+v", f.Msgs[0])
+			t.Fatalf("unexpected join request %+v", r.msgs[0])
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("JoinReq from unknown sender never surfaced")
@@ -404,28 +661,29 @@ func TestTransportDropMatrix(t *testing.T) {
 		{b, 1, a.LocalAddr().String()},
 		{b, 3, c.LocalAddr().String()},
 	} {
-		if err := p.tr.AddPeer(p.id, p.addr); err != nil {
+		if err := p.tr.AddPeer(1, p.id, p.addr); err != nil {
 			t.Fatal(err)
 		}
 	}
 	var mu sync.Mutex
 	got := map[seq.NodeID]int{}
-	b.Start(func(f seq.NodeID, ms []msg.Message) {
+	register(t, b, 1, GroupHooks{Handler: func(f seq.NodeID, ms []msg.Message) {
 		mu.Lock()
 		got[f] += len(ms)
 		mu.Unlock()
-	})
-	a.Start(func(seq.NodeID, []msg.Message) {})
-	c.Start(func(seq.NodeID, []msg.Message) {})
+	}})
+	b.Start()
+	a.Start()
+	c.Start()
 
 	probe := &msg.Heartbeat{From: 1, Epoch: 1}
 	// Inside the window: frames from 1 die at the matrix, frames from 3
 	// pass — the rule is per-peer, not global.
 	for i := 0; i < 5; i++ {
-		if err := a.Send(2, probe); err != nil {
+		if err := a.Send(1, 2, probe); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Send(2, &msg.Heartbeat{From: 3, Epoch: 1}); err != nil {
+		if err := c.Send(1, 2, &msg.Heartbeat{From: 3, Epoch: 1}); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -453,7 +711,7 @@ func TestTransportDropMatrix(t *testing.T) {
 	// After the window: the same rule is inert and frames from 1 flow.
 	time.Sleep(650 * time.Millisecond)
 	for {
-		if err := a.Send(2, probe); err != nil {
+		if err := a.Send(1, 2, probe); err != nil {
 			t.Fatal(err)
 		}
 		mu.Lock()
