@@ -1,0 +1,164 @@
+// ringnet-dlq inspects and drains a ringnetd member's dead-letter
+// queue: the per-group, per-member ledger of really-lost messages —
+// globals the ring gave up repairing and replaced with loss markers so
+// the delivery front could keep moving. Bodies are gone by definition
+// (that is what "really lost" means); each entry is a tombstone naming
+// the global sequence, the source, the source-local sequence, why the
+// engine gave up, and when.
+//
+// The queue lives next to the member's ordered delivery log, under the
+// group's data_dir:
+//
+//	ringnet-dlq -dir /var/lib/ringnet/g1 list
+//	ringnet-dlq -dir /var/lib/ringnet/g1 inspect 3
+//	ringnet-dlq -dir /var/lib/ringnet/g1 replay | consumer --reconcile
+//	ringnet-dlq -dir /var/lib/ringnet/g1 purge
+//
+// list prints every tombstone with its replay state; inspect dumps one
+// entry as JSON; replay emits each not-yet-replayed entry as one JSON
+// line on stdout and durably advances the replay cursor, so re-running
+// it after a crash never re-emits an entry a consumer already saw;
+// purge deletes the queue and resets the cursor.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/store"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ringnet-dlq -dir DIR COMMAND [ARGS]
+
+Commands:
+  list         print every dead-letter tombstone and its replay state
+  inspect N    dump entry N (0-based, as numbered by list) as JSON
+  replay       emit entries past the replay cursor as JSON lines,
+               durably advancing the cursor (idempotent across re-runs)
+  purge        delete the queue and reset the replay cursor
+
+DIR is one group's data_dir (the directory holding dlq.rlog).
+`)
+	os.Exit(2)
+}
+
+// entryJSON is the stable external shape of one tombstone; the wire
+// types stay internal.
+type entryJSON struct {
+	Index  int    `json:"index"`
+	Global uint64 `json:"global"`
+	Source uint32 `json:"source"`
+	Local  uint64 `json:"local"`
+	Reason string `json:"reason"`
+	Wall   string `json:"wall,omitempty"`
+}
+
+func toJSON(i int, e store.DLQEntry) entryJSON {
+	j := entryJSON{
+		Index:  i,
+		Global: uint64(e.Global),
+		Source: uint32(e.Source),
+		Local:  uint64(e.Local),
+		Reason: e.Reason,
+	}
+	if e.WallNS > 0 {
+		j.Wall = time.Unix(0, e.WallNS).UTC().Format(time.RFC3339Nano)
+	}
+	return j
+}
+
+func main() {
+	dir := flag.String("dir", "", "group data_dir holding dlq.rlog (required)")
+	flag.Usage = usage
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+
+	q, err := store.OpenDLQ(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringnet-dlq: %v\n", err)
+		os.Exit(1)
+	}
+	defer q.Close()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "ringnet-dlq: %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+
+	switch cmd {
+	case "list":
+		entries, err := q.Entries()
+		if err != nil {
+			fail(err)
+		}
+		cur := q.Cursor()
+		fmt.Printf("%-5s %-10s %-8s %-10s %-10s %-9s %s\n",
+			"IDX", "GLOBAL", "SOURCE", "LOCAL", "REASON", "REPLAYED", "WALL")
+		for i, e := range entries {
+			wall := "-"
+			if e.WallNS > 0 {
+				wall = time.Unix(0, e.WallNS).UTC().Format(time.RFC3339)
+			}
+			replayed := "no"
+			if i < cur {
+				replayed = "yes"
+			}
+			fmt.Printf("%-5d %-10d %-8d %-10d %-10s %-9s %s\n",
+				i, uint64(e.Global), uint32(e.Source), uint64(e.Local), e.Reason, replayed, wall)
+		}
+		fmt.Printf("%d entries, replay cursor at %d\n", len(entries), cur)
+
+	case "inspect":
+		if flag.NArg() != 2 {
+			usage()
+		}
+		n, err := strconv.Atoi(flag.Arg(1))
+		if err != nil || n < 0 {
+			fail(fmt.Errorf("bad index %q", flag.Arg(1)))
+		}
+		entries, err := q.Entries()
+		if err != nil {
+			fail(err)
+		}
+		if n >= len(entries) {
+			fail(fmt.Errorf("index %d out of range (%d entries)", n, len(entries)))
+		}
+		b, err := json.MarshalIndent(toJSON(n, entries[n]), "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(b))
+
+	case "replay":
+		enc := json.NewEncoder(os.Stdout)
+		start := q.Cursor()
+		i := start
+		n, err := q.Replay(func(e store.DLQEntry) error {
+			err := enc.Encode(toJSON(i, e))
+			i++
+			return err
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ringnet-dlq: replayed %d entries (cursor %d -> %d)\n", n, start, q.Cursor())
+
+	case "purge":
+		n := q.Len()
+		if err := q.Purge(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ringnet-dlq: purged %d entries\n", n)
+
+	default:
+		usage()
+	}
+}

@@ -40,6 +40,18 @@
 // through a shared per-peer batching outbox. The report then carries
 // one entry per group plus the daemon aggregate. Legacy single-group
 // configs load unchanged (lifted to a one-element array).
+//
+// With -data-dir (or "data_dir" in the config) the delivery plane is
+// durable: every group appends its deliveries to a segmented ordered
+// log under DIR/g<ID>, batching fsyncs on the flush_ms cadence, and a
+// process restarted with the same directory recovers its durable front
+// and resumes there — the coordinator splices it back in and peers
+// backfill the handshake gap — instead of rejoining fresh at the
+// quorum baseline. A member whose log fell too far behind the ring
+// (past the peers' retained repair window) is rejoined fresh and the
+// unrecoverable range is reported. Really-lost messages (repair given
+// up ring-wide) are tombstoned in DIR/g<ID>/dlq.rlog; inspect them
+// with ringnet-dlq.
 package main
 
 import (
@@ -53,15 +65,23 @@ import (
 
 func main() {
 	var (
-		config = flag.String("config", "", "path to the JSON ring config (required)")
-		quiet  = flag.Bool("q", false, "suppress the human-readable summary on stderr")
+		config  = flag.String("config", "", "path to the JSON ring config (required)")
+		dataDir = flag.String("data-dir", "", "durability root: each group persists its ordered delivery log and dead-letter queue under DIR/g<ID> and resumes from it on restart (overrides the config's data_dir)")
+		quiet   = flag.Bool("q", false, "suppress the human-readable summary on stderr")
 	)
 	flag.Parse()
 	if *config == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	rep, err := wire.RunFromFile(*config, os.Stdout)
+	cfg, err := wire.LoadConfig(*config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		cfg.DataDir = *dataDir
+	}
+	rep, err := wire.Run(cfg, os.Stdout)
 	if !*quiet {
 		fmt.Fprintf(os.Stderr,
 			"ringnetd node %d: groups=%d converged=%v delivered=%d aggregate=%.0f/s wall=%dms\n",

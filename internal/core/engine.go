@@ -55,6 +55,17 @@ type Engine struct {
 	// before Start/StartLocal.
 	OnDeliver func(at seq.NodeID, d *msg.Data)
 
+	// OnLost, when set, observes every really-lost verdict a node
+	// applies: the slot at global g is skipped forever because its body
+	// cannot be recovered from any live member (give-up rounds
+	// exhausted, source evicted) or because an upstream member's Skip
+	// frame propagated such a verdict. src/local identify the
+	// assignment when it is still resolvable (src == seq.None when the
+	// assignment died with its source's last token copy). The wire path
+	// routes these into the per-member dead-letter queue; the simulator
+	// leaves it nil.
+	OnLost func(at seq.NodeID, g seq.GlobalSeq, src seq.NodeID, local seq.LocalSeq, reason string)
+
 	started bool
 }
 
@@ -455,6 +466,23 @@ func (e *Engine) Readmit(at seq.NodeID, baseline seq.GlobalSeq) {
 	if ne := e.nes[at]; ne != nil && !ne.failed {
 		ne.readmit(baseline)
 	}
+}
+
+// RejoinFresh abandons node `at`'s position in the stream and re-enters
+// at baseline, delivering from baseline+1 onward. This is the
+// readmission path for a member whose gap fell below the ring's
+// retained windows (CompactKeep/RetainExtra): no live member holds the
+// bodies it is missing, so repair can never complete — instead of
+// grinding give-up rounds forever, the member discards the range
+// (front, baseline] and resumes. Unlike JumpTo this acts on a
+// non-virgin queue; the caller reports the discarded range. Returns the
+// range abandoned (lo > hi when nothing was discarded).
+func (e *Engine) RejoinFresh(at seq.NodeID, baseline seq.GlobalSeq) (lo, hi seq.GlobalSeq) {
+	ne := e.nes[at]
+	if ne == nil || ne.failed {
+		return 1, 0
+	}
+	return ne.rejoinFresh(baseline)
 }
 
 // TokenStamp reports the highest (epoch, hops) token stamp node `at` has

@@ -360,6 +360,36 @@ func (n *NE) readmit(baseline seq.GlobalSeq) {
 	n.setDeliveryHold(false)
 }
 
+// rejoinFresh re-enters the stream at baseline on a non-virgin queue,
+// abandoning the unrepairable gap (front, baseline]: slots in that
+// range are neither delivered nor repaired again. Repair clocks reset
+// and any delivery hold clears, exactly like readmit. Returns the
+// abandoned range (lo > hi when the queue was already at baseline).
+func (n *NE) rejoinFresh(baseline seq.GlobalSeq) (lo, hi seq.GlobalSeq) {
+	lo, hi = n.mq.Front()+1, baseline
+	if baseline > n.mq.Front() {
+		n.mq.ForceRelease(baseline)
+	} else {
+		lo, hi = 1, 0
+	}
+	n.stallSince = make(map[seq.NodeID]sim.Time)
+	n.stallRounds = make(map[seq.NodeID]int)
+	n.frontStall, n.frontRounds, n.frontG = 0, 0, 0
+	if n.tokenSeen {
+		n.lastToken = n.now()
+	}
+	n.setDeliveryHold(false)
+	n.deliverLoop()
+	return lo, hi
+}
+
+// noteLost reports a really-lost verdict to the engine's OnLost hook.
+func (n *NE) noteLost(g seq.GlobalSeq, src seq.NodeID, local seq.LocalSeq, reason string) {
+	if h := n.e.OnLost; h != nil {
+		h(n.id, g, src, local, reason)
+	}
+}
+
 // dropPeer severs reliable-delivery state targeting a member that was
 // removed from the ring. The caller has already repaired the topology
 // and refreshed this node's neighbor view.
@@ -797,6 +827,8 @@ func (n *NE) handleSkip(from seq.NodeID, s *msg.Skip) {
 			if err := n.mq.InsertLost(seq.GlobalSeq(g)); err != nil {
 				break
 			}
+			src, l, _ := n.sourceForGlobal(seq.GlobalSeq(g))
+			n.noteLost(seq.GlobalSeq(g), src, l, "skip")
 		}
 	}
 	n.deliverLoop()

@@ -340,13 +340,14 @@ func (n *NE) maybeNackFront() {
 			if sl := n.mq.Get(g); sl == nil || sl.Received || sl.Delivered {
 				break
 			}
-			src, _, ok := n.sourceForGlobal(g)
+			src, lcl, ok := n.sourceForGlobal(g)
 			if !((hard && !ok) || (ok && n.e.H.Node(src) == nil)) {
 				break
 			}
 			if n.mq.InsertLost(g) != nil {
 				break
 			}
+			n.noteLost(g, src, lcl, "front-gap")
 			cleared = true
 		}
 		if cleared {
@@ -562,6 +563,7 @@ func (n *NE) giveUpSource(src seq.NodeID) {
 		if err := n.mq.InsertLost(g); err != nil {
 			break
 		}
+		n.noteLost(g, src, l, "give-up")
 		sq.SkipTo(l)
 	}
 	delete(n.stallSince, src)

@@ -291,6 +291,7 @@ func Encode(m Message) []byte {
 		w.u32(uint32(v.Group))
 		w.u32(uint32(v.Node))
 		w.bytes([]byte(v.Addr))
+		w.optSeq(uint64(v.Front))
 	case *LeaveReq:
 		w.u32(uint32(v.Group))
 		w.u32(uint32(v.Node))
@@ -310,6 +311,11 @@ func Encode(m Message) []byte {
 			w.u8(0)
 		}
 		w.optSeq(v.MergeTokenEpoch)
+		w.u32(uint32(len(v.Resume)))
+		for _, re := range v.Resume {
+			w.u32(uint32(re.Node))
+			w.u64(uint64(re.Front))
+		}
 	case *QuorumVote:
 		w.u32(uint32(v.Group))
 		w.u64(v.Epoch)
@@ -473,6 +479,7 @@ func Decode(buf []byte) (Message, error) {
 		v.Group = seq.GroupID(r.u32())
 		v.Node = seq.NodeID(r.u32())
 		v.Addr = string(r.bytes())
+		v.Front = seq.GlobalSeq(r.optSeq())
 		m = v
 	case KindLeaveReq:
 		v := &LeaveReq{}
@@ -499,6 +506,18 @@ func Decode(buf []byte) (Message, error) {
 		}
 		v.Merge = r.u8() == 1
 		v.MergeTokenEpoch = r.optSeq()
+		if n := int(r.u32()); n > 0 && r.err == nil {
+			if n*12 > len(r.buf) {
+				r.err = ErrTruncated
+				return nil, r.err
+			}
+			v.Resume = make([]ResumeEntry, 0, n)
+			for i := 0; i < n; i++ {
+				re := ResumeEntry{Node: seq.NodeID(r.u32())}
+				re.Front = seq.GlobalSeq(r.u64())
+				v.Resume = append(v.Resume, re)
+			}
+		}
 		m = v
 	case KindQuorumVote:
 		v := &QuorumVote{}

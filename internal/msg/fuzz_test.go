@@ -178,7 +178,8 @@ func build(data []byte) Message {
 			AckCum: seq.GlobalSeq(t.u64() % 3 * t.u64()),
 		}
 	case KindJoinReq:
-		return &JoinReq{Group: seq.GroupID(t.u32()), Node: seq.NodeID(t.u32()), Addr: t.addr()}
+		return &JoinReq{Group: seq.GroupID(t.u32()), Node: seq.NodeID(t.u32()), Addr: t.addr(),
+			Front: seq.GlobalSeq(t.u64() % 3 * t.u64())} // often zero
 	case KindLeaveReq:
 		return &LeaveReq{Group: seq.GroupID(t.u32()), Node: seq.NodeID(t.u32())}
 	case KindRingUpdate:
@@ -193,6 +194,9 @@ func build(data []byte) Message {
 		}
 		ru.Merge = t.u8()%2 == 1
 		ru.MergeTokenEpoch = t.u64() % 3 * t.u64() // often zero
+		for j := int(t.u8()) % 4; j > 0; j-- {     // nil when 0, matching Decode
+			ru.Resume = append(ru.Resume, ResumeEntry{Node: seq.NodeID(t.u32()), Front: seq.GlobalSeq(t.u64())})
+		}
 		return ru
 	case KindTimeSync:
 		return &TimeSync{Phase: t.u8() % 2, T1: int64(t.u64()), T2: int64(t.u64())}

@@ -424,14 +424,27 @@ type MemberAddr struct {
 // JoinReq asks the ring's coordinator for membership. Node is the
 // joiner's identity; Addr is its bound UDP address. A member that is not
 // the coordinator forwards the request toward its coordinator.
+//
+// Front, when non-zero, is the joiner's durable delivery front — the
+// highest global its on-disk log recovered. The coordinator answers
+// with a resume grant (RingUpdate.Resume) when the gap up to its own
+// front still fits inside the ring's retained repair windows, letting
+// the member continue its log instead of restarting at the baseline.
 type JoinReq struct {
 	Group seq.GroupID
 	Node  seq.NodeID
 	Addr  string
+	Front seq.GlobalSeq
 }
 
-func (*JoinReq) Kind() Kind      { return KindJoinReq }
-func (j *JoinReq) WireSize() int { return 1 + 4 + 4 + 4 + len(j.Addr) }
+func (*JoinReq) Kind() Kind { return KindJoinReq }
+func (j *JoinReq) WireSize() int {
+	n := 1 + 4 + 4 + 4 + len(j.Addr) + 1
+	if j.Front != 0 {
+		n += 8
+	}
+	return n
+}
 
 // LeaveReq announces Node's graceful departure to the coordinator.
 type LeaveReq struct {
@@ -463,17 +476,31 @@ type RingUpdate struct {
 	Members         []MemberAddr
 	Merge           bool
 	MergeTokenEpoch uint64
+	// Resume grants durable-log resumption: each entry names a member
+	// this epoch admits at its own recovered front instead of Baseline.
+	// The member delivers from Front+1 onward and Nack-repairs the gap
+	// (Front, Baseline] from its peers' retained windows. A (re)joiner
+	// absent from Resume starts fresh at Baseline.
+	Resume []ResumeEntry
+}
+
+// ResumeEntry pairs a resuming member with the durable front the
+// coordinator granted it.
+type ResumeEntry struct {
+	Node  seq.NodeID
+	Front seq.GlobalSeq
 }
 
 func (*RingUpdate) Kind() Kind { return KindRingUpdate }
 func (r *RingUpdate) WireSize() int {
-	n := 1 + 4 + 8 + 4 + 8 + 4 + 1 + 1
+	n := 1 + 4 + 8 + 4 + 8 + 4 + 1 + 1 + 4
 	if r.MergeTokenEpoch != 0 {
 		n += 8
 	}
 	for _, m := range r.Members {
 		n += 4 + 4 + len(m.Addr)
 	}
+	n += 12 * len(r.Resume)
 	return n
 }
 

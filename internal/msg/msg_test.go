@@ -185,11 +185,15 @@ func TestRoundTripControl(t *testing.T) {
 		&Heartbeat{From: 6, Epoch: 42},
 		&JoinReq{Group: 1, Node: 9, Addr: "127.0.0.1:9009"},
 		&JoinReq{Group: 1, Node: 9},
+		&JoinReq{Group: 1, Node: 9, Addr: "127.0.0.1:9009", Front: 4242},
 		&LeaveReq{Group: 1, Node: 4},
 		&RingUpdate{Group: 1, Epoch: 7, Coord: 1, Baseline: 321, Members: []MemberAddr{
 			{Node: 1, Addr: "127.0.0.1:1"}, {Node: 2, Addr: "127.0.0.1:2"}, {Node: 9, Addr: ""},
 		}},
 		&RingUpdate{Group: 1, Epoch: 1, Coord: 3},
+		&RingUpdate{Group: 1, Epoch: 9, Coord: 1, Baseline: 500, Members: []MemberAddr{
+			{Node: 1, Addr: "127.0.0.1:1"}, {Node: 4, Addr: "127.0.0.1:4"},
+		}, Resume: []ResumeEntry{{Node: 4, Front: 321}}},
 		&TimeSync{Phase: 0, T1: 123456789},
 		&TimeSync{Phase: 1, T1: 123456789, T2: 123456999},
 	}

@@ -1,0 +1,374 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/seq"
+)
+
+// DLQ is the per-member dead-letter queue: slots the really-lost rule
+// condemned (source evicted, give-up rounds exhausted — see
+// internal/core/ordering.go) are recorded here instead of vanishing
+// into a silent InsertLost. An entry is a tombstone — the body is gone
+// by definition; what the queue preserves is the slot's identity in
+// the total order plus why it was written off, so an operator can
+// audit exactly which positions a member skipped and reconcile them
+// out of band (cmd/ringnet-dlq).
+//
+// The queue is one CRC-framed append-only file (dlq.rlog) plus a
+// replay cursor (dlq.cursor, written atomically via rename): Replay
+// emits entries past the cursor and advances it, so re-running a
+// replay is idempotent; Purge removes both.
+type DLQ struct {
+	mu     sync.Mutex
+	dir    string
+	f      *os.File
+	w      *bufio.Writer
+	count  int
+	cursor int
+	dirty  bool
+}
+
+// DLQEntry is one condemned slot.
+type DLQEntry struct {
+	Global seq.GlobalSeq
+	Source seq.NodeID
+	Local  seq.LocalSeq
+	// Reason says which really-lost tier condemned the slot
+	// ("give-up", "front-gap", "skip").
+	Reason string
+	// WallNS is the wall-clock time the verdict was reached.
+	WallNS int64
+}
+
+const (
+	dlqMagic   = 0x514C4451 // "QDLQ"
+	dlqFile    = "dlq.rlog"
+	dlqCursor  = "dlq.cursor"
+	dlqBodyMin = 8 + 4 + 8 + 8 + 2
+)
+
+// OpenDLQ opens (creating if needed) the dead-letter queue in dir,
+// recovering its consistent prefix with the same torn-tail truncation
+// rule as the delivery log.
+func OpenDLQ(dir string) (*DLQ, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	q := &DLQ{dir: dir}
+	path := filepath.Join(dir, dlqFile)
+	count, truncAt, err := scanDLQ(path)
+	if err != nil {
+		return nil, err
+	}
+	if truncAt >= 0 {
+		if truncAt < segHdrLen {
+			truncAt = 0 // header torn: rewrite it below
+		}
+		if err := os.Truncate(path, truncAt); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	q.count = count
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	q.f, q.w = f, bufio.NewWriterSize(f, 1<<14)
+	if st.Size() < segHdrLen {
+		var hdr [segHdrLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], dlqMagic)
+		binary.LittleEndian.PutUint32(hdr[4:8], logVersion)
+		if _, err := q.w.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		q.dirty = true
+	}
+	if cur, err := os.ReadFile(filepath.Join(dir, dlqCursor)); err == nil {
+		if n, err := strconv.Atoi(strings.TrimSpace(string(cur))); err == nil && n >= 0 {
+			q.cursor = n
+		}
+	}
+	if q.cursor > q.count {
+		q.cursor = q.count
+	}
+	return q, nil
+}
+
+// scanDLQ counts valid entries and returns the truncation offset for
+// a torn tail (-1 when the file is sound or absent).
+func scanDLQ(path string) (count int, truncAt int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, -1, nil
+	}
+	if err != nil {
+		return 0, -1, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<14)
+	var hdr [segHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != dlqMagic ||
+		binary.LittleEndian.Uint32(hdr[4:8]) != logVersion {
+		return 0, 0, nil
+	}
+	off := int64(segHdrLen)
+	for {
+		_, n, ok := readDLQEntry(r)
+		if !ok {
+			if n == 0 {
+				return count, -1, nil
+			}
+			return count, off, nil
+		}
+		off += n
+		count++
+	}
+}
+
+func readDLQEntry(r *bufio.Reader) (e DLQEntry, n int64, ok bool) {
+	var hdr [recHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return e, 0, false
+		}
+		return e, 1, false
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if bodyLen < dlqBodyMin || bodyLen > recBodyMax {
+		return e, 1, false
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return e, 1, false
+	}
+	if crc32.Checksum(body, crcTab) != want {
+		return e, 1, false
+	}
+	e.Global = seq.GlobalSeq(binary.LittleEndian.Uint64(body[0:8]))
+	e.Source = seq.NodeID(binary.LittleEndian.Uint32(body[8:12]))
+	e.Local = seq.LocalSeq(binary.LittleEndian.Uint64(body[12:20]))
+	e.WallNS = int64(binary.LittleEndian.Uint64(body[20:28]))
+	rl := int(binary.LittleEndian.Uint16(body[28:30]))
+	if 30+rl > int(bodyLen) {
+		return e, 1, false
+	}
+	e.Reason = string(body[30 : 30+rl])
+	return e, int64(recHdrLen) + int64(bodyLen), true
+}
+
+func appendDLQEntry(buf []byte, e DLQEntry) []byte {
+	if len(e.Reason) > 1<<15 {
+		e.Reason = e.Reason[:1<<15]
+	}
+	bodyLen := dlqBodyMin + len(e.Reason)
+	start := len(buf)
+	buf = append(buf, make([]byte, recHdrLen+bodyLen)...)
+	body := buf[start+recHdrLen:]
+	binary.LittleEndian.PutUint64(body[0:8], uint64(e.Global))
+	binary.LittleEndian.PutUint32(body[8:12], uint32(e.Source))
+	binary.LittleEndian.PutUint64(body[12:20], uint64(e.Local))
+	binary.LittleEndian.PutUint64(body[20:28], uint64(e.WallNS))
+	binary.LittleEndian.PutUint16(body[28:30], uint16(len(e.Reason)))
+	copy(body[30:], e.Reason)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(bodyLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(body, crcTab))
+	return buf
+}
+
+// Add appends one condemned slot; durable after the next Sync.
+func (q *DLQ) Add(e DLQEntry) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.f == nil {
+		return errors.New("store: add on closed dlq")
+	}
+	if _, err := q.w.Write(appendDLQEntry(nil, e)); err != nil {
+		return err
+	}
+	q.count++
+	q.dirty = true
+	return nil
+}
+
+// Sync flushes and fsyncs pending entries.
+func (q *DLQ) Sync() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.syncLocked()
+}
+
+func (q *DLQ) syncLocked() error {
+	if q.f == nil || !q.dirty {
+		return nil
+	}
+	if err := q.w.Flush(); err != nil {
+		return err
+	}
+	if err := q.f.Sync(); err != nil {
+		return err
+	}
+	q.dirty = false
+	return nil
+}
+
+// Len reports the number of entries in the queue.
+func (q *DLQ) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Cursor reports how many entries have already been replayed.
+func (q *DLQ) Cursor() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cursor
+}
+
+// Entries reads every entry from disk (flushing pending writes first).
+func (q *DLQ) Entries() ([]DLQEntry, error) {
+	q.mu.Lock()
+	if q.f != nil {
+		if err := q.w.Flush(); err != nil {
+			q.mu.Unlock()
+			return nil, err
+		}
+	}
+	dir := q.dir
+	q.mu.Unlock()
+	f, err := os.Open(filepath.Join(dir, dlqFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<14)
+	var hdr [segHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil
+	}
+	var out []DLQEntry
+	for {
+		e, _, ok := readDLQEntry(r)
+		if !ok {
+			return out, nil
+		}
+		out = append(out, e)
+	}
+}
+
+// Replay emits every entry past the replay cursor, then durably
+// advances the cursor past them, so running a replay twice emits
+// nothing the second time. It returns how many entries were emitted.
+func (q *DLQ) Replay(fn func(DLQEntry) error) (int, error) {
+	ents, err := q.Entries()
+	if err != nil {
+		return 0, err
+	}
+	q.mu.Lock()
+	cur := q.cursor
+	q.mu.Unlock()
+	if cur > len(ents) {
+		cur = len(ents)
+	}
+	emitted := 0
+	for _, e := range ents[cur:] {
+		if err := fn(e); err != nil {
+			return emitted, err
+		}
+		emitted++
+	}
+	if emitted > 0 {
+		if err := q.setCursor(cur + emitted); err != nil {
+			return emitted, err
+		}
+	}
+	return emitted, nil
+}
+
+func (q *DLQ) setCursor(n int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	tmp := filepath.Join(q.dir, dlqCursor+".tmp")
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%d\n", n)), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(q.dir, dlqCursor)); err != nil {
+		return err
+	}
+	q.cursor = n
+	return nil
+}
+
+// Purge removes every entry and the replay cursor. The queue stays
+// usable: the next Add starts a fresh file.
+func (q *DLQ) Purge() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.f != nil {
+		if err := q.w.Flush(); err != nil {
+			return err
+		}
+		if err := q.f.Close(); err != nil {
+			return err
+		}
+	}
+	if err := os.Remove(filepath.Join(q.dir, dlqFile)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := os.Remove(filepath.Join(q.dir, dlqCursor)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(q.dir, dlqFile), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	q.f, q.w = f, bufio.NewWriterSize(f, 1<<14)
+	var hdr [segHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], dlqMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], logVersion)
+	if _, err := q.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	q.count, q.cursor, q.dirty = 0, 0, true
+	return nil
+}
+
+// Close flushes, fsyncs, and releases the queue file.
+func (q *DLQ) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.f == nil {
+		return nil
+	}
+	err := q.syncLocked()
+	if cerr := q.f.Close(); err == nil {
+		err = cerr
+	}
+	q.f = nil
+	q.w = nil
+	return err
+}

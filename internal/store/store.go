@@ -1,0 +1,129 @@
+// Package store is the durable delivery plane: a per-member,
+// append-only log of the totally ordered stream a ring member has
+// delivered, keyed by global sequence number. The wire path appends
+// every delivery; on restart the recovered front is offered to the
+// coordinator so the member resumes where its disk left off instead
+// of rejoining at the cluster's current baseline (see
+// internal/wire/member.go). Bodies condemned by the really-lost rule
+// are routed to a dead-letter queue (dlq.go) instead of vanishing.
+//
+// Two implementations share the DeliveryLog interface: MemLog keeps
+// the stream in memory (the simulator and in-process tests), FileLog
+// persists it as CRC-framed records in rolling segments with batched
+// fsync (filelog.go).
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/seq"
+)
+
+// Record is one delivered message as the log stores it: its position
+// in the total order plus the (source, local) identity the ordering
+// protocol assigned it. Payload may be empty (a Skip-ranged gap the
+// member never held a body for is not appended at all; really-lost
+// slots go to the DLQ instead).
+type Record struct {
+	Global  seq.GlobalSeq
+	Source  seq.NodeID
+	Local   seq.LocalSeq
+	Payload []byte
+}
+
+// DeliveryLog is the pluggable persistence contract. Appends must be
+// strictly increasing in Global; an append at or below Front is a
+// duplicate (a replayed delivery after recovery) and is dropped
+// silently, which is what makes the wire hook idempotent across
+// restarts. Gaps are legal: a member readmitted fresh at a quorum
+// baseline skips the range it discarded.
+type DeliveryLog interface {
+	// Append records one delivery. Duplicate globals (<= Front) are
+	// ignored and counted, not errors.
+	Append(r Record) error
+	// Front returns the highest global ever appended — after Sync,
+	// the durable resume position.
+	Front() seq.GlobalSeq
+	// Sync makes every prior Append durable (no-op for MemLog).
+	Sync() error
+	// Replay walks the durable records in global order. It reflects
+	// appends made since open (flushing buffered writes first).
+	Replay(fn func(Record) error) error
+	// Duplicates reports how many appends were dropped as duplicates.
+	Duplicates() uint64
+	Close() error
+}
+
+// MemLog is the in-memory DeliveryLog: the reference implementation
+// the fault-injection tests compare FileLog against, and the store
+// the simulator-facing paths use so the sim stays byte-identical.
+type MemLog struct {
+	mu    sync.Mutex
+	recs  []Record
+	front seq.GlobalSeq
+	dups  uint64
+}
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// Append implements DeliveryLog.
+func (l *MemLog) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r.Global == 0 {
+		return fmt.Errorf("store: append global 0")
+	}
+	if r.Global <= l.front {
+		l.dups++
+		return nil
+	}
+	cp := r
+	if len(r.Payload) > 0 {
+		cp.Payload = append([]byte(nil), r.Payload...)
+	}
+	l.recs = append(l.recs, cp)
+	l.front = r.Global
+	return nil
+}
+
+// Front implements DeliveryLog.
+func (l *MemLog) Front() seq.GlobalSeq {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.front
+}
+
+// Sync implements DeliveryLog (memory is always "durable").
+func (l *MemLog) Sync() error { return nil }
+
+// Replay implements DeliveryLog.
+func (l *MemLog) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	recs := l.recs
+	l.mu.Unlock()
+	for _, r := range recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Duplicates implements DeliveryLog.
+func (l *MemLog) Duplicates() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dups
+}
+
+// Close implements DeliveryLog.
+func (l *MemLog) Close() error { return nil }
+
+// Len reports the number of records held.
+func (l *MemLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}

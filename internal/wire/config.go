@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // PeerAddr names one remote daemon. Addr may be empty at load time and
@@ -51,6 +52,15 @@ type GroupConfig struct {
 	// TracePath, when set, dumps this group's delivery trace ("global
 	// source local" per line) for offline suffix/equality checks.
 	TracePath string `json:"trace_path,omitempty"`
+
+	// DataDir, when set, makes this member's delivery plane durable: every
+	// delivery is appended to a segmented ordered log under this directory,
+	// really-lost bodies are tombstoned in a dead-letter queue there, and a
+	// restart with the same directory recovers the durable front and asks
+	// the coordinator to resume at it instead of joining at the quorum
+	// baseline. Empty inherits "<daemon data_dir>/g<ID>" when the daemon
+	// sets one, else persistence is off for this group.
+	DataDir string `json:"data_dir,omitempty"`
 }
 
 // Config is a ringnetd daemon's deployment description, read from a
@@ -139,6 +149,18 @@ type Config struct {
 	// negative disables batching (one flush per event).
 	BatchUS int64 `json:"batch_us,omitempty"`
 
+	// DataDir is the daemon-level durability root: groups that leave
+	// their own data_dir empty inherit "<DataDir>/g<ID>". Empty disables
+	// persistence for groups that do not set their own.
+	DataDir string `json:"data_dir,omitempty"`
+
+	// FlushMS is the durable log's fsync cadence in milliseconds: dirty
+	// appends are batched and synced on this timer, bounding the
+	// crash-loss window without paying one fsync per delivery. 0 means
+	// the 25 ms default; negative syncs after every append (maximum
+	// durability, bench the cost before choosing it).
+	FlushMS int64 `json:"flush_ms,omitempty"`
+
 	// SyncRounds is the number of clock-offset ping rounds run against
 	// every configured peer at spawn (0 means the default 4; negative
 	// disables). One daemon-level calibration serves every group.
@@ -192,6 +214,9 @@ func (c *Config) defaults() {
 	}
 	if c.SyncRounds == 0 {
 		c.SyncRounds = 4
+	}
+	if c.FlushMS == 0 {
+		c.FlushMS = 25
 	}
 }
 
@@ -289,6 +314,9 @@ func (c *Config) Normalize() error {
 		}
 		if g.StartMS <= 0 {
 			g.StartMS = c.StartMS
+		}
+		if g.DataDir == "" && c.DataDir != "" {
+			g.DataDir = filepath.Join(c.DataDir, fmt.Sprintf("g%d", g.ID))
 		}
 	}
 	return nil

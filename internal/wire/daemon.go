@@ -122,6 +122,7 @@ func (nd *Node) Run() (Report, error) {
 	groups := make([]*ringGroup, 0, len(cfg.Groups))
 	fail := func(err error) (Report, error) {
 		for _, g := range groups {
+			g.closeStore()
 			g.closeTrace()
 		}
 		nd.tr.Close()
@@ -175,6 +176,7 @@ func (nd *Node) Run() (Report, error) {
 	}
 	nd.tr.Close()
 	for _, g := range groups {
+		g.closeStore()
 		g.closeTrace()
 	}
 

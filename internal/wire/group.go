@@ -13,6 +13,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/seq"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -79,6 +80,15 @@ type ringGroup struct {
 	crossLat       metrics.Sample
 	trace          *bufio.Writer
 	traceFile      *os.File
+
+	// Durable delivery plane (nil without a data_dir). Driver goroutine
+	// only, except the final Close at federation teardown.
+	dlog           *store.FileLog
+	dlq            *store.DLQ
+	syncEach       bool // flush_ms < 0: fsync after every append
+	storeErr       error
+	resumedAt      seq.GlobalSeq
+	discLo, discHi seq.GlobalSeq
 
 	// Done-barrier state. Driver goroutine only.
 	doneFrom  map[seq.NodeID]bool
@@ -155,6 +165,44 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 		g.trace = bufio.NewWriter(f)
 	}
 
+	// Durable delivery plane: recover the ordered log (torn tails are
+	// truncated on open), then seed the order fingerprint — and the
+	// trace — from the recovered prefix. After a crash-restart the
+	// member's final hash and trace must cover the full stream it ever
+	// delivered, not just this incarnation, or cross-member convergence
+	// checks would reject a correct resume.
+	if gc.DataDir != "" {
+		if err := os.MkdirAll(gc.DataDir, 0o755); err != nil {
+			g.closeTrace()
+			return nil, err
+		}
+		dl, err := store.OpenFileLog(gc.DataDir, store.FileLogOptions{})
+		if err != nil {
+			g.closeTrace()
+			return nil, err
+		}
+		g.dlog = dl
+		dq, err := store.OpenDLQ(gc.DataDir)
+		if err != nil {
+			dl.Close()
+			g.closeTrace()
+			return nil, fmt.Errorf("wire: group %d dead-letter queue: %w", gc.ID, err)
+		}
+		g.dlq = dq
+		g.syncEach = cfg.FlushMS < 0
+		if err := dl.Replay(func(r store.Record) error {
+			g.oh.Note(r.Global, r.Source, r.Local)
+			if g.trace != nil {
+				fmt.Fprintf(g.trace, "%d %d %d\n", r.Global, uint32(r.Source), r.Local)
+			}
+			return nil
+		}); err != nil {
+			g.closeStore()
+			g.closeTrace()
+			return nil, fmt.Errorf("wire: group %d log replay: %w", gc.ID, err)
+		}
+	}
+
 	// Delivery stream: hash the total order, feed the delivery log
 	// (online order/duplicate checking + latency for our own messages),
 	// measure cross-process latency and inter-delivery gaps, and dump
@@ -162,6 +210,18 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 	g.e.OnDeliver = func(at seq.NodeID, d *msg.Data) {
 		g.oh.Note(d.GlobalSeq, d.SourceNode, d.LocalSeq)
 		g.e.Log.Deliver(uint32(at), d.GlobalSeq, d.SourceNode, d.LocalSeq, g.net.Now())
+		if g.dlog != nil {
+			err := g.dlog.Append(store.Record{
+				Global: d.GlobalSeq, Source: d.SourceNode, Local: d.LocalSeq, Payload: d.Payload,
+			})
+			if err == nil && g.syncEach {
+				err = g.dlog.Sync()
+			}
+			if err != nil && g.storeErr == nil {
+				g.storeErr = err
+				fmt.Fprintf(os.Stderr, "wire: group %d durable log: %v\n", g.gid, err)
+			}
+		}
 		g.delivered++
 		if g.ms != nil && g.ms.Lame() {
 			g.lameDeliveries++ // must stay 0: the lame ring is read-only
@@ -192,6 +252,27 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 		}
 	}
 
+	// Really-lost bodies — the engine gave up repair and inserted a
+	// loss marker to keep the stream moving — are tombstoned in the
+	// member's dead-letter queue for offline inspection and replay.
+	// Peers' verdicts applied via Skip land here too, so every member
+	// records the same holes it actually has.
+	if g.dlq != nil {
+		g.e.OnLost = func(at seq.NodeID, gl seq.GlobalSeq, src seq.NodeID, local seq.LocalSeq, reason string) {
+			if at != g.self {
+				return
+			}
+			err := g.dlq.Add(store.DLQEntry{
+				Global: gl, Source: src, Local: local, Reason: reason,
+				WallNS: time.Now().UnixNano(),
+			})
+			if err != nil && g.storeErr == nil {
+				g.storeErr = err
+				fmt.Fprintf(os.Stderr, "wire: group %d dead-letter queue: %v\n", g.gid, err)
+			}
+		}
+	}
+
 	g.drv = NewDriver(g.sched)
 	g.br = NewBridge(g.drv, nd.ob, g.net, g.self, g.gid)
 	g.peers = make([]seq.NodeID, 0, len(g.members)-1)
@@ -203,15 +284,18 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 	g.br.Expose(g.peers)
 	for _, p := range cfg.Peers {
 		if p.Addr == "" {
+			g.closeStore()
 			g.closeTrace()
 			return nil, fmt.Errorf("wire: peer %d has no address", p.Node)
 		}
 		if err := g.port.AddPeer(seq.NodeID(p.Node), p.Addr); err != nil {
+			g.closeStore()
 			g.closeTrace()
 			return nil, err
 		}
 	}
 	if err := g.e.StartLocal(g.self); err != nil {
+		g.closeStore()
 		g.closeTrace()
 		return nil, err
 	}
@@ -237,6 +321,16 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 		}
 		g.ms = NewMembership(g.e, g.port, g.br, g.self, nd.LocalAddr(), tun, initial, ringID, seeds)
 		g.ms.OrderHash = g.oh.Sum64 // RingSummary/MergeReq carry the live order fingerprint
+		if g.dlog != nil {
+			// Ask the coordinator to resume at the recovered durable
+			// front instead of joining fresh at the quorum baseline.
+			g.ms.ResumeFront = g.dlog.RecoveredFront()
+		}
+		g.ms.OnDiscarded = func(lo, hi seq.GlobalSeq) {
+			g.discLo, g.discHi = lo, hi
+			fmt.Fprintf(os.Stderr, "wire: node %d group %d discarded globals [%d, %d]: durable front below the resume horizon, rejoining fresh at the baseline\n",
+				cfg.Node, g.gid, lo, hi)
+		}
 		if os.Getenv("RINGNET_MEMBER_TRACE") != "" {
 			g.ms.Trace = func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "member[%d/g%d@%v]: %s\n", cfg.Node, g.gid,
@@ -299,6 +393,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 		}
 	}
 	if err := nd.tr.Register(g.gid, hooks); err != nil {
+		g.closeStore()
 		g.closeTrace()
 		return nil, err
 	}
@@ -361,7 +456,12 @@ func (g *ringGroup) start() {
 			src.CBR(g.sched.Now()+sim.Time(gc.StartMS)*sim.Millisecond, gap, gc.Count)
 		}
 		if g.ms != nil {
-			g.ms.OnJoined = func(baseline seq.GlobalSeq) { startWorkload() }
+			g.ms.OnJoined = func(baseline, resumed seq.GlobalSeq) {
+				if resumed > 0 {
+					g.resumedAt = resumed
+				}
+				startWorkload()
+			}
 			g.ms.OnEvicted = func() {
 				if src != nil {
 					src.Stop()
@@ -371,6 +471,23 @@ func (g *ringGroup) start() {
 		}
 		if !gc.Join {
 			startWorkload()
+		}
+
+		// Batched durability: dirty appends ride one fsync per flush
+		// window instead of one per delivery. Sync is a no-op while the
+		// log is clean, so idle groups cost nothing.
+		if g.dlog != nil && !g.syncEach {
+			flush := sim.Time(cfg.FlushMS) * sim.Millisecond
+			g.sched.Every(flush, func() {
+				var err error
+				if err = g.dlog.Sync(); err == nil && g.dlq != nil {
+					err = g.dlq.Sync()
+				}
+				if err != nil && g.storeErr == nil {
+					g.storeErr = err
+					fmt.Fprintf(os.Stderr, "wire: group %d durable log sync: %v\n", g.gid, err)
+				}
+			})
 		}
 
 		livePeers := func() []seq.NodeID {
@@ -630,6 +747,26 @@ func (g *ringGroup) run(deadline <-chan struct{}) (GroupReport, error) {
 			rep.HealUS = int64(g.ms.HealLatency() / sim.Microsecond)
 			g.ms.Stop()
 		}
+		// Durable-plane summary, plus a final fsync so the report never
+		// claims more than the disk holds.
+		rep.ResumedAt = uint64(g.resumedAt)
+		if g.dlog != nil {
+			if err := g.dlog.Sync(); err != nil && g.storeErr == nil {
+				g.storeErr = err
+			}
+		}
+		if g.dlq != nil {
+			if err := g.dlq.Sync(); err != nil && g.storeErr == nil {
+				g.storeErr = err
+			}
+			rep.DLQEntries = g.dlq.Len()
+		}
+		if g.discLo > 0 && g.discLo <= g.discHi {
+			rep.DiscardedRange = &SeqRange{Lo: uint64(g.discLo), Hi: uint64(g.discHi)}
+		}
+		if g.storeErr != nil {
+			rep.StoreErr = g.storeErr.Error()
+		}
 		// Flush the trace while serialized with OnDeliver; the file
 		// handle is closed at federation teardown.
 		if g.trace != nil {
@@ -660,5 +797,19 @@ func (g *ringGroup) closeTrace() {
 	if g.traceFile != nil {
 		g.traceFile.Close()
 		g.traceFile = nil
+	}
+}
+
+// closeStore syncs and closes the group's durable log and dead-letter
+// queue. Idempotent; call only after the group's driver has stopped (or
+// before it starts).
+func (g *ringGroup) closeStore() {
+	if g.dlog != nil {
+		g.dlog.Close()
+		g.dlog = nil
+	}
+	if g.dlq != nil {
+		g.dlq.Close()
+		g.dlq = nil
 	}
 }

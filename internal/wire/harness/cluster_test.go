@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -603,4 +605,244 @@ func TestClusterPartitionHeal(t *testing.T) {
 	}
 	t.Logf("partition healed: %d matrix drops, %d merge epochs, worst heal latency %dus, %d-line common trace",
 		matrixDrops, merges, healUS, len(ref))
+}
+
+// TestClusterRestartResumesAtDurableFront is the durability acceptance
+// test: a member of a live 4-process cluster runs with a data_dir, is
+// SIGKILLed mid-stream, and is respawned against the same directory
+// while the stream is still flowing. The restarted process must recover
+// its durable front from the on-disk log, rejoin through the resume
+// path (not a baseline fresh join), backfill exactly the globals it
+// missed while dead, and converge to the cluster's order hash with a
+// trace byte-identical to the steady members' — the recovered prefix
+// and the resumed suffix splice into one stream with no duplicate and
+// no missing delivery.
+func TestClusterRestartResumesAtDurableFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process restart cluster in -short")
+	}
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "node4-data")
+	members, err := Run(Options{
+		Nodes:       4,
+		Count:       1300,
+		RateHz:      100,
+		Payload:     48,
+		Loss:        0.01,
+		JitterUS:    1000,
+		Seed:        31,
+		StartMS:     300,
+		DeadlineMS:  90000,
+		Live:        true,
+		HeartbeatMS: 150,
+		SuspectMS:   2500, // must exceed worst-case process spawn stagger under CI load
+		IdleMS:      1500,
+		Trace:       true,
+		Specs: map[int]Spec{
+			// Killed mid-stream at 2.5s, respawned at 8s: the eviction
+			// (suspect + quorum) completes in between, and the ~5.5s dead
+			// window costs ~1650 globals — well inside the resume horizon
+			// (3/4 of the 4096-slot retained window), so the coordinator
+			// must grant a resume, not a fresh baseline join.
+			3: {KillAfterMS: 2500, RestartAfterMS: 8000, DataDir: dataDir},
+		},
+		Dir:     dir,
+		Command: selfExec(t),
+	})
+	if err != nil {
+		t.Fatalf("cluster failed: %v", err)
+	}
+	for _, m := range members {
+		r := m.Report
+		if !r.Converged {
+			t.Fatalf("member %v did not converge: %+v\nstderr: %s", m.ID, r, m.Stderr)
+		}
+		if r.Single().OrderErr != "" {
+			t.Fatalf("member %v order violation: %s", m.ID, r.Single().OrderErr)
+		}
+		if r.Single().StoreErr != "" {
+			t.Fatalf("member %v durable-plane error: %s", m.ID, r.Single().StoreErr)
+		}
+		if r.Single().OrderHash != members[0].Report.Single().OrderHash {
+			t.Fatalf("order diverged: member %v hash %s, member %v hash %s",
+				m.ID, r.Single().OrderHash, members[0].ID, members[0].Report.Single().OrderHash)
+		}
+	}
+	rr := members[3].Report.Single()
+	if rr.ResumedAt == 0 {
+		t.Fatalf("restarted member joined fresh, not via resume: %+v\nstderr: %s", rr, members[3].Stderr)
+	}
+	if lo, hi, ok := members[3].Report.Single().Discarded(); ok {
+		t.Fatalf("restarted member discarded [%d, %d] — the gap was inside the horizon and must be repaired", lo, hi)
+	}
+	// No redelivery of the recovered prefix: the second incarnation's
+	// first delivery is exactly the durable front's successor.
+	if rr.FirstGlobal != rr.ResumedAt+1 {
+		t.Fatalf("restarted member first delivery %d, want resume front %d + 1", rr.FirstGlobal, rr.ResumedAt)
+	}
+	if rr.Epoch < 3 {
+		t.Fatalf("restarted member final epoch %d — bootstrap, eviction, and rejoin make at least 3", rr.Epoch)
+	}
+	// The trace must be the full stream: recovered prefix replayed from
+	// the log, then the resumed suffix — byte-identical to a steady
+	// member's trace, not just a tail of it.
+	ref := readTrace(t, members[0].TracePath)
+	rt := readTrace(t, members[3].TracePath)
+	if len(rt) != len(ref) {
+		t.Fatalf("restarted member trace %d lines, steady member %d", len(rt), len(ref))
+	}
+	for i := range ref {
+		if rt[i] != ref[i] {
+			t.Fatalf("restarted member trace diverged at line %d: %q vs %q", i, rt[i], ref[i])
+		}
+	}
+	// The on-disk log must agree with the report: its recovered front is
+	// the member's last delivered global.
+	dl, err := store.OpenFileLog(filepath.Join(dataDir, "g1"), store.FileLogOptions{})
+	if err != nil {
+		t.Fatalf("reopen durable log: %v", err)
+	}
+	defer dl.Close()
+	if got, want := uint64(dl.RecoveredFront()), rr.LastGlobal; got != want {
+		t.Fatalf("durable log front %d, report last global %d", got, want)
+	}
+	t.Logf("restarted member: resumed_at=%d first=%d last=%d epoch=%d dlq=%d trace=%d lines",
+		rr.ResumedAt, rr.FirstGlobal, rr.LastGlobal, rr.Epoch, rr.DLQEntries, len(rt))
+}
+
+// TestClusterReallyLostLandsInDLQ forces the really-lost path on the
+// wire and checks the dead-letter plumbing end to end. Orderings and
+// bodies share every ring link (the token follows the same successor
+// chain the data stream does), so datagram drops can never starve the
+// ring of one member's bodies without also stopping its orderings; the
+// body-targeted drop matrix can. From 600ms on, every survivor strips
+// member 4's payloads out of whatever frames carry them, so its bodies
+// never replicate — while the circulating token keeps assigning them
+// global slots and spreading those assignments ring-wide. Killing 4
+// then destroys the only copies: the survivors hold assigned,
+// body-less slots with no live holder, must give the repair up under
+// the really-lost rule once 4 is evicted, keep one identical total
+// order, and tombstone the lost globals in their on-disk DLQs. The
+// DLQ must then round-trip: entries listed, replayed exactly once past
+// a durable cursor, purged clean.
+func TestClusterReallyLostLandsInDLQ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos cluster in -short")
+	}
+	dir := t.TempDir()
+	dataDirs := map[int]string{}
+	specs := map[int]Spec{
+		3: {KillAfterMS: 800},
+	}
+	// The strip window must CLOSE between the victim's death and its
+	// eviction: receiver uptime clocks skew by the spawn stagger, so a
+	// body can slip to one survivor before its window opens — and a
+	// window left open forever would let that survivor deliver a
+	// global its peers (unable to ever receive his repair answers)
+	// tombstone, wedging the convergence barrier on divergent hashes.
+	// Closed in time, live-held stragglers repair everywhere before
+	// anyone may give up, and only bodies NO live member holds are
+	// tombstoned — which is the really-lost semantics being tested.
+	for i := 0; i < 3; i++ {
+		dataDirs[i] = filepath.Join(dir, fmt.Sprintf("node%d-data", i+1))
+		specs[i] = Spec{
+			DataDir: dataDirs[i],
+			Drops:   []wire.DropRule{{DataSource: 4, FromMS: 600, UntilMS: 2500, Prob: 1}},
+		}
+	}
+	members, err := Run(Options{
+		Nodes:       4,
+		Count:       450,
+		RateHz:      150,
+		Payload:     48,
+		Loss:        0.01,
+		JitterUS:    1000,
+		Seed:        43,
+		StartMS:     300,
+		DeadlineMS:  90000,
+		Live:        true,
+		HeartbeatMS: 150,
+		SuspectMS:   3000,
+		IdleMS:      1500,
+		Specs:       specs,
+		Dir:         dir,
+		Command:     selfExec(t),
+	})
+	if err != nil {
+		t.Fatalf("cluster failed: %v", err)
+	}
+	if !members[3].Killed {
+		t.Fatal("member 4 was not killed as specified")
+	}
+	totalDLQ := 0
+	for i := 0; i < 3; i++ {
+		r := members[i].Report
+		if !r.Converged {
+			t.Fatalf("survivor %v did not converge: %+v\nstderr: %s", members[i].ID, r, members[i].Stderr)
+		}
+		if r.Single().OrderErr != "" {
+			t.Fatalf("survivor %v order violation: %s", members[i].ID, r.Single().OrderErr)
+		}
+		if r.Single().StoreErr != "" {
+			t.Fatalf("survivor %v durable-plane error: %s", members[i].ID, r.Single().StoreErr)
+		}
+		if r.Single().OrderHash != members[0].Report.Single().OrderHash {
+			t.Fatalf("survivors diverged: member %v hash %s, member %v hash %s",
+				members[i].ID, r.Single().OrderHash, members[0].ID, members[0].Report.Single().OrderHash)
+		}
+		totalDLQ += r.Single().DLQEntries
+		t.Logf("survivor %v: delivered=%d dlq_entries=%d epoch=%d",
+			members[i].ID, r.Delivered, r.Single().DLQEntries, r.Single().Epoch)
+	}
+	if totalDLQ == 0 {
+		t.Fatal("no survivor tombstoned a really-lost message — the forced give-up scenario never fired")
+	}
+
+	// Round-trip the on-disk queue of a survivor that recorded losses —
+	// the same store calls the ringnet-dlq CLI wraps.
+	for i := 0; i < 3; i++ {
+		if members[i].Report.Single().DLQEntries == 0 {
+			continue
+		}
+		q, err := store.OpenDLQ(filepath.Join(dataDirs[i], "g1"))
+		if err != nil {
+			t.Fatalf("reopen survivor %d DLQ: %v", i+1, err)
+		}
+		if got, want := q.Len(), members[i].Report.Single().DLQEntries; got != want {
+			t.Fatalf("survivor %d DLQ holds %d entries on disk, report says %d", i+1, got, want)
+		}
+		entries, err := q.Entries()
+		if err != nil {
+			t.Fatalf("survivor %d DLQ entries: %v", i+1, err)
+		}
+		for _, e := range entries {
+			// Source 0 = the assignment itself died with the victims
+			// (hard-tier give-up on an unresolvable slot).
+			if e.Global == 0 || (e.Source != 4 && e.Source != 0) {
+				t.Fatalf("survivor %d tombstone names global %d source %d — only the doomed member's stream can be really lost here", i+1, e.Global, e.Source)
+			}
+			switch e.Reason {
+			case "give-up", "front-gap", "skip":
+			default:
+				t.Fatalf("survivor %d tombstone has unknown reason %q", i+1, e.Reason)
+			}
+		}
+		replayed := 0
+		n, err := q.Replay(func(store.DLQEntry) error { replayed++; return nil })
+		if err != nil || n != len(entries) || replayed != n {
+			t.Fatalf("survivor %d replay: n=%d replayed=%d err=%v, want %d", i+1, n, replayed, err, len(entries))
+		}
+		if n, err = q.Replay(func(store.DLQEntry) error { return nil }); err != nil || n != 0 {
+			t.Fatalf("survivor %d second replay emitted %d entries (err=%v) — the cursor did not hold", i+1, n, err)
+		}
+		if err := q.Purge(); err != nil {
+			t.Fatalf("survivor %d purge: %v", i+1, err)
+		}
+		if q.Len() != 0 || q.Cursor() != 0 {
+			t.Fatalf("survivor %d purge left %d entries, cursor %d", i+1, q.Len(), q.Cursor())
+		}
+		q.Close()
+		t.Logf("survivor %d: %d tombstones listed, replayed once, purged", i+1, len(entries))
+		break
+	}
 }

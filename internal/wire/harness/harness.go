@@ -47,10 +47,27 @@ type Spec struct {
 	// TermAfterMS sends SIGTERM this long after the process started —
 	// the graceful-leave path.
 	TermAfterMS int64
+	// RestartAfterMS respawns the member this long after its original
+	// start, with the same config and the same inherited socket — the
+	// crash-restart path. Requires KillAfterMS (the first incarnation
+	// must be dead first) with RestartAfterMS > KillAfterMS. The
+	// restarted process joins as a fresh epoch member (give it a
+	// DataDir to exercise durable resume) and produces the member's
+	// report; the killed first incarnation's silence is expected.
+	RestartAfterMS int64
+	// DataDir is the member's durability root: every hosted group
+	// persists its ordered delivery log and dead-letter queue under
+	// DataDir/g<ID> and recovers its durable front from it on restart.
+	DataDir string
 	// Count overrides the member's sourced message count (every hosted
 	// group inherits it): 0 inherits the cluster default, negative means
 	// source nothing.
 	Count int
+	// Drops installs extra inbound drop rules on this member — the
+	// asymmetric sibling of Options.Splits, for chaos shapes a symmetric
+	// cut cannot express (e.g. every survivor drops a doomed member's
+	// datagrams so its unrepaired tail becomes really lost).
+	Drops []wire.DropRule
 	// Groups holds per-(member, group) overrides for multi-group runs
 	// (Options.Groups), keyed by group id. They take precedence over the
 	// member-level fields above.
@@ -200,10 +217,21 @@ func Run(opts Options) ([]Member, error) {
 
 	members := make([]Member, n)
 	cfgPaths := make([]string, n)
+	restartPaths := make([]string, n)
 	for i := 0; i < n; i++ {
 		spec := opts.Specs[i]
 		if spec.Join && !opts.Live {
 			return nil, fmt.Errorf("harness: member %d joins but Options.Live is off", i+1)
+		}
+		if spec.RestartAfterMS > 0 {
+			switch {
+			case !opts.Live:
+				return nil, fmt.Errorf("harness: member %d restarts but Options.Live is off", i+1)
+			case spec.KillAfterMS <= 0:
+				return nil, fmt.Errorf("harness: member %d: RestartAfterMS requires KillAfterMS (the first incarnation must die first)", i+1)
+			case spec.RestartAfterMS <= spec.KillAfterMS:
+				return nil, fmt.Errorf("harness: member %d: RestartAfterMS (%d) must exceed KillAfterMS (%d)", i+1, spec.RestartAfterMS, spec.KillAfterMS)
+			}
 		}
 		cfg := wire.Config{
 			Node:        uint32(i + 1),
@@ -227,6 +255,7 @@ func Run(opts Options) ([]Member, error) {
 		} else if spec.Count < 0 {
 			cfg.Count = 0
 		}
+		cfg.DataDir = spec.DataDir
 		if len(opts.Groups) > 0 {
 			// Schema v2: one entry per hosted group, with per-(member,
 			// group) overrides folded in. Group fields left zero inherit
@@ -255,6 +284,7 @@ func Run(opts Options) ([]Member, error) {
 			cfg.Group = 1
 			cfg.Join = spec.Join
 		}
+		cfg.DropRules = append(cfg.DropRules, spec.Drops...)
 		for _, sw := range opts.Splits {
 			if !opts.Live {
 				return nil, fmt.Errorf("harness: Splits require Options.Live")
@@ -291,14 +321,41 @@ func Run(opts Options) ([]Member, error) {
 		if err := os.WriteFile(cfgPaths[i], b, 0o644); err != nil {
 			return nil, err
 		}
+		if spec.RestartAfterMS > 0 {
+			// The restarted incarnation rejoins the running ring in join
+			// mode (its bootstrap peers are the seeds) and sources
+			// nothing: its local-sequence space was consumed by the
+			// killed incarnation and is not recovered, so re-sourcing
+			// would collide with the peers' high-water marks. Same
+			// DataDir, so it recovers the durable front and asks to
+			// resume there; same TracePath — the recovered prefix is
+			// replayed into the fresh trace, so the final file is the
+			// full stream, not just the second incarnation's suffix.
+			rc := cfg
+			if len(rc.Groups) > 0 {
+				gs := make([]wire.GroupConfig, len(rc.Groups))
+				copy(gs, rc.Groups)
+				for gi := range gs {
+					gs[gi].Join = true
+					gs[gi].Count = -1
+				}
+				rc.Groups = gs
+			} else {
+				rc.Join = true
+				rc.Count = -1
+			}
+			rb, err := json.MarshalIndent(rc, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			restartPaths[i] = filepath.Join(opts.Dir, fmt.Sprintf("node%d.restart.json", i+1))
+			if err := os.WriteFile(restartPaths[i], rb, 0o644); err != nil {
+				return nil, err
+			}
+		}
 	}
 
-	type proc struct {
-		cmd      *exec.Cmd
-		out, err *bytes.Buffer
-		started  chan struct{} // closed once cmd.Start returned (ok or not)
-	}
-	procs := make([]proc, n)
+	procs := make([]*proc, n)
 	waitErr := make([]chan error, n)
 	// doom fires when any member fails to start: the cluster cannot
 	// succeed, so every started member is killed instead of burning the
@@ -312,26 +369,43 @@ func Run(opts Options) ([]Member, error) {
 		cmd := opts.Command(cfgPaths[i])
 		f := files[i]
 		files[i] = nil // the spawner goroutine owns it now
+		var restartF *os.File
+		if spec.RestartAfterMS > 0 {
+			// Keep a second dup of the bound socket for the restarted
+			// incarnation: the binding must survive the first process's
+			// death or the respawn would race other tests for the port.
+			rf, err := dupFile(f)
+			if err != nil {
+				return nil, fmt.Errorf("harness: dup member %d restart socket: %w", i+1, err)
+			}
+			restartF = rf
+		}
 		cmd.ExtraFiles = []*os.File{f}
 		var out, errb bytes.Buffer
 		cmd.Stdout = &out
 		cmd.Stderr = &errb
-		procs[i] = proc{cmd: cmd, out: &out, err: &errb, started: make(chan struct{})}
+		p := &proc{out: &out, err: &errb, started: make(chan struct{})}
+		p.cur = cmd
+		procs[i] = p
 		ch := make(chan error, 1)
 		waitErr[i] = ch
-		if spec.KillAfterMS > 0 {
+		if spec.KillAfterMS > 0 && spec.RestartAfterMS == 0 {
 			members[i].Killed = true
 		}
 		wg.Add(1)
-		go func(i int, spec Spec, cmd *exec.Cmd, f *os.File, started chan struct{}, ch chan error) {
+		go func(i int, spec Spec, cmd *exec.Cmd, f, restartF *os.File, p *proc, ch chan error) {
 			defer wg.Done()
 			if spec.StartAfterMS > 0 {
 				time.Sleep(time.Duration(spec.StartAfterMS) * time.Millisecond)
 			}
+			start0 := time.Now()
 			err := cmd.Start()
-			close(started)
+			close(p.started)
 			if err != nil {
 				f.Close()
+				if restartF != nil {
+					restartF.Close()
+				}
 				ch <- fmt.Errorf("harness: start member %d: %w", i+1, err)
 				doomOnce.Do(func() { close(doom) })
 				return
@@ -347,16 +421,47 @@ func Run(opts Options) ([]Member, error) {
 					cmd.Process.Signal(syscall.SIGTERM)
 				})
 			}
-			ch <- cmd.Wait()
-		}(i, spec, cmd, f, procs[i].started, ch)
+			werr := cmd.Wait()
+			if restartF == nil {
+				ch <- werr
+				return
+			}
+			// Crash-restart: the first incarnation died by our SIGKILL
+			// (its exit error is expected); respawn at the scheduled
+			// offset with the join-mode restart config and the kept
+			// socket dup. The member's report comes from this one.
+			if d := time.Until(start0.Add(time.Duration(spec.RestartAfterMS) * time.Millisecond)); d > 0 {
+				time.Sleep(d)
+			}
+			cmd2 := opts.Command(restartPaths[i])
+			cmd2.ExtraFiles = []*os.File{restartF}
+			cmd2.Stdout = p.out
+			cmd2.Stderr = p.err
+			ok, err := p.adoptStart(cmd2)
+			restartF.Close()
+			switch {
+			case !ok:
+				ch <- fmt.Errorf("harness: member %d killed before its restart", i+1)
+				return
+			case err != nil:
+				ch <- fmt.Errorf("harness: restart member %d: %w", i+1, err)
+				doomOnce.Do(func() { close(doom) })
+				return
+			}
+			ch <- cmd2.Wait()
+		}(i, spec, cmd, f, restartF, p, ch)
 	}
 
 	// Join all members, bounded by the run deadline plus startup delays
-	// and teardown slack.
+	// and teardown slack. A restarted member's deadline clock begins at
+	// its respawn, so the restart offset is slack too.
 	var maxDelay int64
 	for _, s := range opts.Specs {
 		if s.StartAfterMS > maxDelay {
 			maxDelay = s.StartAfterMS
+		}
+		if s.RestartAfterMS > maxDelay {
+			maxDelay = s.RestartAfterMS
 		}
 	}
 	limit := time.Duration(opts.DeadlineMS+maxDelay)*time.Millisecond + 15*time.Second
@@ -367,9 +472,7 @@ func Run(opts Options) ([]Member, error) {
 			j := j
 			go func() {
 				<-procs[j].started
-				if p := procs[j].cmd.Process; p != nil {
-					p.Kill() // no-op error on already-exited members
-				}
+				procs[j].kill() // no-op error on already-exited members
 			}()
 		}
 	}()
@@ -389,9 +492,7 @@ func Run(opts Options) ([]Member, error) {
 			// process handle (bounded by StartAfterMS, already inside
 			// the limit): an unsynchronized read would race cmd.Start.
 			<-procs[i].started
-			if p := procs[i].cmd.Process; p != nil {
-				p.Kill()
-			}
+			procs[i].kill()
 			members[i].Err = fmt.Errorf("harness: member %d exceeded %v; killed", i+1, limit)
 			<-waitErr[i]
 		}
@@ -410,6 +511,57 @@ func Run(opts Options) ([]Member, error) {
 	}
 	wg.Wait()
 	return members, firstErr
+}
+
+// proc supervises one member slot across its incarnations: cur is the
+// slot's live process (the restart path swaps it), and a kill — doom,
+// shared deadline — marks the slot doomed so a not-yet-spawned restart
+// aborts instead of outliving the run.
+type proc struct {
+	out, err *bytes.Buffer
+	started  chan struct{} // closed once the FIRST cmd.Start returned (ok or not)
+
+	mu     sync.Mutex
+	cur    *exec.Cmd
+	doomed bool
+}
+
+// adoptStart starts and installs the next incarnation under the slot
+// lock, so a concurrent kill either precedes the spawn (ok=false,
+// nothing started) or sees the new process and kills it — a restart
+// can never slip through a closing deadline and outlive the run.
+func (p *proc) adoptStart(c *exec.Cmd) (ok bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.doomed {
+		return false, nil
+	}
+	if err := c.Start(); err != nil {
+		return true, err
+	}
+	p.cur = c
+	return true, nil
+}
+
+// kill dooms the slot and kills its live incarnation, if any.
+func (p *proc) kill() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.doomed = true
+	if p.cur != nil && p.cur.Process != nil {
+		p.cur.Process.Kill()
+	}
+}
+
+// dupFile duplicates an inheritable file descriptor (the socket dup a
+// restarted member will receive as fd 3).
+func dupFile(f *os.File) (*os.File, error) {
+	fd, err := syscall.Dup(int(f.Fd()))
+	if err != nil {
+		return nil, err
+	}
+	syscall.CloseOnExec(fd)
+	return os.NewFile(uintptr(fd), f.Name()), nil
 }
 
 func containsIndex(s []int, i int) bool {

@@ -191,6 +191,10 @@ type Membership struct {
 	pendingLeave map[seq.NodeID]bool
 	pendingJoin  map[seq.NodeID]string
 	pendingMerge map[seq.NodeID]string
+	// pendingJoinFront remembers the durable front each staged joiner
+	// offered in its JoinReq, for resume-grant evaluation at proposal
+	// build time.
+	pendingJoinFront map[seq.NodeID]seq.GlobalSeq
 
 	// Partition-heal state.
 	graves      map[seq.NodeID]string // evicted id → last known address
@@ -209,9 +213,23 @@ type Membership struct {
 	lastTokenSignal sim.Time
 	ticker          *sim.Ticker
 
+	// ResumeFront, when non-zero, is the durable delivery front this
+	// node recovered from its on-disk log. Joiners offer it in their
+	// JoinReq; the coordinator grants resumption when the gap up to its
+	// own front still fits in the ring's retained repair windows.
+	ResumeFront seq.GlobalSeq
+
 	// OnJoined fires (on the driver goroutine) when a joiner's first
-	// RingUpdate splices it into the ring, with the stream baseline.
-	OnJoined func(baseline seq.GlobalSeq)
+	// RingUpdate splices it into the ring. baseline is the stream
+	// baseline the epoch carried; resumed is non-zero when the
+	// coordinator granted resumption at this node's own durable front
+	// (delivery continues from resumed+1, with the gap
+	// (resumed, baseline] backfilled by Nack repair).
+	OnJoined func(baseline, resumed seq.GlobalSeq)
+	// OnDiscarded fires when this node abandoned an unrepairable range
+	// of the stream: a fresh (re)join or below-horizon merge skipped
+	// globals [lo, hi] that no live member retains.
+	OnDiscarded func(lo, hi seq.GlobalSeq)
 	// OnEvicted fires when an update excludes this node (graceful leave
 	// or eviction) — time to drain and exit.
 	OnEvicted func()
@@ -243,18 +261,19 @@ func NewMembership(e *core.Engine, tr *Port, br *Bridge, self seq.NodeID, selfAd
 	cfg MemberTunables, members map[seq.NodeID]string, ringID topology.RingID, seeds []PeerAddr) *Membership {
 	m := &Membership{
 		e: e, tr: tr, br: br, self: self, addr: selfAddr, cfg: cfg,
-		members:      make(map[seq.NodeID]string),
-		det:          membership.NewDetector(cfg.Suspect),
-		peerEpoch:    make(map[seq.NodeID]uint64),
-		pendingLeave: make(map[seq.NodeID]bool),
-		pendingJoin:  make(map[seq.NodeID]string),
-		pendingMerge: make(map[seq.NodeID]string),
-		graves:       make(map[seq.NodeID]string),
-		lastSummary:  make(map[seq.NodeID]sim.Time),
-		resend:       make(map[seq.NodeID]*resendState),
-		rng:          sim.NewRNG(uint64(self)),
-		ringID:       ringID,
-		seeds:        seeds,
+		members:          make(map[seq.NodeID]string),
+		det:              membership.NewDetector(cfg.Suspect),
+		peerEpoch:        make(map[seq.NodeID]uint64),
+		pendingLeave:     make(map[seq.NodeID]bool),
+		pendingJoin:      make(map[seq.NodeID]string),
+		pendingMerge:     make(map[seq.NodeID]string),
+		pendingJoinFront: make(map[seq.NodeID]seq.GlobalSeq),
+		graves:           make(map[seq.NodeID]string),
+		lastSummary:      make(map[seq.NodeID]sim.Time),
+		resend:           make(map[seq.NodeID]*resendState),
+		rng:              sim.NewRNG(uint64(self)),
+		ringID:           ringID,
+		seeds:            seeds,
 	}
 	if len(members) > 0 {
 		m.epoch = 1
@@ -460,8 +479,9 @@ func (m *Membership) tick() {
 	}
 	now := m.e.Net.Now()
 	if !m.joined {
-		// Joiner: solicit membership from every seed.
-		jr := &msg.JoinReq{Group: m.e.Group, Node: m.self, Addr: m.addr}
+		// Joiner: solicit membership from every seed, offering our
+		// durable front so the coordinator can grant a resume.
+		jr := &msg.JoinReq{Group: m.e.Group, Node: m.self, Addr: m.addr, Front: m.ResumeFront}
 		for _, s := range m.seeds {
 			m.tr.Send(seq.NodeID(s.Node), jr) // direct: we are nobody's netsim endpoint yet
 		}
@@ -524,11 +544,28 @@ func (m *Membership) updateLame(now sim.Time) {
 	}
 }
 
-// exitLame releases the read-only park and resumes delivery.
+// exitLame releases the read-only park and resumes delivery. When the
+// merge baseline has run more than the retained repair horizon past
+// this node's front, the gap can never be Nack-repaired — no live
+// member retains those bodies — so instead of grinding give-up rounds
+// forever the node rejoins FRESH at the quorum baseline, abandoning
+// the unrepairable range (reported through OnDiscarded).
 func (m *Membership) exitLame(now sim.Time, baseline seq.GlobalSeq) {
 	m.lame = false
 	m.lameTotal += now - m.lameSince
-	m.e.Readmit(m.self, baseline)
+	front := seq.GlobalSeq(0)
+	if q := m.e.QueueOf(m.self); q != nil {
+		front = q.Front()
+	}
+	if h := m.resumeHorizon(); baseline > front && h > 0 && baseline-front > h {
+		lo, hi := m.e.RejoinFresh(m.self, baseline)
+		m.trace("merge gap (%d, %d] exceeds retained horizon %d: rejoining fresh, range discarded", front, baseline, h)
+		if lo <= hi && m.OnDiscarded != nil {
+			m.OnDiscarded(lo, hi)
+		}
+	} else {
+		m.e.Readmit(m.self, baseline)
+	}
 	if m.healStartAt != 0 && m.healDoneAt == 0 {
 		m.healDoneAt = now
 	}
@@ -671,6 +708,15 @@ func (m *Membership) buildProposal(now sim.Time) *proposal {
 		next[n] = a
 	}
 	u := m.buildUpdateFor(number, next)
+	// Resume grants: a joiner whose durable front is close enough to
+	// the epoch baseline that every gap body is still inside the ring's
+	// retained repair windows may continue its log instead of
+	// restarting at the baseline.
+	for _, n := range sortedIDs(added) {
+		if f := m.pendingJoinFront[n]; f > 0 && f <= u.Baseline && u.Baseline-f <= m.resumeHorizon() {
+			u.Resume = append(u.Resume, msg.ResumeEntry{Node: n, Front: f})
+		}
+	}
 	if isMerge {
 		u.Merge = true
 		if te, _, ok := m.e.TokenStamp(m.self); ok {
@@ -725,6 +771,29 @@ func (m *Membership) refreshProposal(now sim.Time) {
 	m.trace("reproposing epoch %d: remove=%v add=%d merge=%v",
 		fresh.epoch, fresh.removed, len(fresh.added), fresh.isMerge)
 	m.checkQuorum()
+}
+
+// resumeHorizon bounds how far behind the coordinator's front a durable
+// log may be and still be repairable: members retain delivered bodies
+// for RetainExtra slots below their fronts, and ¾ of that leaves margin
+// for the stream advancing while the join handshake completes. A gap
+// beyond the horizon can never be Nack-repaired — the member rejoins
+// fresh at the baseline and the discarded range is reported.
+func (m *Membership) resumeHorizon() seq.GlobalSeq {
+	re := m.e.Cfg.RetainExtra
+	if re <= 0 {
+		return 0
+	}
+	return seq.GlobalSeq(re) * 3 / 4
+}
+
+func sortedIDs(set map[seq.NodeID]string) []seq.NodeID {
+	ids := make([]seq.NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 func sameDelta(a, b *proposal) bool {
@@ -868,6 +937,7 @@ func (m *Membership) commit(p *proposal) {
 	for n := range p.added {
 		delete(m.pendingJoin, n)
 		delete(m.pendingMerge, n)
+		delete(m.pendingJoinFront, n)
 	}
 	if p.hadDead {
 		m.Failovers++
@@ -1134,9 +1204,10 @@ func (m *Membership) handleJoinReq(jr *msg.JoinReq) {
 		return
 	}
 	if m.pendingJoin[jr.Node] == "" {
-		m.trace("staging join of %v for epoch %d", jr.Node, m.epoch+1)
+		m.trace("staging join of %v for epoch %d (durable front %d)", jr.Node, m.epoch+1, jr.Front)
 	}
 	m.pendingJoin[jr.Node] = jr.Addr
+	m.pendingJoinFront[jr.Node] = jr.Front
 	m.coordinate(m.e.Net.Now())
 }
 
@@ -1216,14 +1287,36 @@ func (m *Membership) applyUpdate(u *msg.RingUpdate) {
 	for _, ma := range u.Members {
 		delete(m.pendingJoin, ma.Node)
 		delete(m.pendingMerge, ma.Node)
+		delete(m.pendingJoinFront, ma.Node)
 	}
 	wasJoined := m.joined
 	wasLame := m.lame
 	m.joined = true
+	var resumed seq.GlobalSeq
 	if !wasJoined {
-		// Set the stream baseline before the splice makes this node a
-		// top-ring member: delivery starts at Baseline+1.
-		m.e.JumpTo(m.self, u.Baseline)
+		for _, re := range u.Resume {
+			if re.Node == m.self {
+				resumed = re.Front
+			}
+		}
+		if resumed > 0 {
+			// Resume grant: release the virgin MQ to our own durable
+			// front — delivery continues at resumed+1 and the gap up to
+			// the ring's live position backfills through Nack repair
+			// from the peers' retained windows.
+			m.trace("resuming at durable front %d (baseline %d)", resumed, u.Baseline)
+			m.e.JumpTo(m.self, resumed)
+		} else {
+			// Set the stream baseline before the splice makes this node
+			// a top-ring member: delivery starts at Baseline+1.
+			m.e.JumpTo(m.self, u.Baseline)
+			if f := m.ResumeFront; f > 0 && f < u.Baseline && m.OnDiscarded != nil {
+				// We held a durable log but the coordinator saw the gap
+				// as beyond the retained horizon: the range between our
+				// log and the baseline is gone for good.
+				m.OnDiscarded(f+1, u.Baseline)
+			}
+		}
 	}
 	m.applyLocal(u, removed)
 	if u.Merge {
@@ -1250,7 +1343,7 @@ func (m *Membership) applyUpdate(u *msg.RingUpdate) {
 			}
 		}
 		if m.OnJoined != nil {
-			m.OnJoined(u.Baseline)
+			m.OnJoined(u.Baseline, resumed)
 		}
 	}
 }

@@ -59,9 +59,45 @@ type GroupReport struct {
 	CrossLatN      int     `json:"cross_lat_n,omitempty"`
 	MaxGapMS       float64 `json:"max_gap_ms,omitempty"`
 
+	// Durable delivery plane (members running with a data_dir).
+	// ResumedAt is the durable front this member resumed at after a
+	// restart (0 = fresh join or no persistence): deliveries continued
+	// at ResumedAt+1 with the handshake gap backfilled from peers.
+	// DLQEntries counts the really-lost tombstones in the member's
+	// dead-letter queue at report time. DiscardedRange is the
+	// global-sequence range abandoned when the member's front fell
+	// below the resume horizon and it rejoined fresh at the quorum
+	// baseline (absent when nothing was discarded).
+	// StoreErr is the first durable-plane write/sync failure, if any —
+	// the run's delivery results still stand, but the disk state is
+	// suspect and a later resume from it may fall back to a fresh join.
+	ResumedAt      uint64    `json:"resumed_at,omitempty"`
+	DLQEntries     int       `json:"dlq_entries,omitempty"`
+	DiscardedRange *SeqRange `json:"discarded_range,omitempty"`
+	StoreErr       string    `json:"store_err,omitempty"`
+
 	// Control is the group's outbound control/data byte split (the
 	// simulator's gated metric, now measured over a real socket).
 	Control metrics.ControlReport `json:"control"`
+}
+
+// SeqRange is an inclusive global-sequence interval [Lo, Hi].
+type SeqRange struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// Resumed reports whether this member recovered a durable front and
+// re-entered the ring through the resume path rather than a fresh join.
+func (g *GroupReport) Resumed() bool { return g.ResumedAt > 0 }
+
+// Discarded returns the global-sequence range this member dropped on a
+// below-horizon fresh rejoin, or ok=false if nothing was discarded.
+func (g *GroupReport) Discarded() (lo, hi uint64, ok bool) {
+	if g.DiscardedRange == nil || g.DiscardedRange.Lo > g.DiscardedRange.Hi {
+		return 0, 0, false
+	}
+	return g.DiscardedRange.Lo, g.DiscardedRange.Hi, true
 }
 
 // Report is the daemon's stdout status report (schema v2): one entry per

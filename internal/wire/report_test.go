@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestGroupReportResumed(t *testing.T) {
+	var g GroupReport
+	if g.Resumed() {
+		t.Fatal("zero report claims a resume")
+	}
+	g.ResumedAt = 41
+	if !g.Resumed() {
+		t.Fatal("resumed_at 41 not reported as a resume")
+	}
+}
+
+func TestGroupReportDiscarded(t *testing.T) {
+	var g GroupReport
+	if _, _, ok := g.Discarded(); ok {
+		t.Fatal("zero report claims a discarded range")
+	}
+	g.DiscardedRange = &SeqRange{Lo: 7, Hi: 3}
+	if _, _, ok := g.Discarded(); ok {
+		t.Fatal("inverted range (7,3) reported as discarded")
+	}
+	g.DiscardedRange = &SeqRange{Lo: 3, Hi: 7}
+	lo, hi, ok := g.Discarded()
+	if !ok || lo != 3 || hi != 7 {
+		t.Fatalf("Discarded() = (%d, %d, %v), want (3, 7, true)", lo, hi, ok)
+	}
+	g.DiscardedRange = &SeqRange{Lo: 5, Hi: 5}
+	if lo, hi, ok = g.Discarded(); !ok || lo != 5 || hi != 5 {
+		t.Fatalf("single-slot range: Discarded() = (%d, %d, %v), want (5, 5, true)", lo, hi, ok)
+	}
+}
+
+// TestGroupReportDurableFieldsJSON pins the wire shape of the durable
+// delivery-plane fields: omitted entirely on a memory-only member, and
+// round-tripping losslessly when set.
+func TestGroupReportDurableFieldsJSON(t *testing.T) {
+	plain, err := json.Marshal(&GroupReport{OrderHash: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"resumed_at", "dlq_entries", "discarded_range", "store_err"} {
+		if containsKey(plain, key) {
+			t.Fatalf("memory-only report leaks %q: %s", key, plain)
+		}
+	}
+
+	in := GroupReport{
+		ResumedAt:      859,
+		DLQEntries:     27,
+		DiscardedRange: &SeqRange{Lo: 12, Hi: 4095},
+		StoreErr:       "sync seg-00000003.rlog: disk full",
+	}
+	b, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out GroupReport
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Resumed() || out.ResumedAt != in.ResumedAt || out.DLQEntries != in.DLQEntries || out.StoreErr != in.StoreErr {
+		t.Fatalf("durable fields did not round-trip: %+v", out)
+	}
+	if lo, hi, ok := out.Discarded(); !ok || lo != 12 || hi != 4095 {
+		t.Fatalf("discarded range did not round-trip: (%d, %d, %v)", lo, hi, ok)
+	}
+}
+
+func containsKey(b []byte, key string) bool {
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}

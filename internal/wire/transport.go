@@ -62,11 +62,21 @@ type Faults struct {
 // also cuts probe traffic from senders the ring has since evicted —
 // exactly what a partition severs. The harness writes symmetric rules on
 // both sides of a split to emulate a full network cut.
+//
+// DataSource, when nonzero, turns the rule body-targeted: instead of
+// cutting whole datagrams it strips every message body (msg.Data)
+// sourced by that member out of matching frames — whoever relayed it —
+// and lets everything else in the frame (token, acks, heartbeats,
+// Nacks) through. Token circulation and the data stream share every
+// ring link, so datagram-level drops can never separate orderings from
+// the bodies they order; a body-targeted rule is how chaos tests starve
+// the ring of one member's payloads while its assignments still spread.
 type DropRule struct {
-	From    uint32  `json:"from"`
-	FromMS  int64   `json:"from_ms"`
-	UntilMS int64   `json:"until_ms,omitempty"`
-	Prob    float64 `json:"prob"`
+	From       uint32  `json:"from"`
+	FromMS     int64   `json:"from_ms"`
+	UntilMS    int64   `json:"until_ms,omitempty"`
+	Prob       float64 `json:"prob"`
+	DataSource uint32  `json:"data_source,omitempty"`
 }
 
 // TransportConfig configures one UDP transport endpoint.
@@ -661,6 +671,30 @@ type delivery struct {
 // injected delay). Sections for unregistered groups are dropped and
 // counted — a late-starting group loses its early traffic to UDP
 // semantics but never wedges the reader.
+// stripBodies applies the body-targeted drop rules to one section's
+// messages: every msg.Data sourced by a rule's DataSource is removed
+// with the rule's probability, whoever relayed it. Caller holds t.mu.
+func (t *Transport) stripBodies(rules []DropRule, msgs []msg.Message) []msg.Message {
+	kept := msgs[:0]
+	for _, m := range msgs {
+		dropped := false
+		if d, ok := m.(*msg.Data); ok {
+			for _, r := range rules {
+				if seq.NodeID(r.DataSource) == d.SourceNode && (r.Prob >= 1 || t.rng.Bool(r.Prob)) {
+					dropped = true
+					break
+				}
+			}
+		}
+		if dropped {
+			t.matrixDrops++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	return kept
+}
+
 func (t *Transport) receive(pkt []byte) {
 	f, err := DecodeFrame(pkt)
 	t.mu.Lock()
@@ -675,6 +709,9 @@ func (t *Transport) receive(pkt []byte) {
 	}
 	// Drop matrix: partition emulation cuts the frame before the peer
 	// table, so probe traffic from already-evicted senders is severed too.
+	// Body-targeted rules (DataSource) never cut the frame; they collect
+	// here and strip matching payloads from the sections below.
+	var strips []DropRule
 	if len(t.drops) > 0 {
 		ms := time.Since(t.started).Milliseconds()
 		for _, r := range t.drops {
@@ -682,6 +719,10 @@ func (t *Transport) receive(pkt []byte) {
 				continue
 			}
 			if ms < r.FromMS || (r.UntilMS > 0 && ms >= r.UntilMS) {
+				continue
+			}
+			if r.DataSource != 0 {
+				strips = append(strips, r)
 				continue
 			}
 			if r.Prob >= 1 || t.rng.Bool(r.Prob) {
@@ -752,6 +793,12 @@ func (t *Transport) receive(pkt []byte) {
 		if !reg {
 			t.unknownGroupDrops++
 			continue
+		}
+		if len(strips) > 0 {
+			sec.Msgs = t.stripBodies(strips, sec.Msgs)
+			if len(sec.Msgs) == 0 && sec.Flags == 0 {
+				continue
+			}
 		}
 		p.st.RecvMsgs += uint64(len(sec.Msgs))
 		gs := t.groupStats[sec.Group]
