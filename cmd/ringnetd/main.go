@@ -52,6 +52,13 @@
 // unrecoverable range is reported. Really-lost messages (repair given
 // up ring-wide) are tombstoned in DIR/g<ID>/dlq.rlog; inspect them
 // with ringnet-dlq.
+//
+// With -admin ADDR the daemon serves a live observability endpoint:
+// /metrics (Prometheus text exposition of the protocol, transport, and
+// store registries), /status (the exit report's JSON schema, live),
+// /events (the bounded protocol event ring as NDJSON), /healthz and
+// /readyz probes, and net/http/pprof. -report-interval additionally
+// emits the live report line to stderr at a fixed period.
 package main
 
 import (
@@ -67,6 +74,8 @@ func main() {
 	var (
 		config  = flag.String("config", "", "path to the JSON ring config (required)")
 		dataDir = flag.String("data-dir", "", "durability root: each group persists its ordered delivery log and dead-letter queue under DIR/g<ID> and resumes from it on restart (overrides the config's data_dir)")
+		admin   = flag.String("admin", "", "serve the observability endpoint on this TCP address: /metrics (Prometheus text), /status (live JSON report), /events (protocol event ring, NDJSON), /healthz, /readyz, and pprof (overrides the config's admin)")
+		repIv   = flag.Duration("report-interval", 0, "emit the live JSON report line to stderr at this period while running, e.g. 2s (overrides the config's report_interval_ms)")
 		quiet   = flag.Bool("q", false, "suppress the human-readable summary on stderr")
 	)
 	flag.Parse()
@@ -80,6 +89,12 @@ func main() {
 	}
 	if *dataDir != "" {
 		cfg.DataDir = *dataDir
+	}
+	if *admin != "" {
+		cfg.Admin = *admin
+	}
+	if *repIv > 0 {
+		cfg.ReportIntervalMS = repIv.Milliseconds()
 	}
 	rep, err := wire.Run(cfg, os.Stdout)
 	if !*quiet {

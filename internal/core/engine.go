@@ -10,8 +10,45 @@ import (
 	"repro/internal/queue"
 	"repro/internal/seq"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
+
+// Telemetry is the engine's live-instrumentation bundle: a set of
+// possibly-nil instruments owned by an external registry (the wire
+// daemon's admin plane). Every instrument method is nil-receiver-safe,
+// so the zero value — what the simulator and benchmarks run with — is
+// fully inert: each instrumented site costs one predictable branch and
+// the protocol's behavior stays byte-identical. Set before Start.
+type Telemetry struct {
+	// Hot path: delivery front and token circulation. (Delivered bodies
+	// are counted by the wire layer's OnDeliver hook, where the count is
+	// defined to equal the trace-line count; the front gauge here also
+	// advances over really-lost gaps, which deliver nothing.)
+	Front         *telemetry.Gauge   // contiguous delivery front (global seq)
+	TokenHops     *telemetry.Counter // token forwards to the ring successor
+	TokenRegens   *telemetry.Counter // Token-Regeneration traversals started
+	TokenDestroys *telemetry.Counter // token copies swallowed (dup/park/filter)
+
+	// Repair escalation tiers: ranged Nacks to the predecessor,
+	// broadcast Nacks to the whole ring, Nacks served for peers, and
+	// really-lost verdicts (the give-up end of the escalation).
+	NacksRanged    *telemetry.Counter
+	NacksBroadcast *telemetry.Counter
+	NacksServed    *telemetry.Counter
+	ReallyLost     *telemetry.Counter
+
+	// Events receives slow-path protocol transitions (regens, parks,
+	// really-lost verdicts); nil outside the wire daemon.
+	Events *telemetry.Ring
+	Node   uint32 // stamped on emitted events
+	Group  uint32
+}
+
+// Emit records one protocol event (no-op when no ring is attached).
+func (t *Telemetry) Emit(typ string, value uint64, detail string) {
+	t.Events.Emit(telemetry.Event{Node: t.Node, Group: t.Group, Type: typ, Value: value, Detail: detail})
+}
 
 // MHIDOffset maps a HostID into the netsim NodeID space (MHs need network
 // identities for the AP↔MH wireless hop).
@@ -65,6 +102,10 @@ type Engine struct {
 	// routes these into the per-member dead-letter queue; the simulator
 	// leaves it nil.
 	OnLost func(at seq.NodeID, g seq.GlobalSeq, src seq.NodeID, local seq.LocalSeq, reason string)
+
+	// Tel is the live-instrumentation bundle; the zero value (simulator,
+	// benchmarks) is inert. Set before Start.
+	Tel Telemetry
 
 	started bool
 }
@@ -420,10 +461,11 @@ func (e *Engine) ParkToken(at seq.NodeID) {
 		return
 	}
 	ne.tokenParked = true
+	e.Tel.Emit("token-park", uint64(at), "")
 	if ne.held != nil {
 		ne.held = nil
 		ne.holding = false
-		ne.ctrTokenDestroys++
+		ne.countTokenDestroy()
 	}
 }
 

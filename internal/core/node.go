@@ -121,6 +121,13 @@ type NE struct {
 	ctrTokenDestroys uint64
 }
 
+// The count* taps bump a driver-confined counter and mirror it into the
+// engine's live instrument (a nil no-op outside the wire daemon).
+
+func (n *NE) countTokenForward() { n.ctrTokenForwards++; n.e.Tel.TokenHops.Inc() }
+func (n *NE) countTokenDestroy() { n.ctrTokenDestroys++; n.e.Tel.TokenDestroys.Inc() }
+func (n *NE) countRegen()        { n.ctrRegens++; n.e.Tel.TokenRegens.Inc() }
+
 type ackExpect struct {
 	active bool
 	epoch  uint64
@@ -333,7 +340,7 @@ func (n *NE) discardTokenBelow(epoch uint64) bool {
 	}
 	n.held = nil
 	n.holding = false
-	n.ctrTokenDestroys++
+	n.countTokenDestroy()
 	if n.tokenCourier.Busy() {
 		n.tokenCourier.Confirm()
 	}
@@ -385,6 +392,8 @@ func (n *NE) rejoinFresh(baseline seq.GlobalSeq) (lo, hi seq.GlobalSeq) {
 
 // noteLost reports a really-lost verdict to the engine's OnLost hook.
 func (n *NE) noteLost(g seq.GlobalSeq, src seq.NodeID, local seq.LocalSeq, reason string) {
+	n.e.Tel.ReallyLost.Inc()
+	n.e.Tel.Emit("really-lost", uint64(g), reason)
 	if h := n.e.OnLost; h != nil {
 		h(n.id, g, src, local, reason)
 	}
@@ -1012,6 +1021,7 @@ func (n *NE) deliverLoop() {
 	}
 	lo, hi := n.mq.AdvanceRun()
 	if hi >= lo {
+		n.e.Tel.Front.Set(int64(hi))
 		if h := n.e.OnDeliver; h != nil {
 			for g := lo; g <= hi; g++ {
 				if d := n.mq.Data(g); d != nil {
@@ -1245,6 +1255,7 @@ func (n *NE) catchUpRing() {
 
 func (n *NE) handleNack(from seq.NodeID, nk *msg.Nack) {
 	n.ctrNacks++
+	n.e.Tel.NacksServed.Inc()
 	// A broadcast Nack can come from a non-neighbor the topology has no
 	// return link to yet — links are directional, and an unlinked Send
 	// is silently dropped, which would let the requester's fruitless

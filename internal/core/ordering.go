@@ -37,7 +37,7 @@ func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
 	// receiver. Stragglers still get MQ retransmissions; only the token
 	// dies.
 	if n.tokenParked {
-		n.ctrTokenDestroys++
+		n.countTokenDestroy()
 		return
 	}
 	// Duplicate suppression: Hops strictly increases within an epoch, so
@@ -45,7 +45,7 @@ func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
 	// copy.
 	if n.stampSet && (tok.Epoch < n.stampEpoch ||
 		(tok.Epoch == n.stampEpoch && tok.Hops <= n.stampHops)) {
-		n.ctrTokenDestroys++
+		n.countTokenDestroy()
 		return
 	}
 	// Multiple-Token filtering: during the filter window only the
@@ -53,7 +53,7 @@ func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
 	// alive according to some rule").
 	if n.now() < n.filterUntil {
 		if n.bestToken != nil && !tok.Supersedes(n.bestToken) {
-			n.ctrTokenDestroys++
+			n.countTokenDestroy()
 			return
 		}
 		n.bestToken = tok.Clone()
@@ -87,7 +87,7 @@ func (n *NE) handleToken(from seq.NodeID, tok *seq.Token) {
 			// multi-token divergence; drop this token.
 			n.holding = false
 			n.held = nil
-			n.ctrTokenDestroys++
+			n.countTokenDestroy()
 			return
 		}
 	}
@@ -180,7 +180,7 @@ func (n *NE) forwardHeldToken() {
 		// Parked while a hold timer was pending: drop the copy here.
 		n.holding = false
 		n.held = nil
-		n.ctrTokenDestroys++
+		n.countTokenDestroy()
 		return
 	}
 	tok := n.held
@@ -202,7 +202,7 @@ func (n *NE) forwardHeldToken() {
 	send := tok.Clone()
 	send.Hops++
 	n.tokenExpect = ackExpect{active: true, epoch: send.Epoch, hops: send.Hops, next: send.NextGlobalSeq}
-	n.ctrTokenForwards++
+	n.countTokenForward()
 	n.tokenCourier.Deliver(nx, &msg.TokenMsg{From: n.id, Token: send})
 }
 
@@ -375,6 +375,7 @@ func (n *NE) sendRepairNack(g seq.GlobalSeq, rounds int) {
 			for _, p := range r.Nodes() {
 				if p != n.id {
 					n.ctrNacks++
+					n.e.Tel.NacksBroadcast.Inc()
 					n.e.EnsureLink(n.id, p)
 					n.e.Net.Send(n.id, p, nk)
 				}
@@ -387,6 +388,7 @@ func (n *NE) sendRepairNack(g seq.GlobalSeq, rounds int) {
 		return
 	}
 	n.ctrNacks++
+	n.e.Tel.NacksRanged.Inc()
 	n.e.Net.Send(n.id, prev, nk)
 }
 
@@ -590,11 +592,13 @@ func (n *NE) onTokenLoss() {
 		// Alone on the ring: restart immediately.
 		restart := tok.Clone()
 		restart.Epoch++
-		n.ctrRegens++
+		n.countRegen()
+		n.e.Tel.Emit("token-regen", uint64(restart.Epoch), "singleton-restart")
 		n.handleToken(n.id, restart)
 		return
 	}
-	n.ctrRegens++
+	n.countRegen()
+	n.e.Tel.Emit("token-regen", uint64(tok.Epoch), "traversal")
 	rg := &msg.TokenRegen{Origin: n.id, From: n.id, Token: tok.Clone()}
 	n.regenExpect = ackExpect{active: true, epoch: rg.Token.Epoch, hops: rg.Token.Hops, next: rg.Token.NextGlobalSeq}
 	n.regenCourier.Deliver(nx, rg)
@@ -649,7 +653,7 @@ func (n *NE) handleTokenRegen(from seq.NodeID, rg *msg.TokenRegen) {
 	// A parked node absorbs regeneration traversals: the ack above
 	// stopped the courier, and a retired ring must not be resurrected.
 	if n.tokenParked {
-		n.ctrTokenDestroys++
+		n.countTokenDestroy()
 		return
 	}
 	stamp := regenStamp{origin: rg.Origin, next: rg.Token.NextGlobalSeq, epoch: rg.Token.Epoch, set: true}
@@ -660,7 +664,7 @@ func (n *NE) handleTokenRegen(from seq.NodeID, rg *msg.TokenRegen) {
 	n.lastRegenAt = n.now()
 
 	if n.ordersWell() {
-		n.ctrTokenDestroys++
+		n.countTokenDestroy()
 		return
 	}
 	if rg.Origin == n.id {

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/seq"
+	"repro/internal/telemetry"
 )
 
 // DLQ is the per-member dead-letter queue: slots the really-lost rule
@@ -37,6 +38,16 @@ type DLQ struct {
 	count  int
 	cursor int
 	dirty  bool
+	depth  *telemetry.Gauge // live tombstone count; nil-safe
+}
+
+// SetDepthGauge attaches a live gauge tracking the entry count; it is
+// primed with the recovered count and follows every Add and Purge.
+func (q *DLQ) SetDepthGauge(g *telemetry.Gauge) {
+	q.mu.Lock()
+	q.depth = g
+	g.Set(int64(q.count))
+	q.mu.Unlock()
 }
 
 // DLQEntry is one condemned slot.
@@ -208,6 +219,7 @@ func (q *DLQ) Add(e DLQEntry) error {
 	}
 	q.count++
 	q.dirty = true
+	q.depth.Set(int64(q.count))
 	return nil
 }
 
@@ -354,6 +366,7 @@ func (q *DLQ) Purge() error {
 		return err
 	}
 	q.count, q.cursor, q.dirty = 0, 0, true
+	q.depth.Set(0)
 	return nil
 }
 

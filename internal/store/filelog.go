@@ -11,9 +11,21 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/seq"
+	"repro/internal/telemetry"
 )
+
+// Telemetry is the log's optional live instrumentation: append and
+// fsync latency distributions plus the segment-roll count. All fields
+// are nil-safe instruments; the zero value is inert and the append path
+// reads the wall clock only when a histogram is attached.
+type Telemetry struct {
+	AppendSeconds *telemetry.Histogram
+	SyncSeconds   *telemetry.Histogram
+	SegmentRolls  *telemetry.Counter
+}
 
 // FileLog persists the delivered stream as CRC-framed records in
 // rolling append-only segments under one directory. Appends go through
@@ -46,6 +58,14 @@ type FileLog struct {
 	dirty   bool
 	syncs   uint64
 	appends uint64
+	tel     Telemetry
+}
+
+// SetTelemetry attaches live instruments; safe before first use.
+func (l *FileLog) SetTelemetry(t Telemetry) {
+	l.mu.Lock()
+	l.tel = t
+	l.mu.Unlock()
 }
 
 const (
@@ -264,6 +284,7 @@ func (l *FileLog) roll() error {
 		return err
 	}
 	l.f, l.w, l.size = f, bufio.NewWriterSize(f, 1<<16), segHdrLen
+	l.tel.SegmentRolls.Inc()
 	return nil
 }
 
@@ -282,6 +303,10 @@ func (l *FileLog) Append(r Record) error {
 		l.dups++
 		return nil
 	}
+	var t0 time.Time
+	if l.tel.AppendSeconds != nil {
+		t0 = time.Now()
+	}
 	frame := appendRecord(nil, r)
 	if _, err := l.w.Write(frame); err != nil {
 		return err
@@ -291,7 +316,12 @@ func (l *FileLog) Append(r Record) error {
 	l.dirty = true
 	l.appends++
 	if l.size >= l.segMax {
-		return l.roll()
+		if err := l.roll(); err != nil {
+			return err
+		}
+	}
+	if l.tel.AppendSeconds != nil {
+		l.tel.AppendSeconds.ObserveSince(t0)
 	}
 	return nil
 }
@@ -324,6 +354,10 @@ func (l *FileLog) syncLocked() error {
 	if l.f == nil || !l.dirty {
 		return nil
 	}
+	var t0 time.Time
+	if l.tel.SyncSeconds != nil {
+		t0 = time.Now()
+	}
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
@@ -332,6 +366,9 @@ func (l *FileLog) syncLocked() error {
 	}
 	l.dirty = false
 	l.syncs++
+	if l.tel.SyncSeconds != nil {
+		l.tel.SyncSeconds.ObserveSince(t0)
+	}
 	return nil
 }
 

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the consumer side of the exposition format: a strict
+// linter (the CI job and the harness scraper both refuse malformed
+// output) and a small parser that turns a scrape into a
+// series-name→value map for mid-run invariant assertions.
+
+// LintExposition validates Prometheus text-format output: metric-name
+// charset, HELP/TYPE headers preceding their samples, parseable sample
+// values, and no duplicate series. Returns the first violation.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	typed := make(map[string]string) // family -> TYPE
+	seen := make(map[string]bool)    // full series key
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validMetricName(fields[2]) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return fmt.Errorf("line %d: unparseable value %q", lineNo, value)
+		}
+		fam := familyOf(name, typed)
+		if _, ok := typed[fam]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		key := name + labels
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+	}
+	return sc.Err()
+}
+
+// ParseExposition parses a scrape into a map keyed by the full series
+// string (`name` or `name{k="v",...}` exactly as exposed) with the
+// sample value. Comment lines are skipped; malformed lines error.
+func ParseExposition(r io.Reader) (map[string]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	out := make(map[string]float64)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: unparseable value %q", lineNo, value)
+		}
+		out[name+labels] = v
+	}
+	return out, sc.Err()
+}
+
+// splitSample breaks `name{labels} value` (labels optional) into parts.
+func splitSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i : j+1]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", "", "", fmt.Errorf("sample without value: %q", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	// rest may still carry an optional timestamp; take the first token.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", "", "", fmt.Errorf("sample without value: %q", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+// familyOf maps a sample name to its TYPE-declaring family: histogram
+// sample suffixes (_bucket/_sum/_count) fold into the base name.
+func familyOf(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if typed[base] == "histogram" || typed[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// validMetricName reports whether name matches the Prometheus metric
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

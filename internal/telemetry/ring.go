@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured protocol transition: a token regeneration, an
+// epoch commit, a lame-ring park, a DLQ tombstone. Events carry small
+// fixed fields so emitting one is a struct copy, not a format call —
+// rendering happens at scrape time.
+type Event struct {
+	// Seq is the ring-assigned monotone sequence number (gaps mean the
+	// scraper missed overwritten events).
+	Seq    uint64 `json:"seq"`
+	WallNS int64  `json:"wall_ns"`
+	Node   uint32 `json:"node"`
+	Group  uint32 `json:"group,omitempty"`
+
+	// Type names the transition (e.g. "token-regen", "epoch-commit",
+	// "lame-enter"); Value carries its primary number (epoch, global
+	// sequence, peer id — per type); Detail is optional human context.
+	Type   string `json:"type"`
+	Value  uint64 `json:"value,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Ring is a bounded in-memory event log: fixed capacity, newest
+// overwrites oldest, every write assigns the next sequence number.
+// Emit takes a short mutex-guarded struct copy and never allocates or
+// blocks on I/O, so protocol goroutines can call it from slow paths
+// without jitter; scrapers copy the live window out under the same
+// mutex. A nil *Ring is a no-op.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted
+}
+
+// NewRing returns a ring holding the most recent capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit appends one event, stamping Seq and (if unset) WallNS.
+func (r *Ring) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	if e.WallNS == 0 {
+		e.WallNS = time.Now().UnixNano()
+	}
+	r.mu.Lock()
+	e.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// Emitted returns the total number of events ever emitted (0 on nil).
+func (r *Ring) Emitted() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns the retained window, oldest first.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	capy := uint64(len(r.buf))
+	lo := uint64(0)
+	if n > capy {
+		lo = n - capy
+	}
+	out := make([]Event, 0, n-lo)
+	for s := lo; s < n; s++ {
+		out = append(out, r.buf[s%capy])
+	}
+	return out
+}
+
+// WriteNDJSON renders the retained window as newline-delimited JSON,
+// oldest first.
+func (r *Ring) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Snapshot() {
+		if err := enc.Encode(&e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

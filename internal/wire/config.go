@@ -88,6 +88,16 @@ type Config struct {
 	ListenFD int        `json:"listen_fd,omitempty"`
 	Peers    []PeerAddr `json:"peers"`
 
+	// Admin, when set, is the TCP listen address of the daemon's
+	// observability endpoint (/metrics, /status, /events, /healthz,
+	// /readyz, pprof). AdminFD instead serves on an inherited listener
+	// (harness spawns: the parent binds, so there are no port races).
+	// ReportIntervalMS > 0 additionally emits the v2 report line to
+	// stderr at that period while the daemon runs.
+	Admin            string `json:"admin,omitempty"`
+	AdminFD          int    `json:"admin_fd,omitempty"`
+	ReportIntervalMS int64  `json:"report_interval_ms,omitempty"`
+
 	// Groups lists the ring groups this daemon hosts (schema v2). Empty
 	// means a v1 config: the legacy flat fields are lifted into one
 	// group by Normalize.

@@ -28,6 +28,13 @@ type Node struct {
 	tr   *Transport
 	ob   *SharedOutbox
 
+	// tel is the daemon's live telemetry plane — always present, whether
+	// or not an admin listener is configured: the exit report derives its
+	// counters from it. admin is nil without -admin/admin_fd.
+	tel       *nodeTelemetry
+	admin     *adminServer
+	wallStart time.Time
+
 	killed   chan struct{}
 	killOnce sync.Once
 
@@ -63,13 +70,80 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.BatchUS > 0 {
 		window = sim.Time(cfg.BatchUS) // sim.Time is microseconds
 	}
-	return &Node{
-		cfg:    cfg,
-		self:   self,
-		tr:     tr,
-		ob:     NewSharedOutbox(tr, window),
-		killed: make(chan struct{}),
-	}, nil
+	nd := &Node{
+		cfg:       cfg,
+		self:      self,
+		tr:        tr,
+		ob:        NewSharedOutbox(tr, window),
+		tel:       newNodeTelemetry(cfg.Node),
+		wallStart: time.Now(),
+		killed:    make(chan struct{}),
+	}
+	nd.ob.SetFlushHistogram(nd.tel.outboxFlushBytes)
+	if cfg.Admin != "" || cfg.AdminFD > 0 {
+		adm, err := newAdminServer(nd, cfg.Admin, cfg.AdminFD)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		nd.admin = adm
+	}
+	return nd, nil
+}
+
+// AdminAddr returns the admin endpoint's bound address, or "" when no
+// admin listener is configured.
+func (nd *Node) AdminAddr() string {
+	if nd.admin == nil {
+		return ""
+	}
+	return nd.admin.addr()
+}
+
+// Snapshot collects a live report from every hosted group — the same v2
+// schema the exit report uses, served by /status and the periodic
+// -report-interval line. Safe from any goroutine; groups whose driver
+// has already stopped (or not yet started) report their last-known
+// static identity only.
+func (nd *Node) Snapshot() Report {
+	nd.mu.Lock()
+	groups := nd.groups
+	nd.mu.Unlock()
+	rep := Report{
+		Node:      nd.cfg.Node,
+		Converged: len(groups) > 0,
+		Transport: nd.tr.Stats(),
+		SendErrs:  nd.ob.SendErrs(),
+		WallMS:    time.Since(nd.wallStart).Milliseconds(),
+	}
+	for _, g := range groups {
+		gr := GroupReport{Group: g.gid}
+		g.drv.CallWait(func() { gr = g.snapshot() }) // false after Stop: keep the stub
+		rep.Groups = append(rep.Groups, gr)
+		rep.Converged = rep.Converged && gr.Converged
+		rep.Delivered += gr.Delivered
+		rep.ThroughputPS += gr.ThroughputPS
+	}
+	return rep
+}
+
+// Ready reports the daemon-wide /readyz verdict: every hosted group
+// converged-or-ordering, none lame, stores healthy. False before Run
+// assembles the groups and after their drivers stop.
+func (nd *Node) Ready() bool {
+	nd.mu.Lock()
+	groups := nd.groups
+	nd.mu.Unlock()
+	if len(groups) == 0 {
+		return false
+	}
+	for _, g := range groups {
+		ok := false
+		if !g.drv.CallWait(func() { ok = g.ready() }) || !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // LocalAddr returns the bound socket address ("127.0.0.1:port").
@@ -125,6 +199,7 @@ func (nd *Node) Run() (Report, error) {
 			g.closeStore()
 			g.closeTrace()
 		}
+		nd.admin.close()
 		nd.tr.Close()
 		return Report{}, err
 	}
@@ -156,6 +231,28 @@ func (nd *Node) Run() (Report, error) {
 	dt := time.AfterFunc(time.Duration(cfg.DeadlineMS)*time.Millisecond, func() { close(deadlineCh) })
 	defer dt.Stop()
 
+	// Periodic live report: the /status snapshot path, one JSON line to
+	// stderr per interval (operators tail it; the harness parses it).
+	reportDone := make(chan struct{})
+	if cfg.ReportIntervalMS > 0 {
+		go func() {
+			t := time.NewTicker(time.Duration(cfg.ReportIntervalMS) * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if b, err := json.Marshal(nd.Snapshot()); err == nil {
+						fmt.Fprintf(os.Stderr, "ringnetd report: %s\n", b)
+					}
+				case <-reportDone:
+					return
+				case <-nd.killed:
+					return
+				}
+			}
+		}()
+	}
+
 	reps := make([]GroupReport, len(groups))
 	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
@@ -167,6 +264,7 @@ func (nd *Node) Run() (Report, error) {
 		}(i, g)
 	}
 	wg.Wait()
+	close(reportDone)
 
 	// Teardown only after EVERY group finished: a finished group's
 	// driver may still hold armed shared-outbox flush timers carrying a
@@ -174,6 +272,7 @@ func (nd *Node) Run() (Report, error) {
 	for _, g := range groups {
 		g.drv.Stop()
 	}
+	nd.admin.close()
 	nd.tr.Close()
 	for _, g := range groups {
 		g.closeStore()

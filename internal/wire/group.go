@@ -70,6 +70,7 @@ type ringGroup struct {
 	ms    *Membership
 	oh    *metrics.OrderHash
 	peers []seq.NodeID
+	tel   *groupTelemetry
 
 	// Delivery accounting. Driver goroutine only.
 	delivered      uint64
@@ -123,6 +124,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 		drained:   make(chan struct{}),
 		left:      make(chan struct{}),
 		wallStart: wallStart,
+		tel:       nd.tel.group(gc.ID),
 	}
 
 	// Identical hierarchy in every process: one top ring of all members.
@@ -155,6 +157,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 	g.net = netsim.New(g.sched, sim.NewRNG(cfg.Seed+1+uint64(gc.ID)*0x9e3779b9))
 	g.e = core.NewEngine(seq.GroupID(gc.ID), protocolConfig(), g.net, h)
 	g.e.WiredLink = netsim.LinkParams{} // zero latency: the socket is the link
+	g.e.Tel = g.tel.coreTel(nd.tel.reg)
 
 	if gc.TracePath != "" {
 		f, err := os.Create(gc.TracePath)
@@ -182,6 +185,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 			return nil, err
 		}
 		g.dlog = dl
+		dl.SetTelemetry(g.tel.storeTel)
 		dq, err := store.OpenDLQ(gc.DataDir)
 		if err != nil {
 			dl.Close()
@@ -189,6 +193,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 			return nil, fmt.Errorf("wire: group %d dead-letter queue: %w", gc.ID, err)
 		}
 		g.dlq = dq
+		dq.SetDepthGauge(g.tel.dlqDepth)
 		g.syncEach = cfg.FlushMS < 0
 		if err := dl.Replay(func(r store.Record) error {
 			g.oh.Note(r.Global, r.Source, r.Local)
@@ -223,6 +228,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 			}
 		}
 		g.delivered++
+		g.tel.delivered.Inc() // mirrors g.delivered exactly: one per trace line
 		if g.ms != nil && g.ms.Lame() {
 			g.lameDeliveries++ // must stay 0: the lame ring is read-only
 		}
@@ -246,6 +252,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 					lat := time.Duration(time.Now().UnixNano()-ts) + off
 					if lat > 0 && lat < time.Minute {
 						g.crossLat.Add(lat.Seconds())
+						g.tel.crossLat.Observe(lat.Seconds())
 					}
 				}
 			}
@@ -262,6 +269,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 			if at != g.self {
 				return
 			}
+			g.tel.emit("dlq-tombstone", uint64(gl), reason)
 			err := g.dlq.Add(store.DLQEntry{
 				Global: gl, Source: src, Local: local, Reason: reason,
 				WallNS: time.Now().UnixNano(),
@@ -320,6 +328,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 			}
 		}
 		g.ms = NewMembership(g.e, g.port, g.br, g.self, nd.LocalAddr(), tun, initial, ringID, seeds)
+		g.ms.SetTelemetry(g.tel.memberTel())
 		g.ms.OrderHash = g.oh.Sum64 // RingSummary/MergeReq carry the live order fingerprint
 		if g.dlog != nil {
 			// Ask the coordinator to resume at the recovered durable
@@ -328,6 +337,7 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 		}
 		g.ms.OnDiscarded = func(lo, hi seq.GlobalSeq) {
 			g.discLo, g.discHi = lo, hi
+			g.tel.emit("discard", uint64(hi), fmt.Sprintf("globals [%d, %d]", lo, hi))
 			fmt.Fprintf(os.Stderr, "wire: node %d group %d discarded globals [%d, %d]: durable front below the resume horizon, rejoining fresh at the baseline\n",
 				cfg.Node, g.gid, lo, hi)
 		}
@@ -701,77 +711,8 @@ func (g *ringGroup) run(deadline <-chan struct{}) (GroupReport, error) {
 	var debugState string
 	g.drv.CallWait(func() {
 		debugState = g.e.DebugState(g.self)
-		lat := &g.e.Log.Latency
-		memberCount := len(g.members)
-		var epoch uint64
-		if g.ms != nil {
-			memberCount = len(g.ms.order)
-			epoch = g.ms.Epoch()
-		}
-		var leader uint32
-		if top := g.e.H.TopRing(); top != nil {
-			leader = uint32(top.Leader())
-		}
-		rep = GroupReport{
-			Group:         g.gid,
-			Members:       memberCount,
-			Leader:        leader,
-			Converged:     ok,
-			Delivered:     g.delivered,
-			Expected:      g.expected,
-			Epoch:         epoch,
-			Left:          didLeave,
-			OrderHash:     g.oh.Hex(),
-			FirstGlobal:   uint64(g.firstG),
-			LastGlobal:    uint64(g.lastG),
-			ThroughputPS:  g.e.Log.Throughput(),
-			LatencyMeanMS: lat.Mean() * 1000,
-			LatencyP99MS:  lat.Quantile(0.99) * 1000,
-			MaxGapMS:      float64(g.maxGap) / float64(sim.Millisecond),
-			Control:       g.e.ControlReport(),
-		}
-		if g.crossLat.N() > 0 {
-			rep.CrossLatMeanMS = g.crossLat.Mean() * 1000
-			rep.CrossLatP99MS = g.crossLat.Quantile(0.99) * 1000
-			rep.CrossLatN = g.crossLat.N()
-		}
-		if err := g.e.Log.Err(); err != nil {
-			rep.OrderErr = err.Error()
-		}
-		if g.ms != nil {
-			rep.Lame = g.ms.Lame()
-			rep.LameEntries = g.ms.LameEntries
-			rep.LameMS = int64(g.ms.LameTime() / sim.Millisecond)
-			rep.LameDeliveries = g.lameDeliveries
-			rep.Merges = g.ms.Merges
-			rep.HealUS = int64(g.ms.HealLatency() / sim.Microsecond)
-			g.ms.Stop()
-		}
-		// Durable-plane summary, plus a final fsync so the report never
-		// claims more than the disk holds.
-		rep.ResumedAt = uint64(g.resumedAt)
-		if g.dlog != nil {
-			if err := g.dlog.Sync(); err != nil && g.storeErr == nil {
-				g.storeErr = err
-			}
-		}
-		if g.dlq != nil {
-			if err := g.dlq.Sync(); err != nil && g.storeErr == nil {
-				g.storeErr = err
-			}
-			rep.DLQEntries = g.dlq.Len()
-		}
-		if g.discLo > 0 && g.discLo <= g.discHi {
-			rep.DiscardedRange = &SeqRange{Lo: uint64(g.discLo), Hi: uint64(g.discHi)}
-		}
-		if g.storeErr != nil {
-			rep.StoreErr = g.storeErr.Error()
-		}
-		// Flush the trace while serialized with OnDeliver; the file
-		// handle is closed at federation teardown.
-		if g.trace != nil {
-			g.trace.Flush()
-		}
+		g.finish()
+		rep = g.snapshot()
 	})
 	if rep.OrderErr != "" {
 		return rep, fmt.Errorf("wire: node %d group %d total-order violation: %s", cfg.Node, g.gid, rep.OrderErr)
@@ -785,6 +726,126 @@ func (g *ringGroup) run(deadline <-chan struct{}) (GroupReport, error) {
 			cfg.Node, g.gid, rep.Delivered, g.expected, cfg.DeadlineMS)
 	}
 	return rep, nil
+}
+
+// chanClosed reports whether ch has been closed, without blocking.
+func chanClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// snapshot builds the group's v2 report from live state — the same
+// struct serves the daemon's exit report, the admin /status endpoint,
+// and the periodic -report-interval line. Driver goroutine only;
+// side-effect-free, so it is safe to call mid-run.
+func (g *ringGroup) snapshot() GroupReport {
+	lat := &g.e.Log.Latency
+	memberCount := len(g.members)
+	var epoch uint64
+	if g.ms != nil {
+		memberCount = len(g.ms.order)
+		epoch = g.ms.Epoch()
+	}
+	var leader uint32
+	if top := g.e.H.TopRing(); top != nil {
+		leader = uint32(top.Leader())
+	}
+	rep := GroupReport{
+		Group:   g.gid,
+		Members: memberCount,
+		Leader:  leader,
+		// Converged/Left mirror the barrier channels, so a mid-run
+		// snapshot reports the live phase and the exit snapshot reports
+		// exactly what run() observed.
+		Converged: chanClosed(g.converged),
+		Left:      chanClosed(g.left),
+		// Delivered is read back from the registry instrument, not the
+		// driver-local counter: both increment together in OnDeliver (one
+		// per trace line), and deriving the report from the registry
+		// guarantees /metrics and the exit report can never disagree — a
+		// test pins the equality.
+		Delivered:     g.tel.delivered.Value(),
+		Expected:      g.expected,
+		Epoch:         epoch,
+		OrderHash:     g.oh.Hex(),
+		FirstGlobal:   uint64(g.firstG),
+		LastGlobal:    uint64(g.lastG),
+		ThroughputPS:  g.e.Log.Throughput(),
+		LatencyMeanMS: lat.Mean() * 1000,
+		LatencyP99MS:  lat.Quantile(0.99) * 1000,
+		MaxGapMS:      float64(g.maxGap) / float64(sim.Millisecond),
+		Control:       g.e.ControlReport(),
+	}
+	if g.crossLat.N() > 0 {
+		rep.CrossLatMeanMS = g.crossLat.Mean() * 1000
+		rep.CrossLatP99MS = g.crossLat.Quantile(0.99) * 1000
+		rep.CrossLatN = g.crossLat.N()
+	}
+	if err := g.e.Log.Err(); err != nil {
+		rep.OrderErr = err.Error()
+	}
+	if g.ms != nil {
+		rep.Lame = g.ms.Lame()
+		rep.LameEntries = g.tel.lameEntries.Value() // registry-derived; == ms.LameEntries
+		rep.LameMS = int64(g.ms.LameTime() / sim.Millisecond)
+		rep.LameDeliveries = g.lameDeliveries
+		rep.Merges = g.tel.merges.Value() // registry-derived; == ms.Merges
+		rep.HealUS = int64(g.ms.HealLatency() / sim.Microsecond)
+	}
+	rep.ResumedAt = uint64(g.resumedAt)
+	if g.dlq != nil {
+		rep.DLQEntries = g.dlq.Len()
+	}
+	if g.discLo > 0 && g.discLo <= g.discHi {
+		rep.DiscardedRange = &SeqRange{Lo: uint64(g.discLo), Hi: uint64(g.discHi)}
+	}
+	if g.storeErr != nil {
+		rep.StoreErr = g.storeErr.Error()
+	}
+	return rep
+}
+
+// finish ends the group's live phase before the exit snapshot: stop the
+// membership ticker, fsync the durable plane (so the report never claims
+// more than the disk holds), and flush the trace while serialized with
+// OnDeliver. Driver goroutine only.
+func (g *ringGroup) finish() {
+	if g.ms != nil {
+		g.ms.Stop()
+	}
+	if g.dlog != nil {
+		if err := g.dlog.Sync(); err != nil && g.storeErr == nil {
+			g.storeErr = err
+		}
+	}
+	if g.dlq != nil {
+		if err := g.dlq.Sync(); err != nil && g.storeErr == nil {
+			g.storeErr = err
+		}
+	}
+	if g.trace != nil {
+		g.trace.Flush()
+	}
+}
+
+// ready reports whether this group is serving its part of /readyz:
+// already converged, or spliced in and ordering well — and in either
+// case not parked lame and not sitting on a store error. Driver
+// goroutine only.
+func (g *ringGroup) ready() bool {
+	if g.storeErr != nil {
+		return false
+	}
+	if g.ms != nil {
+		if !g.ms.Joined() || g.ms.Lame() {
+			return false
+		}
+	}
+	return chanClosed(g.converged) || g.e.OrdersWell(g.self)
 }
 
 // closeTrace flushes and closes the group's trace file. Idempotent; call

@@ -101,6 +101,21 @@ type Options struct {
 	// the compat shim end to end.
 	Groups []wire.GroupConfig
 
+	// Admin serves each member's observability endpoint (/metrics,
+	// /status, /events, /healthz, /readyz, pprof). The parent binds a
+	// TCP listener per member and passes it as inherited fd 4 — same
+	// no-port-race scheme as the UDP socket — and records the address
+	// on the Member, so tests can scrape a cluster mid-run.
+	Admin bool
+	// ReportIntervalMS > 0 makes every member emit its live JSON report
+	// line to stderr at this period.
+	ReportIntervalMS int64
+	// OnAdminReady, with Admin set, fires once every admin listener is
+	// bound — before any member process spawns — with the addresses
+	// indexed by member (0-based). Run still blocks, so mid-run scrapers
+	// start their own goroutine here.
+	OnAdminReady func(addrs []string)
+
 	// Live enables the membership plane on every member. Required when
 	// any Spec joins, kills, or terms.
 	Live        bool
@@ -150,6 +165,10 @@ type Member struct {
 	Stderr string
 	Err    error
 	Killed bool // SIGKILLed by its Spec: exit error and missing report are expected
+	// AdminAddr is the member's observability endpoint (Options.Admin),
+	// live for every incarnation of the member: the listener is bound by
+	// the harness and inherited, so it survives kill+restart.
+	AdminAddr string
 	// TracePath is the single-group delivery trace (legacy runs);
 	// TracePaths keys each hosted group's trace by group id (always
 	// populated when Options.Trace is set, single-group included).
@@ -183,8 +202,15 @@ func Run(opts Options) ([]Member, error) {
 	n := opts.Nodes
 	files := make([]*os.File, n)
 	addrs := make([]string, n)
+	adminFiles := make([]*os.File, n)
+	adminAddrs := make([]string, n)
 	defer func() {
 		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+		for _, f := range adminFiles {
 			if f != nil {
 				f.Close()
 			}
@@ -202,6 +228,28 @@ func Run(opts Options) ([]Member, error) {
 			return nil, fmt.Errorf("harness: dup member %d socket: %w", i+1, err)
 		}
 		files[i] = f
+		if opts.Admin {
+			// The admin endpoint gets the same inherited-fd treatment as
+			// the UDP socket: the parent binds, so the address is known
+			// before spawn, there is no port race, and the listener (its
+			// kernel backlog buffering early scrapes) survives a member's
+			// kill+restart.
+			ln, err := net.ListenTCP("tcp", &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				return nil, fmt.Errorf("harness: bind member %d admin: %w", i+1, err)
+			}
+			adminAddrs[i] = ln.Addr().String()
+			af, err := ln.File()
+			ln.Close()
+			if err != nil {
+				return nil, fmt.Errorf("harness: dup member %d admin listener: %w", i+1, err)
+			}
+			adminFiles[i] = af
+		}
+	}
+
+	if opts.Admin && opts.OnAdminReady != nil {
+		opts.OnAdminReady(append([]string(nil), adminAddrs...))
 	}
 
 	// The bootstrap ring is every member whose Spec does not Join.
@@ -250,6 +298,11 @@ func Run(opts Options) ([]Member, error) {
 			StartMS:     opts.StartMS,
 			DeadlineMS:  opts.DeadlineMS,
 		}
+		if opts.Admin {
+			cfg.AdminFD = 4 // ExtraFiles[1]
+			members[i].AdminAddr = adminAddrs[i]
+		}
+		cfg.ReportIntervalMS = opts.ReportIntervalMS
 		if spec.Count > 0 {
 			cfg.Count = spec.Count
 		} else if spec.Count < 0 {
@@ -369,7 +422,9 @@ func Run(opts Options) ([]Member, error) {
 		cmd := opts.Command(cfgPaths[i])
 		f := files[i]
 		files[i] = nil // the spawner goroutine owns it now
-		var restartF *os.File
+		af := adminFiles[i]
+		adminFiles[i] = nil
+		var restartF, restartAF *os.File
 		if spec.RestartAfterMS > 0 {
 			// Keep a second dup of the bound socket for the restarted
 			// incarnation: the binding must survive the first process's
@@ -379,8 +434,18 @@ func Run(opts Options) ([]Member, error) {
 				return nil, fmt.Errorf("harness: dup member %d restart socket: %w", i+1, err)
 			}
 			restartF = rf
+			if af != nil {
+				raf, err := dupFile(af)
+				if err != nil {
+					return nil, fmt.Errorf("harness: dup member %d restart admin listener: %w", i+1, err)
+				}
+				restartAF = raf
+			}
 		}
 		cmd.ExtraFiles = []*os.File{f}
+		if af != nil {
+			cmd.ExtraFiles = append(cmd.ExtraFiles, af) // fd 4: AdminFD
+		}
 		var out, errb bytes.Buffer
 		cmd.Stdout = &out
 		cmd.Stderr = &errb
@@ -393,7 +458,7 @@ func Run(opts Options) ([]Member, error) {
 			members[i].Killed = true
 		}
 		wg.Add(1)
-		go func(i int, spec Spec, cmd *exec.Cmd, f, restartF *os.File, p *proc, ch chan error) {
+		go func(i int, spec Spec, cmd *exec.Cmd, f, af, restartF, restartAF *os.File, p *proc, ch chan error) {
 			defer wg.Done()
 			if spec.StartAfterMS > 0 {
 				time.Sleep(time.Duration(spec.StartAfterMS) * time.Millisecond)
@@ -403,14 +468,23 @@ func Run(opts Options) ([]Member, error) {
 			close(p.started)
 			if err != nil {
 				f.Close()
+				if af != nil {
+					af.Close()
+				}
 				if restartF != nil {
 					restartF.Close()
+				}
+				if restartAF != nil {
+					restartAF.Close()
 				}
 				ch <- fmt.Errorf("harness: start member %d: %w", i+1, err)
 				doomOnce.Do(func() { close(doom) })
 				return
 			}
 			f.Close() // the child holds its own dup now
+			if af != nil {
+				af.Close()
+			}
 			if spec.KillAfterMS > 0 {
 				time.AfterFunc(time.Duration(spec.KillAfterMS)*time.Millisecond, func() {
 					cmd.Process.Kill()
@@ -435,10 +509,16 @@ func Run(opts Options) ([]Member, error) {
 			}
 			cmd2 := opts.Command(restartPaths[i])
 			cmd2.ExtraFiles = []*os.File{restartF}
+			if restartAF != nil {
+				cmd2.ExtraFiles = append(cmd2.ExtraFiles, restartAF)
+			}
 			cmd2.Stdout = p.out
 			cmd2.Stderr = p.err
 			ok, err := p.adoptStart(cmd2)
 			restartF.Close()
+			if restartAF != nil {
+				restartAF.Close()
+			}
 			switch {
 			case !ok:
 				ch <- fmt.Errorf("harness: member %d killed before its restart", i+1)
@@ -449,7 +529,7 @@ func Run(opts Options) ([]Member, error) {
 				return
 			}
 			ch <- cmd2.Wait()
-		}(i, spec, cmd, f, restartF, p, ch)
+		}(i, spec, cmd, f, af, restartF, restartAF, p, ch)
 	}
 
 	// Join all members, bounded by the run deadline plus startup delays

@@ -241,6 +241,13 @@ type Membership struct {
 	// verbose daemons).
 	Trace func(format string, args ...any)
 
+	// tel mirrors the counters below into the daemon's live registry and
+	// event ring. The zero value is fully inert (sim and unit tests).
+	tel memberTelemetry
+	// prevSuspect is the failure detector's verdict at the last tick,
+	// kept to emit suspect/unsuspect transition events.
+	prevSuspect map[seq.NodeID]bool
+
 	// Counters for reports and tests.
 	Epochs           uint64 // updates applied (exceeding the initial epoch)
 	Failovers        uint64 // eviction epochs this node coordinated
@@ -270,6 +277,7 @@ func NewMembership(e *core.Engine, tr *Port, br *Bridge, self seq.NodeID, selfAd
 		pendingJoinFront: make(map[seq.NodeID]seq.GlobalSeq),
 		graves:           make(map[seq.NodeID]string),
 		lastSummary:      make(map[seq.NodeID]sim.Time),
+		prevSuspect:      make(map[seq.NodeID]bool),
 		resend:           make(map[seq.NodeID]*resendState),
 		rng:              sim.NewRNG(uint64(self)),
 		ringID:           ringID,
@@ -299,6 +307,13 @@ func (m *Membership) Start() {
 		}
 	}
 	m.ticker = m.e.Scheduler().Every(m.cfg.Heartbeat, m.tick)
+}
+
+// SetTelemetry attaches the live instrument bundle. Call before Start;
+// without it every tap below is a no-op.
+func (m *Membership) SetTelemetry(t memberTelemetry) {
+	m.tel = t
+	m.tel.epoch.Set(int64(m.epoch))
 }
 
 // Stop disarms the ticker.
@@ -500,6 +515,7 @@ func (m *Membership) tick() {
 		m.e.Net.Send(m.self, p, hb)
 	}
 	m.det.Silent(now) // sweep: marks suspicion inside the detector
+	m.noteSuspects()
 	m.updateLame(now)
 	if m.lame {
 		return // read-only: no proposals, no joins, no token watchdog
@@ -514,6 +530,40 @@ func (m *Membership) tick() {
 		m.coordinate(now)
 	}
 	m.tokenWatchdog(now)
+}
+
+// noteSuspects diffs the failure detector's verdict against the last
+// tick, emitting suspect/unsuspect transition events and refreshing the
+// live suspect-count gauge.
+func (m *Membership) noteSuspects() {
+	n := 0
+	for _, p := range m.order {
+		if p == m.self {
+			continue
+		}
+		s := m.det.Suspected(p)
+		if s {
+			n++
+		}
+		if s != m.prevSuspect[p] {
+			m.prevSuspect[p] = s
+			if s {
+				m.tel.emit("suspect", uint64(p), "")
+			} else {
+				m.tel.emit("unsuspect", uint64(p), "")
+			}
+		}
+	}
+	// Drop entries for members no longer in the ring so a rejoiner
+	// starts from a clean verdict.
+	if len(m.prevSuspect) > len(m.order) {
+		for id := range m.prevSuspect {
+			if _, ok := m.members[id]; !ok {
+				delete(m.prevSuspect, id)
+			}
+		}
+	}
+	m.tel.suspects.Set(int64(n))
 }
 
 // updateLame re-evaluates quorum: live = self + unsuspected members.
@@ -535,6 +585,9 @@ func (m *Membership) updateLame(now sim.Time) {
 		m.lame = true
 		m.lameSince = now
 		m.LameEntries++
+		m.tel.lameEntries.Inc()
+		m.tel.lame.Set(1)
+		m.tel.emit("lame-enter", uint64(live), fmt.Sprintf("%d/%d live", live, len(m.order)))
 		if m.prop != nil {
 			m.ProposalsAborted++
 			m.prop = nil
@@ -553,12 +606,15 @@ func (m *Membership) updateLame(now sim.Time) {
 func (m *Membership) exitLame(now sim.Time, baseline seq.GlobalSeq) {
 	m.lame = false
 	m.lameTotal += now - m.lameSince
+	m.tel.lame.Set(0)
+	m.tel.emit("lame-exit", uint64(baseline), (now - m.lameSince).String())
 	front := seq.GlobalSeq(0)
 	if q := m.e.QueueOf(m.self); q != nil {
 		front = q.Front()
 	}
 	if h := m.resumeHorizon(); baseline > front && h > 0 && baseline-front > h {
 		lo, hi := m.e.RejoinFresh(m.self, baseline)
+		m.tel.emit("fresh-rejoin", uint64(baseline), fmt.Sprintf("front %d horizon %d", front, h))
 		m.trace("merge gap (%d, %d] exceeds retained horizon %d: rejoining fresh, range discarded", front, baseline, h)
 		if lo <= hi && m.OnDiscarded != nil {
 			m.OnDiscarded(lo, hi)
@@ -568,6 +624,7 @@ func (m *Membership) exitLame(now sim.Time, baseline seq.GlobalSeq) {
 	}
 	if m.healStartAt != 0 && m.healDoneAt == 0 {
 		m.healDoneAt = now
+		m.tel.emit("merge-heal", uint64(m.epoch), (m.healDoneAt - m.healStartAt).String())
 	}
 }
 
@@ -604,6 +661,8 @@ func (m *Membership) tokenWatchdog(now sim.Time) {
 	if now-last > m.cfg.TokenWatch && now-m.lastTokenSignal > m.cfg.TokenWatch {
 		m.lastTokenSignal = now
 		m.TokenSignals++
+		m.tel.tokenSignals.Inc()
+		m.tel.emit("token-loss-signal", uint64(m.epoch), (now - last).String())
 		m.e.OnTokenLoss(m.self)
 	}
 }
@@ -623,6 +682,8 @@ func (m *Membership) coordinate(now sim.Time) {
 		m.trace("proposal for epoch %d timed out at %d/%d votes; retrying at a higher number",
 			p.epoch, len(p.votes), p.need)
 		m.ProposalsAborted++
+		m.tel.quorumRetries.Inc()
+		m.tel.emit("quorum-retry", p.epoch, fmt.Sprintf("%d/%d votes", len(p.votes), p.need))
 		m.skew = p.epoch - m.epoch
 		m.prop = nil
 	}
@@ -947,8 +1008,10 @@ func (m *Membership) commit(p *proposal) {
 	}
 	if p.isMerge {
 		m.Merges++
+		m.tel.merges.Inc()
 		if m.healStartAt != 0 && m.healDoneAt == 0 {
 			m.healDoneAt = m.e.Net.Now()
+			m.tel.emit("merge-heal", u.Epoch, (m.healDoneAt - m.healStartAt).String())
 		}
 	}
 	m.trace("committing epoch %d members=%v removed=%v merge=%v votes=%d/%d",
@@ -1305,10 +1368,12 @@ func (m *Membership) applyUpdate(u *msg.RingUpdate) {
 			// the ring's live position backfills through Nack repair
 			// from the peers' retained windows.
 			m.trace("resuming at durable front %d (baseline %d)", resumed, u.Baseline)
+			m.tel.emit("resume", uint64(resumed), fmt.Sprintf("baseline %d", u.Baseline))
 			m.e.JumpTo(m.self, resumed)
 		} else {
 			// Set the stream baseline before the splice makes this node
 			// a top-ring member: delivery starts at Baseline+1.
+			m.tel.emit("fresh-join", uint64(u.Baseline), "")
 			m.e.JumpTo(m.self, u.Baseline)
 			if f := m.ResumeFront; f > 0 && f < u.Baseline && m.OnDiscarded != nil {
 				// We held a durable log but the coordinator saw the gap
@@ -1401,6 +1466,8 @@ func (m *Membership) applyLocal(u *msg.RingUpdate, removed []seq.NodeID) {
 	}
 	m.e.OnTopologyChanged(m.self)
 	for _, dead := range removed {
+		m.tel.evictions.Inc()
+		m.tel.emit("evict", uint64(dead), fmt.Sprintf("epoch %d", u.Epoch))
 		m.e.DropPeer(m.self, dead)
 		m.det.Forget(dead)
 		delete(m.peerEpoch, dead)
@@ -1417,6 +1484,9 @@ func (m *Membership) applyLocal(u *msg.RingUpdate, removed []seq.NodeID) {
 		})
 	}
 	m.Epochs++
+	m.tel.epochsApplied.Inc()
+	m.tel.epoch.Set(int64(u.Epoch))
+	m.tel.emit("epoch-commit", u.Epoch, fmt.Sprintf("%d members, %d removed", len(m.order), len(removed)))
 }
 
 // String renders the membership state for logs.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/seq"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // batchFlushBytes caps how much a peer's box accumulates before it stops
@@ -52,7 +53,15 @@ type SharedOutbox struct {
 	// sendErrs counts flushes the transport rejected; atomic because
 	// flushes run on every group's driver goroutine.
 	sendErrs atomic.Uint64
+
+	// flushBytes, when attached, observes the bytes drained per
+	// non-empty flush (batch occupancy). Nil-safe; nil in the sim path.
+	flushBytes *telemetry.Histogram
 }
+
+// SetFlushHistogram attaches the flush-occupancy histogram. Call before
+// any group starts enqueuing.
+func (o *SharedOutbox) SetFlushHistogram(h *telemetry.Histogram) { o.flushBytes = h }
 
 // peerBox accumulates one peer's outbound messages, segregated by
 // originating group so the flush emits well-formed sections.
@@ -209,6 +218,7 @@ func (o *SharedOutbox) flush(sched *sim.Scheduler, b *peerBox) {
 	}
 	if stolen != 0 {
 		b.bytes.Add(-stolen)
+		o.flushBytes.Observe(float64(stolen))
 	}
 	// A shard re-queued above (or pushed by a racer whose arm lost to
 	// our disarm) must not wait for unrelated traffic: make sure a

@@ -569,6 +569,18 @@ func (t *Transport) OffsetOf(id seq.NodeID) (time.Duration, bool) {
 	return s.offset, ok
 }
 
+// PeerOffsets returns every peer's best clock-sync estimate (offset and
+// the RTT of the sample it came from).
+func (t *Transport) PeerOffsets() map[seq.NodeID]PeerOffset {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[seq.NodeID]PeerOffset, len(t.offsets))
+	for id, s := range t.offsets {
+		out[id] = PeerOffset{Offset: s.offset, RTT: s.rtt}
+	}
+	return out
+}
+
 // handleTimeSync consumes one TimeSync at the transport layer: pings are
 // answered immediately (minimizing the asymmetric processing delay the
 // offset formula cannot cancel), pongs fold into the per-peer estimate.
