@@ -1,0 +1,89 @@
+// Command ringnet-trace stitches per-member span dumps into per-message
+// critical paths and a stage-latency decomposition table.
+//
+// Each ringnetd member writes an NDJSON trace artifact — either scraped
+// from its /trace admin endpoint mid-run or written to span_path at exit.
+// The first line is the member's TraceHeader (node id, wall clock, and
+// the NTP-lite peer clock-offset estimates); every following line is one
+// lifecycle span. Because the sampler is a pure function of each
+// message's protocol identity (group, source, local seq), every member
+// traced the SAME messages, and the dumps can be joined without any
+// wire-format support.
+//
+// Usage:
+//
+//	ringnet-trace [-ref node] [-group id] [-top k] dump1.ndjson dump2.ndjson ...
+//
+// Timestamps are normalized onto one member's clock (-ref, default the
+// lowest node id present) using each dump's recorded offset estimates,
+// so cross-member stage deltas (tx→rx, publish→deliver) are meaningful
+// up to the clock-sync error bound, which is printed alongside.
+//
+// Examples:
+//
+//	# Merge a 4-member run's exit dumps, show the 3 slowest deliveries.
+//	ringnet-trace -top 3 /tmp/run/spans*.ndjson
+//
+//	# Restrict to group 2, normalize onto node 1's clock.
+//	ringnet-trace -group 2 -ref 1 spans1.ndjson spans2.ndjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/wire"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ringnet-trace [flags] dump.ndjson ...
+
+Stitch per-member ringnetd trace dumps (/trace output or span_path
+artifacts) into per-message critical paths and stage-latency p50/p99.
+
+flags:
+  -ref node    normalize timestamps onto this member's clock
+               (default: lowest node id among the dumps)
+  -group id    only report messages of this group (default: all)
+  -top k       print the k slowest deliveries with full timelines (default 3)
+`)
+	os.Exit(2)
+}
+
+func main() {
+	ref := flag.Uint("ref", 0, "reference node for clock normalization")
+	group := flag.Uint("group", 0, "restrict to one group id")
+	topK := flag.Int("top", 3, "print the k slowest deliveries")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+	}
+
+	dumps := make([]memberDump, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ringnet-trace: %v\n", err)
+			os.Exit(1)
+		}
+		hdr, spans, err := wire.ParseTraceDump(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ringnet-trace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		dumps = append(dumps, memberDump{path: path, hdr: hdr, spans: spans})
+	}
+
+	st, err := stitch(dumps, uint32(*ref))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringnet-trace: %v\n", err)
+		os.Exit(1)
+	}
+	if *group != 0 {
+		st.filterGroup(uint32(*group))
+	}
+	st.report(os.Stdout, *topK)
+}

@@ -1,0 +1,364 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// memberDump is one member's parsed trace artifact.
+type memberDump struct {
+	path  string
+	hdr   wire.TraceHeader
+	spans []telemetry.Span
+}
+
+// traceKey is one message's identity across every dump.
+type traceKey struct {
+	Group  uint32
+	Source uint32
+	Local  uint64
+}
+
+// point is one normalized lifecycle timestamp: a (stage, member) pair
+// placed on the reference clock.
+type point struct {
+	stage telemetry.Stage
+	node  uint32
+	t     int64 // ns, reference clock
+}
+
+// path is one message's critical path to one deliverer: the source-side
+// chain (publish→enqueue→flush→tx) followed by the deliverer-side chain
+// (rx→wq_accept→stamp→mq_ready→deliver). Consecutive-point deltas
+// telescope: their sum is exactly deliver minus publish.
+type path struct {
+	key       traceKey
+	deliverer uint32
+	points    []point
+	e2eNS     int64
+}
+
+// stitched is the merged view of all dumps.
+type stitched struct {
+	ref      uint32 // reference node every timestamp is normalized to
+	members  []uint32
+	paths    []path
+	spans    map[traceKey][]telemetry.Span // all spans per key, normalized, time-sorted
+	maxRTTNS int64                         // worst clock-sync error bound across dumps
+	skews    map[uint32]int64              // applied shift per member
+}
+
+// stitch merges member dumps onto the reference node's clock and
+// reconstructs every sampled message's per-deliverer critical path.
+func stitch(dumps []memberDump, ref uint32) (*stitched, error) {
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("no dumps")
+	}
+	byNode := make(map[uint32]*memberDump, len(dumps))
+	for i := range dumps {
+		d := &dumps[i]
+		if prev, dup := byNode[d.hdr.Node]; dup {
+			return nil, fmt.Errorf("%s and %s both claim node %d", prev.path, d.path, d.hdr.Node)
+		}
+		byNode[d.hdr.Node] = d
+	}
+	if ref == 0 {
+		for n := range byNode {
+			if ref == 0 || n < ref {
+				ref = n
+			}
+		}
+	}
+	if byNode[ref] == nil {
+		return nil, fmt.Errorf("reference node %d has no dump", ref)
+	}
+
+	st := &stitched{
+		ref:   ref,
+		spans: make(map[traceKey][]telemetry.Span),
+		skews: make(map[uint32]int64),
+	}
+	// Shift per member: a local timestamp t maps to the reference clock
+	// as t + offsets_ns[ref] (each offset estimates remote minus local).
+	// When a member never synced against ref, fall back to the reverse
+	// estimate from ref's own dump.
+	for n, d := range byNode {
+		st.members = append(st.members, n)
+		var shift int64
+		switch {
+		case n == ref:
+		case d.hdr.OffsetsNS[ref] != 0:
+			shift = d.hdr.OffsetsNS[ref]
+		case byNode[ref].hdr.OffsetsNS[n] != 0:
+			shift = -byNode[ref].hdr.OffsetsNS[n]
+		}
+		st.skews[n] = shift
+		for _, rtt := range d.hdr.RTTNS {
+			if rtt > st.maxRTTNS {
+				st.maxRTTNS = rtt
+			}
+		}
+	}
+	sort.Slice(st.members, func(i, j int) bool { return st.members[i] < st.members[j] })
+
+	// first[(key, node, stage)] = earliest normalized occurrence. The
+	// first occurrence is the honest one: retransmissions and Nack
+	// repairs append later duplicates of tx/rx.
+	type slot struct {
+		key   traceKey
+		node  uint32
+		stage telemetry.Stage
+	}
+	first := make(map[slot]int64)
+	for n, d := range byNode {
+		shift := st.skews[n]
+		for _, sp := range d.spans {
+			stage, ok := telemetry.ParseStage(sp.Stage)
+			if !ok {
+				continue
+			}
+			norm := sp
+			norm.WallNS += shift
+			k := traceKey{sp.Group, sp.Source, sp.Local}
+			if sp.Source != 0 || sp.Local != 0 {
+				st.spans[k] = append(st.spans[k], norm)
+			}
+			if !stage.Lifecycle() {
+				continue
+			}
+			s := slot{k, n, stage}
+			if t, seen := first[s]; !seen || norm.WallNS < t {
+				first[s] = norm.WallNS
+			}
+		}
+	}
+	for _, sps := range st.spans {
+		sort.Slice(sps, func(i, j int) bool { return sps[i].WallNS < sps[j].WallNS })
+	}
+
+	// Assemble per-(key, deliverer) paths. The source-side chain always
+	// comes from the key's source member; the receive chain from each
+	// member holding a deliver span. A self-delivery has no rx/wq_accept
+	// (the source inserts into its own WQ), so its chain is shorter —
+	// the telescoping sum still holds.
+	srcStages := []telemetry.Stage{telemetry.StagePublish, telemetry.StageEnqueue, telemetry.StageFlush, telemetry.StageTX}
+	rcvStages := []telemetry.Stage{telemetry.StageRX, telemetry.StageWQAccept, telemetry.StageStamp, telemetry.StageMQReady, telemetry.StageDeliver}
+	delivered := make(map[traceKey][]uint32)
+	for s := range first {
+		if s.stage == telemetry.StageDeliver {
+			delivered[s.key] = append(delivered[s.key], s.node)
+		}
+	}
+	for key, nodes := range delivered {
+		pubT, hasPub := first[slot{key, key.Source, telemetry.StagePublish}]
+		if !hasPub {
+			continue // source dump missing (crashed member): no anchored path
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, m := range nodes {
+			p := path{key: key, deliverer: m}
+			add := func(stage telemetry.Stage, node uint32) {
+				if t, ok := first[slot{key, node, stage}]; ok {
+					p.points = append(p.points, point{stage, node, t})
+				}
+			}
+			for _, s := range srcStages {
+				add(s, key.Source)
+			}
+			if m == key.Source {
+				// Local delivery: the source's own stamp/MQ/deliver chain.
+				for _, s := range rcvStages[2:] {
+					add(s, m)
+				}
+			} else {
+				for _, s := range rcvStages {
+					add(s, m)
+				}
+			}
+			if len(p.points) < 2 {
+				continue
+			}
+			last := p.points[len(p.points)-1]
+			if last.stage != telemetry.StageDeliver {
+				continue
+			}
+			p.e2eNS = last.t - pubT
+			st.paths = append(st.paths, p)
+		}
+	}
+	sort.Slice(st.paths, func(i, j int) bool {
+		a, b := &st.paths[i], &st.paths[j]
+		if a.key != b.key {
+			if a.key.Group != b.key.Group {
+				return a.key.Group < b.key.Group
+			}
+			if a.key.Source != b.key.Source {
+				return a.key.Source < b.key.Source
+			}
+			return a.key.Local < b.key.Local
+		}
+		return a.deliverer < b.deliverer
+	})
+	return st, nil
+}
+
+// transition is one named stage-to-stage hop of the critical path.
+type transition struct {
+	from, to telemetry.Stage
+}
+
+func (tr transition) String() string { return tr.from.String() + "→" + tr.to.String() }
+
+// stageStats aggregates every path's consecutive-point deltas per
+// transition. Negative deltas (possible across members within the
+// clock-sync error) are kept — dropping them would bias the sums.
+func (st *stitched) stageStats() (order []transition, byTrans map[transition][]int64) {
+	byTrans = make(map[transition][]int64)
+	for _, p := range st.paths {
+		for i := 1; i < len(p.points); i++ {
+			tr := transition{p.points[i-1].stage, p.points[i].stage}
+			byTrans[tr] = append(byTrans[tr], p.points[i].t-p.points[i-1].t)
+		}
+	}
+	for tr := range byTrans {
+		order = append(order, tr)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].from != order[j].from {
+			return order[i].from < order[j].from
+		}
+		return order[i].to < order[j].to
+	})
+	return order, byTrans
+}
+
+// e2e returns every path's publish-to-deliver latency.
+func (st *stitched) e2e() []int64 {
+	out := make([]int64, 0, len(st.paths))
+	for _, p := range st.paths {
+		out = append(out, p.e2eNS)
+	}
+	return out
+}
+
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e6) }
+
+// report renders the stage-latency breakdown and the top-k slowest
+// messages with their full span timelines.
+func (st *stitched) report(w io.Writer, topK int) {
+	fmt.Fprintf(w, "ringnet-trace: %d members %v, reference node %d, %d stitched paths\n",
+		len(st.members), st.members, st.ref, len(st.paths))
+	if st.maxRTTNS > 0 {
+		fmt.Fprintf(w, "clock-sync error bound: ±%s ms (worst half-RTT ±%s ms)\n",
+			ms(st.maxRTTNS), ms(st.maxRTTNS/2))
+	}
+	for _, n := range st.members {
+		if n != st.ref {
+			fmt.Fprintf(w, "  node %d clock shift onto node %d: %+.3f ms\n", n, st.ref, float64(st.skews[n])/1e6)
+		}
+	}
+	if len(st.paths) == 0 {
+		fmt.Fprintln(w, "no complete publish→deliver paths (is trace_sample_mod set on every member?)")
+		return
+	}
+
+	order, byTrans := st.stageStats()
+	fmt.Fprintf(w, "\n%-28s %7s %9s %9s %9s %9s\n", "stage", "n", "p50 ms", "p99 ms", "mean ms", "max ms")
+	for _, tr := range order {
+		ds := byTrans[tr]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var sum int64
+		for _, d := range ds {
+			sum += d
+		}
+		fmt.Fprintf(w, "%-28s %7d %9s %9s %9s %9s\n", tr.String(), len(ds),
+			ms(percentile(ds, 0.50)), ms(percentile(ds, 0.99)),
+			ms(sum/int64(len(ds))), ms(ds[len(ds)-1]))
+	}
+	e2e := st.e2e()
+	sort.Slice(e2e, func(i, j int) bool { return e2e[i] < e2e[j] })
+	var sum int64
+	for _, d := range e2e {
+		sum += d
+	}
+	fmt.Fprintf(w, "%-28s %7d %9s %9s %9s %9s\n", "publish→deliver (e2e)", len(e2e),
+		ms(percentile(e2e, 0.50)), ms(percentile(e2e, 0.99)),
+		ms(sum/int64(len(e2e))), ms(e2e[len(e2e)-1]))
+
+	if topK <= 0 {
+		return
+	}
+	slow := make([]path, len(st.paths))
+	copy(slow, st.paths)
+	sort.Slice(slow, func(i, j int) bool { return slow[i].e2eNS > slow[j].e2eNS })
+	if topK > len(slow) {
+		topK = len(slow)
+	}
+	fmt.Fprintf(w, "\ntop %d slowest deliveries:\n", topK)
+	for i := 0; i < topK; i++ {
+		p := slow[i]
+		fmt.Fprintf(w, "  #%d key (group %d, source %d, local %d) → node %d: %s ms end-to-end\n",
+			i+1, p.key.Group, p.key.Source, p.key.Local, p.deliverer, ms(p.e2eNS))
+		base := p.points[0].t
+		// Full timeline: every span of the key from every member, with
+		// annotations (retransmit, nack, fsync) in place.
+		for _, sp := range st.spans[p.key] {
+			rel := sp.WallNS - base
+			extra := ""
+			if sp.Peer != 0 {
+				extra = fmt.Sprintf(" peer %d", sp.Peer)
+			}
+			if sp.Global != 0 {
+				extra += fmt.Sprintf(" global %d", sp.Global)
+			}
+			if sp.Detail != "" {
+				extra += " " + sp.Detail
+			}
+			fmt.Fprintf(w, "    %+10.3f ms  node %-3d %-14s%s\n", float64(rel)/1e6, sp.Node, sp.Stage, extra)
+		}
+	}
+}
+
+// filterGroup keeps only spans and paths of one group.
+func (st *stitched) filterGroup(group uint32) {
+	paths := st.paths[:0]
+	for _, p := range st.paths {
+		if p.key.Group == group {
+			paths = append(paths, p)
+		}
+	}
+	st.paths = paths
+	for k := range st.spans {
+		if k.Group != group {
+			delete(st.spans, k)
+		}
+	}
+}
+
+// summarize is the machine-readable half: per-transition p50/p99 pairs,
+// used by tests.
+func (st *stitched) summarize() map[string][2]int64 {
+	out := make(map[string][2]int64)
+	order, byTrans := st.stageStats()
+	for _, tr := range order {
+		ds := byTrans[tr]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		out[tr.String()] = [2]int64{percentile(ds, 0.50), percentile(ds, 0.99)}
+	}
+	e2e := st.e2e()
+	sort.Slice(e2e, func(i, j int) bool { return e2e[i] < e2e[j] })
+	out["e2e"] = [2]int64{percentile(e2e, 0.50), percentile(e2e, 0.99)}
+	return out
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+const msNS = int64(1_000_000)
+const usNS = int64(1_000)
+
+// TestStitchClockSkew builds a two-member run by hand: node 2's clock
+// runs 5ms AHEAD of node 1's, and its dump says so (offsets_ns[1] =
+// -5ms, the NTP-lite "remote minus local" estimate). The stitcher must
+// normalize node 2's timestamps onto node 1's clock so that every
+// cross-member stage delta comes out exactly as constructed — and the
+// per-path deltas must telescope to publish→deliver.
+func TestStitchClockSkew(t *testing.T) {
+	const T = int64(1_000_000_000_000) // base instant, node-1 clock
+	const skew = 5 * msNS              // node 2's clock reads T+skew at instant T
+
+	sp := func(node uint32, wall int64, stage string, src uint32, local, global uint64) telemetry.Span {
+		return telemetry.Span{WallNS: wall, Node: node, Stage: stage, Group: 1, Source: src, Local: local, Global: global}
+	}
+
+	// Message A: source node 1, delivered by node 2. True timeline on
+	// node 1's clock; node 2 records its spans 5ms late.
+	// Message B: source node 1, self-delivered (no outbox/tx hops).
+	// Message C: delivered on node 2 but its source dump is missing the
+	// publish span — no anchored path may be built.
+	dump1 := memberDump{
+		path: "spans1.ndjson",
+		hdr:  wire.TraceHeader{Node: 1, OffsetsNS: map[uint32]int64{2: skew}, RTTNS: map[uint32]int64{2: 400 * usNS}},
+		spans: []telemetry.Span{
+			sp(1, T, "publish", 1, 6, 0),
+			sp(1, T+100*usNS, "outbox_enqueue", 1, 6, 0),
+			sp(1, T+200*usNS, "outbox_flush", 1, 6, 0),
+			sp(1, T+300*usNS, "tx", 1, 6, 0),
+			sp(1, T+2*msNS, "tx", 1, 6, 0), // retransmission: must not move the earliest tx
+			sp(1, T+10*msNS, "publish", 1, 14, 0),
+			sp(1, T+10*msNS+400*usNS, "stamp", 1, 14, 7),
+			sp(1, T+10*msNS+600*usNS, "mq_ready", 1, 14, 7),
+			sp(1, T+11*msNS, "deliver", 1, 14, 7),
+		},
+	}
+	dump2 := memberDump{
+		path: "spans2.ndjson",
+		hdr:  wire.TraceHeader{Node: 2, OffsetsNS: map[uint32]int64{1: -skew}, RTTNS: map[uint32]int64{1: 400 * usNS}},
+		spans: []telemetry.Span{
+			sp(2, T+skew+1*msNS, "rx", 1, 6, 0),
+			sp(2, T+skew+1*msNS+100*usNS, "wq_accept", 1, 6, 0),
+			sp(2, T+skew+2*msNS, "stamp", 1, 6, 3),
+			sp(2, T+skew+2*msNS+500*usNS, "mq_ready", 1, 6, 3),
+			sp(2, T+skew+3*msNS, "deliver", 1, 6, 3),
+			sp(2, T+skew+4*msNS, "deliver", 9, 99, 5), // message C: unanchored
+		},
+	}
+
+	st, err := stitch([]memberDump{dump2, dump1}, 0) // ref defaults to lowest node = 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ref != 1 {
+		t.Fatalf("ref = %d, want 1", st.ref)
+	}
+	if st.skews[2] != -skew {
+		t.Fatalf("node 2 shift = %d, want %d", st.skews[2], -skew)
+	}
+	if st.maxRTTNS != 400*usNS {
+		t.Fatalf("maxRTTNS = %d, want %d", st.maxRTTNS, 400*usNS)
+	}
+
+	if len(st.paths) != 2 {
+		t.Fatalf("paths = %d (%+v), want 2 (message C is unanchored)", len(st.paths), st.paths)
+	}
+	a, b := st.paths[0], st.paths[1]
+	if a.key != (traceKey{1, 1, 6}) || a.deliverer != 2 {
+		t.Fatalf("path A = %+v", a)
+	}
+	if b.key != (traceKey{1, 1, 14}) || b.deliverer != 1 {
+		t.Fatalf("path B = %+v", b)
+	}
+	if a.e2eNS != 3*msNS {
+		t.Fatalf("A e2e = %d, want 3ms despite the 5ms skew", a.e2eNS)
+	}
+	if b.e2eNS != 1*msNS {
+		t.Fatalf("B e2e = %d, want 1ms", b.e2eNS)
+	}
+
+	// Telescoping: per-path consecutive deltas sum exactly to e2e.
+	for _, p := range st.paths {
+		var sum int64
+		for i := 1; i < len(p.points); i++ {
+			sum += p.points[i].t - p.points[i-1].t
+		}
+		if sum != p.e2eNS {
+			t.Fatalf("path %+v deltas sum %d != e2e %d", p.key, sum, p.e2eNS)
+		}
+	}
+
+	// Exact normalized stage deltas. tx→rx must use the FIRST tx (the
+	// retransmission at T+2ms would make it negative-ish otherwise).
+	want := map[string]int64{
+		"publish→outbox_enqueue":      100 * usNS,
+		"outbox_enqueue→outbox_flush": 100 * usNS,
+		"outbox_flush→tx":             100 * usNS,
+		"tx→rx":                       700 * usNS,
+		"rx→wq_accept":                100 * usNS,
+		"wq_accept→stamp":             900 * usNS,
+		"publish→stamp":               400 * usNS, // self-delivery path B
+	}
+	sum := st.summarize()
+	for name, ns := range want {
+		got, ok := sum[name]
+		if !ok {
+			t.Fatalf("transition %q missing from %v", name, sum)
+		}
+		if got[0] != ns {
+			t.Fatalf("%s p50 = %d, want %d", name, got[0], ns)
+		}
+	}
+	if got := sum["e2e"]; got[0] != 1*msNS || got[1] != 1*msNS {
+		// floor-indexed percentile over [1ms, 3ms]: both land on 1ms.
+		t.Fatalf("e2e quantiles = %v", got)
+	}
+
+	// The report renders without panicking and names the skew.
+	var buf bytes.Buffer
+	st.report(&buf, 2)
+	out := buf.String()
+	for _, frag := range []string{"reference node 1", "2 stitched paths", "-5.000 ms", "tx→rx", "publish→deliver (e2e)", "top 2 slowest"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+
+	// Group filtering drops everything (no group-2 traffic).
+	st.filterGroup(2)
+	if len(st.paths) != 0 || len(st.spans) != 0 {
+		t.Fatalf("filterGroup(2) left %d paths, %d keys", len(st.paths), len(st.spans))
+	}
+}
+
+// TestStitchFallbackOffset covers the asymmetric-sync case: the skewed
+// member never measured an offset against the reference, but the
+// reference measured one against it — the stitcher negates the reverse
+// estimate.
+func TestStitchFallbackOffset(t *testing.T) {
+	const T = int64(9_000_000_000)
+	const skew = -3 * msNS // node 2 runs 3ms BEHIND node 1
+	dump1 := memberDump{
+		path: "a",
+		hdr:  wire.TraceHeader{Node: 1, OffsetsNS: map[uint32]int64{2: skew}},
+		spans: []telemetry.Span{
+			{WallNS: T, Node: 1, Stage: "publish", Group: 1, Source: 1, Local: 6},
+			{WallNS: T + 500*usNS, Node: 1, Stage: "tx", Group: 1, Source: 1, Local: 6},
+		},
+	}
+	dump2 := memberDump{
+		path: "b",
+		hdr:  wire.TraceHeader{Node: 2}, // no offsets recorded at all
+		spans: []telemetry.Span{
+			{WallNS: T + skew + 1*msNS, Node: 2, Stage: "rx", Group: 1, Source: 1, Local: 6, Peer: 1},
+			{WallNS: T + skew + 2*msNS, Node: 2, Stage: "deliver", Group: 1, Source: 1, Local: 6, Global: 3},
+		},
+	}
+	st, err := stitch([]memberDump{dump1, dump2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.skews[2] != -skew {
+		t.Fatalf("fallback shift = %d, want %d (negated reverse estimate)", st.skews[2], -skew)
+	}
+	if len(st.paths) != 1 || st.paths[0].e2eNS != 2*msNS {
+		t.Fatalf("paths = %+v, want one 2ms path", st.paths)
+	}
+	if got := st.summarize()["tx→rx"]; got[0] != 500*usNS {
+		t.Fatalf("tx→rx = %d, want 500µs", got[0])
+	}
+}
+
+// TestStitchErrors pins the failure modes: duplicate node dumps, a
+// missing reference, and an empty input set.
+func TestStitchErrors(t *testing.T) {
+	d := memberDump{path: "x", hdr: wire.TraceHeader{Node: 1}}
+	if _, err := stitch(nil, 0); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	if _, err := stitch([]memberDump{d, d}, 0); err == nil {
+		t.Fatal("duplicate node must fail")
+	}
+	if _, err := stitch([]memberDump{d}, 7); err == nil {
+		t.Fatal("absent reference node must fail")
+	}
+}

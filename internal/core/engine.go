@@ -43,6 +43,11 @@ type Telemetry struct {
 	Events *telemetry.Ring
 	Node   uint32 // stamped on emitted events
 	Group  uint32
+
+	// Trace receives per-message lifecycle spans for deterministically
+	// sampled trace keys; nil outside the wire daemon (the simulator and
+	// benchmarks pay one branch per hook and emit nothing).
+	Trace *telemetry.Tracer
 }
 
 // Emit records one protocol event (no-op when no ring is attached).
@@ -365,6 +370,7 @@ func (e *Engine) Submit(corr seq.NodeID, payload []byte) (seq.LocalSeq, error) {
 	}
 	e.local[corr]++
 	l := e.local[corr]
+	e.Tel.Trace.Span(telemetry.StagePublish, uint32(e.Group), uint32(corr), uint64(l), 0, 0)
 	e.Log.Sent(corr, l, e.Net.Now())
 	e.Scheduler().After(0, func() { ne.acceptSource(l, payload) })
 	return l, nil

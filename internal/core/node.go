@@ -6,6 +6,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/seq"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/transport"
 )
@@ -603,6 +604,23 @@ func (n *NE) wireGiveUp(s *transport.Sender) {
 		g := seq.GlobalSeq(sn)
 		s.Send(sn, &msg.Skip{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(g)}})
 	}
+	n.traceRetransmits(s)
+}
+
+// traceRetransmits places the sender's per-message retransmissions on
+// the trace timeline, so a slow sampled delivery can be attributed to
+// loss recovery instead of an anonymous gap. Only installed when a
+// trace plane is attached — the simulator path keeps a nil callback.
+func (n *NE) traceRetransmits(s *transport.Sender) {
+	tr := n.e.Tel.Trace
+	if !tr.Active() {
+		return
+	}
+	s.OnRetransmit = func(m msg.Message) {
+		if d, ok := m.(*msg.Data); ok {
+			tr.Span(telemetry.StageRetransmit, uint32(n.e.Group), uint32(d.SourceNode), uint64(d.LocalSeq), uint64(d.GlobalSeq), uint32(s.To()))
+		}
+	}
 }
 
 // The working table keys one uint32 namespace over both child network
@@ -669,6 +687,9 @@ func (n *NE) handleWQData(from seq.NodeID, d *msg.Data) {
 	}
 	sq := n.wq.ForSource(d.SourceNode)
 	fresh := sq.Insert(d)
+	if fresh {
+		n.e.Tel.Trace.Span(telemetry.StageWQAccept, uint32(n.e.Group), uint32(d.SourceNode), uint64(d.LocalSeq), 0, uint32(from))
+	}
 	if !fresh && d.LocalSeq <= sq.MaxOrdered() && n.e.Cfg.NackBroadcastAfter > 0 {
 		// Reconfiguration repair (wire deployments): ordered-data SkipTo
 		// may have advanced this queue past locals whose bodies we never
@@ -720,6 +741,7 @@ func (n *NE) forwardWQ(src seq.NodeID) {
 	if s == nil {
 		n.e.EnsureLink(n.id, nx)
 		s = transport.NewSender(n.e.Net, n.id, nx, n.e.Cfg.Hop)
+		n.traceRetransmits(s)
 		n.wqSenders[src] = s
 	}
 	for l := n.wqFwd[src] + 1; l <= cum; l++ {
@@ -1023,9 +1045,12 @@ func (n *NE) deliverLoop() {
 	if hi >= lo {
 		n.e.Tel.Front.Set(int64(hi))
 		if h := n.e.OnDeliver; h != nil {
+			tr := n.e.Tel.Trace
 			for g := lo; g <= hi; g++ {
 				if d := n.mq.Data(g); d != nil {
+					tr.Span(telemetry.StageMQReady, uint32(n.e.Group), uint32(d.SourceNode), uint64(d.LocalSeq), uint64(g), 0)
 					h(n.id, d)
+					tr.Span(telemetry.StageDeliver, uint32(n.e.Group), uint32(d.SourceNode), uint64(d.LocalSeq), uint64(g), 0)
 				}
 			}
 		}
@@ -1265,6 +1290,7 @@ func (n *NE) handleNack(from seq.NodeID, nk *msg.Nack) {
 	for g := nk.Range.Min; g <= nk.Range.Max; g++ {
 		if d := n.mq.Data(seq.GlobalSeq(g)); d != nil {
 			n.e.Net.Send(n.id, from, d)
+			n.e.Tel.Trace.Span(telemetry.StageNackServe, uint32(n.e.Group), uint32(d.SourceNode), uint64(d.LocalSeq), g, uint32(from))
 		}
 	}
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/msg"
 	"repro/internal/seq"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // This file implements the top-ring algorithms of paper §4.2.1: token
@@ -370,6 +373,9 @@ func (n *NE) sendRepairNack(g seq.GlobalSeq, rounds int) {
 		hi = g + seq.GlobalSeq(w-1)
 	}
 	nk := &msg.Nack{Group: n.e.Group, From: n.id, Range: seq.Range{Min: uint64(g), Max: uint64(hi)}}
+	if tr := n.e.Tel.Trace; tr.Active() {
+		tr.Annotate(telemetry.StageNackTX, uint32(n.e.Group), uint64(g), 0, fmt.Sprintf("range %d-%d round %d", g, hi, rounds))
+	}
 	if ba := n.e.Cfg.NackBroadcastAfter; ba > 0 && rounds >= ba {
 		if r := n.e.H.RingOf(n.id); r != nil {
 			for _, p := range r.Nodes() {
@@ -438,6 +444,7 @@ func (n *NE) orderAssignSource(src seq.NodeID) {
 		if _, err := n.mq.Insert(stamped); err != nil {
 			break // MQ full: resume next tick after release
 		}
+		n.e.Tel.Trace.Span(telemetry.StageStamp, uint32(n.e.Group), uint32(src), uint64(l), uint64(g), 0)
 		sq.Drop(l, l)
 		n.wqAligned[src] = true
 		delete(n.stallSince, src)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
-	"time"
 )
 
 // Event is one structured protocol transition: a token regeneration, an
@@ -34,9 +33,10 @@ type Event struct {
 // without jitter; scrapers copy the live window out under the same
 // mutex. A nil *Ring is a no-op.
 type Ring struct {
-	mu   sync.Mutex
-	buf  []Event
-	next uint64 // total events ever emitted
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // total events ever emitted
+	clock *Clock // shared wall source; nil falls back to time.Now
 }
 
 // NewRing returns a ring holding the most recent capacity events.
@@ -47,15 +47,28 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, capacity)}
 }
 
+// SetClock injects the wall-time source Emit stamps with. Sharing one
+// Clock between the event ring and the trace plane makes events and
+// spans from the same process mutually ordered; previously every Emit
+// read time.Now independently.
+func (r *Ring) SetClock(c *Clock) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = c
+	r.mu.Unlock()
+}
+
 // Emit appends one event, stamping Seq and (if unset) WallNS.
 func (r *Ring) Emit(e Event) {
 	if r == nil {
 		return
 	}
-	if e.WallNS == 0 {
-		e.WallNS = time.Now().UnixNano()
-	}
 	r.mu.Lock()
+	if e.WallNS == 0 {
+		e.WallNS = r.clock.Now()
+	}
 	e.Seq = r.next
 	r.buf[r.next%uint64(len(r.buf))] = e
 	r.next++
@@ -72,8 +85,31 @@ func (r *Ring) Emitted() uint64 {
 	return r.next
 }
 
+// Overwritten returns how many events fell out of the bounded window —
+// emitted minus retained. A scraper seeing this grow between polls
+// knows its /events view has gaps without diffing Seq by hand.
+func (r *Ring) Overwritten() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	capy := uint64(len(r.buf))
+	if r.next > capy {
+		return r.next - capy
+	}
+	return 0
+}
+
 // Snapshot returns the retained window, oldest first.
 func (r *Ring) Snapshot() []Event {
+	return r.SnapshotSince(0)
+}
+
+// SnapshotSince returns retained events with Seq >= since, oldest
+// first. Incremental pollers pass last-seen Seq + 1 and only pay for
+// what is new.
+func (r *Ring) SnapshotSince(since uint64) []Event {
 	if r == nil {
 		return nil
 	}
@@ -85,6 +121,12 @@ func (r *Ring) Snapshot() []Event {
 	if n > capy {
 		lo = n - capy
 	}
+	if since > lo {
+		lo = since
+	}
+	if lo >= n {
+		return nil
+	}
 	out := make([]Event, 0, n-lo)
 	for s := lo; s < n; s++ {
 		out = append(out, r.buf[s%capy])
@@ -95,8 +137,13 @@ func (r *Ring) Snapshot() []Event {
 // WriteNDJSON renders the retained window as newline-delimited JSON,
 // oldest first.
 func (r *Ring) WriteNDJSON(w io.Writer) error {
+	return r.WriteNDJSONSince(w, 0)
+}
+
+// WriteNDJSONSince renders retained events with Seq >= since.
+func (r *Ring) WriteNDJSONSince(w io.Writer, since uint64) error {
 	enc := json.NewEncoder(w)
-	for _, e := range r.Snapshot() {
+	for _, e := range r.SnapshotSince(since) {
 		if err := enc.Encode(&e); err != nil {
 			return err
 		}

@@ -71,6 +71,9 @@ func pendingTimeout(v any) {
 	}
 	p.retries++
 	s.Retransmissions++
+	if s.OnRetransmit != nil {
+		s.OnRetransmit(p.m)
+	}
 	s.transmit(p)
 }
 
@@ -91,6 +94,10 @@ type Sender struct {
 	acked uint64
 	// OnGiveUp is invoked with the seqno abandoned after MaxRetries.
 	OnGiveUp func(seqno uint64)
+	// OnRetransmit, when set, observes every timeout-triggered resend
+	// with the message being resent (trace-plane annotation hook; nil —
+	// the simulator default — costs one branch per retransmission).
+	OnRetransmit func(m msg.Message)
 
 	// Retransmissions counts timeout-triggered resends (overhead
 	// metric).

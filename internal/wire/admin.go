@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"time"
 )
 
@@ -19,7 +20,10 @@ import (
 //
 //	/metrics  Prometheus text exposition (registry + transport-derived)
 //	/status   live Report (the exit report's schema, mid-run)
-//	/events   protocol event ring, NDJSON, oldest first
+//	/events   protocol event ring, NDJSON, oldest first; ?since=<seq>
+//	          returns only events with Seq >= since
+//	/trace    per-message lifecycle spans, NDJSON: one TraceHeader line
+//	          (node id, peer clock offsets), then the retained spans
 //	/healthz  liveness: 200 while the process serves
 //	/readyz   readiness: 200 once every group is converged-or-ordering,
 //	          none parked lame, stores healthy; 503 otherwise
@@ -54,6 +58,7 @@ func newAdminServer(nd *Node, addr string, fd int) (*adminServer, error) {
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/status", a.handleStatus)
 	mux.HandleFunc("/events", a.handleEvents)
+	mux.HandleFunc("/trace", a.handleTrace)
 	mux.HandleFunc("/healthz", a.handleHealthz)
 	mux.HandleFunc("/readyz", a.handleReadyz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -83,7 +88,7 @@ func (a *adminServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := a.nd.tel.reg.WriteProm(w); err != nil {
 		return
 	}
-	_ = writeDerivedMetrics(w, a.nd.tr, a.nd.ob)
+	_ = writeDerivedMetrics(w, a.nd.tel, a.nd.tr, a.nd.ob)
 }
 
 func (a *adminServer) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -94,8 +99,22 @@ func (a *adminServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *adminServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	_ = a.nd.tel.events.WriteNDJSON(w)
+	_ = a.nd.tel.events.WriteNDJSONSince(w, since)
+}
+
+func (a *adminServer) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = writeTraceDump(w, a.nd.tel, a.nd.tr)
 }
 
 func (a *adminServer) handleHealthz(w http.ResponseWriter, r *http.Request) {

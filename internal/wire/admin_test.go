@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -67,6 +68,8 @@ func TestDaemonAdminEndpoints(t *testing.T) {
 			Payload:    48,
 			StartMS:    250,
 			DeadlineMS: 45000,
+			// Sample every message key, so /trace serves a full span set.
+			TraceSampleMod: 1,
 		}
 		for j := 0; j < n; j++ {
 			if j != i {
@@ -186,6 +189,7 @@ func TestDaemonAdminEndpoints(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("/events: HTTP %d", code)
 	}
+	var lastSeq uint64
 	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
 		if line == "" {
 			continue
@@ -193,6 +197,70 @@ func TestDaemonAdminEndpoints(t *testing.T) {
 		var ev telemetry.Event
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
 			t.Fatalf("/events line %q: %v", line, err)
+		}
+		lastSeq = ev.Seq
+	}
+
+	// /events?since=N: the incremental-polling contract — only events at
+	// Seq >= N come back, so a scraper can resume from its high-water
+	// mark instead of rereading the ring.
+	code, body = adminGet(t, addr, fmt.Sprintf("/events?since=%d", lastSeq))
+	if code != 200 {
+		t.Fatalf("/events?since: HTTP %d", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("/events?since line %q: %v", line, err)
+		}
+		if ev.Seq < lastSeq {
+			t.Fatalf("/events?since=%d returned earlier event %+v", lastSeq, ev)
+		}
+	}
+	if code, _ := adminGet(t, addr, "/events?since=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("/events?since=bogus: HTTP %d, want 400", code)
+	}
+
+	// /trace: the span dump — clock-offset header line first, then the
+	// sampled lifecycle spans (everything, at trace_sample_mod 1).
+	// Readiness flips before the 250ms stream start, so poll until the
+	// first sampled messages produce spans.
+	var (
+		hdr   TraceHeader
+		spans []telemetry.Span
+	)
+	traceAt := time.Now()
+	for {
+		code, body = adminGet(t, addr, "/trace")
+		if code != 200 {
+			t.Fatalf("/trace: HTTP %d", code)
+		}
+		var err error
+		hdr, spans, err = ParseTraceDump(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("/trace: %v\n%s", err, body)
+		}
+		if len(spans) > 0 {
+			break
+		}
+		if time.Since(traceAt) > 30*time.Second {
+			t.Fatal("/trace never served spans at trace_sample_mod 1")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if hdr.Node != 1 {
+		t.Fatalf("/trace header claims node %d, want 1", hdr.Node)
+	}
+	stages := map[string]bool{}
+	for _, sp := range spans {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{"publish", "stamp", "deliver"} {
+		if !stages[want] {
+			t.Fatalf("/trace has no %q span; stages seen: %v", want, stages)
 		}
 	}
 

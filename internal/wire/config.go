@@ -179,6 +179,18 @@ type Config struct {
 	// TracePath is the legacy (v1) flat trace path; v2 configs set it
 	// per group.
 	TracePath string `json:"trace_path,omitempty"`
+
+	// TraceSampleMod enables the per-message lifecycle trace plane: a
+	// message whose FNV-1a key hash (group, source, local seq) is
+	// 0 mod N is traced through every stage — publish, outbox, tx/rx,
+	// WQ accept, token stamp, MQ, delivery — on every member, since the
+	// sampler is deterministic over fields each member already holds.
+	// 1 traces everything; 0 (the default) disables tracing entirely.
+	TraceSampleMod int `json:"trace_sample_mod,omitempty"`
+
+	// SpanPath, when set, dumps the retained trace spans (the /trace
+	// NDJSON document: header line plus spans) to this file at exit.
+	SpanPath string `json:"span_path,omitempty"`
 }
 
 // defaults fills zero-valued daemon-level tunables.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/seq"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -220,7 +221,13 @@ func newRingGroup(nd *Node, gc GroupConfig, wallStart time.Time) (*ringGroup, er
 				Global: d.GlobalSeq, Source: d.SourceNode, Local: d.LocalSeq, Payload: d.Payload,
 			})
 			if err == nil && g.syncEach {
-				err = g.dlog.Sync()
+				if tr := g.tel.tracer; tr.Active() {
+					t0 := time.Now()
+					err = g.dlog.Sync()
+					tr.Annotate(telemetry.StageFsync, g.gid, uint64(d.GlobalSeq), time.Since(t0).Nanoseconds(), "sync-each")
+				} else {
+					err = g.dlog.Sync()
+				}
 			}
 			if err != nil && g.storeErr == nil {
 				g.storeErr = err
@@ -490,8 +497,16 @@ func (g *ringGroup) start() {
 			flush := sim.Time(cfg.FlushMS) * sim.Millisecond
 			g.sched.Every(flush, func() {
 				var err error
+				tr := g.tel.tracer
+				var t0 time.Time
+				if tr.Active() {
+					t0 = time.Now()
+				}
 				if err = g.dlog.Sync(); err == nil && g.dlq != nil {
 					err = g.dlq.Sync()
+				}
+				if tr.Active() {
+					tr.Annotate(telemetry.StageFsync, g.gid, 0, time.Since(t0).Nanoseconds(), "flush-window")
 				}
 				if err != nil && g.storeErr == nil {
 					g.storeErr = err

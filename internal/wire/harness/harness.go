@@ -133,6 +133,13 @@ type Options struct {
 	// records the path on the Member.
 	Trace bool
 
+	// SpanSample > 0 enables the per-message lifecycle tracer on every
+	// member (trace_sample_mod = SpanSample): each samples the same
+	// deterministic 1/SpanSample of message keys and writes its span dump
+	// to Dir/spans<id>.ndjson at exit (recorded on Member.SpanPath).
+	// Mid-run the same document is live at each member's /trace endpoint.
+	SpanSample int
+
 	// Specs holds per-member overrides, keyed by 0-based member index.
 	Specs map[int]Spec
 
@@ -174,6 +181,10 @@ type Member struct {
 	// populated when Options.Trace is set, single-group included).
 	TracePath  string
 	TracePaths map[uint32]string
+	// SpanPath is the member's lifecycle-span dump (Options.SpanSample),
+	// written at process exit. A restarted member's file holds only its
+	// second incarnation's spans: the first was SIGKILLed mid-run.
+	SpanPath string
 }
 
 // Group returns this member's report entry for group id, or nil — the
@@ -358,6 +369,11 @@ func Run(opts Options) ([]Member, error) {
 			members[i].TracePath = filepath.Join(opts.Dir, fmt.Sprintf("trace%d", i+1))
 			cfg.TracePath = members[i].TracePath
 			members[i].TracePaths = map[uint32]string{1: members[i].TracePath}
+		}
+		if opts.SpanSample > 0 {
+			cfg.TraceSampleMod = opts.SpanSample
+			members[i].SpanPath = filepath.Join(opts.Dir, fmt.Sprintf("spans%d.ndjson", i+1))
+			cfg.SpanPath = members[i].SpanPath
 		}
 		// A bootstrap member's peers are the other bootstrap members; a
 		// joiner's peers are its seeds — the whole bootstrap ring.

@@ -1,12 +1,17 @@
 package harness
 
 import (
+	"fmt"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // memberWatch accumulates one member's mid-run observations. The
@@ -28,6 +33,9 @@ type memberWatch struct {
 	readyRecovered bool // ...then 200 again (the heal)
 
 	events map[string]int // event type → count, from the latest /events
+
+	traceScrapes int // successful /trace fetches
+	traceSpans   int // span count in the latest /trace document
 }
 
 // pollOnce is the single-attempt sibling of the package fetch helper:
@@ -92,6 +100,16 @@ func (w *memberWatch) observe(cl *http.Client, addr string, restarts bool) {
 			w.mu.Unlock()
 		}
 	}
+	if resp, ok := pollOnce(cl, addr, "/trace"); ok {
+		_, spans, err := wire.ParseTraceDump(resp.Body)
+		resp.Body.Close()
+		if err == nil {
+			w.mu.Lock()
+			w.traceScrapes++
+			w.traceSpans = len(spans)
+			w.mu.Unlock()
+		}
+	}
 }
 
 // ScrapeMetricsOnce is ScrapeMetrics without the connection retries,
@@ -120,6 +138,10 @@ func ScrapeMetricsOnce(cl *http.Client, addr string) (map[string]float64, error)
 // must carry the full fault narrative (suspect, evict, epoch-commit,
 // lame-enter/exit, merge-heal, resume). At exit, each steady member's
 // registry-derived delivered count must equal its trace line count.
+// The lifecycle trace plane rides along at sampling mod 8: /trace must
+// serve spans mid-run, and at exit every delivered sampled key must
+// have a publish span in its source member's dump and a deliver span in
+// the delivering member's dump — both ends of the stitched path.
 func TestClusterObservabilityUnderChaos(t *testing.T) {
 	if testing.Short() {
 		t.Skip("5-process chaos cluster in -short")
@@ -155,6 +177,7 @@ func TestClusterObservabilityUnderChaos(t *testing.T) {
 		LameMS:           1500,
 		IdleMS:           2500,
 		Trace:            true,
+		SpanSample:       8,
 		Admin:            true,
 		ReportIntervalMS: 500,
 		Splits: []SplitWindow{
@@ -280,6 +303,73 @@ func TestClusterObservabilityUnderChaos(t *testing.T) {
 		}
 	}
 
-	t.Logf("observability chaos: %d/%d/%d/%d/%d scrapes per member, event union %v",
-		watches[0].scrapes, watches[1].scrapes, watches[2].scrapes, watches[3].scrapes, watches[4].scrapes, union)
+	// Trace-plane layer: the lifecycle tracer sampled 1/8 of message keys
+	// on every member, live at /trace mid-run and dumped to SpanPath at
+	// exit. Span completeness: every delivered sampled key must show a
+	// publish span in its SOURCE member's dump and a deliver span in the
+	// delivering member's dump — the two ends of the stitched critical
+	// path. Member 5's first incarnation was SIGKILLed and its restart
+	// truncated the dump, so keys sourced by 5 are exempt from the
+	// source-side half, and member 5's own dump is not consulted.
+	dumps := make([]map[string]map[string]bool, 4) // member → stage → "src/local" seen
+	for i := 0; i < 4; i++ {
+		f, err := os.Open(members[i].SpanPath)
+		if err != nil {
+			t.Fatalf("member %d span dump: %v", i+1, err)
+		}
+		hdr, spans, err := wire.ParseTraceDump(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("member %d span dump: %v", i+1, err)
+		}
+		if hdr.Node != uint32(i+1) {
+			t.Fatalf("member %d span dump header claims node %d", i+1, hdr.Node)
+		}
+		byStage := map[string]map[string]bool{}
+		for _, sp := range spans {
+			if byStage[sp.Stage] == nil {
+				byStage[sp.Stage] = map[string]bool{}
+			}
+			byStage[sp.Stage][fmt.Sprintf("%d/%d", sp.Source, sp.Local)] = true
+		}
+		dumps[i] = byStage
+		if members[i].Report.Spans == 0 {
+			t.Errorf("member %d exit report counts no spans", i+1)
+		}
+	}
+	sampledDelivered := 0
+	for _, line := range readTrace(t, members[0].TracePath) {
+		var global, src uint32
+		var local uint64
+		if _, err := fmt.Sscanf(line, "%d %d %d", &global, &src, &local); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if !telemetry.SampledKey(8, 1, src, local) {
+			continue
+		}
+		sampledDelivered++
+		key := fmt.Sprintf("%d/%d", src, local)
+		if !dumps[0]["deliver"][key] {
+			t.Errorf("member 1 delivered sampled key %s but its span dump has no deliver span", key)
+		}
+		if src >= 1 && src <= 4 && !dumps[src-1]["publish"][key] {
+			t.Errorf("sampled key %s has no publish span in source member %d's dump", key, src)
+		}
+	}
+	if sampledDelivered == 0 {
+		t.Error("no delivered message keys were sampled at mod 8")
+	}
+	for i := 0; i < 4; i++ {
+		w := watches[i]
+		w.mu.Lock()
+		if w.traceScrapes == 0 || w.traceSpans == 0 {
+			t.Errorf("member %d: /trace never served spans mid-run (scrapes=%d spans=%d)",
+				i+1, w.traceScrapes, w.traceSpans)
+		}
+		w.mu.Unlock()
+	}
+
+	t.Logf("observability chaos: %d/%d/%d/%d/%d scrapes per member, %d sampled delivered keys, event union %v",
+		watches[0].scrapes, watches[1].scrapes, watches[2].scrapes, watches[3].scrapes, watches[4].scrapes,
+		sampledDelivered, union)
 }

@@ -139,6 +139,24 @@ func ScrapeEvents(addr string) ([]telemetry.Event, error) {
 	return evs, sc.Err()
 }
 
+// ScrapeTrace fetches one member's /trace span dump: the clock-offset
+// header followed by the sampled lifecycle spans, oldest first — the
+// same NDJSON document the member writes to span_path at exit.
+func ScrapeTrace(addr string) (wire.TraceHeader, []telemetry.Span, error) {
+	b, code, err := fetch(addr, "/trace")
+	if err != nil {
+		return wire.TraceHeader{}, nil, err
+	}
+	if code != http.StatusOK {
+		return wire.TraceHeader{}, nil, fmt.Errorf("harness: scrape %s/trace: HTTP %d", addr, code)
+	}
+	hdr, spans, err := wire.ParseTraceDump(bytes.NewReader(b))
+	if err != nil {
+		return hdr, spans, fmt.Errorf("harness: %s/trace: %w", addr, err)
+	}
+	return hdr, spans, nil
+}
+
 // ScrapeStatus fetches one member's /status live report.
 func ScrapeStatus(addr string) (wire.Report, error) {
 	var rep wire.Report

@@ -57,11 +57,20 @@ type SharedOutbox struct {
 	// flushBytes, when attached, observes the bytes drained per
 	// non-empty flush (batch occupancy). Nil-safe; nil in the sim path.
 	flushBytes *telemetry.Histogram
+
+	// tracer, when attached and active, records outbox_enqueue and
+	// outbox_flush spans for sampled Data messages — the two stages that
+	// bound how long a message sat in the batch window.
+	tracer *telemetry.Tracer
 }
 
 // SetFlushHistogram attaches the flush-occupancy histogram. Call before
 // any group starts enqueuing.
 func (o *SharedOutbox) SetFlushHistogram(h *telemetry.Histogram) { o.flushBytes = h }
+
+// SetTracer attaches the trace plane. Call before any group starts
+// enqueuing.
+func (o *SharedOutbox) SetTracer(t *telemetry.Tracer) { o.tracer = t }
 
 // peerBox accumulates one peer's outbound messages, segregated by
 // originating group so the flush emits well-formed sections.
@@ -149,6 +158,11 @@ func (b *peerBox) shard(group uint32) *groupShard {
 func (o *SharedOutbox) Enqueue(sched *sim.Scheduler, group uint32, to seq.NodeID, m msg.Message) {
 	b := o.box(to)
 	s := b.shard(group)
+	if o.tracer.Active() {
+		if src, local, global, ok := traceKeyOf(m); ok {
+			o.tracer.Span(telemetry.StageEnqueue, group, src, local, global, uint32(to))
+		}
+	}
 	size := 4 + m.WireSize()
 	s.mu.Lock()
 	s.msgs = append(s.msgs, m)
@@ -212,6 +226,13 @@ func (o *SharedOutbox) flush(sched *sim.Scheduler, b *peerBox) {
 			b.pushDirty(s)
 		}
 		if len(msgs) > 0 {
+			if o.tracer.Active() {
+				for _, m := range msgs {
+					if src, local, global, ok := traceKeyOf(m); ok {
+						o.tracer.Span(telemetry.StageFlush, s.group, src, local, global, uint32(b.to))
+					}
+				}
+			}
 			secs = append(secs, Section{Group: s.group, Msgs: msgs})
 		}
 		s = next

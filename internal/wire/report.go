@@ -122,6 +122,10 @@ type Report struct {
 	// per group. SendErrs counts outbox flushes the transport rejected.
 	Transport Stats  `json:"transport"`
 	SendErrs  uint64 `json:"send_errs,omitempty"`
+
+	// Spans counts trace spans recorded by the lifecycle tracer (0 when
+	// trace_sample_mod is unset).
+	Spans uint64 `json:"spans,omitempty"`
 }
 
 // ByGroup returns the report entry for group id, or nil.

@@ -27,20 +27,41 @@ import (
 // a fault storm.
 const eventRingCap = 1024
 
+// spanRingCap bounds the per-daemon trace-span ring. At the default
+// sampling rate a sampled message costs under ten lifecycle spans per
+// member, so this window holds the full trace of a thousand-message
+// harness run with room for fault-storm annotations.
+const spanRingCap = 16384
+
 // nodeTelemetry is the daemon-wide observability state.
 type nodeTelemetry struct {
 	reg    *telemetry.Registry
 	events *telemetry.Ring
 	node   uint32
 
+	// clock is the single wall source shared by the event ring and the
+	// tracer, so events and spans from this process interleave honestly.
+	clock  *telemetry.Clock
+	tracer *telemetry.Tracer
+
 	outboxFlushBytes *telemetry.Histogram
 }
 
-func newNodeTelemetry(node uint32) *nodeTelemetry {
+func newNodeTelemetry(node uint32, traceMod int) *nodeTelemetry {
 	nt := &nodeTelemetry{
 		reg:    telemetry.NewRegistry(),
 		events: telemetry.NewRing(eventRingCap),
 		node:   node,
+		clock:  telemetry.NewClock(),
+	}
+	nt.events.SetClock(nt.clock)
+	nt.tracer = telemetry.NewTracer(node, traceMod, spanRingCap, nt.clock)
+	// Stage histograms are registered up front — even with sampling off
+	// — so /metrics always exposes the family the manifest pins.
+	for _, s := range telemetry.LifecycleStages() {
+		nt.tracer.SetStageHistogram(s, nt.reg.Histogram("ringnet_trace_stage_seconds",
+			"Latency from the previous traced lifecycle stage to this one (sampled keys).",
+			telemetry.LatencyBuckets(), "stage", s.String()))
 	}
 	nt.outboxFlushBytes = nt.reg.Histogram("ringnet_outbox_flush_bytes",
 		"Bytes drained per shared-outbox flush (batch occupancy).", telemetry.SizeBuckets())
@@ -53,6 +74,7 @@ type groupTelemetry struct {
 	gid    uint32
 	events *telemetry.Ring
 	node   uint32
+	tracer *telemetry.Tracer
 
 	delivered *telemetry.Counter
 	front     *telemetry.Gauge
@@ -80,6 +102,7 @@ func (nt *nodeTelemetry) group(gid uint32) *groupTelemetry {
 		gid:    gid,
 		events: nt.events,
 		node:   nt.node,
+		tracer: nt.tracer,
 
 		delivered: reg.Counter("ringnet_delivered_total",
 			"Message bodies delivered to the application, in total order.", "group", g),
@@ -144,6 +167,7 @@ func (gt *groupTelemetry) coreTel(reg *telemetry.Registry) core.Telemetry {
 		Events: gt.events,
 		Node:   gt.node,
 		Group:  gt.gid,
+		Trace:  gt.tracer,
 	}
 }
 
@@ -200,7 +224,7 @@ func (t *memberTelemetry) emit(typ string, value uint64, detail string) {
 // and drop-matrix counters, and clock-sync RTT/offset estimates. These
 // are snapshots of mutex-guarded state, so they are rendered per scrape
 // instead of being double-counted into registry instruments.
-func writeDerivedMetrics(w io.Writer, tr *Transport, ob *SharedOutbox) error {
+func writeDerivedMetrics(w io.Writer, nt *nodeTelemetry, tr *Transport, ob *SharedOutbox) error {
 	st := tr.Stats()
 
 	peerIDs := make([]seq.NodeID, 0, len(st.Peers))
@@ -318,7 +342,19 @@ func writeDerivedMetrics(w io.Writer, tr *Transport, ob *SharedOutbox) error {
 	if err := scalar("ringnet_unknown_group_drops_total", "Sections for unregistered groups.", st.UnknownGroupDrops); err != nil {
 		return err
 	}
-	return scalar("ringnet_send_errs_total", "Outbox flushes the transport rejected.", ob.SendErrs())
+	if err := scalar("ringnet_send_errs_total", "Outbox flushes the transport rejected.", ob.SendErrs()); err != nil {
+		return err
+	}
+	// Ring-overflow accounting: a scraper that sees either overwritten
+	// counter grow between polls knows its /events or /trace view has
+	// gaps, without diffing Seq by hand.
+	if err := scalar("ringnet_events_overwritten_total", "Events lost off the bounded event ring (emitted minus retained).", nt.events.Overwritten()); err != nil {
+		return err
+	}
+	if err := scalar("ringnet_trace_spans_total", "Trace spans recorded by the per-message lifecycle tracer.", nt.tracer.Emitted()); err != nil {
+		return err
+	}
+	return scalar("ringnet_trace_spans_overwritten_total", "Trace spans lost off the bounded span ring.", nt.tracer.Overwritten())
 }
 
 // PeerOffset is one peer's best clock-sync estimate.

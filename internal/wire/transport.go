@@ -11,6 +11,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/seq"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Handler consumes the messages of one received section. It is invoked
@@ -199,7 +200,15 @@ type Transport struct {
 	// offsets holds the best (lowest-RTT) clock-offset sample per peer,
 	// collected from TimeSync pongs.
 	offsets map[seq.NodeID]offsetSample
+
+	// tracer, when attached and active, records datagram tx/rx spans
+	// for sampled Data messages. Set before Start; read without the
+	// mutex (writes happen-before the reader goroutine starts).
+	tracer *telemetry.Tracer
 }
+
+// SetTracer attaches the trace plane. Call before Start.
+func (t *Transport) SetTracer(tr *telemetry.Tracer) { t.tracer = tr }
 
 // offsetSample is one NTP-lite estimate: offset ≈ remote clock − local
 // clock, believed to within ±rtt/2.
@@ -483,6 +492,7 @@ func (t *Transport) SendSections(to seq.NodeID, secs []Section) error {
 	}
 	t.mu.Unlock()
 
+	traced := t.tracer.Active()
 	for i, fsecs := range frames {
 		buf, err := EncodeFrame(t.self, base+uint64(i), fsecs)
 		if err == nil {
@@ -490,6 +500,15 @@ func (t *Transport) SendSections(to seq.NodeID, secs []Section) error {
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
+		}
+		if traced && err == nil {
+			for _, s := range fsecs {
+				for _, m := range s.Msgs {
+					if src, local, global, ok := traceKeyOf(m); ok {
+						t.tracer.Span(telemetry.StageTX, s.Group, src, local, global, uint32(to))
+					}
+				}
+			}
 		}
 	}
 	return firstErr
@@ -841,6 +860,20 @@ func (t *Transport) receive(pkt []byte) {
 		return
 	}
 	from := f.From
+	// RX spans stamp at decode, not at (possibly jitter-delayed)
+	// dispatch — the honest socket-arrival time.
+	if t.tracer.Active() {
+		for _, d := range dispatches {
+			if d.unknown {
+				continue
+			}
+			for _, m := range d.sec.Msgs {
+				if src, local, global, ok := traceKeyOf(m); ok {
+					t.tracer.Span(telemetry.StageRX, d.sec.Group, src, local, global, uint32(from))
+				}
+			}
+		}
+	}
 	dispatch := func() {
 		for _, d := range dispatches {
 			if d.unknown {
